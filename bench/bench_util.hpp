@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: ASCII table/series printing
+ * and canonical trace/workload collection, so every figure and table
+ * is regenerated from the same inputs.
+ */
+
+#ifndef COMSIM_BENCH_BENCH_UTIL_HPP
+#define COMSIM_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+#include "sim/strutil.hpp"
+#include "trace/trace.hpp"
+
+namespace com::bench {
+
+/** Print a header banner naming the experiment. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/** Print one row of right-aligned columns. */
+inline void
+row(const std::vector<std::string> &cells, int width = 14)
+{
+    std::string line;
+    for (const std::string &c : cells)
+        line += sim::padLeft(c, static_cast<std::size_t>(width)) + " ";
+    std::printf("%s\n", line.c_str());
+}
+
+/** Render an ASCII curve: one line per x with a bar of #'s. */
+inline void
+asciiCurve(const std::string &label, double value01, int width = 50)
+{
+    int n = static_cast<int>(value01 * width + 0.5);
+    if (n < 0)
+        n = 0;
+    if (n > width)
+        n = width;
+    std::printf("  %-18s |%s%s| %6.2f%%\n", label.c_str(),
+                std::string(static_cast<std::size_t>(n), '#').c_str(),
+                std::string(static_cast<std::size_t>(width - n), ' ')
+                    .c_str(),
+                value01 * 100.0);
+}
+
+/**
+ * The canonical Fith trace for the Section 5 experiments (the paper's
+ * methodology: Fith interpreter traces).
+ */
+inline trace::Trace
+fithTrace(std::size_t min_entries = 200'000)
+{
+    return fith::collectSuiteTrace(42, min_entries);
+}
+
+/**
+ * A COM-side trace: every Smalltalk workload executed on one machine
+ * with the trace sink attached (address, opcode token or extended
+ * selector key, dispatch class).
+ */
+inline trace::Trace
+comTrace()
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    core::Machine m(cfg);
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+
+    trace::Trace t;
+    m.setTraceSink([&t](const core::TraceRecord &tr) {
+        t.record(tr.ipBits, tr.opcodeKey, tr.receiverClass);
+    });
+    for (const lang::Workload &w : lang::workloads()) {
+        lang::CompiledProgram p = cc.compileSource(w.source);
+        core::RunResult r =
+            m.call(p.entryVaddr, m.constants().nilWord(), {});
+        if (!r.finished)
+            std::fprintf(stderr, "workload %s did not finish: %s\n",
+                         w.name.c_str(), r.message.c_str());
+    }
+    return t;
+}
+
+/** Fresh machine with the standard library, compiled workload run. */
+struct WorkloadRun
+{
+    std::unique_ptr<core::Machine> machine;
+    core::RunResult result;
+};
+
+inline WorkloadRun
+runWorkloadOnCom(const lang::Workload &w,
+                 const core::MachineConfig &cfg = {})
+{
+    WorkloadRun out;
+    out.machine = std::make_unique<core::Machine>(cfg);
+    out.machine->installStandardLibrary();
+    lang::ComCompiler cc(*out.machine);
+    lang::CompiledProgram p = cc.compileSource(w.source);
+    out.result = out.machine->call(p.entryVaddr,
+                                   out.machine->constants().nilWord(),
+                                   {});
+    return out;
+}
+
+} // namespace com::bench
+
+#endif // COMSIM_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 10: ITLB hit ratio vs log2 of cache size.
+ *
+ * Paper: "The hit ratio in the ITLB for cache sizes varying from 8 to
+ * 4096 is shown in figure 10. The data indicate that a 99% hit ratio
+ * can be realized with a 512 entry 2-way associative cache. ... a
+ * great deal can be gained by having at least a 2-way associative
+ * cache. It is not clear that adding more associativity improves the
+ * hit ratio much."
+ *
+ * Methodology reproduced exactly: Fith interpreter traces (instruction
+ * address, opcode, class of the top of stack), warmup run before the
+ * measurement portion, then replay against each (size, ways) point.
+ * A COM-side trace from the Smalltalk workloads is swept as well.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trace/cache_sim.hpp"
+
+using namespace com;
+
+namespace {
+
+void
+sweepAndPrint(const char *which, const trace::Trace &t)
+{
+    const std::vector<std::size_t> sizes = {8,   16,  32,   64,  128,
+                                            256, 512, 1024, 2048, 4096};
+    const std::vector<std::size_t> ways_list = {1, 2, 4, 8};
+
+    std::printf("\n%s trace: %zu entries, %zu distinct (opcode, class) "
+                "keys\n",
+                which, t.size(), t.distinctKeys());
+    bench::row({"log2(size)", "size", "1-way", "2-way", "4-way",
+                "8-way"});
+    for (std::size_t size : sizes) {
+        std::vector<std::string> cells;
+        int lg = 0;
+        while ((1u << lg) < size)
+            ++lg;
+        cells.push_back(sim::format("%d", lg));
+        cells.push_back(sim::format("%zu", size));
+        for (std::size_t ways : ways_list) {
+            if (size < ways) {
+                cells.push_back("-");
+                continue;
+            }
+            trace::SweepPoint p = trace::simulateItlb(t, size, ways);
+            cells.push_back(sim::percent(p.hitRatio));
+        }
+        bench::row(cells);
+    }
+
+    // The paper's headline point.
+    trace::SweepPoint headline = trace::simulateItlb(t, 512, 2);
+    std::printf("\n  headline: 512-entry 2-way hit ratio = %s "
+                "(paper: ~99%%)\n",
+                sim::percent(headline.hitRatio).c_str());
+
+    std::printf("\n  2-way curve:\n");
+    for (std::size_t size : sizes) {
+        trace::SweepPoint p = trace::simulateItlb(t, size, 2);
+        bench::asciiCurve(sim::format("%zu entries", size), p.hitRatio);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 10", "ITLB hit ratio vs log2(cache size)");
+
+    trace::Trace fith_trace = bench::fithTrace();
+    sweepAndPrint("Fith", fith_trace);
+
+    trace::Trace com_trace = bench::comTrace();
+    sweepAndPrint("COM (Smalltalk workloads)", com_trace);
+    return 0;
+}

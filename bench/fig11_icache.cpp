@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 11: instruction cache hit ratio vs log2 of cache size.
+ *
+ * Paper: "The hit ratio in the instruction cache is shown in figure 11
+ * for cache sizes varying from 8 to 4096. In this case it appears that
+ * a 2 or 4-way associative cache with 4096 entries is required to
+ * achieve a 99% hit ratio."
+ *
+ * Entries are word-granular instruction addresses (see EXPERIMENTS.md
+ * for the discussion); the same warmup-then-measure replay as
+ * Figure 10.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trace/cache_sim.hpp"
+
+using namespace com;
+
+namespace {
+
+void
+sweepAndPrint(const char *which, const trace::Trace &t)
+{
+    const std::vector<std::size_t> sizes = {8,   16,  32,   64,  128,
+                                            256, 512, 1024, 2048, 4096};
+    const std::vector<std::size_t> ways_list = {1, 2, 4};
+
+    std::printf("\n%s trace: %zu entries, %zu distinct instruction "
+                "addresses\n",
+                which, t.size(), t.distinctAddresses());
+    bench::row({"log2(size)", "size", "1-way", "2-way", "4-way"});
+    for (std::size_t size : sizes) {
+        std::vector<std::string> cells;
+        int lg = 0;
+        while ((1u << lg) < size)
+            ++lg;
+        cells.push_back(sim::format("%d", lg));
+        cells.push_back(sim::format("%zu", size));
+        for (std::size_t ways : ways_list) {
+            if (size < ways) {
+                cells.push_back("-");
+                continue;
+            }
+            trace::SweepPoint p = trace::simulateIcache(t, size, ways);
+            cells.push_back(sim::percent(p.hitRatio));
+        }
+        bench::row(cells);
+    }
+
+    trace::SweepPoint big2 = trace::simulateIcache(t, 4096, 2);
+    trace::SweepPoint big4 = trace::simulateIcache(t, 4096, 4);
+    std::printf("\n  headline: 4096-entry hit ratio, 2-way = %s, "
+                "4-way = %s (paper: ~99%%)\n",
+                sim::percent(big2.hitRatio).c_str(),
+                sim::percent(big4.hitRatio).c_str());
+
+    std::printf("\n  2-way curve:\n");
+    for (std::size_t size : sizes) {
+        trace::SweepPoint p = trace::simulateIcache(t, size, 2);
+        bench::asciiCurve(sim::format("%zu entries", size), p.hitRatio);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "instruction cache hit ratio vs log2(cache size)");
+
+    trace::Trace fith_trace = bench::fithTrace();
+    sweepAndPrint("Fith", fith_trace);
+
+    trace::Trace com_trace = bench::comTrace();
+    sweepAndPrint("COM (Smalltalk workloads)", com_trace);
+    return 0;
+}

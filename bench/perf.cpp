@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulator throughput microbenchmarks (google-benchmark).
+ *
+ * Not a paper experiment: these keep the reproduction honest about its
+ * own performance — the COM interpreter, the Fith interpreter, the
+ * stack VM and the trace-driven cache simulator, in guest operations
+ * per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/machine.hpp"
+#include "fith/fith.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/compiler_stack.hpp"
+#include "lang/stack_vm.hpp"
+#include "lang/workloads.hpp"
+#include "trace/cache_sim.hpp"
+
+using namespace com;
+
+namespace {
+
+void
+BM_ComInterpreter(benchmark::State &state)
+{
+    const lang::Workload &w = lang::workload("sieve");
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    core::Machine m(cfg);
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(w.source);
+
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        core::RunResult r =
+            m.call(p.entryVaddr, m.constants().nilWord(), {});
+        instrs += r.instructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["guest_instrs/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ComInterpreter);
+
+void
+BM_StackVm(benchmark::State &state)
+{
+    const lang::Workload &w = lang::workload("sieve");
+    lang::StackVm vm;
+    lang::StackCompiler sc(vm);
+    lang::StackCompiled p = sc.compileSource(w.source);
+
+    std::uint64_t bytecodes = 0;
+    for (auto _ : state) {
+        lang::SResult r = vm.run(p.entry);
+        bytecodes += r.bytecodes;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["bytecodes/s"] = benchmark::Counter(
+        static_cast<double>(bytecodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StackVm);
+
+void
+BM_FithInterpreter(benchmark::State &state)
+{
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        fith::FithMachine fm;
+        fith::FithResult r = fm.run(
+            ":: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + "
+            "THEN ;\n14 fib drop");
+        steps += r.steps;
+        benchmark::DoNotOptimize(r.ok);
+    }
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FithInterpreter);
+
+void
+BM_TraceCacheSim(benchmark::State &state)
+{
+    static const trace::Trace t = fith::collectSuiteTrace(42, 100'000);
+    std::uint64_t replayed = 0;
+    for (auto _ : state) {
+        trace::SweepPoint p = trace::simulateItlb(
+            t, static_cast<std::size_t>(state.range(0)), 2);
+        benchmark::DoNotOptimize(p.hitRatio);
+        replayed += t.size();
+    }
+    state.counters["entries/s"] = benchmark::Counter(
+        static_cast<double>(replayed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceCacheSim)->Arg(64)->Arg(512)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * T-atlb (Section 3.1): the two-step translation's cost with and
+ * without lookaside buffering.
+ *
+ * Paper: "A virtual address is translated to an absolute address aided
+ * by an address translation lookaside buffer (ATLB)", with the
+ * registers for the current method, current context, next context and
+ * receiver pretranslated. The table sweeps the ATLB size over the
+ * workload suite and reports hit ratio and the share of total cycles
+ * lost to translation stalls — which should be negligible at modest
+ * sizes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace com;
+
+int
+main()
+{
+    bench::banner("T-atlb", "ATLB size sweep (Section 3.1)");
+
+    struct Point
+    {
+        std::size_t sets;
+        std::size_t ways;
+    };
+    const std::vector<Point> points = {
+        {1, 1}, {2, 2}, {8, 2}, {16, 2}, {64, 2}, {256, 2}};
+
+    bench::row({"entries", "org", "hit ratio", "stall cycles",
+                "total cycles", "stall share"},
+               13);
+    for (const Point &pt : points) {
+        std::uint64_t stalls = 0, cycles = 0, hits = 0, lookups = 0;
+        for (const lang::Workload &w : lang::workloads()) {
+            core::MachineConfig cfg;
+            cfg.contextPoolSize = 4096;
+            cfg.atlbSets = pt.sets;
+            cfg.atlbWays = pt.ways;
+            bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
+            if (!run.result.finished)
+                continue;
+            core::Machine &m = *run.machine;
+            stalls += m.pipeline().atlbStalls();
+            cycles += m.pipeline().cycles();
+            hits += m.atlb().stats().counterValue("hits");
+            lookups += m.atlb().stats().counterValue("lookups");
+        }
+        double hr = lookups ? static_cast<double>(hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0;
+        double share = cycles ? static_cast<double>(stalls) /
+                                    static_cast<double>(cycles)
+                              : 0.0;
+        bench::row({sim::format("%zu", pt.sets * pt.ways),
+                    sim::format("%zux%zu", pt.sets, pt.ways),
+                    sim::percent(hr),
+                    sim::format("%llu", (unsigned long long)stalls),
+                    sim::format("%llu", (unsigned long long)cycles),
+                    sim::percent(share, 3)},
+                   13);
+    }
+    std::printf("\n  paper: with the ATLB plus pretranslated "
+                "CP/NCP/IP/receiver registers, naming costs nearly "
+                "nothing; a handful of entries suffices because most "
+                "translations hit the pretranslated registers "
+                "(contexts) or a few hot objects.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * T-cc (Sections 2.3, 3.6): context cache behaviour.
+ *
+ * Paper: "Measurements indicate that most programs rarely exceed a
+ * stack depth of 1024 words or 32 contexts. Thus a context cache of
+ * this modest size would almost never miss." Copy-back keeps part of
+ * the cache free: "when only two blocks are free in the context cache
+ * the cache begins copying the LRU context back".
+ *
+ * Two experiments:
+ *   1. cache-size sweep over the workload suite: return-path miss
+ *      ratio, copy-backs and forced (stalling) evictions per size;
+ *   2. a deep-recursion stress (depth 100 >> 32 blocks) showing the
+ *      copy-back machinery under pressure.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace com;
+
+namespace {
+
+const char *kDeepSource = R"(
+class Deep [
+    down: n [
+        n = 0 ifTrue: [ ^0 ].
+        ^(self down: n - 1) + 1
+    ]
+]
+main [ | d s |
+    d := Deep new.
+    s := 0.
+    20 timesRepeat: [ s := s + (d down: 100) ].
+    ^s
+]
+)";
+
+void
+sweepWorkloads(const std::vector<std::size_t> &sizes)
+{
+    bench::row({"blocks", "returns", "ret misses", "miss ratio",
+                "copybacks", "forced", "allocs"},
+               12);
+    for (std::size_t blocks : sizes) {
+        std::uint64_t returns = 0, misses = 0, hits = 0, copybacks = 0,
+                      forced = 0, allocs = 0;
+        for (const lang::Workload &w : lang::workloads()) {
+            core::MachineConfig cfg;
+            cfg.contextPoolSize = 4096;
+            cfg.ctxCacheBlocks = blocks;
+            bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
+            if (!run.result.finished)
+                continue;
+            core::Machine &m = *run.machine;
+            hits += m.contextCache().returnHits();
+            misses += m.contextCache().returnMisses();
+            returns += m.contextCache().returnHits() +
+                       m.contextCache().returnMisses();
+            copybacks += m.contextCache().copybacks();
+            forced += m.contextCache().forcedEvictions();
+            allocs += m.contextCache().allocations();
+        }
+        double ratio = returns ? static_cast<double>(misses) /
+                                     static_cast<double>(returns)
+                               : 0.0;
+        bench::row({sim::format("%zu", blocks),
+                    sim::format("%llu", (unsigned long long)returns),
+                    sim::format("%llu", (unsigned long long)misses),
+                    sim::percent(ratio, 3),
+                    sim::format("%llu", (unsigned long long)copybacks),
+                    sim::format("%llu", (unsigned long long)forced),
+                    sim::format("%llu", (unsigned long long)allocs)},
+                   12);
+    }
+}
+
+void
+deepStress(const std::vector<std::size_t> &sizes)
+{
+    lang::Workload deep{"deep", "depth-100 recursion", kDeepSource,
+                        2000};
+    // Note: a return into a copied-back caller is usually faulted in
+    // by the result store through arg0 *before* the return proper, so
+    // the cost appears as context-cache stall cycles rather than
+    // return misses — both are shown.
+    bench::row({"blocks", "returns", "ret misses", "ctx stalls",
+                "copybacks", "forced", "CPI"},
+               12);
+    for (std::size_t blocks : sizes) {
+        core::MachineConfig cfg;
+        cfg.contextPoolSize = 4096;
+        cfg.ctxCacheBlocks = blocks;
+        bench::WorkloadRun run = bench::runWorkloadOnCom(deep, cfg);
+        core::Machine &m = *run.machine;
+        std::uint64_t returns = m.contextCache().returnHits() +
+                                m.contextCache().returnMisses();
+        bench::row({sim::format("%zu", blocks),
+                    sim::format("%llu", (unsigned long long)returns),
+                    sim::format("%llu", (unsigned long long)
+                                    m.contextCache().returnMisses()),
+                    sim::format("%llu",
+                                (unsigned long long)
+                                    m.pipeline().contextStalls()),
+                    sim::format("%llu", (unsigned long long)
+                                    m.contextCache().copybacks()),
+                    sim::format("%llu",
+                                (unsigned long long)m.contextCache()
+                                    .forcedEvictions()),
+                    sim::format("%.3f", m.pipeline().cpi())},
+                   12);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("T-cc", "context cache behaviour (Sections 2.3, 3.6)");
+
+    std::printf("\nworkload suite, cache size sweep "
+                "(paper design point: 32 blocks):\n");
+    sweepWorkloads({4, 8, 16, 32, 64});
+
+    std::printf("\ndeep recursion stress (depth 100 > 32 blocks):\n");
+    deepStress({8, 16, 32, 64, 128});
+
+    std::printf("\n  paper: at 32 blocks the cache \"would almost "
+                "never miss\" on typical programs; the deep stress "
+                "shows copy-back absorbing the overflow without "
+                "forced stalls.\n");
+    return 0;
+}

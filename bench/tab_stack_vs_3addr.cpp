@@ -1,0 +1,101 @@
+/**
+ * @file
+ * T-stack (Section 5): three-address COM vs zero-address stack machine.
+ *
+ * Paper: "Stack machines while offering small code size require almost
+ * twice as many instructions to implement a given source language
+ * program than a three address machine. Our initial design studies
+ * indicated that executing a stack machine instruction would take
+ * about the same amount of time as executing a three address
+ * instruction. From this analysis, the three address COM should offer
+ * a significant performance improvement over a stack machine."
+ *
+ * Every Smalltalk workload is compiled by both back ends and executed
+ * on both machines; the table reports dynamic instruction counts, the
+ * stack/COM ratio, and static code sizes (the stack machine should win
+ * on code size — both effects are the paper's claim).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "lang/compiler_stack.hpp"
+#include "lang/stack_vm.hpp"
+
+using namespace com;
+
+int
+main()
+{
+    bench::banner("T-stack",
+                  "stack machine vs three-address COM (Section 5)");
+
+    bench::row({"workload", "COM instrs", "stack instrs", "ratio",
+                "COM bytes", "stack bytes"},
+               13);
+
+    double log_ratio_sum = 0.0;
+    double code_ratio_sum = 0.0;
+    int n = 0;
+
+    for (const lang::Workload &w : lang::workloads()) {
+        // COM side.
+        core::MachineConfig cfg;
+        cfg.contextPoolSize = 4096;
+        core::Machine m(cfg);
+        m.installStandardLibrary();
+        lang::ComCompiler cc(m);
+        lang::CompiledProgram cp = cc.compileSource(w.source);
+        core::RunResult cr =
+            m.call(cp.entryVaddr, m.constants().nilWord(), {});
+        if (!cr.finished) {
+            std::fprintf(stderr, "COM %s: %s\n", w.name.c_str(),
+                         cr.message.c_str());
+            continue;
+        }
+
+        // Stack side.
+        lang::StackVm vm;
+        lang::StackCompiler sc(vm);
+        lang::StackCompiled sp = sc.compileSource(w.source);
+        lang::SResult sr = vm.run(sp.entry);
+        if (!sr.ok) {
+            std::fprintf(stderr, "stack %s: %s\n", w.name.c_str(),
+                         sr.error.c_str());
+            continue;
+        }
+
+        double ratio = static_cast<double>(sr.bytecodes) /
+                       static_cast<double>(cr.instructions);
+        std::size_t com_bytes = cp.instructionsEmitted * 4;
+        log_ratio_sum += std::log(ratio);
+        code_ratio_sum += std::log(static_cast<double>(com_bytes) /
+                                   static_cast<double>(sp.codeBytes));
+        ++n;
+
+        bench::row({w.name,
+                    sim::format("%llu",
+                                (unsigned long long)cr.instructions),
+                    sim::format("%llu",
+                                (unsigned long long)sr.bytecodes),
+                    sim::format("%.2fx", ratio),
+                    sim::format("%zu", com_bytes),
+                    sim::format("%zu", sp.codeBytes)},
+                   13);
+    }
+
+    if (n > 0) {
+        std::printf("\n  geometric mean dynamic ratio "
+                    "(stack / three-address): %.2fx "
+                    "(paper: \"almost twice\")\n",
+                    std::exp(log_ratio_sum / n));
+        std::printf("  geometric mean static code-size ratio in bytes "
+                    "(COM / stack): %.2fx "
+                    "(paper: stack machines offer small code size)\n",
+                    std::exp(code_ratio_sum / n));
+        std::printf("  at equal cycles per instruction (2), the "
+                    "speedup equals the dynamic ratio.\n");
+    }
+    return 0;
+}

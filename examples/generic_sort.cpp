@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The late-binding showcase (paper Section 2.1).
+ *
+ * "In Smalltalk, the quintessential late binding language, it is easy
+ * to define a general sort routine — one which will even work for
+ * lists of datatypes which are not yet defined."
+ *
+ * One quicksort routine orders small integers and user-defined Pair
+ * objects: the `<` in its inner loop is an abstract instruction whose
+ * meaning is resolved per-execution by the ITLB — a primitive
+ * comparison for integers, a method call into Pair's `<` for pairs.
+ * The compiler never knew, and the sort was compiled exactly once.
+ */
+
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+
+using namespace com;
+
+int
+main()
+{
+    core::Machine machine;
+    machine.installStandardLibrary();
+    lang::ComCompiler compiler(machine);
+
+    const lang::Workload &w = lang::workload("sort");
+    std::printf("compiling the polymorphic-sort workload (%zu source "
+                "bytes)...\n",
+                w.source.size());
+    lang::CompiledProgram p = compiler.compileSource(w.source);
+    std::printf("  %zu methods installed, %zu instructions emitted\n",
+                p.methodsInstalled, p.instructionsEmitted);
+
+    core::RunResult r =
+        machine.call(p.entryVaddr, machine.constants().nilWord(), {});
+    std::printf("run: %s\n", r.message.c_str());
+    std::printf("result: %s (2 = both the integer array and the Pair "
+                "array came out ordered)\n",
+                machine.describeWord(machine.lastResult()).c_str());
+
+    // The proof of late binding: the same `<` token resolved to more
+    // than one method during the run.
+    std::printf("\nmethod lookups (ITLB backing store): %llu, of "
+                "which failures: %llu\n",
+                (unsigned long long)machine.methods().lookups(),
+                (unsigned long long)machine.methods().failures());
+    std::printf("ITLB: %llu hits / %llu misses (%.2f%% hit ratio) — "
+                "the late-binding tax the hardware absorbed\n",
+                (unsigned long long)machine.itlb().hits(),
+                (unsigned long long)machine.itlb().misses(),
+                machine.itlb().hitRatio() * 100.0);
+    std::printf("calls executed: %llu (every Pair `<` was a method "
+                "call; every integer `<` stayed one instruction)\n",
+                (unsigned long long)machine.pipeline().calls());
+    return 0;
+}

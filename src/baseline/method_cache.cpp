@@ -1,0 +1,66 @@
+#include "baseline/method_cache.hpp"
+
+#include "cache/itlb.hpp"
+#include "cache/set_assoc.hpp"
+#include "trace/cache_sim.hpp"
+
+namespace com::baseline {
+
+SoftCacheResult
+simulateSoftwareCache(const trace::Trace &t, std::size_t entries,
+                      std::size_t ways, const SoftCacheCost &cost)
+{
+    SoftCacheResult r;
+    r.entries = entries;
+    r.ways = ways;
+    r.dispatches = t.size();
+
+    if (entries == 0) {
+        r.name = "no cache";
+        r.hitRatio = 0.0;
+        r.totalInstructions = t.size() * cost.missInstructions;
+        r.instructionsPerSend =
+            static_cast<double>(cost.missInstructions);
+        return r;
+    }
+
+    trace::SweepPoint p =
+        trace::simulateItlb(t, entries, ways, cache::ReplPolicy::Lru,
+                            /*warmup_fraction=*/0.0);
+    r.hitRatio = p.hitRatio;
+    r.totalInstructions = p.hits * cost.hitInstructions +
+                          p.misses * cost.missInstructions;
+    r.instructionsPerSend =
+        t.size() ? static_cast<double>(r.totalInstructions) /
+                       static_cast<double>(t.size())
+                 : 0.0;
+    return r;
+}
+
+std::vector<SoftCacheResult>
+methodCacheLineup(const trace::Trace &t)
+{
+    std::vector<SoftCacheResult> out;
+
+    out.push_back(simulateSoftwareCache(t, 0, 1));
+
+    SoftCacheResult direct = simulateSoftwareCache(t, 512, 1);
+    direct.name = "direct-mapped software (Smalltalk-80 guide)";
+    out.push_back(direct);
+
+    SoftCacheResult hp = simulateSoftwareCache(t, 512, 2);
+    hp.name = "2-way software (Hewlett-Packard)";
+    out.push_back(hp);
+
+    // The hardware ITLB: association pipelined with execution, so a
+    // hit costs no instructions at all; only misses pay the lookup.
+    SoftCacheCost itlb_cost;
+    itlb_cost.hitInstructions = 0;
+    SoftCacheResult hw = simulateSoftwareCache(t, 512, 2, itlb_cost);
+    hw.name = "hardware ITLB (512-entry 2-way)";
+    out.push_back(hw);
+
+    return out;
+}
+
+} // namespace com::baseline

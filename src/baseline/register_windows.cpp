@@ -1,0 +1,89 @@
+#include "baseline/register_windows.hpp"
+
+namespace com::baseline {
+
+RegisterWindows::RegisterWindows(std::size_t num_windows,
+                                 std::size_t window_words)
+    : numWindows_(num_windows), windowWords_(window_words),
+      stats_("register_windows")
+{
+    stats_.addCounter("calls", &calls_, "procedure calls");
+    stats_.addCounter("returns", &returns_, "procedure returns");
+    stats_.addCounter("overflows", &overflows_, "overflow traps");
+    stats_.addCounter("underflows", &underflows_, "underflow traps");
+    stats_.addCounter("words_spilled", &spilled_,
+                      "words written to memory");
+    stats_.addCounter("words_filled", &filled_,
+                      "words read back from memory");
+    stats_.addCounter("words_cleaned", &cleaned_,
+                      "words cleaned by software on allocation");
+    stats_.addCounter("flushes", &flushes_,
+                      "full flushes (non-LIFO or process switch)");
+}
+
+void
+RegisterWindows::onCall()
+{
+    ++calls_;
+    if (occupied_ == numWindows_) {
+        // Overflow: spill the oldest window.
+        ++overflows_;
+        spilled_ += windowWords_;
+        ++spilledDepth_;
+        --occupied_;
+    }
+    ++occupied_;
+    // No clear-on-allocate hardware: software must initialize the
+    // window before use.
+    cleaned_ += windowWords_;
+}
+
+void
+RegisterWindows::onReturn()
+{
+    ++returns_;
+    if (occupied_ == 0) {
+        // Underflow: fill the caller's window from memory.
+        ++underflows_;
+        if (spilledDepth_ > 0) {
+            filled_ += windowWords_;
+            --spilledDepth_;
+        }
+        return;
+    }
+    --occupied_;
+    if (occupied_ == 0 && spilledDepth_ > 0) {
+        ++underflows_;
+        filled_ += windowWords_;
+        --spilledDepth_;
+        ++occupied_;
+    }
+}
+
+void
+RegisterWindows::flushAll()
+{
+    ++flushes_;
+    spilled_ += occupied_ * windowWords_;
+    spilledDepth_ += occupied_;
+    occupied_ = 0;
+}
+
+void
+RegisterWindows::onNonLifo()
+{
+    // The trap for non-LIFO contexts: the window contents must move to
+    // memory so the context can outlive the stack discipline.
+    flushAll();
+}
+
+void
+RegisterWindows::onProcessSwitch()
+{
+    // Windows are addressed relative to the window pointer, not by
+    // absolute context addresses, so nothing survives a switch.
+    flushAll();
+    spilledDepth_ = 0; // the new process starts with cold windows
+}
+
+} // namespace com::baseline

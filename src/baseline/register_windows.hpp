@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SOAR-style register windows (paper Section 2.3 comparison baseline).
+ *
+ * "Contexts are allocated via the RISC register window scheme with a
+ * trap for non-LIFO contexts" — windows live in a circular on-chip
+ * buffer addressed *relatively* (by window pointer), which gives them
+ * the three weaknesses the context cache removes:
+ *
+ *   1. windows must be contiguous: a non-LIFO context forces a trap
+ *      that flushes the buffer to memory;
+ *   2. window contents are not named by absolute addresses, so a
+ *      process switch invalidates (flushes) every window;
+ *   3. a freshly allocated window holds the previous occupant's data
+ *      and must be cleaned by software.
+ *
+ * The model counts calls, returns, overflow/underflow traps and the
+ * words moved to and from memory, under the same event stream the
+ * ContextCache and C-machine stack cache models consume (see
+ * baseline/stack_cache.hpp and bench/ablation_windows).
+ */
+
+#ifndef COMSIM_BASELINE_REGISTER_WINDOWS_HPP
+#define COMSIM_BASELINE_REGISTER_WINDOWS_HPP
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace com::baseline {
+
+/** The register-window model. */
+class RegisterWindows
+{
+  public:
+    /**
+     * @param num_windows windows in the circular buffer (SOAR: 8)
+     * @param window_words registers per window (32, matching the
+     *        context size)
+     */
+    explicit RegisterWindows(std::size_t num_windows = 8,
+                             std::size_t window_words = 32);
+
+    /** A procedure call: advance; may overflow (spill one window). */
+    void onCall();
+    /** A return: retreat; may underflow (fill one window). */
+    void onReturn();
+    /** A non-LIFO context creation: trap and flush everything. */
+    void onNonLifo();
+    /** A process switch: flush every occupied window. */
+    void onProcessSwitch();
+
+    /** Occupied windows right now. */
+    std::size_t occupied() const { return occupied_; }
+    /** Overflow traps taken. */
+    std::uint64_t overflows() const { return overflows_.value(); }
+    /** Underflow traps taken. */
+    std::uint64_t underflows() const { return underflows_.value(); }
+    /** Total words written to memory (spills + flushes). */
+    std::uint64_t wordsSpilled() const { return spilled_.value(); }
+    /** Total words read back from memory. */
+    std::uint64_t wordsFilled() const { return filled_.value(); }
+    /** Words cleaned by software on allocation (always, by design). */
+    std::uint64_t wordsCleaned() const { return cleaned_.value(); }
+    /** Flush events (non-LIFO + switches). */
+    std::uint64_t flushes() const { return flushes_.value(); }
+
+    /**
+     * Total memory traffic in words: the headline number the
+     * context-cache comparison uses.
+     */
+    std::uint64_t
+    memoryTraffic() const
+    {
+        return spilled_.value() + filled_.value();
+    }
+
+    /** Statistics group ("register_windows"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    void flushAll();
+
+    std::size_t numWindows_;
+    std::size_t windowWords_;
+    std::size_t occupied_ = 0;
+    /** Call depth below the resident windows (spilled frames). */
+    std::uint64_t spilledDepth_ = 0;
+
+    sim::Counter calls_;
+    sim::Counter returns_;
+    sim::Counter overflows_;
+    sim::Counter underflows_;
+    sim::Counter spilled_;
+    sim::Counter filled_;
+    sim::Counter cleaned_;
+    sim::Counter flushes_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::baseline
+
+#endif // COMSIM_BASELINE_REGISTER_WINDOWS_HPP

@@ -1,0 +1,74 @@
+#include "baseline/stack_cache.hpp"
+
+namespace com::baseline {
+
+StackCache::StackCache(std::size_t capacity_words,
+                       std::size_t frame_words)
+    : capacity_(capacity_words), frameWords_(frame_words),
+      stats_("stack_cache")
+{
+    stats_.addCounter("calls", &calls_, "frames pushed");
+    stats_.addCounter("returns", &returns_, "frames popped");
+    stats_.addCounter("words_spilled", &spilled_,
+                      "words written to memory");
+    stats_.addCounter("words_filled", &filled_,
+                      "words read back from memory");
+    stats_.addCounter("words_cleaned", &cleaned_,
+                      "words cleaned by software on allocation");
+    stats_.addCounter("flushes", &flushes_,
+                      "full flushes (non-LIFO or process switch)");
+}
+
+void
+StackCache::onCall()
+{
+    ++calls_;
+    depthWords_ += frameWords_;
+    resident_ += frameWords_;
+    if (resident_ > capacity_) {
+        // Spill the excess from the bottom of the buffer.
+        std::size_t excess = resident_ - capacity_;
+        spilled_ += excess;
+        resident_ = capacity_;
+    }
+    cleaned_ += frameWords_;
+}
+
+void
+StackCache::onReturn()
+{
+    ++returns_;
+    if (depthWords_ < frameWords_)
+        return; // stack empty: ignore
+    depthWords_ -= frameWords_;
+    if (resident_ >= frameWords_) {
+        resident_ -= frameWords_;
+    } else {
+        resident_ = 0;
+    }
+    // If the caller's frame had been spilled, fill it back.
+    if (resident_ < frameWords_ && depthWords_ >= frameWords_) {
+        std::size_t need = frameWords_ - resident_;
+        filled_ += need;
+        resident_ += need;
+    }
+}
+
+void
+StackCache::onNonLifo()
+{
+    ++flushes_;
+    spilled_ += resident_;
+    resident_ = 0;
+}
+
+void
+StackCache::onProcessSwitch()
+{
+    ++flushes_;
+    spilled_ += resident_;
+    resident_ = 0;
+    depthWords_ = 0;
+}
+
+} // namespace com::baseline

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * C-machine-style stack cache (paper Section 2.3 comparison baseline;
+ * Ditzel & McLellan, "Register Allocation for Free").
+ *
+ * The stack cache holds the top of a *contiguous* stack in a circular
+ * word buffer. Frames are pushed and popped; when the buffer fills,
+ * words spill from the bottom; when it drains, words fill back. Like
+ * register windows it cannot represent non-contiguous frames, so
+ * non-LIFO contexts and process switches flush it; unlike the context
+ * cache there is no clear-on-allocate, so frames are cleaned by
+ * software.
+ */
+
+#ifndef COMSIM_BASELINE_STACK_CACHE_HPP
+#define COMSIM_BASELINE_STACK_CACHE_HPP
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+
+namespace com::baseline {
+
+/** The stack-cache model. */
+class StackCache
+{
+  public:
+    /**
+     * @param capacity_words words in the circular buffer
+     *        (the C machine paper's design point: ~1K)
+     * @param frame_words words pushed per call (32: context-sized)
+     */
+    explicit StackCache(std::size_t capacity_words = 1024,
+                        std::size_t frame_words = 32);
+
+    /** Push a frame; spills from the bottom when full. */
+    void onCall();
+    /** Pop a frame; fills from memory when the caller was spilled. */
+    void onReturn();
+    /** Non-LIFO context: flush the buffer. */
+    void onNonLifo();
+    /** Process switch: flush the buffer. */
+    void onProcessSwitch();
+
+    /** Resident words right now. */
+    std::size_t residentWords() const { return resident_; }
+    /** Total words spilled to memory. */
+    std::uint64_t wordsSpilled() const { return spilled_.value(); }
+    /** Total words filled from memory. */
+    std::uint64_t wordsFilled() const { return filled_.value(); }
+    /** Words cleaned by software on frame allocation. */
+    std::uint64_t wordsCleaned() const { return cleaned_.value(); }
+    /** Flush events. */
+    std::uint64_t flushes() const { return flushes_.value(); }
+    /** Total word traffic to and from memory. */
+    std::uint64_t
+    memoryTraffic() const
+    {
+        return spilled_.value() + filled_.value();
+    }
+
+    /** Statistics group ("stack_cache"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t frameWords_;
+    std::size_t resident_ = 0;   ///< words in the buffer
+    std::uint64_t depthWords_ = 0; ///< total stack depth in words
+
+    sim::Counter calls_;
+    sim::Counter returns_;
+    sim::Counter spilled_;
+    sim::Counter filled_;
+    sim::Counter cleaned_;
+    sim::Counter flushes_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::baseline
+
+#endif // COMSIM_BASELINE_STACK_CACHE_HPP

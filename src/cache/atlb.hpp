@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Address translation lookaside buffer (paper Section 3.1).
+ *
+ * "A virtual address is translated to an absolute address aided by an
+ * address translation lookaside buffer (ATLB)." The ATLB caches segment
+ * descriptors keyed by (team space number, segment key), where the
+ * segment key combines the exponent and segment field of a floating
+ * point virtual address.
+ *
+ * Because virtual addresses may be aliased and objects may move in
+ * physical memory, the COM never caches virtual -> physical directly;
+ * the ATLB covers only the naming step. Mapping changes (object growth,
+ * frees) invalidate the affected entry via the segment table's change
+ * listener.
+ */
+
+#ifndef COMSIM_CACHE_ATLB_HPP
+#define COMSIM_CACHE_ATLB_HPP
+
+#include <cstdint>
+
+#include "cache/set_assoc.hpp"
+#include "mem/segment_table.hpp"
+
+namespace com::cache {
+
+/** ATLB lookup key: team space number + segment descriptor key. */
+struct AtlbKey
+{
+    std::uint32_t team;
+    std::uint64_t segKey;
+
+    friend bool
+    operator==(const AtlbKey &a, const AtlbKey &b)
+    {
+        return a.team == b.team && a.segKey == b.segKey;
+    }
+};
+
+/** Mixing hash so sets spread across team and segment bits. */
+struct AtlbKeyHash
+{
+    std::uint64_t
+    operator()(const AtlbKey &k) const
+    {
+        std::uint64_t h = k.segKey * 0x9e3779b97f4a7c15ull;
+        h ^= (static_cast<std::uint64_t>(k.team) + 0x7f4a7c15ull) *
+             0xbf58476d1ce4e5b9ull;
+        return h ^ (h >> 29);
+    }
+};
+
+/**
+ * The ATLB: a set-associative cache of segment descriptors that fronts
+ * a team's SegmentTable. translate() applies the same bounds, growth
+ * and protection checks as the table itself, using the cached
+ * descriptor on a hit.
+ */
+class Atlb
+{
+  public:
+    /**
+     * @param num_sets power-of-two set count
+     * @param ways associativity
+     * @param miss_penalty extra cycles modeled for a table walk
+     */
+    Atlb(std::size_t num_sets, std::size_t ways,
+         std::uint64_t miss_penalty = 4);
+
+    /**
+     * Translate through the ATLB, walking @p table on a miss and
+     * filling. Faulting translations (bounds, growth, protection) are
+     * returned unchanged and never cached.
+     *
+     * @param table the team's segment table (backing store)
+     * @param vaddr floating point virtual address
+     * @param extra_offset additional word index (for at:/at:put:)
+     * @param want_write true for stores
+     * @param[out] latency cycles consumed (0 on hit, missPenalty on
+     *             miss); may be null
+     */
+    mem::XlateResult translate(const mem::SegmentTable &table,
+                               std::uint64_t vaddr,
+                               std::uint64_t extra_offset = 0,
+                               bool want_write = false,
+                               std::uint64_t *latency = nullptr);
+
+    /**
+     * Attach to @p table so growth/free invalidate the matching entry.
+     * Call once per table routed through this ATLB.
+     */
+    void watch(mem::SegmentTable &table);
+
+    /** Drop one entry (mapping change). */
+    void invalidate(std::uint32_t team, std::uint64_t seg_key);
+
+    /** Drop everything (not needed on process switch; see paper 2.3). */
+    void invalidateAll() { cache_.invalidateAll(); }
+
+    /** Hit ratio so far. */
+    double hitRatio() const { return cache_.hitRatio(); }
+    /** Underlying cache statistics. */
+    const sim::StatGroup &stats() const { return cache_.stats(); }
+    /** Reset statistics, keeping contents. */
+    void resetStats() { cache_.resetStats(); }
+    /** Modeled miss penalty in cycles. */
+    std::uint64_t missPenalty() const { return missPenalty_; }
+
+  private:
+    SetAssocCache<AtlbKey, mem::SegmentDescriptor, AtlbKeyHash> cache_;
+    std::uint64_t missPenalty_;
+};
+
+} // namespace com::cache
+
+#endif // COMSIM_CACHE_ATLB_HPP

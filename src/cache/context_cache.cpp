@@ -1,0 +1,373 @@
+#include "cache/context_cache.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::cache {
+
+ContextCache::ContextCache(mem::TaggedMemory &memory,
+                           std::size_t num_blocks,
+                           std::size_t block_words,
+                           std::size_t low_water)
+    : memory_(memory), blockWords_(block_words), lowWater_(low_water),
+      blocks_(num_blocks), stats_("context_cache")
+{
+    sim::fatalIf(num_blocks < 3,
+                 "context cache needs at least current+next+one block");
+    for (auto &b : blocks_)
+        b.data.assign(blockWords_, mem::Word());
+
+    stats_.addCounter("allocations", &allocs_,
+                      "contexts allocated (never faulted in)");
+    stats_.addCounter("clears", &clears_,
+                      "single-cycle block clears on allocation");
+    stats_.addCounter("copybacks", &copybacks_,
+                      "contexts copied back to memory");
+    stats_.addCounter("prefetches", &prefetches_,
+                      "contexts copied back into the cache");
+    stats_.addCounter("return_hits", &returnHits_,
+                      "returns finding the caller resident");
+    stats_.addCounter("return_misses", &returnMisses_,
+                      "returns faulting the caller in");
+    stats_.addCounter("forced_evictions", &forced_,
+                      "allocations that had to stall for an eviction");
+    stats_.addCounter("reads", &reads_, "word reads through the cache");
+    stats_.addCounter("writes", &writes_, "word writes through the cache");
+}
+
+int
+ContextCache::match(mem::AbsAddr abs) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (blocks_[i].valid && blocks_[i].abs == abs)
+            return static_cast<int>(i);
+    return kNone;
+}
+
+int
+ContextCache::firstFree() const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (!blocks_[i].valid)
+            return static_cast<int>(i);
+    return kNone;
+}
+
+int
+ContextCache::lruEvictable() const
+{
+    int victim = kNone;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        int ii = static_cast<int>(i);
+        if (!blocks_[i].valid || ii == current_ || ii == next_)
+            continue;
+        if (victim == kNone ||
+            blocks_[i].stamp < blk(victim).stamp)
+            victim = ii;
+    }
+    return victim;
+}
+
+void
+ContextCache::copyBack(int b)
+{
+    Block &blkref = blk(b);
+    sim::panicIf(!blkref.valid, "copyBack of invalid block");
+    if (blkref.dirty) {
+        for (std::size_t i = 0; i < blockWords_; ++i)
+            memory_.poke(blkref.abs + i, blkref.data[i]);
+    }
+    ++copybacks_;
+    blkref.valid = false;
+    blkref.dirty = false;
+}
+
+std::uint64_t
+ContextCache::allocateNext(mem::AbsAddr abs)
+{
+    std::uint64_t stall = 0;
+    int b = firstFree();
+    if (b == kNone) {
+        // Copy-back did not keep up: stall for a forced eviction.
+        b = lruEvictable();
+        sim::panicIf(b == kNone, "context cache wedged: no evictable "
+                     "block during allocation");
+        copyBack(b);
+        ++forced_;
+        stall = blockWords_; // one write per word to drain the victim
+    }
+    Block &blkref = blk(b);
+    // Special circuitry clears the whole block in a single operation:
+    // the new context is never faulted in and never cleaned by software.
+    blkref.data.assign(blockWords_, mem::Word());
+    blkref.valid = true;
+    blkref.dirty = true;
+    blkref.abs = abs;
+    touch(b);
+    next_ = b;
+    ++allocs_;
+    ++clears_;
+    return stall;
+}
+
+void
+ContextCache::callAdvance()
+{
+    sim::panicIf(next_ == kNone, "callAdvance without a next context");
+    current_ = next_;
+    next_ = kNone;
+    touch(current_);
+}
+
+std::uint64_t
+ContextCache::returnRestore(mem::AbsAddr caller_abs)
+{
+    next_ = current_;
+    if (next_ != kNone)
+        touch(next_);
+
+    int b = match(caller_abs);
+    std::uint64_t stall = 0;
+    if (b != kNone) {
+        ++returnHits_;
+    } else {
+        ++returnMisses_;
+        stall = faultIn(caller_abs, b);
+    }
+    current_ = b;
+    touch(current_);
+    return stall;
+}
+
+void
+ContextCache::discard(mem::AbsAddr abs)
+{
+    int b = match(abs);
+    if (b == kNone)
+        return;
+    Block &blkref = blk(b);
+    blkref.valid = false;
+    blkref.dirty = false;
+    if (current_ == b)
+        current_ = kNone;
+    if (next_ == b)
+        next_ = kNone;
+}
+
+std::uint64_t
+ContextCache::switchTo(mem::AbsAddr current_abs, mem::AbsAddr next_abs)
+{
+    // No invalidation: the directory associates on absolute addresses,
+    // so the old process's contexts simply stay resident.
+    std::uint64_t stall = 0;
+    int cb = match(current_abs);
+    if (cb == kNone)
+        stall += faultIn(current_abs, cb);
+    current_ = cb;
+    touch(cb);
+
+    if (next_abs != 0) {
+        int nb = match(next_abs);
+        if (nb == kNone)
+            stall += faultIn(next_abs, nb);
+        next_ = nb;
+        touch(nb);
+    } else {
+        next_ = kNone;
+    }
+    return stall;
+}
+
+std::uint64_t
+ContextCache::faultIn(mem::AbsAddr abs, int &block_out)
+{
+    std::uint64_t stall = 0;
+    int b = firstFree();
+    if (b == kNone) {
+        b = lruEvictable();
+        sim::panicIf(b == kNone,
+                     "context cache wedged: no evictable block");
+        copyBack(b);
+        stall += blockWords_;
+    }
+    Block &blkref = blk(b);
+    for (std::size_t i = 0; i < blockWords_; ++i)
+        blkref.data[i] = memory_.peek(abs + i);
+    blkref.valid = true;
+    blkref.dirty = false;
+    blkref.abs = abs;
+    touch(b);
+    stall += blockWords_; // one read per word to load the block
+    block_out = b;
+    return stall;
+}
+
+void
+ContextCache::maintain(const std::vector<mem::AbsAddr> &rcp_chain)
+{
+    std::size_t free_count = freeBlocks();
+    if (free_count <= lowWater_) {
+        // Background copy-back of the LRU context; concurrent with
+        // execution so no stall is charged here.
+        int victim = lruEvictable();
+        if (victim != kNone)
+            copyBack(victim);
+        return;
+    }
+    if (free_count > blocks_.size() / 2 && !rcp_chain.empty()) {
+        // More than half free: copy contexts back *into* the cache,
+        // shallowest first, so returns will hit.
+        for (mem::AbsAddr abs : rcp_chain) {
+            if (freeBlocks() <= blocks_.size() / 2)
+                break;
+            if (abs == 0 || match(abs) != kNone)
+                continue;
+            int b = kNone;
+            faultIn(abs, b);
+            ++prefetches_;
+        }
+    }
+}
+
+mem::Word
+ContextCache::read(CtxVia via, std::size_t offset)
+{
+    int b = via == CtxVia::Current ? current_ : next_;
+    sim::panicIf(b == kNone, "context cache read with empty ",
+                 via == CtxVia::Current ? "current" : "next",
+                 " vector");
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    ++reads_;
+    touch(b);
+    return blk(b).data[offset];
+}
+
+void
+ContextCache::write(CtxVia via, std::size_t offset, mem::Word w)
+{
+    int b = via == CtxVia::Current ? current_ : next_;
+    sim::panicIf(b == kNone, "context cache write with empty ",
+                 via == CtxVia::Current ? "current" : "next",
+                 " vector");
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    ++writes_;
+    Block &blkref = blk(b);
+    blkref.data[offset] = w;
+    blkref.dirty = true;
+    touch(b);
+}
+
+mem::Word
+ContextCache::readAbs(mem::AbsAddr abs, std::size_t offset,
+                      std::uint64_t *stall)
+{
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    int b = match(abs);
+    std::uint64_t st = 0;
+    if (b == kNone)
+        st = faultIn(abs, b);
+    if (stall)
+        *stall = st;
+    ++reads_;
+    touch(b);
+    return blk(b).data[offset];
+}
+
+void
+ContextCache::writeAbs(mem::AbsAddr abs, std::size_t offset, mem::Word w,
+                       std::uint64_t *stall)
+{
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    int b = match(abs);
+    std::uint64_t st = 0;
+    if (b == kNone)
+        st = faultIn(abs, b);
+    if (stall)
+        *stall = st;
+    ++writes_;
+    Block &blkref = blk(b);
+    blkref.data[offset] = w;
+    blkref.dirty = true;
+    touch(b);
+}
+
+void
+ContextCache::flushAll()
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].valid && blocks_[i].dirty) {
+            for (std::size_t w = 0; w < blockWords_; ++w)
+                memory_.poke(blocks_[i].abs + w, blocks_[i].data[w]);
+            blocks_[i].dirty = false;
+        }
+    }
+}
+
+mem::AbsAddr
+ContextCache::currentAbs() const
+{
+    return current_ == kNone ? 0 : blk(current_).abs;
+}
+
+mem::AbsAddr
+ContextCache::nextAbs() const
+{
+    return next_ == kNone ? 0 : blk(next_).abs;
+}
+
+std::size_t
+ContextCache::freeBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &b : blocks_)
+        if (!b.valid)
+            ++n;
+    return n;
+}
+
+bool
+ContextCache::isResident(mem::AbsAddr abs) const
+{
+    return match(abs) != kNone;
+}
+
+std::uint64_t
+ContextCache::freeVector() const
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < blocks_.size() && i < 64; ++i)
+        if (!blocks_[i].valid)
+            v |= 1ull << i;
+    return v;
+}
+
+std::uint64_t
+ContextCache::currentVector() const
+{
+    return current_ == kNone ? 0 : 1ull << current_;
+}
+
+std::uint64_t
+ContextCache::nextVector() const
+{
+    return next_ == kNone ? 0 : 1ull << next_;
+}
+
+void
+ContextCache::resetStats()
+{
+    allocs_.reset();
+    clears_.reset();
+    copybacks_.reset();
+    prefetches_.reset();
+    returnHits_.reset();
+    returnMisses_.reset();
+    forced_.reset();
+    reads_.reset();
+    writes_.reset();
+}
+
+} // namespace com::cache

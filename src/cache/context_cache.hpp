@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The context cache (paper Sections 2.3, 3.6, Figure 7).
+ *
+ * A set of 32-word blocks, each able to hold one context, fronted by an
+ * associative directory keyed on *absolute* context addresses and four
+ * access vectors:
+ *
+ *   1. current — singleton set naming the current context's block;
+ *   2. next    — singleton set naming the next context's block;
+ *   3. free    — the set of unused blocks;
+ *   4. match   — singleton set produced by a directory match.
+ *
+ * Current/next accesses bypass the directory entirely (they select the
+ * block straight from the vector plus a 5-bit word address), which is
+ * what lets the cache replace a register file and fetch two operands in
+ * parallel through its dual ports.
+ *
+ * Allocation takes a free block, clears it in one operation (special
+ * circuitry in the memory array) and writes the absolute address into
+ * the directory: a new context is never faulted in, and a recycled one
+ * is never cleaned by software.
+ *
+ * Copy-back (Section 2.3): when only `lowWater` blocks remain free the
+ * cache copies least-recently-used contexts back to memory, concurrently
+ * with execution; when more than half the cache is free, evicted
+ * contexts from the return chain are copied back in.
+ *
+ * Three advantages over register windows / stack caches, all modeled
+ * here and measured in bench/ablation_windows:
+ *   1. blocks need not be contiguous (non-LIFO contexts don't fragment);
+ *   2. associating on absolute addresses means no invalidation on
+ *      process switch;
+ *   3. automatic initialization of new contexts (clear-on-allocate).
+ */
+
+#ifndef COMSIM_CACHE_CONTEXT_CACHE_HPP
+#define COMSIM_CACHE_CONTEXT_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/tagged_memory.hpp"
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::cache {
+
+/** Which access path selects the block. */
+enum class CtxVia : std::uint8_t
+{
+    Current, ///< through the current vector (no directory)
+    Next,    ///< through the next vector (no directory)
+};
+
+/**
+ * The context cache. Functionally it owns the freshest copy of every
+ * context it holds; evictions and explicit flushes write contexts back
+ * to the TaggedMemory backing store.
+ */
+class ContextCache
+{
+  public:
+    /**
+     * @param memory backing store for copy-back and fault-in
+     * @param num_blocks number of context-sized blocks (paper: 32)
+     * @param block_words words per context (paper: 32)
+     * @param low_water start background copy-back when free blocks
+     *        drop to this count (paper: 2)
+     */
+    explicit ContextCache(mem::TaggedMemory &memory,
+                          std::size_t num_blocks = 32,
+                          std::size_t block_words = 32,
+                          std::size_t low_water = 2);
+
+    // ------------------------------------------------------------------
+    // Allocation and control transfer
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocate @p abs as the next context: takes a free block (evicting
+     * the LRU cached context if none is free), clears it in one
+     * operation and enters it into the directory.
+     * @return cycles stalled waiting for an eviction (0 when a free
+     *         block was available — the common, copy-back-hidden case)
+     */
+    std::uint64_t allocateNext(mem::AbsAddr abs);
+
+    /**
+     * Method call: the next vector moves to the current vector. The
+     * caller must then allocateNext() a fresh context.
+     */
+    void callAdvance();
+
+    /**
+     * Method return: the current vector moves back to the next vector
+     * and the directory association for @p caller_abs sets the current
+     * vector, faulting the caller's context in from memory if it was
+     * copied back.
+     * @return cycles stalled faulting the caller context in (0 on a
+     *         directory hit)
+     */
+    std::uint64_t returnRestore(mem::AbsAddr caller_abs);
+
+    /**
+     * Release the block holding @p abs without writing it back (the
+     * context was freed; its contents are dead). No-op if not cached.
+     */
+    void discard(mem::AbsAddr abs);
+
+    /**
+     * Process switch: re-point current/next at other contexts. Because
+     * the directory associates on absolute addresses nothing is
+     * invalidated; contexts of the old process stay cached.
+     * @return stall cycles from faulting either context in
+     */
+    std::uint64_t switchTo(mem::AbsAddr current_abs, mem::AbsAddr next_abs);
+
+    /**
+     * Background maintenance, called once per simulated instruction:
+     * when free blocks are at or below the low-water mark, copy the LRU
+     * context back (concurrently — no stall charged); when more than
+     * half the cache is free, fault in contexts along the @p rcp_chain
+     * (the return path), oldest first.
+     */
+    void maintain(const std::vector<mem::AbsAddr> &rcp_chain = {});
+
+    // ------------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------------
+
+    /** Read a word of the current or next context (no directory). */
+    mem::Word read(CtxVia via, std::size_t offset);
+
+    /** Write a word of the current or next context (no directory). */
+    void write(CtxVia via, std::size_t offset, mem::Word w);
+
+    /**
+     * Read through the directory by absolute address (block may need a
+     * fault-in). Used for non-current context access.
+     * @param[out] stall cycles spent faulting in; may be null
+     */
+    mem::Word readAbs(mem::AbsAddr abs, std::size_t offset,
+                      std::uint64_t *stall = nullptr);
+
+    /** Write through the directory by absolute address. */
+    void writeAbs(mem::AbsAddr abs, std::size_t offset, mem::Word w,
+                  std::uint64_t *stall = nullptr);
+
+    /** Write every dirty cached context back to memory. */
+    void flushAll();
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /** Absolute address of the current context (0 if none). */
+    mem::AbsAddr currentAbs() const;
+    /** Absolute address of the next context (0 if none). */
+    mem::AbsAddr nextAbs() const;
+    /** Number of free blocks. */
+    std::size_t freeBlocks() const;
+    /** True if @p abs is resident. */
+    bool isResident(mem::AbsAddr abs) const;
+    /** Words per block. */
+    std::size_t blockWords() const { return blockWords_; }
+    /** Block count. */
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** The free vector as a bit mask (bit i = block i free). */
+    std::uint64_t freeVector() const;
+    /** The current vector as a bit mask (singleton or empty). */
+    std::uint64_t currentVector() const;
+    /** The next vector as a bit mask (singleton or empty). */
+    std::uint64_t nextVector() const;
+
+    /** Statistics group ("context_cache"). */
+    const sim::StatGroup &stats() const { return stats_; }
+    /** Reset statistics (contents kept). */
+    void resetStats();
+
+    /** Contexts allocated without a fault-in (always, by design). */
+    std::uint64_t allocations() const { return allocs_.value(); }
+    /** Copy-backs performed (background + forced). */
+    std::uint64_t copybacks() const { return copybacks_.value(); }
+    /** Return-path directory misses (caller had been copied back). */
+    std::uint64_t returnMisses() const { return returnMisses_.value(); }
+    /** Return-path directory hits. */
+    std::uint64_t returnHits() const { return returnHits_.value(); }
+    /** Forced (stalling) evictions during allocate. */
+    std::uint64_t forcedEvictions() const { return forced_.value(); }
+
+  private:
+    static constexpr int kNone = -1;
+
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        mem::AbsAddr abs = 0;
+        std::uint64_t stamp = 0; ///< LRU recency
+        std::vector<mem::Word> data;
+    };
+
+    /** Directory match: block index holding @p abs, or kNone. */
+    int match(mem::AbsAddr abs) const;
+    /** First free block, or kNone. */
+    int firstFree() const;
+    /** LRU valid block excluding current/next, or kNone. */
+    int lruEvictable() const;
+    /** Copy block @p b back to memory and mark it free. */
+    void copyBack(int b);
+    /** Load @p abs into a block (evicting if needed). @return stalls. */
+    std::uint64_t faultIn(mem::AbsAddr abs, int &block_out);
+    void touch(int b) { blocks_[static_cast<std::size_t>(b)].stamp = ++tick_; }
+    Block &blk(int b) { return blocks_[static_cast<std::size_t>(b)]; }
+    const Block &blk(int b) const
+    {
+        return blocks_[static_cast<std::size_t>(b)];
+    }
+
+    mem::TaggedMemory &memory_;
+    std::size_t blockWords_;
+    std::size_t lowWater_;
+    std::vector<Block> blocks_;
+    int current_ = kNone;
+    int next_ = kNone;
+    std::uint64_t tick_ = 0;
+
+    sim::Counter allocs_;
+    sim::Counter clears_;
+    sim::Counter copybacks_;
+    sim::Counter prefetches_;
+    sim::Counter returnHits_;
+    sim::Counter returnMisses_;
+    sim::Counter forced_;
+    sim::Counter reads_;
+    sim::Counter writes_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::cache
+
+#endif // COMSIM_CACHE_CONTEXT_CACHE_HPP

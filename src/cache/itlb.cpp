@@ -1,0 +1,23 @@
+#include "cache/itlb.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::cache {
+
+Itlb::Itlb(std::size_t num_sets, std::size_t ways, ReplPolicy policy,
+           std::uint64_t miss_penalty)
+    : cache_(num_sets, ways, policy, "itlb"), missPenalty_(miss_penalty)
+{
+}
+
+Itlb
+Itlb::withEntries(std::size_t entries, std::size_t ways,
+                  ReplPolicy policy, std::uint64_t miss_penalty)
+{
+    sim::fatalIf(ways == 0 || entries % ways != 0,
+                 "ITLB entries (", entries,
+                 ") must be a multiple of ways (", ways, ")");
+    return Itlb(entries / ways, ways, policy, miss_penalty);
+}
+
+} // namespace com::cache

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Instruction translation lookaside buffer (paper Section 2.1, Figure 1).
+ *
+ * The COM's instructions are abstract: the meaning of an opcode depends
+ * on the classes of its operands. The ITLB associates a key — an opcode
+ * together with the set of operand classes — to a method entry holding:
+ *
+ *   1) a primitive bit: whether the method is primitive or defined;
+ *   2) a method field: for primitives it selects a function unit, for
+ *      defined methods it points at the code object.
+ *
+ * On an ITLB miss, an instruction descriptor is pulled in from the
+ * appropriate message dictionary via the standard method lookup — the
+ * step that always occurs in a Smalltalk execution. The decoder (core/)
+ * performs that fill; this class models only the associative mechanism,
+ * so the Section 5 trace experiments can drive it directly.
+ */
+
+#ifndef COMSIM_CACHE_ITLB_HPP
+#define COMSIM_CACHE_ITLB_HPP
+
+#include <cstdint>
+
+#include "cache/set_assoc.hpp"
+#include "mem/word.hpp"
+
+namespace com::cache {
+
+/** ITLB key: opcode plus the (ordered) operand class tuple. */
+struct ItlbKey
+{
+    std::uint32_t opcode = 0;
+    mem::ClassId classA = 0;
+    mem::ClassId classB = 0;
+    mem::ClassId classC = 0;
+
+    friend bool
+    operator==(const ItlbKey &a, const ItlbKey &b)
+    {
+        return a.opcode == b.opcode && a.classA == b.classA &&
+               a.classB == b.classB && a.classC == b.classC;
+    }
+};
+
+/** Mixing hash over all key fields. */
+struct ItlbKeyHash
+{
+    std::uint64_t
+    operator()(const ItlbKey &k) const
+    {
+        std::uint64_t h = k.opcode;
+        h = h * 0x100000001b3ull ^ k.classA;
+        h = h * 0x100000001b3ull ^ k.classB;
+        h = h * 0x100000001b3ull ^ k.classC;
+        h *= 0x9e3779b97f4a7c15ull;
+        return h ^ (h >> 31);
+    }
+};
+
+/**
+ * One resolved method: the value side of an ITLB entry.
+ *
+ * For primitive methods, functionUnit selects the hardware data path
+ * (an index into the machine's primitive dispatch table). For defined
+ * methods, methodVaddr names the code object to call and argWords is
+ * the number of operand words the call sequence copies into the new
+ * context.
+ */
+struct MethodEntry
+{
+    bool primitive = false;
+    std::uint32_t functionUnit = 0;  ///< valid when primitive
+    std::uint64_t methodVaddr = 0;   ///< valid when !primitive
+    std::uint8_t argWords = 0;       ///< operand words copied on call
+
+    friend bool
+    operator==(const MethodEntry &a, const MethodEntry &b)
+    {
+        return a.primitive == b.primitive &&
+               a.functionUnit == b.functionUnit &&
+               a.methodVaddr == b.methodVaddr && a.argWords == b.argWords;
+    }
+};
+
+/**
+ * The ITLB proper: a set-associative cache from ItlbKey to MethodEntry.
+ *
+ * A thin wrapper over SetAssocCache that fixes the key/value types and
+ * carries the modeled miss penalty (the cost of a full method lookup,
+ * which Section 2.1 notes is "quite costly" in software).
+ */
+class Itlb
+{
+  public:
+    /**
+     * @param num_sets power-of-two set count
+     * @param ways associativity
+     * @param policy replacement policy
+     * @param miss_penalty cycles modeled for the dictionary lookup on
+     *        a miss
+     */
+    Itlb(std::size_t num_sets, std::size_t ways,
+         ReplPolicy policy = ReplPolicy::Lru,
+         std::uint64_t miss_penalty = 24);
+
+    /** Convenience: build with total @p entries split across @p ways. */
+    static Itlb withEntries(std::size_t entries, std::size_t ways,
+                            ReplPolicy policy = ReplPolicy::Lru,
+                            std::uint64_t miss_penalty = 24);
+
+    /** Probe for @p key; nullptr on miss. Updates statistics. */
+    MethodEntry *lookup(const ItlbKey &key) { return cache_.lookup(key); }
+
+    /** Fill after a dictionary lookup. */
+    void
+    fill(const ItlbKey &key, const MethodEntry &entry)
+    {
+        cache_.insert(key, entry);
+    }
+
+    /** Remove entries (e.g. a method was redefined). */
+    void invalidateAll() { cache_.invalidateAll(); }
+
+    /** Hit ratio so far. */
+    double hitRatio() const { return cache_.hitRatio(); }
+    /** Hits so far. */
+    std::uint64_t hits() const { return cache_.hits(); }
+    /** Misses so far. */
+    std::uint64_t misses() const { return cache_.misses(); }
+    /** Reset statistics, keep contents (warmup support). */
+    void resetStats() { cache_.resetStats(); }
+    /** Total entry capacity. */
+    std::size_t capacity() const { return cache_.capacity(); }
+    /** Modeled miss penalty in cycles. */
+    std::uint64_t missPenalty() const { return missPenalty_; }
+    /** Statistics group ("itlb"). */
+    const sim::StatGroup &stats() const { return cache_.stats(); }
+
+  private:
+    SetAssocCache<ItlbKey, MethodEntry, ItlbKeyHash> cache_;
+    std::uint64_t missPenalty_;
+};
+
+} // namespace com::cache
+
+#endif // COMSIM_CACHE_ITLB_HPP

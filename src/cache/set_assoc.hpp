@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Generic set-associative cache model.
+ *
+ * Used throughout comsim wherever the paper deploys an associative
+ * memory: the instruction translation lookaside buffer (Section 2.1), the
+ * address translation lookaside buffer (Section 3.1), the instruction
+ * cache (Section 3.6), levels of the absolute->physical hierarchy
+ * (Section 3.1), and the context cache directory (Figure 7).
+ *
+ * The model is a presence/recency/statistics structure; the data payload
+ * is an arbitrary Value type supplied by the client.
+ */
+
+#ifndef COMSIM_CACHE_SET_ASSOC_HPP
+#define COMSIM_CACHE_SET_ASSOC_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace com::cache {
+
+/** Victim selection policy. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,    ///< least recently used
+    Fifo,   ///< oldest insertion
+    Random, ///< uniform random way
+};
+
+/** @return printable policy name. */
+inline const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "lru";
+      case ReplPolicy::Fifo: return "fifo";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+/**
+ * A set-associative cache of Key -> Value with configurable replacement.
+ *
+ * The number of sets must be a power of two. Set selection uses
+ * SetHash(key) & (sets-1); for integer keys the default hash is the
+ * identity, giving the conventional low-bits indexing (so a direct-mapped
+ * instruction cache behaves like real hardware, conflict misses
+ * included).
+ *
+ * @tparam Key entry identity (must be equality comparable)
+ * @tparam Value payload stored per entry
+ * @tparam SetHash functor mapping Key -> uint64 for set selection
+ */
+template <typename Key, typename Value, typename SetHash = std::hash<Key>>
+class SetAssocCache
+{
+  public:
+    /** An evicted entry returned from insert(). */
+    struct Evicted
+    {
+        Key key;
+        Value value;
+    };
+
+    /**
+     * @param num_sets power-of-two set count
+     * @param ways associativity (>=1)
+     * @param policy victim selection policy
+     * @param name statistics group name
+     * @param seed RNG seed for ReplPolicy::Random
+     */
+    SetAssocCache(std::size_t num_sets, std::size_t ways,
+                  ReplPolicy policy, const std::string &name = "cache",
+                  std::uint64_t seed = 1)
+        : numSets_(num_sets), ways_(ways), policy_(policy),
+          sets_(num_sets), rng_(seed), stats_(name)
+    {
+        sim::fatalIf(num_sets == 0 || (num_sets & (num_sets - 1)) != 0,
+                     "cache set count must be a power of two, got ",
+                     num_sets);
+        sim::fatalIf(ways == 0, "cache must have at least one way");
+        for (auto &s : sets_)
+            s.reserve(ways);
+        stats_.addCounter("hits", &hits_, "lookups that hit");
+        stats_.addCounter("misses", &misses_, "lookups that missed");
+        stats_.addCounter("evictions", &evictions_,
+                          "entries evicted by fills");
+        stats_.addCounter("invalidations", &invalidations_,
+                          "entries removed by invalidate");
+        stats_.addRatio("hit_ratio", &hits_, &lookups_,
+                        "hits / lookups");
+        stats_.addCounter("lookups", &lookups_, "total lookups");
+    }
+
+    /** Total entry capacity (sets x ways). */
+    std::size_t capacity() const { return numSets_ * ways_; }
+    /** Number of sets. */
+    std::size_t numSets() const { return numSets_; }
+    /** Associativity. */
+    std::size_t ways() const { return ways_; }
+
+    /**
+     * Look up @p key; on a hit the entry's recency is refreshed and a
+     * pointer to its value is returned (valid until the next mutation).
+     * On a miss returns nullptr. Hit/miss statistics are updated.
+     */
+    Value *
+    lookup(const Key &key)
+    {
+        ++lookups_;
+        auto &set = setFor(key);
+        for (auto &e : set) {
+            if (e.key == key) {
+                ++hits_;
+                if (policy_ == ReplPolicy::Lru)
+                    e.stamp = ++tick_;
+                return &e.value;
+            }
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /** Non-statistical, non-recency probe (diagnostics only). */
+    const Value *
+    probe(const Key &key) const
+    {
+        const auto &set = sets_[setIndex(key)];
+        for (const auto &e : set)
+            if (e.key == key)
+                return &e.value;
+        return nullptr;
+    }
+
+    /**
+     * Insert @p key -> @p value (replacing any entry with the same key).
+     * @return the victim entry if an eviction was necessary
+     */
+    std::optional<Evicted>
+    insert(const Key &key, Value value)
+    {
+        auto &set = setFor(key);
+        for (auto &e : set) {
+            if (e.key == key) {
+                e.value = std::move(value);
+                e.stamp = ++tick_;
+                return std::nullopt;
+            }
+        }
+        if (set.size() < ways_) {
+            set.push_back(Entry{key, std::move(value), ++tick_});
+            return std::nullopt;
+        }
+        // Choose a victim.
+        std::size_t victim = 0;
+        switch (policy_) {
+          case ReplPolicy::Lru:
+          case ReplPolicy::Fifo:
+            for (std::size_t i = 1; i < set.size(); ++i)
+                if (set[i].stamp < set[victim].stamp)
+                    victim = i;
+            break;
+          case ReplPolicy::Random:
+            victim = static_cast<std::size_t>(rng_.below(set.size()));
+            break;
+        }
+        ++evictions_;
+        Evicted out{set[victim].key, std::move(set[victim].value)};
+        set[victim] = Entry{key, std::move(value), ++tick_};
+        return out;
+    }
+
+    /** Remove @p key if present. @return true if removed. */
+    bool
+    erase(const Key &key)
+    {
+        auto &set = setFor(key);
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].key == key) {
+                set.erase(set.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+                ++invalidations_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop every entry. */
+    void
+    invalidateAll()
+    {
+        for (auto &s : sets_) {
+            invalidations_ += s.size();
+            s.clear();
+        }
+    }
+
+    /** Number of valid entries across all sets. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : sets_)
+            n += s.size();
+        return n;
+    }
+
+    /** Hits so far. */
+    std::uint64_t hits() const { return hits_.value(); }
+    /** Misses so far. */
+    std::uint64_t misses() const { return misses_.value(); }
+    /** Hit ratio over all lookups (0 when no lookups). */
+    double
+    hitRatio() const
+    {
+        std::uint64_t total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(hits_.value()) / total : 0.0;
+    }
+
+    /** Reset statistics but keep contents (for warmup-then-measure). */
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+        evictions_.reset();
+        invalidations_.reset();
+        lookups_.reset();
+    }
+
+    /** Statistics group. */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Key key;
+        Value value;
+        std::uint64_t stamp;
+    };
+
+    std::size_t
+    setIndex(const Key &key) const
+    {
+        return static_cast<std::size_t>(SetHash{}(key)) & (numSets_ - 1);
+    }
+
+    std::vector<Entry> &setFor(const Key &key)
+    {
+        return sets_[setIndex(key)];
+    }
+
+    std::size_t numSets_;
+    std::size_t ways_;
+    ReplPolicy policy_;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t tick_ = 0;
+    sim::Rng rng_;
+
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter evictions_;
+    sim::Counter invalidations_;
+    sim::Counter lookups_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::cache
+
+#endif // COMSIM_CACHE_SET_ASSOC_HPP

@@ -1,0 +1,307 @@
+#include "core/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "sim/strutil.hpp"
+
+namespace com::core {
+
+namespace {
+
+/** A parsed line before label resolution. */
+struct PendingInstr
+{
+    std::string mnemonic;
+    bool ret = false;
+    std::vector<std::string> operands;
+    int line = 0;
+};
+
+/** @return the Op for a base mnemonic, if it names one. */
+std::optional<Op>
+opForMnemonic(const std::string &m)
+{
+    for (unsigned t = 0; t < static_cast<unsigned>(Op::kFirstUserOp);
+         ++t) {
+        Op op = static_cast<Op>(t);
+        if (m == opName(op))
+            return op;
+    }
+    return std::nullopt;
+}
+
+/** Split a line into comma-separated operand fields. */
+std::vector<std::string>
+splitOperands(std::string_view rest)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_string = false;
+    for (char ch : rest) {
+        if (ch == '"')
+            in_string = !in_string;
+        if (ch == ',' && !in_string) {
+            std::string t(sim::trim(cur));
+            if (!t.empty())
+                out.push_back(t);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    std::string t(sim::trim(cur));
+    if (!t.empty())
+        out.push_back(t);
+    return out;
+}
+
+} // namespace
+
+std::vector<Instr>
+Assembler::assemble(const std::string &source)
+{
+    // Pass 1: strip comments, collect labels and pending instructions.
+    std::map<std::string, std::size_t> labels;
+    std::vector<PendingInstr> pending;
+
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        std::size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        std::string line = source.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+
+        std::size_t sc = line.find(';');
+        if (sc != std::string::npos)
+            line = line.substr(0, sc);
+        std::string trimmed(sim::trim(line));
+        if (trimmed.empty())
+            continue;
+
+        // Labels (possibly several per line, then an instruction).
+        while (true) {
+            std::size_t colon = trimmed.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string head(sim::trim(trimmed.substr(0, colon)));
+            bool is_label = !head.empty();
+            for (char ch : head)
+                if (!std::isalnum(static_cast<unsigned char>(ch)) &&
+                    ch != '_')
+                    is_label = false;
+            // Keyword selectors inside quotes also contain ':'; only
+            // treat a leading bare identifier as a label.
+            if (!is_label || head.find('"') != std::string::npos)
+                break;
+            sim::fatalIf(labels.count(head) != 0, "asm line ", line_no,
+                         ": duplicate label '", head, "'");
+            labels[head] = pending.size();
+            trimmed = std::string(sim::trim(trimmed.substr(colon + 1)));
+            if (trimmed.empty())
+                break;
+        }
+        if (trimmed.empty())
+            continue;
+
+        PendingInstr pi;
+        pi.line = line_no;
+        std::size_t sp = trimmed.find_first_of(" \t");
+        pi.mnemonic = trimmed.substr(0, sp);
+        if (sp != std::string::npos)
+            pi.operands = splitOperands(
+                std::string_view(trimmed).substr(sp + 1));
+        if (pi.mnemonic.size() > 2 &&
+            pi.mnemonic.substr(pi.mnemonic.size() - 2) == ".r") {
+            pi.ret = true;
+            pi.mnemonic = pi.mnemonic.substr(0, pi.mnemonic.size() - 2);
+        }
+        pending.push_back(std::move(pi));
+    }
+
+    // Pass 2: encode.
+    auto parseOperand = [&](const std::string &text,
+                            int line) -> Operand {
+        sim::fatalIf(text.empty(), "asm line ", line, ": empty operand");
+        if (text[0] == 'c' || text[0] == 'n') {
+            char *end = nullptr;
+            long idx = std::strtol(text.c_str() + 1, &end, 10);
+            sim::fatalIf(*end != '\0' || idx < 0 || idx >= 32,
+                         "asm line ", line, ": bad context operand '",
+                         text, "'");
+            return text[0] == 'c'
+                       ? Operand::cur(static_cast<std::uint8_t>(idx))
+                       : Operand::next(static_cast<std::uint8_t>(idx));
+        }
+        if (text[0] == '#') {
+            long idx = std::strtol(text.c_str() + 1, nullptr, 10);
+            sim::fatalIf(idx < 0 || idx >= 128, "asm line ", line,
+                         ": bad constant index '", text, "'");
+            return Operand::cons(static_cast<std::uint8_t>(idx));
+        }
+        if (text[0] == '=') {
+            std::string lit = text.substr(1);
+            mem::Word w;
+            if (lit == "true") {
+                w = machine_.constants().trueWord();
+            } else if (lit == "false") {
+                w = machine_.constants().falseWord();
+            } else if (lit == "nil") {
+                w = machine_.constants().nilWord();
+            } else if (lit.size() > 1 && lit[0] == '#') {
+                w = mem::Word::fromAtom(
+                    machine_.selectors().intern(lit.substr(1)));
+            } else if (lit.find('.') != std::string::npos) {
+                w = mem::Word::fromFloat(std::strtof(lit.c_str(),
+                                                     nullptr));
+            } else {
+                char *end = nullptr;
+                long v = std::strtol(lit.c_str(), &end, 0);
+                sim::fatalIf(*end != '\0', "asm line ", line,
+                             ": bad literal '", text, "'");
+                w = mem::Word::fromInt(static_cast<std::int32_t>(v));
+            }
+            return Operand::cons(machine_.constants().intern(w));
+        }
+        sim::fatal("asm line ", line, ": unparseable operand '", text,
+                   "'");
+    };
+
+    auto labelTarget = [&](const std::string &text,
+                           int line) -> std::size_t {
+        sim::fatalIf(text.empty() || text[0] != '@', "asm line ", line,
+                     ": expected @label, got '", text, "'");
+        auto it = labels.find(text.substr(1));
+        sim::fatalIf(it == labels.end(), "asm line ", line,
+                     ": unknown label '", text, "'");
+        return it->second;
+    };
+
+    auto quoted = [&](const std::string &text, int line) -> std::string {
+        sim::fatalIf(text.size() < 2 || text.front() != '"' ||
+                     text.back() != '"',
+                     "asm line ", line, ": expected \"selector\"");
+        return text.substr(1, text.size() - 2);
+    };
+
+    std::vector<Instr> code;
+    for (std::size_t pc = 0; pc < pending.size(); ++pc) {
+        const PendingInstr &pi = pending[pc];
+        const auto &ops = pi.operands;
+        const int ln = pi.line;
+        const std::string &m = pi.mnemonic;
+
+        auto emitJump = [&](Op fwd, Op rev, const Operand &cond,
+                            std::size_t target) {
+            // Offsets are relative to the instruction after the jump.
+            std::int64_t delta = static_cast<std::int64_t>(target) -
+                                 static_cast<std::int64_t>(pc) - 1;
+            Op op = delta >= 0 ? fwd : rev;
+            std::int64_t mag = delta >= 0 ? delta : -delta;
+            Operand off = Operand::cons(machine_.constants().intern(
+                mem::Word::fromInt(static_cast<std::int32_t>(mag))));
+            code.push_back(Instr::make(op, cond, Operand::cur(0), off,
+                                       pi.ret));
+        };
+
+        if (m == "jmp") {
+            sim::fatalIf(ops.size() != 1, "asm line ", ln,
+                         ": jmp takes @label");
+            Operand cond = Operand::cons(kConstTrue);
+            emitJump(Op::Fjmp, Op::Rjmp, cond, labelTarget(ops[0], ln));
+            continue;
+        }
+        if (m == "jt" || m == "jf") {
+            sim::fatalIf(ops.size() != 2, "asm line ", ln, ": ", m,
+                         " takes cond, @label");
+            Operand cond = parseOperand(ops[0], ln);
+            if (m == "jt")
+                emitJump(Op::Fjmp, Op::Rjmp, cond,
+                         labelTarget(ops[1], ln));
+            else
+                emitJump(Op::FjmpF, Op::RjmpF, cond,
+                         labelTarget(ops[1], ln));
+            continue;
+        }
+        if (m == "send") {
+            sim::fatalIf(ops.size() != 2, "asm line ", ln,
+                         ": send takes \"selector\", count");
+            std::string sel = quoted(ops[0], ln);
+            long count = std::strtol(ops[1].c_str(), nullptr, 10);
+            sim::fatalIf(count < 0 || count > 2, "asm line ", ln,
+                         ": implicit count must be 0..2");
+            std::uint32_t sid = machine_.selectors().intern(sel);
+            code.push_back(Instr::makeSend(
+                sid, static_cast<std::uint8_t>(count), pi.ret));
+            continue;
+        }
+        if (m == "msg") {
+            sim::fatalIf(ops.size() != 4, "asm line ", ln,
+                         ": msg takes \"selector\", A, B, C");
+            std::string sel = quoted(ops[0], ln);
+            Op op = machine_.assignOpcode(sel);
+            sim::fatalIf(op == Op::kExtendedOp, "asm line ", ln,
+                         ": opcode token space full for '", sel, "'");
+            code.push_back(Instr::make(op, parseOperand(ops[1], ln),
+                                       parseOperand(ops[2], ln),
+                                       parseOperand(ops[3], ln),
+                                       pi.ret));
+            continue;
+        }
+
+        std::optional<Op> op = opForMnemonic(m);
+        sim::fatalIf(!op, "asm line ", ln, ": unknown mnemonic '", m,
+                     "'");
+        Operand a = Operand::cur(0), b = Operand::cur(0),
+                c = Operand::cur(0);
+        if (ops.size() >= 1)
+            a = parseOperand(ops[0], ln);
+        if (ops.size() >= 2)
+            b = parseOperand(ops[1], ln);
+        if (ops.size() >= 3)
+            c = parseOperand(ops[2], ln);
+        sim::fatalIf(ops.size() > 3, "asm line ", ln,
+                     ": too many operands");
+        code.push_back(Instr::make(*op, a, b, c, pi.ret));
+    }
+    return code;
+}
+
+std::uint64_t
+Assembler::assembleMethod(mem::ClassId cls, const std::string &selector,
+                          const std::string &source)
+{
+    return machine_.installMethod(cls, selector, assemble(source));
+}
+
+std::string
+Assembler::disassemble(const Instr &instr)
+{
+    auto operand = [](const Operand &o) -> std::string {
+        switch (o.mode) {
+          case Mode::CtxCur:
+            return sim::format("c%u", o.index);
+          case Mode::CtxNext:
+            return sim::format("n%u", o.index);
+          case Mode::Const:
+            return sim::format("#%u", o.index);
+        }
+        return "?";
+    };
+    if (instr.extended)
+        return sim::format("send sel=%u count=%u%s", instr.extSelector,
+                           instr.implicitCount,
+                           instr.ret ? " .r" : "");
+    return sim::format("%s%s %s, %s, %s", opName(instr.op),
+                       instr.ret ? ".r" : "",
+                       operand(instr.a).c_str(),
+                       operand(instr.b).c_str(),
+                       operand(instr.c).c_str());
+}
+
+} // namespace com::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A textual assembler for COM code.
+ *
+ * Exists for tests, examples and the Smalltalk compiler's debug output;
+ * the COM itself only ever sees encoded 32-bit instruction words.
+ *
+ * Syntax (one instruction per line, ';' comments):
+ *
+ *     label:
+ *         move   c4, c1          ; current-context word 4 <- word 1
+ *         add    c5, c4, =1      ; '=' literals intern into the
+ *         lt     c6, c5, =10     ;   constant table (ints, floats,
+ *         jt     c6, @loop       ;   =true =false =nil =#atom)
+ *         jf     c6, @done
+ *         jmp    @loop           ; pseudo-ops select fjmp/rjmp
+ *         msg    "min:", c4, c1, c2   ; user-selector 3-address send
+ *         send   "run", 1        ; extended send, 1 implicit operand
+ *         putres.r c2, c4        ; '.r' sets the return bit
+ *
+ * Operands: cN = current context word N, nN = next context word N,
+ * #K = raw constant index, =lit = interned literal, @label = branch
+ * target (pseudo-ops only).
+ */
+
+#ifndef COMSIM_CORE_ASSEMBLER_HPP
+#define COMSIM_CORE_ASSEMBLER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/isa.hpp"
+#include "core/machine.hpp"
+
+namespace com::core {
+
+/** Two-pass assembler over a Machine (for constants and selectors). */
+class Assembler
+{
+  public:
+    explicit Assembler(Machine &machine) : machine_(machine) {}
+
+    /**
+     * Assemble @p source into instructions. Literals are interned into
+     * the machine's constant table; "msg" selectors are assigned
+     * opcode tokens. fatal()s on syntax errors with line numbers.
+     */
+    std::vector<Instr> assemble(const std::string &source);
+
+    /** Assemble and install as (@p cls, @p selector). @return vaddr. */
+    std::uint64_t assembleMethod(mem::ClassId cls,
+                                 const std::string &selector,
+                                 const std::string &source);
+
+    /** Disassemble one instruction for diagnostics. */
+    static std::string disassemble(const Instr &instr);
+
+  private:
+    Machine &machine_;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_ASSEMBLER_HPP

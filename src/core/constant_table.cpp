@@ -1,0 +1,38 @@
+#include "core/constant_table.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::core {
+
+ConstantTable::ConstantTable(obj::SelectorTable &selectors)
+{
+    nilAtom_ = selectors.intern("nil");
+    trueAtom_ = selectors.intern("true");
+    falseAtom_ = selectors.intern("false");
+    entries_.push_back(mem::Word::fromAtom(nilAtom_));
+    entries_.push_back(mem::Word::fromAtom(trueAtom_));
+    entries_.push_back(mem::Word::fromAtom(falseAtom_));
+}
+
+std::uint8_t
+ConstantTable::intern(mem::Word w)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i] == w)
+            return static_cast<std::uint8_t>(i);
+    sim::fatalIf(entries_.size() >= kMaxEntries,
+                 "constant table full (", kMaxEntries, " entries)");
+    entries_.push_back(w);
+    return static_cast<std::uint8_t>(entries_.size() - 1);
+}
+
+mem::Word
+ConstantTable::at(std::uint8_t index) const
+{
+    sim::panicIf(index >= entries_.size(),
+                 "constant index ", static_cast<int>(index),
+                 " out of range");
+    return entries_[index];
+}
+
+} // namespace com::core

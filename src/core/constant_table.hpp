@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The constant table (paper Section 3.4).
+ *
+ * "The constant mode can only be used in the last operand descriptor of
+ * an instruction. ... The remaining bits index a constant table which
+ * can be used to hold frequently referenced constants including short
+ * integers, bit fields for byte insertion and the objects true, false,
+ * and nil."
+ *
+ * The table is a small processor-local store (the "constant generator"
+ * of Figure 5): reads cost no memory access. Entries 0..2 are fixed as
+ * nil, true and false. The assembler and compiler intern constants here
+ * with deduplication; the 7-bit descriptor field caps the table at 128
+ * entries.
+ */
+
+#ifndef COMSIM_CORE_CONSTANT_TABLE_HPP
+#define COMSIM_CORE_CONSTANT_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/word.hpp"
+#include "obj/selector_table.hpp"
+
+namespace com::core {
+
+/** Fixed constant indices. */
+enum : std::uint8_t
+{
+    kConstNil = 0,
+    kConstTrue = 1,
+    kConstFalse = 2,
+};
+
+/** The per-machine constant table. */
+class ConstantTable
+{
+  public:
+    /** Interns nil/true/false atoms through @p selectors. */
+    explicit ConstantTable(obj::SelectorTable &selectors);
+
+    /** Maximum entries expressible by the 7-bit constant index. */
+    static constexpr std::size_t kMaxEntries = 128;
+
+    /**
+     * Intern @p w, returning its index; reuses an existing identical
+     * entry. fatal()s when the table is full.
+     */
+    std::uint8_t intern(mem::Word w);
+
+    /** Read entry @p index. */
+    mem::Word at(std::uint8_t index) const;
+
+    /** Number of live entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** The atom id of 'nil'. */
+    std::uint32_t nilAtom() const { return nilAtom_; }
+    /** The atom id of 'true'. */
+    std::uint32_t trueAtom() const { return trueAtom_; }
+    /** The atom id of 'false'. */
+    std::uint32_t falseAtom() const { return falseAtom_; }
+
+    /** The word for true. */
+    mem::Word trueWord() const { return mem::Word::fromAtom(trueAtom_); }
+    /** The word for false. */
+    mem::Word falseWord() const
+    {
+        return mem::Word::fromAtom(falseAtom_);
+    }
+    /** The word for nil. */
+    mem::Word nilWord() const { return mem::Word::fromAtom(nilAtom_); }
+
+    /** Boolean word helper. */
+    mem::Word
+    boolWord(bool b) const
+    {
+        return b ? trueWord() : falseWord();
+    }
+
+    /** All entries (GC root scanning). */
+    const std::vector<mem::Word> &entries() const { return entries_; }
+
+  private:
+    std::vector<mem::Word> entries_;
+    std::uint32_t nilAtom_;
+    std::uint32_t trueAtom_;
+    std::uint32_t falseAtom_;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_CONSTANT_TABLE_HPP

@@ -1,0 +1,212 @@
+#include "core/isa.hpp"
+
+namespace com::core {
+
+namespace {
+
+/** Encode one operand descriptor to 8 bits. */
+std::uint8_t
+encodeOperand(const Operand &o)
+{
+    switch (o.mode) {
+      case Mode::CtxCur:
+        return o.index & 0x3f;
+      case Mode::CtxNext:
+        return 0x40 | (o.index & 0x3f);
+      case Mode::Const:
+        return 0x80 | (o.index & 0x7f);
+    }
+    sim::panic("bad operand mode");
+}
+
+/** Decode one 8-bit operand descriptor. */
+Operand
+decodeOperand(std::uint8_t bits)
+{
+    Operand o;
+    if (bits & 0x80) {
+        o.mode = Mode::Const;
+        o.index = bits & 0x7f;
+    } else {
+        o.mode = (bits & 0x40) ? Mode::CtxNext : Mode::CtxCur;
+        o.index = bits & 0x3f;
+    }
+    return o;
+}
+
+} // namespace
+
+std::uint32_t
+Instr::encode() const
+{
+    std::uint32_t w = 0;
+    if (ret)
+        w |= 0x80000000u;
+    if (extended) {
+        w |= static_cast<std::uint32_t>(Op::kExtendedOp) << 24;
+        sim::panicIf(implicitCount > 2,
+                     "extended implicit count must be 0..2");
+        sim::panicIf(extSelector >= (1u << 22),
+                     "extended selector token overflows 22 bits");
+        w |= static_cast<std::uint32_t>(implicitCount) << 22;
+        w |= extSelector;
+        return w;
+    }
+    sim::panicIf(static_cast<unsigned>(op) >= 127,
+                 "opcode token out of range");
+    w |= static_cast<std::uint32_t>(op) << 24;
+    w |= static_cast<std::uint32_t>(encodeOperand(a)) << 16;
+    w |= static_cast<std::uint32_t>(encodeOperand(b)) << 8;
+    w |= static_cast<std::uint32_t>(encodeOperand(c));
+    return w;
+}
+
+Instr
+Instr::decode(std::uint32_t word)
+{
+    Instr i;
+    i.ret = (word & 0x80000000u) != 0;
+    std::uint8_t tok = (word >> 24) & 0x7f;
+    if (tok == static_cast<std::uint8_t>(Op::kExtendedOp)) {
+        i.extended = true;
+        i.implicitCount = (word >> 22) & 0x3;
+        i.extSelector = word & 0x3fffff;
+        return i;
+    }
+    i.op = static_cast<Op>(tok);
+    i.a = decodeOperand((word >> 16) & 0xff);
+    i.b = decodeOperand((word >> 8) & 0xff);
+    i.c = decodeOperand(word & 0xff);
+    return i;
+}
+
+DispatchSpec
+dispatchSpec(Op op)
+{
+    switch (op) {
+      // Value-producing A <- B op C: meaning depends on the sources.
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod: case Op::Carry: case Op::Mult1: case Op::Mult2:
+      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
+        return {false, true, true};
+      // Unary A <- op B.
+      case Op::Neg: case Op::Not: case Op::Move: case Op::Movea:
+      case Op::Tag:
+        return {false, true, false};
+      // At: A <- B at: C — object class and index class both matter.
+      case Op::At:
+        return {false, true, true};
+      // AtPut: B at: C put: A — dispatch on the container and index.
+      case Op::AtPut:
+        return {false, true, true};
+      // PutRes: *A <- B — dispatch on the pointer.
+      case Op::PutRes:
+        return {true, false, false};
+      // As: A <- B as: C(tag) — privileged retag, dispatch on B.
+      case Op::As:
+        return {false, true, false};
+      // Jumps dispatch on the condition class.
+      case Op::Fjmp: case Op::Rjmp: case Op::FjmpF: case Op::RjmpF:
+        return {true, false, false};
+      // Xfer dispatches on the target context pointer.
+      case Op::Xfer:
+        return {true, false, false};
+      case Op::Nop: case Op::Halt:
+        return {false, false, false};
+      default:
+        // User-assigned selector tokens: receiver is B, argument is C.
+        return {false, true, true};
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Mod: return "mod";
+      case Op::Neg: return "neg";
+      case Op::Carry: return "carry";
+      case Op::Mult1: return "mult1";
+      case Op::Mult2: return "mult2";
+      case Op::Shift: return "shift";
+      case Op::AShift: return "ashift";
+      case Op::Rotate: return "rotate";
+      case Op::Mask: return "mask";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Not: return "not";
+      case Op::Xor: return "xor";
+      case Op::Lt: return "lt";
+      case Op::Le: return "le";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "ne";
+      case Op::Same: return "same";
+      case Op::Move: return "move";
+      case Op::Movea: return "movea";
+      case Op::At: return "at";
+      case Op::AtPut: return "atput";
+      case Op::PutRes: return "putres";
+      case Op::As: return "as";
+      case Op::Tag: return "tag";
+      case Op::Fjmp: return "fjmp";
+      case Op::Rjmp: return "rjmp";
+      case Op::FjmpF: return "fjmpf";
+      case Op::RjmpF: return "rjmpf";
+      case Op::Xfer: return "xfer";
+      case Op::Halt: return "halt";
+      case Op::kFirstUserOp: return "user0";
+      case Op::kExtendedOp: return "send";
+    }
+    return "op?";
+}
+
+const char *
+opSelector(Op op)
+{
+    switch (op) {
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Mul: return "*";
+      case Op::Div: return "/";
+      case Op::Mod: return "\\\\";
+      case Op::Neg: return "negated";
+      case Op::Carry: return "carry:";
+      case Op::Mult1: return "mult1:";
+      case Op::Mult2: return "mult2:";
+      case Op::Shift: return "bitShift:";
+      case Op::AShift: return "arithShift:";
+      case Op::Rotate: return "rotate:";
+      case Op::Mask: return "mask:";
+      case Op::And: return "bitAnd:";
+      case Op::Or: return "bitOr:";
+      case Op::Not: return "bitNot";
+      case Op::Xor: return "bitXor:";
+      case Op::Lt: return "<";
+      case Op::Le: return "<=";
+      case Op::Eq: return "=";
+      case Op::Ne: return "~=";
+      case Op::Same: return "==";
+      // Move, movea, at:, at:put:, putres, as: and tag are *internal*
+      // load/store/control instructions, not message selectors: the
+      // compiler emits them for field access and plumbing, and guest
+      // classes must be able to define at:/at:put: messages of their
+      // own without capturing raw stores (see DESIGN.md).
+      default: return "";
+    }
+}
+
+bool
+isPrimitiveToken(Op op)
+{
+    return static_cast<unsigned>(op) <
+           static_cast<unsigned>(Op::kFirstUserOp);
+}
+
+} // namespace com::core

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The COM instruction set (paper Sections 3.3-3.5, Figure 4).
+ *
+ * All instructions are 32 bits and follow the same interpretation
+ * sequence. An instruction is *abstract*: the opcode is a message token
+ * whose meaning depends on the classes of its operands (Section 2.1).
+ * If the machine supports a primitive method for (opcode, operand
+ * classes) the operation is performed directly; otherwise a method call
+ * results.
+ *
+ * Encoding (see DESIGN.md for the resolution of the paper's Figure 4
+ * internal inconsistency — a 12-bit opcode plus three 8-bit operands
+ * does not fit 32 bits):
+ *
+ *   three-operand format
+ *     [31]    return bit ("an instruction with the return bit set")
+ *     [30:24] opcode token (0..126)
+ *     [23:16] operand descriptor A (destination)
+ *     [15:8]  operand descriptor B (first source; receiver)
+ *     [7:0]   operand descriptor C (second source)
+ *
+ *   zero-operand (extended) format: opcode token 127 escapes
+ *     [31]    return bit
+ *     [30:24] 127
+ *     [23:22] implicit operand count (0..2): how many locals of the
+ *             next context participate in dispatch (Section 3.5)
+ *     [21:0]  extended selector token
+ *
+ * Operand descriptors (Section 3.4): two addressing modes.
+ *     [7] = 0: context mode; [6] selects current (0) or next (1)
+ *              context, [4:0] the word offset within it
+ *     [7] = 1: constant mode (last operand only); [6:0] indexes the
+ *              constant table
+ */
+
+#ifndef COMSIM_CORE_ISA_HPP
+#define COMSIM_CORE_ISA_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hpp"
+
+namespace com::core {
+
+/**
+ * Primitive opcode tokens. Each token is a message name; the tokens
+ * below have primitive methods for the classes listed in Section 3.3.
+ * Tokens from kFirstUserOp to kExtendedOp-1 are assigned to program
+ * selectors by the compiler; token kExtendedOp escapes to the extended
+ * format.
+ */
+enum class Op : std::uint8_t
+{
+    Nop = 0,
+
+    // Arithmetic (small integer and, except Mod, floating point;
+    // mixed int/float modes are primitive).
+    Add, Sub, Mul, Div, Mod, Neg,
+
+    // Multiple precision arithmetic support (small integer): carry of
+    // a+b, low and high words of a*b, so multiprecision arithmetic
+    // needs no flags.
+    Carry, Mult1, Mult2,
+
+    // Logical and bit field (small integers as bit fields).
+    Shift, AShift, Rotate, Mask, And, Or, Not, Xor,
+
+    // Comparisons; Same (object identity) is defined for all types.
+    Lt, Le, Eq, Ne, Same,
+
+    // Moves. Movea computes the effective address of an operand (used
+    // to pass pointers, e.g. the result slot). At/AtPut access data
+    // outside the current/next contexts (the only memory instructions).
+    // PutRes stores through a pointer (the "*c0=c2" of Figure 9).
+    Move, Movea, At, AtPut, PutRes,
+
+    // Tag access. As retags a word (conditionally privileged, to
+    // prevent forging virtual addresses); Tag reads a word's tag.
+    As, Tag,
+
+    // Control: forward/reverse jumps within a method (defined for
+    // integer/boolean condition objects) and the general context
+    // transfer (supports block contexts, process switch, interrupts).
+    // FjmpF/RjmpF are the jump-if-false senses (extension; Smalltalk
+    // ifFalse: compiles to them directly).
+    Fjmp, Rjmp, FjmpF, RjmpF, Xfer,
+
+    // Simulation control.
+    Halt,
+
+    kFirstUserOp, ///< first token available for program selectors
+
+    kExtendedOp = 127, ///< escape to the extended (zero-operand) format
+};
+
+/** Number of three-operand opcode tokens. */
+constexpr unsigned kNumOpTokens = 128;
+
+/** Operand addressing modes (Section 3.4). */
+enum class Mode : std::uint8_t
+{
+    CtxCur,  ///< word of the current context
+    CtxNext, ///< word of the next context
+    Const,   ///< constant table entry (last operand only)
+};
+
+/** One decoded operand descriptor. */
+struct Operand
+{
+    Mode mode = Mode::CtxCur;
+    std::uint8_t index = 0; ///< context offset or constant index
+
+    /** Shorthand constructors. */
+    static Operand cur(std::uint8_t i) { return {Mode::CtxCur, i}; }
+    static Operand next(std::uint8_t i) { return {Mode::CtxNext, i}; }
+    static Operand cons(std::uint8_t i) { return {Mode::Const, i}; }
+
+    friend bool
+    operator==(const Operand &x, const Operand &y)
+    {
+        return x.mode == y.mode && x.index == y.index;
+    }
+};
+
+/** A decoded instruction (either format). */
+struct Instr
+{
+    bool extended = false;   ///< extended (zero-operand) format
+    bool ret = false;        ///< return bit
+    Op op = Op::Nop;         ///< three-operand opcode token
+    Operand a, b, c;         ///< operand descriptors (3-op format)
+    std::uint8_t implicitCount = 0; ///< extended: locals in dispatch
+    std::uint32_t extSelector = 0;  ///< extended: selector token
+
+    /** Encode to the 32-bit instruction word. */
+    std::uint32_t encode() const;
+
+    /** Decode from a 32-bit instruction word. */
+    static Instr decode(std::uint32_t word);
+
+    /** Build a three-operand instruction. */
+    static Instr
+    make(Op op, Operand a, Operand b, Operand c, bool ret = false)
+    {
+        Instr i;
+        i.op = op;
+        i.a = a;
+        i.b = b;
+        i.c = c;
+        i.ret = ret;
+        return i;
+    }
+
+    /** Build an extended send. */
+    static Instr
+    makeSend(std::uint32_t selector, std::uint8_t implicit_count,
+             bool ret = false)
+    {
+        Instr i;
+        i.extended = true;
+        i.extSelector = selector;
+        i.implicitCount = implicit_count;
+        i.ret = ret;
+        return i;
+    }
+
+    friend bool
+    operator==(const Instr &x, const Instr &y)
+    {
+        return x.encode() == y.encode();
+    }
+};
+
+/**
+ * Which operand classes participate in abstract-instruction dispatch
+ * for a given opcode (see DESIGN.md): destination classes are excluded
+ * for value-producing operations, since the old destination value does
+ * not change the meaning of the message.
+ */
+struct DispatchSpec
+{
+    bool useA = false;
+    bool useB = false;
+    bool useC = false;
+};
+
+/** @return the dispatch relevance of @p op. */
+DispatchSpec dispatchSpec(Op op);
+
+/** @return mnemonic for @p op ("add", "at:put:", ...). */
+const char *opName(Op op);
+
+/**
+ * @return the canonical Smalltalk selector spelled by this opcode
+ * token ("+", "-", "at:put:", ...), or "" for non-message tokens
+ * (Nop, Halt, jumps).
+ */
+const char *opSelector(Op op);
+
+/** @return true when @p op is one of the primitive tokens. */
+bool isPrimitiveToken(Op op);
+
+/** ITLB key opcode value used for extended sends of @p selector. */
+inline std::uint32_t
+extendedOpKey(std::uint32_t selector)
+{
+    return 0x80000000u | selector;
+}
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_ISA_HPP

@@ -1,0 +1,1358 @@
+#include "core/machine.hpp"
+
+#include "mem/fp_address.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::core {
+
+using mem::AbsAddr;
+using mem::ClassId;
+using mem::FpAddress;
+using mem::Tag;
+using mem::Word;
+using mem::XlateStatus;
+
+namespace {
+
+constexpr ClassId kIntCls = static_cast<ClassId>(Tag::SmallInt);
+constexpr ClassId kAtomCls = static_cast<ClassId>(Tag::Atom);
+constexpr ClassId kPtrCls = static_cast<ClassId>(Tag::ObjectPtr);
+
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+{
+    space_ = std::make_unique<mem::AbsoluteSpace>(0, cfg.absSpaceOrder);
+    segments_ = std::make_unique<mem::SegmentTable>(cfg.addrFormat,
+                                                    *space_, 0);
+    methods_ = std::make_unique<obj::MethodRegistry>(classes_);
+    heap_ = std::make_unique<obj::ObjectHeap>(*segments_, memory_,
+                                              classes_);
+    contexts_ = std::make_unique<obj::ContextPool>(
+        *segments_, memory_, classes_.contextClass(),
+        cfg.contextPoolSize);
+    constants_ = std::make_unique<ConstantTable>(selectors_);
+    itlb_ = std::make_unique<cache::Itlb>(cfg.itlbSets, cfg.itlbWays,
+                                          cache::ReplPolicy::Lru,
+                                          cfg.itlbMissPenalty);
+    atlb_ = std::make_unique<cache::Atlb>(cfg.atlbSets, cfg.atlbWays,
+                                          cfg.atlbMissPenalty);
+    atlb_->watch(*segments_);
+    ctxCache_ = std::make_unique<cache::ContextCache>(
+        memory_, cfg.ctxCacheBlocks, obj::kContextWords, 2);
+    icache_ = std::make_unique<
+        cache::SetAssocCache<std::uint64_t, char>>(
+        cfg.icacheSets, cfg.icacheWays, cache::ReplPolicy::Lru,
+        "icache");
+
+    std::vector<mem::LevelConfig> levels = cfg.hierarchy;
+    if (levels.empty()) {
+        // Default: one main-memory level, hashed set-associative over
+        // absolute space (Section 3.1), 1 M words.
+        levels.push_back(mem::LevelConfig{"main", 64, 1024, 16, 3,
+                                          cache::ReplPolicy::Lru});
+    }
+    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(
+        levels, cfg.backingLatency);
+
+    gc_ = std::make_unique<obj::GarbageCollector>(*heap_, *contexts_);
+    gc_->addRootProvider([this](std::vector<std::uint64_t> &roots) {
+        if (cp_)
+            roots.push_back(cp_);
+        if (ncp_)
+            roots.push_back(ncp_);
+        if (bootCtx_)
+            roots.push_back(bootCtx_);
+        for (std::uint64_t m : methodObjects_)
+            roots.push_back(m);
+        for (const Word &w : constants_->entries())
+            if (w.isPointer())
+                roots.push_back(w.asPointer());
+    });
+
+    ps_ = cfg.privileged ? 1 : 0;
+
+    // Pre-assign the primitive opcode tokens to their selectors.
+    for (unsigned t = 0; t < static_cast<unsigned>(Op::kFirstUserOp);
+         ++t) {
+        Op op = static_cast<Op>(t);
+        const char *sel = opSelector(op);
+        if (sel[0] != '\0') {
+            opcodeOf_[sel] = op;
+            selectorOfOp_[static_cast<std::uint8_t>(t)] =
+                selectors_.intern(sel);
+        }
+    }
+}
+
+Machine::~Machine() = default;
+
+// ----------------------------------------------------------------------
+// Program construction
+// ----------------------------------------------------------------------
+
+Op
+Machine::assignOpcode(const std::string &selector)
+{
+    auto it = opcodeOf_.find(selector);
+    if (it != opcodeOf_.end())
+        return it->second;
+    if (nextUserOp_ >= static_cast<std::uint8_t>(Op::kExtendedOp))
+        return Op::kExtendedOp; // token space full: extended sends
+    Op op = static_cast<Op>(nextUserOp_++);
+    opcodeOf_[selector] = op;
+    selectorOfOp_[static_cast<std::uint8_t>(op)] =
+        selectors_.intern(selector);
+    return op;
+}
+
+obj::SelectorId
+Machine::selectorOf(Op op)
+{
+    auto it = selectorOfOp_.find(static_cast<std::uint8_t>(op));
+    sim::panicIf(it == selectorOfOp_.end(),
+                 "opcode token ", opName(op), " carries no selector");
+    return it->second;
+}
+
+std::uint64_t
+Machine::makeMethodObject(const std::vector<Instr> &code)
+{
+    sim::fatalIf(code.empty(), "method must contain instructions");
+    std::uint64_t vaddr =
+        heap_->allocateRaw(classes_.methodClass(), code.size());
+    mem::XlateResult r = segments_->translate(vaddr, 0, true);
+    sim::panicIf(!r.ok(), "method object translation failed");
+    for (std::size_t i = 0; i < code.size(); ++i)
+        memory_.poke(r.abs + i,
+                     Word::fromInstruction(code[i].encode()));
+    methodLength_[vaddr] = code.size();
+    methodObjects_.push_back(vaddr);
+    return vaddr;
+}
+
+std::uint64_t
+Machine::installMethod(mem::ClassId cls, const std::string &selector,
+                       const std::vector<Instr> &code)
+{
+    std::uint64_t vaddr = makeMethodObject(code);
+    obj::SelectorId sel = selectors_.intern(selector);
+    unsigned arity = obj::SelectorTable::arityOf(selector);
+    cache::MethodEntry e;
+    e.primitive = false;
+    e.methodVaddr = vaddr;
+    e.argWords = static_cast<std::uint8_t>(
+        arity >= 1 ? 3 : 2); // arg0 + receiver (+ one argument)
+    methods_->install(cls, sel, e);
+    // A redefinition must not leave stale translations around
+    // (Section 2.1's extensibility story).
+    itlb_->invalidateAll();
+    return vaddr;
+}
+
+void
+Machine::installHostRoutine(mem::ClassId cls, const std::string &selector,
+                            HostRoutine fn)
+{
+    obj::SelectorId sel = selectors_.intern(selector);
+    unsigned arity = obj::SelectorTable::arityOf(selector);
+    cache::MethodEntry e;
+    e.primitive = true;
+    e.functionUnit =
+        kHostBase + static_cast<std::uint32_t>(hostRoutines_.size());
+    e.argWords = static_cast<std::uint8_t>(arity >= 1 ? 3 : 2);
+    hostRoutines_.push_back(std::move(fn));
+    methods_->install(cls, sel, e);
+    itlb_->invalidateAll();
+}
+
+// ----------------------------------------------------------------------
+// Execution setup
+// ----------------------------------------------------------------------
+
+RunResult
+Machine::call(std::uint64_t method_vaddr, mem::Word receiver,
+              const std::vector<mem::Word> &args,
+              std::uint64_t max_instructions)
+{
+    faultDetail_.clear();
+    finished_ = false;
+
+    // Boot context: represents "the caller of the entry method".
+    obj::ContextPool::Ctx boot = contexts_->allocate();
+    escaped_.erase(boot.vaddr);
+    bootCtx_ = boot.vaddr;
+    ctxCache_->allocateNext(boot.abs);
+    ctxCache_->callAdvance();
+    cp_ = boot.vaddr;
+    ctxCache_->write(cache::CtxVia::Current, obj::kCtxRcp,
+                     Word::fromPointer(static_cast<std::uint32_t>(
+                         obj::kNullCtxPtr)));
+    // Boot RIP stays Uninit: returning into it ends the run.
+
+    // Entry context, staged as next.
+    GuestFault f = allocNextContext();
+    if (f != GuestFault::None)
+        return RunResult{f, false, false, 0, 0, guestFaultName(f)};
+
+    std::uint64_t result_slot =
+        FpAddress::addOffset(cfg_.addrFormat, bootCtx_,
+                             static_cast<std::int64_t>(kBootResultSlot));
+    ctxCache_->write(cache::CtxVia::Next, obj::kCtxArg0,
+                     Word::fromPointer(
+                         static_cast<std::uint32_t>(result_slot)));
+    ctxCache_->write(cache::CtxVia::Next, obj::kCtxReceiver, receiver);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        sim::fatalIf(obj::kCtxFirstArg + i >= obj::kContextWords,
+                     "too many entry arguments");
+        ctxCache_->write(cache::CtxVia::Next,
+                         obj::kCtxFirstArg + i, args[i]);
+    }
+
+    // Manual call sequence into the entry method.
+    ctxCache_->callAdvance();
+    cp_ = ncp_;
+    f = allocNextContext();
+    if (f != GuestFault::None)
+        return RunResult{f, false, false, 0, 0, guestFaultName(f)};
+    f = setIp(method_vaddr);
+    if (f != GuestFault::None)
+        return RunResult{f, false, false, 0, 0, guestFaultName(f)};
+
+    return run(max_instructions);
+}
+
+mem::Word
+Machine::lastResult()
+{
+    sim::panicIf(bootCtx_ == 0, "lastResult before any call");
+    std::uint64_t stall = 0;
+    return ctxCache_->readAbs(contexts_->absOf(bootCtx_),
+                              kBootResultSlot, &stall);
+}
+
+RunResult
+Machine::run(std::uint64_t max_instructions)
+{
+    RunResult res;
+    std::uint64_t start_instrs = pipeline_.instructions();
+    std::uint64_t executed = 0;
+
+    while (executed < max_instructions) {
+        GuestFault f = step();
+        executed = pipeline_.instructions() - start_instrs;
+        if (finished_) {
+            res.finished = true;
+            res.message = "entry method returned";
+            break;
+        }
+        if (f != GuestFault::None) {
+            res.fault = f;
+            res.message = guestFaultName(f);
+            if (!faultDetail_.empty())
+                res.message += ": " + faultDetail_;
+            break;
+        }
+        ctxCache_->maintain();
+    }
+    if (!res.finished && res.fault == GuestFault::None) {
+        res.capped = true;
+        res.message = "instruction limit reached";
+    }
+    res.instructions = executed;
+    res.cycles = pipeline_.cycles();
+    return res;
+}
+
+obj::GarbageCollector::Result
+Machine::collectGarbage()
+{
+    // The cache may hold the freshest copies of live contexts.
+    ctxCache_->flushAll();
+    return gc_->collect();
+}
+
+// ----------------------------------------------------------------------
+// The interpretation loop (Figure 5)
+// ----------------------------------------------------------------------
+
+GuestFault
+Machine::fetch(Instr &out)
+{
+    sim::panicIf(ipAbs_ == 0 && ip_ == 0, "fetch with no IP set");
+    if (ipAbs_ >= ipLimitAbs_) {
+        faultDetail_ = "instruction fetch ran off the method end";
+        return GuestFault::ExecuteData;
+    }
+    // Step 1: the IP looks up the next instruction in the icache.
+    if (!icache_->lookup(ipAbs_)) {
+        icache_->insert(ipAbs_, 0);
+        pipeline_.stallIcacheMiss(cfg_.icacheMissPenalty);
+    }
+    Word w = memory_.peek(ipAbs_);
+    if (!w.isInstruction()) {
+        // Instruction safety: attempting to execute data is trapped.
+        faultDetail_ = "word at IP is tagged " +
+                       std::string(mem::tagName(w.tag()));
+        return GuestFault::ExecuteData;
+    }
+    out = Instr::decode(w.bits());
+    return GuestFault::None;
+}
+
+mem::ClassId
+Machine::classOfWord(const mem::Word &w)
+{
+    if (!w.isPointer())
+        return w.primitiveClass();
+    std::uint64_t lat = 0;
+    mem::XlateResult r =
+        atlb_->translate(*segments_, w.asPointer(), 0, false, &lat);
+    if (lat)
+        pipeline_.stallAtlbMiss(lat);
+    if (!r.ok())
+        return kPtrCls; // dangling capability: raw pointer class
+    return r.cls;
+}
+
+GuestFault
+Machine::readOperand(const Operand &o, OperandVal &out)
+{
+    switch (o.mode) {
+      case Mode::Const:
+        out.w = constants_->at(o.index);
+        break;
+      case Mode::CtxCur:
+        out.w = ctxCache_->read(cache::CtxVia::Current, o.index);
+        countDataRef(true);
+        break;
+      case Mode::CtxNext:
+        out.w = ctxCache_->read(cache::CtxVia::Next, o.index);
+        countDataRef(true);
+        break;
+    }
+    out.cls = classOfWord(out.w);
+    out.valid = true;
+    return GuestFault::None;
+}
+
+void
+Machine::writeOperand(const Operand &o, mem::Word w)
+{
+    switch (o.mode) {
+      case Mode::Const:
+        sim::panic("write to a constant-mode operand");
+      case Mode::CtxCur:
+        ctxCache_->write(cache::CtxVia::Current, o.index, w);
+        countDataRef(true);
+        return;
+      case Mode::CtxNext:
+        ctxCache_->write(cache::CtxVia::Next, o.index, w);
+        countDataRef(true);
+        return;
+    }
+}
+
+GuestFault
+Machine::effectiveAddress(const Operand &o, mem::Word &out)
+{
+    std::uint64_t base;
+    switch (o.mode) {
+      case Mode::Const:
+        faultDetail_ = "effective address of a constant";
+        return GuestFault::BadPointer;
+      case Mode::CtxCur:
+        base = cp_;
+        break;
+      case Mode::CtxNext:
+        base = ncp_;
+        break;
+    }
+    out = Word::fromPointer(static_cast<std::uint32_t>(
+        FpAddress::addOffset(cfg_.addrFormat, base, o.index)));
+    return GuestFault::None;
+}
+
+void
+Machine::countDataRef(bool is_context)
+{
+    if (is_context)
+        ++ctxRefs_;
+    else
+        ++heapRefs_;
+}
+
+GuestFault
+Machine::step()
+{
+    controlTransferred_ = false;
+
+    Instr instr;
+    GuestFault f = fetch(instr);
+    if (f != GuestFault::None)
+        return f;
+
+    pipeline_.issue(recordMnemonics_
+                        ? (instr.extended ? "send"
+                                          : std::string(opName(instr.op)))
+                        : std::string());
+
+    OperandVal a, b, c;
+
+    if (instr.extended) {
+        // Operands were staged in the next context by the program.
+        if (instr.implicitCount >= 1) {
+            b.w = ctxCache_->read(cache::CtxVia::Next, obj::kCtxReceiver);
+            countDataRef(true);
+            b.cls = classOfWord(b.w);
+            b.valid = true;
+        }
+        if (instr.implicitCount >= 2) {
+            c.w = ctxCache_->read(cache::CtxVia::Next, obj::kCtxFirstArg);
+            countDataRef(true);
+            c.cls = classOfWord(c.w);
+            c.valid = true;
+        }
+        if (traceSink_)
+            traceSink_(TraceRecord{
+                static_cast<std::uint32_t>(ip_),
+                extendedOpKey(instr.extSelector), b.cls});
+        sim::panicIf(instr.ret,
+                     "return bit on an extended send is not supported");
+        f = dispatch(instr, a, b, c);
+        if (f != GuestFault::None)
+            return f;
+        if (!controlTransferred_) {
+            ip_ = FpAddress::addOffset(cfg_.addrFormat, ip_, 1);
+            ++ipAbs_;
+        }
+        return GuestFault::None;
+    }
+
+    // Step 2: read operands and their tags. The destination operand A
+    // is only read when the opcode consumes it as a source.
+    bool read_a = false;
+    switch (instr.op) {
+      case Op::AtPut: case Op::PutRes: case Op::Fjmp: case Op::Rjmp:
+      case Op::FjmpF: case Op::RjmpF: case Op::Xfer:
+        read_a = true;
+        break;
+      default:
+        break;
+    }
+    bool read_sources = instr.op != Op::Nop && instr.op != Op::Halt &&
+                        instr.op != Op::Movea;
+    if (read_a)
+        readOperand(instr.a, a);
+    if (read_sources) {
+        readOperand(instr.b, b);
+        readOperand(instr.c, c);
+    }
+
+    if (traceSink_) {
+        DispatchSpec spec = dispatchSpec(instr.op);
+        ClassId dispatch_cls = spec.useB ? b.cls
+                             : spec.useA ? a.cls
+                                         : 0;
+        traceSink_(TraceRecord{static_cast<std::uint32_t>(ip_),
+                               static_cast<std::uint32_t>(instr.op),
+                               dispatch_cls});
+    }
+
+    f = dispatch(instr, a, b, c);
+    if (f != GuestFault::None)
+        return f;
+
+    if (instr.ret && !finished_) {
+        bool fin = false;
+        f = performReturn(fin);
+        if (f != GuestFault::None)
+            return f;
+        finished_ = fin;
+        if (finished_)
+            return GuestFault::None;
+    }
+
+    if (!controlTransferred_) {
+        ip_ = FpAddress::addOffset(cfg_.addrFormat, ip_, 1);
+        ++ipAbs_;
+    }
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::dispatch(const Instr &instr, const OperandVal &a,
+                  const OperandVal &b, const OperandVal &c)
+{
+    // Non-message opcodes bypass the ITLB.
+    if (!instr.extended) {
+        if (instr.op == Op::Nop)
+            return GuestFault::None;
+        if (instr.op == Op::Halt) {
+            faultDetail_ = "halt instruction";
+            return GuestFault::Halted;
+        }
+        if (instr.op == Op::Movea) {
+            Word ea;
+            GuestFault f = effectiveAddress(instr.b, ea);
+            if (f != GuestFault::None)
+                return f;
+            writeOperand(instr.a, ea);
+            return GuestFault::None;
+        }
+    }
+
+    // Step 3: build the ITLB key from the opcode and operand classes.
+    cache::ItlbKey key;
+    ClassId receiver_cls;
+    obj::SelectorId sel;
+    if (instr.extended) {
+        key.opcode = extendedOpKey(instr.extSelector);
+        key.classB = instr.implicitCount >= 1 ? b.cls : 0;
+        key.classC = instr.implicitCount >= 2 ? c.cls : 0;
+        receiver_cls = key.classB;
+        sel = instr.extSelector;
+    } else {
+        DispatchSpec spec = dispatchSpec(instr.op);
+        key.opcode = static_cast<std::uint32_t>(instr.op);
+        key.classA = spec.useA ? a.cls : 0;
+        key.classB = spec.useB ? b.cls : 0;
+        key.classC = spec.useC ? c.cls : 0;
+        receiver_cls = spec.useB ? b.cls : key.classA;
+        auto sit = selectorOfOp_.find(
+            static_cast<std::uint8_t>(instr.op));
+        sel = sit != selectorOfOp_.end()
+                  ? sit->second
+                  : obj::SelectorTable::kNotFound;
+    }
+
+    cache::MethodEntry *hit = itlb_->lookup(key);
+    cache::MethodEntry entry;
+    if (hit) {
+        entry = *hit;
+    } else {
+        // ITLB miss: pull the instruction descriptor in via the
+        // standard method lookup (the step that always occurs in a
+        // Smalltalk execution).
+        pipeline_.stallItlbMiss(itlb_->missPenalty());
+        bool resolved = false;
+        // The message dictionary is consulted first so a class may
+        // override a primitive token ("smooth extensibility": the
+        // same opcode may reference microcode, a user procedure or a
+        // system routine — Section 2.1).
+        if (sel != obj::SelectorTable::kNotFound) {
+            obj::MethodRegistry::LookupResult lr =
+                methods_->lookup(receiver_cls, sel);
+            if (lr.entry) {
+                entry = *lr.entry;
+                resolved = true;
+            }
+        }
+        if (!resolved && !instr.extended &&
+            isPrimitiveToken(instr.op) &&
+            primitiveApplicable(instr.op, key.classA, key.classB,
+                                key.classC)) {
+            entry.primitive = true;
+            entry.functionUnit = static_cast<std::uint32_t>(instr.op);
+            entry.argWords = 0;
+            resolved = true;
+        }
+        if (!resolved) {
+            faultDetail_ = sim::format(
+                "selector '%s' not understood by class %u",
+                sel != obj::SelectorTable::kNotFound
+                    ? selectors_.name(sel).c_str()
+                    : (instr.extended ? "?" : opName(instr.op)),
+                static_cast<unsigned>(receiver_cls));
+            return GuestFault::DoesNotUnderstand;
+        }
+        itlb_->fill(key, entry);
+    }
+
+    // Step 4: primitive methods set up hardware data paths; host
+    // routines run as firmware; defined methods trigger the call
+    // sequence of Section 3.6.
+    if (entry.primitive) {
+        if (entry.functionUnit >= kHostBase) {
+            std::uint32_t idx = entry.functionUnit - kHostBase;
+            sim::panicIf(idx >= hostRoutines_.size(),
+                         "bad host routine index");
+            Word result;
+            bool has_result = false;
+            GuestFault f = hostRoutines_[idx](*this, b.w, c.w, result,
+                                              has_result);
+            if (f != GuestFault::None)
+                return f;
+            if (has_result) {
+                if (instr.extended) {
+                    Word dest = ctxCache_->read(cache::CtxVia::Next,
+                                                obj::kCtxArg0);
+                    countDataRef(true);
+                    return writeThroughPointer(dest, result);
+                }
+                writeOperand(instr.a, result);
+            }
+            return GuestFault::None;
+        }
+        Op fu = static_cast<Op>(entry.functionUnit);
+        if (isValuePrimitive(fu)) {
+            ValueResult vr = evalValuePrimitive(fu, b.w, c.w,
+                                                *constants_);
+            if (vr.fault != GuestFault::None)
+                return vr.fault;
+            writeOperand(instr.a, vr.value);
+            return GuestFault::None;
+        }
+        // Machine primitives with state effects.
+        switch (fu) {
+          case Op::At:
+          case Op::AtPut: {
+            OperandVal av = a;
+            if (fu == Op::At) {
+                // At writes A; AtPut reads it (already read).
+            }
+            return dataAccess(instr, av, b, c);
+          }
+          case Op::PutRes:
+            return writeThroughPointer(a.w, b.w);
+          case Op::As: {
+            if (!c.w.isInt()) {
+                faultDetail_ = "as: tag operand must be an integer";
+                return GuestFault::BadPointer;
+            }
+            std::int32_t t = c.w.asInt();
+            if (t < 0 || t >= static_cast<std::int32_t>(mem::kNumTags)) {
+                faultDetail_ = "as: tag out of range";
+                return GuestFault::BadPointer;
+            }
+            Tag tag = static_cast<Tag>(t);
+            if (tag == Tag::ObjectPtr && (ps_ & 1) == 0) {
+                // Conditionally privileged: no forging capabilities.
+                faultDetail_ = "as: forging a pointer without privilege";
+                return GuestFault::PrivilegedAs;
+            }
+            writeOperand(instr.a, Word(b.w.bits(), tag));
+            return GuestFault::None;
+          }
+          case Op::Fjmp:
+          case Op::Rjmp:
+          case Op::FjmpF:
+          case Op::RjmpF: {
+            bool truthy;
+            if (a.w.isAtom()) {
+                truthy = a.w.asAtom() == constants_->trueAtom();
+            } else if (a.w.isInt()) {
+                truthy = a.w.asInt() != 0;
+            } else {
+                faultDetail_ = "jump condition has no truth value";
+                return GuestFault::BadJump;
+            }
+            bool want_true = fu == Op::Fjmp || fu == Op::Rjmp;
+            bool taken = truthy == want_true;
+            if (!taken)
+                return GuestFault::None;
+            if (!c.w.isInt()) {
+                faultDetail_ = "jump offset must be an integer";
+                return GuestFault::BadJump;
+            }
+            std::int64_t off = c.w.asInt();
+            bool forward = fu == Op::Fjmp || fu == Op::FjmpF;
+            std::uint64_t target = FpAddress::addOffset(
+                cfg_.addrFormat, ip_, forward ? 1 + off : 1 - off);
+            pipeline_.chargeBranchDelay();
+            return setIp(target);
+          }
+          case Op::Xfer:
+            return performXfer(a);
+          default:
+            sim::panic("unhandled machine primitive ", opName(fu));
+        }
+    }
+
+    // Defined method: run the call sequence, copying the instruction's
+    // operands into the new context ("the processor expands the
+    // operands into words and copies them to the new context").
+    unsigned words = instr.extended ? 0 : entry.argWords;
+    return performCall(entry.methodVaddr, words, instr, a, b, c);
+}
+
+GuestFault
+Machine::performCall(std::uint64_t method_vaddr, unsigned operand_words,
+                     const Instr &instr, const OperandVal &a,
+                     const OperandVal &b, const OperandVal &c)
+{
+    (void)a;
+    // Store the continuation into the current context.
+    ctxCache_->write(cache::CtxVia::Current, obj::kCtxRip,
+                     Word::fromPointer(static_cast<std::uint32_t>(
+                         FpAddress::addOffset(cfg_.addrFormat, ip_, 1))));
+    countDataRef(true);
+
+    if (operand_words >= 1) {
+        Word ea;
+        GuestFault f = effectiveAddress(instr.a, ea);
+        if (f != GuestFault::None)
+            return f;
+        ctxCache_->write(cache::CtxVia::Next, obj::kCtxArg0, ea);
+        countDataRef(true);
+    }
+    if (operand_words >= 2) {
+        ctxCache_->write(cache::CtxVia::Next, obj::kCtxReceiver, b.w);
+        countDataRef(true);
+    }
+    if (operand_words >= 3) {
+        ctxCache_->write(cache::CtxVia::Next, obj::kCtxFirstArg, c.w);
+        countDataRef(true);
+    }
+
+    // CP <- NCP; the CP was already stored as RCP when the next
+    // context was created.
+    ctxCache_->callAdvance();
+    cp_ = ncp_;
+
+    GuestFault f = allocNextContext();
+    if (f != GuestFault::None)
+        return f;
+
+    f = setIp(method_vaddr);
+    if (f != GuestFault::None)
+        return f;
+    pipeline_.chargeCall(operand_words);
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::performReturn(bool &finished)
+{
+    Word rcp = ctxCache_->read(cache::CtxVia::Current, obj::kCtxRcp);
+    countDataRef(true);
+    if (!rcp.isPointer() || rcp.asPointer() == obj::kNullCtxPtr) {
+        finished = true;
+        return GuestFault::None;
+    }
+    std::uint64_t caller = rcp.asPointer();
+    if (!contexts_->isAllocated(caller)) {
+        faultDetail_ = "return into a freed context";
+        return GuestFault::BadPointer;
+    }
+
+    // The dangling next context (allocated for the returning method)
+    // is recycled through the free list unless it escaped.
+    if (ncp_ && !escaped_.count(ncp_)) {
+        ctxCache_->discard(contexts_->absOf(ncp_));
+        contexts_->free(ncp_, /*lifo=*/true);
+    }
+
+    // The current vector moves back to the next vector; the directory
+    // association sets the current vector to the caller.
+    std::uint64_t old_cur = cp_;
+    std::uint64_t stall =
+        ctxCache_->returnRestore(contexts_->absOf(caller));
+    if (stall)
+        pipeline_.stallContextCache(stall);
+    ncp_ = old_cur;
+    cp_ = caller;
+
+    Word rip = ctxCache_->read(cache::CtxVia::Current, obj::kCtxRip);
+    countDataRef(true);
+    if (!rip.isPointer()) {
+        // Returned into the boot context: the run is complete.
+        finished = true;
+        pipeline_.chargeReturn();
+        return GuestFault::None;
+    }
+    GuestFault f = setIp(rip.asPointer());
+    if (f != GuestFault::None)
+        return f;
+    pipeline_.chargeReturn();
+    finished = false;
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::performXfer(const OperandVal &target)
+{
+    if (!target.w.isPointer() ||
+        !contexts_->isAllocated(target.w.asPointer())) {
+        faultDetail_ = "xfer target is not a live context";
+        return GuestFault::BadPointer;
+    }
+    std::uint64_t tvaddr = target.w.asPointer();
+
+    // Save this process's continuation and detach from stack
+    // discipline: both contexts become non-LIFO.
+    ctxCache_->write(cache::CtxVia::Current, obj::kCtxRip,
+                     Word::fromPointer(static_cast<std::uint32_t>(
+                         FpAddress::addOffset(cfg_.addrFormat, ip_, 1))));
+    countDataRef(true);
+    markEscaped(cp_);
+    markEscaped(tvaddr);
+
+    // The scratch next context is recycled.
+    if (ncp_ && !escaped_.count(ncp_)) {
+        ctxCache_->discard(contexts_->absOf(ncp_));
+        contexts_->free(ncp_, /*lifo=*/true);
+    }
+
+    std::uint64_t stall =
+        ctxCache_->switchTo(contexts_->absOf(tvaddr), 0);
+    if (stall)
+        pipeline_.stallContextCache(stall);
+    cp_ = tvaddr;
+
+    GuestFault f = allocNextContext();
+    if (f != GuestFault::None)
+        return f;
+
+    Word rip = ctxCache_->read(cache::CtxVia::Current, obj::kCtxRip);
+    countDataRef(true);
+    if (!rip.isPointer()) {
+        faultDetail_ = "xfer target has no continuation";
+        return GuestFault::BadJump;
+    }
+    f = setIp(rip.asPointer());
+    if (f != GuestFault::None)
+        return f;
+    pipeline_.chargeCall(0);
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::dataAccess(const Instr &instr, OperandVal &a,
+                    const OperandVal &b, const OperandVal &c)
+{
+    bool is_put = instr.op == Op::AtPut;
+    std::int32_t idx = c.w.asInt();
+    if (idx < 0) {
+        faultDetail_ = "negative index";
+        return GuestFault::Bounds;
+    }
+
+    std::uint64_t base = b.w.asPointer();
+    mem::XlateResult r;
+    for (int attempt = 0;; ++attempt) {
+        std::uint64_t lat = 0;
+        r = atlb_->translate(*segments_, base,
+                             static_cast<std::uint64_t>(idx), is_put,
+                             &lat);
+        if (lat)
+            pipeline_.stallAtlbMiss(lat);
+        if (r.status != XlateStatus::GrowthTrap)
+            break;
+        // Growth trap: the handler replaces the old segment number
+        // with the new one (Section 2.2) and retries.
+        pipeline_.chargeTrap(cfg_.growthTrapCost);
+        base = FpAddress::addOffset(cfg_.addrFormat, r.newVaddr, -idx);
+        if (instr.b.mode != Mode::Const)
+            writeOperand(instr.b, Word::fromPointer(
+                static_cast<std::uint32_t>(base)));
+        sim::panicIf(attempt > 2, "growth trap did not converge");
+    }
+    switch (r.status) {
+      case XlateStatus::Ok:
+        break;
+      case XlateStatus::Bounds:
+        faultDetail_ = "index beyond object length";
+        return GuestFault::Bounds;
+      case XlateStatus::NoSegment:
+        faultDetail_ = "unmapped object pointer";
+        return GuestFault::NoSegment;
+      case XlateStatus::ProtFault:
+        faultDetail_ = "write through read-only capability";
+        return GuestFault::Protection;
+      default:
+        sim::panic("unexpected translation status");
+    }
+
+    if (contexts_->containsAbs(r.abs)) {
+        // Context words are served by the (dual-ported) context cache.
+        AbsAddr block = r.abs - (r.abs % obj::kContextWords);
+        std::size_t off = static_cast<std::size_t>(
+            r.abs % obj::kContextWords);
+        std::uint64_t stall = 0;
+        if (is_put) {
+            ctxCache_->writeAbs(block, off, a.w, &stall);
+            if (a.w.isPointer() &&
+                contexts_->isAllocated(a.w.asPointer()))
+                markEscaped(a.w.asPointer());
+        } else {
+            Word v = ctxCache_->readAbs(block, off, &stall);
+            writeOperand(instr.a, v);
+        }
+        if (stall)
+            pipeline_.stallContextCache(stall);
+        countDataRef(true);
+        return GuestFault::None;
+    }
+
+    // Step through the absolute -> physical hierarchy.
+    mem::AccessResult ar = hierarchy_->access(r.abs, is_put);
+    pipeline_.stallMemory(ar.latency);
+    countDataRef(false);
+    if (is_put) {
+        memory_.write(r.abs, a.w);
+        if (a.w.isPointer() && contexts_->isAllocated(a.w.asPointer()))
+            markEscaped(a.w.asPointer());
+    } else {
+        Word v = memory_.read(r.abs);
+        writeOperand(instr.a, v);
+    }
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::indexedLoad(mem::Word base, std::int32_t index, mem::Word &out)
+{
+    if (!base.isPointer()) {
+        faultDetail_ = "at: on a non-pointer";
+        return GuestFault::BadPointer;
+    }
+    if (index < 0) {
+        faultDetail_ = "negative index";
+        return GuestFault::Bounds;
+    }
+    std::uint64_t b = base.asPointer();
+    mem::XlateResult r;
+    for (int attempt = 0;; ++attempt) {
+        std::uint64_t lat = 0;
+        r = atlb_->translate(*segments_, b,
+                             static_cast<std::uint64_t>(index), false,
+                             &lat);
+        if (lat)
+            pipeline_.stallAtlbMiss(lat);
+        if (r.status != XlateStatus::GrowthTrap)
+            break;
+        pipeline_.chargeTrap(cfg_.growthTrapCost);
+        b = FpAddress::addOffset(cfg_.addrFormat, r.newVaddr, -index);
+        sim::panicIf(attempt > 2, "growth trap did not converge");
+    }
+    if (r.status == XlateStatus::Bounds) {
+        faultDetail_ = "index beyond object length";
+        return GuestFault::Bounds;
+    }
+    if (!r.ok()) {
+        faultDetail_ = "unmapped object pointer";
+        return GuestFault::NoSegment;
+    }
+    if (contexts_->containsAbs(r.abs)) {
+        AbsAddr block = r.abs - (r.abs % obj::kContextWords);
+        std::uint64_t stall = 0;
+        out = ctxCache_->readAbs(block,
+                                 static_cast<std::size_t>(
+                                     r.abs % obj::kContextWords),
+                                 &stall);
+        if (stall)
+            pipeline_.stallContextCache(stall);
+        countDataRef(true);
+        return GuestFault::None;
+    }
+    mem::AccessResult ar = hierarchy_->access(r.abs, false);
+    pipeline_.stallMemory(ar.latency);
+    countDataRef(false);
+    out = memory_.read(r.abs);
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::indexedStore(mem::Word base, std::int32_t index,
+                      mem::Word value)
+{
+    if (!base.isPointer()) {
+        faultDetail_ = "at:put: on a non-pointer";
+        return GuestFault::BadPointer;
+    }
+    if (index < 0) {
+        faultDetail_ = "negative index";
+        return GuestFault::Bounds;
+    }
+    std::uint64_t b = base.asPointer();
+    mem::XlateResult r;
+    for (int attempt = 0;; ++attempt) {
+        std::uint64_t lat = 0;
+        r = atlb_->translate(*segments_, b,
+                             static_cast<std::uint64_t>(index), true,
+                             &lat);
+        if (lat)
+            pipeline_.stallAtlbMiss(lat);
+        if (r.status != XlateStatus::GrowthTrap)
+            break;
+        pipeline_.chargeTrap(cfg_.growthTrapCost);
+        b = FpAddress::addOffset(cfg_.addrFormat, r.newVaddr, -index);
+        sim::panicIf(attempt > 2, "growth trap did not converge");
+    }
+    if (r.status == XlateStatus::Bounds) {
+        faultDetail_ = "index beyond object length";
+        return GuestFault::Bounds;
+    }
+    if (r.status == XlateStatus::ProtFault) {
+        faultDetail_ = "write through read-only capability";
+        return GuestFault::Protection;
+    }
+    if (!r.ok()) {
+        faultDetail_ = "unmapped object pointer";
+        return GuestFault::NoSegment;
+    }
+    if (contexts_->containsAbs(r.abs)) {
+        AbsAddr block = r.abs - (r.abs % obj::kContextWords);
+        std::uint64_t stall = 0;
+        ctxCache_->writeAbs(block,
+                            static_cast<std::size_t>(
+                                r.abs % obj::kContextWords),
+                            value, &stall);
+        if (stall)
+            pipeline_.stallContextCache(stall);
+        countDataRef(true);
+    } else {
+        mem::AccessResult ar = hierarchy_->access(r.abs, true);
+        pipeline_.stallMemory(ar.latency);
+        memory_.write(r.abs, value);
+        countDataRef(false);
+    }
+    if (value.isPointer() && contexts_->isAllocated(value.asPointer()))
+        markEscaped(value.asPointer());
+    return GuestFault::None;
+}
+
+mem::Word
+Machine::hostExtraArg(unsigned i)
+{
+    mem::Word w = ctxCache_->read(cache::CtxVia::Next,
+                                  obj::kCtxFirstArg + i);
+    countDataRef(true);
+    return w;
+}
+
+GuestFault
+Machine::allocNextContext()
+{
+    if (contexts_->liveCount() >= contexts_->capacity()) {
+        collectGarbage();
+        if (contexts_->liveCount() >= contexts_->capacity()) {
+            faultDetail_ = "context pool exhausted";
+            return GuestFault::ContextOverflow;
+        }
+    }
+    obj::ContextPool::Ctx ctx = contexts_->allocate();
+    escaped_.erase(ctx.vaddr);
+    std::uint64_t stall = ctxCache_->allocateNext(ctx.abs);
+    if (stall)
+        pipeline_.stallContextCache(stall);
+    ctxCache_->write(cache::CtxVia::Next, obj::kCtxRcp,
+                     Word::fromPointer(
+                         static_cast<std::uint32_t>(cp_)));
+    countDataRef(true);
+    ncp_ = ctx.vaddr;
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::setIp(std::uint64_t vaddr)
+{
+    std::uint64_t lat = 0;
+    mem::XlateResult r =
+        atlb_->translate(*segments_, vaddr, 0, false, &lat);
+    if (lat)
+        pipeline_.stallAtlbMiss(lat);
+    if (!r.ok()) {
+        faultDetail_ = "control transfer to unmapped address";
+        return GuestFault::BadJump;
+    }
+    const mem::SegmentDescriptor *d = segments_->findDescriptor(
+        FpAddress::segKey(cfg_.addrFormat, vaddr));
+    sim::panicIf(!d, "descriptor vanished during setIp");
+    ip_ = vaddr;
+    ipAbs_ = r.abs;
+    ipLimitAbs_ = d->base + d->length;
+    controlTransferred_ = true;
+    return GuestFault::None;
+}
+
+void
+Machine::markEscaped(std::uint64_t ctx_vaddr)
+{
+    if (contexts_->isAllocated(ctx_vaddr))
+        escaped_.insert(ctx_vaddr);
+}
+
+std::vector<mem::AbsAddr>
+Machine::rcpChain(std::size_t max_depth)
+{
+    std::vector<mem::AbsAddr> chain;
+    std::uint64_t v = cp_;
+    for (std::size_t i = 0; i < max_depth && v &&
+                            v != obj::kNullCtxPtr; ++i) {
+        if (!contexts_->isAllocated(v))
+            break;
+        AbsAddr abs = contexts_->absOf(v);
+        chain.push_back(abs);
+        Word rcp = memory_.peek(abs + obj::kCtxRcp);
+        if (!rcp.isPointer())
+            break;
+        v = rcp.asPointer();
+    }
+    return chain;
+}
+
+// ----------------------------------------------------------------------
+// Helpers
+// ----------------------------------------------------------------------
+
+GuestFault
+Machine::writeThroughPointer(mem::Word pointer, mem::Word value)
+{
+    if (!pointer.isPointer()) {
+        faultDetail_ = "store through a non-pointer";
+        return GuestFault::BadPointer;
+    }
+    std::uint64_t lat = 0;
+    mem::XlateResult r = atlb_->translate(
+        *segments_, pointer.asPointer(), 0, true, &lat);
+    if (lat)
+        pipeline_.stallAtlbMiss(lat);
+    if (r.status == XlateStatus::ProtFault) {
+        faultDetail_ = "store through read-only capability";
+        return GuestFault::Protection;
+    }
+    if (!r.ok()) {
+        faultDetail_ = "store through dangling pointer";
+        return GuestFault::BadPointer;
+    }
+    if (contexts_->containsAbs(r.abs)) {
+        AbsAddr block = r.abs - (r.abs % obj::kContextWords);
+        std::size_t off =
+            static_cast<std::size_t>(r.abs % obj::kContextWords);
+        std::uint64_t stall = 0;
+        ctxCache_->writeAbs(block, off, value, &stall);
+        if (stall)
+            pipeline_.stallContextCache(stall);
+        countDataRef(true);
+    } else {
+        mem::AccessResult ar = hierarchy_->access(r.abs, true);
+        pipeline_.stallMemory(ar.latency);
+        memory_.write(r.abs, value);
+        countDataRef(false);
+    }
+    if (value.isPointer() && contexts_->isAllocated(value.asPointer()))
+        markEscaped(value.asPointer());
+    return GuestFault::None;
+}
+
+mem::Word
+Machine::peekData(std::uint64_t vaddr, std::uint64_t index)
+{
+    mem::XlateResult r = segments_->translate(vaddr, index, false);
+    sim::panicIf(!r.ok(), "peekData fault");
+    if (contexts_->containsAbs(r.abs) &&
+        ctxCache_->isResident(r.abs - (r.abs % obj::kContextWords))) {
+        std::uint64_t stall = 0;
+        return ctxCache_->readAbs(r.abs - (r.abs % obj::kContextWords),
+                                  static_cast<std::size_t>(
+                                      r.abs % obj::kContextWords),
+                                  &stall);
+    }
+    return memory_.peek(r.abs);
+}
+
+void
+Machine::fillWithNil(std::uint64_t vaddr)
+{
+    std::uint64_t len = heap_->lengthOf(vaddr);
+    mem::XlateResult r = segments_->translate(vaddr, 0, true);
+    sim::panicIf(!r.ok(), "fillWithNil translation failed");
+    Word nil = constants_->nilWord();
+    for (std::uint64_t i = 0; i < len; ++i)
+        memory_.poke(r.abs + i, nil);
+}
+
+std::uint64_t
+Machine::makeString(const std::string &s)
+{
+    std::uint64_t words = s.empty() ? 1 : s.size();
+    std::uint64_t vaddr =
+        heap_->allocateRaw(classes_.stringClass(), words);
+    mem::XlateResult r = segments_->translate(vaddr, 0, true);
+    sim::panicIf(!r.ok(), "string translation failed");
+    for (std::size_t i = 0; i < s.size(); ++i)
+        memory_.poke(r.abs + i,
+                     Word::fromInt(static_cast<unsigned char>(s[i])));
+    return vaddr;
+}
+
+std::string
+Machine::readString(std::uint64_t vaddr)
+{
+    std::uint64_t len = heap_->lengthOf(vaddr);
+    std::string out;
+    for (std::uint64_t i = 0; i < len; ++i) {
+        Word w = peekData(vaddr, i);
+        if (!w.isInt())
+            break;
+        out.push_back(static_cast<char>(w.asInt()));
+    }
+    return out;
+}
+
+std::string
+Machine::describeWord(mem::Word w)
+{
+    switch (w.tag()) {
+      case Tag::Uninit:
+        return "uninit";
+      case Tag::SmallInt:
+        return sim::format("%d", w.asInt());
+      case Tag::Float:
+        return sim::format("%g", static_cast<double>(w.asFloat()));
+      case Tag::Atom: {
+        std::uint32_t id = w.asAtom();
+        if (id < selectors_.size())
+            return selectors_.name(id);
+        return sim::format("#atom%u", id);
+      }
+      case Tag::Instruction:
+        return "<instruction>";
+      case Tag::ObjectPtr: {
+        std::uint64_t key =
+            FpAddress::segKey(cfg_.addrFormat, w.asPointer());
+        const mem::SegmentDescriptor *d = segments_->findDescriptor(key);
+        if (!d)
+            return "<dangling>";
+        if (d->cls == classes_.stringClass())
+            return "'" + readString(w.asPointer()) + "'";
+        return sim::format("a %s",
+                           classes_.info(d->cls).name.c_str());
+      }
+    }
+    return "?";
+}
+
+// ----------------------------------------------------------------------
+// Standard library (system defined routines)
+// ----------------------------------------------------------------------
+
+void
+Machine::installStandardLibrary()
+{
+    // Atom receivers act as class literals: 'Point new'.
+    installHostRoutine(
+        kAtomCls, "new",
+        [](Machine &m, Word recv, Word, Word &result, bool &has) {
+            std::uint32_t atom = recv.asAtom();
+            mem::ClassId cls = m.classes().tryByName(
+                m.selectors().name(atom));
+            if (cls == obj::kNoClass) {
+                m.setFaultDetail("new sent to unknown class atom");
+                return GuestFault::DoesNotUnderstand;
+            }
+            std::uint64_t v = m.heap().allocateInstance(cls, 0);
+            m.fillWithNil(v);
+            result = Word::fromPointer(
+                static_cast<std::uint32_t>(v));
+            has = true;
+            return GuestFault::None;
+        });
+
+    installHostRoutine(
+        kAtomCls, "new:",
+        [](Machine &m, Word recv, Word arg, Word &result, bool &has) {
+            std::uint32_t atom = recv.asAtom();
+            mem::ClassId cls = m.classes().tryByName(
+                m.selectors().name(atom));
+            if (cls == obj::kNoClass || !arg.isInt() ||
+                arg.asInt() < 0) {
+                m.setFaultDetail("new: bad class atom or size");
+                return GuestFault::DoesNotUnderstand;
+            }
+            std::uint64_t v = m.heap().allocateInstance(
+                cls, static_cast<std::uint64_t>(arg.asInt()));
+            m.fillWithNil(v);
+            result = Word::fromPointer(
+                static_cast<std::uint32_t>(v));
+            has = true;
+            return GuestFault::None;
+        });
+
+    // The default at:/at:put: message protocol on every object: raw
+    // indexed access, overridable by any class (the Dict workload
+    // does). These are the "system defined routines" the extensibility
+    // story of Section 2.1 describes.
+    installHostRoutine(
+        classes_.objectClass(), "at:",
+        [](Machine &m, Word recv, Word arg, Word &result, bool &has) {
+            if (!arg.isInt()) {
+                m.setFaultDetail("at: index must be an integer");
+                return GuestFault::Bounds;
+            }
+            GuestFault f = m.indexedLoad(recv, arg.asInt(), result);
+            has = f == GuestFault::None;
+            return f;
+        });
+
+    installHostRoutine(
+        classes_.objectClass(), "at:put:",
+        [](Machine &m, Word recv, Word arg, Word &result, bool &has) {
+            if (!arg.isInt()) {
+                m.setFaultDetail("at:put: index must be an integer");
+                return GuestFault::Bounds;
+            }
+            Word v = m.hostExtraArg(1);
+            GuestFault f = m.indexedStore(recv, arg.asInt(), v);
+            result = v;
+            has = f == GuestFault::None;
+            return f;
+        });
+
+    // size: length of any object (inherited by all user classes).
+    installHostRoutine(
+        classes_.objectClass(), "size",
+        [](Machine &m, Word recv, Word, Word &result, bool &has) {
+            if (!recv.isPointer())
+                return GuestFault::BadPointer;
+            result = Word::fromInt(static_cast<std::int32_t>(
+                m.heap().lengthOf(recv.asPointer())));
+            has = true;
+            return GuestFault::None;
+        });
+
+    // grow: — grow an indexed object, returning the (possibly new)
+    // name. Exercises the floating point aliasing machinery.
+    installHostRoutine(
+        classes_.objectClass(), "grow:",
+        [](Machine &m, Word recv, Word arg, Word &result, bool &has) {
+            if (!recv.isPointer() || !arg.isInt() || arg.asInt() <= 0)
+                return GuestFault::BadPointer;
+            std::uint64_t nv = m.segments().growObject(
+                recv.asPointer(),
+                static_cast<std::uint64_t>(arg.asInt()), m.memory());
+            result = Word::fromPointer(
+                static_cast<std::uint32_t>(nv));
+            has = true;
+            return GuestFault::None;
+        });
+
+    // print for every primitive class plus objects.
+    auto print_fn = [](Machine &m, Word recv, Word, Word &result,
+                       bool &has) {
+        m.appendOutput(m.describeWord(recv) + "\n");
+        result = recv;
+        has = true;
+        return GuestFault::None;
+    };
+    installHostRoutine(kIntCls, "print", print_fn);
+    installHostRoutine(static_cast<ClassId>(Tag::Float), "print",
+                       print_fn);
+    installHostRoutine(kAtomCls, "print", print_fn);
+    installHostRoutine(classes_.objectClass(), "print", print_fn);
+
+    // collect — force a garbage collection from guest code.
+    installHostRoutine(
+        kAtomCls, "collect",
+        [](Machine &m, Word, Word, Word &result, bool &has) {
+            auto r = m.collectGarbage();
+            result = Word::fromInt(static_cast<std::int32_t>(
+                r.sweptObjects + r.sweptContexts));
+            has = true;
+            return GuestFault::None;
+        });
+}
+
+} // namespace com::core

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * The Caltech Object Machine (paper Section 3).
+ *
+ * Processor state is six registers (Section 3.2): the context pointer
+ * (CP), next context pointer (NCP), free context pointer (FP), the
+ * instruction pointer (IP), the team space number (SN) and process
+ * status (PS). There are no general registers: all accesses go to one
+ * name space, with the context cache providing register-speed access to
+ * the current and next contexts.
+ *
+ * Interpretation follows the five steps of Figure 5: (1) the IP looks
+ * the next instruction up in the instruction cache; (2) operands and
+ * their tags are fetched from the context cache or the constant
+ * generator; (3) the opcode and operand types are translated by the
+ * ITLB into either a primitive function-unit selection or a method
+ * pointer; (4) primitive operations execute; (5) results are stored and
+ * the IP is incremented. Non-primitive methods detected at step 3 flush
+ * the prefetched instruction and run the method call sequence of
+ * Section 3.6.
+ *
+ * The machine is functional + timing: architectural state is exact;
+ * the Pipeline object accumulates the cycle costs the paper specifies.
+ */
+
+#ifndef COMSIM_CORE_MACHINE_HPP
+#define COMSIM_CORE_MACHINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/atlb.hpp"
+#include "cache/context_cache.hpp"
+#include "cache/itlb.hpp"
+#include "cache/set_assoc.hpp"
+#include "core/constant_table.hpp"
+#include "core/isa.hpp"
+#include "core/pipeline.hpp"
+#include "core/primitives.hpp"
+#include "mem/absolute_space.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "obj/class_table.hpp"
+#include "obj/context.hpp"
+#include "obj/gc.hpp"
+#include "obj/method_dictionary.hpp"
+#include "obj/object_heap.hpp"
+#include "obj/selector_table.hpp"
+
+namespace com::core {
+
+/** Construction-time configuration of a Machine. */
+struct MachineConfig
+{
+    mem::FpFormat addrFormat = mem::kFp32;
+    unsigned absSpaceOrder = 26;          ///< 64 M-word absolute region
+    std::size_t contextPoolSize = 4096;   ///< contexts in the pool
+    std::size_t ctxCacheBlocks = 32;      ///< context cache blocks
+    std::size_t itlbSets = 256;           ///< 512-entry 2-way (paper)
+    std::size_t itlbWays = 2;
+    std::uint64_t itlbMissPenalty = 24;   ///< full method lookup cost
+    std::size_t icacheSets = 2048;        ///< 4096-entry 2-way (paper)
+    std::size_t icacheWays = 2;
+    std::uint64_t icacheMissPenalty = 4;
+    std::size_t atlbSets = 64;
+    std::size_t atlbWays = 2;
+    std::uint64_t atlbMissPenalty = 4;
+    std::uint64_t backingLatency = 20;    ///< beyond-main-memory cost
+    std::uint64_t growthTrapCost = 12;    ///< pointer fix-up trap
+    bool privileged = true;               ///< PS privilege (as: allowed)
+    /** Hierarchy levels; empty selects a default single main memory. */
+    std::vector<mem::LevelConfig> hierarchy;
+};
+
+/** Why run() stopped. */
+struct RunResult
+{
+    GuestFault fault = GuestFault::None; ///< None: see finished/capped
+    bool finished = false;  ///< entry method returned
+    bool capped = false;    ///< instruction limit reached
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::string message;    ///< human-readable stop reason
+};
+
+/** One instruction trace record (Section 5 methodology). */
+struct TraceRecord
+{
+    std::uint32_t ipBits;    ///< virtual instruction address
+    std::uint32_t opcodeKey; ///< opcode token or extended selector key
+    mem::ClassId receiverClass; ///< dispatch class
+};
+
+/** Per-instruction trace callback. */
+using TraceSink = std::function<void(const TraceRecord &)>;
+
+/**
+ * The COM. Owns every subsystem: tagged memory, absolute space, a team
+ * segment table, the object heap, context pool, class/selector/method
+ * tables, ITLB, ATLB, instruction cache, context cache, the memory
+ * hierarchy and the pipeline timing model.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg = MachineConfig{});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // ------------------------------------------------------------------
+    // Program construction
+    // ------------------------------------------------------------------
+
+    /**
+     * Assign a three-operand opcode token to @p selector, reusing any
+     * existing assignment. Well-known selectors ("+", "at:put:", ...)
+     * map to their primitive tokens. When the 7-bit token space is
+     * full, returns Op::kExtendedOp: the compiler must use extended
+     * sends for this selector.
+     */
+    Op assignOpcode(const std::string &selector);
+
+    /** @return selector id carried by @p op (interning if needed). */
+    obj::SelectorId selectorOf(Op op);
+
+    /**
+     * Create a method code object holding @p code and install it as
+     * (@p cls, @p selector). @return the method object's vaddr.
+     */
+    std::uint64_t installMethod(mem::ClassId cls,
+                                const std::string &selector,
+                                const std::vector<Instr> &code);
+
+    /** Create a raw code object without installing it. */
+    std::uint64_t makeMethodObject(const std::vector<Instr> &code);
+
+    /**
+     * Install a host routine ("system defined routine", Section 2.1)
+     * for (@p cls, @p selector). The routine receives the receiver and
+     * argument words; setting @c has_result stores @c result at the
+     * instruction's destination like any primitive. Host routines model
+     * firmware: they execute in the OP step at primitive cost.
+     */
+    using HostRoutine = std::function<GuestFault(
+        Machine &, mem::Word receiver, mem::Word arg,
+        mem::Word &result, bool &has_result)>;
+    void installHostRoutine(mem::ClassId cls, const std::string &selector,
+                            HostRoutine fn);
+
+    /** Install the standard host routines (new, new:, print, ...). */
+    void installStandardLibrary();
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /**
+     * Call @p method_vaddr with @p receiver and @p args from a fresh
+     * boot context and run to completion (or @p max_instructions).
+     * The entry method's result is retrievable via lastResult().
+     */
+    RunResult call(std::uint64_t method_vaddr, mem::Word receiver,
+                   const std::vector<mem::Word> &args,
+                   std::uint64_t max_instructions = 50'000'000);
+
+    /** Result word stored by the entry method's return. */
+    mem::Word lastResult();
+
+    /** Continue running after a cap (not after a fault). */
+    RunResult run(std::uint64_t max_instructions);
+
+    /** Install a per-instruction trace sink (fig. 10/11 experiments). */
+    void setTraceSink(TraceSink sink) { traceSink_ = std::move(sink); }
+
+    /**
+     * Record mnemonics for the Figure 6 staircase (off by default:
+     * string formatting per instruction is measurable overhead).
+     */
+    void setRecordMnemonics(bool on) { recordMnemonics_ = on; }
+
+    /** Text printed by guest 'print' sends since the last clear. */
+    const std::string &output() const { return output_; }
+    /** Discard accumulated guest output. */
+    void clearOutput() { output_.clear(); }
+    /** Append to guest output (host routines). */
+    void appendOutput(const std::string &s) { output_ += s; }
+
+    /** Force a garbage collection (also callable from host routines). */
+    obj::GarbageCollector::Result collectGarbage();
+
+    // ------------------------------------------------------------------
+    // Registers (Section 3.2)
+    // ------------------------------------------------------------------
+
+    /** Current context pointer (virtual). */
+    std::uint64_t cp() const { return cp_; }
+    /** Next context pointer (virtual). */
+    std::uint64_t ncp() const { return ncp_; }
+    /** Free context pointer: head of the context free list. */
+    std::uint64_t fp() const { return contexts_->freeHead(); }
+    /** Instruction pointer (virtual). */
+    std::uint64_t ip() const { return ip_; }
+    /** Team space number. */
+    std::uint32_t sn() const { return sn_; }
+    /** Process status. */
+    std::uint32_t ps() const { return ps_; }
+
+    // ------------------------------------------------------------------
+    // Subsystem access
+    // ------------------------------------------------------------------
+
+    obj::ClassTable &classes() { return classes_; }
+    obj::SelectorTable &selectors() { return selectors_; }
+    obj::MethodRegistry &methods() { return *methods_; }
+    obj::ObjectHeap &heap() { return *heap_; }
+    obj::ContextPool &contextPool() { return *contexts_; }
+    ConstantTable &constants() { return *constants_; }
+    cache::Itlb &itlb() { return *itlb_; }
+    cache::Atlb &atlb() { return *atlb_; }
+    cache::ContextCache &contextCache() { return *ctxCache_; }
+    mem::MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    mem::TaggedMemory &memory() { return memory_; }
+    mem::SegmentTable &segments() { return *segments_; }
+    mem::AbsoluteSpace &absoluteSpace() { return *space_; }
+    Pipeline &pipeline() { return pipeline_; }
+    obj::GarbageCollector &gc() { return *gc_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    /** The instruction cache (word-granular, absolute-addressed). */
+    cache::SetAssocCache<std::uint64_t, char> &icache()
+    {
+        return *icache_;
+    }
+
+    // ------------------------------------------------------------------
+    // Reference classification (T-ctx experiment)
+    // ------------------------------------------------------------------
+
+    /** Data references that targeted contexts. */
+    std::uint64_t contextRefs() const { return ctxRefs_; }
+    /** Data references that targeted non-context objects. */
+    std::uint64_t heapRefs() const { return heapRefs_; }
+
+    // ------------------------------------------------------------------
+    // Helpers shared with host routines and tests
+    // ------------------------------------------------------------------
+
+    /** Allocate a guest string object holding @p s (one char/word). */
+    std::uint64_t makeString(const std::string &s);
+
+    /**
+     * Initialize every word of the object at @p vaddr to nil (fresh
+     * instances follow Smalltalk semantics, so guest code can compare
+     * unset fields with nil).
+     */
+    void fillWithNil(std::uint64_t vaddr);
+
+    /** Read the guest string at @p vaddr back to a host string. */
+    std::string readString(std::uint64_t vaddr);
+
+    /** Store @p value through a result pointer word. */
+    GuestFault writeThroughPointer(mem::Word pointer, mem::Word value);
+
+    /**
+     * Timed indexed load through the full translation path (growth
+     * traps retried, hierarchy/context-cache latency charged). Used by
+     * the at: host routine; the At instruction shares the same path.
+     */
+    GuestFault indexedLoad(mem::Word base, std::int32_t index,
+                           mem::Word &out);
+
+    /** Timed indexed store; see indexedLoad(). */
+    GuestFault indexedStore(mem::Word base, std::int32_t index,
+                            mem::Word value);
+
+    /**
+     * Read the i-th staged argument of the extended send currently
+     * being dispatched (next-context slot kCtxFirstArg + i). Host
+     * routines with more than one argument use this.
+     */
+    mem::Word hostExtraArg(unsigned i);
+
+    /** Read a data word via the full translation path (no timing). */
+    mem::Word peekData(std::uint64_t vaddr, std::uint64_t index);
+
+    /** Render @p w for diagnostics ("42", "3.5", "#foo", "ptr[...]"). */
+    std::string describeWord(mem::Word w);
+
+    /** Record a fault detail string (host routines, trap handlers). */
+    void setFaultDetail(std::string s) { faultDetail_ = std::move(s); }
+
+  private:
+    struct OperandVal
+    {
+        mem::Word w;
+        mem::ClassId cls = 0;
+        bool valid = false;
+    };
+
+    /** Fetch + decode the instruction at ip_. */
+    GuestFault fetch(Instr &out);
+    /** Read an operand (value + class) per its descriptor. */
+    GuestFault readOperand(const Operand &o, OperandVal &out);
+    /** Resolve the class of a word (pointers consult the ATLB). */
+    mem::ClassId classOfWord(const mem::Word &w);
+    /** Write @p w to destination operand @p o. */
+    void writeOperand(const Operand &o, mem::Word w);
+    /** Effective address of operand @p o (movea). */
+    GuestFault effectiveAddress(const Operand &o, mem::Word &out);
+
+    /** Execute one instruction. Returns a fault or None. */
+    GuestFault step();
+    /** Dispatch through the ITLB; may run the call sequence. */
+    GuestFault dispatch(const Instr &instr, const OperandVal &a,
+                        const OperandVal &b, const OperandVal &c);
+    /** The Section 3.6 method call sequence. */
+    GuestFault performCall(std::uint64_t method_vaddr,
+                           unsigned operand_words, const Instr &instr,
+                           const OperandVal &a, const OperandVal &b,
+                           const OperandVal &c);
+    /** The return sequence (return bit set). */
+    GuestFault performReturn(bool &finished);
+    /** The xfer control transfer. */
+    GuestFault performXfer(const OperandVal &target);
+    /** at: / at:put: through the full translation + hierarchy path. */
+    GuestFault dataAccess(const Instr &instr, OperandVal &a,
+                          const OperandVal &b, const OperandVal &c);
+
+    /** Allocate and register a fresh next context. */
+    GuestFault allocNextContext();
+    /** Set ip_ (and pretranslated bounds) to @p vaddr. */
+    GuestFault setIp(std::uint64_t vaddr);
+    /** Mark the context named by @p vaddr as escaped (non-LIFO). */
+    void markEscaped(std::uint64_t ctx_vaddr);
+    /** Note a data reference for the context/heap split. */
+    void countDataRef(bool is_context);
+    /** Walk the RCP chain from the current context (for prefetch). */
+    std::vector<mem::AbsAddr> rcpChain(std::size_t max_depth);
+
+    MachineConfig cfg_;
+
+    // Substrates (construction order matters).
+    mem::TaggedMemory memory_;
+    std::unique_ptr<mem::AbsoluteSpace> space_;
+    std::unique_ptr<mem::SegmentTable> segments_;
+    obj::ClassTable classes_;
+    obj::SelectorTable selectors_;
+    std::unique_ptr<obj::MethodRegistry> methods_;
+    std::unique_ptr<obj::ObjectHeap> heap_;
+    std::unique_ptr<obj::ContextPool> contexts_;
+    std::unique_ptr<ConstantTable> constants_;
+    std::unique_ptr<cache::Itlb> itlb_;
+    std::unique_ptr<cache::Atlb> atlb_;
+    std::unique_ptr<cache::ContextCache> ctxCache_;
+    std::unique_ptr<cache::SetAssocCache<std::uint64_t, char>> icache_;
+    std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
+    std::unique_ptr<obj::GarbageCollector> gc_;
+    Pipeline pipeline_;
+
+    // Registers.
+    std::uint64_t cp_ = 0;
+    std::uint64_t ncp_ = 0;
+    std::uint64_t ip_ = 0;
+    std::uint32_t sn_ = 0;
+    std::uint32_t ps_ = 0;
+
+    // Pretranslated IP (special hardware register of Section 3.6).
+    mem::AbsAddr ipAbs_ = 0;
+    mem::AbsAddr ipLimitAbs_ = 0;
+
+    // Opcode token assignment.
+    std::unordered_map<std::string, Op> opcodeOf_;
+    std::unordered_map<std::uint8_t, obj::SelectorId> selectorOfOp_;
+    std::uint8_t nextUserOp_ =
+        static_cast<std::uint8_t>(Op::kFirstUserOp);
+
+    // Host routines.
+    std::vector<HostRoutine> hostRoutines_;
+    static constexpr std::uint32_t kHostBase = 0x40000000u;
+
+    // Method metadata: code object vaddr -> word count.
+    std::unordered_map<std::uint64_t, std::uint64_t> methodLength_;
+    std::vector<std::uint64_t> methodObjects_; ///< GC roots
+
+    // Run state.
+    std::unordered_set<std::uint64_t> escaped_;
+    std::uint64_t bootCtx_ = 0;
+    bool finished_ = false;
+    bool controlTransferred_ = false;
+    bool recordMnemonics_ = false;
+    TraceSink traceSink_;
+    std::uint64_t ctxRefs_ = 0;
+    std::uint64_t heapRefs_ = 0;
+    std::string faultDetail_;
+    std::string output_;
+
+    /** Boot-context slot receiving the entry method's result. */
+    static constexpr std::uint64_t kBootResultSlot = 4;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_MACHINE_HPP

@@ -1,0 +1,177 @@
+#include "core/pipeline.hpp"
+
+#include "sim/strutil.hpp"
+
+namespace com::core {
+
+Pipeline::Pipeline() : stats_("pipeline")
+{
+    stats_.addCounter("instructions", &instrs_, "instructions issued");
+    stats_.addCounter("cycles", &cycles_, "total cycles incl. stalls");
+    stats_.addCounter("calls", &calls_, "method calls");
+    stats_.addCounter("returns", &returns_, "method returns");
+    stats_.addCounter("branch_delay_cycles", &branchCycles_,
+                      "taken-branch delay cycles");
+    stats_.addCounter("call_overhead_cycles", &callCycles_,
+                      "flush + call-op cycles");
+    stats_.addCounter("operand_copy_cycles", &operandCopyCycles_,
+                      "operand copy cycles on calls");
+    stats_.addCounter("itlb_stall_cycles", &itlbCycles_,
+                      "ITLB miss stalls");
+    stats_.addCounter("icache_stall_cycles", &icacheCycles_,
+                      "instruction cache miss stalls");
+    stats_.addCounter("atlb_stall_cycles", &atlbCycles_,
+                      "ATLB miss stalls");
+    stats_.addCounter("memory_stall_cycles", &memCycles_,
+                      "at:/at:put: hierarchy stalls");
+    stats_.addCounter("context_stall_cycles", &ctxCycles_,
+                      "context cache stalls");
+    stats_.addCounter("trap_cycles", &trapCycles_,
+                      "trap handler cycles");
+}
+
+void
+Pipeline::issue(const std::string &mnemonic)
+{
+    ++instrs_;
+    cycles_ += 2;
+    if (!mnemonic.empty()) {
+        recent_.push_back(mnemonic);
+        if (recent_.size() > kTraceDepth)
+            recent_.pop_front();
+    }
+}
+
+void
+Pipeline::chargeBranchDelay()
+{
+    cycles_ += 1;
+    branchCycles_ += 1;
+}
+
+void
+Pipeline::chargeCall(unsigned operands_copied)
+{
+    ++calls_;
+    // One cycle flushing the prefetched instruction, one performing the
+    // call operations (store IP, CP <- NCP, initiate allocation, set
+    // IP), then one per operand expanded into the new context.
+    cycles_ += 2;
+    callCycles_ += 2;
+    cycles_ += operands_copied;
+    operandCopyCycles_ += operands_copied;
+    callCycles_ += operands_copied;
+}
+
+void
+Pipeline::chargeReturn()
+{
+    // "Since return can be detected early in the pipeline it can be
+    // processed with no delay. Thus method returns cost only two clock
+    // cycles" — the base cost already charged by issue().
+    ++returns_;
+}
+
+void
+Pipeline::stallItlbMiss(std::uint64_t c)
+{
+    cycles_ += c;
+    itlbCycles_ += c;
+}
+
+void
+Pipeline::stallIcacheMiss(std::uint64_t c)
+{
+    cycles_ += c;
+    icacheCycles_ += c;
+}
+
+void
+Pipeline::stallAtlbMiss(std::uint64_t c)
+{
+    cycles_ += c;
+    atlbCycles_ += c;
+}
+
+void
+Pipeline::stallMemory(std::uint64_t c)
+{
+    cycles_ += c;
+    memCycles_ += c;
+}
+
+void
+Pipeline::stallContextCache(std::uint64_t c)
+{
+    cycles_ += c;
+    ctxCycles_ += c;
+}
+
+void
+Pipeline::chargeTrap(std::uint64_t c)
+{
+    cycles_ += c;
+    trapCycles_ += c;
+}
+
+void
+Pipeline::reset()
+{
+    instrs_.reset();
+    cycles_.reset();
+    calls_.reset();
+    returns_.reset();
+    branchCycles_.reset();
+    callCycles_.reset();
+    operandCopyCycles_.reset();
+    itlbCycles_.reset();
+    icacheCycles_.reset();
+    atlbCycles_.reset();
+    memCycles_.reset();
+    ctxCycles_.reset();
+    trapCycles_.reset();
+    recent_.clear();
+}
+
+void
+Pipeline::renderStaircase(std::ostream &os, std::size_t n) const
+{
+    // Reproduce Figure 6: one column per instruction, five stage boxes
+    // per column, each column starting one stage (two clock cycles)
+    // after its predecessor.
+    static const char *stages[5] = {"Fetch", "Read ", "ITLB ", " OP  ",
+                                    "Write"};
+    std::size_t count = n < recent_.size() ? n : recent_.size();
+    if (count == 0)
+        return;
+    std::size_t first = recent_.size() - count;
+
+    std::string header;
+    for (std::size_t i = 0; i < count; ++i)
+        header += sim::padRight(recent_[first + i], 10);
+    os << header << "\n";
+
+    const std::string box_border = "+-------+ ";
+    const std::string blank(10, ' ');
+    std::size_t rows = count + 4; // last instruction ends 4 rows later
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::string top, mid;
+        for (std::size_t i = 0; i < count; ++i) {
+            bool active = r >= i && r < i + 5;
+            top += active ? box_border : blank;
+            if (active)
+                mid += "| " + std::string(stages[r - i]) + " | ";
+            else
+                mid += blank;
+        }
+        os << top << "\n" << mid << "\n";
+    }
+    // Closing borders for columns still active in the final row.
+    std::string bottom;
+    for (std::size_t i = 0; i < count; ++i)
+        bottom += (rows - 1 >= i && rows - 1 < i + 5) ? box_border
+                                                      : blank;
+    os << bottom << "\n";
+}
+
+} // namespace com::core

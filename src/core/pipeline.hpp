@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The COM pipeline timing model (paper Section 3.6, Figures 5-6).
+ *
+ * Instruction interpretation proceeds in five steps — Fetch, Read, ITLB,
+ * OP, Write — pipelined so that a new instruction starts every two clock
+ * cycles (the rate is limited by the context cache, which performs two
+ * reads or one write per cycle but not both).
+ *
+ * Timing rules from the paper, all modeled here:
+ *   - base cost: 2 cycles per instruction issued;
+ *   - branches are delayed one clock cycle (MIPS-style) — we charge the
+ *     cycle rather than architecturally executing a delay slot (see
+ *     DESIGN.md);
+ *   - a method call with no operands delays execution four clock
+ *     cycles: two for the causing instruction, one to flush the fetched
+ *     next instruction, one for the call operations, plus one cycle per
+ *     operand copied into the new context;
+ *   - returns are detected early and cost only two clock cycles (the
+ *     base cost; no extra charge);
+ *   - the pipeline stalls on a miss in any cache and on at:/at:put:
+ *     memory accesses.
+ *
+ * The model also keeps a short trace for rendering the Figure 6
+ * pipeline staircase.
+ */
+
+#ifndef COMSIM_CORE_PIPELINE_HPP
+#define COMSIM_CORE_PIPELINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace com::core {
+
+/** Cycle accounting for the five-step COM pipeline. */
+class Pipeline
+{
+  public:
+    Pipeline();
+
+    /** Charge the base cost of one issued instruction (2 cycles). */
+    void issue(const std::string &mnemonic = "");
+
+    /** Charge the one-cycle branch delay of a taken branch. */
+    void chargeBranchDelay();
+
+    /**
+     * Charge a method call: one cycle to flush the prefetched
+     * instruction, one for the call operations, plus one per operand
+     * copied to the new context. (The two base cycles of the causing
+     * instruction are charged by issue().)
+     */
+    void chargeCall(unsigned operands_copied);
+
+    /** Record a method return (no extra cycles; detected early). */
+    void chargeReturn();
+
+    /** Stall for an ITLB miss (full method lookup). */
+    void stallItlbMiss(std::uint64_t cycles);
+    /** Stall for an instruction cache miss. */
+    void stallIcacheMiss(std::uint64_t cycles);
+    /** Stall for an ATLB miss (segment table walk). */
+    void stallAtlbMiss(std::uint64_t cycles);
+    /** Stall for an at:/at:put: memory hierarchy access. */
+    void stallMemory(std::uint64_t cycles);
+    /** Stall for context cache fault-in / forced eviction. */
+    void stallContextCache(std::uint64_t cycles);
+    /** Charge a trap handler (growth trap pointer fix-up). */
+    void chargeTrap(std::uint64_t cycles);
+
+    /** Instructions issued. */
+    std::uint64_t instructions() const { return instrs_.value(); }
+    /** Total cycles including stalls. */
+    std::uint64_t cycles() const { return cycles_.value(); }
+    /** Cycles per instruction. */
+    double
+    cpi() const
+    {
+        return instrs_.value()
+            ? static_cast<double>(cycles_.value()) / instrs_.value()
+            : 0.0;
+    }
+
+    /** Method calls charged. */
+    std::uint64_t calls() const { return calls_.value(); }
+    /** Method returns charged. */
+    std::uint64_t returns() const { return returns_.value(); }
+    /** Taken-branch delay cycles. */
+    std::uint64_t branchDelays() const { return branchCycles_.value(); }
+    /** Call-overhead cycles (flush + call ops + operand copies). */
+    std::uint64_t callOverhead() const { return callCycles_.value(); }
+    /** ITLB-miss stall cycles. */
+    std::uint64_t itlbStalls() const { return itlbCycles_.value(); }
+    /** Instruction-cache stall cycles. */
+    std::uint64_t icacheStalls() const { return icacheCycles_.value(); }
+    /** ATLB stall cycles. */
+    std::uint64_t atlbStalls() const { return atlbCycles_.value(); }
+    /** Memory (at:/at:put:) stall cycles. */
+    std::uint64_t memoryStalls() const { return memCycles_.value(); }
+    /** Context cache stall cycles. */
+    std::uint64_t contextStalls() const { return ctxCycles_.value(); }
+    /** Trap handler cycles. */
+    std::uint64_t trapCycles() const { return trapCycles_.value(); }
+
+    /** Reset all counters. */
+    void reset();
+
+    /**
+     * Render the Figure 6 staircase for the last @p n issued
+     * instructions: five stage boxes per instruction, successive
+     * instructions offset by one stage (a new instruction every two
+     * clock cycles).
+     */
+    void renderStaircase(std::ostream &os, std::size_t n = 3) const;
+
+    /** Statistics group ("pipeline"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    sim::Counter instrs_;
+    sim::Counter cycles_;
+    sim::Counter calls_;
+    sim::Counter returns_;
+    sim::Counter branchCycles_;
+    sim::Counter callCycles_;
+    sim::Counter operandCopyCycles_;
+    sim::Counter itlbCycles_;
+    sim::Counter icacheCycles_;
+    sim::Counter atlbCycles_;
+    sim::Counter memCycles_;
+    sim::Counter ctxCycles_;
+    sim::Counter trapCycles_;
+    sim::StatGroup stats_;
+
+    static constexpr std::size_t kTraceDepth = 16;
+    std::deque<std::string> recent_;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_PIPELINE_HPP

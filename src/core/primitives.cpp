@@ -1,0 +1,357 @@
+#include "core/primitives.hpp"
+
+#include <cmath>
+
+namespace com::core {
+
+namespace {
+
+using mem::ClassId;
+using mem::Tag;
+using mem::Word;
+
+constexpr ClassId kInt = static_cast<ClassId>(Tag::SmallInt);
+constexpr ClassId kFloat = static_cast<ClassId>(Tag::Float);
+constexpr ClassId kAtom = static_cast<ClassId>(Tag::Atom);
+constexpr ClassId kPtr = static_cast<ClassId>(Tag::ObjectPtr);
+
+/** Is @p c a numeric primitive class? */
+bool
+numeric(ClassId c)
+{
+    return c == kInt || c == kFloat;
+}
+
+/**
+ * Is @p c the class of a pointer-valued word? Either the raw
+ * ObjectPtr tag class (a dangling capability) or any object class
+ * resolved through a segment descriptor.
+ */
+bool
+pointerClass(ClassId c)
+{
+    return c == kPtr || c >= mem::kFirstUserClass;
+}
+
+/** Coerce a numeric word to double for mixed-mode arithmetic. */
+double
+toDouble(const Word &w)
+{
+    return w.isInt() ? static_cast<double>(w.asInt())
+                     : static_cast<double>(w.asFloat());
+}
+
+/** Wrap-around 32-bit signed addition/subtraction helpers. */
+std::int32_t
+wrapAdd(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                     static_cast<std::uint32_t>(b));
+}
+
+std::int32_t
+wrapSub(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                     static_cast<std::uint32_t>(b));
+}
+
+std::int32_t
+wrapMul(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b));
+}
+
+} // namespace
+
+const char *
+guestFaultName(GuestFault f)
+{
+    switch (f) {
+      case GuestFault::None: return "none";
+      case GuestFault::DoesNotUnderstand: return "doesNotUnderstand";
+      case GuestFault::DivideByZero: return "divideByZero";
+      case GuestFault::ExecuteData: return "executeData";
+      case GuestFault::Bounds: return "bounds";
+      case GuestFault::Protection: return "protection";
+      case GuestFault::NoSegment: return "noSegment";
+      case GuestFault::PrivilegedAs: return "privilegedAs";
+      case GuestFault::BadPointer: return "badPointer";
+      case GuestFault::ContextOverflow: return "contextOverflow";
+      case GuestFault::BadJump: return "badJump";
+      case GuestFault::Halted: return "halted";
+    }
+    return "?";
+}
+
+bool
+primitiveApplicable(Op op, mem::ClassId cls_a, mem::ClassId cls_b,
+                    mem::ClassId cls_c)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+        return true;
+
+      // Arithmetic: int/float including mixed modes; Mod int only.
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+        return numeric(cls_b) && numeric(cls_c);
+      case Op::Mod:
+        return cls_b == kInt && cls_c == kInt;
+      case Op::Neg:
+        return numeric(cls_b);
+
+      // Multiple precision support: small integers only.
+      case Op::Carry: case Op::Mult1: case Op::Mult2:
+        return cls_b == kInt && cls_c == kInt;
+
+      // Logical / bit field: small integers as bit fields.
+      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
+      case Op::And: case Op::Or: case Op::Xor:
+        return cls_b == kInt && cls_c == kInt;
+      case Op::Not:
+        return cls_b == kInt;
+
+      // Comparisons: int and float (mixed allowed); Same for all.
+      case Op::Lt: case Op::Le:
+        return numeric(cls_b) && numeric(cls_c);
+      case Op::Eq: case Op::Ne:
+        return (numeric(cls_b) && numeric(cls_c)) ||
+               (cls_b == kAtom && cls_c == kAtom);
+      case Op::Same:
+        return true;
+
+      // Move is defined for all types; movea for any operand.
+      case Op::Move: case Op::Movea:
+        return true;
+
+      // Memory instructions need an object pointer base and an
+      // integer index.
+      case Op::At:
+        return pointerClass(cls_b) && cls_c == kInt;
+      case Op::AtPut:
+        return pointerClass(cls_b) && cls_c == kInt;
+      case Op::PutRes:
+        return pointerClass(cls_a);
+
+      // Tag access.
+      case Op::As:
+        return true;
+      case Op::Tag:
+        return true;
+
+      // Jumps: condition may be an integer or a boolean atom.
+      case Op::Fjmp: case Op::Rjmp: case Op::FjmpF: case Op::RjmpF:
+        return cls_a == kInt || cls_a == kAtom;
+
+      // Xfer transfers to a context named by an object pointer.
+      case Op::Xfer:
+        return pointerClass(cls_a);
+
+      default:
+        return false; // user selector tokens are never primitive
+    }
+}
+
+bool
+isValuePrimitive(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod: case Op::Neg:
+      case Op::Carry: case Op::Mult1: case Op::Mult2:
+      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
+      case Op::And: case Op::Or: case Op::Not: case Op::Xor:
+      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
+      case Op::Move: case Op::Tag:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ValueResult
+evalValuePrimitive(Op op, mem::Word b, mem::Word c,
+                   const ConstantTable &consts)
+{
+    ValueResult r;
+    const bool both_int = b.isInt() && c.isInt();
+
+    switch (op) {
+      case Op::Add:
+        if (both_int)
+            r.value = Word::fromInt(wrapAdd(b.asInt(), c.asInt()));
+        else
+            r.value = Word::fromFloat(
+                static_cast<float>(toDouble(b) + toDouble(c)));
+        return r;
+      case Op::Sub:
+        if (both_int)
+            r.value = Word::fromInt(wrapSub(b.asInt(), c.asInt()));
+        else
+            r.value = Word::fromFloat(
+                static_cast<float>(toDouble(b) - toDouble(c)));
+        return r;
+      case Op::Mul:
+        if (both_int)
+            r.value = Word::fromInt(wrapMul(b.asInt(), c.asInt()));
+        else
+            r.value = Word::fromFloat(
+                static_cast<float>(toDouble(b) * toDouble(c)));
+        return r;
+      case Op::Div:
+        if (both_int) {
+            if (c.asInt() == 0) {
+                r.fault = GuestFault::DivideByZero;
+                return r;
+            }
+            r.value = Word::fromInt(b.asInt() / c.asInt());
+        } else {
+            double denom = toDouble(c);
+            if (denom == 0.0) {
+                r.fault = GuestFault::DivideByZero;
+                return r;
+            }
+            r.value = Word::fromFloat(
+                static_cast<float>(toDouble(b) / denom));
+        }
+        return r;
+      case Op::Mod: {
+        if (c.asInt() == 0) {
+            r.fault = GuestFault::DivideByZero;
+            return r;
+        }
+        // Smalltalk-style flooring modulo: result sign follows divisor.
+        std::int64_t bi = b.asInt(), ci = c.asInt();
+        std::int64_t m = bi % ci;
+        if (m != 0 && ((m < 0) != (ci < 0)))
+            m += ci;
+        r.value = Word::fromInt(static_cast<std::int32_t>(m));
+        return r;
+      }
+      case Op::Neg:
+        if (b.isInt())
+            r.value = Word::fromInt(wrapSub(0, b.asInt()));
+        else
+            r.value = Word::fromFloat(-b.asFloat());
+        return r;
+
+      case Op::Carry: {
+        // Carry-out of unsigned addition: multiprecision without flags.
+        std::uint64_t s = static_cast<std::uint32_t>(b.asInt());
+        s += static_cast<std::uint32_t>(c.asInt());
+        r.value = Word::fromInt(s > 0xffffffffull ? 1 : 0);
+        return r;
+      }
+      case Op::Mult1: {
+        // Low 32 bits of the unsigned product.
+        std::uint64_t p =
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(b.asInt())) *
+            static_cast<std::uint32_t>(c.asInt());
+        r.value = Word::fromInt(
+            static_cast<std::int32_t>(p & 0xffffffffull));
+        return r;
+      }
+      case Op::Mult2: {
+        // High 32 bits of the unsigned product.
+        std::uint64_t p =
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(b.asInt())) *
+            static_cast<std::uint32_t>(c.asInt());
+        r.value = Word::fromInt(static_cast<std::int32_t>(p >> 32));
+        return r;
+      }
+
+      case Op::Shift: {
+        // Positive: logical left; negative: logical right.
+        std::int32_t s = c.asInt();
+        std::uint32_t v = static_cast<std::uint32_t>(b.asInt());
+        if (s >= 32 || s <= -32)
+            v = 0;
+        else if (s >= 0)
+            v <<= s;
+        else
+            v >>= -s;
+        r.value = Word::fromInt(static_cast<std::int32_t>(v));
+        return r;
+      }
+      case Op::AShift: {
+        // Positive: left; negative: arithmetic right.
+        std::int32_t s = c.asInt();
+        std::int32_t v = b.asInt();
+        if (s >= 32)
+            v = 0;
+        else if (s >= 0)
+            v = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(v) << s);
+        else if (s <= -32)
+            v = v < 0 ? -1 : 0;
+        else
+            v >>= -s;
+        r.value = Word::fromInt(v);
+        return r;
+      }
+      case Op::Rotate: {
+        std::uint32_t v = static_cast<std::uint32_t>(b.asInt());
+        std::uint32_t s = static_cast<std::uint32_t>(c.asInt()) & 31;
+        if (s)
+            v = (v << s) | (v >> (32 - s));
+        r.value = Word::fromInt(static_cast<std::int32_t>(v));
+        return r;
+      }
+      case Op::Mask:
+        // Clear the bits selected by C (bit-field extraction support).
+        r.value = Word::fromInt(b.asInt() & ~c.asInt());
+        return r;
+      case Op::And:
+        r.value = Word::fromInt(b.asInt() & c.asInt());
+        return r;
+      case Op::Or:
+        r.value = Word::fromInt(b.asInt() | c.asInt());
+        return r;
+      case Op::Not:
+        r.value = Word::fromInt(~b.asInt());
+        return r;
+      case Op::Xor:
+        r.value = Word::fromInt(b.asInt() ^ c.asInt());
+        return r;
+
+      case Op::Lt:
+        r.value = consts.boolWord(toDouble(b) < toDouble(c));
+        return r;
+      case Op::Le:
+        r.value = consts.boolWord(toDouble(b) <= toDouble(c));
+        return r;
+      case Op::Eq:
+        if (b.isAtom() && c.isAtom())
+            r.value = consts.boolWord(b.asAtom() == c.asAtom());
+        else
+            r.value = consts.boolWord(toDouble(b) == toDouble(c));
+        return r;
+      case Op::Ne:
+        if (b.isAtom() && c.isAtom())
+            r.value = consts.boolWord(b.asAtom() != c.asAtom());
+        else
+            r.value = consts.boolWord(toDouble(b) != toDouble(c));
+        return r;
+      case Op::Same:
+        // Object identity: same bits, same tag.
+        r.value = consts.boolWord(b == c);
+        return r;
+
+      case Op::Move:
+        r.value = b;
+        return r;
+      case Op::Tag:
+        r.value = Word::fromInt(static_cast<std::int32_t>(b.tag()));
+        return r;
+
+      default:
+        sim::panic("evalValuePrimitive on non-value opcode ",
+                   opName(op));
+    }
+}
+
+} // namespace com::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Primitive methods: the COM's function units (paper Section 3.3).
+ *
+ * Primitive methods execute directly in the OP pipeline step; their
+ * ITLB entries carry the primitive bit and a function-unit selector.
+ * This module implements the *value* primitives — arithmetic, multiple
+ * precision support, logical/bit field operations, comparisons, move
+ * and tag read — as pure functions of the operand words. Primitives
+ * with machine-state effects (movea, at:, at:put:, putres, as:, jumps,
+ * xfer, halt) are executed by the Machine, but their applicability is
+ * declared here so dispatch has a single source of truth.
+ *
+ * Abstract-instruction safety (Section 2.1): applying a token to
+ * classes for which neither a primitive nor a defined method exists is
+ * not an executable error state — dispatch raises doesNotUnderstand
+ * before anything runs. "It is impossible to express an erroneous
+ * operation."
+ */
+
+#ifndef COMSIM_CORE_PRIMITIVES_HPP
+#define COMSIM_CORE_PRIMITIVES_HPP
+
+#include <cstdint>
+
+#include "core/constant_table.hpp"
+#include "core/isa.hpp"
+#include "mem/word.hpp"
+
+namespace com::core {
+
+/** Guest-visible fault conditions (trap causes). */
+enum class GuestFault : std::uint8_t
+{
+    None = 0,
+    DoesNotUnderstand, ///< no method for (opcode, operand classes)
+    DivideByZero,
+    ExecuteData,       ///< IP names a word not tagged Instruction
+    Bounds,            ///< segment bounds violation
+    Protection,        ///< write through a read-only capability
+    NoSegment,         ///< unmapped virtual address
+    PrivilegedAs,      ///< as: forging a pointer without privilege
+    BadPointer,        ///< operand not a valid object pointer
+    ContextOverflow,   ///< context pool exhausted
+    BadJump,           ///< jump outside the method
+    Halted,            ///< explicit halt instruction
+};
+
+/** @return printable fault name. */
+const char *guestFaultName(GuestFault f);
+
+/**
+ * Does the machine implement (op, classA, classB, classC) as a
+ * primitive method? Classes follow dispatchSpec(op): irrelevant
+ * operands are passed as 0 (Uninit).
+ */
+bool primitiveApplicable(Op op, mem::ClassId cls_a, mem::ClassId cls_b,
+                         mem::ClassId cls_c);
+
+/** Result of a value primitive. */
+struct ValueResult
+{
+    GuestFault fault = GuestFault::None;
+    mem::Word value;
+};
+
+/**
+ * @return true when @p op is a value primitive (pure function of its
+ * operand words), executed here rather than in the Machine.
+ */
+bool isValuePrimitive(Op op);
+
+/**
+ * Execute a value primitive. Pre-condition: primitiveApplicable() held
+ * for the operands' classes, so tag mismatches are simulator bugs, not
+ * guest faults — except arithmetic faults (divide by zero), which are
+ * reported.
+ *
+ * @param op the opcode token
+ * @param b operand B (receiver / first source)
+ * @param c operand C (second source)
+ * @param consts the constant table (for boolean results)
+ */
+ValueResult evalValuePrimitive(Op op, mem::Word b, mem::Word c,
+                               const ConstantTable &consts);
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_PRIMITIVES_HPP

@@ -1,0 +1,806 @@
+#include "fith/fith.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::fith {
+
+using mem::Tag;
+using mem::Word;
+
+namespace {
+
+/** Case-insensitive compare for control words. */
+bool
+iequals(const std::string &a, const char *b)
+{
+    std::size_t n = 0;
+    for (; b[n] != '\0'; ++n) {
+        if (n >= a.size() ||
+            std::tolower(static_cast<unsigned char>(a[n])) !=
+                std::tolower(static_cast<unsigned char>(b[n])))
+            return false;
+    }
+    return n == a.size();
+}
+
+bool
+isNumber(const std::string &t, bool &is_float)
+{
+    if (t.empty())
+        return false;
+    std::size_t i = (t[0] == '-' || t[0] == '+') ? 1 : 0;
+    if (i >= t.size())
+        return false;
+    bool digits = false, dot = false;
+    for (; i < t.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(t[i]))) {
+            digits = true;
+        } else if (t[i] == '.' && !dot) {
+            dot = true;
+        } else {
+            return false;
+        }
+    }
+    is_float = dot;
+    return digits;
+}
+
+double
+numval(const Word &w)
+{
+    return w.isInt() ? static_cast<double>(w.asInt())
+                     : static_cast<double>(w.asFloat());
+}
+
+} // namespace
+
+FithMachine::FithMachine()
+{
+    trueAtom_ = tokens_.intern("true");
+    falseAtom_ = tokens_.intern("false");
+    installPrimitives();
+}
+
+std::vector<std::string>
+FithMachine::tokenize(const std::string &src)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < src.size()) {
+        while (i < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[i])))
+            ++i;
+        if (i >= src.size())
+            break;
+        if (src[i] == '\\') { // line comment
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (src[i] == '(') { // inline comment
+            while (i < src.size() && src[i] != ')')
+                ++i;
+            if (i < src.size())
+                ++i;
+            continue;
+        }
+        std::size_t start = i;
+        while (i < src.size() &&
+               !std::isspace(static_cast<unsigned char>(src[i])))
+            ++i;
+        out.push_back(src.substr(start, i - start));
+    }
+    return out;
+}
+
+std::size_t
+FithMachine::compile(const std::vector<std::string> &toks, std::size_t i,
+                     bool in_definition)
+{
+    // Control stack of (kind, patch address) entries.
+    struct Ctl
+    {
+        char kind; // 'i' IF, 'e' ELSE, 'b' BEGIN, 'w' WHILE, 'd' DO
+        std::uint32_t addr;
+    };
+    std::vector<Ctl> ctl;
+
+    auto here = [&] {
+        return static_cast<std::uint32_t>(code_.size());
+    };
+
+    for (; i < toks.size(); ++i) {
+        const std::string &t = toks[i];
+        if (t == ";") {
+            sim::fatalIf(!in_definition, "fith: ';' outside definition");
+            sim::fatalIf(!ctl.empty(),
+                         "fith: unterminated control structure");
+            code_.push_back(Cell{CellKind::Exit, 0, 0, 0.0f, 0});
+            return i + 1;
+        }
+        bool is_float = false;
+        if (isNumber(t, is_float)) {
+            if (is_float)
+                code_.push_back(Cell{CellKind::PushFloat, 0, 0,
+                                     std::strtof(t.c_str(), nullptr),
+                                     0});
+            else
+                code_.push_back(Cell{CellKind::PushInt, 0,
+                                     static_cast<std::int32_t>(
+                                         std::strtol(t.c_str(), nullptr,
+                                                     10)),
+                                     0.0f, 0});
+            continue;
+        }
+        if (t[0] == '\'') {
+            code_.push_back(Cell{CellKind::PushAtom, 0, 0, 0.0f,
+                                 tokens_.intern(t.substr(1))});
+            continue;
+        }
+        if (iequals(t, "if")) {
+            ctl.push_back(Ctl{'i', here()});
+            code_.push_back(
+                Cell{CellKind::BranchIfFalse, 0, 0, 0.0f, 0});
+            continue;
+        }
+        if (iequals(t, "else")) {
+            sim::fatalIf(ctl.empty() || ctl.back().kind != 'i',
+                         "fith: ELSE without IF");
+            std::uint32_t if_addr = ctl.back().addr;
+            ctl.pop_back();
+            ctl.push_back(Ctl{'e', here()});
+            code_.push_back(Cell{CellKind::Branch, 0, 0, 0.0f, 0});
+            code_[if_addr].arg = static_cast<std::int32_t>(
+                here() - if_addr - 1);
+            continue;
+        }
+        if (iequals(t, "then")) {
+            sim::fatalIf(ctl.empty() || (ctl.back().kind != 'i' &&
+                                         ctl.back().kind != 'e'),
+                         "fith: THEN without IF");
+            std::uint32_t addr = ctl.back().addr;
+            ctl.pop_back();
+            code_[addr].arg = static_cast<std::int32_t>(
+                here() - addr - 1);
+            continue;
+        }
+        if (iequals(t, "begin")) {
+            ctl.push_back(Ctl{'b', here()});
+            continue;
+        }
+        if (iequals(t, "until")) {
+            sim::fatalIf(ctl.empty() || ctl.back().kind != 'b',
+                         "fith: UNTIL without BEGIN");
+            std::uint32_t begin_addr = ctl.back().addr;
+            ctl.pop_back();
+            code_.push_back(Cell{
+                CellKind::BranchIfFalse,
+                0,
+                static_cast<std::int32_t>(begin_addr) -
+                    static_cast<std::int32_t>(here()) - 1,
+                0.0f, 0});
+            continue;
+        }
+        if (iequals(t, "while")) {
+            sim::fatalIf(ctl.empty() || ctl.back().kind != 'b',
+                         "fith: WHILE without BEGIN");
+            ctl.push_back(Ctl{'w', here()});
+            code_.push_back(
+                Cell{CellKind::BranchIfFalse, 0, 0, 0.0f, 0});
+            continue;
+        }
+        if (iequals(t, "repeat")) {
+            sim::fatalIf(ctl.size() < 2 || ctl.back().kind != 'w',
+                         "fith: REPEAT without WHILE");
+            std::uint32_t while_addr = ctl.back().addr;
+            ctl.pop_back();
+            std::uint32_t begin_addr = ctl.back().addr;
+            ctl.pop_back();
+            code_.push_back(Cell{
+                CellKind::Branch,
+                0,
+                static_cast<std::int32_t>(begin_addr) -
+                    static_cast<std::int32_t>(here()) - 1,
+                0.0f, 0});
+            code_[while_addr].arg = static_cast<std::int32_t>(
+                here() - while_addr - 1);
+            continue;
+        }
+        if (iequals(t, "do")) {
+            code_.push_back(Cell{CellKind::DoInit, 0, 0, 0.0f, 0});
+            ctl.push_back(Ctl{'d', here()});
+            continue;
+        }
+        if (iequals(t, "loop")) {
+            sim::fatalIf(ctl.empty() || ctl.back().kind != 'd',
+                         "fith: LOOP without DO");
+            std::uint32_t body = ctl.back().addr;
+            ctl.pop_back();
+            code_.push_back(Cell{
+                CellKind::LoopInc,
+                0,
+                static_cast<std::int32_t>(body) -
+                    static_cast<std::int32_t>(here()) - 1,
+                0.0f, 0});
+            continue;
+        }
+        if (iequals(t, "i")) {
+            code_.push_back(Cell{CellKind::PushIndexI, 0, 0, 0.0f, 0});
+            continue;
+        }
+        if (iequals(t, "j")) {
+            code_.push_back(Cell{CellKind::PushIndexJ, 0, 0, 0.0f, 0});
+            continue;
+        }
+        // Plain token: an abstract instruction.
+        code_.push_back(Cell{CellKind::Token, tokens_.intern(t), 0,
+                             0.0f, 0});
+    }
+    sim::fatalIf(in_definition, "fith: definition missing ';'");
+    sim::fatalIf(!ctl.empty(), "fith: unterminated control structure");
+    return i;
+}
+
+FithResult
+FithMachine::run(const std::string &source, std::uint64_t max_steps)
+{
+    std::vector<std::string> toks = tokenize(source);
+
+    // Split definitions from immediate code, compiling as we go.
+    std::vector<std::uint32_t> immediate_starts;
+    std::size_t i = 0;
+    while (i < toks.size()) {
+        if (toks[i] == ":") {
+            sim::fatalIf(i + 1 >= toks.size(), "fith: ':' needs a name");
+            std::uint32_t op = tokens_.intern(toks[i + 1]);
+            std::uint32_t start =
+                static_cast<std::uint32_t>(code_.size());
+            i = compile(toks, i + 2, true);
+            methods_[key(op, FithClass::Any)] = Definition{start};
+        } else if (toks[i] == "::") {
+            sim::fatalIf(i + 2 >= toks.size(),
+                         "fith: '::' needs class and name");
+            const std::string &cls_name = toks[i + 1];
+            FithClass cls;
+            if (cls_name == "Int") cls = FithClass::Int;
+            else if (cls_name == "Float") cls = FithClass::Float;
+            else if (cls_name == "Atom") cls = FithClass::Atom;
+            else if (cls_name == "Array") cls = FithClass::Array;
+            else if (cls_name == "Any") cls = FithClass::Any;
+            else
+                sim::fatal("fith: unknown class '", cls_name, "'");
+            std::uint32_t op = tokens_.intern(toks[i + 2]);
+            std::uint32_t start =
+                static_cast<std::uint32_t>(code_.size());
+            i = compile(toks, i + 3, true);
+            methods_[key(op, cls)] = Definition{start};
+        } else {
+            // Immediate code: compile up to the next definition.
+            std::size_t j = i;
+            while (j < toks.size() && toks[j] != ":" && toks[j] != "::")
+                ++j;
+            std::vector<std::string> chunk(toks.begin() +
+                                               static_cast<long>(i),
+                                           toks.begin() +
+                                               static_cast<long>(j));
+            std::uint32_t start =
+                static_cast<std::uint32_t>(code_.size());
+            compile(chunk, 0, false);
+            code_.push_back(Cell{CellKind::Exit, 0, 0, 0.0f, 0});
+            immediate_starts.push_back(start);
+            i = j;
+        }
+    }
+
+    FithResult res;
+    res.ok = true;
+    for (std::uint32_t start : immediate_starts) {
+        FithResult r = execute(start, max_steps);
+        res.steps += r.steps;
+        if (!r.ok) {
+            res.ok = false;
+            res.error = r.error;
+            break;
+        }
+    }
+    return res;
+}
+
+FithClass
+FithMachine::tosClass() const
+{
+    if (stack_.empty())
+        return FithClass::None;
+    const Word &w = stack_.back();
+    switch (w.tag()) {
+      case Tag::SmallInt: return FithClass::Int;
+      case Tag::Float: return FithClass::Float;
+      case Tag::Atom: return FithClass::Atom;
+      case Tag::ObjectPtr: return FithClass::Array;
+      default: return FithClass::None;
+    }
+}
+
+mem::Word
+FithMachine::pop()
+{
+    sim::panicIf(stack_.empty(), "fith: pop from empty stack");
+    Word w = stack_.back();
+    stack_.pop_back();
+    return w;
+}
+
+bool
+FithMachine::popTwo(mem::Word &a, mem::Word &b)
+{
+    if (stack_.size() < 2) {
+        error_ = "stack underflow";
+        return false;
+    }
+    b = pop();
+    a = pop();
+    return true;
+}
+
+FithResult
+FithMachine::execute(std::uint32_t start, std::uint64_t max_steps)
+{
+    FithResult res;
+    std::uint32_t ip = start;
+    std::size_t rstack_base = rstack_.size();
+    error_.clear();
+
+    auto truthy = [&](const Word &w) {
+        if (w.isAtom())
+            return w.asAtom() == trueAtom_;
+        if (w.isInt())
+            return w.asInt() != 0;
+        return false;
+    };
+
+    std::uint64_t steps = 0;
+    while (steps < max_steps) {
+        sim::panicIf(ip >= code_.size(), "fith: ip out of code space");
+        const Cell &cell = code_[ip];
+        ++steps;
+
+        switch (cell.kind) {
+          case CellKind::PushInt:
+            if (tracing_)
+                trace_.record(ip, 0xfff0, 0);
+            push(Word::fromInt(cell.arg));
+            ++ip;
+            continue;
+          case CellKind::PushFloat:
+            if (tracing_)
+                trace_.record(ip, 0xfff0, 0);
+            push(Word::fromFloat(cell.farg));
+            ++ip;
+            continue;
+          case CellKind::PushAtom:
+            if (tracing_)
+                trace_.record(ip, 0xfff0, 0);
+            push(Word::fromAtom(cell.atom));
+            ++ip;
+            continue;
+          case CellKind::Branch:
+            if (tracing_)
+                trace_.record(ip, 0xfff1, 0);
+            ip = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(ip) + 1 + cell.arg);
+            continue;
+          case CellKind::BranchIfFalse: {
+            if (tracing_)
+                trace_.record(ip, 0xfff2, static_cast<mem::ClassId>(
+                                              tosClass()));
+            if (stack_.empty()) {
+                res.error = "stack underflow in branch";
+                res.steps = steps;
+                return res;
+            }
+            Word w = pop();
+            if (!truthy(w))
+                ip = static_cast<std::uint32_t>(
+                    static_cast<std::int64_t>(ip) + 1 + cell.arg);
+            else
+                ++ip;
+            continue;
+          }
+          case CellKind::DoInit: {
+            if (tracing_)
+                trace_.record(ip, 0xfff3, 0);
+            Word limit, startw;
+            if (!popTwo(limit, startw)) {
+                res.error = error_;
+                res.steps = steps;
+                return res;
+            }
+            loops_.push_back(LoopFrame{startw.asInt(), limit.asInt()});
+            ++ip;
+            continue;
+          }
+          case CellKind::LoopInc: {
+            if (tracing_)
+                trace_.record(ip, 0xfff4, 0);
+            sim::panicIf(loops_.empty(), "fith: LOOP without frame");
+            LoopFrame &f = loops_.back();
+            ++f.index;
+            if (f.index < f.limit) {
+                ip = static_cast<std::uint32_t>(
+                    static_cast<std::int64_t>(ip) + 1 + cell.arg);
+            } else {
+                loops_.pop_back();
+                ++ip;
+            }
+            continue;
+          }
+          case CellKind::PushIndexI:
+            if (tracing_)
+                trace_.record(ip, 0xfff5, 0);
+            sim::panicIf(loops_.empty(), "fith: I outside DO LOOP");
+            push(Word::fromInt(loops_.back().index));
+            ++ip;
+            continue;
+          case CellKind::PushIndexJ:
+            if (tracing_)
+                trace_.record(ip, 0xfff6, 0);
+            sim::panicIf(loops_.size() < 2, "fith: J needs two loops");
+            push(Word::fromInt(loops_[loops_.size() - 2].index));
+            ++ip;
+            continue;
+          case CellKind::Exit:
+            if (rstack_.size() == rstack_base) {
+                res.ok = true;
+                res.steps = steps;
+                return res;
+            }
+            ip = rstack_.back();
+            rstack_.pop_back();
+            continue;
+          case CellKind::Token:
+            break;
+        }
+
+        // Abstract instruction: dispatch on the class of the TOS.
+        FithClass cls = tosClass();
+        ++dispatches_;
+        if (tracing_)
+            trace_.record(ip, cell.op,
+                          static_cast<mem::ClassId>(cls));
+
+        // Exact class first, then the Any chain (superclass walk).
+        auto prim_it = primitives_.find(key(cell.op, cls));
+        if (prim_it == primitives_.end())
+            prim_it = primitives_.find(key(cell.op, FithClass::Any));
+        auto meth_it = methods_.find(key(cell.op, cls));
+        if (meth_it == methods_.end())
+            meth_it = methods_.find(key(cell.op, FithClass::Any));
+        ++lookups_;
+
+        if (meth_it != methods_.end()) {
+            rstack_.push_back(ip + 1);
+            ip = meth_it->second.start;
+            continue;
+        }
+        if (prim_it != primitives_.end()) {
+            if (!prim_it->second(*this)) {
+                res.error = sim::format(
+                    "'%s' failed: %s",
+                    tokens_.name(cell.op).c_str(), error_.c_str());
+                res.steps = steps;
+                return res;
+            }
+            ++ip;
+            continue;
+        }
+        res.error = sim::format("'%s' not understood by class %u",
+                                tokens_.name(cell.op).c_str(),
+                                static_cast<unsigned>(cls));
+        res.steps = steps;
+        return res;
+    }
+    res.error = "step limit exceeded";
+    res.steps = steps;
+    return res;
+}
+
+void
+FithMachine::prim(const std::string &name, FithClass cls, Primitive fn)
+{
+    primitives_[key(tokens_.intern(name), cls)] = std::move(fn);
+}
+
+void
+FithMachine::installPrimitives()
+{
+    auto arith = [this](const char *name, auto fn) {
+        auto body = [this, fn](FithMachine &m) {
+            Word a, b;
+            if (!m.popTwo(a, b))
+                return false;
+            if (a.isInt() && b.isInt()) {
+                std::int64_t r = fn(static_cast<std::int64_t>(a.asInt()),
+                                    static_cast<std::int64_t>(b.asInt()));
+                m.push(Word::fromInt(static_cast<std::int32_t>(r)));
+            } else {
+                double r = fn(numval(a), numval(b));
+                m.push(Word::fromFloat(static_cast<float>(r)));
+            }
+            return true;
+        };
+        prim(name, FithClass::Int, body);
+        prim(name, FithClass::Float, body);
+    };
+    arith("+", [](auto a, auto b) { return a + b; });
+    arith("-", [](auto a, auto b) { return a - b; });
+    arith("*", [](auto a, auto b) { return a * b; });
+    arith("min", [](auto a, auto b) { return a < b ? a : b; });
+    arith("max", [](auto a, auto b) { return a < b ? b : a; });
+
+    auto divlike = [this](const char *name, bool is_mod) {
+        auto body = [this, is_mod](FithMachine &m) {
+            Word a, b;
+            if (!m.popTwo(a, b))
+                return false;
+            if (a.isInt() && b.isInt()) {
+                if (b.asInt() == 0) {
+                    m.error_ = "divide by zero";
+                    return false;
+                }
+                m.push(Word::fromInt(is_mod ? a.asInt() % b.asInt()
+                                            : a.asInt() / b.asInt()));
+            } else {
+                double d = numval(b);
+                if (d == 0.0) {
+                    m.error_ = "divide by zero";
+                    return false;
+                }
+                m.push(Word::fromFloat(static_cast<float>(
+                    is_mod ? std::fmod(numval(a), d) : numval(a) / d)));
+            }
+            return true;
+        };
+        prim(name, FithClass::Int, body);
+        prim(name, FithClass::Float, body);
+    };
+    divlike("/", false);
+    divlike("mod", true);
+
+    auto cmp = [this](const char *name, auto fn) {
+        auto body = [this, fn](FithMachine &m) {
+            Word a, b;
+            if (!m.popTwo(a, b))
+                return false;
+            bool r;
+            if (a.isAtom() && b.isAtom())
+                r = fn(static_cast<double>(a.asAtom()),
+                       static_cast<double>(b.asAtom()));
+            else
+                r = fn(numval(a), numval(b));
+            m.push(Word::fromAtom(r ? m.trueAtom_ : m.falseAtom_));
+            return true;
+        };
+        prim(name, FithClass::Int, body);
+        prim(name, FithClass::Float, body);
+        prim(name, FithClass::Atom, body);
+    };
+    cmp("<", [](double a, double b) { return a < b; });
+    cmp("<=", [](double a, double b) { return a <= b; });
+    cmp(">", [](double a, double b) { return a > b; });
+    cmp(">=", [](double a, double b) { return a >= b; });
+    cmp("=", [](double a, double b) { return a == b; });
+    cmp("<>", [](double a, double b) { return a != b; });
+
+    auto logical = [this](const char *name, auto fn) {
+        prim(name, FithClass::Int, [this, fn](FithMachine &m) {
+            Word a, b;
+            if (!m.popTwo(a, b))
+                return false;
+            m.push(Word::fromInt(fn(a.asInt(), b.asInt())));
+            return true;
+        });
+        // Boolean sense on atoms.
+        prim(name, FithClass::Atom, [this, fn](FithMachine &m) {
+            Word a, b;
+            if (!m.popTwo(a, b))
+                return false;
+            bool av = a.isAtom() && a.asAtom() == m.trueAtom_;
+            bool bv = b.isAtom() && b.asAtom() == m.trueAtom_;
+            bool r = fn(av ? 1 : 0, bv ? 1 : 0) != 0;
+            m.push(Word::fromAtom(r ? m.trueAtom_ : m.falseAtom_));
+            return true;
+        });
+    };
+    logical("and", [](std::int32_t a, std::int32_t b) { return a & b; });
+    logical("or", [](std::int32_t a, std::int32_t b) { return a | b; });
+    logical("xor", [](std::int32_t a, std::int32_t b) { return a ^ b; });
+
+    prim("invert", FithClass::Int, [](FithMachine &m) {
+        Word a = m.pop();
+        m.push(Word::fromInt(~a.asInt()));
+        return true;
+    });
+    prim("neg", FithClass::Int, [](FithMachine &m) {
+        m.push(Word::fromInt(-m.pop().asInt()));
+        return true;
+    });
+    prim("neg", FithClass::Float, [](FithMachine &m) {
+        m.push(Word::fromFloat(-m.pop().asFloat()));
+        return true;
+    });
+    prim("abs", FithClass::Int, [](FithMachine &m) {
+        std::int32_t v = m.pop().asInt();
+        m.push(Word::fromInt(v < 0 ? -v : v));
+        return true;
+    });
+    prim("abs", FithClass::Float, [](FithMachine &m) {
+        m.push(Word::fromFloat(std::fabs(m.pop().asFloat())));
+        return true;
+    });
+
+    // Stack manipulation: class-independent.
+    auto any = [this](const char *name, Primitive fn) {
+        prim(name, FithClass::Any, std::move(fn));
+    };
+    any("dup", [](FithMachine &m) {
+        if (m.stack_.empty()) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        m.push(m.stack_.back());
+        return true;
+    });
+    any("drop", [](FithMachine &m) {
+        if (m.stack_.empty()) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        m.pop();
+        return true;
+    });
+    any("swap", [](FithMachine &m) {
+        Word a, b;
+        if (!m.popTwo(a, b))
+            return false;
+        m.push(b);
+        m.push(a);
+        return true;
+    });
+    any("over", [](FithMachine &m) {
+        if (m.stack_.size() < 2) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        m.push(m.stack_[m.stack_.size() - 2]);
+        return true;
+    });
+    any("rot", [](FithMachine &m) {
+        if (m.stack_.size() < 3) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        Word c = m.pop(), b = m.pop(), a = m.pop();
+        m.push(b);
+        m.push(c);
+        m.push(a);
+        return true;
+    });
+    any("nip", [](FithMachine &m) {
+        Word a, b;
+        if (!m.popTwo(a, b))
+            return false;
+        m.push(b);
+        return true;
+    });
+    any("depth", [](FithMachine &m) {
+        m.push(Word::fromInt(
+            static_cast<std::int32_t>(m.stack_.size())));
+        return true;
+    });
+    // n pick: copy the nth item below the (popped) count to the top;
+    // 0 pick == dup.
+    prim("pick", FithClass::Int, [](FithMachine &m) {
+        std::int32_t n = m.pop().asInt();
+        if (n < 0 || static_cast<std::size_t>(n) >= m.stack_.size()) {
+            m.error_ = "pick out of range";
+            return false;
+        }
+        m.push(m.stack_[m.stack_.size() - 1 -
+                        static_cast<std::size_t>(n)]);
+        return true;
+    });
+    any(".", [](FithMachine &m) {
+        if (m.stack_.empty()) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        Word w = m.pop();
+        switch (w.tag()) {
+          case Tag::SmallInt:
+            m.output_ += sim::format("%d ", w.asInt());
+            break;
+          case Tag::Float:
+            m.output_ += sim::format("%g ",
+                                     static_cast<double>(w.asFloat()));
+            break;
+          case Tag::Atom:
+            m.output_ += m.tokens_.name(w.asAtom()) + " ";
+            break;
+          default:
+            m.output_ += "? ";
+        }
+        return true;
+    });
+
+    // Arrays. `n array` allocates; handles are ObjectPtr words whose
+    // payload indexes arrays_.
+    prim("array", FithClass::Int, [](FithMachine &m) {
+        std::int32_t n = m.pop().asInt();
+        if (n < 0) {
+            m.error_ = "negative array size";
+            return false;
+        }
+        m.arrays_.emplace_back(static_cast<std::size_t>(n),
+                               Word::fromInt(0));
+        m.push(Word::fromPointer(static_cast<std::uint32_t>(
+            m.arrays_.size() - 1)));
+        return true;
+    });
+    // a i @  ( fetch: TOS is the index -> dispatch on Int )
+    prim("@", FithClass::Int, [](FithMachine &m) {
+        Word idx, arr;
+        if (m.stack_.size() < 2) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        idx = m.pop();
+        arr = m.pop();
+        if (!arr.isPointer() ||
+            arr.asPointer() >= m.arrays_.size()) {
+            m.error_ = "@ needs an array";
+            return false;
+        }
+        auto &v = m.arrays_[arr.asPointer()];
+        std::int32_t i = idx.asInt();
+        if (i < 0 || static_cast<std::size_t>(i) >= v.size()) {
+            m.error_ = "array index out of range";
+            return false;
+        }
+        m.push(v[static_cast<std::size_t>(i)]);
+        return true;
+    });
+    // v a i !  ( store )
+    prim("!", FithClass::Int, [](FithMachine &m) {
+        if (m.stack_.size() < 3) {
+            m.error_ = "stack underflow";
+            return false;
+        }
+        Word idx = m.pop(), arr = m.pop(), val = m.pop();
+        if (!arr.isPointer() ||
+            arr.asPointer() >= m.arrays_.size()) {
+            m.error_ = "! needs an array";
+            return false;
+        }
+        auto &v = m.arrays_[arr.asPointer()];
+        std::int32_t i = idx.asInt();
+        if (i < 0 || static_cast<std::size_t>(i) >= v.size()) {
+            m.error_ = "array index out of range";
+            return false;
+        }
+        v[static_cast<std::size_t>(i)] = val;
+        return true;
+    });
+    prim("len", FithClass::Array, [](FithMachine &m) {
+        Word arr = m.pop();
+        m.push(Word::fromInt(static_cast<std::int32_t>(
+            m.arrays_[arr.asPointer()].size())));
+        return true;
+    });
+}
+
+} // namespace com::fith

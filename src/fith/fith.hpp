@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The Fith Machine (paper Section 5).
+ *
+ * "The Fith language combines the syntax of Forth with the semantics of
+ * Smalltalk. Since Fith is a stack based language, the Fith Machine was
+ * a stack machine ... however the instruction translation mechanisms of
+ * the two machines are identical."
+ *
+ * Every executed word is an abstract instruction: its meaning depends
+ * on the class of the object on top of the stack. Methods are defined
+ * per class (`:: Int double 2 * ;`) or for all classes (`: sq dup * ;`,
+ * installed under the pseudo-class Any and found when no class-specific
+ * method exists — a one-level superclass chain).
+ *
+ * The interpreter was the paper's trace generator: it recorded, for
+ * each instruction interpreted, the address of the instruction, the
+ * opcode, and the type of the object on top of the stack. This
+ * implementation emits exactly that record stream into trace::Trace for
+ * the Figure 10/11 cache experiments.
+ *
+ * Supported syntax:
+ *   - integers (`42`), floats (`3.5`), atoms (`'foo`)
+ *   - `: name ... ;` universal definition, `:: Class name ... ;`
+ *     class-specific definition (Class in Int Float Atom Array Any)
+ *   - IF ... ELSE ... THEN, BEGIN ... UNTIL, BEGIN ... WHILE ... REPEAT,
+ *     DO ... LOOP with I and J (case-insensitive control words)
+ *   - `( ... )` and `\ ...` comments
+ *   - stack words: dup drop swap over rot nip depth
+ *   - arithmetic: + - * / mod neg abs min max
+ *   - comparison: < <= > >= = <> (push atoms true/false)
+ *   - logic on ints: and or xor invert; on booleans: both and or work
+ *   - arrays: `n array` (new n-element array), `a i @` fetch,
+ *     `v a i !` store, `a len` length
+ *   - output: `.` pops and prints to the output buffer
+ */
+
+#ifndef COMSIM_FITH_FITH_HPP
+#define COMSIM_FITH_FITH_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/word.hpp"
+#include "obj/selector_table.hpp"
+#include "sim/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace com::fith {
+
+/** Fith value classes (trace classes). */
+enum class FithClass : mem::ClassId
+{
+    None = 0,
+    Int = 1,
+    Float = 2,
+    Atom = 3,
+    Array = 6,
+    Any = 15,
+};
+
+/** Result of running a Fith program. */
+struct FithResult
+{
+    bool ok = false;
+    std::uint64_t steps = 0;
+    std::string error;
+};
+
+/**
+ * The Fith interpreter: tokenizer, compiler (control-flow resolution),
+ * per-class dictionaries and the threaded-code executor with trace
+ * emission.
+ */
+class FithMachine
+{
+  public:
+    FithMachine();
+
+    /**
+     * Compile and run @p source. Definitions accumulate across calls;
+     * top-level code outside definitions executes immediately.
+     */
+    FithResult run(const std::string &source,
+                   std::uint64_t max_steps = 10'000'000);
+
+    /** Enable/disable trace recording (off by default). */
+    void setTracing(bool on) { tracing_ = on; }
+    /** The recorded trace. */
+    const trace::Trace &trace() const { return trace_; }
+    /** Clear the recorded trace. */
+    void clearTrace() { trace_.clear(); }
+
+    /** The data stack (top at back) for assertions. */
+    const std::vector<mem::Word> &stack() const { return stack_; }
+    /** Pop the top of stack (test helper). */
+    mem::Word pop();
+
+    /** Output accumulated by `.` and `emit`. */
+    const std::string &output() const { return output_; }
+    /** Clear the output buffer. */
+    void clearOutput() { output_.clear(); }
+
+    /** Total cells in the code space (footprint check). */
+    std::size_t codeSize() const { return code_.size(); }
+    /** Total dispatched (abstract) instructions executed. */
+    std::uint64_t dispatches() const { return dispatches_.value(); }
+    /** Full method lookups (misses of the dispatch cache model). */
+    std::uint64_t lookups() const { return lookups_.value(); }
+
+  private:
+    enum class CellKind : std::uint8_t
+    {
+        Token,      ///< abstract instruction: dispatch on TOS class
+        PushInt,
+        PushFloat,
+        PushAtom,
+        Branch,         ///< unconditional relative branch
+        BranchIfFalse,  ///< pops condition
+        DoInit,         ///< pops (start, limit) onto the loop stack
+        LoopInc,        ///< bump index; branch back while index < limit
+        PushIndexI,
+        PushIndexJ,
+        Exit,           ///< return from definition
+    };
+
+    struct Cell
+    {
+        CellKind kind;
+        std::uint32_t op = 0;   ///< token id for Token cells
+        std::int32_t arg = 0;   ///< branch offset / literal int
+        float farg = 0.0f;
+        std::uint32_t atom = 0;
+    };
+
+    struct Definition
+    {
+        std::uint32_t start; ///< code-space address of the first cell
+    };
+
+    /** Key for method lookup: (token id, class). */
+    using MethodKey = std::uint64_t;
+    static MethodKey
+    key(std::uint32_t op, FithClass cls)
+    {
+        return (static_cast<std::uint64_t>(op) << 16) |
+               static_cast<std::uint64_t>(cls);
+    }
+
+    using Primitive = std::function<bool(FithMachine &)>;
+
+    /** Tokenize, handling comments. */
+    static std::vector<std::string> tokenize(const std::string &src);
+    /** Compile tokens from @p i into code_, returning past-end index. */
+    std::size_t compile(const std::vector<std::string> &toks,
+                        std::size_t i, bool in_definition);
+    /** Execute the cells starting at @p start until Exit/end. */
+    FithResult execute(std::uint32_t start, std::uint64_t max_steps);
+
+    /** Class of the top of stack (None when empty). */
+    FithClass tosClass() const;
+    void push(mem::Word w) { stack_.push_back(w); }
+    bool popTwo(mem::Word &a, mem::Word &b);
+    void installPrimitives();
+    void prim(const std::string &name, FithClass cls, Primitive fn);
+
+    obj::SelectorTable tokens_;
+    std::vector<Cell> code_;
+    std::unordered_map<MethodKey, Definition> methods_;
+    std::unordered_map<MethodKey, Primitive> primitives_;
+
+    std::vector<mem::Word> stack_;
+    std::vector<std::uint32_t> rstack_;
+    struct LoopFrame
+    {
+        std::int32_t index;
+        std::int32_t limit;
+    };
+    std::vector<LoopFrame> loops_;
+    std::vector<std::vector<mem::Word>> arrays_;
+
+    bool tracing_ = false;
+    trace::Trace trace_;
+    std::string output_;
+    std::string error_;
+
+    std::uint32_t trueAtom_;
+    std::uint32_t falseAtom_;
+
+    sim::Counter dispatches_;
+    sim::Counter lookups_;
+};
+
+} // namespace com::fith
+
+#endif // COMSIM_FITH_FITH_HPP

@@ -1,0 +1,178 @@
+#include "fith/fith_programs.hpp"
+
+#include "fith/fith.hpp"
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::fith {
+
+std::vector<FithProgram>
+standardPrograms()
+{
+    std::vector<FithProgram> out;
+
+    out.push_back({"sieve", R"(
+        \ Sieve of Eratosthenes over a 400-element flag array.
+        : sieve ( -- count )
+          400 array                      ( a )
+          400 0 DO 1 over I ! LOOP       ( a : all flags set )
+          2 BEGIN dup dup * 400 < WHILE  ( a p )
+            dup dup *                    ( a p m )
+            BEGIN dup 400 < WHILE
+              0 3 pick 2 pick !          ( clear flags[m] )
+              over +                     ( m += p )
+            REPEAT drop
+            1 +
+          REPEAT drop
+          0 swap                         ( count a )
+          400 2 DO dup I @ rot + swap LOOP drop ;
+        sieve .
+    )"});
+
+    out.push_back({"fib", R"(
+        \ Recursive Fibonacci: heavy call/return traffic.
+        :: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + THEN ;
+        16 fib .
+    )"});
+
+    out.push_back({"arrays", R"(
+        \ Array fill, sum and running max over pseudo-random values.
+        : mkarr ( n -- a )
+          dup array swap 0 DO
+            I 31 * 17 + 97 mod over I !
+          LOOP ;
+        : asum ( a -- s )
+          0 swap dup len 0 DO dup I @ rot + swap LOOP drop ;
+        : amax ( a -- mx )
+          0 swap dup len 0 DO dup I @ rot max swap LOOP drop ;
+        64 mkarr dup asum . amax .
+        96 mkarr dup asum . amax .
+    )"});
+
+    out.push_back({"numeric", R"(
+        \ Mixed int/float kernel: dot products and scaling. The same
+        \ selectors dispatch on both Int and Float, doubling the ITLB
+        \ key population.
+        : dotstep ( acc x y -- acc' ) * + ;
+        : intsum   0 100 0 DO I I dotstep LOOP ;
+        : floatsum 0.0 100 0 DO I 1 * 0.5 + I 2 * 0.25 + dotstep LOOP ;
+        intsum . floatsum .
+        intsum drop floatsum drop
+    )"});
+
+    out.push_back({"atoms", R"(
+        \ Atom (symbol) churn: comparisons dispatching on Atom.
+        : flipflop 'alpha = IF 'beta ELSE 'alpha THEN ;
+        'alpha 60 0 DO flipflop LOOP .
+    )"});
+
+    out.push_back({"collatz", R"(
+        \ Collatz lengths: data-dependent control flow.
+        :: Int next dup 2 mod 0 = IF 2 / ELSE 3 * 1 + THEN ;
+        :: Int clen 0 swap BEGIN dup 1 > WHILE next swap 1 + swap
+           REPEAT drop ;
+        0 60 1 DO I clen max LOOP .
+    )"});
+
+    return out;
+}
+
+std::string
+syntheticProgram(std::uint64_t seed, unsigned num_defs, unsigned calls,
+                 const std::string &prefix)
+{
+    const char *p = prefix.c_str();
+    sim::Rng rng(seed);
+    std::string src;
+    std::vector<bool> is_float(num_defs);
+
+    // Small leaf definitions over Int and Float: arithmetic bodies of
+    // varying length so instruction addresses spread out.
+    for (unsigned d = 0; d < num_defs; ++d) {
+        is_float[d] = rng.chance(0.3);
+        src += is_float[d] ? ":: Float " : ":: Int ";
+        src += sim::format("%sw%u ", p, d);
+        unsigned body = 2 + static_cast<unsigned>(rng.below(6));
+        for (unsigned k = 0; k < body; ++k) {
+            switch (rng.below(6)) {
+              case 0: src += sim::format("%u + ",
+                                         1 + (unsigned)rng.below(9));
+                      break;
+              case 1: src += sim::format("%u * ",
+                                         1 + (unsigned)rng.below(5));
+                      break;
+              case 2: src += sim::format("%u - ",
+                                         1 + (unsigned)rng.below(9));
+                      break;
+              case 3: src += "dup + "; break;
+              case 4: src += sim::format("%u max ",
+                                         (unsigned)rng.below(50));
+                      break;
+              default: src += sim::format("%u min ",
+                                          50 + (unsigned)rng.below(50));
+                       break;
+            }
+        }
+        src += ";\n";
+        // A caller wrapping it, to deepen the call graph. The wrapper
+        // coerces to float first when the leaf dispatches on Float.
+        if (d % 3 == 0)
+            src += sim::format(":: Int %sc%u %s%sw%u ;\n", p, d,
+                               is_float[d] ? "0.5 + " : "", p, d);
+    }
+
+    // A sweep definition touches every word once, so every definition
+    // contributes code addresses and an ITLB key (the cold tail).
+    src += sim::format(": %ssweep ", p);
+    for (unsigned d = 0; d < num_defs; ++d)
+        src += sim::format("%u %s%sw%u drop ", 3 + d % 7,
+                           is_float[d] ? "0.5 + " : "", p, d);
+    src += ";\n";
+
+    // The driver: rotate through a hot subset in a loop (skewed reuse,
+    // the way real method populations behave), with periodic sweeps.
+    src += sim::format(": %sdriver ", p);
+    src += sim::format("%u 0 DO ", calls);
+    for (unsigned pick = 0; pick < 12; ++pick) {
+        std::uint64_t d = rng.below(num_defs);
+        if (rng.chance(0.7))
+            d = rng.below(num_defs / 4 + 1); // hot subset
+        src += sim::format("I %s%sw%u drop ",
+                           is_float[d] ? "0.5 + " : "", p,
+                           static_cast<unsigned>(d));
+    }
+    src += sim::format("I 8 mod 0 = IF %ssweep THEN ", p);
+    src += sim::format("LOOP ;\n%sdriver\n", p);
+    return src;
+}
+
+trace::Trace
+collectSuiteTrace(std::uint64_t seed, std::size_t min_entries)
+{
+    // One machine across rounds: each round's synthetic program gets a
+    // unique prefix, so its definitions occupy fresh code addresses and
+    // fresh selector tokens -- the trace's working set grows the way a
+    // long-running image's does, while the standard programs re-run at
+    // their original addresses and provide the hot, reused core.
+    FithMachine fm;
+    fm.setTracing(true);
+    std::uint64_t round = 0;
+    while (fm.trace().size() < min_entries) {
+        for (const FithProgram &p : standardPrograms()) {
+            FithResult r = fm.run(p.source);
+            sim::panicIf(!r.ok, "fith workload '", p.name,
+                         "' failed: ", r.error);
+        }
+        std::string prefix = sim::format("r%u_",
+                                         static_cast<unsigned>(round));
+        FithResult r = fm.run(
+            syntheticProgram(seed + round, 96, 120, prefix));
+        sim::panicIf(!r.ok, "fith synthetic workload failed: ",
+                     r.error);
+        ++round;
+    }
+    return fm.trace();
+}
+
+} // namespace com::fith

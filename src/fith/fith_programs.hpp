@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Built-in Fith workloads (paper Section 5 trace sources).
+ *
+ * The paper traced "large Fith programs", the longest about 20,000
+ * instructions. These workloads regenerate comparable traces: a mix of
+ * handwritten programs (sieve, recursive fib, bubble sort, numeric
+ * kernels, atom churn) plus a deterministic synthetic program generator
+ * that produces many small polymorphic definitions called in rotating
+ * patterns — matching the method-rich footprint of real Smalltalk-style
+ * code, which drives the ITLB and instruction-cache working sets of
+ * Figures 10 and 11.
+ */
+
+#ifndef COMSIM_FITH_FITH_PROGRAMS_HPP
+#define COMSIM_FITH_FITH_PROGRAMS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace com::fith {
+
+/** A named workload. */
+struct FithProgram
+{
+    std::string name;
+    std::string source;
+};
+
+/** The handwritten workload suite. */
+std::vector<FithProgram> standardPrograms();
+
+/**
+ * Generate a deterministic synthetic program: @p num_defs small
+ * definitions over mixed classes, invoked in @p calls rotating calls.
+ * @p prefix namespaces the definitions so successive programs loaded
+ * into one machine occupy fresh code addresses and selector tokens.
+ */
+std::string syntheticProgram(std::uint64_t seed, unsigned num_defs,
+                             unsigned calls,
+                             const std::string &prefix = "");
+
+/**
+ * Run the whole suite (standard + synthetic) and return the combined
+ * trace, at least @p min_entries long.
+ */
+trace::Trace collectSuiteTrace(std::uint64_t seed = 42,
+                               std::size_t min_entries = 200'000);
+
+} // namespace com::fith
+
+#endif // COMSIM_FITH_FITH_PROGRAMS_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Abstract syntax tree for the Smalltalk subset.
+ *
+ * Expressions are the usual Smalltalk forms: literals, variable
+ * references, unary / binary / keyword message sends, assignments and
+ * returns. Blocks appear only as arguments (or receivers) of the
+ * inlined control-flow selectors — ifTrue:/ifFalse:/and:/or:,
+ * whileTrue:, timesRepeat:, to:do: — and compile to branches, never to
+ * block contexts (closures are out of scope; DESIGN.md documents the
+ * restriction and its relation to the paper's non-LIFO context story).
+ */
+
+#ifndef COMSIM_LANG_AST_HPP
+#define COMSIM_LANG_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace com::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node kinds. */
+enum class ExprKind : std::uint8_t
+{
+    IntLit,
+    FloatLit,
+    StringLit,
+    SymbolLit,
+    TrueLit,
+    FalseLit,
+    NilLit,
+    SelfRef,
+    VarRef,     ///< temp, argument, field or class name
+    Assign,     ///< var := expr
+    Send,       ///< receiver selector: args
+    Block,      ///< [ :a | statements ] — control-flow positions only
+    Cascade,    ///< receiver msg1; msg2; ... (value: receiver)
+};
+
+/** One expression node. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Literals.
+    std::int64_t intVal = 0;
+    double floatVal = 0.0;
+    std::string text; ///< var name / string / symbol / selector
+
+    // Send: receiver (null for cascaded sends inherits), arguments.
+    ExprPtr receiver;
+    std::vector<ExprPtr> args;
+
+    // Block: parameters and body.
+    std::vector<std::string> params;
+    std::vector<ExprPtr> body;      ///< statements
+    std::vector<ExprPtr> cascade;   ///< additional sends for Cascade
+    bool isReturn = false;          ///< statement was ^expr
+
+    static ExprPtr
+    make(ExprKind k, int line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = line;
+        return e;
+    }
+};
+
+/** One method definition. */
+struct MethodDef
+{
+    std::string selector;             ///< "x", "+", "setX:y:"
+    std::vector<std::string> argNames;
+    std::vector<std::string> temps;
+    std::vector<ExprPtr> body;        ///< statements (isReturn on Expr)
+    int line = 0;
+};
+
+/** One class definition. */
+struct ClassDef
+{
+    std::string name;
+    std::string superName;            ///< "" = Object
+    std::vector<std::string> fields;
+    std::vector<MethodDef> methods;
+    int line = 0;
+};
+
+/** A whole program: classes plus an optional main body. */
+struct Program
+{
+    std::vector<ClassDef> classes;
+    /** The entry: a method body (temps + statements). */
+    std::vector<std::string> mainTemps;
+    std::vector<ExprPtr> mainBody;
+    bool hasMain = false;
+};
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_AST_HPP

@@ -1,0 +1,713 @@
+#include "lang/compiler_com.hpp"
+
+#include <cctype>
+
+#include "lang/parser.hpp"
+#include "sim/logging.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::lang {
+
+using core::Instr;
+using core::Machine;
+using core::Mode;
+using core::Op;
+using core::Operand;
+using mem::ClassId;
+using mem::Word;
+using obj::kCtxArg0;
+using obj::kCtxFirstArg;
+using obj::kCtxReceiver;
+
+namespace {
+
+/** Well-known selectors that compile straight to primitive tokens. */
+struct PrimSel
+{
+    const char *selector;
+    Op op;
+    unsigned arity;
+};
+
+const PrimSel kPrimSels[] = {
+    {"+", Op::Add, 1},        {"-", Op::Sub, 1},
+    {"*", Op::Mul, 1},        {"/", Op::Div, 1},
+    {"\\\\", Op::Mod, 1},     {"<", Op::Lt, 1},
+    {"<=", Op::Le, 1},        {"=", Op::Eq, 1},
+    {"~=", Op::Ne, 1},        {"==", Op::Same, 1},
+    {"bitAnd:", Op::And, 1},  {"bitOr:", Op::Or, 1},
+    {"bitXor:", Op::Xor, 1},  {"bitShift:", Op::Shift, 1},
+    {"negated", Op::Neg, 0},  {"bitNot", Op::Not, 0},
+};
+
+bool
+isCapitalized(const std::string &s)
+{
+    return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+} // namespace
+
+/**
+ * Emits the code of one method: slot allocation, expression
+ * compilation, label patching.
+ */
+class MethodEmitter
+{
+  public:
+    MethodEmitter(ComCompiler &cc, Machine &m,
+                  const std::unordered_map<std::string, std::uint32_t>
+                      &fields,
+                  const std::vector<std::string> &args,
+                  const std::vector<std::string> &temps, int line)
+        : cc_(cc), machine_(m), fields_(fields), line_(line)
+    {
+        std::uint8_t slot = kCtxFirstArg;
+        for (const std::string &a : args) {
+            sim::fatalIf(vars_.count(a), "line ", line,
+                         ": duplicate argument '", a, "'");
+            vars_[a] = slot++;
+        }
+        for (const std::string &t : temps) {
+            sim::fatalIf(vars_.count(t), "line ", line,
+                         ": duplicate temporary '", t, "'");
+            vars_[t] = slot++;
+        }
+        firstScratch_ = slot;
+        nextScratch_ = slot;
+        checkSlots(line);
+    }
+
+    /** Compile the statement list and finish with a default return. */
+    std::vector<Instr>
+    emitBody(const std::vector<ExprPtr> &body)
+    {
+        bool ended_with_return = false;
+        for (const ExprPtr &stmt : body) {
+            ended_with_return = false;
+            if (stmt->isReturn) {
+                Operand v = value(*stmt);
+                emitReturn(v);
+                ended_with_return = true;
+            } else {
+                Operand v = value(*stmt);
+                release(v);
+            }
+            resetScratch();
+        }
+        if (!ended_with_return)
+            emitReturn(Operand::cur(kCtxReceiver)); // ^self
+        patchLabels();
+        return std::move(code_);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Slots
+    // ------------------------------------------------------------------
+
+    void
+    checkSlots(int line) const
+    {
+        sim::fatalIf(nextScratch_ > 32, "line ", line,
+                     ": method needs more than 32 context words; the "
+                     "COM would allocate overflow space from the heap "
+                     "(unsupported by this compiler)");
+    }
+
+    std::uint8_t
+    allocScratch(int line)
+    {
+        std::uint8_t s = nextScratch_++;
+        checkSlots(line);
+        return s;
+    }
+
+    void resetScratch() { nextScratch_ = firstScratch_; }
+
+    /** Free a scratch operand if it is the most recent allocation. */
+    void
+    release(const Operand &o)
+    {
+        if (o.mode == Mode::CtxCur && o.index >= firstScratch_ &&
+            o.index + 1 == nextScratch_)
+            --nextScratch_;
+    }
+
+    // ------------------------------------------------------------------
+    // Emission helpers
+    // ------------------------------------------------------------------
+
+    void emit(Instr i) { code_.push_back(i); }
+
+    /** Ensure @p o can sit in the B descriptor (materialize consts). */
+    Operand
+    asSlot(const Operand &o, int line)
+    {
+        if (o.mode != Mode::Const)
+            return o;
+        std::uint8_t s = allocScratch(line);
+        emit(Instr::make(Op::Move, Operand::cur(s), o,
+                         Operand::cur(0)));
+        return Operand::cur(s);
+    }
+
+    Operand
+    constant(Word w)
+    {
+        return Operand::cons(machine_.constants().intern(w));
+    }
+
+    std::size_t
+    newLabel()
+    {
+        labels_.push_back(SIZE_MAX);
+        return labels_.size() - 1;
+    }
+
+    void bind(std::size_t label) { labels_[label] = code_.size(); }
+
+    /** Emit a branch to @p label, patched later. Kind: 'j','t','f'. */
+    void
+    emitBranch(char kind, std::size_t label, Operand cond)
+    {
+        patches_.push_back(Patch{code_.size(), label, kind});
+        // Placeholder: condition in A, offset patched into C.
+        Operand a = kind == 'j' ? constant(machine_.constants()
+                                               .trueWord())
+                                : cond;
+        emit(Instr::make(Op::Fjmp, a, Operand::cur(0),
+                         Operand::cur(0)));
+    }
+
+    void
+    patchLabels()
+    {
+        for (const Patch &p : patches_) {
+            std::size_t target = labels_[p.label];
+            sim::panicIf(target == SIZE_MAX, "unbound label");
+            std::int64_t delta = static_cast<std::int64_t>(target) -
+                                 static_cast<std::int64_t>(p.instr) - 1;
+            Instr &ins = code_[p.instr];
+            bool forward = delta >= 0;
+            std::int64_t mag = forward ? delta : -delta;
+            if (p.kind == 'f')
+                ins.op = forward ? Op::FjmpF : Op::RjmpF;
+            else
+                ins.op = forward ? Op::Fjmp : Op::Rjmp;
+            ins.c = constant(Word::fromInt(
+                static_cast<std::int32_t>(mag)));
+        }
+    }
+
+    void
+    emitReturn(const Operand &v)
+    {
+        // "*c0 = value (return)": store through the result pointer in
+        // arg0 and set the return bit.
+        Operand value_slot = v;
+        emit(Instr::make(Op::PutRes, Operand::cur(kCtxArg0), value_slot,
+                         Operand::cur(0), /*ret=*/true));
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /** Compile @p e, returning the operand holding its value. */
+    Operand
+    value(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return constant(Word::fromInt(
+                static_cast<std::int32_t>(e.intVal)));
+          case ExprKind::FloatLit:
+            return constant(Word::fromFloat(
+                static_cast<float>(e.floatVal)));
+          case ExprKind::StringLit:
+            return constant(Word::fromPointer(
+                static_cast<std::uint32_t>(
+                    machine_.makeString(e.text))));
+          case ExprKind::SymbolLit:
+            return constant(Word::fromAtom(
+                machine_.selectors().intern(e.text)));
+          case ExprKind::TrueLit:
+            return constant(machine_.constants().trueWord());
+          case ExprKind::FalseLit:
+            return constant(machine_.constants().falseWord());
+          case ExprKind::NilLit:
+            return constant(machine_.constants().nilWord());
+          case ExprKind::SelfRef:
+            return Operand::cur(kCtxReceiver);
+          case ExprKind::VarRef:
+            return compileVarRef(e);
+          case ExprKind::Assign:
+            return compileAssign(e);
+          case ExprKind::Send:
+            return compileSend(e);
+          case ExprKind::Cascade:
+            return compileCascade(e);
+          case ExprKind::Block:
+            sim::fatal("line ", e.line,
+                       ": blocks are only supported as arguments of "
+                       "the inlined control-flow selectors");
+        }
+        sim::panic("unhandled expression kind");
+    }
+
+    Operand
+    compileVarRef(const Expr &e)
+    {
+        auto vit = vars_.find(e.text);
+        if (vit != vars_.end())
+            return Operand::cur(vit->second);
+        auto fit = fields_.find(e.text);
+        if (fit != fields_.end()) {
+            std::uint8_t dst = allocScratch(e.line);
+            emit(Instr::make(Op::At, Operand::cur(dst),
+                             Operand::cur(kCtxReceiver),
+                             constant(Word::fromInt(
+                                 static_cast<std::int32_t>(
+                                     fit->second)))));
+            return Operand::cur(dst);
+        }
+        if (isCapitalized(e.text)) {
+            // Class literal: the class-name atom (receiver of new/new:).
+            return constant(Word::fromAtom(
+                machine_.selectors().intern(e.text)));
+        }
+        sim::fatal("line ", e.line, ": unknown variable '", e.text,
+                   "'");
+    }
+
+    Operand
+    compileAssign(const Expr &e)
+    {
+        const Expr &rhs = *e.args[0];
+        auto vit = vars_.find(e.text);
+        if (vit != vars_.end()) {
+            Operand dst = Operand::cur(vit->second);
+            Operand v = value(rhs);
+            if (!(v == dst))
+                emit(Instr::make(Op::Move, dst, v, Operand::cur(0)));
+            release(v);
+            return dst;
+        }
+        auto fit = fields_.find(e.text);
+        if (fit != fields_.end()) {
+            Operand v = asSlot(value(rhs), e.line);
+            emit(Instr::make(Op::AtPut, v,
+                             Operand::cur(kCtxReceiver),
+                             constant(Word::fromInt(
+                                 static_cast<std::int32_t>(
+                                     fit->second)))));
+            return v;
+        }
+        sim::fatal("line ", e.line, ": assignment to unknown variable '",
+                   e.text, "'");
+    }
+
+    Operand
+    compileCascade(const Expr &e)
+    {
+        // Evaluate the full first send; re-send the cascaded messages
+        // to the same receiver. Value: the last message's result.
+        const Expr &first = *e.receiver;
+        sim::fatalIf(first.kind != ExprKind::Send, "line ", e.line,
+                     ": cascade needs a message receiver");
+        Operand recv = asSlot(value(*first.receiver), e.line);
+
+        Operand result = emitSendTo(recv, first.text, first.args,
+                                    first.line);
+        for (const ExprPtr &msg : e.cascade) {
+            release(result);
+            result = emitSendTo(recv, msg->text, msg->args, msg->line);
+        }
+        return result;
+    }
+
+    Operand
+    compileSend(const Expr &e)
+    {
+        // Inlined control flow first.
+        if (Operand out; compileControlFlow(e, out))
+            return out;
+
+        Operand recv = asSlot(value(*e.receiver), e.line);
+        return emitSendTo(recv, e.text, e.args, e.line);
+    }
+
+    /** Emit a (possibly primitive) send of @p sel to @p recv. */
+    Operand
+    emitSendTo(Operand recv, const std::string &sel,
+               const std::vector<ExprPtr> &args, int line)
+    {
+        // '>' and '>=' have no opcode tokens of their own: the paper's
+        // comparison set is <, <=, =, ~=; the compiler swaps operands.
+        if (sel == ">" || sel == ">=") {
+            Operand arg = asSlot(value(*args[0]), line);
+            std::uint8_t dst = allocScratch(line);
+            emit(Instr::make(sel == ">" ? Op::Lt : Op::Le,
+                             Operand::cur(dst), arg, recv));
+            release(arg);
+            return Operand::cur(dst);
+        }
+
+        // at:/at:put: are real messages (a class may override them);
+        // the At/AtPut *instructions* are reserved for field access.
+        // Their default implementations are the Object host routines.
+
+        for (const PrimSel &ps : kPrimSels) {
+            if (sel == ps.selector) {
+                Operand arg = ps.arity
+                                  ? value(*args[0])
+                                  : Operand::cur(0);
+                std::uint8_t dst = allocScratch(line);
+                emit(Instr::make(ps.op, Operand::cur(dst), recv, arg));
+                release(arg);
+                return Operand::cur(dst);
+            }
+        }
+
+        unsigned arity = static_cast<unsigned>(args.size());
+        Op token = arity <= 1 ? machine_.assignOpcode(sel)
+                              : Op::kExtendedOp;
+        std::uint8_t dst = allocScratch(line);
+
+        if (token != Op::kExtendedOp) {
+            // Three-address send: the hardware expands and copies the
+            // operands into the new context.
+            Operand arg = arity ? value(*args[0]) : Operand::cur(0);
+            emit(Instr::make(token, Operand::cur(dst), recv, arg));
+            release(arg);
+            return Operand::cur(dst);
+        }
+
+        // Extended send: stage result pointer, receiver and arguments
+        // into the next context, then issue the zero-operand send.
+        std::vector<Operand> arg_ops;
+        for (const ExprPtr &a : args)
+            arg_ops.push_back(value(*a));
+        emit(Instr::make(Op::Movea, Operand::next(kCtxArg0),
+                         Operand::cur(dst), Operand::cur(0)));
+        emit(Instr::make(Op::Move, Operand::next(kCtxReceiver), recv,
+                         Operand::cur(0)));
+        for (std::size_t i = 0; i < arg_ops.size(); ++i)
+            emit(Instr::make(Op::Move,
+                             Operand::next(static_cast<std::uint8_t>(
+                                 kCtxFirstArg + i)),
+                             arg_ops[i], Operand::cur(0)));
+        for (auto it = arg_ops.rbegin(); it != arg_ops.rend(); ++it)
+            release(*it);
+        std::uint32_t sid = machine_.selectors().intern(sel);
+        emit(Instr::makeSend(sid, arity ? 2 : 1));
+        return Operand::cur(dst);
+    }
+
+    // ------------------------------------------------------------------
+    // Inlined control flow
+    // ------------------------------------------------------------------
+
+    /** Compile the block @p b inline; value lands in @p dst. */
+    void
+    inlineBlockInto(const Expr &b, std::uint8_t dst)
+    {
+        sim::fatalIf(b.kind != ExprKind::Block, "line ", b.line,
+                     ": expected a block argument here");
+        sim::fatalIf(!b.params.empty(), "line ", b.line,
+                     ": this block takes no parameters");
+        Operand last = constant(machine_.constants().nilWord());
+        for (const ExprPtr &stmt : b.body) {
+            if (stmt->isReturn) {
+                Operand v = value(*stmt);
+                emitReturn(v);
+                release(v);
+                continue;
+            }
+            release(last);
+            last = value(*stmt);
+        }
+        if (!(last == Operand::cur(dst)))
+            emit(Instr::make(Op::Move, Operand::cur(dst), last,
+                             Operand::cur(0)));
+        release(last);
+    }
+
+    bool
+    compileControlFlow(const Expr &e, Operand &out)
+    {
+        const std::string &sel = e.text;
+
+        if (sel == "ifTrue:" || sel == "ifFalse:" ||
+            sel == "ifTrue:ifFalse:" || sel == "ifFalse:ifTrue:") {
+            Operand cond = value(*e.receiver);
+            std::uint8_t dst = allocScratch(e.line);
+            bool true_first = sel[2] == 'T'; // ifTrue...
+            std::size_t l_other = newLabel();
+            std::size_t l_end = newLabel();
+            emitBranch(true_first ? 'f' : 't', l_other, cond);
+            release(cond);
+            inlineBlockInto(*e.args[0], dst);
+            emitBranch('j', l_end, Operand::cur(0));
+            bind(l_other);
+            if (e.args.size() > 1) {
+                inlineBlockInto(*e.args[1], dst);
+            } else {
+                emit(Instr::make(Op::Move, Operand::cur(dst),
+                                 constant(machine_.constants()
+                                              .nilWord()),
+                                 Operand::cur(0)));
+            }
+            bind(l_end);
+            out = Operand::cur(dst);
+            return true;
+        }
+
+        if (sel == "and:" || sel == "or:") {
+            Operand cond = value(*e.receiver);
+            std::uint8_t dst = allocScratch(e.line);
+            if (!(cond == Operand::cur(dst)))
+                emit(Instr::make(Op::Move, Operand::cur(dst), cond,
+                                 Operand::cur(0)));
+            release(cond);
+            std::size_t l_end = newLabel();
+            emitBranch(sel == "and:" ? 'f' : 't', l_end,
+                       Operand::cur(dst));
+            inlineBlockInto(*e.args[0], dst);
+            bind(l_end);
+            out = Operand::cur(dst);
+            return true;
+        }
+
+        if (sel == "whileTrue:" || sel == "whileFalse:") {
+            sim::fatalIf(e.receiver->kind != ExprKind::Block, "line ",
+                         e.line, ": ", sel,
+                         " needs a block receiver [cond]");
+            std::uint8_t cond_slot = allocScratch(e.line);
+            std::size_t l_top = newLabel();
+            std::size_t l_end = newLabel();
+            bind(l_top);
+            inlineBlockInto(*e.receiver, cond_slot);
+            emitBranch(sel == "whileTrue:" ? 'f' : 't', l_end,
+                       Operand::cur(cond_slot));
+            std::uint8_t body_slot = allocScratch(e.line);
+            inlineBlockInto(*e.args[0], body_slot);
+            --nextScratch_; // body slot
+            emitBranch('j', l_top, Operand::cur(0));
+            bind(l_end);
+            out = constant(machine_.constants().nilWord());
+            --nextScratch_; // cond slot
+            return true;
+        }
+
+        if (sel == "timesRepeat:") {
+            Operand n = asSlot(value(*e.receiver), e.line);
+            std::uint8_t i_slot = allocScratch(e.line);
+            std::uint8_t t_slot = allocScratch(e.line);
+            emit(Instr::make(Op::Move, Operand::cur(i_slot),
+                             constant(Word::fromInt(0)),
+                             Operand::cur(0)));
+            std::size_t l_top = newLabel();
+            std::size_t l_end = newLabel();
+            bind(l_top);
+            emit(Instr::make(Op::Lt, Operand::cur(t_slot),
+                             Operand::cur(i_slot), n));
+            emitBranch('f', l_end, Operand::cur(t_slot));
+            std::uint8_t body_slot = allocScratch(e.line);
+            inlineBlockInto(*e.args[0], body_slot);
+            --nextScratch_;
+            emit(Instr::make(Op::Add, Operand::cur(i_slot),
+                             Operand::cur(i_slot),
+                             constant(Word::fromInt(1))));
+            emitBranch('j', l_top, Operand::cur(0));
+            bind(l_end);
+            out = constant(machine_.constants().nilWord());
+            nextScratch_ = i_slot; // free i and t
+            release(n);
+            return true;
+        }
+
+        if (sel == "to:do:" || sel == "to:by:do:") {
+            const Expr &blk = *e.args.back();
+            sim::fatalIf(blk.kind != ExprKind::Block ||
+                         blk.params.size() != 1,
+                         "line ", e.line,
+                         ": to:do: needs a one-parameter block");
+            std::int64_t by = 1;
+            if (sel == "to:by:do:") {
+                sim::fatalIf(e.args[1]->kind != ExprKind::IntLit,
+                             "line ", e.line,
+                             ": to:by:do: needs a literal integer step");
+                by = e.args[1]->intVal;
+                sim::fatalIf(by == 0, "line ", e.line,
+                             ": zero step in to:by:do:");
+            }
+            Operand from = value(*e.receiver);
+            Operand to = asSlot(value(*e.args[0]), e.line);
+
+            std::uint8_t i_slot = allocScratch(e.line);
+            sim::fatalIf(vars_.count(blk.params[0]), "line ", e.line,
+                         ": loop variable shadows an existing name");
+            vars_[blk.params[0]] = i_slot;
+            std::uint8_t t_slot = allocScratch(e.line);
+
+            emit(Instr::make(Op::Move, Operand::cur(i_slot), from,
+                             Operand::cur(0)));
+            release(from);
+            std::size_t l_top = newLabel();
+            std::size_t l_end = newLabel();
+            bind(l_top);
+            if (by > 0)
+                emit(Instr::make(Op::Le, Operand::cur(t_slot),
+                                 Operand::cur(i_slot), to));
+            else
+                emit(Instr::make(Op::Le, Operand::cur(t_slot), to,
+                                 Operand::cur(i_slot)));
+            emitBranch('f', l_end, Operand::cur(t_slot));
+            std::uint8_t body_slot = allocScratch(e.line);
+            // Inline the body with the loop variable bound.
+            {
+                Operand last = constant(machine_.constants().nilWord());
+                for (const ExprPtr &stmt : blk.body) {
+                    if (stmt->isReturn) {
+                        Operand v = value(*stmt);
+                        emitReturn(v);
+                        release(v);
+                        continue;
+                    }
+                    release(last);
+                    last = value(*stmt);
+                }
+                release(last);
+                (void)body_slot;
+            }
+            --nextScratch_;
+            emit(Instr::make(Op::Add, Operand::cur(i_slot),
+                             Operand::cur(i_slot),
+                             constant(Word::fromInt(
+                                 static_cast<std::int32_t>(by)))));
+            emitBranch('j', l_top, Operand::cur(0));
+            bind(l_end);
+            vars_.erase(blk.params[0]);
+            out = constant(machine_.constants().nilWord());
+            nextScratch_ = i_slot; // free the loop variable and t
+            release(to);
+            return true;
+        }
+
+        return false;
+    }
+
+    struct Patch
+    {
+        std::size_t instr;
+        std::size_t label;
+        char kind; // 'j' unconditional, 't' if-true, 'f' if-false
+    };
+
+    ComCompiler &cc_;
+    Machine &machine_;
+    const std::unordered_map<std::string, std::uint32_t> &fields_;
+    int line_;
+    std::unordered_map<std::string, std::uint8_t> vars_;
+    std::uint8_t firstScratch_ = 0;
+    std::uint8_t nextScratch_ = 0;
+    std::vector<Instr> code_;
+    std::vector<std::size_t> labels_;
+    std::vector<Patch> patches_;
+};
+
+void
+ComCompiler::defineClasses(const Program &program)
+{
+    classByName_.clear();
+    for (const ClassDef &cd : program.classes)
+        classByName_[cd.name] = &cd;
+
+    // Define in dependency order; detect cycles.
+    std::size_t defined = 0, last = SIZE_MAX;
+    while (defined < program.classes.size() && defined != last) {
+        last = defined;
+        for (const ClassDef &cd : program.classes) {
+            if (machine_.classes().tryByName(cd.name) != obj::kNoClass)
+                continue;
+            ClassId super = machine_.classes().objectClass();
+            if (!cd.superName.empty()) {
+                super = machine_.classes().tryByName(cd.superName);
+                if (super == obj::kNoClass)
+                    continue; // superclass not defined yet
+            }
+            machine_.classes().define(cd.name, super,
+                                      static_cast<std::uint32_t>(
+                                          cd.fields.size()),
+                                      /*indexed=*/false);
+            ++defined;
+        }
+    }
+    sim::fatalIf(defined < program.classes.size(),
+                 "class hierarchy has a cycle or unknown superclass");
+}
+
+std::unordered_map<std::string, std::uint32_t>
+ComCompiler::fieldMapOf(const ClassDef &cd) const
+{
+    std::unordered_map<std::string, std::uint32_t> map;
+    // Walk up the source-level chain, inherited fields first.
+    std::vector<const ClassDef *> chain;
+    const ClassDef *c = &cd;
+    while (c) {
+        chain.push_back(c);
+        if (c->superName.empty())
+            break;
+        auto it = classByName_.find(c->superName);
+        c = it == classByName_.end() ? nullptr : it->second;
+    }
+    std::uint32_t idx = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+        for (const std::string &f : (*it)->fields) {
+            sim::fatalIf(map.count(f) != 0, "class ", cd.name,
+                         ": duplicate field '", f, "' in hierarchy");
+            map[f] = idx++;
+        }
+    return map;
+}
+
+CompiledProgram
+ComCompiler::compile(const Program &program)
+{
+    CompiledProgram out;
+    defineClasses(program);
+
+    for (const ClassDef &cd : program.classes) {
+        ClassId cls = machine_.classes().byName(cd.name);
+        auto fields = fieldMapOf(cd);
+        for (const MethodDef &md : cd.methods) {
+            MethodEmitter em(*this, machine_, fields, md.argNames,
+                             md.temps, md.line);
+            std::vector<Instr> code = em.emitBody(md.body);
+            out.instructionsEmitted += code.size();
+            machine_.installMethod(cls, md.selector, code);
+            ++out.methodsInstalled;
+        }
+    }
+
+    if (program.hasMain) {
+        std::unordered_map<std::string, std::uint32_t> no_fields;
+        MethodEmitter em(*this, machine_, no_fields, {},
+                         program.mainTemps, 0);
+        std::vector<Instr> code = em.emitBody(program.mainBody);
+        out.instructionsEmitted += code.size();
+        out.entryVaddr = machine_.makeMethodObject(code);
+    }
+    return out;
+}
+
+CompiledProgram
+ComCompiler::compileSource(const std::string &source)
+{
+    Program p = parse(source);
+    return compile(p);
+}
+
+} // namespace com::lang

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Smalltalk -> COM compiler (paper Section 4, Figure 9).
+ *
+ * Maps the Smalltalk execution model onto the COM: each method runs in
+ * a 32-word context laid out per Figure 8 (RCP, RIP, arg0 = result
+ * pointer, arg1 = receiver, further arguments, then temporaries, then
+ * expression temporaries — the subset forgoes an expression stack, so
+ * "a temporary ... may arise from expression evaluation").
+ *
+ * Sends compile to abstract instructions: well-known selectors emit
+ * their primitive opcode tokens directly (+ stays one instruction when
+ * both operands are small integers at run time, and becomes a method
+ * call for user classes — late binding with no compiler involvement).
+ * Unary and single-argument user selectors use the three-address
+ * format, whose operand expansion the hardware performs; multi-keyword
+ * selectors stage their arguments into the next context and use the
+ * extended send format (Section 3.5's zero-operand instructions).
+ *
+ * Control flow (ifTrue:/ifFalse:/and:/or:/whileTrue:/timesRepeat:/
+ * to:do:/to:by:do:) inlines blocks into branches; block contexts are
+ * not created (closures out of scope; see DESIGN.md).
+ *
+ * Returns compile exactly as the paper's example: the result is stored
+ * through the caller-provided pointer in arg0 and the instruction's
+ * return bit ends the activation ("c0=c2 (return)").
+ */
+
+#ifndef COMSIM_LANG_COMPILER_COM_HPP
+#define COMSIM_LANG_COMPILER_COM_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/machine.hpp"
+#include "lang/ast.hpp"
+
+namespace com::lang {
+
+/** Compilation results for inspection. */
+struct CompiledProgram
+{
+    std::uint64_t entryVaddr = 0;       ///< the main method object
+    std::size_t methodsInstalled = 0;
+    std::size_t instructionsEmitted = 0;
+};
+
+/** The COM back end. */
+class ComCompiler
+{
+  public:
+    explicit ComCompiler(core::Machine &machine) : machine_(machine) {}
+
+    /** Compile a parsed program into @p machine_. */
+    CompiledProgram compile(const Program &program);
+
+    /** Parse and compile source text. */
+    CompiledProgram compileSource(const std::string &source);
+
+  private:
+    friend class MethodEmitter;
+
+    /** Define all classes (any declaration order). */
+    void defineClasses(const Program &program);
+    /** Field name -> index maps, inherited fields included. */
+    std::unordered_map<std::string, std::uint32_t>
+    fieldMapOf(const ClassDef &cd) const;
+
+    core::Machine &machine_;
+    std::unordered_map<std::string, const ClassDef *> classByName_;
+};
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_COMPILER_COM_HPP

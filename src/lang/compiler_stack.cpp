@@ -1,0 +1,504 @@
+#include "lang/compiler_stack.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "lang/parser.hpp"
+#include "sim/logging.hpp"
+
+namespace com::lang {
+
+using mem::Word;
+
+namespace {
+
+bool
+isCapitalized(const std::string &s)
+{
+    return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+/** Emits bytecodes for one method. */
+class StackEmitter
+{
+  public:
+    StackEmitter(StackVm &vm,
+                 const std::unordered_map<std::string, std::uint32_t>
+                     &fields,
+                 const std::vector<std::string> &args,
+                 const std::vector<std::string> &temps)
+        : vm_(vm), fields_(fields)
+    {
+        for (const std::string &a : args)
+            locals_[a] = static_cast<std::int32_t>(locals_.size());
+        numArgs_ = static_cast<unsigned>(args.size());
+        for (const std::string &t : temps)
+            locals_[t] = static_cast<std::int32_t>(locals_.size());
+        numTemps_ = static_cast<unsigned>(temps.size());
+    }
+
+    SMethod
+    emitBody(const std::string &selector,
+             const std::vector<ExprPtr> &body)
+    {
+        for (const ExprPtr &stmt : body) {
+            if (stmt->isReturn) {
+                value(*stmt);
+                emit(SOp::Return);
+            } else {
+                value(*stmt);
+                emit(SOp::Pop);
+            }
+        }
+        emit(SOp::ReturnSelf);
+        method_.selector = selector;
+        method_.numArgs = numArgs_;
+        method_.numTemps = numTemps_ + extraTemps_;
+        return std::move(method_);
+    }
+
+  private:
+    void
+    emit(SOp op, std::int32_t a = 0, std::int32_t b = 0)
+    {
+        method_.code.push_back(SInstr{op, a, b});
+    }
+
+    std::int32_t
+    literal(Word w)
+    {
+        for (std::size_t i = 0; i < method_.literals.size(); ++i)
+            if (method_.literals[i] == w)
+                return static_cast<std::int32_t>(i);
+        method_.literals.push_back(w);
+        return static_cast<std::int32_t>(method_.literals.size() - 1);
+    }
+
+    std::size_t here() const { return method_.code.size(); }
+
+    void
+    patch(std::size_t at, std::size_t target)
+    {
+        method_.code[at].a = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(target) -
+            static_cast<std::int64_t>(at) - 1);
+    }
+
+    void
+    value(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            emit(SOp::PushLit, literal(Word::fromInt(
+                static_cast<std::int32_t>(e.intVal))));
+            return;
+          case ExprKind::FloatLit:
+            emit(SOp::PushLit, literal(Word::fromFloat(
+                static_cast<float>(e.floatVal))));
+            return;
+          case ExprKind::StringLit:
+            emit(SOp::PushLit, literal(vm_.makeString(e.text)));
+            return;
+          case ExprKind::SymbolLit:
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern(e.text))));
+            return;
+          case ExprKind::TrueLit:
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("true"))));
+            return;
+          case ExprKind::FalseLit:
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("false"))));
+            return;
+          case ExprKind::NilLit:
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("nil"))));
+            return;
+          case ExprKind::SelfRef:
+            emit(SOp::PushSelf);
+            return;
+          case ExprKind::VarRef: {
+            auto lit = locals_.find(e.text);
+            if (lit != locals_.end()) {
+                emit(SOp::PushLocal, lit->second);
+                return;
+            }
+            auto fit = fields_.find(e.text);
+            if (fit != fields_.end()) {
+                emit(SOp::PushField,
+                     static_cast<std::int32_t>(fit->second));
+                return;
+            }
+            sim::fatalIf(!isCapitalized(e.text), "line ", e.line,
+                         ": unknown variable '", e.text, "'");
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern(e.text))));
+            return;
+          }
+          case ExprKind::Assign: {
+            value(*e.args[0]);
+            emit(SOp::Dup);
+            auto lit = locals_.find(e.text);
+            if (lit != locals_.end()) {
+                emit(SOp::StoreLocal, lit->second);
+                return;
+            }
+            auto fit = fields_.find(e.text);
+            sim::fatalIf(fit == fields_.end(), "line ", e.line,
+                         ": assignment to unknown variable '", e.text,
+                         "'");
+            emit(SOp::StoreField,
+                 static_cast<std::int32_t>(fit->second));
+            return;
+          }
+          case ExprKind::Send:
+            compileSend(e);
+            return;
+          case ExprKind::Cascade: {
+            const Expr &first = *e.receiver;
+            sim::fatalIf(first.kind != ExprKind::Send, "line ", e.line,
+                         ": cascade needs a message receiver");
+            // Evaluate the receiver once into a hidden temp.
+            value(*first.receiver);
+            std::int32_t tmp = hiddenTemp();
+            emit(SOp::StoreLocal, tmp);
+            emit(SOp::PushLocal, tmp);
+            sendTo(first.text, first.args);
+            for (const ExprPtr &msg : e.cascade) {
+                emit(SOp::Pop);
+                emit(SOp::PushLocal, tmp);
+                sendTo(msg->text, msg->args);
+            }
+            return;
+          }
+          case ExprKind::Block:
+            sim::fatal("line ", e.line,
+                       ": blocks are only supported as arguments of "
+                       "the inlined control-flow selectors");
+        }
+    }
+
+    std::int32_t
+    hiddenTemp()
+    {
+        std::int32_t idx = static_cast<std::int32_t>(
+            numArgs_ + numTemps_ + extraTemps_);
+        ++extraTemps_;
+        return idx;
+    }
+
+    void
+    sendTo(const std::string &sel, const std::vector<ExprPtr> &args)
+    {
+        for (const ExprPtr &a : args)
+            value(*a);
+        emit(SOp::Send,
+             static_cast<std::int32_t>(vm_.selectors().intern(sel)),
+             static_cast<std::int32_t>(args.size()));
+    }
+
+    void
+    inlineBlock(const Expr &b)
+    {
+        sim::fatalIf(b.kind != ExprKind::Block, "line ", b.line,
+                     ": expected a block argument");
+        sim::fatalIf(!b.params.empty(), "line ", b.line,
+                     ": this block takes no parameters");
+        bool pushed = false;
+        for (const ExprPtr &stmt : b.body) {
+            if (stmt->isReturn) {
+                value(*stmt);
+                emit(SOp::Return);
+                continue;
+            }
+            if (pushed)
+                emit(SOp::Pop);
+            value(*stmt);
+            pushed = true;
+        }
+        if (!pushed)
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("nil"))));
+    }
+
+    void
+    compileSend(const Expr &e)
+    {
+        const std::string &sel = e.text;
+
+        if (sel == "ifTrue:" || sel == "ifFalse:" ||
+            sel == "ifTrue:ifFalse:" || sel == "ifFalse:ifTrue:") {
+            value(*e.receiver);
+            bool true_first = sel[2] == 'T';
+            std::size_t j1 = here();
+            emit(true_first ? SOp::JumpFalse : SOp::JumpTrue);
+            inlineBlock(*e.args[0]);
+            std::size_t j2 = here();
+            emit(SOp::Jump);
+            patch(j1, here());
+            if (e.args.size() > 1)
+                inlineBlock(*e.args[1]);
+            else
+                emit(SOp::PushLit, literal(Word::fromAtom(
+                    vm_.selectors().intern("nil"))));
+            patch(j2, here());
+            return;
+        }
+
+        if (sel == "and:" || sel == "or:") {
+            value(*e.receiver);
+            emit(SOp::Dup);
+            std::size_t j1 = here();
+            emit(sel == "and:" ? SOp::JumpFalse : SOp::JumpTrue);
+            emit(SOp::Pop);
+            inlineBlock(*e.args[0]);
+            patch(j1, here());
+            return;
+        }
+
+        if (sel == "whileTrue:" || sel == "whileFalse:") {
+            sim::fatalIf(e.receiver->kind != ExprKind::Block, "line ",
+                         e.line, ": ", sel, " needs a block receiver");
+            std::size_t top = here();
+            inlineBlock(*e.receiver);
+            std::size_t j1 = here();
+            emit(sel == "whileTrue:" ? SOp::JumpFalse : SOp::JumpTrue);
+            inlineBlock(*e.args[0]);
+            emit(SOp::Pop);
+            std::size_t j2 = here();
+            emit(SOp::Jump);
+            patch(j2, top);
+            patch(j1, here());
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("nil"))));
+            return;
+        }
+
+        if (sel == "timesRepeat:") {
+            value(*e.receiver);
+            std::int32_t n = hiddenTemp();
+            emit(SOp::StoreLocal, n);
+            emit(SOp::PushLit, literal(Word::fromInt(0)));
+            std::int32_t i = hiddenTemp();
+            emit(SOp::StoreLocal, i);
+            std::size_t top = here();
+            emit(SOp::PushLocal, i);
+            emit(SOp::PushLocal, n);
+            sendTo("<", {});
+            // sendTo with explicit argc: '<' takes 1 arg already on
+            // stack; emit manually instead:
+            method_.code.pop_back();
+            emit(SOp::Send,
+                 static_cast<std::int32_t>(
+                     vm_.selectors().intern("<")),
+                 1);
+            std::size_t j1 = here();
+            emit(SOp::JumpFalse);
+            inlineBlock(*e.args[0]);
+            emit(SOp::Pop);
+            emit(SOp::PushLocal, i);
+            emit(SOp::PushLit, literal(Word::fromInt(1)));
+            emit(SOp::Send,
+                 static_cast<std::int32_t>(
+                     vm_.selectors().intern("+")),
+                 1);
+            emit(SOp::StoreLocal, i);
+            std::size_t j2 = here();
+            emit(SOp::Jump);
+            patch(j2, top);
+            patch(j1, here());
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("nil"))));
+            return;
+        }
+
+        if (sel == "to:do:" || sel == "to:by:do:") {
+            const Expr &blk = *e.args.back();
+            sim::fatalIf(blk.kind != ExprKind::Block ||
+                         blk.params.size() != 1,
+                         "line ", e.line,
+                         ": to:do: needs a one-parameter block");
+            std::int64_t by = 1;
+            if (sel == "to:by:do:") {
+                sim::fatalIf(e.args[1]->kind != ExprKind::IntLit,
+                             "line ", e.line,
+                             ": to:by:do: needs a literal step");
+                by = e.args[1]->intVal;
+            }
+            value(*e.receiver);
+            std::int32_t i = hiddenTemp();
+            sim::fatalIf(locals_.count(blk.params[0]) != 0, "line ",
+                         e.line, ": loop variable shadows a name");
+            locals_[blk.params[0]] = i;
+            emit(SOp::StoreLocal, i);
+            value(*e.args[0]);
+            std::int32_t limit = hiddenTemp();
+            emit(SOp::StoreLocal, limit);
+            std::size_t top = here();
+            if (by > 0) {
+                emit(SOp::PushLocal, i);
+                emit(SOp::PushLocal, limit);
+            } else {
+                emit(SOp::PushLocal, limit);
+                emit(SOp::PushLocal, i);
+            }
+            emit(SOp::Send,
+                 static_cast<std::int32_t>(
+                     vm_.selectors().intern("<=")),
+                 1);
+            std::size_t j1 = here();
+            emit(SOp::JumpFalse);
+            bool pushed = false;
+            for (const ExprPtr &stmt : blk.body) {
+                if (stmt->isReturn) {
+                    value(*stmt);
+                    emit(SOp::Return);
+                    continue;
+                }
+                if (pushed)
+                    emit(SOp::Pop);
+                value(*stmt);
+                pushed = true;
+            }
+            if (pushed)
+                emit(SOp::Pop);
+            emit(SOp::PushLocal, i);
+            emit(SOp::PushLit, literal(Word::fromInt(
+                static_cast<std::int32_t>(by))));
+            emit(SOp::Send,
+                 static_cast<std::int32_t>(
+                     vm_.selectors().intern("+")),
+                 1);
+            emit(SOp::StoreLocal, i);
+            std::size_t j2 = here();
+            emit(SOp::Jump);
+            patch(j2, top);
+            patch(j1, here());
+            locals_.erase(blk.params[0]);
+            emit(SOp::PushLit, literal(Word::fromAtom(
+                vm_.selectors().intern("nil"))));
+            return;
+        }
+
+        // Ordinary send.
+        value(*e.receiver);
+        sendTo(sel, e.args);
+    }
+
+    StackVm &vm_;
+    const std::unordered_map<std::string, std::uint32_t> &fields_;
+    std::unordered_map<std::string, std::int32_t> locals_;
+    unsigned numArgs_ = 0;
+    unsigned numTemps_ = 0;
+    unsigned extraTemps_ = 0;
+    SMethod method_;
+};
+
+/** Byte size of one method under the documented byte encoding. */
+std::size_t
+methodBytes(const SMethod &m)
+{
+    std::size_t bytes = 0;
+    for (const SInstr &i : m.code) {
+        switch (i.op) {
+          case SOp::PushSelf:
+          case SOp::Pop:
+          case SOp::Dup:
+          case SOp::Return:
+          case SOp::ReturnSelf:
+            bytes += 1;
+            break;
+          default:
+            bytes += 2;
+            break;
+        }
+    }
+    return bytes;
+}
+
+/** Field maps mirroring the COM compiler's layout. */
+std::unordered_map<std::string, std::uint32_t>
+fieldMap(const std::unordered_map<std::string, const ClassDef *> &by,
+         const ClassDef &cd)
+{
+    std::unordered_map<std::string, std::uint32_t> map;
+    std::vector<const ClassDef *> chain;
+    const ClassDef *c = &cd;
+    while (c) {
+        chain.push_back(c);
+        if (c->superName.empty())
+            break;
+        auto it = by.find(c->superName);
+        c = it == by.end() ? nullptr : it->second;
+    }
+    std::uint32_t idx = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+        for (const std::string &f : (*it)->fields)
+            map[f] = idx++;
+    return map;
+}
+
+} // namespace
+
+StackCompiled
+StackCompiler::compile(const Program &program)
+{
+    StackCompiled out;
+    std::unordered_map<std::string, const ClassDef *> by_name;
+    for (const ClassDef &cd : program.classes)
+        by_name[cd.name] = &cd;
+
+    // Define classes in dependency order.
+    std::size_t defined = 0, last = SIZE_MAX;
+    while (defined < program.classes.size() && defined != last) {
+        last = defined;
+        for (const ClassDef &cd : program.classes) {
+            if (vm_.classByName(cd.name) >= 0)
+                continue;
+            std::int32_t super = vm_.classByName("Object");
+            if (!cd.superName.empty()) {
+                super = vm_.classByName(cd.superName);
+                if (super < 0)
+                    continue;
+            }
+            vm_.defineClass(cd.name, super,
+                            static_cast<std::uint32_t>(
+                                cd.fields.size()));
+            ++defined;
+        }
+    }
+    sim::fatalIf(defined < program.classes.size(),
+                 "class hierarchy has a cycle or unknown superclass");
+
+    for (const ClassDef &cd : program.classes) {
+        std::int32_t cls = vm_.classByName(cd.name);
+        auto fields = fieldMap(by_name, cd);
+        for (const MethodDef &md : cd.methods) {
+            StackEmitter em(vm_, fields, md.argNames, md.temps);
+            SMethod m = em.emitBody(md.selector, md.body);
+            out.instructionsEmitted += m.code.size();
+            out.codeBytes += methodBytes(m);
+            vm_.installMethod(cls, std::move(m));
+            ++out.methodsInstalled;
+        }
+    }
+
+    if (program.hasMain) {
+        std::unordered_map<std::string, std::uint32_t> no_fields;
+        StackEmitter em(vm_, no_fields, {}, program.mainTemps);
+        out.entry = em.emitBody("main", program.mainBody);
+        out.instructionsEmitted += out.entry.code.size();
+        out.codeBytes += methodBytes(out.entry);
+    }
+    return out;
+}
+
+StackCompiled
+StackCompiler::compileSource(const std::string &source)
+{
+    Program p = parse(source);
+    return compile(p);
+}
+
+} // namespace com::lang

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Smalltalk -> stack-bytecode compiler (baseline back end).
+ *
+ * Compiles the same AST the COM back end consumes into the zero-address
+ * bytecodes of lang/stack_vm.hpp, using the same inlining decisions for
+ * the control-flow selectors so the T-stack instruction-count
+ * comparison isolates exactly the paper's variable: expression
+ * evaluation through a stack versus three-address code.
+ */
+
+#ifndef COMSIM_LANG_COMPILER_STACK_HPP
+#define COMSIM_LANG_COMPILER_STACK_HPP
+
+#include <string>
+
+#include "lang/ast.hpp"
+#include "lang/stack_vm.hpp"
+
+namespace com::lang {
+
+/** Compilation results. */
+struct StackCompiled
+{
+    SMethod entry;                   ///< the main method
+    std::size_t methodsInstalled = 0;
+    std::size_t instructionsEmitted = 0;
+    /**
+     * Static code size under a Smalltalk-80-like byte encoding: one
+     * byte for the common zero-operand forms (push self, pop, dup,
+     * returns), two bytes for operand-carrying bytecodes and sends.
+     */
+    std::size_t codeBytes = 0;
+};
+
+/** The stack back end. */
+class StackCompiler
+{
+  public:
+    explicit StackCompiler(StackVm &vm) : vm_(vm) {}
+
+    /** Compile @p program into @p vm_; @return the entry method. */
+    StackCompiled compile(const Program &program);
+
+    /** Parse and compile source text. */
+    StackCompiled compileSource(const std::string &source);
+
+  private:
+    StackVm &vm_;
+};
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_COMPILER_STACK_HPP

@@ -1,0 +1,215 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hpp"
+
+namespace com::lang {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "end";
+      case Tok::Ident: return "identifier";
+      case Tok::Keyword: return "keyword";
+      case Tok::BinarySel: return "binary selector";
+      case Tok::Integer: return "integer";
+      case Tok::Float: return "float";
+      case Tok::String: return "string";
+      case Tok::Symbol: return "symbol";
+      case Tok::Assign: return ":=";
+      case Tok::Caret: return "^";
+      case Tok::Dot: return ".";
+      case Tok::Semicolon: return ";";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Pipe: return "|";
+      case Tok::Colon: return ":";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isBinaryChar(char c)
+{
+    switch (c) {
+      case '+': case '-': case '*': case '/': case '\\': case '<':
+      case '>': case '=': case '~': case '@': case '%': case '&':
+      case '?': case '!': case ',':
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '"') { // comment
+            ++i;
+            while (i < src.size() && src[i] != '"') {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            sim::fatalIf(i >= src.size(), "lex: unterminated comment at "
+                         "line ", line);
+            ++i;
+            continue;
+        }
+
+        Token t;
+        t.line = line;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_'))
+                ++i;
+            t.text = src.substr(start, i - start);
+            if (peek() == ':' && peek(1) != '=') {
+                ++i;
+                t.kind = Tok::Keyword;
+                t.text += ':';
+            } else {
+                t.kind = Tok::Ident;
+            }
+            out.push_back(t);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))) &&
+             (out.empty() || (out.back().kind != Tok::Ident &&
+                              out.back().kind != Tok::Integer &&
+                              out.back().kind != Tok::Float &&
+                              out.back().kind != Tok::RParen)))) {
+            std::size_t start = i;
+            if (c == '-')
+                ++i;
+            bool dot = false;
+            while (i < src.size() &&
+                   (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                    (src[i] == '.' && !dot &&
+                     std::isdigit(static_cast<unsigned char>(
+                         peek(1)))))) {
+                if (src[i] == '.')
+                    dot = true;
+                ++i;
+            }
+            std::string text = src.substr(start, i - start);
+            if (dot) {
+                t.kind = Tok::Float;
+                t.floatVal = std::strtod(text.c_str(), nullptr);
+            } else {
+                t.kind = Tok::Integer;
+                t.intVal = std::strtoll(text.c_str(), nullptr, 10);
+            }
+            t.text = text;
+            out.push_back(t);
+            continue;
+        }
+
+        if (c == '\'') {
+            ++i;
+            std::string s;
+            while (i < src.size() && src[i] != '\'') {
+                if (src[i] == '\n')
+                    ++line;
+                s += src[i++];
+            }
+            sim::fatalIf(i >= src.size(),
+                         "lex: unterminated string at line ", line);
+            ++i;
+            t.kind = Tok::String;
+            t.text = s;
+            out.push_back(t);
+            continue;
+        }
+
+        if (c == '#') {
+            ++i;
+            std::size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_' || src[i] == ':'))
+                ++i;
+            sim::fatalIf(i == start, "lex: empty symbol at line ", line);
+            t.kind = Tok::Symbol;
+            t.text = src.substr(start, i - start);
+            out.push_back(t);
+            continue;
+        }
+
+        if (c == ':' && peek(1) == '=') {
+            i += 2;
+            t.kind = Tok::Assign;
+            out.push_back(t);
+            continue;
+        }
+
+        switch (c) {
+          case '^': t.kind = Tok::Caret; break;
+          case '.': t.kind = Tok::Dot; break;
+          case ';': t.kind = Tok::Semicolon; break;
+          case '(': t.kind = Tok::LParen; break;
+          case ')': t.kind = Tok::RParen; break;
+          case '[': t.kind = Tok::LBracket; break;
+          case ']': t.kind = Tok::RBracket; break;
+          case '|': t.kind = Tok::Pipe; break;
+          case ':': t.kind = Tok::Colon; break;
+          default:
+            if (isBinaryChar(c)) {
+                std::size_t start = i;
+                while (i < src.size() && isBinaryChar(src[i]) &&
+                       i - start < 2)
+                    ++i;
+                t.kind = Tok::BinarySel;
+                t.text = src.substr(start, i - start);
+                out.push_back(t);
+                continue;
+            }
+            sim::fatal("lex: unexpected character '", std::string(1, c),
+                       "' at line ", line);
+        }
+        ++i;
+        out.push_back(t);
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace com::lang

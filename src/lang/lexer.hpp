@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lexer for the Smalltalk subset (see lang/parser.hpp for the grammar).
+ *
+ * Token kinds follow Smalltalk-80: identifiers, keywords (identifier
+ * followed by ':'), binary selector characters, integer/float/string/
+ * symbol literals, plus the handful of punctuation marks the subset
+ * needs. Comments are Smalltalk double-quoted: "like this".
+ */
+
+#ifndef COMSIM_LANG_LEXER_HPP
+#define COMSIM_LANG_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace com::lang {
+
+/** Token kinds. */
+enum class Tok : std::uint8_t
+{
+    End,
+    Ident,      ///< identifier (possibly capitalized: class name)
+    Keyword,    ///< identifier: (with the colon)
+    BinarySel,  ///< one of + - * / \ < > = ~ @ % & ? ! , sequences
+    Integer,
+    Float,
+    String,     ///< 'text'
+    Symbol,     ///< #name
+    Assign,     ///< :=
+    Caret,      ///< ^
+    Dot,        ///< .
+    Semicolon,  ///< ;
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Pipe,       ///< |
+    Colon,      ///< : (block argument marker)
+};
+
+/** One token with position for diagnostics. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;     ///< spelling (identifiers, selectors, strings)
+    std::int64_t intVal = 0;
+    double floatVal = 0.0;
+    int line = 0;
+};
+
+/** @return printable token-kind name. */
+const char *tokName(Tok t);
+
+/** Tokenize @p source; fatal()s with a line number on bad input. */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_LEXER_HPP

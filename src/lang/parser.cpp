@@ -1,0 +1,353 @@
+#include "lang/parser.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::lang {
+
+namespace {
+
+/** Parser state over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Program
+    parseProgram()
+    {
+        Program p;
+        while (cur().kind != Tok::End) {
+            sim::fatalIf(cur().kind != Tok::Ident, "parse line ",
+                         cur().line, ": expected 'class' or 'main', got ",
+                         tokName(cur().kind));
+            if (cur().text == "class") {
+                p.classes.push_back(parseClass());
+            } else if (cur().text == "main") {
+                sim::fatalIf(p.hasMain, "parse line ", cur().line,
+                             ": duplicate main");
+                advance();
+                expect(Tok::LBracket, "main body");
+                parseTemps(p.mainTemps);
+                p.mainBody = parseStatements();
+                expect(Tok::RBracket, "end of main");
+                p.hasMain = true;
+            } else {
+                sim::fatal("parse line ", cur().line,
+                           ": expected 'class' or 'main', got '",
+                           cur().text, "'");
+            }
+        }
+        return p;
+    }
+
+  private:
+    const Token &cur() const { return toks_[pos_]; }
+    const Token &
+    peek(std::size_t k = 1) const
+    {
+        std::size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    void advance() { if (pos_ + 1 < toks_.size()) ++pos_; }
+
+    void
+    expect(Tok kind, const char *what)
+    {
+        sim::fatalIf(cur().kind != kind, "parse line ", cur().line,
+                     ": expected ", tokName(kind), " (", what, "), got ",
+                     tokName(cur().kind), " '", cur().text, "'");
+        advance();
+    }
+
+    std::string
+    expectIdent(const char *what)
+    {
+        sim::fatalIf(cur().kind != Tok::Ident, "parse line ", cur().line,
+                     ": expected identifier (", what, ")");
+        std::string s = cur().text;
+        advance();
+        return s;
+    }
+
+    ClassDef
+    parseClass()
+    {
+        ClassDef cd;
+        cd.line = cur().line;
+        advance(); // 'class'
+        cd.name = expectIdent("class name");
+        if (cur().kind == Tok::Ident && cur().text == "extends") {
+            advance();
+            cd.superName = expectIdent("superclass name");
+        }
+        expect(Tok::LBracket, "class body");
+        parseTemps(cd.fields);
+        while (cur().kind != Tok::RBracket)
+            cd.methods.push_back(parseMethod());
+        expect(Tok::RBracket, "end of class");
+        return cd;
+    }
+
+    void
+    parseTemps(std::vector<std::string> &out)
+    {
+        if (cur().kind != Tok::Pipe)
+            return;
+        advance();
+        while (cur().kind == Tok::Ident) {
+            out.push_back(cur().text);
+            advance();
+        }
+        expect(Tok::Pipe, "end of variable list");
+    }
+
+    MethodDef
+    parseMethod()
+    {
+        MethodDef md;
+        md.line = cur().line;
+        if (cur().kind == Tok::Ident) {
+            md.selector = cur().text;
+            advance();
+        } else if (cur().kind == Tok::BinarySel) {
+            md.selector = cur().text;
+            advance();
+            md.argNames.push_back(expectIdent("binary argument"));
+        } else if (cur().kind == Tok::Keyword) {
+            while (cur().kind == Tok::Keyword) {
+                md.selector += cur().text;
+                advance();
+                md.argNames.push_back(expectIdent("keyword argument"));
+            }
+        } else {
+            sim::fatal("parse line ", cur().line,
+                       ": expected method pattern");
+        }
+        expect(Tok::LBracket, "method body");
+        parseTemps(md.temps);
+        md.body = parseStatements();
+        expect(Tok::RBracket, "end of method");
+        return md;
+    }
+
+    std::vector<ExprPtr>
+    parseStatements()
+    {
+        std::vector<ExprPtr> stmts;
+        while (cur().kind != Tok::RBracket && cur().kind != Tok::End) {
+            bool is_return = false;
+            if (cur().kind == Tok::Caret) {
+                is_return = true;
+                advance();
+            }
+            ExprPtr e = parseExpr();
+            e->isReturn = is_return;
+            stmts.push_back(std::move(e));
+            if (cur().kind == Tok::Dot) {
+                advance();
+                continue;
+            }
+            break;
+        }
+        return stmts;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        if (cur().kind == Tok::Ident && peek().kind == Tok::Assign) {
+            int line = cur().line;
+            std::string name = cur().text;
+            advance();
+            advance();
+            ExprPtr value = parseExpr();
+            ExprPtr e = Expr::make(ExprKind::Assign, line);
+            e->text = name;
+            e->args.push_back(std::move(value));
+            return e;
+        }
+        return parseKeywordExpr();
+    }
+
+    ExprPtr
+    parseKeywordExpr()
+    {
+        ExprPtr recv = parseBinaryExpr();
+        if (cur().kind != Tok::Keyword)
+            return parseCascadeTail(std::move(recv));
+        int line = cur().line;
+        std::string selector;
+        std::vector<ExprPtr> args;
+        while (cur().kind == Tok::Keyword) {
+            selector += cur().text;
+            advance();
+            args.push_back(parseBinaryExpr());
+        }
+        ExprPtr e = Expr::make(ExprKind::Send, line);
+        e->text = selector;
+        e->receiver = std::move(recv);
+        e->args = std::move(args);
+        return parseCascadeTail(std::move(e));
+    }
+
+    /** ';' cascades: value is the original receiver's last message. */
+    ExprPtr
+    parseCascadeTail(ExprPtr first)
+    {
+        if (cur().kind != Tok::Semicolon ||
+            first->kind != ExprKind::Send)
+            return first;
+        ExprPtr casc = Expr::make(ExprKind::Cascade, first->line);
+        while (cur().kind == Tok::Semicolon) {
+            advance();
+            // Each cascade member: selector (+args) without receiver.
+            ExprPtr msg = Expr::make(ExprKind::Send, cur().line);
+            if (cur().kind == Tok::Ident) {
+                msg->text = cur().text;
+                advance();
+            } else if (cur().kind == Tok::BinarySel) {
+                msg->text = cur().text;
+                advance();
+                msg->args.push_back(parseUnaryExpr());
+            } else if (cur().kind == Tok::Keyword) {
+                while (cur().kind == Tok::Keyword) {
+                    msg->text += cur().text;
+                    advance();
+                    msg->args.push_back(parseBinaryExpr());
+                }
+            } else {
+                sim::fatal("parse line ", cur().line,
+                           ": expected message after ';'");
+            }
+            casc->cascade.push_back(std::move(msg));
+        }
+        casc->receiver = std::move(first);
+        return casc;
+    }
+
+    ExprPtr
+    parseBinaryExpr()
+    {
+        ExprPtr left = parseUnaryExpr();
+        while (cur().kind == Tok::BinarySel) {
+            int line = cur().line;
+            std::string sel = cur().text;
+            advance();
+            ExprPtr right = parseUnaryExpr();
+            ExprPtr e = Expr::make(ExprKind::Send, line);
+            e->text = sel;
+            e->receiver = std::move(left);
+            e->args.push_back(std::move(right));
+            left = std::move(e);
+        }
+        return left;
+    }
+
+    ExprPtr
+    parseUnaryExpr()
+    {
+        ExprPtr recv = parsePrimary();
+        while (cur().kind == Tok::Ident && peek().kind != Tok::Assign) {
+            int line = cur().line;
+            std::string sel = cur().text;
+            advance();
+            ExprPtr e = Expr::make(ExprKind::Send, line);
+            e->text = sel;
+            e->receiver = std::move(recv);
+            recv = std::move(e);
+        }
+        return recv;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &t = cur();
+        switch (t.kind) {
+          case Tok::Integer: {
+            ExprPtr e = Expr::make(ExprKind::IntLit, t.line);
+            e->intVal = t.intVal;
+            advance();
+            return e;
+          }
+          case Tok::Float: {
+            ExprPtr e = Expr::make(ExprKind::FloatLit, t.line);
+            e->floatVal = t.floatVal;
+            advance();
+            return e;
+          }
+          case Tok::String: {
+            ExprPtr e = Expr::make(ExprKind::StringLit, t.line);
+            e->text = t.text;
+            advance();
+            return e;
+          }
+          case Tok::Symbol: {
+            ExprPtr e = Expr::make(ExprKind::SymbolLit, t.line);
+            e->text = t.text;
+            advance();
+            return e;
+          }
+          case Tok::LParen: {
+            advance();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "closing parenthesis");
+            return e;
+          }
+          case Tok::LBracket:
+            return parseBlock();
+          case Tok::Ident: {
+            ExprPtr e;
+            if (t.text == "self")
+                e = Expr::make(ExprKind::SelfRef, t.line);
+            else if (t.text == "true")
+                e = Expr::make(ExprKind::TrueLit, t.line);
+            else if (t.text == "false")
+                e = Expr::make(ExprKind::FalseLit, t.line);
+            else if (t.text == "nil")
+                e = Expr::make(ExprKind::NilLit, t.line);
+            else {
+                e = Expr::make(ExprKind::VarRef, t.line);
+                e->text = t.text;
+            }
+            advance();
+            return e;
+          }
+          default:
+            sim::fatal("parse line ", t.line,
+                       ": unexpected token ", tokName(t.kind),
+                       " in expression");
+        }
+    }
+
+    ExprPtr
+    parseBlock()
+    {
+        int line = cur().line;
+        expect(Tok::LBracket, "block");
+        ExprPtr e = Expr::make(ExprKind::Block, line);
+        while (cur().kind == Tok::Colon) {
+            advance();
+            e->params.push_back(expectIdent("block parameter"));
+        }
+        if (!e->params.empty())
+            expect(Tok::Pipe, "block parameter list");
+        e->body = parseStatements();
+        expect(Tok::RBracket, "end of block");
+        return e;
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Parser p(lex(source));
+    return p.parseProgram();
+}
+
+} // namespace com::lang

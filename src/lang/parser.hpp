@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Recursive-descent parser for the Smalltalk subset.
+ *
+ * Grammar (Smalltalk-80 expression precedence: unary > binary >
+ * keyword):
+ *
+ *   program   := (classDef | mainDef)*
+ *   classDef  := 'class' IDENT ('extends' IDENT)?
+ *                '[' ('|' IDENT* '|')? methodDef* ']'
+ *   methodDef := pattern '[' ('|' IDENT* '|')? statements ']'
+ *   pattern   := IDENT | BINSEL IDENT | (KEYWORD IDENT)+
+ *   mainDef   := 'main' '[' ('|' IDENT* '|')? statements ']'
+ *   statements:= (statement '.')* statement?
+ *   statement := '^' expr | expr
+ *   expr      := IDENT ':=' expr | keywordExpr
+ *   keywordExpr := binExpr (KEYWORD binExpr)*     ( one send )
+ *   binExpr   := unaryExpr (BINSEL unaryExpr)*
+ *   unaryExpr := primary IDENT*
+ *   primary   := literal | IDENT | 'self' | '(' expr ')' | block
+ *   block     := '[' (':' IDENT)* ('|')? statements ']'
+ *
+ * Cascades (';') are supported on keyword/binary sends.
+ */
+
+#ifndef COMSIM_LANG_PARSER_HPP
+#define COMSIM_LANG_PARSER_HPP
+
+#include <string>
+
+#include "lang/ast.hpp"
+#include "lang/lexer.hpp"
+
+namespace com::lang {
+
+/** Parse @p source; fatal()s with line numbers on syntax errors. */
+Program parse(const std::string &source);
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_PARSER_HPP

@@ -1,0 +1,480 @@
+#include "lang/stack_vm.hpp"
+
+#include <cmath>
+
+#include "sim/logging.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::lang {
+
+using mem::Tag;
+using mem::Word;
+
+const char *
+sopName(SOp op)
+{
+    switch (op) {
+      case SOp::PushLocal: return "pushLocal";
+      case SOp::StoreLocal: return "storeLocal";
+      case SOp::PushField: return "pushField";
+      case SOp::StoreField: return "storeField";
+      case SOp::PushSelf: return "pushSelf";
+      case SOp::PushLit: return "pushLit";
+      case SOp::Pop: return "pop";
+      case SOp::Dup: return "dup";
+      case SOp::Send: return "send";
+      case SOp::Return: return "return";
+      case SOp::ReturnSelf: return "returnSelf";
+      case SOp::Jump: return "jump";
+      case SOp::JumpTrue: return "jumpTrue";
+      case SOp::JumpFalse: return "jumpFalse";
+    }
+    return "?";
+}
+
+StackVm::StackVm()
+{
+    nilAtom_ = selectors_.intern("nil");
+    trueAtom_ = selectors_.intern("true");
+    falseAtom_ = selectors_.intern("false");
+    // Primitive classes mirror the COM's tag classes.
+    nilCls_ = defineClass("UndefinedObject", -1, 0);
+    intCls_ = defineClass("SmallInteger", -1, 0);
+    floatCls_ = defineClass("Float", -1, 0);
+    atomCls_ = defineClass("Symbol", -1, 0);
+    rootCls_ = defineClass("Object", -1, 0);
+    arrayCls_ = defineClass("Array", rootCls_, 0);
+    stringCls_ = defineClass("String", rootCls_, 0);
+}
+
+std::int32_t
+StackVm::defineClass(const std::string &name, std::int32_t super_id,
+                     std::uint32_t num_fields)
+{
+    sim::fatalIf(classIds_.count(name) != 0, "stackvm: class '", name,
+                 "' already defined");
+    SClass c;
+    c.name = name;
+    c.superId = super_id;
+    std::uint32_t inherited =
+        super_id >= 0
+            ? classes_[static_cast<std::size_t>(super_id)].numFields
+            : 0;
+    c.numFields = inherited + num_fields;
+    classes_.push_back(std::move(c));
+    std::int32_t id = static_cast<std::int32_t>(classes_.size() - 1);
+    classIds_[name] = id;
+    return id;
+}
+
+void
+StackVm::installMethod(std::int32_t cls, SMethod method)
+{
+    obj::SelectorId sel = selectors_.intern(method.selector);
+    classes_[static_cast<std::size_t>(cls)].methods[sel] =
+        std::move(method);
+}
+
+std::int32_t
+StackVm::classByName(const std::string &name) const
+{
+    auto it = classIds_.find(name);
+    return it == classIds_.end() ? -1 : it->second;
+}
+
+mem::Word
+StackVm::allocObject(std::int32_t cls, std::uint32_t words)
+{
+    // Fresh slots read as nil (Smalltalk semantics), so guest code can
+    // compare uninitialized fields with nil.
+    objects_.emplace_back(words, Word::fromAtom(nilAtom_));
+    objectCls_.push_back(cls);
+    ++allocs_;
+    return Word::fromPointer(
+        static_cast<std::uint32_t>(objects_.size() - 1));
+}
+
+mem::Word
+StackVm::makeString(const std::string &s)
+{
+    Word w = allocObject(stringCls_,
+                         static_cast<std::uint32_t>(
+                             s.empty() ? 1 : s.size()));
+    auto &obj = objects_[w.asPointer()];
+    for (std::size_t i = 0; i < s.size(); ++i)
+        obj[i] = Word::fromInt(static_cast<unsigned char>(s[i]));
+    return w;
+}
+
+std::string
+StackVm::readString(mem::Word w) const
+{
+    if (!w.isPointer() || w.asPointer() >= objects_.size())
+        return "";
+    std::string out;
+    for (const Word &ch : objects_[w.asPointer()])
+        if (ch.isInt())
+            out.push_back(static_cast<char>(ch.asInt()));
+    return out;
+}
+
+std::int32_t
+StackVm::classOf(const mem::Word &w) const
+{
+    switch (w.tag()) {
+      case Tag::SmallInt: return intCls_;
+      case Tag::Float: return floatCls_;
+      case Tag::Atom:
+        return w.asAtom() == nilAtom_ ? nilCls_ : atomCls_;
+      case Tag::ObjectPtr:
+        if (w.asPointer() < objectCls_.size())
+            return objectCls_[w.asPointer()];
+        return rootCls_;
+      default:
+        return nilCls_;
+    }
+}
+
+const SMethod *
+StackVm::lookup(std::int32_t cls, obj::SelectorId sel) const
+{
+    std::int32_t c = cls;
+    while (c >= 0) {
+        const SClass &sc = classes_[static_cast<std::size_t>(c)];
+        auto it = sc.methods.find(sel);
+        if (it != sc.methods.end())
+            return &it->second;
+        c = sc.superId;
+    }
+    return nullptr;
+}
+
+bool
+StackVm::tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
+                      std::string &err)
+{
+    failed = false;
+    const std::string &name = selectors_.name(sel);
+    // Operands: receiver at depth argc, args above it.
+    auto arg = [&](unsigned i) -> Word & {
+        return stack_[stack_.size() - argc + i];
+    };
+    Word &recv = stack_[stack_.size() - argc - 1];
+
+    auto numeric = [](const Word &w) { return w.isInt() || w.isFloat(); };
+    auto dval = [](const Word &w) {
+        return w.isInt() ? static_cast<double>(w.asInt())
+                         : static_cast<double>(w.asFloat());
+    };
+    auto finish = [&](Word w) {
+        stack_.resize(stack_.size() - argc - 1);
+        stack_.push_back(w);
+        return true;
+    };
+    auto boolWord = [&](bool b) {
+        return Word::fromAtom(b ? trueAtom_ : falseAtom_);
+    };
+
+    if (argc == 1 && numeric(recv) && numeric(arg(0))) {
+        const Word &a = recv, &b = arg(0);
+        bool both_int = a.isInt() && b.isInt();
+        if (name == "+")
+            return finish(both_int
+                              ? Word::fromInt(a.asInt() + b.asInt())
+                              : Word::fromFloat(static_cast<float>(
+                                    dval(a) + dval(b))));
+        if (name == "-")
+            return finish(both_int
+                              ? Word::fromInt(a.asInt() - b.asInt())
+                              : Word::fromFloat(static_cast<float>(
+                                    dval(a) - dval(b))));
+        if (name == "*")
+            return finish(both_int
+                              ? Word::fromInt(a.asInt() * b.asInt())
+                              : Word::fromFloat(static_cast<float>(
+                                    dval(a) * dval(b))));
+        if (name == "/") {
+            if (dval(b) == 0.0) {
+                failed = true;
+                err = "divide by zero";
+                return true;
+            }
+            return finish(both_int
+                              ? Word::fromInt(a.asInt() / b.asInt())
+                              : Word::fromFloat(static_cast<float>(
+                                    dval(a) / dval(b))));
+        }
+        if (name == "\\\\") {
+            if (!both_int || b.asInt() == 0) {
+                failed = true;
+                err = "bad modulo";
+                return true;
+            }
+            std::int64_t m = a.asInt() % b.asInt();
+            if (m != 0 && ((m < 0) != (b.asInt() < 0)))
+                m += b.asInt();
+            return finish(Word::fromInt(static_cast<std::int32_t>(m)));
+        }
+        if (name == "<")
+            return finish(boolWord(dval(a) < dval(b)));
+        if (name == "<=")
+            return finish(boolWord(dval(a) <= dval(b)));
+        if (name == ">")
+            return finish(boolWord(dval(a) > dval(b)));
+        if (name == ">=")
+            return finish(boolWord(dval(a) >= dval(b)));
+        if (name == "=")
+            return finish(boolWord(dval(a) == dval(b)));
+        if (name == "~=")
+            return finish(boolWord(dval(a) != dval(b)));
+        if (name == "bitAnd:" && both_int)
+            return finish(Word::fromInt(a.asInt() & b.asInt()));
+        if (name == "bitOr:" && both_int)
+            return finish(Word::fromInt(a.asInt() | b.asInt()));
+        if (name == "bitXor:" && both_int)
+            return finish(Word::fromInt(a.asInt() ^ b.asInt()));
+    }
+    if (argc == 1 && (name == "=" || name == "~=") && recv.isAtom() &&
+        arg(0).isAtom()) {
+        bool eq = recv.asAtom() == arg(0).asAtom();
+        return finish(boolWord(name == "=" ? eq : !eq));
+    }
+    if (argc == 1 && name == "==")
+        return finish(boolWord(recv == arg(0)));
+    if (argc == 0 && name == "negated" && numeric(recv))
+        return finish(recv.isInt()
+                          ? Word::fromInt(-recv.asInt())
+                          : Word::fromFloat(-recv.asFloat()));
+
+    // Class-atom constructors.
+    if (recv.isAtom() && (name == "new" || name == "new:")) {
+        std::int32_t cls = classByName(selectors_.name(recv.asAtom()));
+        if (cls < 0) {
+            failed = true;
+            err = "new sent to unknown class";
+            return true;
+        }
+        std::uint32_t extra = 0;
+        if (name == "new:") {
+            if (!arg(0).isInt() || arg(0).asInt() < 0) {
+                failed = true;
+                err = "new: bad size";
+                return true;
+            }
+            extra = static_cast<std::uint32_t>(arg(0).asInt());
+        }
+        return finish(allocObject(
+            cls, classes_[static_cast<std::size_t>(cls)].numFields +
+                     extra));
+    }
+
+    // Indexed access on VM objects (0-based, as on the COM).
+    if (recv.isPointer() && recv.asPointer() < objects_.size()) {
+        auto &obj = objects_[recv.asPointer()];
+        if (argc == 1 && name == "at:") {
+            if (!arg(0).isInt() || arg(0).asInt() < 0 ||
+                static_cast<std::size_t>(arg(0).asInt()) >=
+                    obj.size()) {
+                failed = true;
+                err = "index out of range";
+                return true;
+            }
+            return finish(obj[static_cast<std::size_t>(
+                arg(0).asInt())]);
+        }
+        if (argc == 2 && name == "at:put:") {
+            if (!arg(0).isInt() || arg(0).asInt() < 0 ||
+                static_cast<std::size_t>(arg(0).asInt()) >=
+                    obj.size()) {
+                failed = true;
+                err = "index out of range";
+                return true;
+            }
+            Word v = arg(1);
+            obj[static_cast<std::size_t>(arg(0).asInt())] = v;
+            return finish(v);
+        }
+        if (argc == 0 && name == "size")
+            return finish(Word::fromInt(
+                static_cast<std::int32_t>(obj.size())));
+    }
+
+    if (argc == 0 && name == "print") {
+        std::string repr;
+        switch (recv.tag()) {
+          case Tag::SmallInt:
+            repr = sim::format("%d", recv.asInt());
+            break;
+          case Tag::Float:
+            repr = sim::format("%g",
+                               static_cast<double>(recv.asFloat()));
+            break;
+          case Tag::Atom:
+            repr = selectors_.name(recv.asAtom());
+            break;
+          case Tag::ObjectPtr:
+            repr = classOf(recv) == stringCls_
+                       ? "'" + readString(recv) + "'"
+                       : "a " + classes_[static_cast<std::size_t>(
+                                             classOf(recv))]
+                                     .name;
+            break;
+          default:
+            repr = "nil";
+        }
+        output_ += repr + "\n";
+        return finish(recv);
+    }
+
+    return false;
+}
+
+SResult
+StackVm::run(const SMethod &entry, std::uint64_t max_bytecodes)
+{
+    SResult res;
+    stack_.clear();
+    frames_.clear();
+
+    Frame f;
+    f.method = &entry;
+    f.ip = 0;
+    f.locals.assign(entry.numArgs + entry.numTemps,
+                    Word::fromAtom(nilAtom_));
+    f.receiver = Word::fromAtom(nilAtom_);
+    f.receiverCls = nilCls_;
+    frames_.push_back(std::move(f));
+
+    std::uint64_t executed = 0;
+    while (executed < max_bytecodes) {
+        Frame &fr = frames_.back();
+        if (fr.ip >= fr.method->code.size()) {
+            res.error = "fell off method end";
+            break;
+        }
+        const SInstr &ins = fr.method->code[fr.ip];
+        ++executed;
+        ++fr.ip;
+
+        switch (ins.op) {
+          case SOp::PushLocal:
+            stack_.push_back(fr.locals[static_cast<std::size_t>(
+                ins.a)]);
+            continue;
+          case SOp::StoreLocal:
+            fr.locals[static_cast<std::size_t>(ins.a)] = stack_.back();
+            stack_.pop_back();
+            continue;
+          case SOp::PushField: {
+            auto &obj = objects_[fr.receiver.asPointer()];
+            stack_.push_back(obj[static_cast<std::size_t>(ins.a)]);
+            continue;
+          }
+          case SOp::StoreField: {
+            auto &obj = objects_[fr.receiver.asPointer()];
+            obj[static_cast<std::size_t>(ins.a)] = stack_.back();
+            stack_.pop_back();
+            continue;
+          }
+          case SOp::PushSelf:
+            stack_.push_back(fr.receiver);
+            continue;
+          case SOp::PushLit:
+            stack_.push_back(fr.method->literals[
+                static_cast<std::size_t>(ins.a)]);
+            continue;
+          case SOp::Pop:
+            stack_.pop_back();
+            continue;
+          case SOp::Dup:
+            stack_.push_back(stack_.back());
+            continue;
+          case SOp::Jump:
+            fr.ip = static_cast<std::size_t>(
+                static_cast<std::int64_t>(fr.ip) + ins.a);
+            continue;
+          case SOp::JumpTrue:
+          case SOp::JumpFalse: {
+            Word c = stack_.back();
+            stack_.pop_back();
+            bool truthy = c.isAtom() ? c.asAtom() == trueAtom_
+                        : c.isInt() ? c.asInt() != 0
+                                    : false;
+            if (truthy == (ins.op == SOp::JumpTrue))
+                fr.ip = static_cast<std::size_t>(
+                    static_cast<std::int64_t>(fr.ip) + ins.a);
+            continue;
+          }
+          case SOp::Return:
+          case SOp::ReturnSelf: {
+            Word result = ins.op == SOp::Return ? stack_.back()
+                                                : fr.receiver;
+            if (ins.op == SOp::Return)
+                stack_.pop_back();
+            frames_.pop_back();
+            if (frames_.empty()) {
+                res.ok = true;
+                res.result = result;
+                res.bytecodes = executed;
+                res.sends = sends_;
+                res.cycles = executed * 2;
+                return res;
+            }
+            stack_.push_back(result);
+            continue;
+          }
+          case SOp::Send: {
+            obj::SelectorId sel =
+                static_cast<obj::SelectorId>(ins.a);
+            unsigned argc = static_cast<unsigned>(ins.b);
+            ++sends_;
+            Word recv = stack_[stack_.size() - argc - 1];
+            std::int32_t cls = classOf(recv);
+            const SMethod *m = lookup(cls, sel);
+            if (m) {
+                Frame nf;
+                nf.method = m;
+                nf.ip = 0;
+                nf.locals.assign(m->numArgs + m->numTemps,
+                                 Word::fromAtom(nilAtom_));
+                for (unsigned i = 0; i < argc; ++i)
+                    nf.locals[argc - 1 - i] = stack_[stack_.size() -
+                                                     1 - i];
+                nf.receiver = recv;
+                nf.receiverCls = cls;
+                stack_.resize(stack_.size() - argc - 1);
+                frames_.push_back(std::move(nf));
+                continue;
+            }
+            bool failed = false;
+            std::string err;
+            if (tryPrimitive(sel, argc, failed, err)) {
+                if (failed) {
+                    res.error = err;
+                    res.bytecodes = executed;
+                    res.sends = sends_;
+                    res.cycles = executed * 2;
+                    return res;
+                }
+                continue;
+            }
+            res.error = sim::format(
+                "'%s' not understood by %s",
+                selectors_.name(sel).c_str(),
+                classes_[static_cast<std::size_t>(cls)].name.c_str());
+            res.bytecodes = executed;
+            res.sends = sends_;
+            res.cycles = executed * 2;
+            return res;
+          }
+        }
+    }
+    if (res.error.empty())
+        res.error = "bytecode limit exceeded";
+    res.bytecodes = executed;
+    res.sends = sends_;
+    res.cycles = executed * 2;
+    return res;
+}
+
+} // namespace com::lang

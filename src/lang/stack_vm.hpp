@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The zero-address stack machine baseline (paper Section 5).
+ *
+ * "Stack machines while offering small code size require almost twice
+ * as many instructions to implement a given source language program
+ * than a three address machine. Our initial design studies indicated
+ * that executing a stack machine instruction would take about the same
+ * amount of time as executing a three address instruction."
+ *
+ * This VM is a Smalltalk-80-flavoured bytecode machine (push/store
+ * locals and fields, push literals, sends, jumps) with the same late
+ * binding semantics as the COM: sends dispatch on the receiver's class
+ * through per-class method tables. Its instruction counts, beside the
+ * COM's, regenerate the T-stack comparison; its timing model charges
+ * the paper's assumption of equal per-instruction cost.
+ */
+
+#ifndef COMSIM_LANG_STACK_VM_HPP
+#define COMSIM_LANG_STACK_VM_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/word.hpp"
+#include "obj/selector_table.hpp"
+#include "sim/stats.hpp"
+
+namespace com::lang {
+
+/** Stack bytecodes. */
+enum class SOp : std::uint8_t
+{
+    PushLocal,  ///< a = local index (arguments first, then temps)
+    StoreLocal, ///< pops into local a
+    PushField,  ///< a = field index of the receiver
+    StoreField, ///< pops into field a
+    PushSelf,
+    PushLit,    ///< a = literal index
+    Pop,
+    Dup,
+    Send,       ///< a = selector id, b = argument count
+    Return,     ///< return TOS to the caller
+    ReturnSelf,
+    Jump,       ///< a = relative offset (from the next instruction)
+    JumpTrue,   ///< pops condition
+    JumpFalse,  ///< pops condition
+};
+
+/** @return bytecode mnemonic. */
+const char *sopName(SOp op);
+
+/** One bytecode. */
+struct SInstr
+{
+    SOp op;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+};
+
+/** One compiled method. */
+struct SMethod
+{
+    std::string selector;
+    std::vector<SInstr> code;
+    std::vector<mem::Word> literals;
+    unsigned numArgs = 0;
+    unsigned numTemps = 0;
+};
+
+/** Per-class compiled methods for the stack VM. */
+struct SClass
+{
+    std::string name;
+    std::int32_t superId = -1;
+    std::uint32_t numFields = 0; ///< including inherited
+    std::unordered_map<obj::SelectorId, SMethod> methods;
+};
+
+/** Why the VM stopped. */
+struct SResult
+{
+    bool ok = false;
+    std::string error;
+    std::uint64_t bytecodes = 0; ///< instructions executed
+    std::uint64_t sends = 0;     ///< message sends performed
+    std::uint64_t cycles = 0;    ///< 2 cycles per bytecode (paper)
+    mem::Word result;
+};
+
+/**
+ * The stack VM. Classes and methods are installed by StackCompiler;
+ * objects live in a host-side store.
+ */
+class StackVm
+{
+  public:
+    StackVm();
+
+    /** Register a class; @return its id. */
+    std::int32_t defineClass(const std::string &name,
+                             std::int32_t super_id,
+                             std::uint32_t num_fields);
+    /** Install a method on a class. */
+    void installMethod(std::int32_t cls, SMethod method);
+    /** Class id by name (-1 if unknown). */
+    std::int32_t classByName(const std::string &name) const;
+
+    /** The selector intern table (shared with the compiler). */
+    obj::SelectorTable &selectors() { return selectors_; }
+
+    /** Run @p entry with receiver nil. */
+    SResult run(const SMethod &entry,
+                std::uint64_t max_bytecodes = 50'000'000);
+
+    /** Output accumulated by 'print'. */
+    const std::string &output() const { return output_; }
+    /** Allocate a VM object of class @p cls with @p words words. */
+    mem::Word allocObject(std::int32_t cls, std::uint32_t words);
+    /** Host-side string contents of a VM string object. */
+    std::string readString(mem::Word w) const;
+    /** Make a VM string object. */
+    mem::Word makeString(const std::string &s);
+
+    /** Objects allocated so far. */
+    std::uint64_t allocations() const { return allocs_; }
+
+  private:
+    struct Frame
+    {
+        const SMethod *method;
+        std::size_t ip;
+        std::vector<mem::Word> locals;
+        mem::Word receiver;
+        std::int32_t receiverCls;
+    };
+
+    /** Class of a word for dispatch. */
+    std::int32_t classOf(const mem::Word &w) const;
+    const SMethod *lookup(std::int32_t cls, obj::SelectorId sel) const;
+    /** Try a built-in primitive; true if handled. */
+    bool tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
+                      std::string &err);
+
+    obj::SelectorTable selectors_;
+    std::vector<SClass> classes_;
+    std::unordered_map<std::string, std::int32_t> classIds_;
+
+    // Object store: payload of ObjectPtr words indexes objects_.
+    std::vector<std::vector<mem::Word>> objects_;
+    std::vector<std::int32_t> objectCls_;
+    std::uint64_t allocs_ = 0;
+
+    std::vector<mem::Word> stack_;
+    std::vector<Frame> frames_;
+    std::string output_;
+    std::uint64_t sends_ = 0;
+
+    // Well-known ids resolved once.
+    std::int32_t intCls_, floatCls_, atomCls_, nilCls_, arrayCls_,
+        stringCls_, rootCls_;
+    std::uint32_t trueAtom_, falseAtom_, nilAtom_;
+};
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_STACK_VM_HPP

@@ -1,0 +1,424 @@
+#include "lang/workloads.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::lang {
+
+namespace {
+
+std::vector<Workload>
+buildWorkloads()
+{
+    std::vector<Workload> w;
+
+    w.push_back({"fib", "recursive Fibonacci (call/return stress)", R"(
+class Calc [
+    fib: n [
+        n < 2 ifTrue: [ ^n ].
+        ^(self fib: n - 1) + (self fib: n - 2)
+    ]
+]
+main [ | c |
+    c := Calc new.
+    ^c fib: 18
+]
+)",
+                 2584});
+
+    w.push_back({"sieve", "sieve of Eratosthenes over an Array", R"(
+class Sieve [
+    run: n [ | flags count i m |
+        flags := Array new: n.
+        0 to: n - 1 do: [ :k | flags at: k put: 1 ].
+        i := 2.
+        [ i * i < n ] whileTrue: [
+            (flags at: i) = 1 ifTrue: [
+                m := i * i.
+                [ m < n ] whileTrue: [
+                    flags at: m put: 0.
+                    m := m + i ] ].
+            i := i + 1 ].
+        count := 0.
+        2 to: n - 1 do: [ :k |
+            count := count + (flags at: k) ].
+        ^count
+    ]
+]
+main [
+    ^Sieve new run: 400
+]
+)",
+                 78});
+
+    w.push_back({"sort", "one quicksort, two element classes "
+                         "(late-binding showcase)",
+                 R"(
+class Pair [
+    | a b |
+    setA: x b: y [ a := x. b := y. ^self ]
+    a [ ^a ]
+    b [ ^b ]
+    "order pairs by their weight: the same sort method that orders
+     small integers orders Pairs, through the same < token"
+    weight [ ^a * 10 + b ]
+    < other [ ^self weight < other weight ]
+]
+class Sorter [
+    sort: arr from: lo to: hi [ | p i j tmp |
+        lo >= hi ifTrue: [ ^self ].
+        p := arr at: (lo + hi) / 2.
+        i := lo. j := hi.
+        [ i <= j ] whileTrue: [
+            [ (arr at: i) < p ] whileTrue: [ i := i + 1 ].
+            [ p < (arr at: j) ] whileTrue: [ j := j - 1 ].
+            i <= j ifTrue: [
+                tmp := arr at: i.
+                arr at: i put: (arr at: j).
+                arr at: j put: tmp.
+                i := i + 1. j := j - 1 ] ].
+        self sort: arr from: lo to: j.
+        self sort: arr from: i to: hi.
+        ^self
+    ]
+    check: arr size: n [ | ok k |
+        ok := 1.
+        0 to: n - 2 do: [ :m |
+            ((arr at: m + 1) < (arr at: m)) ifTrue: [ ok := 0 ] ].
+        ^ok
+    ]
+]
+main [ | ints pairs s seed k sum |
+    s := Sorter new.
+    ints := Array new: 64.
+    seed := 7.
+    0 to: 63 do: [ :i |
+        seed := seed * 31 + 17 \\ 1009.
+        ints at: i put: seed ].
+    s sort: ints from: 0 to: 63.
+    pairs := Array new: 32.
+    0 to: 31 do: [ :i |
+        pairs at: i put:
+            (Pair new setA: 31 - i \\ 7 b: i \\ 5) ].
+    s sort: pairs from: 0 to: 31.
+    sum := (s check: ints size: 64) + (s check: pairs size: 32).
+    "2 when both arrays are ordered"
+    ^sum
+]
+)",
+                 2});
+
+    w.push_back({"bintree", "binary tree insert/sum "
+                            "(allocation + recursion)",
+                 R"(
+class Node [
+    | key left right |
+    key: k [ key := k. ^self ]
+    key [ ^key ]
+    insert: k [
+        k < key
+            ifTrue: [
+                left == nil
+                    ifTrue: [ left := Node new key: k ]
+                    ifFalse: [ left insert: k ] ]
+            ifFalse: [
+                right == nil
+                    ifTrue: [ right := Node new key: k ]
+                    ifFalse: [ right insert: k ] ].
+        ^self
+    ]
+    total [ | t |
+        t := key.
+        left == nil ifFalse: [ t := t + left total ].
+        right == nil ifFalse: [ t := t + right total ].
+        ^t
+    ]
+]
+main [ | root seed sum |
+    seed := 3.
+    root := Node new key: 500.
+    1 to: 127 do: [ :i |
+        seed := seed * 29 + 41 \\ 997.
+        root insert: seed ].
+    ^root total \\ 100000
+]
+)",
+                 0});
+
+    w.push_back({"matrix", "small float matrix product "
+                           "(mixed-mode arithmetic)",
+                 R"(
+class Mat [
+    | data n |
+    init: size [ | k |
+        n := size.
+        data := Array new: size * size.
+        k := 0.
+        [ k < (size * size) ] whileTrue: [
+            data at: k put: 0.0.
+            k := k + 1 ].
+        ^self
+    ]
+    at: r col: c [ ^data at: r * n + c ]
+    at: r col: c put: v [ data at: r * n + c put: v. ^v ]
+    mul: other into: out [ | s |
+        0 to: n - 1 do: [ :i |
+            0 to: n - 1 do: [ :j |
+                s := 0.0.
+                0 to: n - 1 do: [ :k |
+                    s := s + ((self at: i col: k) *
+                              (other at: k col: j)) ].
+                out at: i col: j put: s ] ].
+        ^out
+    ]
+]
+main [ | a b c acc i |
+    a := Mat new init: 6.
+    b := Mat new init: 6.
+    0 to: 5 do: [ :r |
+        0 to: 5 do: [ :cc |
+            a at: r col: cc put: (r + 1) * 1.0.
+            b at: r col: cc put: (cc + 1) * 0.5 ] ].
+    c := Mat new init: 6.
+    a mul: b into: c.
+    "sum of c = sum_r sum_c (r+1)*6*(c+1)*0.5 = 6*21*21*0.5 = 1323"
+    acc := 0.0.
+    0 to: 5 do: [ :r |
+        0 to: 5 do: [ :cc |
+            acc := acc + (c at: r col: cc) ] ].
+    i := 0.
+    [ acc >= 1.0 ] whileTrue: [ acc := acc - 1.0. i := i + 1 ].
+    ^i
+]
+)",
+                 1323});
+
+    w.push_back({"bank", "account hierarchy with inherited fields", R"(
+class Account [
+    | balance |
+    open [ balance := 0. ^self ]
+    balance [ ^balance ]
+    deposit: amt [ balance := balance + amt. ^self ]
+    withdraw: amt [
+        amt <= balance ifTrue: [ balance := balance - amt ].
+        ^self
+    ]
+]
+class Savings extends Account [
+    | rate |
+    openAt: r [ self open. rate := r. ^self ]
+    addInterest [
+        balance := balance + (balance * rate / 100).
+        ^self
+    ]
+]
+main [ | checking savings t |
+    checking := Account new open.
+    savings := Savings new openAt: 5.
+    1 to: 24 do: [ :m |
+        checking deposit: 100.
+        checking withdraw: 30.
+        savings deposit: 200.
+        savings addInterest ].
+    t := checking balance + savings balance.
+    ^t
+]
+)",
+                 0});
+
+    w.push_back({"dictionary", "open-addressing hash table in guest "
+                               "code",
+                 R"(
+class Dict [
+    | keys vals cap |
+    init: capacity [ | k |
+        cap := capacity.
+        keys := Array new: capacity.
+        vals := Array new: capacity.
+        k := 0.
+        [ k < capacity ] whileTrue: [
+            keys at: k put: -1.
+            k := k + 1 ].
+        ^self
+    ]
+    slotFor: k [ | h |
+        h := k * 31 \\ cap.
+        [ ((keys at: h) ~= -1) and: [ (keys at: h) ~= k ] ]
+            whileTrue: [ h := h + 1 \\ cap ].
+        ^h
+    ]
+    at: k put: v [ | h |
+        h := self slotFor: k.
+        keys at: h put: k.
+        vals at: h put: v.
+        ^v
+    ]
+    get: k [ | h |
+        h := self slotFor: k.
+        ((keys at: h) = -1) ifTrue: [ ^0 ].
+        ^vals at: h
+    ]
+]
+main [ | d sum |
+    d := Dict new init: 97.
+    1 to: 60 do: [ :i | d at: i * 7 put: i * i ].
+    sum := 0.
+    1 to: 60 do: [ :i | sum := sum + (d get: i * 7) ].
+    "sum of squares 1..60 = 73810"
+    ^sum
+]
+)",
+                 73810});
+
+    w.push_back({"richards", "miniature task scheduler "
+                             "(message-dense control)",
+                 R"(
+class Task [
+    | id state work next |
+    initId: i [ id := i. state := 0. work := 0. ^self ]
+    id [ ^id ]
+    state [ ^state ]
+    state: s [ state := s. ^self ]
+    next [ ^next ]
+    next: t [ next := t. ^self ]
+    work [ ^work ]
+    step [ work := work + 1. ^work ]
+]
+class DeviceTask extends Task [
+    step [ work := work + 2. ^work ]
+]
+class WorkerTask extends Task [
+    step [ work := work + 3. ^work ]
+]
+class Scheduler [
+    | head count |
+    init [ count := 0. head := nil. ^self ]
+    add: t [
+        t next: head.
+        head := t.
+        count := count + 1.
+        ^self
+    ]
+    runFor: steps [ | cur n |
+        cur := head.
+        n := 0.
+        [ n < steps ] whileTrue: [
+            cur step.
+            cur := cur next.
+            cur == nil ifTrue: [ cur := head ].
+            n := n + 1 ].
+        ^n
+    ]
+    totalWork [ | cur t |
+        cur := head.
+        t := 0.
+        [ cur == nil ] whileFalse: [
+            t := t + cur work.
+            cur := cur next ].
+        ^t
+    ]
+]
+main [ | s |
+    s := Scheduler new init.
+    s add: (Task new initId: 1).
+    s add: (DeviceTask new initId: 2).
+    s add: (WorkerTask new initId: 3).
+    s add: (Task new initId: 4).
+    s add: (DeviceTask new initId: 5).
+    s runFor: 600.
+    ^s totalWork
+]
+)",
+                 0});
+
+    w.push_back({"nqueens", "8-queens backtracking counter", R"(
+class Queens [
+    | cols n solutions |
+    init: size [ | k |
+        n := size.
+        cols := Array new: size.
+        k := 0.
+        [ k < size ] whileTrue: [ cols at: k put: -1. k := k + 1 ].
+        solutions := 0.
+        ^self
+    ]
+    okRow: r col: c [ | k ck |
+        k := 0.
+        [ k < c ] whileTrue: [
+            ck := cols at: k.
+            ck = r ifTrue: [ ^0 ].
+            (ck - r) = (c - k) ifTrue: [ ^0 ].
+            (r - ck) = (c - k) ifTrue: [ ^0 ].
+            k := k + 1 ].
+        ^1
+    ]
+    place: c [ | r |
+        c = n ifTrue: [ solutions := solutions + 1. ^self ].
+        r := 0.
+        [ r < n ] whileTrue: [
+            (self okRow: r col: c) = 1 ifTrue: [
+                cols at: c put: r.
+                self place: c + 1 ].
+            r := r + 1 ].
+        ^self
+    ]
+    solutions [ ^solutions ]
+]
+main [ | q |
+    q := Queens new init: 6.
+    q place: 0.
+    "6-queens has 4 solutions"
+    ^q solutions
+]
+)",
+                 4});
+
+    // Fill in the computed expectations that need host arithmetic.
+    for (Workload &wl : w) {
+        if (wl.name == "bintree") {
+            // Mirror the guest PRNG walk.
+            std::int64_t seed = 3, sum = 500;
+            // Duplicate keys still insert (no dedup in guest code).
+            std::vector<std::int64_t> keys;
+            for (int i = 1; i <= 127; ++i) {
+                seed = (seed * 29 + 41) % 997;
+                sum += seed;
+            }
+            wl.expected = static_cast<std::int32_t>(sum % 100000);
+        } else if (wl.name == "bank") {
+            // checking: 24 * 70 = 1680.
+            std::int64_t checking = 1680;
+            std::int64_t savings = 0;
+            for (int m = 0; m < 24; ++m) {
+                savings += 200;
+                savings += savings * 5 / 100;
+            }
+            wl.expected =
+                static_cast<std::int32_t>(checking + savings);
+        } else if (wl.name == "richards") {
+            // 600 steps round-robin over 5 tasks: each task steps 120
+            // times; increments: Task 1, Device 2, Worker 3.
+            wl.expected = 120 * (1 + 2 + 3 + 1 + 2);
+        }
+    }
+    return w;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+workloads()
+{
+    static const std::vector<Workload> kSuite = buildWorkloads();
+    return kSuite;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    for (const Workload &w : workloads())
+        if (w.name == name)
+            return w;
+    sim::fatal("unknown workload '", name, "'");
+}
+
+} // namespace com::lang

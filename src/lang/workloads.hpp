@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Smalltalk workloads: the measurement programs of the reproduction.
+ *
+ * Each workload carries its source (compiled by BOTH back ends: the
+ * COM three-address compiler and the stack baseline), the integer its
+ * main method returns (a checksum the tests verify on both machines),
+ * and a short description. The suite covers the behaviours the paper's
+ * claims rest on:
+ *
+ *  - polymorphic sort: one sort method over SmallInt and Point
+ *    receivers — the late-binding "general code" story of Section 2.1;
+ *  - richards-like task scheduler: message-dense OO control flow;
+ *  - nqueens / bintree / sieve: recursion and allocation pressure
+ *    (context statistics of Section 2.3);
+ *  - matrix: floating point arithmetic (mixed-mode primitives);
+ *  - bank: class hierarchies with super-defined fields;
+ *  - dictionary: an open-addressing hash table written in the guest
+ *    language (method lookup stress).
+ */
+
+#ifndef COMSIM_LANG_WORKLOADS_HPP
+#define COMSIM_LANG_WORKLOADS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace com::lang {
+
+/** One guest workload. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string source;
+    std::int32_t expected; ///< main's integer return value
+};
+
+/** The full suite. */
+const std::vector<Workload> &workloads();
+
+/** Look a workload up by name (fatal if unknown). */
+const Workload &workload(const std::string &name);
+
+} // namespace com::lang
+
+#endif // COMSIM_LANG_WORKLOADS_HPP

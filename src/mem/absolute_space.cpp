@@ -1,0 +1,118 @@
+#include "mem/absolute_space.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::mem {
+
+AbsoluteSpace::AbsoluteSpace(AbsAddr base_addr, unsigned max_order)
+    : base_(base_addr), maxOrder_(max_order),
+      freeLists_(max_order + 1), stats_("abs_space")
+{
+    sim::panicIf(max_order >= 63, "absolute space max_order too large");
+    sim::panicIf(base_addr & ((1ull << max_order) - 1),
+                 "absolute space base not aligned to region size");
+    freeLists_[maxOrder_].insert(base_);
+
+    stats_.addCounter("allocs", &allocs_, "blocks allocated");
+    stats_.addCounter("frees", &frees_, "blocks freed");
+    stats_.addCounter("splits", &splits_, "buddy splits performed");
+    stats_.addCounter("coalesces", &coalesces_, "buddy merges performed");
+}
+
+unsigned
+AbsoluteSpace::orderForWords(std::uint64_t size_words)
+{
+    if (size_words <= 1)
+        return 0;
+    unsigned order = 0;
+    while ((1ull << order) < size_words)
+        ++order;
+    return order;
+}
+
+AbsAddr
+AbsoluteSpace::allocate(unsigned order)
+{
+    sim::fatalIf(order > maxOrder_,
+                 "allocation of order ", order,
+                 " exceeds absolute space region order ", maxOrder_);
+
+    // Find the smallest free block that fits, splitting downward.
+    unsigned have = order;
+    while (have <= maxOrder_ && freeLists_[have].empty())
+        ++have;
+    sim::fatalIf(have > maxOrder_,
+                 "absolute space exhausted allocating order ", order);
+
+    AbsAddr addr = *freeLists_[have].begin();
+    freeLists_[have].erase(freeLists_[have].begin());
+    while (have > order) {
+        --have;
+        ++splits_;
+        AbsAddr buddy = addr + (1ull << have);
+        freeLists_[have].insert(buddy);
+    }
+
+    live_[addr] = order;
+    wordsAllocated_ += 1ull << order;
+    ++allocs_;
+    return addr;
+}
+
+AbsAddr
+AbsoluteSpace::allocateWords(std::uint64_t size_words)
+{
+    return allocate(orderForWords(size_words));
+}
+
+bool
+AbsoluteSpace::removeFree(unsigned order, AbsAddr addr)
+{
+    auto it = freeLists_[order].find(addr);
+    if (it == freeLists_[order].end())
+        return false;
+    freeLists_[order].erase(it);
+    return true;
+}
+
+void
+AbsoluteSpace::free(AbsAddr addr)
+{
+    auto it = live_.find(addr);
+    sim::panicIf(it == live_.end(),
+                 "free of unallocated absolute address ", addr);
+    unsigned order = it->second;
+    live_.erase(it);
+    wordsAllocated_ -= 1ull << order;
+    ++frees_;
+
+    // Coalesce with the buddy while possible.
+    while (order < maxOrder_) {
+        AbsAddr rel = addr - base_;
+        AbsAddr buddy = base_ + (rel ^ (1ull << order));
+        if (!removeFree(order, buddy))
+            break;
+        ++coalesces_;
+        if (buddy < addr)
+            addr = buddy;
+        ++order;
+    }
+    freeLists_[order].insert(addr);
+}
+
+bool
+AbsoluteSpace::isAllocated(AbsAddr addr) const
+{
+    return live_.count(addr) != 0;
+}
+
+unsigned
+AbsoluteSpace::orderOf(AbsAddr addr) const
+{
+    auto it = live_.find(addr);
+    sim::panicIf(it == live_.end(),
+                 "orderOf on unallocated absolute address ", addr);
+    return it->second;
+}
+
+} // namespace com::mem

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Absolute-space allocator (paper Section 3.1).
+ *
+ * Absolute space is the single global name space: each absolute address
+ * is a unique name for an object, independent of the memory hierarchy.
+ * Segments are aligned on absolute addresses that are multiples of their
+ * (power-of-two) size, so virtual-to-absolute translation composes base
+ * and offset with an OR — "no add is required".
+ *
+ * A binary buddy allocator provides exactly this alignment invariant:
+ * every order-k block is 2^k words and naturally aligned. Freed blocks
+ * coalesce with their buddies so long-running simulations don't leak
+ * name space.
+ */
+
+#ifndef COMSIM_MEM_ABSOLUTE_SPACE_HPP
+#define COMSIM_MEM_ABSOLUTE_SPACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::mem {
+
+/**
+ * Buddy allocator over a contiguous region of absolute space.
+ *
+ * Orders are word-granular: an order-k allocation returns a 2^k-word
+ * block aligned to 2^k words.
+ */
+class AbsoluteSpace
+{
+  public:
+    /**
+     * @param base_addr start of the managed region (must be aligned to
+     *        2^max_order words)
+     * @param max_order log2 of the region size in words
+     */
+    AbsoluteSpace(AbsAddr base_addr, unsigned max_order);
+
+    /**
+     * Allocate a block of 2^order words.
+     * @return the block's absolute base address
+     * @throws sim::FatalError when the space is exhausted
+     */
+    AbsAddr allocate(unsigned order);
+
+    /** Allocate the smallest block that fits @p size_words words. */
+    AbsAddr allocateWords(std::uint64_t size_words);
+
+    /**
+     * Free a previously allocated block. The order is remembered by the
+     * allocator; double frees and foreign addresses panic.
+     */
+    void free(AbsAddr addr);
+
+    /** @return true if @p addr is the base of a live allocation. */
+    bool isAllocated(AbsAddr addr) const;
+
+    /** @return the order of the live allocation at @p addr. */
+    unsigned orderOf(AbsAddr addr) const;
+
+    /** Words currently allocated (sum of 2^order over live blocks). */
+    std::uint64_t wordsAllocated() const { return wordsAllocated_; }
+
+    /** Words in the managed region. */
+    std::uint64_t
+    capacityWords() const
+    {
+        return 1ull << maxOrder_;
+    }
+
+    /** Number of live allocations. */
+    std::size_t liveBlocks() const { return live_.size(); }
+
+    /** @return smallest order whose block holds @p size_words words. */
+    static unsigned orderForWords(std::uint64_t size_words);
+
+    /** Statistics group ("abs_space"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    /** Remove addr from the free list of @p order, return success. */
+    bool removeFree(unsigned order, AbsAddr addr);
+
+    AbsAddr base_;
+    unsigned maxOrder_;
+    /** Free lists indexed by order; sets keep coalescing O(log n). */
+    std::vector<std::set<AbsAddr>> freeLists_;
+    /** Live allocation base -> order. */
+    std::map<AbsAddr, unsigned> live_;
+    std::uint64_t wordsAllocated_ = 0;
+
+    sim::Counter allocs_;
+    sim::Counter frees_;
+    sim::Counter splits_;
+    sim::Counter coalesces_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_ABSOLUTE_SPACE_HPP

@@ -1,0 +1,112 @@
+#include "mem/fp_address.hpp"
+
+#include "sim/logging.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::mem {
+
+std::uint64_t
+FpFormat::numSegmentNames() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t e = 0; e <= maxExponent(); ++e)
+        total += 1ull << (mantissaBits - e);
+    return total;
+}
+
+std::uint64_t
+FpAddress::compose(const FpFormat &fmt, std::uint64_t exp,
+                   std::uint64_t seg_field, std::uint64_t offset)
+{
+    sim::panicIf(exp > fmt.maxExponent(),
+                 "fp address exponent ", exp, " exceeds format max ",
+                 fmt.maxExponent());
+    sim::panicIf(offset >= (1ull << exp) && exp < 64,
+                 "fp address offset ", offset,
+                 " does not fit in offset field of 2^", exp);
+    std::uint64_t mant = (seg_field << exp) | offset;
+    sim::panicIf(mant > fmt.mantissaMask(),
+                 "fp address segment field ", seg_field,
+                 " overflows mantissa for exponent ", exp);
+    return (exp << fmt.mantissaBits) | mant;
+}
+
+FpDecoded
+FpAddress::decode(const FpFormat &fmt, std::uint64_t raw)
+{
+    FpDecoded d;
+    d.exponent = raw >> fmt.mantissaBits;
+    std::uint64_t mant = raw & fmt.mantissaMask();
+    std::uint64_t e = d.exponent;
+    if (e >= 64) {
+        d.offset = mant;
+        d.segField = 0;
+    } else {
+        d.offset = mant & ((1ull << e) - 1);
+        d.segField = mant >> e;
+    }
+    return d;
+}
+
+std::uint64_t
+FpAddress::exponent(const FpFormat &fmt, std::uint64_t raw)
+{
+    return raw >> fmt.mantissaBits;
+}
+
+std::uint64_t
+FpAddress::mantissa(const FpFormat &fmt, std::uint64_t raw)
+{
+    return raw & fmt.mantissaMask();
+}
+
+std::uint64_t
+FpAddress::segKey(const FpFormat &fmt, std::uint64_t raw)
+{
+    FpDecoded d = decode(fmt, raw);
+    return (d.exponent << fmt.mantissaBits) | d.segField;
+}
+
+void
+FpAddress::splitSegKey(const FpFormat &fmt, std::uint64_t key,
+                       std::uint64_t &exp, std::uint64_t &seg_field)
+{
+    exp = key >> fmt.mantissaBits;
+    seg_field = key & fmt.mantissaMask();
+}
+
+std::uint64_t
+FpAddress::addOffset(const FpFormat &fmt, std::uint64_t raw,
+                     std::int64_t delta_words)
+{
+    std::uint64_t exp_field = raw & ~fmt.mantissaMask();
+    std::uint64_t mant = raw & fmt.mantissaMask();
+    mant = (mant + static_cast<std::uint64_t>(delta_words)) &
+           fmt.mantissaMask();
+    return exp_field | mant;
+}
+
+std::uint64_t
+FpAddress::exponentFor(const FpFormat &fmt, std::uint64_t size_words)
+{
+    std::uint64_t e = 0;
+    while ((1ull << e) < size_words && e < fmt.maxExponent())
+        ++e;
+    sim::panicIf((1ull << e) < size_words,
+                 "object of ", size_words,
+                 " words exceeds format's max segment size ",
+                 fmt.maxSegmentWords());
+    return e;
+}
+
+std::string
+FpAddress::toString(const FpFormat &fmt, std::uint64_t raw)
+{
+    FpDecoded d = decode(fmt, raw);
+    return sim::format("fp[e=%llu seg=0x%llx off=0x%llx]",
+                       static_cast<unsigned long long>(d.exponent),
+                       static_cast<unsigned long long>(d.segField),
+                       static_cast<unsigned long long>(d.offset));
+}
+
+} // namespace com::mem

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Floating point virtual addresses (paper Section 2.2, Figure 2).
+ *
+ * An address is an e-bit exponent plus an m-bit mantissa. The exponent
+ * encodes the size of the offset field, shifting the binary point of the
+ * mantissa: the fractional part (low @c exp bits of the mantissa) is the
+ * offset within the segment, the integer part combined with the exponent
+ * names the segment descriptor.
+ *
+ * The paper's worked example: the 16-bit address 0x8345 has exponent 8
+ * (top four bits), so the offset is the byte 0x45 and the descriptor name
+ * combines exponent 8 with integer part 0x3 (rendered "0x83").
+ *
+ * This solves the small object problem: a 36-bit address with a 5-bit
+ * exponent and 31-bit mantissa accommodates ~8 billion segments while
+ * supporting segments of up to 2 billion words, where MULTICS' fixed
+ * 18/18 split caps both at 256K.
+ */
+
+#ifndef COMSIM_MEM_FP_ADDRESS_HPP
+#define COMSIM_MEM_FP_ADDRESS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace com::mem {
+
+/**
+ * A floating point address format: how many bits of exponent and
+ * mantissa. Total width is expBits + mantissaBits (<= 64).
+ */
+struct FpFormat
+{
+    unsigned expBits;      ///< width of the exponent field
+    unsigned mantissaBits; ///< width of the mantissa field
+
+    /** Total address width in bits. */
+    unsigned width() const { return expBits + mantissaBits; }
+
+    /** Largest representable exponent value. */
+    std::uint64_t
+    maxExponent() const
+    {
+        std::uint64_t e = (1ull << expBits) - 1;
+        // Offsets cannot be wider than the mantissa itself.
+        return e < mantissaBits ? e : mantissaBits;
+    }
+
+    /** Largest supported segment size in words (2^maxExponent). */
+    std::uint64_t
+    maxSegmentWords() const
+    {
+        return 1ull << maxExponent();
+    }
+
+    /**
+     * Number of distinct segment descriptor names across all exponents:
+     * sum over e of 2^(mantissaBits - e) distinct integer parts.
+     */
+    std::uint64_t numSegmentNames() const;
+
+    /** Mask covering the mantissa field. */
+    std::uint64_t
+    mantissaMask() const
+    {
+        return mantissaBits >= 64 ? ~0ull : (1ull << mantissaBits) - 1;
+    }
+};
+
+/** The COM's 32-bit format: 5-bit exponent, 27-bit mantissa. */
+constexpr FpFormat kFp32{5, 27};
+/** The paper's 36-bit illustration: 5-bit exponent, 31-bit mantissa. */
+constexpr FpFormat kFp36{5, 31};
+/** The paper's 16-bit worked example (0x8345): 4-bit exp, 12-bit mant. */
+constexpr FpFormat kFp16{4, 12};
+
+/**
+ * A decoded floating point address: exponent, segment integer part, and
+ * offset. segKey() names the segment descriptor (exponent combined with
+ * the integer part), matching the paper's "0x83" rendering.
+ */
+struct FpDecoded
+{
+    std::uint64_t exponent;  ///< size of the offset field in bits
+    std::uint64_t segField;  ///< integer part of the real address
+    std::uint64_t offset;    ///< fractional part: offset within segment
+};
+
+/**
+ * Value-type operations on floating point addresses for a given format.
+ * Raw addresses are stored in a uint64 with the exponent in the top
+ * expBits and the mantissa below it.
+ */
+class FpAddress
+{
+  public:
+    /** Build the raw bits of an address from its fields. */
+    static std::uint64_t compose(const FpFormat &fmt, std::uint64_t exp,
+                                 std::uint64_t seg_field,
+                                 std::uint64_t offset);
+
+    /** Decode raw bits into exponent / segment field / offset. */
+    static FpDecoded decode(const FpFormat &fmt, std::uint64_t raw);
+
+    /** @return the exponent field of @p raw. */
+    static std::uint64_t exponent(const FpFormat &fmt, std::uint64_t raw);
+
+    /** @return the full mantissa of @p raw. */
+    static std::uint64_t mantissa(const FpFormat &fmt, std::uint64_t raw);
+
+    /**
+     * @return the segment-descriptor key for @p raw: exponent
+     * concatenated with the integer part of the real address. Unique per
+     * (exponent, segField) pair.
+     */
+    static std::uint64_t segKey(const FpFormat &fmt, std::uint64_t raw);
+
+    /** Rebuild a descriptor key into (exponent, segField). */
+    static void splitSegKey(const FpFormat &fmt, std::uint64_t key,
+                            std::uint64_t &exp, std::uint64_t &seg_field);
+
+    /**
+     * Add a word delta to the offset, staying within the mantissa.
+     * Overflow past the offset field carries into the integer part and
+     * therefore names a *different* segment; bounds checking against the
+     * descriptor catches such strays. The add is performed on the whole
+     * mantissa, exactly as address arithmetic hardware would.
+     */
+    static std::uint64_t addOffset(const FpFormat &fmt, std::uint64_t raw,
+                                   std::int64_t delta_words);
+
+    /**
+     * @return the smallest exponent whose offset field can index a
+     * segment of @p size_words words (minimum exponent 0: 1-word
+     * segment).
+     */
+    static std::uint64_t exponentFor(const FpFormat &fmt,
+                                     std::uint64_t size_words);
+
+    /** Render as e.g. "fp[e=8 seg=0x3 off=0x45]" for diagnostics. */
+    static std::string toString(const FpFormat &fmt, std::uint64_t raw);
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_FP_ADDRESS_HPP

@@ -1,0 +1,102 @@
+#include "mem/hierarchy.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::mem {
+
+MemoryHierarchy::MemoryHierarchy(const std::vector<LevelConfig> &levels,
+                                 std::uint64_t backing_latency)
+    : backingLatency_(backing_latency), stats_("hierarchy")
+{
+    for (const auto &cfg : levels) {
+        sim::fatalIf(cfg.blockWords == 0 ||
+                     (cfg.blockWords & (cfg.blockWords - 1)) != 0,
+                     "hierarchy level '", cfg.name,
+                     "' block size must be a power of two");
+        Level lvl;
+        lvl.cfg = cfg;
+        lvl.cache = std::make_unique<
+            cache::SetAssocCache<std::uint64_t, BlockState>>(
+            cfg.numSets, cfg.ways, cfg.policy, cfg.name);
+        levels_.push_back(std::move(lvl));
+    }
+    stats_.addCounter("accesses", &accesses_, "total word accesses");
+    stats_.addCounter("backing_accesses", &backing_,
+                      "accesses served by the backing store");
+    stats_.addCounter("writebacks", &writebacks_,
+                      "dirty blocks written back");
+    stats_.addCounter("total_latency", &totalLatency_,
+                      "sum of access latencies (cycles)");
+    for (auto &lvl : levels_)
+        stats_.addChild(&lvl.cache->stats());
+}
+
+AccessResult
+MemoryHierarchy::access(AbsAddr addr, bool write)
+{
+    AccessResult res;
+    ++accesses_;
+
+    int hit_level = -1;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        auto &lvl = levels_[i];
+        std::uint64_t block = addr / lvl.cfg.blockWords;
+        res.latency += lvl.cfg.hitLatency;
+        BlockState *st = lvl.cache->lookup(block);
+        if (st) {
+            if (write)
+                st->dirty = true;
+            hit_level = static_cast<int>(i);
+            break;
+        }
+    }
+    if (hit_level < 0) {
+        res.latency += backingLatency_;
+        ++backing_;
+    }
+
+    // Inclusive fill of every level above the hit.
+    std::size_t fill_upto =
+        hit_level < 0 ? levels_.size() : static_cast<std::size_t>(hit_level);
+    for (std::size_t i = 0; i < fill_upto; ++i) {
+        auto &lvl = levels_[i];
+        std::uint64_t block = addr / lvl.cfg.blockWords;
+        auto evicted = lvl.cache->insert(block,
+                                         BlockState{write});
+        if (evicted && evicted->value.dirty) {
+            ++writebacks_;
+            ++res.writebacks;
+        }
+    }
+    res.hitLevel = hit_level;
+    totalLatency_ += res.latency;
+    return res;
+}
+
+std::uint64_t
+MemoryHierarchy::levelHits(std::size_t i) const
+{
+    sim::panicIf(i >= levels_.size(), "levelHits index out of range");
+    return levels_[i].cache->hits();
+}
+
+double
+MemoryHierarchy::meanLatency() const
+{
+    return accesses_.value()
+        ? static_cast<double>(totalLatency_.value()) / accesses_.value()
+        : 0.0;
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    accesses_.reset();
+    backing_.reset();
+    writebacks_.reset();
+    totalLatency_.reset();
+    for (auto &lvl : levels_)
+        lvl.cache->resetStats();
+}
+
+} // namespace com::mem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The absolute -> physical resource-allocation step (paper Section 3.1).
+ *
+ * "To translate an absolute address to a physical address the absolute
+ * address is offered to each level of the memory hierarchy in turn. Each
+ * storage device is treated as a cache in which frequently accessed
+ * portions of absolute space may be stored."
+ *
+ * This is a pure timing model: functional data lives in TaggedMemory.
+ * Each level is a hashed set-associative cache of absolute block numbers,
+ * so the page-table size of a level depends only on the physical size of
+ * that level, never on the size of absolute space — exactly the paper's
+ * argument. Fills are inclusive; dirty blocks are written back on
+ * eviction and counted as traffic.
+ */
+
+#ifndef COMSIM_MEM_HIERARCHY_HPP
+#define COMSIM_MEM_HIERARCHY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc.hpp"
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::mem {
+
+/** Configuration of one storage level. */
+struct LevelConfig
+{
+    std::string name;        ///< e.g. "main", "disk-cache"
+    std::uint64_t blockWords; ///< block (page) size in words, power of 2
+    std::size_t numSets;     ///< power-of-two set count
+    std::size_t ways;        ///< associativity
+    std::uint64_t hitLatency; ///< cycles charged when this level hits
+    cache::ReplPolicy policy = cache::ReplPolicy::Lru;
+};
+
+/** Result of one hierarchy access. */
+struct AccessResult
+{
+    std::uint64_t latency = 0; ///< total cycles for this access
+    int hitLevel = -1;         ///< index of the level that hit, or -1
+                               ///< when the backing store supplied it
+    std::uint64_t writebacks = 0; ///< dirty blocks pushed down by fills
+};
+
+/**
+ * A configurable stack of storage levels over absolute space, ending in
+ * an unbounded backing store with fixed latency.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param levels ordered fastest-first
+     * @param backing_latency cycles when every level misses
+     */
+    MemoryHierarchy(const std::vector<LevelConfig> &levels,
+                    std::uint64_t backing_latency);
+
+    /**
+     * Perform one word access at @p addr.
+     * @param write true for stores (marks the block dirty)
+     * @return latency and hit level
+     */
+    AccessResult access(AbsAddr addr, bool write);
+
+    /** Number of configured levels. */
+    std::size_t numLevels() const { return levels_.size(); }
+
+    /** Hits recorded at level @p i. */
+    std::uint64_t levelHits(std::size_t i) const;
+    /** Accesses that reached the backing store. */
+    std::uint64_t backingAccesses() const { return backing_.value(); }
+    /** Dirty blocks written back across all levels. */
+    std::uint64_t totalWritebacks() const { return writebacks_.value(); }
+    /** Total accesses. */
+    std::uint64_t accesses() const { return accesses_.value(); }
+    /** Mean latency per access so far. */
+    double meanLatency() const;
+
+    /** Reset statistics but keep cache contents. */
+    void resetStats();
+
+    /** Statistics group ("hierarchy"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    struct BlockState
+    {
+        bool dirty = false;
+    };
+
+    struct Level
+    {
+        LevelConfig cfg;
+        std::unique_ptr<cache::SetAssocCache<std::uint64_t, BlockState>>
+            cache;
+    };
+
+    std::vector<Level> levels_;
+    std::uint64_t backingLatency_;
+
+    sim::Counter accesses_;
+    sim::Counter backing_;
+    sim::Counter writebacks_;
+    sim::Counter totalLatency_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_HIERARCHY_HPP

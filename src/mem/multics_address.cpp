@@ -1,0 +1,65 @@
+#include "mem/multics_address.hpp"
+
+namespace com::mem {
+
+FixedSegAllocator::FixedSegAllocator(FixedFormat fmt,
+                                     std::uint64_t group_threshold)
+    : fmt_(fmt), groupThreshold_(group_threshold)
+{
+}
+
+FixedSegAllocator::Allocation
+FixedSegAllocator::allocate(std::uint64_t size_words)
+{
+    Allocation out;
+    if (size_words == 0)
+        size_words = 1;
+
+    const std::uint64_t max_words = fmt_.maxSegmentWords();
+
+    if (groupThreshold_ > 0 && size_words < groupThreshold_) {
+        // Pack into the open pool segment, opening a new one when full.
+        if (!poolOpen_ || poolFill_ + size_words > max_words) {
+            if (segmentsUsed_ >= fmt_.numSegments()) {
+                ++failures_;
+                return out;
+            }
+            ++segmentsUsed_;
+            poolOpen_ = true;
+            poolFill_ = 0;
+            wordsReserved_ += max_words;
+        }
+        poolFill_ += size_words;
+        ++objects_;
+        ++grouped_;
+        wordsRequested_ += size_words;
+        out.ok = true;
+        out.grouped = true;
+        out.segments = 0; // shares an already-counted pool segment
+        return out;
+    }
+
+    // Whole segments: split when larger than the offset field allows.
+    std::uint64_t needed = (size_words + max_words - 1) / max_words;
+    if (segmentsUsed_ + needed > fmt_.numSegments()) {
+        ++failures_;
+        return out;
+    }
+    segmentsUsed_ += needed;
+    ++objects_;
+    if (needed > 1)
+        ++split_;
+    wordsRequested_ += size_words;
+    wordsReserved_ += needed * max_words;
+    out.ok = true;
+    out.segments = needed;
+    return out;
+}
+
+std::uint64_t
+FixedSegAllocator::internalWaste() const
+{
+    return wordsReserved_ - wordsRequested_;
+}
+
+} // namespace com::mem

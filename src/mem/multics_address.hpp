@@ -1,0 +1,102 @@
+/**
+ * @file
+ * MULTICS-style fixed-point segmented addressing (paper Section 2.2
+ * comparison baseline).
+ *
+ * A fixed-width address is split into two fixed fields: segment number
+ * and offset. MULTICS partitions a 36-bit address 18/18, allowing 256K
+ * segments of at most 256K words. The paper argues both limits are too
+ * restrictive: small objects must be grouped into shared segments and
+ * large objects must be split across several. This model quantifies that
+ * overhead for the Table T-fpa comparison.
+ */
+
+#ifndef COMSIM_MEM_MULTICS_ADDRESS_HPP
+#define COMSIM_MEM_MULTICS_ADDRESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace com::mem {
+
+/** A fixed segment/offset address format. */
+struct FixedFormat
+{
+    unsigned segBits;    ///< width of the segment-number field
+    unsigned offsetBits; ///< width of the offset field
+
+    /** Number of addressable segments. */
+    std::uint64_t numSegments() const { return 1ull << segBits; }
+    /** Maximum words per segment. */
+    std::uint64_t maxSegmentWords() const { return 1ull << offsetBits; }
+    /** Total address width. */
+    unsigned width() const { return segBits + offsetBits; }
+};
+
+/** MULTICS' 36-bit format. */
+constexpr FixedFormat kMultics36{18, 18};
+
+/**
+ * An allocator over a fixed segmentation scheme that mimics how systems
+ * cope with its limits: objects larger than a segment are split across
+ * ceil(size/maxWords) segments; to conserve segment numbers, objects
+ * smaller than @c groupThreshold words are packed together into shared
+ * "pool" segments (losing per-object protection and bounds checking,
+ * which is precisely the paper's complaint).
+ */
+class FixedSegAllocator
+{
+  public:
+    /**
+     * @param fmt the address format
+     * @param group_threshold objects strictly smaller than this are
+     *        packed into shared pool segments; 0 disables grouping so
+     *        every object costs a whole segment number
+     */
+    explicit FixedSegAllocator(FixedFormat fmt,
+                               std::uint64_t group_threshold = 0);
+
+    /** Result of allocating one object. */
+    struct Allocation
+    {
+        bool ok = false;          ///< false: out of segment numbers
+        bool grouped = false;     ///< placed in a shared pool segment
+        std::uint64_t segments = 0; ///< segment numbers consumed
+    };
+
+    /** Allocate an object of @p size_words; updates statistics. */
+    Allocation allocate(std::uint64_t size_words);
+
+    /** Total segment numbers consumed so far. */
+    std::uint64_t segmentsUsed() const { return segmentsUsed_; }
+    /** Number of objects successfully allocated. */
+    std::uint64_t objectsAllocated() const { return objects_; }
+    /** Objects that had to be split across multiple segments. */
+    std::uint64_t objectsSplit() const { return split_; }
+    /** Objects packed into shared pool segments (no own protection). */
+    std::uint64_t objectsGrouped() const { return grouped_; }
+    /** Objects that failed because segment numbers ran out. */
+    std::uint64_t failures() const { return failures_; }
+    /**
+     * Words of allocated-but-unused space inside pool segments and in
+     * the unfilled tail segment of split objects.
+     */
+    std::uint64_t internalWaste() const;
+
+  private:
+    FixedFormat fmt_;
+    std::uint64_t groupThreshold_;
+    std::uint64_t segmentsUsed_ = 0;
+    std::uint64_t objects_ = 0;
+    std::uint64_t split_ = 0;
+    std::uint64_t grouped_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t poolFill_ = 0;   ///< words used in the open pool segment
+    bool poolOpen_ = false;
+    std::uint64_t wordsRequested_ = 0;
+    std::uint64_t wordsReserved_ = 0;
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_MULTICS_ADDRESS_HPP

@@ -1,0 +1,215 @@
+#include "mem/segment_table.hpp"
+
+#include "mem/tagged_memory.hpp"
+#include "sim/logging.hpp"
+
+namespace com::mem {
+
+SegmentTable::SegmentTable(FpFormat fmt, AbsoluteSpace &space,
+                           std::uint32_t team_id)
+    : fmt_(fmt), space_(space), teamId_(team_id),
+      nextField_(fmt.maxExponent() + 1, 0),
+      freeFields_(fmt.maxExponent() + 1),
+      stats_("segtable")
+{
+    stats_.addCounter("allocated", &allocated_, "objects allocated");
+    stats_.addCounter("freed", &freed_, "objects freed");
+    stats_.addCounter("grown", &grown_, "objects grown past exponent");
+    stats_.addCounter("growth_traps", &growthTraps_,
+                      "accesses trapped through stale grown pointers");
+    stats_.addCounter("bounds_faults", &boundsFaults_,
+                      "out-of-bounds accesses");
+    stats_.addCounter("prot_faults", &protFaults_,
+                      "writes through read-only capabilities");
+}
+
+std::uint64_t
+SegmentTable::nextSegField(std::uint64_t exp)
+{
+    auto &free_list = freeFields_[exp];
+    if (!free_list.empty()) {
+        std::uint64_t f = free_list.back();
+        free_list.pop_back();
+        return f;
+    }
+    std::uint64_t limit = 1ull << (fmt_.mantissaBits - exp);
+    sim::fatalIf(nextField_[exp] >= limit,
+                 "team ", teamId_, " out of segment names for exponent ",
+                 exp);
+    return nextField_[exp]++;
+}
+
+std::uint64_t
+SegmentTable::allocateObject(std::uint64_t size_words, ClassId cls)
+{
+    if (size_words == 0)
+        size_words = 1;
+    std::uint64_t exp = FpAddress::exponentFor(fmt_, size_words);
+    std::uint64_t field = nextSegField(exp);
+    // Buddy allocation of 2^exp words yields the required alignment.
+    AbsAddr base = space_.allocate(static_cast<unsigned>(exp));
+    sim::panicIf(base & ((1ull << exp) - 1),
+                 "buddy allocator returned unaligned segment base");
+
+    std::uint64_t vaddr = FpAddress::compose(fmt_, exp, field, 0);
+    SegmentDescriptor d;
+    d.base = base;
+    d.length = size_words;
+    d.cls = cls;
+    table_[FpAddress::segKey(fmt_, vaddr)] = d;
+    ++allocated_;
+    return vaddr;
+}
+
+void
+SegmentTable::freeObject(std::uint64_t vaddr)
+{
+    std::uint64_t key = FpAddress::segKey(fmt_, vaddr);
+    auto it = table_.find(key);
+    sim::panicIf(it == table_.end(),
+                 "freeObject of unmapped vaddr ",
+                 FpAddress::toString(fmt_, vaddr));
+
+    if (it->second.owner && !it->second.alias)
+        space_.free(it->second.base);
+
+    std::uint64_t exp, field;
+    FpAddress::splitSegKey(fmt_, key, exp, field);
+    freeFields_[exp].push_back(field);
+    table_.erase(it);
+    ++freed_;
+    notifyChange(key);
+}
+
+std::uint64_t
+SegmentTable::growObject(std::uint64_t vaddr,
+                         std::uint64_t new_size_words,
+                         TaggedMemory &memory)
+{
+    std::uint64_t key = FpAddress::segKey(fmt_, vaddr);
+    auto it = table_.find(key);
+    sim::panicIf(it == table_.end(),
+                 "growObject of unmapped vaddr ",
+                 FpAddress::toString(fmt_, vaddr));
+    SegmentDescriptor &old_d = it->second;
+    sim::panicIf(old_d.alias, "growObject through an alias name");
+
+    std::uint64_t exp = FpAddress::exponent(fmt_, vaddr);
+    if (new_size_words <= (1ull << exp)) {
+        // Still fits this exponent: just extend the length.
+        if (new_size_words > old_d.length)
+            old_d.length = new_size_words;
+        notifyChange(key);
+        return vaddr;
+    }
+
+    // Allocate the replacement with a larger exponent and copy.
+    std::uint64_t old_len = old_d.length;
+    AbsAddr old_base = old_d.base;
+    ClassId cls = old_d.cls;
+    std::uint64_t new_vaddr = allocateObject(new_size_words, cls);
+    std::uint64_t new_key = FpAddress::segKey(fmt_, new_vaddr);
+    // allocateObject may rehash the table; re-find both descriptors.
+    SegmentDescriptor &new_d = table_.at(new_key);
+    memory.copy(new_d.base, old_base, old_len);
+    space_.free(old_base);
+
+    SegmentDescriptor &stale = table_.at(key);
+    stale.base = new_d.base;
+    stale.length = new_size_words;
+    stale.alias = true;
+    stale.aliasVaddr = new_vaddr;
+    ++grown_;
+    notifyChange(key);
+    return new_vaddr;
+}
+
+XlateResult
+SegmentTable::translate(std::uint64_t vaddr, std::uint64_t extra_offset,
+                        bool want_write) const
+{
+    XlateResult r;
+    FpDecoded d = FpAddress::decode(fmt_, vaddr);
+    std::uint64_t key = (d.exponent << fmt_.mantissaBits) | d.segField;
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+        r.status = XlateStatus::NoSegment;
+        return r;
+    }
+    const SegmentDescriptor &desc = it->second;
+    std::uint64_t off = d.offset + extra_offset;
+
+    if (desc.alias && off >= (1ull << d.exponent)) {
+        // Beyond the bounds set by the old exponent: the trap handler
+        // must replace the old segment number with the new one.
+        ++growthTraps_;
+        r.status = XlateStatus::GrowthTrap;
+        r.newVaddr = FpAddress::addOffset(fmt_, desc.aliasVaddr,
+                                          static_cast<std::int64_t>(off));
+        return r;
+    }
+    if (off >= desc.length) {
+        ++boundsFaults_;
+        r.status = XlateStatus::Bounds;
+        return r;
+    }
+    if (want_write && !desc.writable) {
+        ++protFaults_;
+        r.status = XlateStatus::ProtFault;
+        return r;
+    }
+    // Segments are aligned on multiples of their size: OR == add.
+    r.status = XlateStatus::Ok;
+    r.abs = desc.base + off;
+    r.cls = desc.cls;
+    return r;
+}
+
+std::uint64_t
+SegmentTable::shareWith(SegmentTable &other, std::uint64_t vaddr,
+                        bool writable) const
+{
+    std::uint64_t key = FpAddress::segKey(fmt_, vaddr);
+    auto it = table_.find(key);
+    sim::panicIf(it == table_.end(),
+                 "shareWith of unmapped vaddr ",
+                 FpAddress::toString(fmt_, vaddr));
+    const SegmentDescriptor &desc = it->second;
+    sim::fatalIf(other.fmt_.expBits != fmt_.expBits ||
+                 other.fmt_.mantissaBits != fmt_.mantissaBits,
+                 "cannot share across teams with different address "
+                 "formats");
+
+    std::uint64_t exp = FpAddress::exponent(fmt_, vaddr);
+    std::uint64_t field = other.nextSegField(exp);
+    std::uint64_t new_vaddr = FpAddress::compose(fmt_, exp, field, 0);
+    SegmentDescriptor shared = desc;
+    // The shared name never owns the buddy block and narrows (never
+    // widens) the capability it was derived from.
+    shared.writable = desc.writable && writable;
+    shared.owner = false;
+    other.table_[FpAddress::segKey(fmt_, new_vaddr)] = shared;
+    return new_vaddr;
+}
+
+const SegmentDescriptor *
+SegmentTable::findDescriptor(std::uint64_t seg_key) const
+{
+    auto it = table_.find(seg_key);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+void
+SegmentTable::addChangeListener(ChangeListener l)
+{
+    listeners_.push_back(std::move(l));
+}
+
+void
+SegmentTable::notifyChange(std::uint64_t seg_key)
+{
+    for (auto &l : listeners_)
+        l(teamId_, seg_key);
+}
+
+} // namespace com::mem

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-team segment descriptor tables: the virtual -> absolute naming step
+ * of the COM's three-level addressing (paper Sections 2.2 and 3.1,
+ * Figure 3).
+ *
+ * Virtual addresses are floating point; the segment field and exponent of
+ * an address name a segment descriptor holding base address, length and
+ * object class. The offset is bounds-checked against the length, then
+ * combined with the base. Segments are aligned on multiples of their
+ * size, so the combine is an OR rather than an add.
+ *
+ * Aliasing (Section 2.2): when an object outgrows its pointer's exponent
+ * range, a new, larger segment is allocated and both the old and the new
+ * descriptors point to it. Accesses through the old segment number work
+ * while they stay within the bounds of the old exponent; beyond that, a
+ * growth trap tells the handler the replacement pointer.
+ *
+ * Descriptors double as capabilities (Section 3.1): a team may hold a
+ * read-only alias to an object another team owns read-write.
+ */
+
+#ifndef COMSIM_MEM_SEGMENT_TABLE_HPP
+#define COMSIM_MEM_SEGMENT_TABLE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/absolute_space.hpp"
+#include "mem/fp_address.hpp"
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::mem {
+
+class TaggedMemory;
+
+/** Outcome of a virtual -> absolute translation attempt. */
+enum class XlateStatus : std::uint8_t
+{
+    Ok,         ///< translated; abs/cls valid
+    NoSegment,  ///< no descriptor for this segment name
+    Bounds,     ///< offset exceeds the segment length
+    GrowthTrap, ///< old name of a grown object; newVaddr holds the fix
+    ProtFault,  ///< write attempted through a read-only capability
+};
+
+/** One entry in a team's segment descriptor table. */
+struct SegmentDescriptor
+{
+    AbsAddr base = 0;        ///< absolute base, aligned to 2^exponent
+    std::uint64_t length = 0; ///< current object length in words
+    ClassId cls = 0;         ///< class of the object in this segment
+    bool writable = true;    ///< capability: may this team write?
+    bool owner = true;       ///< owns the storage (frees the buddy block)
+    bool alias = false;      ///< old name forwarded after growth
+    std::uint64_t aliasVaddr = 0; ///< canonical vaddr when alias is set
+};
+
+/** Result of a translation. */
+struct XlateResult
+{
+    XlateStatus status = XlateStatus::NoSegment;
+    AbsAddr abs = 0;          ///< valid when status == Ok
+    ClassId cls = 0;          ///< valid when status == Ok
+    std::uint64_t newVaddr = 0; ///< valid when status == GrowthTrap
+
+    /** Convenience truthiness. */
+    bool ok() const { return status == XlateStatus::Ok; }
+};
+
+/**
+ * A team's segment descriptor table plus segment-name allocation.
+ *
+ * Tables share one AbsoluteSpace (the global name space) but own their
+ * virtual names. Mapping changes (growth, free) notify listeners so
+ * ATLBs can invalidate.
+ */
+class SegmentTable
+{
+  public:
+    /** Listener for mapping changes: (team id, segment key). */
+    using ChangeListener =
+        std::function<void(std::uint32_t, std::uint64_t)>;
+
+    /**
+     * @param fmt floating point address format for this team space
+     * @param space the global absolute space allocator
+     * @param team_id this team's space number (SN register contents)
+     */
+    SegmentTable(FpFormat fmt, AbsoluteSpace &space, std::uint32_t team_id);
+
+    /**
+     * Allocate an object of @p size_words words of class @p cls.
+     * @return the object's virtual address (offset 0)
+     */
+    std::uint64_t allocateObject(std::uint64_t size_words, ClassId cls);
+
+    /**
+     * Release an object. Alias names of the object remain until freed
+     * individually; freeing the canonical name releases the storage.
+     */
+    void freeObject(std::uint64_t vaddr);
+
+    /**
+     * Grow the object named by @p vaddr to @p new_size_words. If the new
+     * size still fits the pointer's exponent the descriptor length is
+     * simply extended. Otherwise a larger segment is allocated, contents
+     * are copied through @p memory, the old name becomes an alias of the
+     * new one, and the new canonical vaddr is returned.
+     */
+    std::uint64_t growObject(std::uint64_t vaddr,
+                             std::uint64_t new_size_words,
+                             TaggedMemory &memory);
+
+    /**
+     * Translate @p vaddr plus an extra word offset (index) into an
+     * absolute address, applying bounds, growth and protection checks.
+     * @param want_write pass true for store accesses so read-only
+     *        capabilities fault
+     */
+    XlateResult translate(std::uint64_t vaddr,
+                          std::uint64_t extra_offset = 0,
+                          bool want_write = false) const;
+
+    /**
+     * Create a shared name for @p vaddr inside @p other (possibly this
+     * table): same storage, independent capability bits.
+     * @return the new virtual address in @p other
+     */
+    std::uint64_t shareWith(SegmentTable &other, std::uint64_t vaddr,
+                            bool writable) const;
+
+    /** Look up the descriptor for a segment key (nullptr if absent). */
+    const SegmentDescriptor *findDescriptor(std::uint64_t seg_key) const;
+
+    /** Number of live descriptors in this table. */
+    std::size_t numDescriptors() const { return table_.size(); }
+
+    /** The team's floating point address format. */
+    const FpFormat &format() const { return fmt_; }
+
+    /** This team's space number. */
+    std::uint32_t teamId() const { return teamId_; }
+
+    /** Register a mapping-change listener (ATLB invalidation). */
+    void addChangeListener(ChangeListener l);
+
+    /** Statistics group ("segtable"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    /** Pick a fresh segment field for exponent @p exp. */
+    std::uint64_t nextSegField(std::uint64_t exp);
+    void notifyChange(std::uint64_t seg_key);
+
+    FpFormat fmt_;
+    AbsoluteSpace &space_;
+    std::uint32_t teamId_;
+    std::unordered_map<std::uint64_t, SegmentDescriptor> table_;
+    /** Next unused segment field per exponent, plus free lists. */
+    std::vector<std::uint64_t> nextField_;
+    std::vector<std::vector<std::uint64_t>> freeFields_;
+    std::vector<ChangeListener> listeners_;
+
+    sim::Counter allocated_;
+    sim::Counter freed_;
+    sim::Counter grown_;
+    // Fault counters are bumped from const translate(); statistics are
+    // not part of the table's logical state.
+    mutable sim::Counter growthTraps_;
+    mutable sim::Counter boundsFaults_;
+    mutable sim::Counter protFaults_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_SEGMENT_TABLE_HPP

@@ -1,0 +1,75 @@
+#include "mem/tagged_memory.hpp"
+
+namespace com::mem {
+
+TaggedMemory::TaggedMemory()
+{
+    stats_.addCounter("reads", &reads_, "counted word reads");
+    stats_.addCounter("writes", &writes_, "counted word writes");
+}
+
+TaggedMemory::Page &
+TaggedMemory::pageFor(AbsAddr addr)
+{
+    std::uint64_t pn = addr / kPageWords;
+    auto it = pages_.find(pn);
+    if (it == pages_.end())
+        it = pages_.emplace(pn, std::make_unique<Page>()).first;
+    return *it->second;
+}
+
+const TaggedMemory::Page *
+TaggedMemory::pageForConst(AbsAddr addr) const
+{
+    auto it = pages_.find(addr / kPageWords);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Word
+TaggedMemory::read(AbsAddr addr)
+{
+    ++reads_;
+    if (hook_)
+        hook_(RefKind::Read, addr);
+    return peek(addr);
+}
+
+void
+TaggedMemory::write(AbsAddr addr, Word w)
+{
+    ++writes_;
+    if (hook_)
+        hook_(RefKind::Write, addr);
+    poke(addr, w);
+}
+
+Word
+TaggedMemory::peek(AbsAddr addr) const
+{
+    const Page *p = pageForConst(addr);
+    if (!p)
+        return Word();
+    return (*p)[addr % kPageWords];
+}
+
+void
+TaggedMemory::poke(AbsAddr addr, Word w)
+{
+    pageFor(addr)[addr % kPageWords] = w;
+}
+
+void
+TaggedMemory::clearBlock(AbsAddr base, std::uint64_t words)
+{
+    for (std::uint64_t i = 0; i < words; ++i)
+        poke(base + i, Word());
+}
+
+void
+TaggedMemory::copy(AbsAddr dst, AbsAddr src, std::uint64_t words)
+{
+    for (std::uint64_t i = 0; i < words; ++i)
+        poke(dst + i, peek(src + i));
+}
+
+} // namespace com::mem

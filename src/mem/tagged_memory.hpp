@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The tagged backing store over absolute space (paper Sections 3.1-3.2).
+ *
+ * All functional state of the machine lives here, addressed by absolute
+ * address. The memory hierarchy (mem/hierarchy.hpp) is a pure timing
+ * model layered on top — mirroring the paper's separation of naming
+ * (virtual -> absolute) from resource allocation (absolute -> physical).
+ *
+ * Storage is a sparse page map so multi-gigaword absolute spaces cost
+ * only what is touched. Every access can be observed through a reference
+ * hook, which the trace machinery and the T-ctx experiment use to count
+ * context vs non-context references.
+ */
+
+#ifndef COMSIM_MEM_TAGGED_MEMORY_HPP
+#define COMSIM_MEM_TAGGED_MEMORY_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::mem {
+
+/** Kind of memory reference reported to observers. */
+enum class RefKind : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** Observer callback: (kind, absolute address). */
+using RefHook = std::function<void(RefKind, AbsAddr)>;
+
+/**
+ * Sparse tagged word store over the 64-bit absolute space.
+ */
+class TaggedMemory
+{
+  public:
+    TaggedMemory();
+
+    TaggedMemory(const TaggedMemory &) = delete;
+    TaggedMemory &operator=(const TaggedMemory &) = delete;
+
+    /** Read the word at @p addr (uninitialized words read as Uninit). */
+    Word read(AbsAddr addr);
+
+    /** Write @p w at @p addr. */
+    void write(AbsAddr addr, Word w);
+
+    /**
+     * Read without counting a reference or firing hooks (used by
+     * debuggers, the GC and assertions; hardware would not see these).
+     */
+    Word peek(AbsAddr addr) const;
+
+    /** Write without counting a reference or firing hooks. */
+    void poke(AbsAddr addr, Word w);
+
+    /** Clear an entire block (context allocation clears 32 words). */
+    void clearBlock(AbsAddr base, std::uint64_t words);
+
+    /** Copy @p words words from @p src to @p dst (no hooks). */
+    void copy(AbsAddr dst, AbsAddr src, std::uint64_t words);
+
+    /** Install a reference observer (replaces any existing hook). */
+    void setRefHook(RefHook hook) { hook_ = std::move(hook); }
+    /** Remove the reference observer. */
+    void clearRefHook() { hook_ = nullptr; }
+
+    /** Total counted reads. */
+    std::uint64_t reads() const { return reads_.value(); }
+    /** Total counted writes. */
+    std::uint64_t writes() const { return writes_.value(); }
+
+    /** Number of resident pages (for footprint checks). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+    /** Statistics group ("memory"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    static constexpr std::uint64_t kPageWords = 1024;
+
+    using Page = std::array<Word, kPageWords>;
+
+    Page &pageFor(AbsAddr addr);
+    const Page *pageForConst(AbsAddr addr) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    RefHook hook_;
+    sim::Counter reads_;
+    sim::Counter writes_;
+    sim::StatGroup stats_{"memory"};
+};
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_TAGGED_MEMORY_HPP

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tagged memory words (paper Section 3.2).
+ *
+ * Every word of COM memory carries a four-bit tag identifying primitive
+ * types: uninitialized, small integer, floating point number, atom,
+ * instruction and object pointer. When a word is cached in the context
+ * cache a 16-bit class tag accompanies it; for primitives that tag is the
+ * four-bit tag zero-extended, for object pointers it identifies the class
+ * of the referenced object (filled in from the segment descriptor).
+ */
+
+#ifndef COMSIM_MEM_WORD_HPP
+#define COMSIM_MEM_WORD_HPP
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hpp"
+
+namespace com::mem {
+
+/** The four-bit primitive type tag attached to every memory word. */
+enum class Tag : std::uint8_t
+{
+    Uninit = 0,     ///< never written; reads are permitted but inert
+    SmallInt = 1,   ///< 32-bit two's complement integer
+    Float = 2,      ///< IEEE-754 single precision
+    Atom = 3,       ///< interned symbol (selector) id
+    Instruction = 4,///< encoded COM instruction
+    ObjectPtr = 5,  ///< floating point virtual address (a capability)
+};
+
+/** Number of distinct primitive tags (class ids below this are tags). */
+constexpr std::uint16_t kNumTags = 6;
+
+/**
+ * 16-bit object class identifier. Ids [0, kNumTags) are the zero-extended
+ * primitive tags; user-defined classes are assigned ids from
+ * kFirstUserClass upward by the class table.
+ */
+using ClassId = std::uint16_t;
+
+/** First class id available to user-defined classes. */
+constexpr ClassId kFirstUserClass = 16;
+
+/** @return human-readable tag name. */
+inline const char *
+tagName(Tag t)
+{
+    switch (t) {
+      case Tag::Uninit: return "uninit";
+      case Tag::SmallInt: return "smallint";
+      case Tag::Float: return "float";
+      case Tag::Atom: return "atom";
+      case Tag::Instruction: return "instruction";
+      case Tag::ObjectPtr: return "objectptr";
+    }
+    return "?";
+}
+
+/**
+ * One 32-bit word plus its 4-bit tag.
+ *
+ * Words are value types; helpers construct each primitive kind and check
+ * the tag on extraction (a tag mismatch is a simulator bug at the point
+ * of use: guest-visible type errors are raised before extraction by the
+ * abstract-instruction dispatch).
+ */
+class Word
+{
+  public:
+    /** Default: uninitialized word. */
+    constexpr Word() : bits_(0), tag_(Tag::Uninit) {}
+
+    /** Build from raw bits and tag. */
+    constexpr Word(std::uint32_t bits, Tag tag) : bits_(bits), tag_(tag) {}
+
+    /** @return a small-integer word. */
+    static Word
+    fromInt(std::int32_t v)
+    {
+        return Word(static_cast<std::uint32_t>(v), Tag::SmallInt);
+    }
+
+    /** @return a float word. */
+    static Word
+    fromFloat(float v)
+    {
+        return Word(std::bit_cast<std::uint32_t>(v), Tag::Float);
+    }
+
+    /** @return an atom (interned symbol) word. */
+    static Word
+    fromAtom(std::uint32_t atom_id)
+    {
+        return Word(atom_id, Tag::Atom);
+    }
+
+    /** @return an instruction word. */
+    static Word
+    fromInstruction(std::uint32_t encoded)
+    {
+        return Word(encoded, Tag::Instruction);
+    }
+
+    /** @return an object-pointer word holding a virtual address. */
+    static Word
+    fromPointer(std::uint32_t vaddr_bits)
+    {
+        return Word(vaddr_bits, Tag::ObjectPtr);
+    }
+
+    /** @return the tag. */
+    constexpr Tag tag() const { return tag_; }
+    /** @return the raw 32 payload bits. */
+    constexpr std::uint32_t bits() const { return bits_; }
+
+    /** @return true if this word was never written. */
+    constexpr bool isUninit() const { return tag_ == Tag::Uninit; }
+    /** @return true for small integers. */
+    constexpr bool isInt() const { return tag_ == Tag::SmallInt; }
+    /** @return true for floats. */
+    constexpr bool isFloat() const { return tag_ == Tag::Float; }
+    /** @return true for atoms. */
+    constexpr bool isAtom() const { return tag_ == Tag::Atom; }
+    /** @return true for instructions. */
+    constexpr bool isInstruction() const
+    {
+        return tag_ == Tag::Instruction;
+    }
+    /** @return true for object pointers. */
+    constexpr bool isPointer() const { return tag_ == Tag::ObjectPtr; }
+
+    /** Extract the integer payload (tag-checked). */
+    std::int32_t
+    asInt() const
+    {
+        sim::panicIf(tag_ != Tag::SmallInt,
+                     "asInt on word tagged ", tagName(tag_));
+        return static_cast<std::int32_t>(bits_);
+    }
+
+    /** Extract the float payload (tag-checked). */
+    float
+    asFloat() const
+    {
+        sim::panicIf(tag_ != Tag::Float,
+                     "asFloat on word tagged ", tagName(tag_));
+        return std::bit_cast<float>(bits_);
+    }
+
+    /** Extract the atom id (tag-checked). */
+    std::uint32_t
+    asAtom() const
+    {
+        sim::panicIf(tag_ != Tag::Atom,
+                     "asAtom on word tagged ", tagName(tag_));
+        return bits_;
+    }
+
+    /** Extract the virtual-address payload (tag-checked). */
+    std::uint32_t
+    asPointer() const
+    {
+        sim::panicIf(tag_ != Tag::ObjectPtr,
+                     "asPointer on word tagged ", tagName(tag_));
+        return bits_;
+    }
+
+    /**
+     * The 16-bit class tag for primitive words: the 4-bit tag
+     * zero-extended. Object pointers need the segment table to resolve
+     * their class; callers with pointer words must consult it instead.
+     */
+    ClassId
+    primitiveClass() const
+    {
+        return static_cast<ClassId>(tag_);
+    }
+
+    /** Identity comparison (same bits, same tag). */
+    friend bool
+    operator==(const Word &a, const Word &b)
+    {
+        return a.bits_ == b.bits_ && a.tag_ == b.tag_;
+    }
+
+  private:
+    std::uint32_t bits_;
+    Tag tag_;
+};
+
+/** 64-bit absolute address: a globally unique object name (Section 3.1). */
+using AbsAddr = std::uint64_t;
+
+} // namespace com::mem
+
+#endif // COMSIM_MEM_WORD_HPP

@@ -1,0 +1,104 @@
+#include "obj/class_table.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+ClassTable::ClassTable()
+{
+    // Primitive classes: ids equal the 4-bit tags, zero-extended.
+    auto prim = [this](mem::Tag t) {
+        ClassInfo ci;
+        ci.id = static_cast<mem::ClassId>(t);
+        ci.name = mem::tagName(t);
+        ci.superclass = kNoClass;
+        byId_[ci.id] = ci;
+        byName_[ci.name] = ci.id;
+    };
+    prim(mem::Tag::Uninit);
+    prim(mem::Tag::SmallInt);
+    prim(mem::Tag::Float);
+    prim(mem::Tag::Atom);
+    prim(mem::Tag::Instruction);
+    prim(mem::Tag::ObjectPtr);
+
+    objectClass_ = define("Object", kNoClass, 0, false);
+    methodClass_ = define("Method", objectClass_, 0, true);
+    contextClass_ = define("Context", objectClass_, 0, true);
+    arrayClass_ = define("Array", objectClass_, 0, true);
+    stringClass_ = define("String", objectClass_, 0, true);
+}
+
+mem::ClassId
+ClassTable::define(const std::string &name, mem::ClassId superclass,
+                   std::uint32_t num_fields, bool indexed)
+{
+    sim::fatalIf(byName_.count(name) != 0,
+                 "class '", name, "' already defined");
+    if (superclass != kNoClass)
+        sim::fatalIf(byId_.count(superclass) == 0,
+                     "class '", name, "' names unknown superclass id ",
+                     superclass);
+    ClassInfo ci;
+    ci.id = nextId_++;
+    ci.name = name;
+    ci.superclass = superclass;
+    ci.numFields = num_fields;
+    ci.indexed = indexed;
+    byId_[ci.id] = ci;
+    byName_[name] = ci.id;
+    return ci.id;
+}
+
+const ClassInfo &
+ClassTable::info(mem::ClassId id) const
+{
+    auto it = byId_.find(id);
+    sim::panicIf(it == byId_.end(), "unknown class id ", id);
+    return it->second;
+}
+
+mem::ClassId
+ClassTable::byName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    sim::fatalIf(it == byName_.end(), "unknown class '", name, "'");
+    return it->second;
+}
+
+mem::ClassId
+ClassTable::tryByName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? kNoClass : it->second;
+}
+
+bool
+ClassTable::isKindOf(mem::ClassId sub, mem::ClassId sup) const
+{
+    mem::ClassId c = sub;
+    while (c != kNoClass) {
+        if (c == sup)
+            return true;
+        auto it = byId_.find(c);
+        if (it == byId_.end())
+            return false;
+        c = it->second.superclass;
+    }
+    return false;
+}
+
+std::uint32_t
+ClassTable::totalFieldsOf(mem::ClassId id) const
+{
+    std::uint32_t total = 0;
+    mem::ClassId c = id;
+    while (c != kNoClass) {
+        const ClassInfo &ci = info(c);
+        total += ci.numFields;
+        c = ci.superclass;
+    }
+    return total;
+}
+
+} // namespace com::obj

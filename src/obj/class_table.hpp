@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The class table: runtime type metadata for the COM.
+ *
+ * Class ids are the 16-bit tags the context cache stores next to each
+ * word (Section 3.2): ids below mem::kNumTags are the primitive tags
+ * zero-extended; user-defined classes get ids from mem::kFirstUserClass
+ * upward. Each class records its superclass (for method lookup chains),
+ * its named field count and whether instances carry an indexed part.
+ */
+
+#ifndef COMSIM_OBJ_CLASS_TABLE_HPP
+#define COMSIM_OBJ_CLASS_TABLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/word.hpp"
+
+namespace com::obj {
+
+/** Metadata for one class. */
+struct ClassInfo
+{
+    mem::ClassId id = 0;
+    std::string name;
+    mem::ClassId superclass = 0; ///< kNoClass for roots
+    std::uint32_t numFields = 0; ///< named instance variables
+    bool indexed = false;        ///< instances have an indexable part
+};
+
+/** Sentinel: no superclass. */
+constexpr mem::ClassId kNoClass = 0xffff;
+
+/**
+ * Registry of classes. Primitive classes (SmallInt, Float, Atom,
+ * Instruction, ObjectPtr plus Uninit) are pre-defined with their tag
+ * values as ids; Object, Method and Context are pre-defined as the
+ * first user classes.
+ */
+class ClassTable
+{
+  public:
+    ClassTable();
+
+    /**
+     * Define a class.
+     * @param name must be unique
+     * @param superclass existing class id or kNoClass
+     * @param num_fields named instance variables (in addition to
+     *        inherited ones — numFieldsOf() reports the total)
+     * @param indexed whether instances get an indexable part
+     */
+    mem::ClassId define(const std::string &name, mem::ClassId superclass,
+                        std::uint32_t num_fields, bool indexed = false);
+
+    /** @return metadata for @p id. */
+    const ClassInfo &info(mem::ClassId id) const;
+
+    /** @return id for @p name; fatal() if unknown. */
+    mem::ClassId byName(const std::string &name) const;
+
+    /** @return id for @p name or kNoClass if unknown. */
+    mem::ClassId tryByName(const std::string &name) const;
+
+    /** @return true if @p sub equals or descends from @p sup. */
+    bool isKindOf(mem::ClassId sub, mem::ClassId sup) const;
+
+    /** Total named fields including inherited ones. */
+    std::uint32_t totalFieldsOf(mem::ClassId id) const;
+
+    /** Number of defined classes (including primitives). */
+    std::size_t size() const { return byId_.size(); }
+
+    /** Well-known pre-defined ids. */
+    mem::ClassId objectClass() const { return objectClass_; }
+    mem::ClassId methodClass() const { return methodClass_; }
+    mem::ClassId contextClass() const { return contextClass_; }
+    mem::ClassId arrayClass() const { return arrayClass_; }
+    mem::ClassId stringClass() const { return stringClass_; }
+
+  private:
+    std::unordered_map<std::string, mem::ClassId> byName_;
+    std::unordered_map<mem::ClassId, ClassInfo> byId_;
+    mem::ClassId nextId_ = mem::kFirstUserClass;
+    mem::ClassId objectClass_ = kNoClass;
+    mem::ClassId methodClass_ = kNoClass;
+    mem::ClassId contextClass_ = kNoClass;
+    mem::ClassId arrayClass_ = kNoClass;
+    mem::ClassId stringClass_ = kNoClass;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_CLASS_TABLE_HPP

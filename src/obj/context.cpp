@@ -1,0 +1,113 @@
+#include "obj/context.hpp"
+
+#include "mem/fp_address.hpp"
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+ContextPool::ContextPool(mem::SegmentTable &table,
+                         mem::TaggedMemory &memory,
+                         mem::ClassId context_class,
+                         std::size_t num_contexts)
+    : table_(table), memory_(memory), numContexts_(num_contexts),
+      stats_("contexts")
+{
+    sim::fatalIf(num_contexts == 0, "context pool must not be empty");
+    poolVaddr_ = table_.allocateObject(num_contexts * kContextWords,
+                                       context_class);
+    mem::XlateResult r = table_.translate(poolVaddr_, 0, true);
+    sim::panicIf(!r.ok(), "context pool translation failed");
+    poolAbs_ = r.abs;
+
+    // Thread the free list through word 0 of each context, last first,
+    // so allocation order starts at the lowest context.
+    for (std::size_t i = num_contexts; i-- > 0;) {
+        std::uint64_t v =
+            mem::FpAddress::addOffset(table_.format(), poolVaddr_,
+                                      static_cast<std::int64_t>(
+                                          i * kContextWords));
+        memory_.poke(poolAbs_ + i * kContextWords,
+                     mem::Word::fromPointer(
+                         static_cast<std::uint32_t>(head_)));
+        head_ = v;
+    }
+
+    stats_.addCounter("allocations", &allocs_, "contexts allocated");
+    stats_.addCounter("lifo_frees", &lifoFrees_,
+                      "explicit frees on method return");
+    stats_.addCounter("gc_frees", &gcFrees_,
+                      "collector frees of non-LIFO contexts");
+}
+
+ContextPool::Ctx
+ContextPool::allocate()
+{
+    sim::fatalIf(head_ == kNullCtxPtr,
+                 "context pool exhausted (", numContexts_,
+                 " contexts live)");
+    Ctx out;
+    out.vaddr = head_;
+    out.abs = absOf(head_);
+    // The single memory reference: read the next-free link.
+    mem::Word link = memory_.read(out.abs);
+    head_ = link.isPointer() ? link.asPointer() : kNullCtxPtr;
+    live_.insert(out.vaddr);
+    if (live_.size() > highWater_)
+        highWater_ = live_.size();
+    ++allocs_;
+    return out;
+}
+
+void
+ContextPool::free(std::uint64_t vaddr, bool lifo)
+{
+    auto it = live_.find(vaddr);
+    sim::panicIf(it == live_.end(),
+                 "free of context that is not allocated");
+    live_.erase(it);
+    // The single memory reference: store the old head into word 0.
+    memory_.write(absOf(vaddr),
+                  mem::Word::fromPointer(
+                      static_cast<std::uint32_t>(head_)));
+    head_ = vaddr;
+    if (lifo)
+        ++lifoFrees_;
+    else
+        ++gcFrees_;
+}
+
+bool
+ContextPool::containsAbs(mem::AbsAddr abs) const
+{
+    return abs >= poolAbs_ &&
+           abs < poolAbs_ + numContexts_ * kContextWords;
+}
+
+bool
+ContextPool::isAllocated(std::uint64_t vaddr) const
+{
+    return live_.count(vaddr) != 0;
+}
+
+mem::AbsAddr
+ContextPool::absOf(std::uint64_t vaddr) const
+{
+    const mem::FpFormat &fmt = table_.format();
+    std::uint64_t delta = mem::FpAddress::mantissa(fmt, vaddr) -
+                          mem::FpAddress::mantissa(fmt, poolVaddr_);
+    sim::panicIf(mem::FpAddress::segKey(fmt, vaddr) !=
+                 mem::FpAddress::segKey(fmt, poolVaddr_),
+                 "context vaddr outside the pool segment");
+    return poolAbs_ + delta;
+}
+
+std::uint64_t
+ContextPool::vaddrOf(mem::AbsAddr abs) const
+{
+    sim::panicIf(!containsAbs(abs), "vaddrOf outside the context pool");
+    return mem::FpAddress::addOffset(
+        table_.format(), poolVaddr_,
+        static_cast<std::int64_t>(abs - poolAbs_));
+}
+
+} // namespace com::obj

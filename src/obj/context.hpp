@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Contexts: activation records for COM methods (paper Sections 2.3, 4).
+ *
+ * All contexts are a fixed 32 words so a single free list manages the
+ * pool: "Using a hardware register to point to the beginning of the free
+ * list, contexts can be allocated or freed with one memory reference."
+ * Procedures needing more than 32 words allocate overflow space from the
+ * heap (the paper cites 90% of C frames and virtually all Smalltalk
+ * methods fitting in 32 words).
+ *
+ * Context layout (Figure 8):
+ *
+ *     word 0  RCP   link to the sending context
+ *     word 1  RIP   continuation: method object + offset, encoded as a
+ *                   virtual address into the method
+ *     word 2  arg0  where to store the result (an effective address)
+ *     word 3  arg1  receiver of the message
+ *     word 4+ arg2..argN, then temporaries
+ *
+ * LIFO contexts (~85% per the paper's measurements) are freed explicitly
+ * on return; non-LIFO contexts are reclaimed by the garbage collector.
+ */
+
+#ifndef COMSIM_OBJ_CONTEXT_HPP
+#define COMSIM_OBJ_CONTEXT_HPP
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "mem/word.hpp"
+#include "sim/stats.hpp"
+
+namespace com::obj {
+
+/** Fixed context size in words. */
+constexpr std::uint64_t kContextWords = 32;
+
+/**
+ * Null context-pointer sentinel: exponent field all ones, which the
+ * kFp32 format never produces (its max exponent is the mantissa width),
+ * so it can never collide with a real context name.
+ */
+constexpr std::uint64_t kNullCtxPtr = 0xffffffffull;
+
+/** Context slot indices (Figure 8). */
+enum CtxSlot : std::uint64_t
+{
+    kCtxRcp = 0,     ///< link to sending context
+    kCtxRip = 1,     ///< return instruction pointer (continuation)
+    kCtxArg0 = 2,    ///< result destination (effective address)
+    kCtxReceiver = 3,///< arg1: the receiver
+    kCtxFirstArg = 4,///< arg2 (first non-receiver argument)
+};
+
+/**
+ * The pool of contexts: one large segment carved into 32-word blocks
+ * threaded on a free list through word 0 of each free context.
+ */
+class ContextPool
+{
+  public:
+    /** A context's two names. */
+    struct Ctx
+    {
+        std::uint64_t vaddr = 0; ///< virtual address of word 0
+        mem::AbsAddr abs = 0;    ///< absolute address of word 0
+    };
+
+    /**
+     * Carve a pool of @p num_contexts contexts out of one segment of
+     * @p table, of class @p context_class, and thread the free list.
+     */
+    ContextPool(mem::SegmentTable &table, mem::TaggedMemory &memory,
+                mem::ClassId context_class, std::size_t num_contexts);
+
+    /**
+     * Allocate a context: pop the free-list head with one memory
+     * reference. fatal()s when the pool is exhausted.
+     */
+    Ctx allocate();
+
+    /**
+     * Free a context: push onto the free list with one memory
+     * reference. @p lifo tags the free as an explicit LIFO free (on
+     * return) versus a collector free, for the T-ctx statistics.
+     */
+    void free(std::uint64_t vaddr, bool lifo);
+
+    /** @return true if @p abs lies inside the context pool. */
+    bool containsAbs(mem::AbsAddr abs) const;
+
+    /** @return true if @p vaddr names an allocated (live) context. */
+    bool isAllocated(std::uint64_t vaddr) const;
+
+    /** Map a context vaddr to its absolute base. */
+    mem::AbsAddr absOf(std::uint64_t vaddr) const;
+
+    /** Map an absolute address inside the pool to the context vaddr. */
+    std::uint64_t vaddrOf(mem::AbsAddr abs) const;
+
+    /** The live (allocated) context names, for GC sweeping. */
+    const std::unordered_set<std::uint64_t> &liveContexts() const
+    {
+        return live_;
+    }
+
+    /** Free-list head (the FP register's value); kNullCtxPtr = empty. */
+    std::uint64_t freeHead() const { return head_; }
+
+    /** Capacity in contexts. */
+    std::size_t capacity() const { return numContexts_; }
+    /** Currently allocated contexts. */
+    std::size_t liveCount() const { return live_.size(); }
+    /** Peak simultaneously allocated contexts. */
+    std::size_t highWater() const { return highWater_; }
+
+    /** Total allocations. */
+    std::uint64_t allocations() const { return allocs_.value(); }
+    /** Frees performed explicitly on return (LIFO). */
+    std::uint64_t lifoFrees() const { return lifoFrees_.value(); }
+    /** Frees performed by the collector (non-LIFO). */
+    std::uint64_t gcFrees() const { return gcFrees_.value(); }
+
+    /** Statistics group ("contexts"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    mem::SegmentTable &table_;
+    mem::TaggedMemory &memory_;
+    std::size_t numContexts_;
+    std::uint64_t poolVaddr_ = 0;
+    mem::AbsAddr poolAbs_ = 0;
+    std::uint64_t head_ = kNullCtxPtr; ///< free-list head vaddr
+    std::unordered_set<std::uint64_t> live_;
+    std::size_t highWater_ = 0;
+
+    sim::Counter allocs_;
+    sim::Counter lifoFrees_;
+    sim::Counter gcFrees_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_CONTEXT_HPP

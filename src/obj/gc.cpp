@@ -1,0 +1,116 @@
+#include "obj/gc.hpp"
+
+#include <unordered_set>
+
+#include "mem/fp_address.hpp"
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+GarbageCollector::GarbageCollector(ObjectHeap &heap, ContextPool &contexts)
+    : heap_(heap), contexts_(contexts), stats_("gc")
+{
+    stats_.addCounter("collections", &collections_, "full collections");
+    stats_.addCounter("swept_objects", &sweptObjects_,
+                      "heap objects reclaimed");
+    stats_.addCounter("swept_contexts", &sweptContexts_,
+                      "non-LIFO contexts reclaimed");
+}
+
+void
+GarbageCollector::addRootProvider(RootProvider p)
+{
+    roots_.push_back(std::move(p));
+}
+
+GarbageCollector::Result
+GarbageCollector::collect()
+{
+    ++collections_;
+    Result res;
+
+    mem::SegmentTable &table = heap_.table();
+    mem::TaggedMemory &memory = heap_.memory();
+    const mem::FpFormat &fmt = table.format();
+
+    std::vector<std::uint64_t> work;
+    for (auto &p : roots_)
+        p(work);
+
+    std::unordered_set<std::uint64_t> marked_keys;    // heap segments
+    std::unordered_set<std::uint64_t> marked_ctx;     // context vaddrs
+
+    auto scanRange = [&](mem::AbsAddr base, std::uint64_t words) {
+        for (std::uint64_t i = 0; i < words; ++i) {
+            mem::Word w = memory.peek(base + i);
+            if (w.isPointer())
+                work.push_back(w.asPointer());
+        }
+    };
+
+    while (!work.empty()) {
+        std::uint64_t v = work.back();
+        work.pop_back();
+        if (v == kNullCtxPtr)
+            continue;
+
+        std::uint64_t key = mem::FpAddress::segKey(fmt, v);
+        const mem::SegmentDescriptor *d = table.findDescriptor(key);
+        if (!d)
+            continue; // dangling or foreign name: nothing to mark
+
+        if (contexts_.containsAbs(d->base)) {
+            // A pointer into the context pool: mark the containing
+            // context (pointers always reference word 0 in our ABI).
+            if (!contexts_.isAllocated(v) || marked_ctx.count(v))
+                continue;
+            marked_ctx.insert(v);
+            scanRange(contexts_.absOf(v), kContextWords);
+            continue;
+        }
+
+        if (marked_keys.count(key))
+            continue;
+        marked_keys.insert(key);
+        // Mark the canonical name of grown objects too so the sweep
+        // keeps the storage alive whichever name the program holds.
+        if (d->alias) {
+            std::uint64_t canon_key =
+                mem::FpAddress::segKey(fmt, d->aliasVaddr);
+            marked_keys.insert(canon_key);
+        }
+        scanRange(d->base, d->length);
+    }
+
+    res.markedObjects = marked_keys.size();
+    res.markedContexts = marked_ctx.size();
+
+    // Sweep the heap.
+    std::vector<std::uint64_t> dead;
+    for (std::uint64_t v : heap_.liveObjects()) {
+        std::uint64_t key = mem::FpAddress::segKey(fmt, v);
+        if (!marked_keys.count(key))
+            dead.push_back(v);
+    }
+    for (std::uint64_t v : dead) {
+        heap_.freeObject(v);
+        ++res.sweptObjects;
+    }
+    sweptObjects_ += res.sweptObjects;
+
+    // Sweep the context pool: whatever remains allocated and unmarked
+    // is a non-LIFO context whose activation has been abandoned.
+    std::vector<std::uint64_t> dead_ctx;
+    for (std::uint64_t v : contexts_.liveContexts())
+        if (!marked_ctx.count(v))
+            dead_ctx.push_back(v);
+    for (std::uint64_t v : dead_ctx) {
+        contexts_.free(v, /*lifo=*/false);
+        ++res.sweptContexts;
+    }
+    sweptContexts_ += res.sweptContexts;
+
+    return res;
+}
+
+} // namespace com::obj

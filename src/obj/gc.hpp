@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Mark-sweep garbage collection over the object heap and context pool.
+ *
+ * The paper (Section 2.3) notes that because Smalltalk contexts may be
+ * non-LIFO, strict stack discipline is impossible: LIFO contexts (~85%)
+ * are freed explicitly on return, the remainder "must be freed by a
+ * garbage collector". This collector provides that backstop and also
+ * reclaims unreachable heap objects.
+ *
+ * Marking traverses tagged words: only words tagged ObjectPtr are
+ * pointers, so no conservative scanning is needed — precisely the point
+ * of a tagged architecture. Pointers into the context pool mark the
+ * containing context; other pointers mark whole objects via their
+ * segment keys (so a stale alias name of a grown object keeps the
+ * storage alive, matching the aliasing semantics of Section 2.2).
+ */
+
+#ifndef COMSIM_OBJ_GC_HPP
+#define COMSIM_OBJ_GC_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "obj/context.hpp"
+#include "obj/object_heap.hpp"
+#include "sim/stats.hpp"
+
+namespace com::obj {
+
+/**
+ * The collector. Roots are supplied by registered providers (the
+ * machine registers its register file and constant table; tests
+ * register ad-hoc roots).
+ */
+class GarbageCollector
+{
+  public:
+    /** Appends root vaddrs to the given vector. */
+    using RootProvider = std::function<void(std::vector<std::uint64_t> &)>;
+
+    GarbageCollector(ObjectHeap &heap, ContextPool &contexts);
+
+    /** Register an additional root provider. */
+    void addRootProvider(RootProvider p);
+
+    /** Result of one collection. */
+    struct Result
+    {
+        std::uint64_t markedObjects = 0;
+        std::uint64_t markedContexts = 0;
+        std::uint64_t sweptObjects = 0;
+        std::uint64_t sweptContexts = 0;
+    };
+
+    /** Run a full mark-sweep collection. */
+    Result collect();
+
+    /** Collections run so far. */
+    std::uint64_t collections() const { return collections_.value(); }
+    /** Statistics group ("gc"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    ObjectHeap &heap_;
+    ContextPool &contexts_;
+    std::vector<RootProvider> roots_;
+
+    sim::Counter collections_;
+    sim::Counter sweptObjects_;
+    sim::Counter sweptContexts_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_GC_HPP

@@ -1,0 +1,122 @@
+#include "obj/method_dictionary.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+namespace {
+
+/** Fibonacci hash of a selector id into @p bits bits. */
+inline std::size_t
+hashSel(SelectorId sel, std::size_t table_mask)
+{
+    std::uint64_t h =
+        static_cast<std::uint64_t>(sel) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 32) & table_mask;
+}
+
+} // namespace
+
+MethodDictionary::MethodDictionary() : slots_(8)
+{
+}
+
+void
+MethodDictionary::insert(SelectorId sel, const cache::MethodEntry &entry)
+{
+    if ((count_ + 1) * 3 > slots_.size() * 2)
+        grow();
+    std::size_t i = hashSel(sel, mask());
+    while (slots_[i].sel != kEmpty && slots_[i].sel != sel)
+        i = (i + 1) & mask();
+    if (slots_[i].sel == kEmpty)
+        ++count_;
+    slots_[i].sel = sel;
+    slots_[i].entry = entry;
+}
+
+const cache::MethodEntry *
+MethodDictionary::find(SelectorId sel, unsigned *probes) const
+{
+    std::size_t i = hashSel(sel, mask());
+    unsigned p = 0;
+    for (;;) {
+        ++p;
+        if (slots_[i].sel == sel) {
+            if (probes)
+                *probes = p;
+            return &slots_[i].entry;
+        }
+        if (slots_[i].sel == kEmpty) {
+            if (probes)
+                *probes = p;
+            return nullptr;
+        }
+        i = (i + 1) & mask();
+    }
+}
+
+void
+MethodDictionary::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    count_ = 0;
+    for (const auto &s : old) {
+        if (s.sel != kEmpty) {
+            // Re-insert without load check (capacity already doubled).
+            std::size_t i = hashSel(s.sel, mask());
+            while (slots_[i].sel != kEmpty)
+                i = (i + 1) & mask();
+            slots_[i] = s;
+            ++count_;
+        }
+    }
+}
+
+MethodRegistry::MethodRegistry(const ClassTable &classes)
+    : classes_(classes), stats_("method_lookup")
+{
+    stats_.addCounter("lookups", &lookups_, "full method lookups");
+    stats_.addCounter("failures", &failures_,
+                      "lookups with no method (doesNotUnderstand)");
+    stats_.addHistogram("probes", &probeHist_,
+                        "hash probes per full lookup");
+}
+
+void
+MethodRegistry::install(mem::ClassId cls, SelectorId sel,
+                        const cache::MethodEntry &entry)
+{
+    dicts_[cls].insert(sel, entry);
+}
+
+MethodRegistry::LookupResult
+MethodRegistry::lookup(mem::ClassId receiver, SelectorId sel) const
+{
+    ++lookups_;
+    LookupResult r;
+    mem::ClassId c = receiver;
+    while (c != kNoClass) {
+        ++r.classesWalked;
+        auto it = dicts_.find(c);
+        if (it != dicts_.end()) {
+            unsigned probes = 0;
+            const cache::MethodEntry *e = it->second.find(sel, &probes);
+            r.probes += probes;
+            if (e) {
+                r.entry = e;
+                r.foundIn = c;
+                probeHist_.sample(r.probes);
+                return r;
+            }
+        }
+        const ClassInfo &ci = classes_.info(c);
+        c = ci.superclass;
+    }
+    ++failures_;
+    probeHist_.sample(r.probes);
+    return r;
+}
+
+} // namespace com::obj

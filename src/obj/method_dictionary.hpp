@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Message dictionaries and the full (slow) method lookup.
+ *
+ * "The method to be executed is found by associating the message name in
+ * a hash table for the data type — or class — of a selected operand"
+ * (Section 1.1). Each class owns an open-addressing hash dictionary from
+ * selector to instruction descriptor; lookup walks the superclass chain.
+ * This is the ITLB's backing store: an ITLB miss performs exactly this
+ * association and fills the ITLB with the result.
+ *
+ * The registry counts hash probes and classes walked so the modeled
+ * ITLB miss penalty (and the software-cache baselines in baseline/) rest
+ * on measured, not assumed, lookup work.
+ */
+
+#ifndef COMSIM_OBJ_METHOD_DICTIONARY_HPP
+#define COMSIM_OBJ_METHOD_DICTIONARY_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/itlb.hpp"
+#include "mem/word.hpp"
+#include "obj/class_table.hpp"
+#include "obj/selector_table.hpp"
+#include "sim/stats.hpp"
+
+namespace com::obj {
+
+/**
+ * One class's message dictionary: open addressing with linear probing,
+ * power-of-two capacity, grown at 2/3 load.
+ */
+class MethodDictionary
+{
+  public:
+    MethodDictionary();
+
+    /** Install or replace the entry for @p sel. */
+    void insert(SelectorId sel, const cache::MethodEntry &entry);
+
+    /**
+     * Find the entry for @p sel.
+     * @param[out] probes slots examined (hash-table work); may be null
+     * @return the entry, or nullptr
+     */
+    const cache::MethodEntry *find(SelectorId sel,
+                                   unsigned *probes = nullptr) const;
+
+    /** Number of installed selectors. */
+    std::size_t size() const { return count_; }
+
+  private:
+    struct Slot
+    {
+        SelectorId sel = kEmpty;
+        cache::MethodEntry entry;
+    };
+
+    static constexpr SelectorId kEmpty = 0xffffffffu;
+
+    void grow();
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    std::vector<Slot> slots_;
+    std::size_t count_ = 0;
+};
+
+/**
+ * All classes' dictionaries plus chain-walking lookup.
+ */
+class MethodRegistry
+{
+  public:
+    explicit MethodRegistry(const ClassTable &classes);
+
+    /** Install @p entry as the method for (@p cls, @p sel). */
+    void install(mem::ClassId cls, SelectorId sel,
+                 const cache::MethodEntry &entry);
+
+    /** Result of a full lookup. */
+    struct LookupResult
+    {
+        const cache::MethodEntry *entry = nullptr; ///< null: DNU
+        unsigned probes = 0;        ///< hash slots examined
+        unsigned classesWalked = 0; ///< dictionaries consulted
+        mem::ClassId foundIn = kNoClass; ///< defining class
+    };
+
+    /**
+     * Full method lookup: walk @p receiver's class chain consulting
+     * each dictionary. Statistics (lookup count, probe histogram) are
+     * updated.
+     */
+    LookupResult lookup(mem::ClassId receiver, SelectorId sel) const;
+
+    /** @return true if (cls, sel) resolves (inherited counts). */
+    bool
+    understands(mem::ClassId cls, SelectorId sel) const
+    {
+        return lookup(cls, sel).entry != nullptr;
+    }
+
+    /** Total lookups performed. */
+    std::uint64_t lookups() const { return lookups_.value(); }
+    /** Lookups that found no method (doesNotUnderstand). */
+    std::uint64_t failures() const { return failures_.value(); }
+    /** Distribution of per-lookup probe counts. */
+    const sim::Histogram &probeHistogram() const { return probeHist_; }
+    /** Statistics group ("method_lookup"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    const ClassTable &classes_;
+    mutable std::unordered_map<mem::ClassId, MethodDictionary> dicts_;
+    mutable sim::Counter lookups_;
+    mutable sim::Counter failures_;
+    mutable sim::Histogram probeHist_{16, 1};
+    sim::StatGroup stats_;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_METHOD_DICTIONARY_HPP

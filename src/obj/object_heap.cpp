@@ -1,0 +1,90 @@
+#include "obj/object_heap.hpp"
+
+#include "mem/fp_address.hpp"
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+ObjectHeap::ObjectHeap(mem::SegmentTable &table,
+                       mem::TaggedMemory &memory,
+                       const ClassTable &classes)
+    : table_(table), memory_(memory), classes_(classes), stats_("heap")
+{
+    stats_.addCounter("allocations", &allocs_, "objects allocated");
+    stats_.addCounter("frees", &frees_, "objects freed");
+    stats_.addCounter("words", &wordsAllocated_,
+                      "total words requested");
+}
+
+std::uint64_t
+ObjectHeap::allocateInstance(mem::ClassId cls, std::uint64_t indexed_words)
+{
+    const ClassInfo &ci = classes_.info(cls);
+    sim::fatalIf(indexed_words > 0 && !ci.indexed &&
+                 cls >= mem::kFirstUserClass,
+                 "class '", ci.name, "' is not indexed");
+    std::uint64_t words = classes_.totalFieldsOf(cls) + indexed_words;
+    if (words == 0)
+        words = 1;
+    return allocateRaw(cls, words);
+}
+
+std::uint64_t
+ObjectHeap::allocateRaw(mem::ClassId cls, std::uint64_t words)
+{
+    std::uint64_t vaddr = table_.allocateObject(words, cls);
+    live_.insert(vaddr);
+    ++allocs_;
+    wordsAllocated_ += words;
+    return vaddr;
+}
+
+void
+ObjectHeap::freeObject(std::uint64_t vaddr)
+{
+    auto it = live_.find(vaddr);
+    sim::panicIf(it == live_.end(),
+                 "freeObject of unknown heap object");
+    live_.erase(it);
+    table_.freeObject(vaddr);
+    ++frees_;
+}
+
+mem::Word
+ObjectHeap::readField(std::uint64_t vaddr, std::uint64_t index)
+{
+    mem::XlateResult r = table_.translate(vaddr, index, false);
+    sim::panicIf(!r.ok(), "heap readField fault (status ",
+                 static_cast<int>(r.status), ")");
+    return memory_.read(r.abs);
+}
+
+void
+ObjectHeap::writeField(std::uint64_t vaddr, std::uint64_t index,
+                       mem::Word w)
+{
+    mem::XlateResult r = table_.translate(vaddr, index, true);
+    sim::panicIf(!r.ok(), "heap writeField fault (status ",
+                 static_cast<int>(r.status), ")");
+    memory_.write(r.abs, w);
+}
+
+mem::ClassId
+ObjectHeap::classOf(std::uint64_t vaddr) const
+{
+    const mem::SegmentDescriptor *d = table_.findDescriptor(
+        mem::FpAddress::segKey(table_.format(), vaddr));
+    sim::panicIf(!d, "classOf on unmapped object");
+    return d->cls;
+}
+
+std::uint64_t
+ObjectHeap::lengthOf(std::uint64_t vaddr) const
+{
+    const mem::SegmentDescriptor *d = table_.findDescriptor(
+        mem::FpAddress::segKey(table_.format(), vaddr));
+    sim::panicIf(!d, "lengthOf on unmapped object");
+    return d->length;
+}
+
+} // namespace com::obj

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The object heap: allocation of class instances as segments.
+ *
+ * "For an object oriented machine it is natural for an object to
+ * correspond to a single memory segment" (Section 2.2). The heap wraps a
+ * team's SegmentTable + the TaggedMemory backing store: every object is
+ * its own segment whose descriptor carries the object's class — which is
+ * how an object pointer's 16-bit class tag is recovered for the ITLB.
+ *
+ * The heap tracks the live-name set for the mark-sweep collector and
+ * records allocation statistics that the T-ctx experiment (context
+ * allocations as a fraction of all allocations) reads.
+ */
+
+#ifndef COMSIM_OBJ_OBJECT_HEAP_HPP
+#define COMSIM_OBJ_OBJECT_HEAP_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "mem/word.hpp"
+#include "obj/class_table.hpp"
+#include "sim/stats.hpp"
+
+namespace com::obj {
+
+/**
+ * Object allocation over a segment table.
+ */
+class ObjectHeap
+{
+  public:
+    /**
+     * @param table this team's segment table
+     * @param memory the global backing store
+     * @param classes class metadata (for field counts)
+     */
+    ObjectHeap(mem::SegmentTable &table, mem::TaggedMemory &memory,
+               const ClassTable &classes);
+
+    /**
+     * Allocate an instance of @p cls with @p indexed_words of indexable
+     * part (0 for plain objects). Named fields come from the class.
+     * Fields read as Uninit until written.
+     * @return the object's virtual address
+     */
+    std::uint64_t allocateInstance(mem::ClassId cls,
+                                   std::uint64_t indexed_words = 0);
+
+    /**
+     * Allocate a raw object of exactly @p words words (used for method
+     * code objects and internal tables).
+     */
+    std::uint64_t allocateRaw(mem::ClassId cls, std::uint64_t words);
+
+    /** Free an object by name (GC sweep or explicit). */
+    void freeObject(std::uint64_t vaddr);
+
+    /** Read field/word @p index of the object at @p vaddr. */
+    mem::Word readField(std::uint64_t vaddr, std::uint64_t index);
+
+    /** Write field/word @p index of the object at @p vaddr. */
+    void writeField(std::uint64_t vaddr, std::uint64_t index, mem::Word w);
+
+    /** Class of the object named @p vaddr. */
+    mem::ClassId classOf(std::uint64_t vaddr) const;
+
+    /** Length in words of the object named @p vaddr. */
+    std::uint64_t lengthOf(std::uint64_t vaddr) const;
+
+    /** The set of live object names (for GC marking). */
+    const std::unordered_set<std::uint64_t> &liveObjects() const
+    {
+        return live_;
+    }
+
+    /** Number of live objects. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** Total allocations performed. */
+    std::uint64_t allocations() const { return allocs_.value(); }
+
+    /** The segment table backing this heap. */
+    mem::SegmentTable &table() { return table_; }
+    /** The memory backing this heap. */
+    mem::TaggedMemory &memory() { return memory_; }
+    /** Class metadata. */
+    const ClassTable &classes() const { return classes_; }
+
+    /** Statistics group ("heap"). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    mem::SegmentTable &table_;
+    mem::TaggedMemory &memory_;
+    const ClassTable &classes_;
+    std::unordered_set<std::uint64_t> live_;
+
+    sim::Counter allocs_;
+    sim::Counter frees_;
+    sim::Counter wordsAllocated_;
+    sim::StatGroup stats_;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_OBJECT_HEAP_HPP

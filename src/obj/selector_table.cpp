@@ -1,0 +1,61 @@
+#include "obj/selector_table.hpp"
+
+#include <cctype>
+
+#include "sim/logging.hpp"
+
+namespace com::obj {
+
+SelectorId
+SelectorTable::intern(const std::string &name)
+{
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    SelectorId id = static_cast<SelectorId>(names_.size());
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    arities_.push_back(arityOf(name));
+    return id;
+}
+
+SelectorId
+SelectorTable::find(const std::string &name) const
+{
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string &
+SelectorTable::name(SelectorId id) const
+{
+    sim::panicIf(id >= names_.size(), "unknown selector id ", id);
+    return names_[id];
+}
+
+unsigned
+SelectorTable::arityOf(const std::string &name)
+{
+    if (name.empty())
+        return 0;
+    // Keyword selector: one argument per colon.
+    unsigned colons = 0;
+    for (char c : name)
+        if (c == ':')
+            ++colons;
+    if (colons > 0)
+        return colons;
+    // Binary selector (no letters/digits): one argument.
+    bool alnum = std::isalpha(static_cast<unsigned char>(name[0])) ||
+                 name[0] == '_';
+    return alnum ? 0 : 1;
+}
+
+unsigned
+SelectorTable::arity(SelectorId id) const
+{
+    sim::panicIf(id >= arities_.size(), "unknown selector id ", id);
+    return arities_[id];
+}
+
+} // namespace com::obj

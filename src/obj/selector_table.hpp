@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Interned message selectors (atoms).
+ *
+ * The COM's memory tags include an "atom" primitive type (Section 3.2);
+ * message names are atoms. The selector table interns strings to dense
+ * 32-bit atom ids and records each selector's arity, derived from its
+ * spelling the way Smalltalk does: one argument per colon in a keyword
+ * selector, one for a binary selector, none for a unary selector.
+ */
+
+#ifndef COMSIM_OBJ_SELECTOR_TABLE_HPP
+#define COMSIM_OBJ_SELECTOR_TABLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace com::obj {
+
+/** Dense id of an interned selector. */
+using SelectorId = std::uint32_t;
+
+/** Intern table for message selectors. */
+class SelectorTable
+{
+  public:
+    SelectorTable() = default;
+
+    /** Intern @p name (idempotent). @return its id. */
+    SelectorId intern(const std::string &name);
+
+    /** @return the id of @p name, or kNotFound if never interned. */
+    SelectorId find(const std::string &name) const;
+
+    /** @return the spelling of @p id. */
+    const std::string &name(SelectorId id) const;
+
+    /** @return number of arguments implied by the selector spelling. */
+    static unsigned arityOf(const std::string &name);
+
+    /** @return arity of an interned selector. */
+    unsigned arity(SelectorId id) const;
+
+    /** Number of interned selectors. */
+    std::size_t size() const { return names_.size(); }
+
+    /** Returned by find() for unknown selectors. */
+    static constexpr SelectorId kNotFound = 0xffffffffu;
+
+  private:
+    std::unordered_map<std::string, SelectorId> ids_;
+    std::vector<std::string> names_;
+    std::vector<unsigned> arities_;
+};
+
+} // namespace com::obj
+
+#endif // COMSIM_OBJ_SELECTOR_TABLE_HPP

@@ -1,0 +1,56 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace com::sim {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+LogConfig::quiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+LogConfig::isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    throw PanicError(msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::fflush(stderr);
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!LogConfig::isQuiet())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace com::sim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Simulator status and error reporting.
+ *
+ * Follows the gem5 convention in spirit: panic() is for conditions that
+ * indicate a bug in the simulator itself; fatal() is for conditions caused
+ * by the user (bad configuration, malformed guest programs).
+ * warn()/inform() report conditions that do not stop simulation.
+ *
+ * Deviation from gem5 (documented): panic/fatal throw typed exceptions
+ * (PanicError / FatalError) instead of calling abort()/exit(1), so the
+ * test suite can assert on error behaviour and embedding applications can
+ * recover at a top-level boundary. Both print to stderr before throwing.
+ */
+
+#ifndef COMSIM_SIM_LOGGING_HPP
+#define COMSIM_SIM_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace com::sim {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): user input or configuration is unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Destination and verbosity control for non-fatal messages. */
+class LogConfig
+{
+  public:
+    /** Suppress inform() output (warnings still print). */
+    static void quiet(bool q);
+    /** @return true if inform() output is suppressed. */
+    static bool isQuiet();
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Stream-concatenate a parameter pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and throw PanicError.
+ * Use only for "can't happen" conditions.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user-caused error and throw FatalError.
+ * Use for bad configuration or malformed guest programs.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!LogConfig::isQuiet())
+        detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Simulator-bug assertion: panics with a message when condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** User-error assertion: fatal()s with a message when condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace com::sim
+
+#endif // COMSIM_SIM_LOGGING_HPP

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * xoshiro256** seeded via SplitMix64. All stochastic behaviour in comsim
+ * flows through Rng so runs are bit-reproducible for a given seed.
+ */
+
+#ifndef COMSIM_SIM_RNG_HPP
+#define COMSIM_SIM_RNG_HPP
+
+#include <cstdint>
+
+namespace com::sim {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Seed with SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitMix64(x);
+    }
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample a geometric-ish object size: returns a size in
+     * [1, max_size] where small values dominate, matching the
+     * "great numbers of small objects, lesser number of large
+     * objects" population of the paper (Section 2.2).
+     */
+    std::uint64_t
+    skewedSize(std::uint64_t max_size)
+    {
+        // Pick a uniformly random number of bits, then a uniform value
+        // with that many bits: log-uniform over [1, max_size].
+        int max_bits = 1;
+        while ((1ull << max_bits) < max_size && max_bits < 63)
+            ++max_bits;
+        int bits = static_cast<int>(below(static_cast<std::uint64_t>(
+            max_bits))) + 1;
+        std::uint64_t v = (below(1ull << bits)) | (1ull << (bits - 1));
+        return v > max_size ? max_size : v;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitMix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace com::sim
+
+#endif // COMSIM_SIM_RNG_HPP

@@ -1,0 +1,155 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+
+#include "sim/logging.hpp"
+
+namespace com::sim {
+
+Histogram::Histogram(std::size_t num_bins, std::uint64_t bin_width)
+    : bins_(num_bins + 1, 0), binWidth_(bin_width ? bin_width : 1)
+{
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    std::size_t idx = static_cast<std::size_t>(v / binWidth_);
+    if (idx >= bins_.size() - 1)
+        idx = bins_.size() - 1;
+    ++bins_[idx];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : bins_)
+        b = 0;
+    count_ = sum_ = min_ = max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+}
+
+std::uint64_t
+Histogram::bin(std::size_t i) const
+{
+    panicIf(i >= bins_.size(), "histogram bin index out of range");
+    return bins_[i];
+}
+
+double
+Histogram::fractionBelow(std::uint64_t v) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    // Count whole bins entirely below v; exact when binWidth_ == 1.
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        std::uint64_t bin_end = (i + 1) * binWidth_;
+        if (i == bins_.size() - 1 || bin_end > v)
+            break;
+        below += bins_[i];
+    }
+    return static_cast<double>(below) / count_;
+}
+
+void
+StatGroup::addCounter(const std::string &stat_name, const Counter *c,
+                      const std::string &desc)
+{
+    counters_.push_back({stat_name, c, desc});
+}
+
+void
+StatGroup::addHistogram(const std::string &stat_name, const Histogram *h,
+                        const std::string &desc)
+{
+    hists_.push_back({stat_name, h, desc});
+}
+
+void
+StatGroup::addRatio(const std::string &stat_name, const Counter *numer,
+                    const Counter *denom, const std::string &desc)
+{
+    ratios_.push_back({stat_name, numer, denom, desc});
+}
+
+void
+StatGroup::addChild(const StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : counters_) {
+        os << base << "." << e.name << " " << e.counter->value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : ratios_) {
+        double denom = static_cast<double>(e.denom->value());
+        double v = denom > 0
+            ? static_cast<double>(e.numer->value()) / denom : 0.0;
+        os << base << "." << e.name << " "
+           << std::fixed << std::setprecision(6) << v;
+        os.unsetf(std::ios::floatfield);
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : hists_) {
+        os << base << "." << e.name
+           << " count=" << e.hist->count()
+           << " mean=" << std::fixed << std::setprecision(3)
+           << e.hist->mean()
+           << " min=" << e.hist->min()
+           << " max=" << e.hist->max();
+        os.unsetf(std::ios::floatfield);
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, base);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    for (const auto &e : counters_)
+        if (e.name == stat_name)
+            return e.counter->value();
+    panic("no counter named '", stat_name, "' in group '", name_, "'");
+}
+
+double
+StatGroup::ratioValue(const std::string &stat_name) const
+{
+    for (const auto &e : ratios_) {
+        if (e.name == stat_name) {
+            double denom = static_cast<double>(e.denom->value());
+            return denom > 0
+                ? static_cast<double>(e.numer->value()) / denom : 0.0;
+        }
+    }
+    panic("no ratio named '", stat_name, "' in group '", name_, "'");
+}
+
+} // namespace com::sim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Lightweight statistics framework for simulation models.
+ *
+ * Models own StatGroup instances; each group holds named scalar counters,
+ * ratios and histograms. Groups can nest, producing a dotted hierarchy in
+ * dumps (e.g. "machine.itlb.hits"). All values are deterministic.
+ */
+
+#ifndef COMSIM_SIM_STATS_HPP
+#define COMSIM_SIM_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace com::sim {
+
+/** A monotonically increasing (or explicitly set) scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by @p n (default 1). */
+    void operator+=(std::uint64_t n) { value_ += n; }
+    /** Pre-increment. */
+    Counter &operator++() { ++value_; return *this; }
+    /** Post-increment (value discarded). */
+    void operator++(int) { ++value_; }
+    /** Overwrite the value (used for level gauges). */
+    void set(std::uint64_t v) { value_ = v; }
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+    /** @return the current count. */
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A histogram over integer samples with fixed-width bins plus
+ * min/max/mean tracking.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_bins number of bins
+     * @param bin_width width of each bin; samples >= num_bins*bin_width
+     *        land in the overflow bin
+     */
+    explicit Histogram(std::size_t num_bins = 16,
+                       std::uint64_t bin_width = 1);
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+    /** Discard all samples. */
+    void reset();
+
+    /** @return total number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+    /** @return sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+    /** @return arithmetic mean, or 0 with no samples. */
+    double mean() const;
+    /** @return smallest sample (0 if empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    /** @return largest sample (0 if empty). */
+    std::uint64_t max() const { return max_; }
+    /** @return count in bin @p i (the last bin is the overflow bin). */
+    std::uint64_t bin(std::size_t i) const;
+    /** @return number of bins including the overflow bin. */
+    std::size_t numBins() const { return bins_.size(); }
+    /**
+     * @return fraction of samples strictly below @p v
+     *         (exact, from the running tally, only if bin_width==1).
+     */
+    double fractionBelow(std::uint64_t v) const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t binWidth_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics with optional nested child groups.
+ *
+ * Statistic objects are owned by the model; the group stores pointers and
+ * formats them on dump(). Registration order is preserved in output.
+ */
+class StatGroup
+{
+  public:
+    /** @param name dotted-path component for this group. */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under @p stat_name with a description. */
+    void addCounter(const std::string &stat_name, const Counter *c,
+                    const std::string &desc = "");
+    /** Register a histogram under @p stat_name. */
+    void addHistogram(const std::string &stat_name, const Histogram *h,
+                      const std::string &desc = "");
+    /**
+     * Register a derived ratio numer/denom, reported at dump time
+     * (0 when the denominator is 0).
+     */
+    void addRatio(const std::string &stat_name, const Counter *numer,
+                  const Counter *denom, const std::string &desc = "");
+    /** Attach a child group (not owned). */
+    void addChild(const StatGroup *child);
+
+    /** @return this group's name. */
+    const std::string &name() const { return name_; }
+
+    /** Write "prefix.stat value  # desc" lines for the whole subtree. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Look up a registered counter's current value by name. */
+    std::uint64_t counterValue(const std::string &stat_name) const;
+    /** Look up a registered ratio's current value by name. */
+    double ratioValue(const std::string &stat_name) const;
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        const Counter *counter;
+        std::string desc;
+    };
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        std::string desc;
+    };
+    struct RatioEntry
+    {
+        std::string name;
+        const Counter *numer;
+        const Counter *denom;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<CounterEntry> counters_;
+    std::vector<HistEntry> hists_;
+    std::vector<RatioEntry> ratios_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace com::sim
+
+#endif // COMSIM_SIM_STATS_HPP

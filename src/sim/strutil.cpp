@@ -1,0 +1,92 @@
+#include "sim/strutil.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace com::sim {
+
+std::vector<std::string>
+splitTokens(std::string_view s, std::string_view delims)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && delims.find(s[i]) != std::string_view::npos)
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && delims.find(s[i]) == std::string_view::npos)
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    while (b < s.size() && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                            s[b] == '\n'))
+        ++b;
+    std::size_t e = s.size();
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r' || s[e - 1] == '\n'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    return format("0x%llx", static_cast<unsigned long long>(v));
+}
+
+std::string
+percent(double ratio, int decimals)
+{
+    return format("%.*f%%", decimals, ratio * 100.0);
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace com::sim

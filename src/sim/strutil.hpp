@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler, Fith tokenizer and the
+ * Smalltalk lexer. No std::format on this toolchain (libstdc++ 12), so a
+ * minimal printf-style formatter is provided.
+ */
+
+#ifndef COMSIM_SIM_STRUTIL_HPP
+#define COMSIM_SIM_STRUTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace com::sim {
+
+/** Split @p s on any character in @p delims, dropping empty tokens. */
+std::vector<std::string> splitTokens(std::string_view s,
+                                     std::string_view delims = " \t\r\n");
+
+/** Strip leading/trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** @return true if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Render @p v as 0x-prefixed lowercase hex. */
+std::string hex(std::uint64_t v);
+
+/** Render a ratio as "12.34%" with @p decimals decimal places. */
+std::string percent(double ratio, int decimals = 2);
+
+/** Left-pad @p s with spaces to @p width. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to @p width. */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace com::sim
+
+#endif // COMSIM_SIM_STRUTIL_HPP

@@ -1,0 +1,101 @@
+#include "trace/cache_sim.hpp"
+
+#include "cache/itlb.hpp"
+#include "sim/logging.hpp"
+
+namespace com::trace {
+
+namespace {
+
+/** Replay helper shared by the ITLB and icache paths. */
+template <typename KeyFn>
+SweepPoint
+replay(const Trace &t, std::size_t entries, std::size_t ways,
+       cache::ReplPolicy policy, double warmup_fraction, KeyFn key_fn)
+{
+    sim::fatalIf(ways == 0 || entries % ways != 0,
+                 "cache entries (", entries,
+                 ") must be a multiple of ways (", ways, ")");
+    cache::SetAssocCache<std::uint64_t, char> c(entries / ways, ways,
+                                                policy, "trace_cache");
+    const auto &es = t.entries();
+    std::size_t warm = static_cast<std::size_t>(
+        static_cast<double>(es.size()) * warmup_fraction);
+
+    for (std::size_t i = 0; i < es.size(); ++i) {
+        if (i == warm)
+            c.resetStats();
+        std::uint64_t key = key_fn(es[i]);
+        if (!c.lookup(key))
+            c.insert(key, 0);
+    }
+
+    SweepPoint p;
+    p.entries = entries;
+    p.ways = ways;
+    p.hits = c.hits();
+    p.misses = c.misses();
+    p.hitRatio = c.hitRatio();
+    return p;
+}
+
+/** ITLB key: opcode and operand class, mixed for set spreading. */
+std::uint64_t
+itlbKey(const Entry &e)
+{
+    cache::ItlbKey k;
+    k.opcode = e.opcode;
+    k.classB = e.cls;
+    return cache::ItlbKeyHash{}(k);
+}
+
+} // namespace
+
+SweepPoint
+simulateItlb(const Trace &t, std::size_t entries, std::size_t ways,
+             cache::ReplPolicy policy, double warmup_fraction)
+{
+    return replay(t, entries, ways, policy, warmup_fraction, itlbKey);
+}
+
+SweepPoint
+simulateIcache(const Trace &t, std::size_t entries, std::size_t ways,
+               cache::ReplPolicy policy, double warmup_fraction)
+{
+    return replay(t, entries, ways, policy, warmup_fraction,
+                  [](const Entry &e) {
+                      return static_cast<std::uint64_t>(e.address);
+                  });
+}
+
+std::vector<SweepPoint>
+sweepItlb(const Trace &t, const std::vector<std::size_t> &sizes,
+          const std::vector<std::size_t> &ways_list,
+          double warmup_fraction)
+{
+    std::vector<SweepPoint> out;
+    for (std::size_t ways : ways_list)
+        for (std::size_t size : sizes)
+            if (size >= ways)
+                out.push_back(simulateItlb(t, size, ways,
+                                           cache::ReplPolicy::Lru,
+                                           warmup_fraction));
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepIcache(const Trace &t, const std::vector<std::size_t> &sizes,
+            const std::vector<std::size_t> &ways_list,
+            double warmup_fraction)
+{
+    std::vector<SweepPoint> out;
+    for (std::size_t ways : ways_list)
+        for (std::size_t size : sizes)
+            if (size >= ways)
+                out.push_back(simulateIcache(t, size, ways,
+                                             cache::ReplPolicy::Lru,
+                                             warmup_fraction));
+    return out;
+}
+
+} // namespace com::trace

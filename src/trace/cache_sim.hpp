@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace-driven cache simulation (paper Section 5).
+ *
+ * The paper's experiments ran address traces through "a cache simulator
+ * which processed address traces to produce cache statistics", with a
+ * warmup trace run first "to avoid biasing the results by the initial
+ * faulting in of data into the caches". This harness reproduces that
+ * methodology: replay a warmup prefix, reset statistics, replay the
+ * measurement portion, report hit ratios.
+ */
+
+#ifndef COMSIM_TRACE_CACHE_SIM_HPP
+#define COMSIM_TRACE_CACHE_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_assoc.hpp"
+#include "trace/trace.hpp"
+
+namespace com::trace {
+
+/** One (size, associativity) measurement. */
+struct SweepPoint
+{
+    std::size_t entries;   ///< total cache entries
+    std::size_t ways;      ///< associativity
+    double hitRatio;       ///< measured on the post-warmup portion
+    std::uint64_t hits;
+    std::uint64_t misses;
+};
+
+/**
+ * Replay @p t against an ITLB of the given shape, keyed on
+ * (opcode, class) exactly as Section 2.1 specifies.
+ *
+ * @param warmup_fraction fraction of the trace replayed before the
+ *        statistics reset (paper methodology)
+ */
+SweepPoint simulateItlb(const Trace &t, std::size_t entries,
+                        std::size_t ways,
+                        cache::ReplPolicy policy = cache::ReplPolicy::Lru,
+                        double warmup_fraction = 0.25);
+
+/**
+ * Replay @p t against an instruction cache keyed on instruction
+ * address (word granular; see EXPERIMENTS.md for the entry-size
+ * discussion).
+ */
+SweepPoint simulateIcache(const Trace &t, std::size_t entries,
+                          std::size_t ways,
+                          cache::ReplPolicy policy =
+                              cache::ReplPolicy::Lru,
+                          double warmup_fraction = 0.25);
+
+/**
+ * Sweep a cache across sizes and associativities: the Figure 10/11
+ * harness. Sizes are entry counts (8..4096 in the paper).
+ */
+std::vector<SweepPoint>
+sweepItlb(const Trace &t, const std::vector<std::size_t> &sizes,
+          const std::vector<std::size_t> &ways_list,
+          double warmup_fraction = 0.25);
+
+/** Icache counterpart of sweepItlb. */
+std::vector<SweepPoint>
+sweepIcache(const Trace &t, const std::vector<std::size_t> &sizes,
+            const std::vector<std::size_t> &ways_list,
+            double warmup_fraction = 0.25);
+
+} // namespace com::trace
+
+#endif // COMSIM_TRACE_CACHE_SIM_HPP

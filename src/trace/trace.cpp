@@ -1,0 +1,71 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "sim/logging.hpp"
+
+namespace com::trace {
+
+std::size_t
+Trace::distinctKeys() const
+{
+    std::unordered_set<std::uint64_t> keys;
+    for (const Entry &e : entries_)
+        keys.insert((static_cast<std::uint64_t>(e.opcode) << 16) |
+                    e.cls);
+    return keys.size();
+}
+
+std::size_t
+Trace::distinctAddresses() const
+{
+    std::unordered_set<std::uint32_t> addrs;
+    for (const Entry &e : entries_)
+        addrs.insert(e.address);
+    return addrs.size();
+}
+
+std::string
+Trace::toText() const
+{
+    std::ostringstream os;
+    for (const Entry &e : entries_)
+        os << e.address << " " << e.opcode << " " << e.cls << "\n";
+    return os.str();
+}
+
+Trace
+Trace::fromText(const std::string &text)
+{
+    Trace t;
+    std::istringstream is(text);
+    std::uint64_t a, o, c;
+    while (is >> a >> o >> c)
+        t.record(static_cast<std::uint32_t>(a),
+                 static_cast<std::uint32_t>(o),
+                 static_cast<mem::ClassId>(c));
+    return t;
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    sim::fatalIf(!f, "cannot open trace file '", path, "' for writing");
+    f << toText();
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream f(path);
+    sim::fatalIf(!f, "cannot open trace file '", path, "'");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return fromText(os.str());
+}
+
+} // namespace com::trace

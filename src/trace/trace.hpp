@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Instruction traces (paper Section 5 methodology).
+ *
+ * "Traces of large Fith programs were produced by instrumenting the
+ * Fith interpreter ... to record for each instruction interpreted: the
+ * address of the instruction, the opcode, and the type of object on the
+ * top of the stack."
+ *
+ * comsim traces carry exactly those three fields. Both the Fith
+ * interpreter (fith/) and the COM (core/machine) emit them; the
+ * trace-driven cache simulator (trace/cache_sim) replays them against
+ * ITLB and instruction cache configurations to regenerate Figures 10
+ * and 11.
+ */
+
+#ifndef COMSIM_TRACE_TRACE_HPP
+#define COMSIM_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/word.hpp"
+
+namespace com::trace {
+
+/** One trace entry: (instruction address, opcode, operand class). */
+struct Entry
+{
+    std::uint32_t address;   ///< instruction address
+    std::uint32_t opcode;    ///< opcode / message token
+    mem::ClassId cls;        ///< class of the dispatched-on operand
+
+    friend bool
+    operator==(const Entry &a, const Entry &b)
+    {
+        return a.address == b.address && a.opcode == b.opcode &&
+               a.cls == b.cls;
+    }
+};
+
+/** An in-memory instruction trace. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Append one entry. */
+    void
+    record(std::uint32_t address, std::uint32_t opcode, mem::ClassId cls)
+    {
+        entries_.push_back(Entry{address, opcode, cls});
+    }
+
+    /** Append an entry struct. */
+    void record(const Entry &e) { entries_.push_back(e); }
+
+    /** All entries in order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+    /** Number of entries. */
+    std::size_t size() const { return entries_.size(); }
+    /** Discard all entries. */
+    void clear() { entries_.clear(); }
+
+    /** Count of distinct (opcode, class) pairs (ITLB working set). */
+    std::size_t distinctKeys() const;
+    /** Count of distinct instruction addresses (icache working set). */
+    std::size_t distinctAddresses() const;
+
+    /** Serialize to a compact text form ("addr op cls" per line). */
+    std::string toText() const;
+    /** Parse the text form produced by toText(). */
+    static Trace fromText(const std::string &text);
+
+    /** Save to a file (text form). */
+    void save(const std::string &path) const;
+    /** Load from a file. */
+    static Trace load(const std::string &path);
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace com::trace
+
+#endif // COMSIM_TRACE_TRACE_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Helpers for the paper-claim regression tests: run a workload on a
+ * fresh COM and hand back the machine for inspection.
+ */
+
+#ifndef COMSIM_TESTS_BENCH_CLAIMS_HELPERS_HPP
+#define COMSIM_TESTS_BENCH_CLAIMS_HELPERS_HPP
+
+#include <memory>
+
+#include "baseline/method_cache.hpp"
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+#include "mem/multics_address.hpp"
+#include "sim/rng.hpp"
+
+namespace com::claims {
+
+/** Run @p w on a fresh machine; return the run result. */
+inline core::RunResult
+runOnCom(const lang::Workload &w)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    core::Machine m(cfg);
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(w.source);
+    return m.call(p.entryVaddr, m.constants().nilWord(), {});
+}
+
+/** Run @p w and return the machine afterwards (for statistics). */
+inline std::unique_ptr<core::Machine>
+machineAfter(const lang::Workload &w)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    auto m = std::make_unique<core::Machine>(cfg);
+    m->installStandardLibrary();
+    lang::ComCompiler cc(*m);
+    lang::CompiledProgram p = cc.compileSource(w.source);
+    core::RunResult r =
+        m->call(p.entryVaddr, m->constants().nilWord(), {});
+    if (!r.finished)
+        sim::panic("workload '", w.name, "' did not finish: ",
+                   r.message);
+    return m;
+}
+
+} // namespace com::claims
+
+#endif // COMSIM_TESTS_BENCH_CLAIMS_HELPERS_HPP

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Context cache tests (paper Sections 2.3, 3.6, Figure 7): access
+ * vectors, clear-on-allocate, call/return vector movement, copy-back,
+ * process-switch survival and the context pool's one-reference
+ * free-list discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/context_cache.hpp"
+#include "mem/absolute_space.hpp"
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "obj/context.hpp"
+
+using namespace com;
+using cache::ContextCache;
+using cache::CtxVia;
+using mem::Word;
+
+namespace {
+
+mem::AbsAddr
+ctxAbs(int i)
+{
+    return static_cast<mem::AbsAddr>(0x10000 + i * 32);
+}
+
+} // namespace
+
+TEST(ContextCache, AllocateClearsAndSetsVectors)
+{
+    mem::TaggedMemory memory;
+    // Pre-dirty the backing store to prove clear-on-allocate.
+    memory.poke(ctxAbs(0) + 5, Word::fromInt(77));
+
+    ContextCache cc(memory, 8, 32, 2);
+    EXPECT_EQ(cc.allocateNext(ctxAbs(0)), 0u); // no stall: free block
+    EXPECT_NE(cc.nextVector(), 0u);
+    EXPECT_EQ(cc.currentVector(), 0u);
+    // The block was cleared in one operation: no stale data, no
+    // fault-in from memory.
+    EXPECT_TRUE(cc.read(CtxVia::Next, 5).isUninit());
+    EXPECT_EQ(cc.allocations(), 1u);
+}
+
+TEST(ContextCache, CallMovesNextToCurrent)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    cc.allocateNext(ctxAbs(0));
+    std::uint64_t next_vec = cc.nextVector();
+    cc.callAdvance();
+    EXPECT_EQ(cc.currentVector(), next_vec);
+    EXPECT_EQ(cc.nextVector(), 0u);
+    EXPECT_EQ(cc.currentAbs(), ctxAbs(0));
+}
+
+TEST(ContextCache, ReturnRecyclesCurrentAsNext)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    // caller = ctx0 becomes current; callee = ctx1.
+    cc.allocateNext(ctxAbs(0));
+    cc.callAdvance();
+    cc.allocateNext(ctxAbs(1));
+    cc.callAdvance(); // ctx1 current
+    cc.allocateNext(ctxAbs(2));
+
+    std::uint64_t callee_vec = cc.currentVector();
+    std::uint64_t stall = cc.returnRestore(ctxAbs(0));
+    EXPECT_EQ(stall, 0u); // caller resident: directory hit
+    EXPECT_EQ(cc.returnHits(), 1u);
+    // "the current vector is moved back to the next vector".
+    EXPECT_EQ(cc.nextVector(), callee_vec);
+    EXPECT_EQ(cc.currentAbs(), ctxAbs(0));
+}
+
+TEST(ContextCache, ReturnFaultsInCopiedBackCaller)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 4, 32, 0); // tiny, no background copyback
+    cc.allocateNext(ctxAbs(0));
+    cc.callAdvance();
+    cc.write(CtxVia::Current, 7, Word::fromInt(42));
+
+    // Bury ctx0 under enough allocations to evict it.
+    for (int i = 1; i <= 4; ++i) {
+        cc.allocateNext(ctxAbs(i));
+        cc.callAdvance();
+    }
+    EXPECT_FALSE(cc.isResident(ctxAbs(0)));
+
+    std::uint64_t stall = cc.returnRestore(ctxAbs(0));
+    EXPECT_GT(stall, 0u);
+    EXPECT_EQ(cc.returnMisses(), 1u);
+    // The contents survived the round trip through memory.
+    EXPECT_EQ(cc.read(CtxVia::Current, 7).asInt(), 42);
+}
+
+TEST(ContextCache, ProcessSwitchPreservesResidentContexts)
+{
+    // Advantage 2: "Since it associates on absolute addresses the
+    // context cache need not be invalidated on a process switch."
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    cc.allocateNext(ctxAbs(0)); // process A
+    cc.callAdvance();
+    cc.write(CtxVia::Current, 3, Word::fromInt(111));
+    cc.allocateNext(ctxAbs(1));
+
+    // Switch to process B.
+    cc.switchTo(ctxAbs(10), ctxAbs(11));
+    cc.write(CtxVia::Current, 3, Word::fromInt(222));
+
+    // Switch back: process A's context is still resident — no stall.
+    std::uint64_t stall = cc.switchTo(ctxAbs(0), ctxAbs(1));
+    EXPECT_EQ(stall, 0u);
+    EXPECT_EQ(cc.read(CtxVia::Current, 3).asInt(), 111);
+}
+
+TEST(ContextCache, MaintainCopiesBackAtLowWater)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 4, 32, 2);
+    for (int i = 0; i < 3; ++i) {
+        cc.allocateNext(ctxAbs(i));
+        cc.callAdvance();
+    }
+    ASSERT_LE(cc.freeBlocks(), 2u);
+    std::uint64_t before = cc.copybacks();
+    cc.maintain();
+    EXPECT_EQ(cc.copybacks(), before + 1);
+    EXPECT_GE(cc.freeBlocks(), 2u);
+}
+
+TEST(ContextCache, MaintainPrefetchesReturnChain)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    // Seed memory with two contexts that are NOT resident.
+    memory.poke(ctxAbs(5) + 1, Word::fromInt(55));
+    memory.poke(ctxAbs(6) + 1, Word::fromInt(66));
+    cc.allocateNext(ctxAbs(0));
+    cc.callAdvance();
+    ASSERT_GT(cc.freeBlocks(), 4u); // more than half free
+    cc.maintain({ctxAbs(5), ctxAbs(6)});
+    EXPECT_TRUE(cc.isResident(ctxAbs(5)));
+    EXPECT_TRUE(cc.isResident(ctxAbs(6)));
+}
+
+TEST(ContextCache, DiscardDropsWithoutWriteback)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    cc.allocateNext(ctxAbs(0));
+    cc.write(CtxVia::Next, 4, Word::fromInt(9));
+    cc.discard(ctxAbs(0));
+    EXPECT_FALSE(cc.isResident(ctxAbs(0)));
+    // The dead value never reached memory.
+    EXPECT_TRUE(memory.peek(ctxAbs(0) + 4).isUninit());
+}
+
+TEST(ContextCache, FlushAllWritesDirtyBlocks)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    cc.allocateNext(ctxAbs(0));
+    cc.write(CtxVia::Next, 4, Word::fromInt(1234));
+    cc.flushAll();
+    EXPECT_EQ(memory.peek(ctxAbs(0) + 4).asInt(), 1234);
+}
+
+TEST(ContextCache, VectorsAreSingletonOrEmpty)
+{
+    mem::TaggedMemory memory;
+    ContextCache cc(memory, 8, 32, 2);
+    cc.allocateNext(ctxAbs(0));
+    cc.callAdvance();
+    cc.allocateNext(ctxAbs(1));
+    auto popcount = [](std::uint64_t v) {
+        int n = 0;
+        while (v) {
+            v &= v - 1;
+            ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(popcount(cc.currentVector()), 1);
+    EXPECT_EQ(popcount(cc.nextVector()), 1);
+    EXPECT_EQ(cc.currentVector() & cc.nextVector(), 0u);
+    EXPECT_EQ((cc.currentVector() | cc.nextVector()) & cc.freeVector(),
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// Context pool: the one-memory-reference free list (Section 2.3).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct PoolEnv
+{
+    mem::TaggedMemory memory;
+    mem::AbsoluteSpace space{0, 24};
+    mem::SegmentTable table{mem::kFp32, space, 0};
+    obj::ContextPool pool{table, memory, 18, 16};
+};
+
+} // namespace
+
+TEST(ContextPool, AllocateIsOneMemoryReference)
+{
+    PoolEnv env;
+    std::uint64_t reads = env.memory.reads();
+    env.pool.allocate();
+    EXPECT_EQ(env.memory.reads(), reads + 1);
+}
+
+TEST(ContextPool, FreeIsOneMemoryReference)
+{
+    PoolEnv env;
+    auto ctx = env.pool.allocate();
+    std::uint64_t writes = env.memory.writes();
+    env.pool.free(ctx.vaddr, true);
+    EXPECT_EQ(env.memory.writes(), writes + 1);
+}
+
+TEST(ContextPool, LifoRecyclingReusesMostRecentFree)
+{
+    PoolEnv env;
+    auto a = env.pool.allocate();
+    auto b = env.pool.allocate();
+    env.pool.free(b.vaddr, true);
+    env.pool.free(a.vaddr, true);
+    auto c = env.pool.allocate();
+    EXPECT_EQ(c.vaddr, a.vaddr); // most recently freed comes first
+}
+
+TEST(ContextPool, ExhaustionIsFatal)
+{
+    PoolEnv env;
+    for (int i = 0; i < 16; ++i)
+        env.pool.allocate();
+    EXPECT_THROW(env.pool.allocate(), sim::FatalError);
+}
+
+TEST(ContextPool, TracksLifoVersusGcFrees)
+{
+    PoolEnv env;
+    auto a = env.pool.allocate();
+    auto b = env.pool.allocate();
+    env.pool.free(a.vaddr, true);
+    env.pool.free(b.vaddr, false);
+    EXPECT_EQ(env.pool.lifoFrees(), 1u);
+    EXPECT_EQ(env.pool.gcFrees(), 1u);
+}
+
+TEST(ContextPool, AbsVaddrMappingRoundTrips)
+{
+    PoolEnv env;
+    auto a = env.pool.allocate();
+    EXPECT_EQ(env.pool.absOf(a.vaddr), a.abs);
+    EXPECT_EQ(env.pool.vaddrOf(a.abs), a.vaddr);
+    EXPECT_TRUE(env.pool.containsAbs(a.abs));
+    EXPECT_FALSE(env.pool.containsAbs(a.abs + 16 * 32));
+}
+
+TEST(ContextPool, HighWaterTracksPeak)
+{
+    PoolEnv env;
+    auto a = env.pool.allocate();
+    auto b = env.pool.allocate();
+    env.pool.free(b.vaddr, true);
+    env.pool.free(a.vaddr, true);
+    EXPECT_EQ(env.pool.highWater(), 2u);
+    EXPECT_EQ(env.pool.liveCount(), 0u);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fith machine tests: tokenizing, control flow, per-class dispatch and
+ * trace emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fith/fith.hpp"
+#include "fith/fith_programs.hpp"
+
+using namespace com;
+using fith::FithMachine;
+using fith::FithResult;
+
+TEST(Fith, ArithmeticAndStack)
+{
+    FithMachine fm;
+    FithResult r = fm.run("2 3 + 4 *");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(fm.pop().asInt(), 20);
+}
+
+TEST(Fith, MixedModeProducesFloat)
+{
+    FithMachine fm;
+    FithResult r = fm.run("1 0.5 +");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FLOAT_EQ(fm.pop().asFloat(), 1.5f);
+}
+
+TEST(Fith, IfElseThen)
+{
+    FithMachine fm;
+    ASSERT_TRUE(fm.run("5 3 < IF 111 ELSE 222 THEN").ok);
+    EXPECT_EQ(fm.pop().asInt(), 222);
+    ASSERT_TRUE(fm.run("3 5 < IF 111 ELSE 222 THEN").ok);
+    EXPECT_EQ(fm.pop().asInt(), 111);
+}
+
+TEST(Fith, BeginUntilLoop)
+{
+    FithMachine fm;
+    // Count down 10..1, summing into an accumulator.
+    FithResult r = fm.run(
+        "0 10 BEGIN dup rot + swap 1 - dup 0 = UNTIL drop");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(fm.pop().asInt(), 55);
+}
+
+TEST(Fith, DoLoopWithIndex)
+{
+    FithMachine fm;
+    FithResult r = fm.run("0 10 0 DO I + LOOP");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(fm.pop().asInt(), 45);
+}
+
+TEST(Fith, ClassSpecificDispatch)
+{
+    FithMachine fm;
+    FithResult r = fm.run(
+        ":: Int describe drop 'integer ;\n"
+        ":: Float describe drop 'floating ;\n"
+        "42 describe 4.5 describe");
+    ASSERT_TRUE(r.ok) << r.error;
+    // TOS: result for float, below: result for int ('integer was
+    // interned first, so its atom id is the smaller one).
+    std::uint32_t for_float = fm.pop().asAtom();
+    std::uint32_t for_int = fm.pop().asAtom();
+    EXPECT_EQ(for_float, for_int + 1);
+}
+
+TEST(Fith, UniversalDefinitionFallsBack)
+{
+    FithMachine fm;
+    FithResult r = fm.run(": sq dup * ;  7 sq  1.5 sq");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FLOAT_EQ(fm.pop().asFloat(), 2.25f);
+    EXPECT_EQ(fm.pop().asInt(), 49);
+}
+
+TEST(Fith, RecursionWorks)
+{
+    FithMachine fm;
+    FithResult r = fm.run(
+        ":: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + THEN ;\n"
+        "12 fib");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(fm.pop().asInt(), 144);
+}
+
+TEST(Fith, DoesNotUnderstandReportsError)
+{
+    FithMachine fm;
+    FithResult r = fm.run("42 frobnicate");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("not understood"), std::string::npos);
+}
+
+TEST(Fith, ArraysStoreAndFetch)
+{
+    FithMachine fm;
+    FithResult r = fm.run("8 array dup dup 99 swap 3 ! 3 @ swap len");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(fm.pop().asInt(), 8);  // len
+    EXPECT_EQ(fm.pop().asInt(), 99); // fetched value
+}
+
+TEST(Fith, TraceRecordsAddressOpcodeClass)
+{
+    FithMachine fm;
+    fm.setTracing(true);
+    ASSERT_TRUE(fm.run("1 2 +").ok);
+    const auto &es = fm.trace().entries();
+    ASSERT_GE(es.size(), 3u);
+    // The '+' dispatch must record class Int.
+    const trace::Entry &plus = es[2];
+    EXPECT_EQ(plus.cls, static_cast<mem::ClassId>(fith::FithClass::Int));
+}
+
+TEST(Fith, StandardProgramsAllRun)
+{
+    for (const auto &p : fith::standardPrograms()) {
+        FithMachine fm;
+        FithResult r = fm.run(p.source);
+        EXPECT_TRUE(r.ok) << p.name << ": " << r.error;
+        EXPECT_GT(r.steps, 100u) << p.name;
+    }
+}
+
+TEST(Fith, SieveCountsPrimes)
+{
+    FithMachine fm;
+    for (const auto &p : fith::standardPrograms()) {
+        if (p.name == "sieve") {
+            ASSERT_TRUE(fm.run(p.source).ok);
+            // 78 primes below 400 (the count loop starts at flag 2).
+            EXPECT_EQ(fm.output(), "78 ");
+        }
+    }
+}
+
+TEST(Fith, SyntheticProgramRunsAndIsDeterministic)
+{
+    FithMachine a, b;
+    std::string src = fith::syntheticProgram(7, 32, 50);
+    ASSERT_TRUE(a.run(src).ok);
+    ASSERT_TRUE(b.run(src).ok);
+    EXPECT_EQ(a.dispatches(), b.dispatches());
+    EXPECT_GT(a.dispatches(), 1000u);
+}
+
+TEST(Fith, SuiteTraceIsLargeAndDiverse)
+{
+    trace::Trace t = fith::collectSuiteTrace(42, 50'000);
+    EXPECT_GE(t.size(), 50'000u);
+    // Paper: the ITLB working set must stress caches of 8..512 entries.
+    EXPECT_GT(t.distinctKeys(), 64u);
+    EXPECT_GT(t.distinctAddresses(), 500u);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Floating point address tests (paper Section 2.2, Figure 2),
+ * including the paper's own worked example and parameterized
+ * round-trip properties across formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/fp_address.hpp"
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+
+using namespace com;
+using mem::FpAddress;
+using mem::FpFormat;
+
+TEST(FpAddress, PaperWorkedExample0x8345)
+{
+    // "the 16-bit floating point address 0x8345 has an exponent of 8.
+    //  Thus the offset field is the byte 0x45 and the segment number
+    //  is 0x83" (exponent 8 combined with integer part 3).
+    mem::FpDecoded d = FpAddress::decode(mem::kFp16, 0x8345);
+    EXPECT_EQ(d.exponent, 8u);
+    EXPECT_EQ(d.offset, 0x45u);
+    EXPECT_EQ(d.segField, 0x3u);
+    // The descriptor key combines exponent and integer part.
+    std::uint64_t key = FpAddress::segKey(mem::kFp16, 0x8345);
+    std::uint64_t exp, field;
+    FpAddress::splitSegKey(mem::kFp16, key, exp, field);
+    EXPECT_EQ(exp, 8u);
+    EXPECT_EQ(field, 3u);
+}
+
+TEST(FpAddress, Paper36BitCapacities)
+{
+    // "a 36 bit floating point address, consisting of a 5 bit exponent
+    //  and 31 bit mantissa, accommodates 8 billion segments and
+    //  supports segments of up to 2 billion words long."
+    EXPECT_EQ(mem::kFp36.maxSegmentWords(), 1ull << 31); // 2 G words
+    // Total names across all exponents: sum of 2^(31-e) ~ 2^32.
+    EXPECT_GT(mem::kFp36.numSegmentNames(), 4'000'000'000ull);
+}
+
+TEST(FpAddress, ComposeDecodeRoundTrip)
+{
+    std::uint64_t raw = FpAddress::compose(mem::kFp32, 8, 0x1234, 0x45);
+    mem::FpDecoded d = FpAddress::decode(mem::kFp32, raw);
+    EXPECT_EQ(d.exponent, 8u);
+    EXPECT_EQ(d.segField, 0x1234u);
+    EXPECT_EQ(d.offset, 0x45u);
+}
+
+TEST(FpAddress, ComposeRejectsOversizedOffset)
+{
+    EXPECT_THROW(FpAddress::compose(mem::kFp32, 4, 1, 16),
+                 sim::PanicError);
+}
+
+TEST(FpAddress, ComposeRejectsOversizedExponent)
+{
+    EXPECT_THROW(FpAddress::compose(mem::kFp32, 28, 0, 0),
+                 sim::PanicError);
+}
+
+TEST(FpAddress, ExponentForSizes)
+{
+    EXPECT_EQ(FpAddress::exponentFor(mem::kFp32, 1), 0u);
+    EXPECT_EQ(FpAddress::exponentFor(mem::kFp32, 2), 1u);
+    EXPECT_EQ(FpAddress::exponentFor(mem::kFp32, 3), 2u);
+    EXPECT_EQ(FpAddress::exponentFor(mem::kFp32, 32), 5u);
+    EXPECT_EQ(FpAddress::exponentFor(mem::kFp32, 33), 6u);
+}
+
+TEST(FpAddress, AddOffsetStaysInSegmentWithinExponent)
+{
+    std::uint64_t base = FpAddress::compose(mem::kFp32, 8, 7, 0);
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t a = FpAddress::addOffset(
+            mem::kFp32, base, static_cast<std::int64_t>(i));
+        EXPECT_EQ(FpAddress::segKey(mem::kFp32, a),
+                  FpAddress::segKey(mem::kFp32, base));
+        EXPECT_EQ(FpAddress::decode(mem::kFp32, a).offset, i);
+    }
+    // One more word carries into the integer part: different segment.
+    std::uint64_t over = FpAddress::addOffset(mem::kFp32, base, 256);
+    EXPECT_NE(FpAddress::segKey(mem::kFp32, over),
+              FpAddress::segKey(mem::kFp32, base));
+}
+
+TEST(FpAddress, ToStringIsReadable)
+{
+    std::uint64_t raw = FpAddress::compose(mem::kFp16, 8, 3, 0x45);
+    EXPECT_EQ(FpAddress::toString(mem::kFp16, raw),
+              "fp[e=8 seg=0x3 off=0x45]");
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: random compose/decode round trips per format.
+// ---------------------------------------------------------------------
+
+class FpFormatProperty : public ::testing::TestWithParam<FpFormat>
+{
+};
+
+TEST_P(FpFormatProperty, RandomRoundTrips)
+{
+    const FpFormat fmt = GetParam();
+    sim::Rng rng(fmt.expBits * 1000 + fmt.mantissaBits);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t exp = rng.below(fmt.maxExponent() + 1);
+        std::uint64_t max_field = 1ull << (fmt.mantissaBits - exp);
+        std::uint64_t field = rng.below(max_field);
+        std::uint64_t off = rng.below(1ull << exp);
+        std::uint64_t raw = FpAddress::compose(fmt, exp, field, off);
+        mem::FpDecoded d = FpAddress::decode(fmt, raw);
+        ASSERT_EQ(d.exponent, exp);
+        ASSERT_EQ(d.segField, field);
+        ASSERT_EQ(d.offset, off);
+        ASSERT_LE(raw, (1ull << fmt.width()) - 1);
+    }
+}
+
+TEST_P(FpFormatProperty, SegKeysDisambiguateAcrossExponents)
+{
+    // The same mantissa bits under different exponents must name
+    // different descriptors (that is the point of combining the
+    // exponent into the key).
+    const FpFormat fmt = GetParam();
+    for (std::uint64_t e1 = 0; e1 < fmt.maxExponent(); ++e1) {
+        // Segment field 0 exists for every exponent.
+        std::uint64_t a = FpAddress::compose(fmt, e1, 0, 0);
+        std::uint64_t b = FpAddress::compose(fmt, e1 + 1, 0, 0);
+        ASSERT_NE(FpAddress::segKey(fmt, a), FpAddress::segKey(fmt, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FpFormatProperty,
+    ::testing::Values(mem::kFp16, mem::kFp32, mem::kFp36,
+                      FpFormat{3, 12}, FpFormat{6, 40}),
+    [](const ::testing::TestParamInfo<FpFormat> &info) {
+        return "e" + std::to_string(info.param.expBits) + "m" +
+               std::to_string(info.param.mantissaBits);
+    });

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * ISA encoding and primitive function-unit tests, including
+ * property-style sweeps over encode/decode round trips and the
+ * multiple-precision arithmetic support (Carry/Mult1/Mult2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/constant_table.hpp"
+#include "core/isa.hpp"
+#include "core/machine.hpp"
+#include "core/primitives.hpp"
+#include "sim/rng.hpp"
+
+using namespace com;
+using core::Instr;
+using core::Op;
+using core::Operand;
+using mem::Word;
+
+TEST(Isa, ThreeOperandRoundTrip)
+{
+    Instr i = Instr::make(Op::Add, Operand::cur(4), Operand::next(7),
+                          Operand::cons(3), true);
+    Instr d = Instr::decode(i.encode());
+    EXPECT_EQ(d.op, Op::Add);
+    EXPECT_TRUE(d.ret);
+    EXPECT_FALSE(d.extended);
+    EXPECT_EQ(d.a, Operand::cur(4));
+    EXPECT_EQ(d.b, Operand::next(7));
+    EXPECT_EQ(d.c, Operand::cons(3));
+}
+
+TEST(Isa, ExtendedRoundTrip)
+{
+    Instr i = Instr::makeSend(0x3ffff, 2);
+    Instr d = Instr::decode(i.encode());
+    EXPECT_TRUE(d.extended);
+    EXPECT_EQ(d.extSelector, 0x3ffffu);
+    EXPECT_EQ(d.implicitCount, 2);
+}
+
+TEST(Isa, RandomEncodeDecodeRoundTrips)
+{
+    sim::Rng rng(17);
+    for (int n = 0; n < 5000; ++n) {
+        Instr i;
+        if (rng.chance(0.2)) {
+            i = Instr::makeSend(
+                static_cast<std::uint32_t>(rng.below(1u << 22)),
+                static_cast<std::uint8_t>(rng.below(3)),
+                rng.chance(0.5));
+        } else {
+            auto operand = [&rng]() {
+                switch (rng.below(3)) {
+                  case 0:
+                    return Operand::cur(static_cast<std::uint8_t>(
+                        rng.below(32)));
+                  case 1:
+                    return Operand::next(static_cast<std::uint8_t>(
+                        rng.below(32)));
+                  default:
+                    return Operand::cons(static_cast<std::uint8_t>(
+                        rng.below(128)));
+                }
+            };
+            i = Instr::make(
+                static_cast<Op>(rng.below(
+                    static_cast<std::uint64_t>(Op::kFirstUserOp))),
+                operand(), operand(), operand(), rng.chance(0.5));
+        }
+        Instr d = Instr::decode(i.encode());
+        ASSERT_EQ(d.encode(), i.encode());
+        ASSERT_TRUE(d == i);
+    }
+}
+
+TEST(Isa, DispatchSpecExcludesDestination)
+{
+    // Value-producing ops must not key the ITLB on the destination's
+    // stale class (it would inflate the key population for nothing).
+    core::DispatchSpec add = core::dispatchSpec(Op::Add);
+    EXPECT_FALSE(add.useA);
+    EXPECT_TRUE(add.useB);
+    EXPECT_TRUE(add.useC);
+    core::DispatchSpec put = core::dispatchSpec(Op::PutRes);
+    EXPECT_TRUE(put.useA);
+    core::DispatchSpec jmp = core::dispatchSpec(Op::Fjmp);
+    EXPECT_TRUE(jmp.useA);
+    EXPECT_FALSE(jmp.useB);
+}
+
+// ---------------------------------------------------------------------
+// Value primitives
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct PrimEnv
+{
+    obj::SelectorTable selectors;
+    core::ConstantTable consts{selectors};
+
+    core::ValueResult
+    eval(Op op, Word b, Word c)
+    {
+        return core::evalValuePrimitive(op, b, c, consts);
+    }
+};
+
+} // namespace
+
+TEST(Primitives, IntegerArithmetic)
+{
+    PrimEnv env;
+    EXPECT_EQ(env.eval(Op::Add, Word::fromInt(2), Word::fromInt(40))
+                  .value.asInt(),
+              42);
+    EXPECT_EQ(env.eval(Op::Sub, Word::fromInt(2), Word::fromInt(40))
+                  .value.asInt(),
+              -38);
+    EXPECT_EQ(env.eval(Op::Mul, Word::fromInt(-6), Word::fromInt(7))
+                  .value.asInt(),
+              -42);
+    EXPECT_EQ(env.eval(Op::Div, Word::fromInt(42), Word::fromInt(5))
+                  .value.asInt(),
+              8);
+}
+
+TEST(Primitives, FlooringModuloFollowsDivisorSign)
+{
+    PrimEnv env;
+    EXPECT_EQ(env.eval(Op::Mod, Word::fromInt(7), Word::fromInt(3))
+                  .value.asInt(),
+              1);
+    EXPECT_EQ(env.eval(Op::Mod, Word::fromInt(-7), Word::fromInt(3))
+                  .value.asInt(),
+              2);
+    EXPECT_EQ(env.eval(Op::Mod, Word::fromInt(7), Word::fromInt(-3))
+                  .value.asInt(),
+              -2);
+}
+
+TEST(Primitives, MixedModeProducesFloat)
+{
+    PrimEnv env;
+    core::ValueResult r =
+        env.eval(Op::Add, Word::fromInt(1), Word::fromFloat(0.5f));
+    EXPECT_FLOAT_EQ(r.value.asFloat(), 1.5f);
+    r = env.eval(Op::Mul, Word::fromFloat(2.5f), Word::fromInt(4));
+    EXPECT_FLOAT_EQ(r.value.asFloat(), 10.0f);
+}
+
+TEST(Primitives, DivideByZeroFaults)
+{
+    PrimEnv env;
+    EXPECT_EQ(env.eval(Op::Div, Word::fromInt(1), Word::fromInt(0))
+                  .fault,
+              core::GuestFault::DivideByZero);
+    EXPECT_EQ(env.eval(Op::Mod, Word::fromInt(1), Word::fromInt(0))
+                  .fault,
+              core::GuestFault::DivideByZero);
+}
+
+TEST(Primitives, MultiplePrecisionSupport)
+{
+    // "These instructions, defined for small integer, allow multiple
+    //  precision integer arithmetic to be implemented without flags."
+    PrimEnv env;
+    // Carry of 0xffffffff + 1 is 1; of 1 + 1 is 0.
+    EXPECT_EQ(env.eval(Op::Carry, Word::fromInt(-1), Word::fromInt(1))
+                  .value.asInt(),
+              1);
+    EXPECT_EQ(env.eval(Op::Carry, Word::fromInt(1), Word::fromInt(1))
+                  .value.asInt(),
+              0);
+    // 0x10000 * 0x10000 = 2^32: low word 0, high word 1.
+    Word big = Word::fromInt(0x10000);
+    EXPECT_EQ(env.eval(Op::Mult1, big, big).value.asInt(), 0);
+    EXPECT_EQ(env.eval(Op::Mult2, big, big).value.asInt(), 1);
+}
+
+TEST(Primitives, MultiPrecisionComposes64BitAdd)
+{
+    // Property: for random 64-bit values split into 32-bit halves,
+    // Add/Carry implement a correct 64-bit addition.
+    PrimEnv env;
+    sim::Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t x = rng.next(), y = rng.next();
+        Word xl = Word::fromInt(static_cast<std::int32_t>(x));
+        Word xh = Word::fromInt(static_cast<std::int32_t>(x >> 32));
+        Word yl = Word::fromInt(static_cast<std::int32_t>(y));
+        Word yh = Word::fromInt(static_cast<std::int32_t>(y >> 32));
+
+        std::uint32_t lo = static_cast<std::uint32_t>(
+            env.eval(Op::Add, xl, yl).value.asInt());
+        std::int32_t carry = env.eval(Op::Carry, xl, yl).value.asInt();
+        std::uint32_t hi = static_cast<std::uint32_t>(
+            env.eval(Op::Add,
+                     env.eval(Op::Add, xh, yh).value,
+                     Word::fromInt(carry))
+                .value.asInt());
+        std::uint64_t got =
+            (static_cast<std::uint64_t>(hi) << 32) | lo;
+        ASSERT_EQ(got, x + y);
+    }
+}
+
+TEST(Primitives, BitFieldOperations)
+{
+    PrimEnv env;
+    EXPECT_EQ(env.eval(Op::Shift, Word::fromInt(1), Word::fromInt(4))
+                  .value.asInt(),
+              16);
+    EXPECT_EQ(env.eval(Op::Shift, Word::fromInt(256), Word::fromInt(-4))
+                  .value.asInt(),
+              16);
+    EXPECT_EQ(env.eval(Op::AShift, Word::fromInt(-16), Word::fromInt(-2))
+                  .value.asInt(),
+              -4);
+    EXPECT_EQ(env.eval(Op::Rotate, Word::fromInt(1), Word::fromInt(33))
+                  .value.asInt(),
+              2);
+    EXPECT_EQ(env.eval(Op::Mask, Word::fromInt(0xff), Word::fromInt(0x0f))
+                  .value.asInt(),
+              0xf0);
+}
+
+TEST(Primitives, ComparisonsReturnBooleanAtoms)
+{
+    PrimEnv env;
+    core::ValueResult lt =
+        env.eval(Op::Lt, Word::fromInt(1), Word::fromInt(2));
+    EXPECT_EQ(lt.value.asAtom(), env.consts.trueAtom());
+    core::ValueResult same = env.eval(Op::Same, Word::fromInt(1),
+                                      Word::fromFloat(1.0f));
+    // Same is identity: an int and a float are never the same object.
+    EXPECT_EQ(same.value.asAtom(), env.consts.falseAtom());
+}
+
+TEST(Primitives, ApplicabilityMatchesPaperTable)
+{
+    using core::primitiveApplicable;
+    constexpr mem::ClassId I = 1, F = 2, A = 3;
+    // Arithmetic: int and float, mixed modes primitive; Mod int only.
+    EXPECT_TRUE(primitiveApplicable(Op::Add, 0, I, I));
+    EXPECT_TRUE(primitiveApplicable(Op::Add, 0, I, F));
+    EXPECT_FALSE(primitiveApplicable(Op::Add, 0, A, I));
+    EXPECT_TRUE(primitiveApplicable(Op::Mod, 0, I, I));
+    EXPECT_FALSE(primitiveApplicable(Op::Mod, 0, F, I));
+    // Logical: integers as bit fields.
+    EXPECT_FALSE(primitiveApplicable(Op::Xor, 0, F, F));
+    // Same: all types.
+    EXPECT_TRUE(primitiveApplicable(Op::Same, 0, A, I));
+    // User class receivers are pointer classes for At.
+    EXPECT_TRUE(primitiveApplicable(Op::At, 0, 19, I));
+    EXPECT_FALSE(primitiveApplicable(Op::At, 0, 19, F));
+}
+
+// ---------------------------------------------------------------------
+// Constant table
+// ---------------------------------------------------------------------
+
+TEST(Constants, FixedEntriesAndDedup)
+{
+    obj::SelectorTable st;
+    core::ConstantTable ct(st);
+    EXPECT_EQ(ct.at(core::kConstNil), ct.nilWord());
+    EXPECT_EQ(ct.at(core::kConstTrue), ct.trueWord());
+    std::uint8_t a = ct.intern(Word::fromInt(42));
+    std::uint8_t b = ct.intern(Word::fromInt(42));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(ct.intern(Word::fromFloat(42.0f)), a); // different tag
+}
+
+TEST(Constants, OverflowIsFatal)
+{
+    obj::SelectorTable st;
+    core::ConstantTable ct(st);
+    for (int i = 0; i < 125; ++i)
+        ct.intern(Word::fromInt(1000 + i));
+    EXPECT_EQ(ct.size(), 128u);
+    EXPECT_THROW(ct.intern(Word::fromInt(9999)), sim::FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Assembler details
+// ---------------------------------------------------------------------
+
+TEST(AssemblerTest, DisassembleRoundTrips)
+{
+    core::Machine m;
+    core::Assembler as(m);
+    std::vector<Instr> code = as.assemble(R"(
+        add   c4, c1, =5
+        putres.r c2, c4
+    )");
+    ASSERT_EQ(code.size(), 2u);
+    EXPECT_EQ(code[0].op, Op::Add);
+    EXPECT_TRUE(code[1].ret);
+    std::string d = core::Assembler::disassemble(code[1]);
+    EXPECT_NE(d.find("putres"), std::string::npos);
+    EXPECT_NE(d.find(".r"), std::string::npos);
+}
+
+TEST(AssemblerTest, UnknownMnemonicIsFatal)
+{
+    core::Machine m;
+    core::Assembler as(m);
+    EXPECT_THROW(as.assemble("frobnicate c1, c2, c3"),
+                 sim::FatalError);
+}
+
+TEST(AssemblerTest, UnknownLabelIsFatal)
+{
+    core::Machine m;
+    core::Assembler as(m);
+    EXPECT_THROW(as.assemble("jmp @nowhere"), sim::FatalError);
+}
+
+TEST(AssemblerTest, BackwardAndForwardJumpsResolve)
+{
+    core::Machine m;
+    core::Assembler as(m);
+    std::vector<Instr> code = as.assemble(R"(
+    top:
+        jt c1, @end
+        jmp @top
+    end:
+        halt
+    )");
+    ASSERT_EQ(code.size(), 3u);
+    EXPECT_EQ(code[0].op, Op::Fjmp);  // forward
+    EXPECT_EQ(code[1].op, Op::Rjmp);  // backward
+}

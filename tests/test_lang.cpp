@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Language pipeline tests: lexer, parser, both code generators and
+ * both execution targets. Every workload must produce its expected
+ * checksum on the COM *and* on the stack baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/compiler_stack.hpp"
+#include "lang/parser.hpp"
+#include "lang/stack_vm.hpp"
+#include "lang/workloads.hpp"
+
+using namespace com;
+using lang::ComCompiler;
+using lang::StackCompiler;
+using lang::StackVm;
+
+namespace {
+
+/** Run source on a fresh COM; return main's integer result. */
+std::int32_t
+runOnCom(const std::string &src, std::uint64_t *instructions = nullptr)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 1024;
+    core::Machine m(cfg);
+    m.installStandardLibrary();
+    ComCompiler cc(m);
+    lang::CompiledProgram prog = cc.compileSource(src);
+    EXPECT_NE(prog.entryVaddr, 0u);
+    core::RunResult r =
+        m.call(prog.entryVaddr, m.constants().nilWord(), {});
+    EXPECT_TRUE(r.finished) << r.message;
+    if (instructions)
+        *instructions = r.instructions;
+    mem::Word res = m.lastResult();
+    EXPECT_TRUE(res.isInt()) << "main returned non-integer";
+    return res.isInt() ? res.asInt() : -1;
+}
+
+/** Run source on a fresh stack VM; return main's integer result. */
+std::int32_t
+runOnStack(const std::string &src, std::uint64_t *bytecodes = nullptr)
+{
+    StackVm vm;
+    StackCompiler sc(vm);
+    lang::StackCompiled prog = sc.compileSource(src);
+    lang::SResult r = vm.run(prog.entry);
+    EXPECT_TRUE(r.ok) << r.error;
+    if (bytecodes)
+        *bytecodes = r.bytecodes;
+    EXPECT_TRUE(r.result.isInt());
+    return r.result.isInt() ? r.result.asInt() : -1;
+}
+
+} // namespace
+
+TEST(LangLexer, TokenKinds)
+{
+    auto toks = lang::lex("foo bar: + 12 3.5 'str' #sym := ^ . ( ) [ ] |");
+    ASSERT_GE(toks.size(), 15u);
+    EXPECT_EQ(toks[0].kind, lang::Tok::Ident);
+    EXPECT_EQ(toks[1].kind, lang::Tok::Keyword);
+    EXPECT_EQ(toks[1].text, "bar:");
+    EXPECT_EQ(toks[2].kind, lang::Tok::BinarySel);
+    EXPECT_EQ(toks[3].kind, lang::Tok::Integer);
+    EXPECT_EQ(toks[4].kind, lang::Tok::Float);
+    EXPECT_EQ(toks[5].kind, lang::Tok::String);
+    EXPECT_EQ(toks[6].kind, lang::Tok::Symbol);
+    EXPECT_EQ(toks[7].kind, lang::Tok::Assign);
+}
+
+TEST(LangLexer, CommentsAreSkipped)
+{
+    auto toks = lang::lex("a \"this is ignored\" b");
+    ASSERT_EQ(toks.size(), 3u); // a, b, End
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LangParser, ClassAndMethodShapes)
+{
+    lang::Program p = lang::parse(R"(
+class Point extends Object [
+    | x y |
+    x [ ^x ]
+    setX: ax y: ay [ x := ax. y := ay ]
+    + other [ ^x + other x ]
+]
+main [ | p | ^3 + 4 ]
+)");
+    ASSERT_EQ(p.classes.size(), 1u);
+    EXPECT_EQ(p.classes[0].name, "Point");
+    EXPECT_EQ(p.classes[0].fields.size(), 2u);
+    ASSERT_EQ(p.classes[0].methods.size(), 3u);
+    EXPECT_EQ(p.classes[0].methods[1].selector, "setX:y:");
+    EXPECT_EQ(p.classes[0].methods[1].argNames.size(), 2u);
+    EXPECT_EQ(p.classes[0].methods[2].selector, "+");
+    EXPECT_TRUE(p.hasMain);
+}
+
+TEST(LangParser, PrecedenceUnaryBinaryKeyword)
+{
+    // "a foo + b bar: c baz" parses as (a foo) + b bar: (c baz).
+    lang::Program p = lang::parse("main [ ^1 factorial + 2 max: 3 neg ]");
+    const lang::Expr &e = *p.mainBody[0];
+    ASSERT_EQ(e.kind, lang::ExprKind::Send);
+    EXPECT_EQ(e.text, "max:");
+    ASSERT_EQ(e.receiver->kind, lang::ExprKind::Send);
+    EXPECT_EQ(e.receiver->text, "+");
+}
+
+TEST(LangCom, SimpleArithmetic)
+{
+    EXPECT_EQ(runOnCom("main [ ^2 + 3 * 4 ]"), 20); // left-to-right
+}
+
+TEST(LangCom, TempsAndAssignment)
+{
+    EXPECT_EQ(runOnCom("main [ | a b | a := 6. b := a * 7. ^b ]"), 42);
+}
+
+TEST(LangCom, IfTrueIfFalse)
+{
+    EXPECT_EQ(runOnCom(
+        "main [ ^3 < 4 ifTrue: [ 1 ] ifFalse: [ 2 ] ]"), 1);
+    EXPECT_EQ(runOnCom(
+        "main [ ^4 < 3 ifTrue: [ 1 ] ifFalse: [ 2 ] ]"), 2);
+}
+
+TEST(LangCom, WhileLoop)
+{
+    EXPECT_EQ(runOnCom(R"(
+main [ | i sum |
+    i := 1. sum := 0.
+    [ i <= 10 ] whileTrue: [ sum := sum + i. i := i + 1 ].
+    ^sum
+])"),
+              55);
+}
+
+TEST(LangCom, ToDoLoop)
+{
+    EXPECT_EQ(runOnCom(
+        "main [ | s | s := 0. 1 to: 10 do: [ :i | s := s + i ]. ^s ]"),
+        55);
+}
+
+TEST(LangCom, ClassWithFieldsAndMethods)
+{
+    EXPECT_EQ(runOnCom(R"(
+class Counter [
+    | n |
+    init [ n := 0 ]
+    bump [ n := n + 1 ]
+    n [ ^n ]
+]
+main [ | c |
+    c := Counter new.
+    c init.
+    5 timesRepeat: [ c bump ].
+    ^c n
+])"),
+              5);
+}
+
+TEST(LangCom, PolymorphicDispatch)
+{
+    EXPECT_EQ(runOnCom(R"(
+class A [
+    tag [ ^1 ]
+]
+class B extends A [
+    tag [ ^2 ]
+]
+main [ | x y |
+    x := A new.
+    y := B new.
+    ^x tag * 10 + y tag
+])"),
+              12);
+}
+
+TEST(LangCom, GreaterThanCompilesToSwappedLt)
+{
+    EXPECT_EQ(runOnCom("main [ ^5 > 3 ifTrue: [ 1 ] ifFalse: [ 0 ] ]"),
+              1);
+    EXPECT_EQ(runOnCom("main [ ^3 >= 3 ifTrue: [ 1 ] ifFalse: [ 0 ] ]"),
+              1);
+}
+
+TEST(LangStack, SimpleArithmetic)
+{
+    EXPECT_EQ(runOnStack("main [ ^2 + 3 * 4 ]"), 20);
+}
+
+TEST(LangStack, ControlFlow)
+{
+    EXPECT_EQ(runOnStack(R"(
+main [ | i sum |
+    i := 1. sum := 0.
+    [ i <= 10 ] whileTrue: [ sum := sum + i. i := i + 1 ].
+    ^sum
+])"),
+              55);
+}
+
+TEST(LangStack, ClassesAndDispatch)
+{
+    EXPECT_EQ(runOnStack(R"(
+class A [
+    tag [ ^1 ]
+]
+class B extends A [
+    tag [ ^2 ]
+]
+main [ ^A new tag * 10 + (B new tag) ]
+)"),
+              12);
+}
+
+// ---------------------------------------------------------------------
+// The full workload suite, on both machines.
+// ---------------------------------------------------------------------
+
+class WorkloadSuite
+    : public ::testing::TestWithParam<lang::Workload>
+{
+};
+
+TEST_P(WorkloadSuite, ComProducesExpected)
+{
+    const lang::Workload &w = GetParam();
+    EXPECT_EQ(runOnCom(w.source), w.expected) << w.name;
+}
+
+TEST_P(WorkloadSuite, StackVmProducesExpected)
+{
+    const lang::Workload &w = GetParam();
+    EXPECT_EQ(runOnStack(w.source), w.expected) << w.name;
+}
+
+TEST_P(WorkloadSuite, BothMachinesAgree)
+{
+    const lang::Workload &w = GetParam();
+    EXPECT_EQ(runOnCom(w.source), runOnStack(w.source)) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::ValuesIn(lang::workloads()),
+    [](const ::testing::TestParamInfo<lang::Workload> &info) {
+        return info.param.name;
+    });

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Advanced machine integration tests: growth traps through at:,
+ * method redefinition (smooth extensibility), privileged as:, the
+ * cycle-accounting identity, GC under context pressure, and the
+ * host-routine standard library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
+
+using namespace com;
+using core::Assembler;
+using core::GuestFault;
+using core::Machine;
+using core::RunResult;
+using mem::Word;
+
+namespace {
+
+core::MachineConfig
+smallConfig()
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 128;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MachineAdvanced, GrowthTrapRepairsPointerDuringAt)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    Assembler as(m);
+
+    // Allocate an 8-word array, grow it to 100 (new name), then read
+    // index 50 through the STALE pointer: the growth trap must repair
+    // it transparently.
+    std::uint64_t obj = m.heap().allocateInstance(
+        m.classes().arrayClass(), 8);
+    std::uint64_t grown = m.segments().growObject(obj, 100, m.memory());
+    ASSERT_NE(obj, grown);
+    mem::XlateResult wr = m.segments().translate(grown, 50, true);
+    m.memory().poke(wr.abs, Word::fromInt(777));
+
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        at    c6, c4, =50
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromPointer(
+                             static_cast<std::uint32_t>(obj))});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 777);
+    EXPECT_GT(m.pipeline().trapCycles(), 0u);
+}
+
+TEST(MachineAdvanced, RedefinitionTakesEffectWithoutRecompiling)
+{
+    // "if at some time, it is decided to change the implementation of
+    //  a routine ... no object code need ever be modified."
+    Machine m(smallConfig());
+    Assembler as(m);
+    mem::ClassId int_cls = static_cast<mem::ClassId>(mem::Tag::SmallInt);
+
+    as.assembleMethod(int_cls, "f", R"(
+        mul c5, c3, =2
+        putres.r c2, c5
+    )");
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg "f", c6, c4, c0
+        putres.r c2, c6
+    )"));
+    RunResult r1 = m.call(entry, m.constants().nilWord(),
+                          {Word::fromInt(10)});
+    ASSERT_TRUE(r1.finished);
+    EXPECT_EQ(m.lastResult().asInt(), 20);
+
+    // Redefine f; the SAME entry object now means triple.
+    as.assembleMethod(int_cls, "f", R"(
+        mul c5, c3, =3
+        putres.r c2, c5
+    )");
+    RunResult r2 = m.call(entry, m.constants().nilWord(),
+                          {Word::fromInt(10)});
+    ASSERT_TRUE(r2.finished);
+    EXPECT_EQ(m.lastResult().asInt(), 30);
+}
+
+TEST(MachineAdvanced, OverridingAPrimitiveToken)
+{
+    // The same '+' token: primitive for integers, user method for a
+    // class that redefines it — with no compiler involvement.
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+class Weird [
+    | v |
+    v: x [ v := x ]
+    + other [ ^v - other ]
+]
+main [ | w |
+    w := Weird new.
+    w v: 100.
+    ^(w + 1) + (2 + 3)
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 104); // (100-1) + 5
+}
+
+TEST(MachineAdvanced, PrivilegedAsForgingFaultsWithoutPrivilege)
+{
+    core::MachineConfig cfg = smallConfig();
+    cfg.privileged = false;
+    Machine m(cfg);
+    Assembler as(m);
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        as    c6, c4, =5      ; retag int as ObjectPtr: forging
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(0x1234)});
+    EXPECT_EQ(r.fault, GuestFault::PrivilegedAs);
+}
+
+TEST(MachineAdvanced, PrivilegedAsAllowedWithPrivilege)
+{
+    Machine m(smallConfig()); // privileged by default
+    Assembler as(m);
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        as    c6, c4, =1      ; retag pointer bits as an integer: fine
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(77)});
+    ASSERT_TRUE(r.finished);
+    EXPECT_EQ(m.lastResult().asInt(), 77);
+}
+
+TEST(MachineAdvanced, CycleAccountingIdentity)
+{
+    // Every cycle must be attributable: base + branch + call + stalls
+    // + traps == total. Run a workload with all features exercised.
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+class T [
+    go: n [ | a |
+        a := Array new: 8.
+        0 to: 7 do: [ :i | a at: i put: i * n ].
+        ^(a at: 3) + (a at: 5)
+    ]
+]
+main [ | t s |
+    t := T new.
+    s := 0.
+    1 to: 50 do: [ :k | s := s + (t go: k) ].
+    ^s
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+
+    const core::Pipeline &pl = m.pipeline();
+    std::uint64_t accounted = 2 * pl.instructions() +
+                              pl.branchDelays() + pl.callOverhead() +
+                              pl.itlbStalls() + pl.icacheStalls() +
+                              pl.atlbStalls() + pl.memoryStalls() +
+                              pl.contextStalls() + pl.trapCycles();
+    EXPECT_EQ(pl.cycles(), accounted);
+}
+
+TEST(MachineAdvanced, ContextPoolPressureTriggersGc)
+{
+    // Deep recursion with a small pool: the machine must collect
+    // rather than dying, because returns free LIFO contexts and old
+    // xfer garbage is collectable.
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 64;
+    Machine m(cfg);
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+class R [
+    down: n [
+        n = 0 ifTrue: [ ^0 ].
+        ^(self down: n - 1) + 1
+    ]
+]
+main [ ^R new down: 50 ]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 50);
+}
+
+TEST(MachineAdvanced, PoolExhaustionFaultsCleanly)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 16; // depth 100 cannot fit
+    Machine m(cfg);
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+class R [
+    down: n [
+        n = 0 ifTrue: [ ^0 ].
+        ^(self down: n - 1) + 1
+    ]
+]
+main [ ^R new down: 100 ]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    EXPECT_EQ(r.fault, GuestFault::ContextOverflow);
+}
+
+TEST(MachineAdvanced, BoundsFaultSurfacesFromGuestCode)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+main [ | a |
+    a := Array new: 4.
+    ^a at: 9
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    EXPECT_EQ(r.fault, GuestFault::Bounds);
+}
+
+TEST(MachineAdvanced, PrintAccumulatesGuestOutput)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+main [
+    42 print.
+    'hello' print.
+    #sym print.
+    ^0
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.output(), "42\n'hello'\nsym\n");
+}
+
+TEST(MachineAdvanced, ReferenceCountsSplitContextVsHeap)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+main [ | a s |
+    a := Array new: 16.
+    s := 0.
+    0 to: 15 do: [ :i | a at: i put: i. s := s + (a at: i) ].
+    ^s
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished);
+    EXPECT_GT(m.contextRefs(), 0u);
+    EXPECT_GT(m.heapRefs(), 0u);
+    // Context references dominate (the paper's 91% claim).
+    EXPECT_GT(m.contextRefs(), m.heapRefs());
+}
+
+TEST(MachineAdvanced, StringsAreGuestObjects)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+main [ | s |
+    s := 'abc'.
+    ^(s at: 0) + (s at: 2)
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 'a' + 'c');
+}
+
+TEST(MachineAdvanced, GrowHostRoutineReturnsNewName)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p = cc.compileSource(R"(
+main [ | a b |
+    a := Array new: 4.
+    a at: 2 put: 42.
+    b := a grow: 200.
+    ^b at: 2
+]
+)");
+    RunResult r = m.call(p.entryVaddr, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 42);
+}

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * End-to-end machine tests: assembly programs through the full
+ * interpretation path (fetch, operand read, ITLB dispatch, primitives,
+ * method call/return, at:/at:put:).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/machine.hpp"
+
+using namespace com;
+using core::Assembler;
+using core::GuestFault;
+using core::Machine;
+using core::RunResult;
+using mem::Word;
+
+namespace {
+
+/** Machine with a small pool for fast tests. */
+core::MachineConfig
+smallConfig()
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 256;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MachineBasic, AddsIntegersAndReturns)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    // Entry method: result <- arg2 + arg3 (slots 4 and 5), returned
+    // through the arg0 result pointer (slot 2).
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        add   c6, c4, c5
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(2), Word::fromInt(40)});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 42);
+    EXPECT_EQ(r.fault, GuestFault::None);
+}
+
+TEST(MachineBasic, MixedModeArithmeticIsPrimitive)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        add   c6, c4, c5
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(2), Word::fromFloat(0.5f)});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_FLOAT_EQ(m.lastResult().asFloat(), 2.5f);
+}
+
+TEST(MachineBasic, LoopWithBackwardJump)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    // Sum 1..10 with a loop: c6 = acc, c7 = i.
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        move  c6, =0
+        move  c7, =1
+    loop:
+        add   c6, c6, c7
+        add   c7, c7, =1
+        le    c8, c7, =10
+        jt    c8, @loop
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 55);
+}
+
+TEST(MachineBasic, MethodCallAndReturn)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    // Install 'double' on SmallInt: result <- receiver * 2.
+    as.assembleMethod(static_cast<mem::ClassId>(mem::Tag::SmallInt),
+                      "double", R"(
+        mul   c5, c3, =2
+        putres.r c2, c5
+    )");
+    // Entry: c6 <- (arg2) double, then return c6 + 1.
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg   "double", c6, c4, c0
+        add   c7, c6, =1
+        putres.r c2, c7
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(20)});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 41);
+    EXPECT_EQ(m.pipeline().calls(), 1u);
+    EXPECT_GE(m.pipeline().returns(), 1u);
+}
+
+TEST(MachineBasic, RecursiveFactorial)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    as.assembleMethod(static_cast<mem::ClassId>(mem::Tag::SmallInt),
+                      "fact", R"(
+        le    c5, c3, =1
+        jf    c5, @recurse
+        putres.r c2, c3
+    recurse:
+        sub   c6, c3, =1
+        msg   "fact", c7, c6, c0
+        mul   c8, c3, c7
+        putres.r c2, c8
+    )");
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg   "fact", c6, c4, c0
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(10)});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 3628800);
+}
+
+TEST(MachineBasic, HeapObjectsViaAtPut)
+{
+    Machine m(smallConfig());
+    m.installStandardLibrary();
+    Assembler as(m);
+    // Allocate a 5-element array, fill with squares, sum it.
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg   "new:", c6, =#Array, =5
+        move  c7, =0
+    fill:
+        mul   c8, c7, c7
+        atput c8, c6, c7
+        add   c7, c7, =1
+        lt    c9, c7, =5
+        jt    c9, @fill
+        move  c10, =0
+        move  c7, =0
+    sum:
+        at    c8, c6, c7
+        add   c10, c10, c8
+        add   c7, c7, =1
+        lt    c9, c7, =5
+        jt    c9, @sum
+        putres.r c2, c10
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(), {});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(MachineBasic, DoesNotUnderstandFaults)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg   "frobnicate", c6, c4, c0
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(1)});
+    EXPECT_FALSE(r.finished);
+    EXPECT_EQ(r.fault, GuestFault::DoesNotUnderstand);
+}
+
+TEST(MachineBasic, InstructionSafetyExecuteData)
+{
+    Machine m(smallConfig());
+    // A "method" of data words: executing it must trap.
+    std::uint64_t obj = m.heap().allocateRaw(m.classes().methodClass(),
+                                             2);
+    mem::XlateResult xr = m.segments().translate(obj, 0, true);
+    m.memory().poke(xr.abs, Word::fromInt(123));
+    m.memory().poke(xr.abs + 1, Word::fromInt(456));
+    RunResult r = m.call(obj, m.constants().nilWord(), {});
+    EXPECT_EQ(r.fault, GuestFault::ExecuteData);
+}
+
+TEST(MachineBasic, DivideByZeroFaults)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        div   c6, c4, =0
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(5)});
+    EXPECT_EQ(r.fault, GuestFault::DivideByZero);
+}
+
+TEST(MachineBasic, CallCostMatchesPaper)
+{
+    // "a method call with no operands only delays execution four clock
+    // cycles ... An additional cycle is required for each operand."
+    Machine m(smallConfig());
+    Assembler as(m);
+    as.assembleMethod(static_cast<mem::ClassId>(mem::Tag::SmallInt),
+                      "idone", R"(
+        putres.r c2, c3
+    )");
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        msg   "idone", c6, c4, c0
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(7)});
+    ASSERT_TRUE(r.finished) << r.message;
+    // msg with a unary selector copies arg0 + receiver = 2 operands:
+    // overhead = 2 (flush + ops) + 2 (copies).
+    EXPECT_EQ(m.pipeline().callOverhead(), 4u);
+    EXPECT_EQ(m.pipeline().calls(), 1u);
+}
+
+TEST(MachineBasic, ExtendedSendDispatches)
+{
+    Machine m(smallConfig());
+    Assembler as(m);
+    as.assembleMethod(static_cast<mem::ClassId>(mem::Tag::SmallInt),
+                      "triple", R"(
+        mul   c5, c3, =3
+        putres.r c2, c5
+    )");
+    // Stage the send by hand: n2 = result addr, n3 = receiver.
+    std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+        movea n2, c6
+        move  n3, c4
+        send  "triple", 1
+        putres.r c2, c6
+    )"));
+    RunResult r = m.call(entry, m.constants().nilWord(),
+                         {Word::fromInt(14)});
+    ASSERT_TRUE(r.finished) << r.message;
+    EXPECT_EQ(m.lastResult().asInt(), 42);
+}

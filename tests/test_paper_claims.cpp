@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Automated regression checks of the headline paper reproductions:
+ * if a refactor breaks a *shape-level* result from EXPERIMENTS.md,
+ * these tests fail. They run on reduced trace sizes to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_claims_helpers.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/compiler_stack.hpp"
+#include "lang/stack_vm.hpp"
+#include "lang/workloads.hpp"
+#include "trace/cache_sim.hpp"
+
+using namespace com;
+
+namespace {
+
+const trace::Trace &
+suiteTrace()
+{
+    static const trace::Trace t = fith::collectSuiteTrace(42, 120'000);
+    return t;
+}
+
+} // namespace
+
+TEST(PaperClaims, Fig10ItlbHits99PercentAt512TwoWay)
+{
+    trace::SweepPoint p = trace::simulateItlb(suiteTrace(), 512, 2);
+    EXPECT_GE(p.hitRatio, 0.99);
+}
+
+TEST(PaperClaims, Fig10TwoWayBeatsDirectMappedAtSmallSizes)
+{
+    for (std::size_t size : {32u, 64u, 128u}) {
+        trace::SweepPoint one = trace::simulateItlb(suiteTrace(),
+                                                    size, 1);
+        trace::SweepPoint two = trace::simulateItlb(suiteTrace(),
+                                                    size, 2);
+        EXPECT_GT(two.hitRatio, one.hitRatio) << size;
+    }
+}
+
+TEST(PaperClaims, Fig11IcacheNeedsThousandsOfEntries)
+{
+    trace::SweepPoint small = trace::simulateIcache(suiteTrace(),
+                                                    128, 2);
+    trace::SweepPoint big = trace::simulateIcache(suiteTrace(),
+                                                  4096, 2);
+    EXPECT_LT(small.hitRatio, 0.9);
+    EXPECT_GE(big.hitRatio, 0.95);
+}
+
+TEST(PaperClaims, StackMachineNeedsSubstantiallyMoreInstructions)
+{
+    // Reproduce the Section 5 comparison on two call-heavy workloads.
+    for (const char *name : {"fib", "bank"}) {
+        const lang::Workload &w = lang::workload(name);
+        auto com_run = claims::runOnCom(w);
+        ASSERT_TRUE(com_run.finished) << com_run.message;
+
+        lang::StackVm vm;
+        lang::StackCompiler sc(vm);
+        lang::StackCompiled sp = sc.compileSource(w.source);
+        lang::SResult sr = vm.run(sp.entry);
+        ASSERT_TRUE(sr.ok) << sr.error;
+
+        double ratio = static_cast<double>(sr.bytecodes) /
+                       static_cast<double>(com_run.instructions);
+        EXPECT_GT(ratio, 1.4) << name;
+        EXPECT_LT(ratio, 2.6) << name;
+    }
+}
+
+TEST(PaperClaims, ContextReferencesDominate)
+{
+    // ">91% of all memory references are to contexts."
+    auto m = claims::machineAfter(lang::workload("richards"));
+    double ctx = static_cast<double>(m->contextRefs());
+    double heap = static_cast<double>(m->heapRefs());
+    EXPECT_GT(ctx / (ctx + heap), 0.91);
+}
+
+TEST(PaperClaims, ContextAllocationsDominate)
+{
+    // "85% of all object allocations and deallocations involve
+    //  contexts."
+    auto m = claims::machineAfter(lang::workload("bintree"));
+    double ctx = static_cast<double>(m->contextPool().allocations());
+    double heap = static_cast<double>(m->heap().allocations());
+    EXPECT_GT(ctx / (ctx + heap), 0.85);
+}
+
+TEST(PaperClaims, ContextCacheAlmostNeverMissesAt32Blocks)
+{
+    auto m = claims::machineAfter(lang::workload("sort"));
+    std::uint64_t returns = m->contextCache().returnHits() +
+                            m->contextCache().returnMisses();
+    ASSERT_GT(returns, 100u);
+    EXPECT_LE(m->contextCache().returnMisses(), returns / 100);
+    EXPECT_EQ(m->contextCache().forcedEvictions(), 0u);
+}
+
+TEST(PaperClaims, MulticsFailsThePopulationFloatingPointHandles)
+{
+    mem::FixedSegAllocator multics(mem::kMultics36, 0);
+    sim::Rng rng(7);
+    std::uint64_t failures = 0;
+    for (int i = 0; i < 300'000; ++i)
+        if (!multics.allocate(rng.skewedSize(64)).ok)
+            ++failures;
+    EXPECT_GT(failures, 0u);
+
+    mem::AbsoluteSpace space(0, 36);
+    mem::SegmentTable fp(mem::kFp36, space, 0);
+    sim::Rng rng2(7);
+    for (int i = 0; i < 300'000; ++i)
+        fp.allocateObject(rng2.skewedSize(64), 1);
+    EXPECT_EQ(fp.numDescriptors(), 300'000u);
+}
+
+TEST(PaperClaims, ItlbEliminatesSoftwareLookupCost)
+{
+    // The association is pipelined with execution: residual cost per
+    // send must be far below the software caches'.
+    auto lineup = baseline::methodCacheLineup(suiteTrace());
+    double software = lineup[1].instructionsPerSend;
+    double hardware = lineup[3].instructionsPerSend;
+    EXPECT_LT(hardware, software / 10.0);
+}

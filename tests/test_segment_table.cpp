@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Segment table tests: allocation, bounds, growth/aliasing traps,
+ * capability sharing, buddy-allocator alignment (paper Sections 2.2,
+ * 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/absolute_space.hpp"
+#include "mem/fp_address.hpp"
+#include "mem/segment_table.hpp"
+#include "mem/tagged_memory.hpp"
+#include "sim/rng.hpp"
+
+using namespace com;
+using mem::FpAddress;
+using mem::XlateStatus;
+
+namespace {
+
+struct Env
+{
+    mem::TaggedMemory memory;
+    mem::AbsoluteSpace space{0, 26};
+    mem::SegmentTable table{mem::kFp32, space, 0};
+};
+
+} // namespace
+
+TEST(SegmentTable, AllocateTranslateInBounds)
+{
+    Env env;
+    std::uint64_t v = env.table.allocateObject(10, 42);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        mem::XlateResult r = env.table.translate(v, i);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.cls, 42);
+    }
+}
+
+TEST(SegmentTable, BoundsFaultBeyondLength)
+{
+    Env env;
+    std::uint64_t v = env.table.allocateObject(10, 42);
+    mem::XlateResult r = env.table.translate(v, 10);
+    EXPECT_EQ(r.status, XlateStatus::Bounds);
+}
+
+TEST(SegmentTable, NoSegmentForUnmappedName)
+{
+    Env env;
+    std::uint64_t v = FpAddress::compose(mem::kFp32, 5, 999, 0);
+    EXPECT_EQ(env.table.translate(v).status, XlateStatus::NoSegment);
+}
+
+TEST(SegmentTable, SegmentsAlignedToTheirSize)
+{
+    // "All segments are aligned on absolute addresses which are
+    //  multiples of their sizes so no add is required."
+    Env env;
+    sim::Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t size = rng.skewedSize(4096);
+        std::uint64_t v = env.table.allocateObject(size, 1);
+        std::uint64_t exp = FpAddress::exponent(mem::kFp32, v);
+        mem::XlateResult r = env.table.translate(v, 0);
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r.abs & ((1ull << exp) - 1), 0u)
+            << "segment base not aligned to 2^" << exp;
+    }
+}
+
+TEST(SegmentTable, FreeRecyclesNamesAndStorage)
+{
+    Env env;
+    std::uint64_t before = env.space.wordsAllocated();
+    std::vector<std::uint64_t> names;
+    for (int i = 0; i < 64; ++i)
+        names.push_back(env.table.allocateObject(16, 1));
+    for (std::uint64_t v : names)
+        env.table.freeObject(v);
+    EXPECT_EQ(env.space.wordsAllocated(), before);
+    EXPECT_EQ(env.table.numDescriptors(), 0u);
+    // Freed names are reusable.
+    std::uint64_t v = env.table.allocateObject(16, 1);
+    EXPECT_TRUE(env.table.translate(v).ok());
+}
+
+TEST(SegmentTable, GrowWithinExponentExtendsInPlace)
+{
+    Env env;
+    std::uint64_t v = env.table.allocateObject(10, 7);
+    std::uint64_t v2 = env.table.growObject(v, 16, env.memory);
+    EXPECT_EQ(v, v2); // 16 words still fit exponent 4
+    EXPECT_TRUE(env.table.translate(v, 15).ok());
+}
+
+TEST(SegmentTable, GrowBeyondExponentCopiesAndAliases)
+{
+    Env env;
+    std::uint64_t v = env.table.allocateObject(16, 7);
+    mem::XlateResult r0 = env.table.translate(v, 3);
+    env.memory.poke(r0.abs, mem::Word::fromInt(99));
+
+    std::uint64_t v2 = env.table.growObject(v, 100, env.memory);
+    EXPECT_NE(v, v2);
+    // Contents copied.
+    mem::XlateResult r1 = env.table.translate(v2, 3);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_EQ(env.memory.peek(r1.abs).asInt(), 99);
+    // Old name still valid within the old exponent's bounds...
+    mem::XlateResult r2 = env.table.translate(v, 15);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.abs, env.table.translate(v2, 15).abs);
+    // ...and traps beyond them, supplying the replacement pointer.
+    mem::XlateResult r3 = env.table.translate(v, 50);
+    ASSERT_EQ(r3.status, XlateStatus::GrowthTrap);
+    EXPECT_EQ(FpAddress::segKey(mem::kFp32, r3.newVaddr),
+              FpAddress::segKey(mem::kFp32, v2));
+}
+
+TEST(SegmentTable, GrowthChainTrapsResolveToCanonical)
+{
+    Env env;
+    std::uint64_t v1 = env.table.allocateObject(4, 7);
+    std::uint64_t v2 = env.table.growObject(v1, 40, env.memory);
+    std::uint64_t v3 = env.table.growObject(v2, 400, env.memory);
+    EXPECT_NE(v2, v3);
+    // The first name still works within its exponent.
+    EXPECT_TRUE(env.table.translate(v1, 3).ok());
+    // And the middle name traps to the newest.
+    mem::XlateResult r = env.table.translate(v2, 100);
+    ASSERT_EQ(r.status, XlateStatus::GrowthTrap);
+    EXPECT_EQ(FpAddress::segKey(mem::kFp32, r.newVaddr),
+              FpAddress::segKey(mem::kFp32, v3));
+}
+
+TEST(SegmentTable, ShareWithGrantsNarrowedCapability)
+{
+    Env env;
+    mem::SegmentTable other(mem::kFp32, env.space, 1);
+    std::uint64_t v = env.table.allocateObject(8, 7);
+    std::uint64_t shared = env.table.shareWith(other, v, false);
+
+    mem::XlateResult rd = other.translate(shared, 2, false);
+    ASSERT_TRUE(rd.ok());
+    EXPECT_EQ(rd.abs, env.table.translate(v, 2).abs);
+
+    mem::XlateResult wr = other.translate(shared, 2, true);
+    EXPECT_EQ(wr.status, XlateStatus::ProtFault);
+}
+
+TEST(SegmentTable, SharedNameDoesNotOwnStorage)
+{
+    Env env;
+    mem::SegmentTable other(mem::kFp32, env.space, 1);
+    std::uint64_t v = env.table.allocateObject(8, 7);
+    std::uint64_t shared = env.table.shareWith(other, v, true);
+    other.freeObject(shared);
+    // The owner's name must still translate.
+    EXPECT_TRUE(env.table.translate(v, 0).ok());
+}
+
+TEST(SegmentTable, ChangeListenerFiresOnGrowAndFree)
+{
+    Env env;
+    std::vector<std::uint64_t> invalidated;
+    env.table.addChangeListener(
+        [&](std::uint32_t, std::uint64_t key) {
+            invalidated.push_back(key);
+        });
+    std::uint64_t v = env.table.allocateObject(8, 7);
+    env.table.growObject(v, 100, env.memory);
+    EXPECT_EQ(invalidated.size(), 1u);
+    env.table.freeObject(v);
+    EXPECT_EQ(invalidated.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Absolute space (buddy allocator) properties.
+// ---------------------------------------------------------------------
+
+TEST(AbsoluteSpace, AllocationsAreAlignedAndDisjoint)
+{
+    mem::AbsoluteSpace space(0, 20);
+    sim::Rng rng(11);
+    std::vector<std::pair<mem::AbsAddr, unsigned>> blocks;
+    for (int i = 0; i < 200; ++i) {
+        unsigned order = static_cast<unsigned>(rng.below(8));
+        mem::AbsAddr a = space.allocate(order);
+        ASSERT_EQ(a & ((1ull << order) - 1), 0u);
+        for (auto &[b, bo] : blocks) {
+            bool disjoint = a + (1ull << order) <= b ||
+                            b + (1ull << bo) <= a;
+            ASSERT_TRUE(disjoint) << "overlapping buddy blocks";
+        }
+        blocks.emplace_back(a, order);
+    }
+}
+
+TEST(AbsoluteSpace, FreeCoalescesBackToOneBlock)
+{
+    mem::AbsoluteSpace space(0, 16);
+    std::vector<mem::AbsAddr> blocks;
+    for (int i = 0; i < 64; ++i)
+        blocks.push_back(space.allocate(10)); // 64 x 1K = entire region
+    EXPECT_EQ(space.wordsAllocated(), space.capacityWords());
+    EXPECT_THROW(space.allocate(0), sim::FatalError);
+    for (mem::AbsAddr a : blocks)
+        space.free(a);
+    EXPECT_EQ(space.wordsAllocated(), 0u);
+    // After full coalescing a maximal allocation must succeed.
+    mem::AbsAddr big = space.allocate(16);
+    EXPECT_EQ(big, 0u);
+}
+
+TEST(AbsoluteSpace, DoubleFreePanics)
+{
+    mem::AbsoluteSpace space(0, 16);
+    mem::AbsAddr a = space.allocate(4);
+    space.free(a);
+    EXPECT_THROW(space.free(a), sim::PanicError);
+}
+
+TEST(AbsoluteSpace, RandomAllocFreeConservesWords)
+{
+    mem::AbsoluteSpace space(1ull << 20, 18);
+    sim::Rng rng(3);
+    std::vector<mem::AbsAddr> live;
+    std::uint64_t expected = 0;
+    for (int i = 0; i < 3000; ++i) {
+        if (live.empty() || rng.chance(0.6)) {
+            unsigned order = static_cast<unsigned>(rng.below(6));
+            live.push_back(space.allocate(order));
+            expected += 1ull << order;
+        } else {
+            std::size_t k = static_cast<std::size_t>(
+                rng.below(live.size()));
+            mem::AbsAddr a = live[k];
+            expected -= 1ull << space.orderOf(a);
+            space.free(a);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+        }
+        ASSERT_EQ(space.wordsAllocated(), expected);
+    }
+}

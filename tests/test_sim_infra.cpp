@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Infrastructure tests: tagged words, stats, RNG determinism, string
+ * utilities, logging error types, tagged memory and pipeline
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "mem/tagged_memory.hpp"
+#include "mem/word.hpp"
+#include "sim/logging.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/strutil.hpp"
+
+using namespace com;
+using mem::Tag;
+using mem::Word;
+
+TEST(WordTest, TagsAndPayloadsRoundTrip)
+{
+    EXPECT_EQ(Word::fromInt(-5).asInt(), -5);
+    EXPECT_FLOAT_EQ(Word::fromFloat(2.5f).asFloat(), 2.5f);
+    EXPECT_EQ(Word::fromAtom(9).asAtom(), 9u);
+    EXPECT_EQ(Word::fromPointer(0x1234).asPointer(), 0x1234u);
+    EXPECT_TRUE(Word().isUninit());
+}
+
+TEST(WordTest, WrongTagExtractionPanics)
+{
+    EXPECT_THROW(Word::fromInt(1).asFloat(), sim::PanicError);
+    EXPECT_THROW(Word::fromAtom(1).asPointer(), sim::PanicError);
+}
+
+TEST(WordTest, IdentityComparesBitsAndTag)
+{
+    EXPECT_EQ(Word::fromInt(1), Word::fromInt(1));
+    // Same bits, different tag: different objects.
+    EXPECT_FALSE(Word::fromInt(1) == Word::fromAtom(1));
+}
+
+TEST(WordTest, PrimitiveClassIsZeroExtendedTag)
+{
+    EXPECT_EQ(Word::fromInt(1).primitiveClass(),
+              static_cast<mem::ClassId>(Tag::SmallInt));
+    EXPECT_EQ(Word::fromFloat(1).primitiveClass(),
+              static_cast<mem::ClassId>(Tag::Float));
+}
+
+TEST(Stats, CounterAndRatioDump)
+{
+    sim::Counter hits, total;
+    hits += 3;
+    total += 4;
+    sim::StatGroup g("test");
+    g.addCounter("hits", &hits, "h");
+    g.addRatio("ratio", &hits, &total);
+    EXPECT_EQ(g.counterValue("hits"), 3u);
+    EXPECT_DOUBLE_EQ(g.ratioValue("ratio"), 0.75);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("test.hits 3"), std::string::npos);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    sim::Histogram h(8, 2);
+    for (std::uint64_t v : {1u, 3u, 3u, 9u})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 9u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.bin(0), 1u); // [0,2): {1}
+    EXPECT_EQ(h.bin(1), 2u); // [2,4): {3,3}
+}
+
+TEST(Rng, DeterministicAndUniform)
+{
+    sim::Rng a(7), b(7), c(8);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+    // below() respects the bound.
+    sim::Rng r(1);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, SkewedSizeIsLogUniform)
+{
+    // The paper's population: "great numbers of small segments and a
+    // lesser number of large segments". skewedSize is log-uniform, so
+    // half the samples land in the bottom half of the *octaves* (tiny
+    // sizes) while the top octave — half the value range — gets only
+    // ~1/20 of the samples.
+    sim::Rng r(3);
+    int bottom_octaves = 0, top_octave = 0;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t s = r.skewedSize(1 << 20);
+        ASSERT_GE(s, 1u);
+        ASSERT_LE(s, 1u << 20);
+        if (s <= (1 << 10))
+            ++bottom_octaves;
+        if (s > (1 << 19))
+            ++top_octave;
+    }
+    EXPECT_GT(bottom_octaves, 4000);
+    EXPECT_LT(top_octave, 1000);
+    EXPECT_GT(top_octave, 0); // large objects do occur
+}
+
+TEST(Strutil, FormattingHelpers)
+{
+    EXPECT_EQ(sim::format("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(sim::percent(0.12345), "12.35%");
+    EXPECT_EQ(sim::padLeft("ab", 4), "  ab");
+    EXPECT_EQ(sim::padRight("ab", 4), "ab  ");
+    EXPECT_EQ(sim::trim("  x y \n"), "x y");
+    auto toks = sim::splitTokens("a  b\tc");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[2], "c");
+}
+
+TEST(Logging, PanicAndFatalAreDistinctTypes)
+{
+    EXPECT_THROW(sim::panic("x"), sim::PanicError);
+    EXPECT_THROW(sim::fatal("y"), sim::FatalError);
+    EXPECT_NO_THROW(sim::panicIf(false, "no"));
+    EXPECT_THROW(sim::fatalIf(true, "yes"), sim::FatalError);
+}
+
+TEST(TaggedMemoryTest, SparseDefaultsAndHooks)
+{
+    mem::TaggedMemory m;
+    EXPECT_TRUE(m.read(1'000'000).isUninit());
+    int hook_calls = 0;
+    m.setRefHook([&](mem::RefKind, mem::AbsAddr) { ++hook_calls; });
+    m.write(5, Word::fromInt(9));
+    m.read(5);
+    EXPECT_EQ(hook_calls, 2);
+    m.clearRefHook();
+    // peek/poke bypass counting.
+    std::uint64_t reads = m.reads();
+    m.peek(5);
+    EXPECT_EQ(m.reads(), reads);
+}
+
+TEST(TaggedMemoryTest, CopyAndClearBlock)
+{
+    mem::TaggedMemory m;
+    for (int i = 0; i < 8; ++i)
+        m.poke(100 + static_cast<mem::AbsAddr>(i), Word::fromInt(i));
+    m.copy(200, 100, 8);
+    EXPECT_EQ(m.peek(207).asInt(), 7);
+    m.clearBlock(200, 8);
+    EXPECT_TRUE(m.peek(203).isUninit());
+}
+
+TEST(PipelineTest, CostsAccumulateAsSpecified)
+{
+    core::Pipeline p;
+    p.issue();
+    p.issue();
+    EXPECT_EQ(p.cycles(), 4u);
+    p.chargeBranchDelay();
+    EXPECT_EQ(p.cycles(), 5u);
+    p.chargeCall(2);
+    EXPECT_EQ(p.cycles(), 9u); // +2 overhead +2 operands
+    p.chargeReturn();
+    EXPECT_EQ(p.cycles(), 9u); // returns are free beyond base
+    p.stallMemory(7);
+    EXPECT_EQ(p.memoryStalls(), 7u);
+    EXPECT_DOUBLE_EQ(p.cpi(), 8.0);
+    p.reset();
+    EXPECT_EQ(p.cycles(), 0u);
+}
+
+TEST(PipelineTest, StaircaseRendersFiveStages)
+{
+    core::Pipeline p;
+    p.issue("add");
+    p.issue("sub");
+    std::ostringstream os;
+    p.renderStaircase(os, 2);
+    std::string s = os.str();
+    EXPECT_NE(s.find("Fetch"), std::string::npos);
+    EXPECT_NE(s.find("ITLB"), std::string::npos);
+    EXPECT_NE(s.find("Write"), std::string::npos);
+    EXPECT_NE(s.find("add"), std::string::npos);
+}

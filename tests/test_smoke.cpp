@@ -1,0 +1,6 @@
+#include <gtest/gtest.h>
+
+TEST(Smoke, BuildsAndRuns)
+{
+    EXPECT_EQ(1 + 1, 2);
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Trace machinery, trace-driven cache simulation and the Section 2.3
+ * baseline models (register windows, stack cache, software method
+ * caches) — including the monotonicity properties the Figure 10/11
+ * curves depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/method_cache.hpp"
+#include "baseline/register_windows.hpp"
+#include "baseline/stack_cache.hpp"
+#include "fith/fith_programs.hpp"
+#include "sim/rng.hpp"
+#include "trace/cache_sim.hpp"
+#include "trace/trace.hpp"
+
+using namespace com;
+
+TEST(TraceTest, TextRoundTrip)
+{
+    trace::Trace t;
+    t.record(10, 3, 1);
+    t.record(11, 4, 2);
+    trace::Trace u = trace::Trace::fromText(t.toText());
+    ASSERT_EQ(u.size(), 2u);
+    EXPECT_EQ(u.entries()[0], t.entries()[0]);
+    EXPECT_EQ(u.entries()[1], t.entries()[1]);
+}
+
+TEST(TraceTest, DistinctCountsAreExact)
+{
+    trace::Trace t;
+    t.record(1, 1, 1);
+    t.record(1, 1, 1);
+    t.record(2, 1, 2);
+    EXPECT_EQ(t.distinctAddresses(), 2u);
+    EXPECT_EQ(t.distinctKeys(), 2u);
+}
+
+TEST(CacheSim, PerfectLocalityHitsAfterWarmup)
+{
+    trace::Trace t;
+    for (int i = 0; i < 1000; ++i)
+        t.record(5, 1, 1); // one address, one key
+    trace::SweepPoint p = trace::simulateIcache(t, 8, 1);
+    EXPECT_DOUBLE_EQ(p.hitRatio, 1.0);
+}
+
+TEST(CacheSim, WarmupExcludesColdMisses)
+{
+    trace::Trace t;
+    // 100 distinct cold addresses, then heavy reuse of one.
+    for (int i = 0; i < 100; ++i)
+        t.record(static_cast<std::uint32_t>(i), 1, 1);
+    for (int i = 0; i < 300; ++i)
+        t.record(7, 1, 1);
+    trace::SweepPoint warm = trace::simulateIcache(t, 256, 2,
+                                                   cache::ReplPolicy::Lru,
+                                                   0.25);
+    trace::SweepPoint cold = trace::simulateIcache(t, 256, 2,
+                                                   cache::ReplPolicy::Lru,
+                                                   0.0);
+    EXPECT_GT(warm.hitRatio, cold.hitRatio);
+}
+
+TEST(CacheSim, HitRatioMonotonicInSizeOnRealTrace)
+{
+    // The Figure 10/11 property: larger caches never hurt (same ways,
+    // LRU, warmed) on the actual workload trace.
+    static trace::Trace t = fith::collectSuiteTrace(42, 60'000);
+    double prev = -1.0;
+    for (std::size_t size : {8u, 32u, 128u, 512u, 2048u}) {
+        trace::SweepPoint p = trace::simulateItlb(t, size, 2);
+        EXPECT_GE(p.hitRatio + 1e-9, prev) << "size " << size;
+        prev = p.hitRatio;
+    }
+}
+
+TEST(CacheSim, TwoWayBeatsDirectMappedOnRealTrace)
+{
+    // "a great deal can be gained by having at least a 2-way
+    //  associative cache" — at the paper's 512-entry design point.
+    static trace::Trace t = fith::collectSuiteTrace(42, 60'000);
+    trace::SweepPoint direct = trace::simulateItlb(t, 512, 1);
+    trace::SweepPoint two_way = trace::simulateItlb(t, 512, 2);
+    EXPECT_GE(two_way.hitRatio, direct.hitRatio);
+}
+
+// ---------------------------------------------------------------------
+// Register windows
+// ---------------------------------------------------------------------
+
+TEST(Windows, NoTrafficWithinWindowDepth)
+{
+    baseline::RegisterWindows w(8, 32);
+    for (int i = 0; i < 6; ++i)
+        w.onCall();
+    for (int i = 0; i < 6; ++i)
+        w.onReturn();
+    EXPECT_EQ(w.memoryTraffic(), 0u);
+    // But cleaning is unavoidable: every window is software-cleared.
+    EXPECT_EQ(w.wordsCleaned(), 6u * 32u);
+}
+
+TEST(Windows, DeepRecursionSpillsAndFills)
+{
+    baseline::RegisterWindows w(8, 32);
+    for (int i = 0; i < 20; ++i)
+        w.onCall();
+    EXPECT_EQ(w.overflows(), 12u);
+    EXPECT_EQ(w.wordsSpilled(), 12u * 32u);
+    for (int i = 0; i < 20; ++i)
+        w.onReturn();
+    EXPECT_GT(w.wordsFilled(), 0u);
+}
+
+TEST(Windows, ProcessSwitchFlushesEverything)
+{
+    baseline::RegisterWindows w(8, 32);
+    for (int i = 0; i < 5; ++i)
+        w.onCall();
+    w.onProcessSwitch();
+    EXPECT_EQ(w.flushes(), 1u);
+    EXPECT_EQ(w.wordsSpilled(), 5u * 32u);
+    EXPECT_EQ(w.occupied(), 0u);
+}
+
+TEST(Windows, NonLifoForcesFlush)
+{
+    baseline::RegisterWindows w(8, 32);
+    for (int i = 0; i < 4; ++i)
+        w.onCall();
+    w.onNonLifo();
+    EXPECT_EQ(w.flushes(), 1u);
+    EXPECT_EQ(w.wordsSpilled(), 4u * 32u);
+}
+
+// ---------------------------------------------------------------------
+// Stack cache
+// ---------------------------------------------------------------------
+
+TEST(StackCacheTest, SpillsOnlyTheExcess)
+{
+    baseline::StackCache sc(128, 32); // 4 frames fit
+    for (int i = 0; i < 5; ++i)
+        sc.onCall();
+    EXPECT_EQ(sc.wordsSpilled(), 32u); // one frame's worth
+    EXPECT_EQ(sc.residentWords(), 128u);
+}
+
+TEST(StackCacheTest, RefillsSpilledCaller)
+{
+    baseline::StackCache sc(64, 32); // 2 frames fit
+    for (int i = 0; i < 4; ++i)
+        sc.onCall();
+    for (int i = 0; i < 4; ++i)
+        sc.onReturn();
+    EXPECT_GT(sc.wordsFilled(), 0u);
+}
+
+TEST(StackCacheTest, FlushOnSwitch)
+{
+    baseline::StackCache sc(1024, 32);
+    for (int i = 0; i < 3; ++i)
+        sc.onCall();
+    sc.onProcessSwitch();
+    EXPECT_EQ(sc.residentWords(), 0u);
+    EXPECT_EQ(sc.wordsSpilled(), 96u);
+}
+
+// ---------------------------------------------------------------------
+// Software method caches
+// ---------------------------------------------------------------------
+
+TEST(MethodCache, NoCachePaysFullLookupAlways)
+{
+    trace::Trace t;
+    for (int i = 0; i < 100; ++i)
+        t.record(1, 5, 1);
+    baseline::SoftCacheResult r =
+        baseline::simulateSoftwareCache(t, 0, 1);
+    EXPECT_DOUBLE_EQ(r.instructionsPerSend, 60.0);
+}
+
+TEST(MethodCache, CachingCutsCostByOrderOfMagnitude)
+{
+    static trace::Trace t = fith::collectSuiteTrace(42, 60'000);
+    auto lineup = baseline::methodCacheLineup(t);
+    ASSERT_EQ(lineup.size(), 4u);
+    const auto &none = lineup[0];
+    const auto &direct = lineup[1];
+    const auto &hw = lineup[3];
+    EXPECT_GT(none.instructionsPerSend,
+              direct.instructionsPerSend * 4);
+    EXPECT_LT(hw.instructionsPerSend, 1.0); // ITLB hits are free
+}
+
+TEST(MethodCache, HpTwoWayBeatsDirectMapped)
+{
+    // "The Hewlett-Packard implementation uses a two way set
+    //  association to great advantage."
+    static trace::Trace t = fith::collectSuiteTrace(42, 60'000);
+    auto lineup = baseline::methodCacheLineup(t);
+    EXPECT_LE(lineup[2].instructionsPerSend,
+              lineup[1].instructionsPerSend + 1e-9);
+}
