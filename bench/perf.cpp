@@ -1,14 +1,26 @@
 /**
  * @file
- * Simulator throughput microbenchmarks (google-benchmark).
+ * Simulator throughput benchmarks with a machine-readable trajectory.
  *
  * Not a paper experiment: these keep the reproduction honest about its
- * own performance — the COM interpreter, the Fith interpreter, the
- * stack VM and the trace-driven cache simulator, in guest operations
- * per second.
+ * own performance — the COM interpreter (per workload), the stack VM,
+ * the Fith interpreter and the trace-driven cache simulator, in guest
+ * operations per second. Besides the human table, the harness writes
+ * `BENCH_perf.json` (schema `comsim.bench.perf/v1`, documented in
+ * ROADMAP.md) so every future change has a measured baseline to beat.
+ *
+ * Self-contained timing loop (no google-benchmark dependency): each
+ * benchmark is warmed up once, then run repeatedly until the measured
+ * wall time passes --min-time (default 0.3 s).
+ *
+ * Usage: bench_perf [--min-time=SECONDS] [--out=BENCH_perf.json]
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/machine.hpp"
 #include "fith/fith.hpp"
@@ -23,10 +35,55 @@ using namespace com;
 
 namespace {
 
-void
-BM_ComInterpreter(benchmark::State &state)
+struct BenchResult
 {
-    const lang::Workload &w = lang::workload("sieve");
+    std::string name;
+    std::string unit;        ///< what "rate" counts per second
+    double rate = 0.0;       ///< ops per second
+    std::uint64_t ops = 0;   ///< total guest operations measured
+    std::uint64_t iterations = 0;
+    double seconds = 0.0;
+};
+
+double minTimeSeconds = 0.3;
+
+/**
+ * Run @p iteration (returning guest ops performed) until the wall time
+ * passes the minimum; one untimed warmup iteration first.
+ */
+template <typename F>
+BenchResult
+measure(const std::string &name, const std::string &unit, F &&iteration)
+{
+    using clock = std::chrono::steady_clock;
+    iteration(); // warmup: fills host and simulated caches
+
+    BenchResult r;
+    r.name = name;
+    r.unit = unit;
+    clock::time_point start = clock::now();
+    for (;;) {
+        r.ops += iteration();
+        ++r.iterations;
+        r.seconds = std::chrono::duration<double>(clock::now() - start)
+                        .count();
+        if (r.seconds >= minTimeSeconds)
+            break;
+    }
+    r.rate = r.seconds > 0.0 ? static_cast<double>(r.ops) / r.seconds
+                             : 0.0;
+    std::printf("  %-32s %14.0f %s  (%llu iters, %.2fs)\n",
+                r.name.c_str(), r.rate, r.unit.c_str(),
+                static_cast<unsigned long long>(r.iterations),
+                r.seconds);
+    return r;
+}
+
+/** COM interpreter throughput on one named workload. */
+BenchResult
+benchCom(const std::string &bench_name, const std::string &workload)
+{
+    const lang::Workload &w = lang::workload(workload);
     core::MachineConfig cfg;
     cfg.contextPoolSize = 4096;
     core::Machine m(cfg);
@@ -34,70 +91,129 @@ BM_ComInterpreter(benchmark::State &state)
     lang::ComCompiler cc(m);
     lang::CompiledProgram p = cc.compileSource(w.source);
 
-    std::uint64_t instrs = 0;
-    for (auto _ : state) {
+    return measure(bench_name, "guest_instrs/s", [&]() {
         core::RunResult r =
             m.call(p.entryVaddr, m.constants().nilWord(), {});
-        instrs += r.instructions;
-        benchmark::DoNotOptimize(r.cycles);
-    }
-    state.counters["guest_instrs/s"] = benchmark::Counter(
-        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+        return r.instructions;
+    });
 }
-BENCHMARK(BM_ComInterpreter);
 
-void
-BM_StackVm(benchmark::State &state)
+BenchResult
+benchStackVm()
 {
     const lang::Workload &w = lang::workload("sieve");
     lang::StackVm vm;
     lang::StackCompiler sc(vm);
     lang::StackCompiled p = sc.compileSource(w.source);
 
-    std::uint64_t bytecodes = 0;
-    for (auto _ : state) {
+    return measure("BM_StackVm", "bytecodes/s", [&]() {
         lang::SResult r = vm.run(p.entry);
-        bytecodes += r.bytecodes;
-        benchmark::DoNotOptimize(r.cycles);
-    }
-    state.counters["bytecodes/s"] = benchmark::Counter(
-        static_cast<double>(bytecodes), benchmark::Counter::kIsRate);
+        return r.bytecodes;
+    });
 }
-BENCHMARK(BM_StackVm);
 
-void
-BM_FithInterpreter(benchmark::State &state)
+BenchResult
+benchFith()
 {
-    std::uint64_t steps = 0;
-    for (auto _ : state) {
+    return measure("BM_FithInterpreter", "steps/s", [&]() {
         fith::FithMachine fm;
         fith::FithResult r = fm.run(
             ":: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + "
             "THEN ;\n14 fib drop");
-        steps += r.steps;
-        benchmark::DoNotOptimize(r.ok);
-    }
-    state.counters["steps/s"] = benchmark::Counter(
-        static_cast<double>(steps), benchmark::Counter::kIsRate);
+        return r.steps;
+    });
 }
-BENCHMARK(BM_FithInterpreter);
 
-void
-BM_TraceCacheSim(benchmark::State &state)
+BenchResult
+benchTraceCacheSim(std::size_t entries)
 {
     static const trace::Trace t = fith::collectSuiteTrace(42, 100'000);
-    std::uint64_t replayed = 0;
-    for (auto _ : state) {
-        trace::SweepPoint p = trace::simulateItlb(
-            t, static_cast<std::size_t>(state.range(0)), 2);
-        benchmark::DoNotOptimize(p.hitRatio);
-        replayed += t.size();
-    }
-    state.counters["entries/s"] = benchmark::Counter(
-        static_cast<double>(replayed), benchmark::Counter::kIsRate);
+    std::string name =
+        "BM_TraceCacheSim/" + std::to_string(entries);
+    return measure(name, "entries/s", [&]() {
+        trace::SweepPoint p = trace::simulateItlb(t, entries, 2);
+        (void)p;
+        return t.size();
+    });
 }
-BENCHMARK(BM_TraceCacheSim)->Arg(64)->Arg(512)->Arg(4096);
+
+/** Minimal JSON string escape (names are ASCII identifiers anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+writeJson(const std::string &path, const std::vector<BenchResult> &all)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"comsim.bench.perf/v1\",\n");
+    std::fprintf(f, "  \"min_time_seconds\": %g,\n", minTimeSeconds);
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const BenchResult &r = all[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"unit\": \"%s\", "
+            "\"rate\": %.1f, \"ops\": %llu, \"iterations\": %llu, "
+            "\"seconds\": %.4f}%s\n",
+            jsonEscape(r.name).c_str(), jsonEscape(r.unit).c_str(),
+            r.rate, static_cast<unsigned long long>(r.ops),
+            static_cast<unsigned long long>(r.iterations), r.seconds,
+            i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--min-time=", 11) == 0)
+            minTimeSeconds = std::atof(a + 11);
+        else if (std::strncmp(a, "--out=", 6) == 0)
+            out_path = a + 6;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--min-time=S] [--out=FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("comsim throughput benchmarks "
+                "(min %.2fs per benchmark)\n\n",
+                minTimeSeconds);
+
+    std::vector<BenchResult> all;
+    // BM_ComInterpreter is the headline number (sieve, matching the
+    // original google-benchmark harness); the per-workload entries
+    // cover the call-heavy and dispatch-heavy profiles too.
+    all.push_back(benchCom("BM_ComInterpreter", "sieve"));
+    for (const lang::Workload &w : lang::workloads())
+        all.push_back(benchCom("BM_ComInterpreter/" + w.name, w.name));
+    all.push_back(benchStackVm());
+    all.push_back(benchFith());
+    for (std::size_t entries : {64u, 512u, 4096u})
+        all.push_back(benchTraceCacheSim(entries));
+
+    return writeJson(out_path, all) ? 0 : 1;
+}

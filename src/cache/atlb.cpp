@@ -11,62 +11,6 @@ Atlb::Atlb(std::size_t num_sets, std::size_t ways,
 {
 }
 
-mem::XlateResult
-Atlb::translate(const mem::SegmentTable &table, std::uint64_t vaddr,
-                std::uint64_t extra_offset, bool want_write,
-                std::uint64_t *latency)
-{
-    const mem::FpFormat &fmt = table.format();
-    mem::FpDecoded d = mem::FpAddress::decode(fmt, vaddr);
-    AtlbKey key{table.teamId(),
-                (d.exponent << fmt.mantissaBits) | d.segField};
-
-    if (latency)
-        *latency = 0;
-
-    const mem::SegmentDescriptor *desc = cache_.lookup(key);
-    bool filled_from_walk = false;
-    if (!desc) {
-        // Miss: walk the team's table.
-        if (latency)
-            *latency = missPenalty_;
-        const mem::SegmentDescriptor *walked =
-            table.findDescriptor(key.segKey);
-        if (!walked) {
-            mem::XlateResult r;
-            r.status = mem::XlateStatus::NoSegment;
-            return r;
-        }
-        cache_.insert(key, *walked);
-        desc = cache_.probe(key);
-        filled_from_walk = true;
-        (void)filled_from_walk;
-    }
-
-    // Apply the same checks the segment table applies, against the
-    // cached descriptor.
-    mem::XlateResult r;
-    std::uint64_t off = d.offset + extra_offset;
-    if (desc->alias && off >= (1ull << d.exponent)) {
-        r.status = mem::XlateStatus::GrowthTrap;
-        r.newVaddr = mem::FpAddress::addOffset(
-            fmt, desc->aliasVaddr, static_cast<std::int64_t>(off));
-        return r;
-    }
-    if (off >= desc->length) {
-        r.status = mem::XlateStatus::Bounds;
-        return r;
-    }
-    if (want_write && !desc->writable) {
-        r.status = mem::XlateStatus::ProtFault;
-        return r;
-    }
-    r.status = mem::XlateStatus::Ok;
-    r.abs = desc->base + off;
-    r.cls = desc->cls;
-    return r;
-}
-
 void
 Atlb::watch(mem::SegmentTable &table)
 {

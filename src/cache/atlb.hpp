@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "cache/set_assoc.hpp"
+#include "mem/fp_address.hpp"
 #include "mem/segment_table.hpp"
 
 namespace com::cache {
@@ -85,6 +86,8 @@ class Atlb
                                std::uint64_t extra_offset = 0,
                                bool want_write = false,
                                std::uint64_t *latency = nullptr);
+    // (defined inline below the class: the interpreter translates at
+    // least one operand per simulated instruction)
 
     /**
      * Attach to @p table so growth/free invalidate the matching entry.
@@ -111,6 +114,59 @@ class Atlb
     SetAssocCache<AtlbKey, mem::SegmentDescriptor, AtlbKeyHash> cache_;
     std::uint64_t missPenalty_;
 };
+
+inline mem::XlateResult
+Atlb::translate(const mem::SegmentTable &table, std::uint64_t vaddr,
+                std::uint64_t extra_offset, bool want_write,
+                std::uint64_t *latency)
+{
+    const mem::FpFormat &fmt = table.format();
+    mem::FpDecoded d = mem::FpAddress::decode(fmt, vaddr);
+    AtlbKey key{table.teamId(),
+                (d.exponent << fmt.mantissaBits) | d.segField};
+
+    if (latency)
+        *latency = 0;
+
+    const mem::SegmentDescriptor *desc = cache_.lookup(key);
+    if (!desc) {
+        // Miss: walk the team's table.
+        if (latency)
+            *latency = missPenalty_;
+        const mem::SegmentDescriptor *walked =
+            table.findDescriptor(key.segKey);
+        if (!walked) {
+            mem::XlateResult r;
+            r.status = mem::XlateStatus::NoSegment;
+            return r;
+        }
+        cache_.insert(key, *walked);
+        desc = walked;
+    }
+
+    // Apply the same checks the segment table applies, against the
+    // cached descriptor.
+    mem::XlateResult r;
+    std::uint64_t off = d.offset + extra_offset;
+    if (desc->alias && off >= (1ull << d.exponent)) {
+        r.status = mem::XlateStatus::GrowthTrap;
+        r.newVaddr = mem::FpAddress::addOffset(
+            fmt, desc->aliasVaddr, static_cast<std::int64_t>(off));
+        return r;
+    }
+    if (off >= desc->length) {
+        r.status = mem::XlateStatus::Bounds;
+        return r;
+    }
+    if (want_write && !desc->writable) {
+        r.status = mem::XlateStatus::ProtFault;
+        return r;
+    }
+    r.status = mem::XlateStatus::Ok;
+    r.abs = desc->base + off;
+    r.cls = desc->cls;
+    return r;
+}
 
 } // namespace com::cache
 

@@ -13,6 +13,7 @@ ContextCache::ContextCache(mem::TaggedMemory &memory,
 {
     sim::fatalIf(num_blocks < 3,
                  "context cache needs at least current+next+one block");
+    freeCount_ = num_blocks;
     for (auto &b : blocks_)
         b.data.assign(blockWords_, mem::Word());
 
@@ -79,6 +80,7 @@ ContextCache::copyBack(int b)
     ++copybacks_;
     blkref.valid = false;
     blkref.dirty = false;
+    ++freeCount_;
 }
 
 std::uint64_t
@@ -99,6 +101,7 @@ ContextCache::allocateNext(mem::AbsAddr abs)
     // Special circuitry clears the whole block in a single operation:
     // the new context is never faulted in and never cleaned by software.
     blkref.data.assign(blockWords_, mem::Word());
+    --freeCount_;
     blkref.valid = true;
     blkref.dirty = true;
     blkref.abs = abs;
@@ -147,6 +150,7 @@ ContextCache::discard(mem::AbsAddr abs)
     Block &blkref = blk(b);
     blkref.valid = false;
     blkref.dirty = false;
+    ++freeCount_;
     if (current_ == b)
         current_ = kNone;
     if (next_ == b)
@@ -192,6 +196,7 @@ ContextCache::faultIn(mem::AbsAddr abs, int &block_out)
     Block &blkref = blk(b);
     for (std::size_t i = 0; i < blockWords_; ++i)
         blkref.data[i] = memory_.peek(abs + i);
+    --freeCount_;
     blkref.valid = true;
     blkref.dirty = false;
     blkref.abs = abs;
@@ -208,9 +213,7 @@ ContextCache::maintain(const std::vector<mem::AbsAddr> &rcp_chain)
     if (free_count <= lowWater_) {
         // Background copy-back of the LRU context; concurrent with
         // execution so no stall is charged here.
-        int victim = lruEvictable();
-        if (victim != kNone)
-            copyBack(victim);
+        maintain();
         return;
     }
     if (free_count > blocks_.size() / 2 && !rcp_chain.empty()) {
@@ -226,36 +229,6 @@ ContextCache::maintain(const std::vector<mem::AbsAddr> &rcp_chain)
             ++prefetches_;
         }
     }
-}
-
-mem::Word
-ContextCache::read(CtxVia via, std::size_t offset)
-{
-    int b = via == CtxVia::Current ? current_ : next_;
-    sim::panicIf(b == kNone, "context cache read with empty ",
-                 via == CtxVia::Current ? "current" : "next",
-                 " vector");
-    sim::panicIf(offset >= blockWords_,
-                 "context offset ", offset, " out of range");
-    ++reads_;
-    touch(b);
-    return blk(b).data[offset];
-}
-
-void
-ContextCache::write(CtxVia via, std::size_t offset, mem::Word w)
-{
-    int b = via == CtxVia::Current ? current_ : next_;
-    sim::panicIf(b == kNone, "context cache write with empty ",
-                 via == CtxVia::Current ? "current" : "next",
-                 " vector");
-    sim::panicIf(offset >= blockWords_,
-                 "context offset ", offset, " out of range");
-    ++writes_;
-    Block &blkref = blk(b);
-    blkref.data[offset] = w;
-    blkref.dirty = true;
-    touch(b);
 }
 
 mem::Word
@@ -316,16 +289,6 @@ mem::AbsAddr
 ContextCache::nextAbs() const
 {
     return next_ == kNone ? 0 : blk(next_).abs;
-}
-
-std::size_t
-ContextCache::freeBlocks() const
-{
-    std::size_t n = 0;
-    for (const auto &b : blocks_)
-        if (!b.valid)
-            ++n;
-    return n;
 }
 
 bool

@@ -124,11 +124,32 @@ class ContextCache
      * half the cache is free, fault in contexts along the @p rcp_chain
      * (the return path), oldest first.
      */
-    void maintain(const std::vector<mem::AbsAddr> &rcp_chain = {});
+    void maintain(const std::vector<mem::AbsAddr> &rcp_chain);
+
+    /**
+     * The per-instruction maintenance call with no prefetch chain:
+     * only the low-water copy-back check. Kept separate (and trivial)
+     * so the interpreter loop does not construct an empty vector per
+     * simulated instruction.
+     */
+    void
+    maintain()
+    {
+        if (freeCount_ <= lowWater_) {
+            int victim = lruEvictable();
+            if (victim != kNone)
+                copyBack(victim);
+        }
+    }
 
     // ------------------------------------------------------------------
     // Data access
     // ------------------------------------------------------------------
+
+    // Current/next reads and writes happen two to three times per
+    // simulated instruction (the dual-ported operand fetch of Figure
+    // 5); both are defined inline below the class so the interpreter
+    // pays an index plus a bounds assert, not a call.
 
     /** Read a word of the current or next context (no directory). */
     mem::Word read(CtxVia via, std::size_t offset);
@@ -159,8 +180,8 @@ class ContextCache
     mem::AbsAddr currentAbs() const;
     /** Absolute address of the next context (0 if none). */
     mem::AbsAddr nextAbs() const;
-    /** Number of free blocks. */
-    std::size_t freeBlocks() const;
+    /** Number of free blocks (tracked incrementally; O(1)). */
+    std::size_t freeBlocks() const { return freeCount_; }
     /** True if @p abs is resident. */
     bool isResident(mem::AbsAddr abs) const;
     /** Words per block. */
@@ -224,6 +245,7 @@ class ContextCache
     std::size_t blockWords_;
     std::size_t lowWater_;
     std::vector<Block> blocks_;
+    std::size_t freeCount_ = 0; ///< invalid blocks, kept in sync
     int current_ = kNone;
     int next_ = kNone;
     std::uint64_t tick_ = 0;
@@ -239,6 +261,36 @@ class ContextCache
     sim::Counter writes_;
     sim::StatGroup stats_;
 };
+
+inline mem::Word
+ContextCache::read(CtxVia via, std::size_t offset)
+{
+    int b = via == CtxVia::Current ? current_ : next_;
+    sim::panicIf(b == kNone, "context cache read with empty ",
+                 via == CtxVia::Current ? "current" : "next",
+                 " vector");
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    ++reads_;
+    touch(b);
+    return blk(b).data[offset];
+}
+
+inline void
+ContextCache::write(CtxVia via, std::size_t offset, mem::Word w)
+{
+    int b = via == CtxVia::Current ? current_ : next_;
+    sim::panicIf(b == kNone, "context cache write with empty ",
+                 via == CtxVia::Current ? "current" : "next",
+                 " vector");
+    sim::panicIf(offset >= blockWords_,
+                 "context offset ", offset, " out of range");
+    ++writes_;
+    Block &blkref = blk(b);
+    blkref.data[offset] = w;
+    blkref.dirty = true;
+    touch(b);
+}
 
 } // namespace com::cache
 

@@ -110,7 +110,11 @@ class Itlb
                             std::uint64_t miss_penalty = 24);
 
     /** Probe for @p key; nullptr on miss. Updates statistics. */
-    MethodEntry *lookup(const ItlbKey &key) { return cache_.lookup(key); }
+    MethodEntry *
+    lookup(const ItlbKey &key)
+    {
+        return cache_.lookup(key);
+    }
 
     /** Fill after a dictionary lookup. */
     void

@@ -81,14 +81,12 @@ class SetAssocCache
                   ReplPolicy policy, const std::string &name = "cache",
                   std::uint64_t seed = 1)
         : numSets_(num_sets), ways_(ways), policy_(policy),
-          sets_(num_sets), rng_(seed), stats_(name)
+          slots_(num_sets * ways), rng_(seed), stats_(name)
     {
         sim::fatalIf(num_sets == 0 || (num_sets & (num_sets - 1)) != 0,
                      "cache set count must be a power of two, got ",
                      num_sets);
         sim::fatalIf(ways == 0, "cache must have at least one way");
-        for (auto &s : sets_)
-            s.reserve(ways);
         stats_.addCounter("hits", &hits_, "lookups that hit");
         stats_.addCounter("misses", &misses_, "lookups that missed");
         stats_.addCounter("evictions", &evictions_,
@@ -111,14 +109,21 @@ class SetAssocCache
      * Look up @p key; on a hit the entry's recency is refreshed and a
      * pointer to its value is returned (valid until the next mutation).
      * On a miss returns nullptr. Hit/miss statistics are updated.
+     *
+     * This is the interpreter's fast-path probe: guaranteed
+     * non-allocating, raw pointer result (no std::optional), LRU touch
+     * inlined in the header so the hit path folds into the caller's
+     * dispatch loop. Misses fall through to the caller's slow path
+     * (fill/insert/evict), which is unchanged.
      */
-    Value *
+    inline Value *
     lookup(const Key &key)
     {
         ++lookups_;
-        auto &set = setFor(key);
-        for (auto &e : set) {
-            if (e.key == key) {
+        Entry *set = setFor(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = set[w];
+            if (e.stamp != 0 && e.key == key) {
                 ++hits_;
                 if (policy_ == ReplPolicy::Lru)
                     e.stamp = ++tick_;
@@ -133,10 +138,10 @@ class SetAssocCache
     const Value *
     probe(const Key &key) const
     {
-        const auto &set = sets_[setIndex(key)];
-        for (const auto &e : set)
-            if (e.key == key)
-                return &e.value;
+        const Entry *set = &slots_[setIndex(key) * ways_];
+        for (std::size_t w = 0; w < ways_; ++w)
+            if (set[w].stamp != 0 && set[w].key == key)
+                return &set[w].value;
         return nullptr;
     }
 
@@ -147,29 +152,37 @@ class SetAssocCache
     std::optional<Evicted>
     insert(const Key &key, Value value)
     {
-        auto &set = setFor(key);
-        for (auto &e : set) {
-            if (e.key == key) {
-                e.value = std::move(value);
-                e.stamp = ++tick_;
+        Entry *set = setFor(key);
+        std::size_t free_slot = ways_;
+        std::size_t occupied = 0;
+        for (std::size_t i = 0; i < ways_; ++i) {
+            if (set[i].stamp == 0) {
+                if (free_slot == ways_)
+                    free_slot = i;
+                continue;
+            }
+            ++occupied;
+            if (set[i].key == key) {
+                set[i].value = std::move(value);
+                set[i].stamp = ++tick_;
                 return std::nullopt;
             }
         }
-        if (set.size() < ways_) {
-            set.push_back(Entry{key, std::move(value), ++tick_});
+        if (free_slot != ways_) {
+            set[free_slot] = Entry{key, std::move(value), ++tick_};
             return std::nullopt;
         }
-        // Choose a victim.
+        // Choose a victim (every slot is occupied here).
         std::size_t victim = 0;
         switch (policy_) {
           case ReplPolicy::Lru:
           case ReplPolicy::Fifo:
-            for (std::size_t i = 1; i < set.size(); ++i)
+            for (std::size_t i = 1; i < ways_; ++i)
                 if (set[i].stamp < set[victim].stamp)
                     victim = i;
             break;
           case ReplPolicy::Random:
-            victim = static_cast<std::size_t>(rng_.below(set.size()));
+            victim = static_cast<std::size_t>(rng_.below(occupied));
             break;
         }
         ++evictions_;
@@ -182,11 +195,10 @@ class SetAssocCache
     bool
     erase(const Key &key)
     {
-        auto &set = setFor(key);
-        for (std::size_t i = 0; i < set.size(); ++i) {
-            if (set[i].key == key) {
-                set.erase(set.begin() +
-                          static_cast<std::ptrdiff_t>(i));
+        Entry *set = setFor(key);
+        for (std::size_t i = 0; i < ways_; ++i) {
+            if (set[i].stamp != 0 && set[i].key == key) {
+                set[i] = Entry{};
                 ++invalidations_;
                 return true;
             }
@@ -198,9 +210,11 @@ class SetAssocCache
     void
     invalidateAll()
     {
-        for (auto &s : sets_) {
-            invalidations_ += s.size();
-            s.clear();
+        for (Entry &e : slots_) {
+            if (e.stamp != 0) {
+                ++invalidations_;
+                e = Entry{};
+            }
         }
     }
 
@@ -209,8 +223,9 @@ class SetAssocCache
     size() const
     {
         std::size_t n = 0;
-        for (const auto &s : sets_)
-            n += s.size();
+        for (const Entry &e : slots_)
+            if (e.stamp != 0)
+                ++n;
         return n;
     }
 
@@ -241,11 +256,19 @@ class SetAssocCache
     const sim::StatGroup &stats() const { return stats_; }
 
   private:
+    /**
+     * One cache slot. stamp == 0 marks an empty slot: tick_ starts at
+     * 0 and is pre-incremented, so live entries always stamp >= 1.
+     * Storage is a single flat array of numSets x ways slots — the
+     * interpreter probes a cache several times per simulated
+     * instruction, and the flat layout keeps a set's ways in one or
+     * two host cache lines with no per-set heap indirection.
+     */
     struct Entry
     {
-        Key key;
-        Value value;
-        std::uint64_t stamp;
+        Key key{};
+        Value value{};
+        std::uint64_t stamp = 0;
     };
 
     std::size_t
@@ -254,15 +277,15 @@ class SetAssocCache
         return static_cast<std::size_t>(SetHash{}(key)) & (numSets_ - 1);
     }
 
-    std::vector<Entry> &setFor(const Key &key)
+    Entry *setFor(const Key &key)
     {
-        return sets_[setIndex(key)];
+        return &slots_[setIndex(key) * ways_];
     }
 
     std::size_t numSets_;
     std::size_t ways_;
     ReplPolicy policy_;
-    std::vector<std::vector<Entry>> sets_;
+    std::vector<Entry> slots_;
     std::uint64_t tick_ = 0;
     sim::Rng rng_;
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Host-side decoded-instruction cache for the interpreter fast path.
+ *
+ * Pure host optimization with no guest-visible effect: the simulated
+ * instruction cache (Section 3.6) still models hits, misses and stall
+ * cycles exactly as before. What this cache removes is the *host* work
+ * per simulated fetch — the backing-store hash probe, the tag check and
+ * the bitfield decode — by memoizing the decoded form of instruction
+ * words keyed on their absolute address.
+ *
+ * Consistency contract (enforced by Machine):
+ *   - an entry is only consulted when the simulated i-cache hits, so
+ *     timing statistics cannot diverge;
+ *   - a line is filled only after the fetched word passed the
+ *     instruction-tag check, so the ExecuteData fault path is identical;
+ *   - guest stores invalidate the addressed line (self-modifying code
+ *     behaves exactly like the non-cached interpreter), and garbage
+ *     collections invalidate everything (absolute addresses can be
+ *     recycled onto fresh objects afterwards).
+ *
+ * Direct-mapped on the low address bits: method code is contiguous, so
+ * conflicts are rare, and a probe is one load plus one compare.
+ */
+
+#ifndef COMSIM_CORE_DECODED_CACHE_HPP
+#define COMSIM_CORE_DECODED_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/isa.hpp"
+#include "mem/word.hpp"
+#include "sim/logging.hpp"
+
+namespace com::core {
+
+/** Direct-mapped absolute-address -> decoded Instr memo. */
+class DecodedCache
+{
+  public:
+    /** @param lines power-of-two number of direct-mapped lines */
+    explicit DecodedCache(std::size_t lines = 8192)
+        : lines_(lines), mask_(lines - 1)
+    {
+        sim::fatalIf(lines == 0 || (lines & (lines - 1)) != 0,
+                     "decoded cache line count must be a power of two, "
+                     "got ",
+                     lines);
+    }
+
+    /** @return the decoded instruction at @p abs, or nullptr. */
+    const Instr *
+    find(mem::AbsAddr abs)
+    {
+        const Line &l = lines_[static_cast<std::size_t>(abs) & mask_];
+        if (l.abs == abs) {
+            ++hits_;
+            return &l.instr;
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /** Memoize @p instr as the decoding of the word at @p abs. */
+    void
+    fill(mem::AbsAddr abs, const Instr &instr)
+    {
+        Line &l = lines_[static_cast<std::size_t>(abs) & mask_];
+        l.abs = abs;
+        l.instr = instr;
+    }
+
+    /** Drop the line holding @p abs, if any (guest store to code). */
+    void
+    invalidate(mem::AbsAddr abs)
+    {
+        Line &l = lines_[static_cast<std::size_t>(abs) & mask_];
+        if (l.abs == abs)
+            l.abs = kEmpty;
+    }
+
+    /** Drop everything (GC may recycle absolute addresses). */
+    void
+    invalidateAll()
+    {
+        for (Line &l : lines_)
+            l.abs = kEmpty;
+        ++generations_;
+    }
+
+    /** Host-side probe hits (diagnostics; not a guest statistic). */
+    std::uint64_t hits() const { return hits_; }
+    /** Host-side probe misses (diagnostics; not a guest statistic). */
+    std::uint64_t misses() const { return misses_; }
+    /** Full invalidations performed. */
+    std::uint64_t generations() const { return generations_; }
+    /** Number of direct-mapped lines. */
+    std::size_t size() const { return lines_.size(); }
+
+  private:
+    // Absolute address 0 holds the absolute space's origin and never
+    // contains code fetched through this cache, but use an explicit
+    // out-of-band tag anyway.
+    static constexpr mem::AbsAddr kEmpty = ~0ull;
+
+    struct Line
+    {
+        mem::AbsAddr abs = kEmpty;
+        Instr instr;
+    };
+
+    std::vector<Line> lines_;
+    std::size_t mask_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t generations_ = 0;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_DECODED_CACHE_HPP

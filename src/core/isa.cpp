@@ -80,47 +80,6 @@ Instr::decode(std::uint32_t word)
     return i;
 }
 
-DispatchSpec
-dispatchSpec(Op op)
-{
-    switch (op) {
-      // Value-producing A <- B op C: meaning depends on the sources.
-      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
-      case Op::Mod: case Op::Carry: case Op::Mult1: case Op::Mult2:
-      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
-      case Op::And: case Op::Or: case Op::Xor:
-      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
-        return {false, true, true};
-      // Unary A <- op B.
-      case Op::Neg: case Op::Not: case Op::Move: case Op::Movea:
-      case Op::Tag:
-        return {false, true, false};
-      // At: A <- B at: C — object class and index class both matter.
-      case Op::At:
-        return {false, true, true};
-      // AtPut: B at: C put: A — dispatch on the container and index.
-      case Op::AtPut:
-        return {false, true, true};
-      // PutRes: *A <- B — dispatch on the pointer.
-      case Op::PutRes:
-        return {true, false, false};
-      // As: A <- B as: C(tag) — privileged retag, dispatch on B.
-      case Op::As:
-        return {false, true, false};
-      // Jumps dispatch on the condition class.
-      case Op::Fjmp: case Op::Rjmp: case Op::FjmpF: case Op::RjmpF:
-        return {true, false, false};
-      // Xfer dispatches on the target context pointer.
-      case Op::Xfer:
-        return {true, false, false};
-      case Op::Nop: case Op::Halt:
-        return {false, false, false};
-      default:
-        // User-assigned selector tokens: receiver is B, argument is C.
-        return {false, true, true};
-    }
-}
-
 const char *
 opName(Op op)
 {
@@ -200,13 +159,6 @@ opSelector(Op op)
       // own without capturing raw stores (see DESIGN.md).
       default: return "";
     }
-}
-
-bool
-isPrimitiveToken(Op op)
-{
-    return static_cast<unsigned>(op) <
-           static_cast<unsigned>(Op::kFirstUserOp);
 }
 
 } // namespace com::core

@@ -37,6 +37,7 @@
 #ifndef COMSIM_CORE_ISA_HPP
 #define COMSIM_CORE_ISA_HPP
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -186,8 +187,105 @@ struct DispatchSpec
     bool useC = false;
 };
 
+/**
+ * Per-opcode interpretation traits, resolved once per token instead of
+ * per dispatch. The interpreter hot path indexes a flat 256-entry table
+ * (any 8-bit token is a valid index) rather than running switches:
+ *
+ *   - spec: which operand classes form the ITLB key;
+ *   - readsA: the destination operand is consumed as a source;
+ *   - readsSources: the B and C operands are fetched.
+ */
+struct OpTraits
+{
+    DispatchSpec spec;
+    bool readsA = false;
+    bool readsSources = true;
+};
+
+/** Size of the flat opcode-indexed tables (any uint8 token indexes). */
+constexpr std::size_t kOpTableSize = 256;
+
+namespace detail {
+
+/** The dispatch relevance of @p op (constexpr so tables fold). */
+constexpr DispatchSpec
+specFor(Op op)
+{
+    switch (op) {
+      // Value-producing A <- B op C: meaning depends on the sources.
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod: case Op::Carry: case Op::Mult1: case Op::Mult2:
+      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
+        return {false, true, true};
+      // Unary A <- op B.
+      case Op::Neg: case Op::Not: case Op::Move: case Op::Movea:
+      case Op::Tag:
+        return {false, true, false};
+      // At: A <- B at: C — object class and index class both matter.
+      case Op::At:
+        return {false, true, true};
+      // AtPut: B at: C put: A — dispatch on the container and index.
+      case Op::AtPut:
+        return {false, true, true};
+      // PutRes: *A <- B — dispatch on the pointer.
+      case Op::PutRes:
+        return {true, false, false};
+      // As: A <- B as: C(tag) — privileged retag, dispatch on B.
+      case Op::As:
+        return {false, true, false};
+      // Jumps dispatch on the condition class.
+      case Op::Fjmp: case Op::Rjmp: case Op::FjmpF: case Op::RjmpF:
+        return {true, false, false};
+      // Xfer dispatches on the target context pointer.
+      case Op::Xfer:
+        return {true, false, false};
+      case Op::Nop: case Op::Halt:
+        return {false, false, false};
+      default:
+        // User-assigned selector tokens: receiver is B, argument is C.
+        return {false, true, true};
+    }
+}
+
+constexpr std::array<OpTraits, kOpTableSize>
+buildOpTraits()
+{
+    std::array<OpTraits, kOpTableSize> t{};
+    for (std::size_t i = 0; i < kOpTableSize; ++i) {
+        Op op = static_cast<Op>(i);
+        t[i].spec = specFor(op);
+        // The destination operand A is read when the opcode consumes
+        // it as a source: exactly the opcodes that dispatch on A, plus
+        // AtPut (which dispatches on B/C but stores the value read
+        // from A).
+        t[i].readsA = t[i].spec.useA || op == Op::AtPut;
+        t[i].readsSources =
+            op != Op::Nop && op != Op::Halt && op != Op::Movea;
+    }
+    return t;
+}
+
+inline constexpr std::array<OpTraits, kOpTableSize> kOpTraits =
+    buildOpTraits();
+
+} // namespace detail
+
+/** @return the interpretation traits of @p op (flat table load). */
+inline const OpTraits &
+opTraits(Op op)
+{
+    return detail::kOpTraits[static_cast<std::uint8_t>(op)];
+}
+
 /** @return the dispatch relevance of @p op. */
-DispatchSpec dispatchSpec(Op op);
+inline DispatchSpec
+dispatchSpec(Op op)
+{
+    return opTraits(op).spec;
+}
 
 /** @return mnemonic for @p op ("add", "at:put:", ...). */
 const char *opName(Op op);
@@ -200,7 +298,12 @@ const char *opName(Op op);
 const char *opSelector(Op op);
 
 /** @return true when @p op is one of the primitive tokens. */
-bool isPrimitiveToken(Op op);
+inline bool
+isPrimitiveToken(Op op)
+{
+    return static_cast<unsigned>(op) <
+           static_cast<unsigned>(Op::kFirstUserOp);
+}
 
 /** ITLB key opcode value used for extended sends of @p selector. */
 inline std::uint32_t

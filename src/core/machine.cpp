@@ -20,8 +20,10 @@ constexpr ClassId kPtrCls = static_cast<ClassId>(Tag::ObjectPtr);
 
 } // namespace
 
-Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), decoded_(cfg.decodedCacheLines)
 {
+    selectorOfOp_.fill(obj::SelectorTable::kNotFound);
     space_ = std::make_unique<mem::AbsoluteSpace>(0, cfg.absSpaceOrder);
     segments_ = std::make_unique<mem::SegmentTable>(cfg.addrFormat,
                                                     *space_, 0);
@@ -109,10 +111,10 @@ Machine::assignOpcode(const std::string &selector)
 obj::SelectorId
 Machine::selectorOf(Op op)
 {
-    auto it = selectorOfOp_.find(static_cast<std::uint8_t>(op));
-    sim::panicIf(it == selectorOfOp_.end(),
+    obj::SelectorId sel = selectorOfOp_[static_cast<std::uint8_t>(op)];
+    sim::panicIf(sel == obj::SelectorTable::kNotFound,
                  "opcode token ", opName(op), " carries no selector");
-    return it->second;
+    return sel;
 }
 
 std::uint64_t
@@ -269,6 +271,9 @@ Machine::collectGarbage()
 {
     // The cache may hold the freshest copies of live contexts.
     ctxCache_->flushAll();
+    // Swept segments may be recycled onto fresh objects: memoized
+    // decodings keyed by absolute address would go stale.
+    decoded_.invalidateAll();
     return gc_->collect();
 }
 
@@ -284,8 +289,19 @@ Machine::fetch(Instr &out)
         faultDetail_ = "instruction fetch ran off the method end";
         return GuestFault::ExecuteData;
     }
-    // Step 1: the IP looks up the next instruction in the icache.
-    if (!icache_->lookup(ipAbs_)) {
+    // Step 1: the IP looks up the next instruction in the icache. The
+    // simulated hit/miss accounting is identical on both host paths;
+    // on a hit the memoized decoding (if still valid) skips the host
+    // backing-store probe, the tag check and the bitfield decode.
+    if (icache_->lookup(ipAbs_)) {
+        if (cfg_.enableDecodedCache) {
+            const Instr *d = decoded_.find(ipAbs_);
+            if (d) {
+                out = *d;
+                return GuestFault::None;
+            }
+        }
+    } else {
         icache_->insert(ipAbs_, 0);
         pipeline_.stallIcacheMiss(cfg_.icacheMissPenalty);
     }
@@ -297,6 +313,11 @@ Machine::fetch(Instr &out)
         return GuestFault::ExecuteData;
     }
     out = Instr::decode(w.bits());
+    // Context blocks are excluded from the memo: their words can be
+    // rewritten through the context cache without touching backing
+    // memory, which the invalidation contract could not observe.
+    if (cfg_.enableDecodedCache && !contexts_->containsAbs(ipAbs_))
+        decoded_.fill(ipAbs_, out);
     return GuestFault::None;
 }
 
@@ -356,7 +377,7 @@ Machine::writeOperand(const Operand &o, mem::Word w)
 GuestFault
 Machine::effectiveAddress(const Operand &o, mem::Word &out)
 {
-    std::uint64_t base;
+    std::uint64_t base = 0;
     switch (o.mode) {
       case Mode::Const:
         faultDetail_ = "effective address of a constant";
@@ -393,9 +414,8 @@ Machine::step()
         return f;
 
     pipeline_.issue(recordMnemonics_
-                        ? (instr.extended ? "send"
-                                          : std::string(opName(instr.op)))
-                        : std::string());
+                        ? (instr.extended ? "send" : opName(instr.op))
+                        : nullptr);
 
     OperandVal a, b, c;
 
@@ -431,26 +451,16 @@ Machine::step()
 
     // Step 2: read operands and their tags. The destination operand A
     // is only read when the opcode consumes it as a source.
-    bool read_a = false;
-    switch (instr.op) {
-      case Op::AtPut: case Op::PutRes: case Op::Fjmp: case Op::Rjmp:
-      case Op::FjmpF: case Op::RjmpF: case Op::Xfer:
-        read_a = true;
-        break;
-      default:
-        break;
-    }
-    bool read_sources = instr.op != Op::Nop && instr.op != Op::Halt &&
-                        instr.op != Op::Movea;
-    if (read_a)
+    const OpTraits &traits = opTraits(instr.op);
+    if (traits.readsA)
         readOperand(instr.a, a);
-    if (read_sources) {
+    if (traits.readsSources) {
         readOperand(instr.b, b);
         readOperand(instr.c, c);
     }
 
     if (traceSink_) {
-        DispatchSpec spec = dispatchSpec(instr.op);
+        const DispatchSpec &spec = traits.spec;
         ClassId dispatch_cls = spec.useB ? b.cls
                              : spec.useA ? a.cls
                                          : 0;
@@ -513,24 +523,18 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
         receiver_cls = key.classB;
         sel = instr.extSelector;
     } else {
-        DispatchSpec spec = dispatchSpec(instr.op);
+        const DispatchSpec &spec = opTraits(instr.op).spec;
         key.opcode = static_cast<std::uint32_t>(instr.op);
         key.classA = spec.useA ? a.cls : 0;
         key.classB = spec.useB ? b.cls : 0;
         key.classC = spec.useC ? c.cls : 0;
         receiver_cls = spec.useB ? b.cls : key.classA;
-        auto sit = selectorOfOp_.find(
-            static_cast<std::uint8_t>(instr.op));
-        sel = sit != selectorOfOp_.end()
-                  ? sit->second
-                  : obj::SelectorTable::kNotFound;
+        sel = selectorOfOp_[static_cast<std::uint8_t>(instr.op)];
     }
 
-    cache::MethodEntry *hit = itlb_->lookup(key);
-    cache::MethodEntry entry;
-    if (hit) {
-        entry = *hit;
-    } else {
+    const cache::MethodEntry *hit = itlb_->lookup(key);
+    cache::MethodEntry filled;
+    if (!hit) {
         // ITLB miss: pull the instruction descriptor in via the
         // standard method lookup (the step that always occurs in a
         // Smalltalk execution).
@@ -544,7 +548,7 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
             obj::MethodRegistry::LookupResult lr =
                 methods_->lookup(receiver_cls, sel);
             if (lr.entry) {
-                entry = *lr.entry;
+                filled = *lr.entry;
                 resolved = true;
             }
         }
@@ -552,9 +556,9 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
             isPrimitiveToken(instr.op) &&
             primitiveApplicable(instr.op, key.classA, key.classB,
                                 key.classC)) {
-            entry.primitive = true;
-            entry.functionUnit = static_cast<std::uint32_t>(instr.op);
-            entry.argWords = 0;
+            filled.primitive = true;
+            filled.functionUnit = static_cast<std::uint32_t>(instr.op);
+            filled.argWords = 0;
             resolved = true;
         }
         if (!resolved) {
@@ -566,8 +570,10 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
                 static_cast<unsigned>(receiver_cls));
             return GuestFault::DoesNotUnderstand;
         }
-        itlb_->fill(key, entry);
+        itlb_->fill(key, filled);
+        hit = &filled;
     }
+    const cache::MethodEntry &entry = *hit;
 
     // Step 4: primitive methods set up hardware data paths; host
     // routines run as firmware; defined methods trigger the call
@@ -891,6 +897,7 @@ Machine::dataAccess(const Instr &instr, OperandVal &a,
     countDataRef(false);
     if (is_put) {
         memory_.write(r.abs, a.w);
+        decoded_.invalidate(r.abs); // self-modifying code stays exact
         if (a.w.isPointer() && contexts_->isAllocated(a.w.asPointer()))
             markEscaped(a.w.asPointer());
     } else {
@@ -1006,6 +1013,7 @@ Machine::indexedStore(mem::Word base, std::int32_t index,
         mem::AccessResult ar = hierarchy_->access(r.abs, true);
         pipeline_.stallMemory(ar.latency);
         memory_.write(r.abs, value);
+        decoded_.invalidate(r.abs); // self-modifying code stays exact
         countDataRef(false);
     }
     if (value.isPointer() && contexts_->isAllocated(value.asPointer()))
@@ -1130,6 +1138,7 @@ Machine::writeThroughPointer(mem::Word pointer, mem::Word value)
         mem::AccessResult ar = hierarchy_->access(r.abs, true);
         pipeline_.stallMemory(ar.latency);
         memory_.write(r.abs, value);
+        decoded_.invalidate(r.abs); // self-modifying code stays exact
         countDataRef(false);
     }
     if (value.isPointer() && contexts_->isAllocated(value.asPointer()))

@@ -26,6 +26,7 @@
 #ifndef COMSIM_CORE_MACHINE_HPP
 #define COMSIM_CORE_MACHINE_HPP
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +40,7 @@
 #include "cache/itlb.hpp"
 #include "cache/set_assoc.hpp"
 #include "core/constant_table.hpp"
+#include "core/decoded_cache.hpp"
 #include "core/isa.hpp"
 #include "core/pipeline.hpp"
 #include "core/primitives.hpp"
@@ -74,6 +76,14 @@ struct MachineConfig
     std::uint64_t backingLatency = 20;    ///< beyond-main-memory cost
     std::uint64_t growthTrapCost = 12;    ///< pointer fix-up trap
     bool privileged = true;               ///< PS privilege (as: allowed)
+    /**
+     * Memoize decoded instructions on simulated i-cache hits (host
+     * throughput only; guest cycles and cache statistics are identical
+     * either way — the timing-parity regression test runs both
+     * settings). Off reproduces the original fetch-decode path.
+     */
+    bool enableDecodedCache = true;
+    std::size_t decodedCacheLines = 8192; ///< power of two
     /** Hierarchy levels; empty selects a default single main memory. */
     std::vector<mem::LevelConfig> hierarchy;
 };
@@ -240,6 +250,9 @@ class Machine
         return *icache_;
     }
 
+    /** The host-side decoded-instruction memo (diagnostics/tests). */
+    const DecodedCache &decodedCache() const { return decoded_; }
+
     // ------------------------------------------------------------------
     // Reference classification (T-ctx experiment)
     // ------------------------------------------------------------------
@@ -364,6 +377,7 @@ class Machine
     std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
     std::unique_ptr<obj::GarbageCollector> gc_;
     Pipeline pipeline_;
+    DecodedCache decoded_;
 
     // Registers.
     std::uint64_t cp_ = 0;
@@ -376,9 +390,12 @@ class Machine
     mem::AbsAddr ipAbs_ = 0;
     mem::AbsAddr ipLimitAbs_ = 0;
 
-    // Opcode token assignment.
+    // Opcode token assignment. The token -> selector direction is a
+    // flat table indexed by the 8-bit opcode: dispatch() consults it
+    // once per simulated instruction, so it must be one load, not a
+    // hash probe.
     std::unordered_map<std::string, Op> opcodeOf_;
-    std::unordered_map<std::uint8_t, obj::SelectorId> selectorOfOp_;
+    std::array<obj::SelectorId, kOpTableSize> selectorOfOp_;
     std::uint8_t nextUserOp_ =
         static_cast<std::uint8_t>(Op::kFirstUserOp);
 

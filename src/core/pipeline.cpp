@@ -31,87 +31,11 @@ Pipeline::Pipeline() : stats_("pipeline")
 }
 
 void
-Pipeline::issue(const std::string &mnemonic)
+Pipeline::recordMnemonic(const char *mnemonic)
 {
-    ++instrs_;
-    cycles_ += 2;
-    if (!mnemonic.empty()) {
-        recent_.push_back(mnemonic);
-        if (recent_.size() > kTraceDepth)
-            recent_.pop_front();
-    }
-}
-
-void
-Pipeline::chargeBranchDelay()
-{
-    cycles_ += 1;
-    branchCycles_ += 1;
-}
-
-void
-Pipeline::chargeCall(unsigned operands_copied)
-{
-    ++calls_;
-    // One cycle flushing the prefetched instruction, one performing the
-    // call operations (store IP, CP <- NCP, initiate allocation, set
-    // IP), then one per operand expanded into the new context.
-    cycles_ += 2;
-    callCycles_ += 2;
-    cycles_ += operands_copied;
-    operandCopyCycles_ += operands_copied;
-    callCycles_ += operands_copied;
-}
-
-void
-Pipeline::chargeReturn()
-{
-    // "Since return can be detected early in the pipeline it can be
-    // processed with no delay. Thus method returns cost only two clock
-    // cycles" — the base cost already charged by issue().
-    ++returns_;
-}
-
-void
-Pipeline::stallItlbMiss(std::uint64_t c)
-{
-    cycles_ += c;
-    itlbCycles_ += c;
-}
-
-void
-Pipeline::stallIcacheMiss(std::uint64_t c)
-{
-    cycles_ += c;
-    icacheCycles_ += c;
-}
-
-void
-Pipeline::stallAtlbMiss(std::uint64_t c)
-{
-    cycles_ += c;
-    atlbCycles_ += c;
-}
-
-void
-Pipeline::stallMemory(std::uint64_t c)
-{
-    cycles_ += c;
-    memCycles_ += c;
-}
-
-void
-Pipeline::stallContextCache(std::uint64_t c)
-{
-    cycles_ += c;
-    ctxCycles_ += c;
-}
-
-void
-Pipeline::chargeTrap(std::uint64_t c)
-{
-    cycles_ += c;
-    trapCycles_ += c;
+    recent_.emplace_back(mnemonic);
+    if (recent_.size() > kTraceDepth)
+        recent_.pop_front();
 }
 
 void

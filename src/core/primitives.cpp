@@ -154,23 +154,6 @@ primitiveApplicable(Op op, mem::ClassId cls_a, mem::ClassId cls_b,
     }
 }
 
-bool
-isValuePrimitive(Op op)
-{
-    switch (op) {
-      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
-      case Op::Mod: case Op::Neg:
-      case Op::Carry: case Op::Mult1: case Op::Mult2:
-      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
-      case Op::And: case Op::Or: case Op::Not: case Op::Xor:
-      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
-      case Op::Move: case Op::Tag:
-        return true;
-      default:
-        return false;
-    }
-}
-
 ValueResult
 evalValuePrimitive(Op op, mem::Word b, mem::Word c,
                    const ConstantTable &consts)

@@ -66,9 +66,25 @@ struct ValueResult
 
 /**
  * @return true when @p op is a value primitive (pure function of its
- * operand words), executed here rather than in the Machine.
+ * operand words), executed here rather than in the Machine. Constexpr
+ * and inline: dispatch consults this once per simulated instruction.
  */
-bool isValuePrimitive(Op op);
+constexpr bool
+isValuePrimitive(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Mod: case Op::Neg:
+      case Op::Carry: case Op::Mult1: case Op::Mult2:
+      case Op::Shift: case Op::AShift: case Op::Rotate: case Op::Mask:
+      case Op::And: case Op::Or: case Op::Not: case Op::Xor:
+      case Op::Lt: case Op::Le: case Op::Eq: case Op::Ne: case Op::Same:
+      case Op::Move: case Op::Tag:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /**
  * Execute a value primitive. Pre-condition: primitiveApplicable() held

@@ -45,6 +45,38 @@ StackVm::StackVm()
     rootCls_ = defineClass("Object", -1, 0);
     arrayCls_ = defineClass("Array", rootCls_, 0);
     stringCls_ = defineClass("String", rootCls_, 0);
+
+    // Flat selector -> primitive table: sends resolve built-ins with
+    // one indexed load instead of spelling comparisons.
+    auto prim = [this](const char *name, SPrim p) {
+        obj::SelectorId sel = selectors_.intern(name);
+        if (sel >= primOf_.size())
+            primOf_.resize(sel + 1,
+                           static_cast<std::uint8_t>(SPrim::None));
+        primOf_[sel] = static_cast<std::uint8_t>(p);
+    };
+    prim("+", SPrim::Add);
+    prim("-", SPrim::Sub);
+    prim("*", SPrim::Mul);
+    prim("/", SPrim::Div);
+    prim("\\\\", SPrim::Mod);
+    prim("<", SPrim::Lt);
+    prim("<=", SPrim::Le);
+    prim(">", SPrim::Gt);
+    prim(">=", SPrim::Ge);
+    prim("=", SPrim::Eq);
+    prim("~=", SPrim::Ne);
+    prim("bitAnd:", SPrim::BitAnd);
+    prim("bitOr:", SPrim::BitOr);
+    prim("bitXor:", SPrim::BitXor);
+    prim("==", SPrim::Identical);
+    prim("negated", SPrim::Negated);
+    prim("new", SPrim::New);
+    prim("new:", SPrim::NewSized);
+    prim("at:", SPrim::At);
+    prim("at:put:", SPrim::AtPut);
+    prim("size", SPrim::Size);
+    prim("print", SPrim::Print);
 }
 
 std::int32_t
@@ -154,7 +186,9 @@ StackVm::tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
                       std::string &err)
 {
     failed = false;
-    const std::string &name = selectors_.name(sel);
+    SPrim prim = primFor(sel);
+    if (prim == SPrim::None)
+        return false;
     // Operands: receiver at depth argc, args above it.
     auto arg = [&](unsigned i) -> Word & {
         return stack_[stack_.size() - argc + i];
@@ -174,132 +208,161 @@ StackVm::tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
     auto boolWord = [&](bool b) {
         return Word::fromAtom(b ? trueAtom_ : falseAtom_);
     };
+    auto fail = [&](const char *msg) {
+        failed = true;
+        err = msg;
+        return true;
+    };
 
-    if (argc == 1 && numeric(recv) && numeric(arg(0))) {
-        const Word &a = recv, &b = arg(0);
-        bool both_int = a.isInt() && b.isInt();
-        if (name == "+")
-            return finish(both_int
-                              ? Word::fromInt(a.asInt() + b.asInt())
-                              : Word::fromFloat(static_cast<float>(
-                                    dval(a) + dval(b))));
-        if (name == "-")
-            return finish(both_int
-                              ? Word::fromInt(a.asInt() - b.asInt())
-                              : Word::fromFloat(static_cast<float>(
-                                    dval(a) - dval(b))));
-        if (name == "*")
-            return finish(both_int
-                              ? Word::fromInt(a.asInt() * b.asInt())
-                              : Word::fromFloat(static_cast<float>(
-                                    dval(a) * dval(b))));
-        if (name == "/") {
-            if (dval(b) == 0.0) {
-                failed = true;
-                err = "divide by zero";
-                return true;
-            }
-            return finish(both_int
-                              ? Word::fromInt(a.asInt() / b.asInt())
-                              : Word::fromFloat(static_cast<float>(
-                                    dval(a) / dval(b))));
-        }
-        if (name == "\\\\") {
-            if (!both_int || b.asInt() == 0) {
-                failed = true;
-                err = "bad modulo";
-                return true;
-            }
-            std::int64_t m = a.asInt() % b.asInt();
-            if (m != 0 && ((m < 0) != (b.asInt() < 0)))
-                m += b.asInt();
-            return finish(Word::fromInt(static_cast<std::int32_t>(m)));
-        }
-        if (name == "<")
-            return finish(boolWord(dval(a) < dval(b)));
-        if (name == "<=")
-            return finish(boolWord(dval(a) <= dval(b)));
-        if (name == ">")
-            return finish(boolWord(dval(a) > dval(b)));
-        if (name == ">=")
-            return finish(boolWord(dval(a) >= dval(b)));
-        if (name == "=")
-            return finish(boolWord(dval(a) == dval(b)));
-        if (name == "~=")
-            return finish(boolWord(dval(a) != dval(b)));
-        if (name == "bitAnd:" && both_int)
-            return finish(Word::fromInt(a.asInt() & b.asInt()));
-        if (name == "bitOr:" && both_int)
-            return finish(Word::fromInt(a.asInt() | b.asInt()));
-        if (name == "bitXor:" && both_int)
-            return finish(Word::fromInt(a.asInt() ^ b.asInt()));
-    }
-    if (argc == 1 && (name == "=" || name == "~=") && recv.isAtom() &&
-        arg(0).isAtom()) {
-        bool eq = recv.asAtom() == arg(0).asAtom();
-        return finish(boolWord(name == "=" ? eq : !eq));
-    }
-    if (argc == 1 && name == "==")
+    bool binary_numeric =
+        argc == 1 && numeric(recv) && numeric(arg(0));
+    bool both_int =
+        binary_numeric && recv.isInt() && arg(0).isInt();
+
+    switch (prim) {
+      case SPrim::Add:
+        if (!binary_numeric)
+            return false;
+        return finish(both_int
+                          ? Word::fromInt(recv.asInt() + arg(0).asInt())
+                          : Word::fromFloat(static_cast<float>(
+                                dval(recv) + dval(arg(0)))));
+      case SPrim::Sub:
+        if (!binary_numeric)
+            return false;
+        return finish(both_int
+                          ? Word::fromInt(recv.asInt() - arg(0).asInt())
+                          : Word::fromFloat(static_cast<float>(
+                                dval(recv) - dval(arg(0)))));
+      case SPrim::Mul:
+        if (!binary_numeric)
+            return false;
+        return finish(both_int
+                          ? Word::fromInt(recv.asInt() * arg(0).asInt())
+                          : Word::fromFloat(static_cast<float>(
+                                dval(recv) * dval(arg(0)))));
+      case SPrim::Div:
+        if (!binary_numeric)
+            return false;
+        if (dval(arg(0)) == 0.0)
+            return fail("divide by zero");
+        return finish(both_int
+                          ? Word::fromInt(recv.asInt() / arg(0).asInt())
+                          : Word::fromFloat(static_cast<float>(
+                                dval(recv) / dval(arg(0)))));
+      case SPrim::Mod: {
+        if (!binary_numeric)
+            return false;
+        if (!both_int || arg(0).asInt() == 0)
+            return fail("bad modulo");
+        std::int64_t m = recv.asInt() % arg(0).asInt();
+        if (m != 0 && ((m < 0) != (arg(0).asInt() < 0)))
+            m += arg(0).asInt();
+        return finish(Word::fromInt(static_cast<std::int32_t>(m)));
+      }
+      case SPrim::Lt:
+        if (!binary_numeric)
+            return false;
+        return finish(boolWord(dval(recv) < dval(arg(0))));
+      case SPrim::Le:
+        if (!binary_numeric)
+            return false;
+        return finish(boolWord(dval(recv) <= dval(arg(0))));
+      case SPrim::Gt:
+        if (!binary_numeric)
+            return false;
+        return finish(boolWord(dval(recv) > dval(arg(0))));
+      case SPrim::Ge:
+        if (!binary_numeric)
+            return false;
+        return finish(boolWord(dval(recv) >= dval(arg(0))));
+      case SPrim::Eq:
+        if (binary_numeric)
+            return finish(boolWord(dval(recv) == dval(arg(0))));
+        if (argc == 1 && recv.isAtom() && arg(0).isAtom())
+            return finish(boolWord(recv.asAtom() == arg(0).asAtom()));
+        return false;
+      case SPrim::Ne:
+        if (binary_numeric)
+            return finish(boolWord(dval(recv) != dval(arg(0))));
+        if (argc == 1 && recv.isAtom() && arg(0).isAtom())
+            return finish(boolWord(recv.asAtom() != arg(0).asAtom()));
+        return false;
+      case SPrim::BitAnd:
+        if (!both_int)
+            return false;
+        return finish(Word::fromInt(recv.asInt() & arg(0).asInt()));
+      case SPrim::BitOr:
+        if (!both_int)
+            return false;
+        return finish(Word::fromInt(recv.asInt() | arg(0).asInt()));
+      case SPrim::BitXor:
+        if (!both_int)
+            return false;
+        return finish(Word::fromInt(recv.asInt() ^ arg(0).asInt()));
+      case SPrim::Identical:
+        if (argc != 1)
+            return false;
         return finish(boolWord(recv == arg(0)));
-    if (argc == 0 && name == "negated" && numeric(recv))
+      case SPrim::Negated:
+        if (argc != 0 || !numeric(recv))
+            return false;
         return finish(recv.isInt()
                           ? Word::fromInt(-recv.asInt())
                           : Word::fromFloat(-recv.asFloat()));
 
-    // Class-atom constructors.
-    if (recv.isAtom() && (name == "new" || name == "new:")) {
+      case SPrim::New:
+      case SPrim::NewSized: {
+        // Class-atom constructors.
+        if (!recv.isAtom())
+            return false;
         std::int32_t cls = classByName(selectors_.name(recv.asAtom()));
-        if (cls < 0) {
-            failed = true;
-            err = "new sent to unknown class";
-            return true;
-        }
+        if (cls < 0)
+            return fail("new sent to unknown class");
         std::uint32_t extra = 0;
-        if (name == "new:") {
-            if (!arg(0).isInt() || arg(0).asInt() < 0) {
-                failed = true;
-                err = "new: bad size";
-                return true;
-            }
+        if (prim == SPrim::NewSized) {
+            if (!arg(0).isInt() || arg(0).asInt() < 0)
+                return fail("new: bad size");
             extra = static_cast<std::uint32_t>(arg(0).asInt());
         }
         return finish(allocObject(
             cls, classes_[static_cast<std::size_t>(cls)].numFields +
                      extra));
-    }
+      }
 
-    // Indexed access on VM objects (0-based, as on the COM).
-    if (recv.isPointer() && recv.asPointer() < objects_.size()) {
+      // Indexed access on VM objects (0-based, as on the COM).
+      case SPrim::At: {
+        if (argc != 1 || !recv.isPointer() ||
+            recv.asPointer() >= objects_.size())
+            return false;
         auto &obj = objects_[recv.asPointer()];
-        if (argc == 1 && name == "at:") {
-            if (!arg(0).isInt() || arg(0).asInt() < 0 ||
-                static_cast<std::size_t>(arg(0).asInt()) >=
-                    obj.size()) {
-                failed = true;
-                err = "index out of range";
-                return true;
-            }
-            return finish(obj[static_cast<std::size_t>(
-                arg(0).asInt())]);
-        }
-        if (argc == 2 && name == "at:put:") {
-            if (!arg(0).isInt() || arg(0).asInt() < 0 ||
-                static_cast<std::size_t>(arg(0).asInt()) >=
-                    obj.size()) {
-                failed = true;
-                err = "index out of range";
-                return true;
-            }
-            Word v = arg(1);
-            obj[static_cast<std::size_t>(arg(0).asInt())] = v;
-            return finish(v);
-        }
-        if (argc == 0 && name == "size")
-            return finish(Word::fromInt(
-                static_cast<std::int32_t>(obj.size())));
-    }
+        if (!arg(0).isInt() || arg(0).asInt() < 0 ||
+            static_cast<std::size_t>(arg(0).asInt()) >= obj.size())
+            return fail("index out of range");
+        return finish(obj[static_cast<std::size_t>(arg(0).asInt())]);
+      }
+      case SPrim::AtPut: {
+        if (argc != 2 || !recv.isPointer() ||
+            recv.asPointer() >= objects_.size())
+            return false;
+        auto &obj = objects_[recv.asPointer()];
+        if (!arg(0).isInt() || arg(0).asInt() < 0 ||
+            static_cast<std::size_t>(arg(0).asInt()) >= obj.size())
+            return fail("index out of range");
+        Word v = arg(1);
+        obj[static_cast<std::size_t>(arg(0).asInt())] = v;
+        return finish(v);
+      }
+      case SPrim::Size:
+        if (argc != 0 || !recv.isPointer() ||
+            recv.asPointer() >= objects_.size())
+            return false;
+        return finish(Word::fromInt(static_cast<std::int32_t>(
+            objects_[recv.asPointer()].size())));
 
-    if (argc == 0 && name == "print") {
+      case SPrim::Print: {
+        if (argc != 0)
+            return false;
         std::string repr;
         switch (recv.tag()) {
           case Tag::SmallInt:
@@ -324,8 +387,11 @@ StackVm::tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
         }
         output_ += repr + "\n";
         return finish(recv);
-    }
+      }
 
+      case SPrim::None:
+        break;
+    }
     return false;
 }
 

@@ -137,14 +137,39 @@ class StackVm
         std::int32_t receiverCls;
     };
 
+    /**
+     * Built-in primitive operations, resolved from the selector id
+     * through a flat table (built at construction) instead of comparing
+     * selector spellings on every send.
+     */
+    enum class SPrim : std::uint8_t
+    {
+        None = 0,
+        Add, Sub, Mul, Div, Mod,
+        Lt, Le, Gt, Ge, Eq, Ne,
+        BitAnd, BitOr, BitXor,
+        Identical, Negated,
+        New, NewSized,
+        At, AtPut, Size,
+        Print,
+    };
+
     /** Class of a word for dispatch. */
     std::int32_t classOf(const mem::Word &w) const;
     const SMethod *lookup(std::int32_t cls, obj::SelectorId sel) const;
     /** Try a built-in primitive; true if handled. */
     bool tryPrimitive(obj::SelectorId sel, unsigned argc, bool &failed,
                       std::string &err);
+    /** Flat-table primitive resolution for @p sel. */
+    SPrim
+    primFor(obj::SelectorId sel) const
+    {
+        return sel < primOf_.size() ? static_cast<SPrim>(primOf_[sel])
+                                    : SPrim::None;
+    }
 
     obj::SelectorTable selectors_;
+    std::vector<std::uint8_t> primOf_; ///< SelectorId -> SPrim
     std::vector<SClass> classes_;
     std::unordered_map<std::string, std::int32_t> classIds_;
 

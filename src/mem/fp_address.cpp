@@ -31,61 +31,6 @@ FpAddress::compose(const FpFormat &fmt, std::uint64_t exp,
     return (exp << fmt.mantissaBits) | mant;
 }
 
-FpDecoded
-FpAddress::decode(const FpFormat &fmt, std::uint64_t raw)
-{
-    FpDecoded d;
-    d.exponent = raw >> fmt.mantissaBits;
-    std::uint64_t mant = raw & fmt.mantissaMask();
-    std::uint64_t e = d.exponent;
-    if (e >= 64) {
-        d.offset = mant;
-        d.segField = 0;
-    } else {
-        d.offset = mant & ((1ull << e) - 1);
-        d.segField = mant >> e;
-    }
-    return d;
-}
-
-std::uint64_t
-FpAddress::exponent(const FpFormat &fmt, std::uint64_t raw)
-{
-    return raw >> fmt.mantissaBits;
-}
-
-std::uint64_t
-FpAddress::mantissa(const FpFormat &fmt, std::uint64_t raw)
-{
-    return raw & fmt.mantissaMask();
-}
-
-std::uint64_t
-FpAddress::segKey(const FpFormat &fmt, std::uint64_t raw)
-{
-    FpDecoded d = decode(fmt, raw);
-    return (d.exponent << fmt.mantissaBits) | d.segField;
-}
-
-void
-FpAddress::splitSegKey(const FpFormat &fmt, std::uint64_t key,
-                       std::uint64_t &exp, std::uint64_t &seg_field)
-{
-    exp = key >> fmt.mantissaBits;
-    seg_field = key & fmt.mantissaMask();
-}
-
-std::uint64_t
-FpAddress::addOffset(const FpFormat &fmt, std::uint64_t raw,
-                     std::int64_t delta_words)
-{
-    std::uint64_t exp_field = raw & ~fmt.mantissaMask();
-    std::uint64_t mant = raw & fmt.mantissaMask();
-    mant = (mant + static_cast<std::uint64_t>(delta_words)) &
-           fmt.mantissaMask();
-    return exp_field | mant;
-}
-
 std::uint64_t
 FpAddress::exponentFor(const FpFormat &fmt, std::uint64_t size_words)
 {

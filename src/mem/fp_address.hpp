@@ -100,25 +100,63 @@ class FpAddress
                                  std::uint64_t seg_field,
                                  std::uint64_t offset);
 
+    // The translation helpers below run several times per simulated
+    // instruction (operand class lookups, IP arithmetic), so they are
+    // defined inline: the interpreter fast path must not pay a call for
+    // a handful of shifts and masks.
+
     /** Decode raw bits into exponent / segment field / offset. */
-    static FpDecoded decode(const FpFormat &fmt, std::uint64_t raw);
+    static inline FpDecoded
+    decode(const FpFormat &fmt, std::uint64_t raw)
+    {
+        FpDecoded d;
+        d.exponent = raw >> fmt.mantissaBits;
+        std::uint64_t mant = raw & fmt.mantissaMask();
+        std::uint64_t e = d.exponent;
+        if (e >= 64) {
+            d.offset = mant;
+            d.segField = 0;
+        } else {
+            d.offset = mant & ((1ull << e) - 1);
+            d.segField = mant >> e;
+        }
+        return d;
+    }
 
     /** @return the exponent field of @p raw. */
-    static std::uint64_t exponent(const FpFormat &fmt, std::uint64_t raw);
+    static inline std::uint64_t
+    exponent(const FpFormat &fmt, std::uint64_t raw)
+    {
+        return raw >> fmt.mantissaBits;
+    }
 
     /** @return the full mantissa of @p raw. */
-    static std::uint64_t mantissa(const FpFormat &fmt, std::uint64_t raw);
+    static inline std::uint64_t
+    mantissa(const FpFormat &fmt, std::uint64_t raw)
+    {
+        return raw & fmt.mantissaMask();
+    }
 
     /**
      * @return the segment-descriptor key for @p raw: exponent
      * concatenated with the integer part of the real address. Unique per
      * (exponent, segField) pair.
      */
-    static std::uint64_t segKey(const FpFormat &fmt, std::uint64_t raw);
+    static inline std::uint64_t
+    segKey(const FpFormat &fmt, std::uint64_t raw)
+    {
+        FpDecoded d = decode(fmt, raw);
+        return (d.exponent << fmt.mantissaBits) | d.segField;
+    }
 
     /** Rebuild a descriptor key into (exponent, segField). */
-    static void splitSegKey(const FpFormat &fmt, std::uint64_t key,
-                            std::uint64_t &exp, std::uint64_t &seg_field);
+    static inline void
+    splitSegKey(const FpFormat &fmt, std::uint64_t key,
+                std::uint64_t &exp, std::uint64_t &seg_field)
+    {
+        exp = key >> fmt.mantissaBits;
+        seg_field = key & fmt.mantissaMask();
+    }
 
     /**
      * Add a word delta to the offset, staying within the mantissa.
@@ -127,8 +165,16 @@ class FpAddress
      * descriptor catches such strays. The add is performed on the whole
      * mantissa, exactly as address arithmetic hardware would.
      */
-    static std::uint64_t addOffset(const FpFormat &fmt, std::uint64_t raw,
-                                   std::int64_t delta_words);
+    static inline std::uint64_t
+    addOffset(const FpFormat &fmt, std::uint64_t raw,
+              std::int64_t delta_words)
+    {
+        std::uint64_t exp_field = raw & ~fmt.mantissaMask();
+        std::uint64_t mant = raw & fmt.mantissaMask();
+        mant = (mant + static_cast<std::uint64_t>(delta_words)) &
+               fmt.mantissaMask();
+        return exp_field | mant;
+    }
 
     /**
      * @return the smallest exponent whose offset field can index a

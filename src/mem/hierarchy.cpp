@@ -15,6 +15,8 @@ MemoryHierarchy::MemoryHierarchy(const std::vector<LevelConfig> &levels,
                      "' block size must be a power of two");
         Level lvl;
         lvl.cfg = cfg;
+        while ((1ull << lvl.blockShift) < cfg.blockWords)
+            ++lvl.blockShift;
         lvl.cache = std::make_unique<
             cache::SetAssocCache<std::uint64_t, BlockState>>(
             cfg.numSets, cfg.ways, cfg.policy, cfg.name);
@@ -40,7 +42,7 @@ MemoryHierarchy::access(AbsAddr addr, bool write)
     int hit_level = -1;
     for (std::size_t i = 0; i < levels_.size(); ++i) {
         auto &lvl = levels_[i];
-        std::uint64_t block = addr / lvl.cfg.blockWords;
+        std::uint64_t block = addr >> lvl.blockShift;
         res.latency += lvl.cfg.hitLatency;
         BlockState *st = lvl.cache->lookup(block);
         if (st) {
@@ -60,7 +62,7 @@ MemoryHierarchy::access(AbsAddr addr, bool write)
         hit_level < 0 ? levels_.size() : static_cast<std::size_t>(hit_level);
     for (std::size_t i = 0; i < fill_upto; ++i) {
         auto &lvl = levels_[i];
-        std::uint64_t block = addr / lvl.cfg.blockWords;
+        std::uint64_t block = addr >> lvl.blockShift;
         auto evicted = lvl.cache->insert(block,
                                          BlockState{write});
         if (evicted && evicted->value.dirty) {

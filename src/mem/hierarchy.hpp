@@ -99,6 +99,7 @@ class MemoryHierarchy
     struct Level
     {
         LevelConfig cfg;
+        unsigned blockShift = 0; ///< log2(cfg.blockWords), precomputed
         std::unique_ptr<cache::SetAssocCache<std::uint64_t, BlockState>>
             cache;
     };

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Timing-parity regression tests for the interpreter fast path.
+ *
+ * The decoded-instruction cache (core/decoded_cache.hpp) and the flat
+ * dispatch tables are host-side optimizations only: guest-visible
+ * timing — cycle counts, pipeline breakdowns, ITLB / i-cache / ATLB
+ * hit rates, context-cache traffic — and fault behavior must be
+ * bit-identical with the fast path on or off. These tests run the same
+ * workloads under both MachineConfig::enableDecodedCache settings and
+ * compare every observable statistic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hpp"
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+
+using namespace com;
+
+namespace {
+
+/** Everything guest-visible we can observe after a run. */
+struct Snapshot
+{
+    core::RunResult result;
+    mem::Word lastResult;
+    std::string output;
+
+    std::uint64_t cycles, instructions, calls, returns;
+    std::uint64_t branchDelays, callOverhead;
+    std::uint64_t itlbStalls, icacheStalls, atlbStalls;
+    std::uint64_t memoryStalls, contextStalls, trapCycles;
+
+    std::uint64_t itlbHits, itlbMisses;
+    std::uint64_t icacheHits, icacheMisses;
+    std::uint64_t atlbHits, atlbMisses;
+
+    std::uint64_t ctxAllocations, ctxCopybacks;
+    std::uint64_t ctxReturnHits, ctxReturnMisses, ctxForced;
+
+    std::uint64_t contextRefs, heapRefs;
+
+    std::uint64_t decodedHits; ///< host-side; not compared, asserted >0
+};
+
+Snapshot
+snapshotOf(core::Machine &m, const core::RunResult &r)
+{
+    Snapshot s;
+    s.result = r;
+    s.lastResult = m.lastResult();
+    s.output = m.output();
+
+    const core::Pipeline &p = m.pipeline();
+    s.cycles = p.cycles();
+    s.instructions = p.instructions();
+    s.calls = p.calls();
+    s.returns = p.returns();
+    s.branchDelays = p.branchDelays();
+    s.callOverhead = p.callOverhead();
+    s.itlbStalls = p.itlbStalls();
+    s.icacheStalls = p.icacheStalls();
+    s.atlbStalls = p.atlbStalls();
+    s.memoryStalls = p.memoryStalls();
+    s.contextStalls = p.contextStalls();
+    s.trapCycles = p.trapCycles();
+
+    s.itlbHits = m.itlb().hits();
+    s.itlbMisses = m.itlb().misses();
+    s.icacheHits = m.icache().hits();
+    s.icacheMisses = m.icache().misses();
+    s.atlbHits = m.atlb().stats().counterValue("hits");
+    s.atlbMisses = m.atlb().stats().counterValue("misses");
+
+    s.ctxAllocations = m.contextCache().allocations();
+    s.ctxCopybacks = m.contextCache().copybacks();
+    s.ctxReturnHits = m.contextCache().returnHits();
+    s.ctxReturnMisses = m.contextCache().returnMisses();
+    s.ctxForced = m.contextCache().forcedEvictions();
+
+    s.contextRefs = m.contextRefs();
+    s.heapRefs = m.heapRefs();
+
+    s.decodedHits = m.decodedCache().hits();
+    return s;
+}
+
+/** Compare every guest-visible field of two snapshots. */
+void
+expectParity(const Snapshot &fast, const Snapshot &ref,
+             const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(fast.result.fault, ref.result.fault);
+    EXPECT_EQ(fast.result.finished, ref.result.finished);
+    EXPECT_EQ(fast.result.capped, ref.result.capped);
+    EXPECT_EQ(fast.result.instructions, ref.result.instructions);
+    EXPECT_EQ(fast.result.cycles, ref.result.cycles);
+    EXPECT_EQ(fast.result.message, ref.result.message);
+    EXPECT_EQ(fast.lastResult, ref.lastResult);
+    EXPECT_EQ(fast.output, ref.output);
+
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.instructions, ref.instructions);
+    EXPECT_EQ(fast.calls, ref.calls);
+    EXPECT_EQ(fast.returns, ref.returns);
+    EXPECT_EQ(fast.branchDelays, ref.branchDelays);
+    EXPECT_EQ(fast.callOverhead, ref.callOverhead);
+    EXPECT_EQ(fast.itlbStalls, ref.itlbStalls);
+    EXPECT_EQ(fast.icacheStalls, ref.icacheStalls);
+    EXPECT_EQ(fast.atlbStalls, ref.atlbStalls);
+    EXPECT_EQ(fast.memoryStalls, ref.memoryStalls);
+    EXPECT_EQ(fast.contextStalls, ref.contextStalls);
+    EXPECT_EQ(fast.trapCycles, ref.trapCycles);
+
+    EXPECT_EQ(fast.itlbHits, ref.itlbHits);
+    EXPECT_EQ(fast.itlbMisses, ref.itlbMisses);
+    EXPECT_EQ(fast.icacheHits, ref.icacheHits);
+    EXPECT_EQ(fast.icacheMisses, ref.icacheMisses);
+    EXPECT_EQ(fast.atlbHits, ref.atlbHits);
+    EXPECT_EQ(fast.atlbMisses, ref.atlbMisses);
+
+    EXPECT_EQ(fast.ctxAllocations, ref.ctxAllocations);
+    EXPECT_EQ(fast.ctxCopybacks, ref.ctxCopybacks);
+    EXPECT_EQ(fast.ctxReturnHits, ref.ctxReturnHits);
+    EXPECT_EQ(fast.ctxReturnMisses, ref.ctxReturnMisses);
+    EXPECT_EQ(fast.ctxForced, ref.ctxForced);
+
+    EXPECT_EQ(fast.contextRefs, ref.contextRefs);
+    EXPECT_EQ(fast.heapRefs, ref.heapRefs);
+}
+
+core::MachineConfig
+configFor(bool decoded)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    cfg.enableDecodedCache = decoded;
+    return cfg;
+}
+
+Snapshot
+runWorkload(const std::string &name, bool decoded)
+{
+    core::Machine m(configFor(decoded));
+    m.installStandardLibrary();
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p =
+        cc.compileSource(lang::workload(name).source);
+    core::RunResult r =
+        m.call(p.entryVaddr, m.constants().nilWord(), {});
+    return snapshotOf(m, r);
+}
+
+class WorkloadParity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadParity, FastPathMatchesReference)
+{
+    const std::string name = GetParam();
+    Snapshot fast = runWorkload(name, true);
+    Snapshot ref = runWorkload(name, false);
+
+    EXPECT_TRUE(fast.result.finished) << fast.result.message;
+    // The fast path must actually have engaged, or this test proves
+    // nothing.
+    EXPECT_GT(fast.decodedHits, 0u);
+    EXPECT_EQ(ref.decodedHits, 0u);
+
+    expectParity(fast, ref, name);
+}
+
+// sieve (data-access heavy), fib (call/return heavy), sort (late
+// binding), richards (control heavy): the profiles that stress every
+// fast-path branch.
+INSTANTIATE_TEST_SUITE_P(AllProfiles, WorkloadParity,
+                         ::testing::Values("sieve", "fib", "sort",
+                                           "richards"));
+
+TEST(TimingParity, FaultBehaviorIdentical)
+{
+    // A send nothing understands: the DoesNotUnderstand path must
+    // report the same fault, detail and timing either way.
+    auto run = [](bool decoded) {
+        core::Machine m(configFor(decoded));
+        m.installStandardLibrary();
+        core::Assembler as(m);
+        std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+            move   c8, =7
+            msg    "frobnicate:", c9, c8, c8
+            putres.r c2, c9
+        )"));
+        core::RunResult r =
+            m.call(entry, m.constants().nilWord(), {});
+        return snapshotOf(m, r);
+    };
+    Snapshot fast = run(true);
+    Snapshot ref = run(false);
+    EXPECT_EQ(fast.result.fault, core::GuestFault::DoesNotUnderstand);
+    expectParity(fast, ref, "doesNotUnderstand");
+}
+
+TEST(TimingParity, SelfModifiedCodeInvalidatesDecodings)
+{
+    // Execute a method, overwrite its first word through the guest
+    // store path (which must invalidate any memoized decoding), and
+    // execute it again: both configurations must fault identically —
+    // the fast path may not serve the stale decoding.
+    auto run = [](bool decoded) {
+        core::Machine m(configFor(decoded));
+        m.installStandardLibrary();
+        core::Assembler as(m);
+        std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+            move   c8, =41
+            add    c9, c8, =1
+            putres.r c2, c9
+        )"));
+        core::RunResult first =
+            m.call(entry, m.constants().nilWord(), {});
+        EXPECT_TRUE(first.finished);
+        EXPECT_EQ(m.lastResult().asInt(), 42);
+
+        // Guest-path store over the first instruction word.
+        core::GuestFault f = m.indexedStore(
+            mem::Word::fromPointer(static_cast<std::uint32_t>(entry)),
+            0, mem::Word::fromInt(1234));
+        EXPECT_EQ(f, core::GuestFault::None);
+
+        core::RunResult second =
+            m.call(entry, m.constants().nilWord(), {});
+        return std::make_pair(snapshotOf(m, second), second);
+    };
+    auto [fast, fastR] = run(true);
+    auto [ref, refR] = run(false);
+    EXPECT_EQ(fastR.fault, core::GuestFault::ExecuteData);
+    EXPECT_EQ(refR.fault, core::GuestFault::ExecuteData);
+    expectParity(fast, ref, "selfModify");
+}
+
+} // namespace
