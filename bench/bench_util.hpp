@@ -13,9 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/machine.hpp"
+#include "api/engine.hpp"
 #include "fith/fith_programs.hpp"
-#include "lang/compiler_com.hpp"
 #include "lang/workloads.hpp"
 #include "sim/strutil.hpp"
 #include "trace/trace.hpp"
@@ -73,32 +72,27 @@ fithTrace(std::size_t min_entries = 200'000)
 inline trace::Trace
 comTrace()
 {
-    core::MachineConfig cfg;
-    cfg.contextPoolSize = 4096;
-    core::Machine m(cfg);
-    m.installStandardLibrary();
-    lang::ComCompiler cc(m);
-
+    api::ComEngine engine;
     trace::Trace t;
-    m.setTraceSink([&t](const core::TraceRecord &tr) {
+    engine.machine().setTraceSink([&t](const core::TraceRecord &tr) {
         t.record(tr.ipBits, tr.opcodeKey, tr.receiverClass);
     });
     for (const lang::Workload &w : lang::workloads()) {
-        lang::CompiledProgram p = cc.compileSource(w.source);
-        core::RunResult r =
-            m.call(p.entryVaddr, m.constants().nilWord(), {});
-        if (!r.finished)
+        api::RunOutcome r =
+            engine.run(api::ProgramSpec::workload(w.name));
+        if (!r.ok)
             std::fprintf(stderr, "workload %s did not finish: %s\n",
-                         w.name.c_str(), r.message.c_str());
+                         w.name.c_str(), r.error.c_str());
     }
     return t;
 }
 
-/** Fresh machine with the standard library, compiled workload run. */
+/** One workload run on a COM engine, machine kept for statistics. */
 struct WorkloadRun
 {
-    std::unique_ptr<core::Machine> machine;
-    core::RunResult result;
+    std::unique_ptr<api::ComEngine> engine;
+    api::RunOutcome outcome;
+    core::Machine *machine = nullptr;
 };
 
 inline WorkloadRun
@@ -106,13 +100,9 @@ runWorkloadOnCom(const lang::Workload &w,
                  const core::MachineConfig &cfg = {})
 {
     WorkloadRun out;
-    out.machine = std::make_unique<core::Machine>(cfg);
-    out.machine->installStandardLibrary();
-    lang::ComCompiler cc(*out.machine);
-    lang::CompiledProgram p = cc.compileSource(w.source);
-    out.result = out.machine->call(p.entryVaddr,
-                                   out.machine->constants().nilWord(),
-                                   {});
+    out.engine = std::make_unique<api::ComEngine>(cfg);
+    out.outcome = out.engine->run(api::ProgramSpec::workload(w.name));
+    out.machine = &out.engine->machine();
     return out;
 }
 

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Minimal shared --flag=value parser for the bench binaries.
+ *
+ * bench_perf used to ignore what it didn't recognize; bench_serve and
+ * bench_perf now share this parser, which rejects unknown flags with
+ * usage text and supports --help. All flags take the --name=value
+ * form; --help (and -h) print usage and exit 0; anything unrecognized
+ * prints usage and exits 2.
+ */
+
+#ifndef COMSIM_BENCH_FLAGS_HPP
+#define COMSIM_BENCH_FLAGS_HPP
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace com::bench {
+
+/** Declared flags bound to caller-owned variables. */
+class FlagSet
+{
+  public:
+    /**
+     * @param program binary name for the usage line
+     * @param summary one-line description printed by --help
+     */
+    FlagSet(std::string program, std::string summary)
+        : program_(std::move(program)), summary_(std::move(summary))
+    {
+    }
+
+    /** A floating point flag: --name=1.5 */
+    void
+    addDouble(const std::string &name, double *target,
+              const std::string &doc)
+    {
+        flags_.push_back({name, doc, Kind::Double, target, nullptr,
+                          nullptr});
+    }
+
+    /** A string flag: --name=text */
+    void
+    addString(const std::string &name, std::string *target,
+              const std::string &doc)
+    {
+        flags_.push_back({name, doc, Kind::String, nullptr, target,
+                          nullptr});
+    }
+
+    /** An unsigned integer flag: --name=4 */
+    void
+    addUint(const std::string &name, std::uint64_t *target,
+            const std::string &doc)
+    {
+        flags_.push_back({name, doc, Kind::Uint, nullptr, nullptr,
+                          target});
+    }
+
+    /**
+     * Parse argv. On --help prints usage and exits 0; on an unknown
+     * flag, a missing '=', or an unparsable value prints usage to
+     * stderr and exits 2.
+     */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(stdout);
+                std::exit(0);
+            }
+            std::string::size_type eq = arg.find('=');
+            if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+                std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
+                             program_.c_str(), arg.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+            std::string name = arg.substr(2, eq - 2);
+            std::string value = arg.substr(eq + 1);
+            const Flag *flag = find(name);
+            if (!flag) {
+                std::fprintf(stderr, "%s: unknown flag '--%s'\n",
+                             program_.c_str(), name.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+            if (!apply(*flag, value)) {
+                std::fprintf(stderr,
+                             "%s: bad value '%s' for flag '--%s'\n",
+                             program_.c_str(), value.c_str(),
+                             name.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+        }
+    }
+
+    /** Print the usage text. */
+    void
+    usage(std::FILE *f) const
+    {
+        std::fprintf(f, "%s — %s\n\nusage: %s [flags]\n", program_.c_str(),
+                     summary_.c_str(), program_.c_str());
+        for (const Flag &fl : flags_)
+            std::fprintf(f, "  --%-18s %s\n",
+                         (fl.name + "=" + placeholder(fl.kind)).c_str(),
+                         fl.doc.c_str());
+        std::fprintf(f, "  --%-18s %s\n", "help",
+                     "print this message and exit");
+    }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Double,
+        String,
+        Uint,
+    };
+
+    struct Flag
+    {
+        std::string name;
+        std::string doc;
+        Kind kind;
+        double *d;
+        std::string *s;
+        std::uint64_t *u;
+    };
+
+    static const char *
+    placeholder(Kind k)
+    {
+        switch (k) {
+          case Kind::Double:
+            return "N.N";
+          case Kind::Uint:
+            return "N";
+          case Kind::String:
+            return "...";
+        }
+        return "?";
+    }
+
+    const Flag *
+    find(const std::string &name) const
+    {
+        for (const Flag &f : flags_)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+
+    static bool
+    apply(const Flag &flag, const std::string &value)
+    {
+        char *end = nullptr;
+        switch (flag.kind) {
+          case Kind::Double: {
+            double v = std::strtod(value.c_str(), &end);
+            if (value.empty() || *end != '\0')
+                return false;
+            *flag.d = v;
+            return true;
+          }
+          case Kind::Uint: {
+            // strtoull silently wraps negatives ("-1" -> 2^64-1) and
+            // saturates out-of-range values (ERANGE).
+            if (value.empty() || value[0] == '-' || value[0] == '+')
+                return false;
+            errno = 0;
+            unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+            if (*end != '\0' || errno == ERANGE)
+                return false;
+            *flag.u = v;
+            return true;
+          }
+          case Kind::String:
+            *flag.s = value;
+            return true;
+        }
+        return false;
+    }
+
+    std::string program_;
+    std::string summary_;
+    std::vector<Flag> flags_;
+};
+
+/** Split a comma-separated flag value ("a,b,c") into its items. */
+inline std::vector<std::string>
+splitCsv(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= value.size()) {
+        std::string::size_type comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > start)
+            out.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace com::bench
+
+#endif // COMSIM_BENCH_FLAGS_HPP

@@ -6,8 +6,14 @@
  * own performance — the COM interpreter (per workload), the stack VM,
  * the Fith interpreter and the trace-driven cache simulator, in guest
  * operations per second. Besides the human table, the harness writes
- * `BENCH_perf.json` (schema `comsim.bench.perf/v1`, documented in
+ * `BENCH_perf.json` (schema `comsim.bench.perf/v2`, documented in
  * ROADMAP.md) so every future change has a measured baseline to beat.
+ * The multi-session serving numbers are produced by bench_serve, which
+ * merges its entries into the same file.
+ *
+ * All three executors are driven through the unified Engine API
+ * (api/engine.hpp): one ProgramSpec-in / RunOutcome-out surface, no
+ * per-engine compile/run glue.
  *
  * Self-contained timing loop (no google-benchmark dependency): each
  * benchmark is warmed up once, then run repeatedly until the measured
@@ -18,32 +24,19 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/machine.hpp"
-#include "fith/fith.hpp"
+#include "api/engine.hpp"
+#include "bench/flags.hpp"
+#include "bench/perf_json.hpp"
 #include "fith/fith_programs.hpp"
-#include "lang/compiler_com.hpp"
-#include "lang/compiler_stack.hpp"
-#include "lang/stack_vm.hpp"
 #include "lang/workloads.hpp"
 #include "trace/cache_sim.hpp"
 
 using namespace com;
 
 namespace {
-
-struct BenchResult
-{
-    std::string name;
-    std::string unit;        ///< what "rate" counts per second
-    double rate = 0.0;       ///< ops per second
-    std::uint64_t ops = 0;   ///< total guest operations measured
-    std::uint64_t iterations = 0;
-    double seconds = 0.0;
-};
 
 double minTimeSeconds = 0.3;
 
@@ -52,13 +45,13 @@ double minTimeSeconds = 0.3;
  * passes the minimum; one untimed warmup iteration first.
  */
 template <typename F>
-BenchResult
+bench::BenchResult
 measure(const std::string &name, const std::string &unit, F &&iteration)
 {
     using clock = std::chrono::steady_clock;
     iteration(); // warmup: fills host and simulated caches
 
-    BenchResult r;
+    bench::BenchResult r;
     r.name = name;
     r.unit = unit;
     clock::time_point start = clock::now();
@@ -79,52 +72,26 @@ measure(const std::string &name, const std::string &unit, F &&iteration)
     return r;
 }
 
-/** COM interpreter throughput on one named workload. */
-BenchResult
-benchCom(const std::string &bench_name, const std::string &workload)
+/**
+ * Throughput of one engine on one spec. The engine memoizes the
+ * compile, so the loop measures execution, matching the historical
+ * per-run numbers.
+ */
+bench::BenchResult
+benchEngine(api::Engine &engine, const std::string &bench_name,
+            const std::string &unit, const api::ProgramSpec &spec)
 {
-    const lang::Workload &w = lang::workload(workload);
-    core::MachineConfig cfg;
-    cfg.contextPoolSize = 4096;
-    core::Machine m(cfg);
-    m.installStandardLibrary();
-    lang::ComCompiler cc(m);
-    lang::CompiledProgram p = cc.compileSource(w.source);
-
-    return measure(bench_name, "guest_instrs/s", [&]() {
-        core::RunResult r =
-            m.call(p.entryVaddr, m.constants().nilWord(), {});
-        return r.instructions;
+    return measure(bench_name, unit, [&]() {
+        api::RunOutcome o = engine.run(spec);
+        if (!o.ok)
+            std::fprintf(stderr, "%s failed on %s: %s\n",
+                         engine.name(), spec.name.c_str(),
+                         o.error.c_str());
+        return o.operations;
     });
 }
 
-BenchResult
-benchStackVm()
-{
-    const lang::Workload &w = lang::workload("sieve");
-    lang::StackVm vm;
-    lang::StackCompiler sc(vm);
-    lang::StackCompiled p = sc.compileSource(w.source);
-
-    return measure("BM_StackVm", "bytecodes/s", [&]() {
-        lang::SResult r = vm.run(p.entry);
-        return r.bytecodes;
-    });
-}
-
-BenchResult
-benchFith()
-{
-    return measure("BM_FithInterpreter", "steps/s", [&]() {
-        fith::FithMachine fm;
-        fith::FithResult r = fm.run(
-            ":: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + "
-            "THEN ;\n14 fib drop");
-        return r.steps;
-    });
-}
-
-BenchResult
+bench::BenchResult
 benchTraceCacheSim(std::size_t entries)
 {
     static const trace::Trace t = fith::collectSuiteTrace(42, 100'000);
@@ -137,83 +104,63 @@ benchTraceCacheSim(std::size_t entries)
     });
 }
 
-/** Minimal JSON string escape (names are ASCII identifiers anyway). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-bool
-writeJson(const std::string &path, const std::vector<BenchResult> &all)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        return false;
-    }
-    std::fprintf(f, "{\n  \"schema\": \"comsim.bench.perf/v1\",\n");
-    std::fprintf(f, "  \"min_time_seconds\": %g,\n", minTimeSeconds);
-    std::fprintf(f, "  \"benchmarks\": [\n");
-    for (std::size_t i = 0; i < all.size(); ++i) {
-        const BenchResult &r = all[i];
-        std::fprintf(
-            f,
-            "    {\"name\": \"%s\", \"unit\": \"%s\", "
-            "\"rate\": %.1f, \"ops\": %llu, \"iterations\": %llu, "
-            "\"seconds\": %.4f}%s\n",
-            jsonEscape(r.name).c_str(), jsonEscape(r.unit).c_str(),
-            r.rate, static_cast<unsigned long long>(r.ops),
-            static_cast<unsigned long long>(r.iterations), r.seconds,
-            i + 1 < all.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
-    return true;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_perf.json";
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (std::strncmp(a, "--min-time=", 11) == 0)
-            minTimeSeconds = std::atof(a + 11);
-        else if (std::strncmp(a, "--out=", 6) == 0)
-            out_path = a + 6;
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [--min-time=S] [--out=FILE]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    bench::FlagSet flags(
+        "bench_perf",
+        "single-engine host-throughput benchmarks; writes the "
+        "BENCH_perf.json trajectory");
+    flags.addDouble("min-time", &minTimeSeconds,
+                    "per-benchmark timing floor in seconds");
+    flags.addString("out", &out_path, "trajectory file to write");
+    flags.parse(argc, argv);
 
     std::printf("comsim throughput benchmarks "
                 "(min %.2fs per benchmark)\n\n",
                 minTimeSeconds);
 
-    std::vector<BenchResult> all;
+    std::vector<bench::BenchResult> all;
+
     // BM_ComInterpreter is the headline number (sieve, matching the
     // original google-benchmark harness); the per-workload entries
-    // cover the call-heavy and dispatch-heavy profiles too.
-    all.push_back(benchCom("BM_ComInterpreter", "sieve"));
-    for (const lang::Workload &w : lang::workloads())
-        all.push_back(benchCom("BM_ComInterpreter/" + w.name, w.name));
-    all.push_back(benchStackVm());
-    all.push_back(benchFith());
+    // cover the call-heavy and dispatch-heavy profiles too. One
+    // engine per workload: machines are not shared across specs here
+    // so each entry's simulated cache state is self-contained.
+    {
+        api::ComEngine engine;
+        all.push_back(benchEngine(engine, "BM_ComInterpreter",
+                                  "guest_instrs/s",
+                                  api::ProgramSpec::workload("sieve")));
+    }
+    for (const lang::Workload &w : lang::workloads()) {
+        api::ComEngine engine;
+        all.push_back(benchEngine(engine, "BM_ComInterpreter/" + w.name,
+                                  "guest_instrs/s",
+                                  api::ProgramSpec::workload(w.name)));
+    }
+    {
+        api::StackEngine engine;
+        all.push_back(benchEngine(engine, "BM_StackVm", "bytecodes/s",
+                                  api::ProgramSpec::workload("sieve")));
+    }
+    {
+        // The historical Fith benchmark program (fib 14); the engine
+        // interprets it on a fresh machine each run, as the original
+        // harness did.
+        api::FithEngine engine;
+        all.push_back(benchEngine(
+            engine, "BM_FithInterpreter", "steps/s",
+            api::ProgramSpec::fith(
+                "fib14",
+                ":: Int fib dup 2 < IF ELSE dup 1 - fib swap 2 - fib + "
+                "THEN ;\n14 fib drop")));
+    }
     for (std::size_t entries : {64u, 512u, 4096u})
         all.push_back(benchTraceCacheSim(entries));
 
-    return writeJson(out_path, all) ? 0 : 1;
+    return bench::writePerfJson(out_path, minTimeSeconds, all) ? 0 : 1;
 }

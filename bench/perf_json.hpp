@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The BENCH_perf.json trajectory file, shared by bench_perf and
+ * bench_serve (schema comsim.bench.perf/v2, documented in ROADMAP.md).
+ *
+ * bench_perf rewrites the file with its single-engine throughput
+ * entries; bench_serve merges its BM_Serve/* requests/s entries into
+ * the existing file, replacing earlier serve entries and preserving
+ * everything else. The loader only needs to round-trip what these two
+ * writers emit (one benchmark object per line), so it is a small
+ * line-oriented scanner, not a general JSON parser.
+ */
+
+#ifndef COMSIM_BENCH_PERF_JSON_HPP
+#define COMSIM_BENCH_PERF_JSON_HPP
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace com::bench {
+
+/** Current trajectory schema. v2 adds requests/s serving entries with
+ *  per-entry integer detail fields (threads, sessions, ...). */
+constexpr const char *kPerfSchema = "comsim.bench.perf/v2";
+
+/** One benchmark measurement. */
+struct BenchResult
+{
+    std::string name;
+    std::string unit;        ///< what "rate" counts per second
+    double rate = 0.0;       ///< ops per second (the trajectory)
+    std::uint64_t ops = 0;   ///< total guest operations measured
+    std::uint64_t iterations = 0;
+    double seconds = 0.0;
+    /** Extra integer fields (v2): e.g. {"threads", 4}. */
+    std::vector<std::pair<std::string, std::uint64_t>> details;
+};
+
+/** Minimal JSON string escape (names are ASCII identifiers anyway). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Write the trajectory file. @return false on I/O failure. */
+inline bool
+writePerfJson(const std::string &path, double min_time_seconds,
+              const std::vector<BenchResult> &all)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"%s\",\n", kPerfSchema);
+    std::fprintf(f, "  \"min_time_seconds\": %g,\n", min_time_seconds);
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const BenchResult &r = all[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"unit\": \"%s\", "
+            "\"rate\": %.1f, \"ops\": %llu, \"iterations\": %llu, "
+            "\"seconds\": %.4f",
+            jsonEscape(r.name).c_str(), jsonEscape(r.unit).c_str(),
+            r.rate, static_cast<unsigned long long>(r.ops),
+            static_cast<unsigned long long>(r.iterations), r.seconds);
+        for (const auto &kv : r.details)
+            std::fprintf(f, ", \"%s\": %llu",
+                         jsonEscape(kv.first).c_str(),
+                         static_cast<unsigned long long>(kv.second));
+        std::fprintf(f, "}%s\n", i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+}
+
+namespace detail {
+
+/** Extract "key": "value" from @p line; @return success. */
+inline bool
+jsonStringField(const std::string &line, const std::string &key,
+                std::string &out)
+{
+    std::string needle = "\"" + key + "\": \"";
+    std::string::size_type at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    std::string::size_type start = at + needle.size();
+    std::string value;
+    for (std::string::size_type i = start; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            value.push_back(line[++i]);
+            continue;
+        }
+        if (c == '"') {
+            out = value;
+            return true;
+        }
+        value.push_back(c);
+    }
+    return false;
+}
+
+/** Extract "key": number from @p line; @return success. */
+inline bool
+jsonNumberField(const std::string &line, const std::string &key,
+                double &out)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::string::size_type at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    return std::sscanf(line.c_str() + at + needle.size(), "%lf", &out) ==
+           1;
+}
+
+} // namespace detail
+
+/**
+ * Load the benchmark entries of an existing trajectory file (v1 or
+ * v2). Unreadable or unparsable files load as empty — the callers
+ * rewrite from scratch then.
+ * @param[out] min_time_seconds the file's timing floor, if present;
+ *             untouched otherwise (pass a preset default); may be null
+ */
+inline std::vector<BenchResult>
+loadPerfJson(const std::string &path,
+             double *min_time_seconds = nullptr)
+{
+    std::vector<BenchResult> out;
+    std::ifstream f(path);
+    if (!f)
+        return out;
+    std::string line;
+    while (std::getline(f, line)) {
+        BenchResult r;
+        double num = 0.0;
+        if (min_time_seconds &&
+            detail::jsonNumberField(line, "min_time_seconds", num))
+            *min_time_seconds = num;
+        if (!detail::jsonStringField(line, "name", r.name) ||
+            !detail::jsonStringField(line, "unit", r.unit))
+            continue;
+        if (detail::jsonNumberField(line, "rate", num))
+            r.rate = num;
+        if (detail::jsonNumberField(line, "ops", num))
+            r.ops = static_cast<std::uint64_t>(num);
+        if (detail::jsonNumberField(line, "iterations", num))
+            r.iterations = static_cast<std::uint64_t>(num);
+        if (detail::jsonNumberField(line, "seconds", num))
+            r.seconds = num;
+        for (const char *key : {"threads", "sessions", "requests",
+                                "max_concurrent", "failures"})
+            if (detail::jsonNumberField(line, key, num))
+                r.details.emplace_back(
+                    key, static_cast<std::uint64_t>(num));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace com::bench
+
+#endif // COMSIM_BENCH_PERF_JSON_HPP

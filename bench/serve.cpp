@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Multi-session serving benchmark over the EnginePool.
+ *
+ * The north star is serving heavy traffic, not running one program:
+ * this driver spawns worker threads that check sessions out of a
+ * shared api::EnginePool, run mixed workloads across the COM, stack-VM
+ * and Fith engines, verify every response (checksum where the spec
+ * carries one, plus byte-exact guest output against a single-threaded
+ * reference run), and release the session (which resets the machine
+ * for the next request — Machine::reset() makes the reuse real;
+ * tests/test_machine_reset.cpp proves a reset machine is bit-identical
+ * to a fresh one).
+ *
+ * Results are requests/s entries (BM_Serve/<scenario>) merged into
+ * BENCH_perf.json next to bench_perf's single-engine throughput
+ * numbers (schema comsim.bench.perf/v2, documented in ROADMAP.md).
+ *
+ * Usage:
+ *   bench_serve [--threads=4] [--requests=100] [--sessions=N]
+ *               [--engines=com,stack,fith] [--workloads=a,b,...]
+ *               [--out=BENCH_perf.json]
+ */
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/session.hpp"
+#include "bench/flags.hpp"
+#include "bench/perf_json.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/workloads.hpp"
+#include "sim/logging.hpp"
+
+using namespace com;
+
+namespace {
+
+/** One queued request: which engine kind runs which program. */
+struct Request
+{
+    api::EngineKind kind;
+    api::ProgramSpec spec;
+    /** Guest output of a single-threaded reference run; every served
+     *  response must reproduce it (catches cross-session leakage even
+     *  for programs without an integer checksum, e.g. Fith). */
+    std::string expectedOutput;
+};
+
+/** A named request mix measured as one benchmark entry. */
+struct Scenario
+{
+    std::string name;
+    std::vector<Request> mix;
+};
+
+struct ServeStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t guestOps = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t maxConcurrent = 0;
+    double seconds = 0.0;
+};
+
+/** Drive @p scenario with @p threads workers over @p pool. */
+ServeStats
+runScenario(api::EnginePool &pool, const Scenario &scenario,
+            std::uint64_t threads, std::uint64_t requests_per_thread)
+{
+    std::atomic<std::uint64_t> guest_ops{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> max_active{0};
+
+    auto worker = [&](std::uint64_t tid) {
+        for (std::uint64_t i = 0; i < requests_per_thread; ++i) {
+            const Request &req = scenario.mix[static_cast<std::size_t>(
+                (tid + i * threads) % scenario.mix.size())];
+            api::Session session = pool.checkout(req.kind);
+
+            std::uint64_t now = active.fetch_add(1) + 1;
+            std::uint64_t seen = max_active.load();
+            while (seen < now &&
+                   !max_active.compare_exchange_weak(seen, now)) {
+            }
+
+            api::RunOutcome out = session.run(req.spec);
+            active.fetch_sub(1);
+
+            if (!out.matches(req.spec) ||
+                out.output != req.expectedOutput) {
+                failures.fetch_add(1);
+                std::fprintf(stderr,
+                             "FAIL %s on %s engine: %s (result %s)\n",
+                             req.spec.name.c_str(),
+                             api::engineKindName(req.kind),
+                             !out.ok          ? out.error.c_str()
+                             : !out.matches(req.spec)
+                                 ? "checksum mismatch"
+                                 : "output differs from reference",
+                             out.resultText.c_str());
+            }
+            guest_ops.fetch_add(out.operations);
+            // Session destructor: reset + checkin.
+        }
+    };
+
+    using clock = std::chrono::steady_clock;
+    clock::time_point start = clock::now();
+    std::vector<std::thread> poolThreads;
+    for (std::uint64_t t = 0; t < threads; ++t)
+        poolThreads.emplace_back(worker, t);
+    for (std::thread &t : poolThreads)
+        t.join();
+
+    ServeStats s;
+    s.seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    s.requests = threads * requests_per_thread;
+    s.guestOps = guest_ops.load();
+    s.failures = failures.load();
+    s.maxConcurrent = max_active.load();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t threads = 4;
+    std::uint64_t requests_per_thread = 100;
+    std::uint64_t sessions = 0; // 0: one engine of each kind per thread
+    std::string engines_csv = "com,stack,fith";
+    std::string workloads_csv = "all";
+    std::string out_path = "BENCH_perf.json";
+
+    bench::FlagSet flags(
+        "bench_serve",
+        "multi-threaded serving benchmark over the engine pool; merges "
+        "requests/s entries into the BENCH_perf.json trajectory");
+    flags.addUint("threads", &threads, "concurrent request threads");
+    flags.addUint("requests", &requests_per_thread,
+                  "requests issued per thread per scenario");
+    flags.addUint("sessions", &sessions,
+                  "pooled engines per kind (default: one per thread)");
+    flags.addString("engines", &engines_csv,
+                    "engines to serve (csv of com,stack,fith)");
+    flags.addString("workloads", &workloads_csv,
+                    "Smalltalk workloads to mix ('all' or csv)");
+    flags.addString("out", &out_path, "trajectory file to merge into");
+    flags.parse(argc, argv);
+
+    if (threads == 0 || requests_per_thread == 0) {
+        std::fprintf(stderr,
+                     "bench_serve: --threads and --requests must be "
+                     "positive\n");
+        return 2;
+    }
+    if (sessions == 0)
+        sessions = threads;
+
+    // Engine selection (deduplicated: "--engines=com,com" is one
+    // engine, not two scenarios).
+    std::vector<api::EngineKind> kinds;
+    for (const std::string &name : bench::splitCsv(engines_csv)) {
+        api::EngineKind kind;
+        if (!api::parseEngineKind(name, kind)) {
+            std::fprintf(stderr,
+                         "bench_serve: unknown engine '%s' (available: "
+                         "com, stack, fith)\n",
+                         name.c_str());
+            return 2;
+        }
+        if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end())
+            kinds.push_back(kind);
+    }
+    if (kinds.empty()) {
+        std::fprintf(stderr,
+                     "bench_serve: --engines selected no engine "
+                     "(available: com, stack, fith)\n");
+        return 2;
+    }
+    auto selected = [&kinds](api::EngineKind k) {
+        for (api::EngineKind kind : kinds)
+            if (kind == k)
+                return true;
+        return false;
+    };
+
+    // Workload selection (validated against the suite, so a typo lists
+    // the real names via lang::workload's fatal message).
+    std::vector<std::string> workload_names =
+        workloads_csv == "all" ? lang::workloadNames()
+                               : bench::splitCsv(workloads_csv);
+    try {
+        for (const std::string &name : workload_names)
+            (void)lang::workload(name);
+    } catch (const sim::FatalError &) {
+        return 2; // fatal() already printed the message + names
+    }
+
+    // The request mixes: every selected Smalltalk workload on the COM
+    // and stack engines, the standard Fith suite on the Fith engine.
+    // Each request is first run once on a single-threaded reference
+    // engine; the recorded output (plus the checksum, where the spec
+    // carries one) is what every served response must reproduce.
+    std::array<std::unique_ptr<api::Engine>, api::kNumEngineKinds>
+        refEngines;
+    for (api::EngineKind kind : kinds)
+        refEngines[static_cast<std::size_t>(kind)] =
+            api::makeEngine(kind);
+
+    Scenario mixed{"mixed", {}};
+    std::vector<Scenario> perEngine;
+    auto add = [&](api::EngineKind kind, const api::ProgramSpec &spec) {
+        api::Engine &ref =
+            *refEngines[static_cast<std::size_t>(kind)];
+        api::RunOutcome out = ref.run(spec);
+        ref.reset(); // every pooled request starts from a reset engine
+        if (!out.matches(spec)) {
+            std::fprintf(stderr,
+                         "bench_serve: reference run of %s on the %s "
+                         "engine failed: %s\n",
+                         spec.name.c_str(), api::engineKindName(kind),
+                         out.ok ? "checksum mismatch"
+                                : out.error.c_str());
+            std::exit(1);
+        }
+        Request req{kind, spec, out.output};
+        mixed.mix.push_back(req);
+        for (Scenario &s : perEngine)
+            if (s.name == api::engineKindName(kind))
+                s.mix.push_back(req);
+    };
+    for (api::EngineKind kind : kinds)
+        perEngine.push_back({api::engineKindName(kind), {}});
+    for (const std::string &name : workload_names) {
+        api::ProgramSpec spec = api::ProgramSpec::workload(name);
+        if (selected(api::EngineKind::Com))
+            add(api::EngineKind::Com, spec);
+        if (selected(api::EngineKind::Stack))
+            add(api::EngineKind::Stack, spec);
+    }
+    if (selected(api::EngineKind::Fith))
+        for (const fith::FithProgram &p : fith::standardPrograms())
+            add(api::EngineKind::Fith,
+                api::ProgramSpec::fith("fith:" + p.name, p.source));
+
+    std::vector<Scenario> scenarios;
+    if (kinds.size() > 1)
+        scenarios.push_back(std::move(mixed));
+    for (Scenario &s : perEngine)
+        if (!s.mix.empty())
+            scenarios.push_back(std::move(s));
+    if (scenarios.empty()) {
+        // E.g. --engines=com --workloads= : serving zero requests must
+        // not quietly rewrite the trajectory with no serve entries.
+        std::fprintf(stderr,
+                     "bench_serve: selection produced no requests "
+                     "(check --engines/--workloads)\n");
+        return 2;
+    }
+
+    // One pool serves every scenario; engines reset between requests.
+    api::EnginePool::Config pool_cfg;
+    pool_cfg.comEngines = selected(api::EngineKind::Com) ? sessions : 0;
+    pool_cfg.stackEngines =
+        selected(api::EngineKind::Stack) ? sessions : 0;
+    pool_cfg.fithEngines = selected(api::EngineKind::Fith) ? sessions : 0;
+    api::EnginePool pool(pool_cfg);
+
+    std::printf("comsim serving benchmark: %llu threads, %llu requests "
+                "per thread, %llu sessions per engine kind\n\n",
+                static_cast<unsigned long long>(threads),
+                static_cast<unsigned long long>(requests_per_thread),
+                static_cast<unsigned long long>(sessions));
+
+    std::vector<bench::BenchResult> serve_results;
+    std::uint64_t total_failures = 0;
+    for (const Scenario &scenario : scenarios) {
+        ServeStats s =
+            runScenario(pool, scenario, threads, requests_per_thread);
+        total_failures += s.failures;
+
+        bench::BenchResult r;
+        r.name = "BM_Serve/" + scenario.name;
+        r.unit = "requests/s";
+        r.rate = s.seconds > 0.0
+                     ? static_cast<double>(s.requests) / s.seconds
+                     : 0.0;
+        r.ops = s.guestOps;
+        r.iterations = s.requests;
+        r.seconds = s.seconds;
+        r.details = {{"threads", threads},
+                     {"sessions", sessions},
+                     {"requests", s.requests},
+                     {"max_concurrent", s.maxConcurrent},
+                     {"failures", s.failures}};
+        serve_results.push_back(r);
+
+        std::printf("  %-24s %10.1f requests/s  (%llu requests, "
+                    "max %llu concurrent, %llu failures, %.2fs)\n",
+                    r.name.c_str(), r.rate,
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.maxConcurrent),
+                    static_cast<unsigned long long>(s.failures),
+                    s.seconds);
+    }
+
+    std::printf("\npool: %llu checkouts, %llu resets, %llu waits\n",
+                static_cast<unsigned long long>(pool.checkouts()),
+                static_cast<unsigned long long>(pool.resets()),
+                static_cast<unsigned long long>(pool.waits()));
+
+    // Merge into the trajectory: keep bench_perf's entries (and its
+    // min_time header), replace any previous serve entries.
+    double min_time = 0.3;
+    std::vector<bench::BenchResult> all;
+    for (bench::BenchResult &r : bench::loadPerfJson(out_path, &min_time))
+        if (r.name.rfind("BM_Serve", 0) != 0)
+            all.push_back(std::move(r));
+    for (bench::BenchResult &r : serve_results)
+        all.push_back(std::move(r));
+    if (!bench::writePerfJson(out_path, min_time, all))
+        return 1;
+
+    return total_failures == 0 ? 0 : 1;
+}

@@ -42,7 +42,7 @@ main()
             cfg.atlbSets = pt.sets;
             cfg.atlbWays = pt.ways;
             bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
-            if (!run.result.finished)
+            if (!run.outcome.ok)
                 continue;
             core::Machine &m = *run.machine;
             stalls += m.pipeline().atlbStalls();

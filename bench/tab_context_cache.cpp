@@ -52,7 +52,7 @@ sweepWorkloads(const std::vector<std::size_t> &sizes)
             cfg.contextPoolSize = 4096;
             cfg.ctxCacheBlocks = blocks;
             bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
-            if (!run.result.finished)
+            if (!run.outcome.ok)
                 continue;
             core::Machine &m = *run.machine;
             hits += m.contextCache().returnHits();

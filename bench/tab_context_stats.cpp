@@ -42,9 +42,9 @@ main()
         core::MachineConfig cfg;
         cfg.contextPoolSize = 4096;
         bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
-        if (!run.result.finished) {
+        if (!run.outcome.ok) {
             std::fprintf(stderr, "%s: %s\n", w.name.c_str(),
-                         run.result.message.c_str());
+                         run.outcome.error.c_str());
             continue;
         }
         core::Machine &m = *run.machine;

@@ -32,7 +32,7 @@ main()
         core::MachineConfig cfg;
         cfg.contextPoolSize = 4096;
         bench::WorkloadRun run = bench::runWorkloadOnCom(w, cfg);
-        if (!run.result.finished)
+        if (!run.outcome.ok)
             continue;
         core::Machine &m = *run.machine;
         const core::Pipeline &p = m.pipeline();

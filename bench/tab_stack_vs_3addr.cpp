@@ -19,7 +19,12 @@
 #include <cmath>
 #include <cstdio>
 
+// This table compares the two *compilers* (dynamic instruction counts
+// and static code bytes), so it deliberately drives them below the
+// engine API, which does not expose compile metadata.
 #include "bench_util.hpp"
+#include "core/machine.hpp"
+#include "lang/compiler_com.hpp"
 #include "lang/compiler_stack.hpp"
 #include "lang/stack_vm.hpp"
 

@@ -5,9 +5,9 @@
  *
  * Fith combines the syntax of Forth with the semantics of Smalltalk:
  * every word dispatches on the class of the top of stack. This example
- * runs either the file named on the command line or a built-in demo,
- * then prints the stack, the output and the trace statistics that fed
- * the paper's cache experiments.
+ * runs either the file named on the command line or a built-in demo
+ * through the unified engine API, then prints the stack, the output
+ * and the trace statistics that fed the paper's cache experiments.
  *
  * Usage: fith_repl [program.fith]
  */
@@ -16,8 +16,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "fith/fith.hpp"
-#include "fith/fith_programs.hpp"
+#include "api/engine.hpp"
 
 using namespace com;
 
@@ -44,6 +43,7 @@ int
 main(int argc, char **argv)
 {
     std::string source = kDemo;
+    std::string name = "demo";
     if (argc > 1) {
         std::ifstream f(argv[1]);
         if (!f) {
@@ -53,17 +53,21 @@ main(int argc, char **argv)
         std::ostringstream os;
         os << f.rdbuf();
         source = os.str();
+        name = argv[1];
     }
 
-    fith::FithMachine fm;
-    fm.setTracing(true);
-    fith::FithResult r = fm.run(source);
+    api::FithEngine engine;
+    engine.setTracing(true);
+    api::RunOutcome r =
+        engine.run(api::ProgramSpec::fith(name, source));
 
     std::printf("ok: %s, steps: %llu\n", r.ok ? "yes" : "no",
-                (unsigned long long)r.steps);
+                (unsigned long long)r.operations);
     if (!r.ok)
         std::printf("error: %s\n", r.error.c_str());
-    std::printf("output: %s\n", fm.output().c_str());
+    std::printf("output: %s\n", r.output.c_str());
+
+    const fith::FithMachine &fm = engine.machine();
     std::printf("stack depth at end: %zu\n", fm.stack().size());
 
     std::printf("\ntrace: %zu records (address, opcode, TOS class)\n",

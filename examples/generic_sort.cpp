@@ -11,40 +11,36 @@
  * meaning is resolved per-execution by the ITLB — a primitive
  * comparison for integers, a method call into Pair's `<` for pairs.
  * The compiler never knew, and the sort was compiled exactly once.
+ *
+ * The workload arrives through the unified engine API: a ProgramSpec
+ * in, a RunOutcome out, with the engine's machine left open for
+ * statistics inspection.
  */
 
 #include <cstdio>
 
-#include "core/machine.hpp"
-#include "lang/compiler_com.hpp"
-#include "lang/workloads.hpp"
+#include "api/engine.hpp"
 
 using namespace com;
 
 int
 main()
 {
-    core::Machine machine;
-    machine.installStandardLibrary();
-    lang::ComCompiler compiler(machine);
+    api::ComEngine engine;
+    api::ProgramSpec program = api::ProgramSpec::workload("sort");
 
-    const lang::Workload &w = lang::workload("sort");
-    std::printf("compiling the polymorphic-sort workload (%zu source "
+    std::printf("running the polymorphic-sort workload (%zu source "
                 "bytes)...\n",
-                w.source.size());
-    lang::CompiledProgram p = compiler.compileSource(w.source);
-    std::printf("  %zu methods installed, %zu instructions emitted\n",
-                p.methodsInstalled, p.instructionsEmitted);
-
-    core::RunResult r =
-        machine.call(p.entryVaddr, machine.constants().nilWord(), {});
-    std::printf("run: %s\n", r.message.c_str());
+                program.source.size());
+    api::RunOutcome r = engine.run(program);
+    std::printf("run ok: %s\n", r.ok ? "yes" : "no");
     std::printf("result: %s (2 = both the integer array and the Pair "
                 "array came out ordered)\n",
-                machine.describeWord(machine.lastResult()).c_str());
+                r.resultText.c_str());
 
     // The proof of late binding: the same `<` token resolved to more
     // than one method during the run.
+    core::Machine &machine = engine.machine();
     std::printf("\nmethod lookups (ITLB backing store): %llu, of "
                 "which failures: %llu\n",
                 (unsigned long long)machine.methods().lookups(),

@@ -1,7 +1,7 @@
 /**
  * @file
- * Quickstart: assemble a small COM program, run it, read the result
- * and the machine's statistics.
+ * Quickstart: run a small COM assembly program through the unified
+ * engine API, read the result and the machine's statistics.
  *
  * Build & run:
  *     cmake -B build -G Ninja && cmake --build build
@@ -10,25 +10,25 @@
 
 #include <cstdio>
 
-#include "core/assembler.hpp"
-#include "core/machine.hpp"
+#include "api/engine.hpp"
 
 using namespace com;
 
 int
 main()
 {
-    // 1. A machine with default (paper) configuration: 512-entry 2-way
-    //    ITLB, 4096-entry 2-way instruction cache, 32-block context
-    //    cache, floating point addresses.
-    core::Machine machine;
-    machine.installStandardLibrary();
+    // 1. A COM engine wraps a machine with default (paper)
+    //    configuration: 512-entry 2-way ITLB, 4096-entry 2-way
+    //    instruction cache, 32-block context cache, floating point
+    //    addresses — standard library installed.
+    api::ComEngine engine;
 
-    // 2. Assemble a method. Context slots per Figure 8: c2 = result
-    //    pointer, c3 = receiver, c4.. = arguments, then temporaries.
-    //    This one sums the squares 1..n, where n arrives as arg2 (c4).
-    core::Assembler as(machine);
-    std::uint64_t entry = machine.makeMethodObject(as.assemble(R"(
+    // 2. A program is pure data: language + source (+ arguments).
+    //    Context slots per Figure 8: c2 = result pointer, c3 =
+    //    receiver, c4.. = arguments, then temporaries. This one sums
+    //    the squares 1..n, where n arrives as arg2 (c4).
+    api::ProgramSpec program = api::ProgramSpec::comAssembly(
+        "sum-squares", R"(
         move  c6, =0        ; sum
         move  c7, =1        ; i
     loop:
@@ -40,20 +40,28 @@ main()
         le    c9, c7, c4
         jt    c9, @loop
         putres.r c2, c6     ; store through the result pointer, return
-    )"));
+    )");
+    program.args = {mem::Word::fromInt(10)};
 
-    // 3. Call it: receiver nil, one argument.
-    core::RunResult r = machine.call(entry, machine.constants().nilWord(),
-                                     {mem::Word::fromInt(10)});
+    // 3. Run it. The engine owns compile -> install -> execute ->
+    //    collect-stats; the outcome carries everything observable.
+    api::RunOutcome r = engine.run(program);
 
-    std::printf("finished: %s\n", r.finished ? "yes" : "no");
-    std::printf("result:   %s (expected 385)\n",
-                machine.describeWord(machine.lastResult()).c_str());
+    std::printf("finished: %s\n", r.ok ? "yes" : "no");
+    std::printf("result:   %s (expected 385)\n", r.resultText.c_str());
     std::printf("instructions: %llu, cycles: %llu, CPI: %.2f\n",
-                (unsigned long long)r.instructions,
+                (unsigned long long)r.operations,
                 (unsigned long long)r.cycles,
-                machine.pipeline().cpi());
+                engine.machine().pipeline().cpi());
     std::printf("ITLB hit ratio: %.2f%%\n",
-                machine.itlb().hitRatio() * 100.0);
+                engine.machine().itlb().hitRatio() * 100.0);
+
+    // 4. reset() hands back a like-new machine (bit-identical to a
+    //    fresh one) without reconstructing the 64 M-word absolute
+    //    space — the mechanism the serving pool (api/session.hpp)
+    //    is built on.
+    engine.reset();
+    std::printf("after reset: %llu cycles on the clock\n",
+                (unsigned long long)engine.machine().pipeline().cycles());
     return 0;
 }

@@ -1,0 +1,333 @@
+#include "api/engine.hpp"
+
+#include "core/assembler.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+#include "sim/logging.hpp"
+#include "sim/strutil.hpp"
+
+namespace com::api {
+
+namespace {
+
+/** Engine-independent rendering of a result word. */
+std::string
+describeResult(const mem::Word &w)
+{
+    if (w.isInt())
+        return sim::format("%d", w.asInt());
+    if (w.isFloat())
+        return sim::format("%g", static_cast<double>(w.asFloat()));
+    if (w.isPointer())
+        return "<object>";
+    if (w.isAtom())
+        return sim::format("#atom%u", w.asAtom());
+    return "<none>";
+}
+
+} // namespace
+
+const char *
+languageName(Language lang)
+{
+    switch (lang) {
+      case Language::Smalltalk:
+        return "smalltalk";
+      case Language::ComAssembly:
+        return "com-asm";
+      case Language::Fith:
+        return "fith";
+    }
+    return "?";
+}
+
+ProgramSpec
+ProgramSpec::smalltalk(std::string name, std::string source)
+{
+    ProgramSpec s;
+    s.language = Language::Smalltalk;
+    s.name = std::move(name);
+    s.source = std::move(source);
+    return s;
+}
+
+ProgramSpec
+ProgramSpec::comAssembly(std::string name, std::string source)
+{
+    ProgramSpec s;
+    s.language = Language::ComAssembly;
+    s.name = std::move(name);
+    s.source = std::move(source);
+    return s;
+}
+
+ProgramSpec
+ProgramSpec::fith(std::string name, std::string source)
+{
+    ProgramSpec s;
+    s.language = Language::Fith;
+    s.name = std::move(name);
+    s.source = std::move(source);
+    return s;
+}
+
+ProgramSpec
+ProgramSpec::workload(const std::string &name)
+{
+    const lang::Workload &w = lang::workload(name);
+    ProgramSpec s = smalltalk(w.name, w.source);
+    s.hasExpected = true;
+    s.expected = w.expected;
+    return s;
+}
+
+bool
+RunOutcome::matches(const ProgramSpec &spec) const
+{
+    if (!ok)
+        return false;
+    if (!spec.hasExpected)
+        return true;
+    return result.isInt() && result.asInt() == spec.expected;
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Com:
+        return "com";
+      case EngineKind::Stack:
+        return "stack";
+      case EngineKind::Fith:
+        return "fith";
+    }
+    return "?";
+}
+
+bool
+parseEngineKind(const std::string &name, EngineKind &out)
+{
+    if (name == "com")
+        out = EngineKind::Com;
+    else if (name == "stack")
+        out = EngineKind::Stack;
+    else if (name == "fith")
+        out = EngineKind::Fith;
+    else
+        return false;
+    return true;
+}
+
+std::unique_ptr<Engine>
+makeEngine(EngineKind kind, const core::MachineConfig &cfg)
+{
+    switch (kind) {
+      case EngineKind::Com:
+        return std::make_unique<ComEngine>(cfg);
+      case EngineKind::Stack:
+        return std::make_unique<StackEngine>();
+      case EngineKind::Fith:
+        return std::make_unique<FithEngine>();
+    }
+    sim::panic("unknown engine kind");
+}
+
+// ----------------------------------------------------------------------
+// ComEngine
+// ----------------------------------------------------------------------
+
+ComEngine::ComEngine(const core::MachineConfig &cfg) : machine_(cfg)
+{
+    machine_.installStandardLibrary();
+}
+
+bool
+ComEngine::supports(Language lang) const
+{
+    return lang == Language::Smalltalk || lang == Language::ComAssembly;
+}
+
+std::uint64_t
+ComEngine::entryFor(const ProgramSpec &spec)
+{
+    std::unordered_map<std::string, std::uint64_t> &table =
+        spec.language == Language::Smalltalk ? smalltalkEntries_
+                                             : asmEntries_;
+    auto it = table.find(spec.source);
+    if (it != table.end())
+        return it->second;
+
+    std::uint64_t entry = 0;
+    if (spec.language == Language::Smalltalk) {
+        lang::ComCompiler cc(machine_);
+        entry = cc.compileSource(spec.source).entryVaddr;
+    } else {
+        core::Assembler as(machine_);
+        entry = machine_.makeMethodObject(as.assemble(spec.source));
+    }
+    table.emplace(spec.source, entry);
+    return entry;
+}
+
+RunOutcome
+ComEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
+{
+    RunOutcome out;
+    out.engine = name();
+    out.program = spec.name;
+    if (!supports(spec.language)) {
+        out.error = std::string("com engine cannot run ") +
+                    languageName(spec.language) + " programs";
+        return out;
+    }
+
+    if (max_ops == kEngineDefaultMaxOps)
+        max_ops = kDefaultMaxOps;
+    try {
+        std::uint64_t entry = entryFor(spec);
+        machine_.clearOutput();
+        core::RunResult r = machine_.call(
+            entry, machine_.constants().nilWord(), spec.args, max_ops);
+        out.ok = r.finished;
+        if (!r.finished)
+            out.error = r.message;
+        out.operations = r.instructions;
+        out.cycles = r.cycles;
+        out.result = machine_.lastResult();
+        out.resultText = machine_.describeWord(out.result);
+        out.output = machine_.output();
+    } catch (const sim::FatalError &e) {
+        // Malformed program (compile error, bad config): report it as
+        // a failed outcome instead of unwinding a serving thread. The
+        // machine may hold a half-compiled program now; sessions reset
+        // on checkin, and direct users see ok=false.
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+ComEngine::reset()
+{
+    machine_.reset();
+    machine_.installStandardLibrary();
+    smalltalkEntries_.clear();
+    asmEntries_.clear();
+}
+
+// ----------------------------------------------------------------------
+// StackEngine
+// ----------------------------------------------------------------------
+
+StackEngine::StackEngine() : vm_(std::make_unique<lang::StackVm>()) {}
+
+bool
+StackEngine::supports(Language lang) const
+{
+    return lang == Language::Smalltalk;
+}
+
+RunOutcome
+StackEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
+{
+    RunOutcome out;
+    out.engine = name();
+    out.program = spec.name;
+    if (!supports(spec.language)) {
+        out.error = std::string("stack engine cannot run ") +
+                    languageName(spec.language) + " programs";
+        return out;
+    }
+
+    if (max_ops == kEngineDefaultMaxOps)
+        max_ops = kDefaultMaxOps;
+    try {
+        auto it = entries_.find(spec.source);
+        if (it == entries_.end()) {
+            lang::StackCompiler sc(*vm_);
+            it = entries_
+                     .emplace(spec.source, sc.compileSource(spec.source))
+                     .first;
+        }
+
+        vm_->clearOutput();
+        lang::SResult r = vm_->run(it->second.entry, max_ops);
+        out.ok = r.ok;
+        if (!r.ok)
+            out.error = r.error;
+        out.operations = r.bytecodes;
+        out.cycles = r.cycles;
+        out.result = r.result;
+        out.resultText = describeResult(out.result);
+        out.output = vm_->output();
+    } catch (const sim::FatalError &e) {
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+StackEngine::reset()
+{
+    vm_ = std::make_unique<lang::StackVm>();
+    entries_.clear();
+}
+
+// ----------------------------------------------------------------------
+// FithEngine
+// ----------------------------------------------------------------------
+
+FithEngine::FithEngine()
+    : machine_(std::make_unique<fith::FithMachine>())
+{
+}
+
+bool
+FithEngine::supports(Language lang) const
+{
+    return lang == Language::Fith;
+}
+
+RunOutcome
+FithEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
+{
+    RunOutcome out;
+    out.engine = name();
+    out.program = spec.name;
+    if (!supports(spec.language)) {
+        out.error = std::string("fith engine cannot run ") +
+                    languageName(spec.language) + " programs";
+        return out;
+    }
+
+    if (max_ops == kEngineDefaultMaxOps)
+        max_ops = kDefaultMaxFithSteps;
+    try {
+        machine_ = std::make_unique<fith::FithMachine>();
+        machine_->setTracing(tracing_);
+        fith::FithResult r = machine_->run(spec.source, max_ops);
+        out.ok = r.ok;
+        if (!r.ok)
+            out.error = r.error;
+        out.operations = r.steps;
+        out.output = machine_->output();
+        if (!machine_->stack().empty())
+            out.result = machine_->stack().back();
+        out.resultText = describeResult(out.result);
+    } catch (const sim::FatalError &e) {
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+FithEngine::reset()
+{
+    machine_ = std::make_unique<fith::FithMachine>();
+}
+
+} // namespace com::api

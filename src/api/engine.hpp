@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The unified engine API: one programs-in/results-out surface over the
+ * repo's three executors.
+ *
+ * The paper's claim is that one object-oriented architecture runs
+ * "general code" across many workloads; the reproduction grew three
+ * executors (the COM Machine, the stack-VM baseline of Section 5, and
+ * the Fith machine) but each was driven by its own compile/run
+ * boilerplate. This layer separates the *specification* of a program
+ * from its *realization* on a back end:
+ *
+ *   - ProgramSpec: what to run — Smalltalk workload source, COM
+ *     assembly, or Fith source — plus an optional expected checksum;
+ *   - Engine: an abstract back end owning compile -> install ->
+ *     execute -> collect-stats, with ComEngine / StackEngine /
+ *     FithEngine realizations;
+ *   - Session/EnginePool (api/session.hpp): checkout of reusable,
+ *     resettable engines for concurrent serving.
+ *
+ * Engines are stateful and NOT thread-safe individually: one engine
+ * serves one caller at a time (the pool enforces this). Programs
+ * compiled into one engine accumulate until reset(), so distinct
+ * programs sharing an engine must use distinct class names — the same
+ * rule one Smalltalk image imposes.
+ */
+
+#ifndef COMSIM_API_ENGINE_HPP
+#define COMSIM_API_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "fith/fith.hpp"
+#include "lang/compiler_stack.hpp"
+#include "lang/stack_vm.hpp"
+#include "mem/word.hpp"
+
+namespace com::api {
+
+/** Source languages an Engine may accept. */
+enum class Language : std::uint8_t
+{
+    Smalltalk,   ///< the lang/ front end (both compilers)
+    ComAssembly, ///< core/assembler.hpp text (COM only)
+    Fith,        ///< Forth syntax, Smalltalk semantics (Fith only)
+};
+
+/** @return "smalltalk" / "com-asm" / "fith". */
+const char *languageName(Language lang);
+
+/** A program to run: pure data, engine-agnostic. */
+struct ProgramSpec
+{
+    Language language = Language::Smalltalk;
+    std::string name;   ///< label carried into RunOutcome
+    std::string source;
+    /** Entry arguments (ComAssembly programs only). */
+    std::vector<mem::Word> args;
+    /** Checksum main must return, when known. */
+    bool hasExpected = false;
+    std::int32_t expected = 0;
+
+    static ProgramSpec smalltalk(std::string name, std::string source);
+    static ProgramSpec comAssembly(std::string name, std::string source);
+    static ProgramSpec fith(std::string name, std::string source);
+    /** A named seed workload (lang/workloads.hpp), checksum included. */
+    static ProgramSpec workload(const std::string &name);
+};
+
+/** What came out of one Engine::run(). */
+struct RunOutcome
+{
+    bool ok = false;          ///< ran to completion
+    std::string error;        ///< stop reason when !ok
+    mem::Word result;         ///< entry result (Fith: top of stack)
+    std::string resultText;   ///< printable form of result
+    std::string output;       ///< guest output of this run
+    std::uint64_t operations = 0; ///< guest instrs/bytecodes/steps
+    std::uint64_t cycles = 0;     ///< guest cycles (0 if unmodeled)
+    std::string engine;       ///< engine name
+    std::string program;      ///< ProgramSpec::name
+
+    /**
+     * @return true if the run finished and, when the spec carries an
+     * expected checksum, the result matches it.
+     */
+    bool matches(const ProgramSpec &spec) const;
+};
+
+/**
+ * Passing this to Engine::run selects the engine's own default cap:
+ * 50 M guest operations for the COM and stack engines (matching
+ * Machine::call) and 10 M steps for Fith (matching FithMachine::run's
+ * historical default).
+ */
+constexpr std::uint64_t kEngineDefaultMaxOps = 0;
+
+/** COM/stack default per-run guest operation cap. */
+constexpr std::uint64_t kDefaultMaxOps = 50'000'000;
+/** Fith default per-run step cap. */
+constexpr std::uint64_t kDefaultMaxFithSteps = 10'000'000;
+
+/**
+ * One execution back end. compile/install caching is the engine's
+ * business: running the same spec twice compiles once.
+ */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Engine name: "com", "stack" or "fith". */
+    virtual const char *name() const = 0;
+
+    /** @return true if this engine accepts @p lang programs. */
+    virtual bool supports(Language lang) const = 0;
+
+    /**
+     * Compile (memoized) and execute @p spec. Never throws for bad
+     * programs: compile errors (sim::FatalError) come back as
+     * ok=false outcomes, so one malformed request cannot take down a
+     * serving thread.
+     */
+    virtual RunOutcome run(const ProgramSpec &spec,
+                           std::uint64_t max_ops = kEngineDefaultMaxOps) = 0;
+
+    /**
+     * Restore the just-constructed state: installed programs, caches,
+     * statistics and output are all dropped. The pool resets engines
+     * on checkin so every checkout starts clean.
+     */
+    virtual void reset() = 0;
+
+  protected:
+    Engine() = default;
+};
+
+/** The three engine realizations. */
+enum class EngineKind : std::uint8_t
+{
+    Com,
+    Stack,
+    Fith,
+};
+
+/** Number of EngineKind values (pool bookkeeping). */
+constexpr std::size_t kNumEngineKinds = 3;
+
+/** @return "com" / "stack" / "fith". */
+const char *engineKindName(EngineKind kind);
+
+/** Parse an engine name; @return false if unknown. */
+bool parseEngineKind(const std::string &name, EngineKind &out);
+
+/** Construct an engine of @p kind (COM engines use @p cfg). */
+std::unique_ptr<Engine> makeEngine(
+    EngineKind kind, const core::MachineConfig &cfg = {});
+
+/**
+ * The COM back end: a resettable core::Machine with the standard
+ * library installed, fed by the Smalltalk compiler or the assembler.
+ */
+class ComEngine : public Engine
+{
+  public:
+    explicit ComEngine(const core::MachineConfig &cfg = {});
+
+    const char *name() const override { return "com"; }
+    bool supports(Language lang) const override;
+    RunOutcome run(const ProgramSpec &spec,
+                   std::uint64_t max_ops = kEngineDefaultMaxOps) override;
+    void reset() override;
+
+    /** The underlying machine, for statistics inspection. */
+    core::Machine &machine() { return machine_; }
+
+  private:
+    /** Compile @p spec if new; @return the entry method's vaddr. */
+    std::uint64_t entryFor(const ProgramSpec &spec);
+
+    core::Machine machine_;
+    /** Per-language source -> installed entry method (cleared on
+     *  reset). Split by language so lookups hash the source text
+     *  directly instead of building a composite key per run. */
+    std::unordered_map<std::string, std::uint64_t> smalltalkEntries_;
+    std::unordered_map<std::string, std::uint64_t> asmEntries_;
+};
+
+/** The stack-VM baseline back end (Smalltalk only). */
+class StackEngine : public Engine
+{
+  public:
+    StackEngine();
+
+    const char *name() const override { return "stack"; }
+    bool supports(Language lang) const override;
+    RunOutcome run(const ProgramSpec &spec,
+                   std::uint64_t max_ops = kEngineDefaultMaxOps) override;
+    void reset() override;
+
+    /** The underlying VM, for statistics inspection. */
+    lang::StackVm &vm() { return *vm_; }
+
+  private:
+    std::unique_ptr<lang::StackVm> vm_;
+    /** source -> compiled entry method (cleared on reset). */
+    std::unordered_map<std::string, lang::StackCompiled> entries_;
+};
+
+/**
+ * The Fith back end. Each run executes on a fresh interpreter (Fith
+ * definitions are global, so independent requests must not see each
+ * other's words); the machine of the *last* run stays inspectable.
+ */
+class FithEngine : public Engine
+{
+  public:
+    FithEngine();
+
+    const char *name() const override { return "fith"; }
+    bool supports(Language lang) const override;
+    RunOutcome run(const ProgramSpec &spec,
+                   std::uint64_t max_ops = kEngineDefaultMaxOps) override;
+    void reset() override;
+
+    /** Record traces on subsequent runs (Figure 10/11 inputs). */
+    void setTracing(bool on) { tracing_ = on; }
+
+    /** The interpreter that executed the last run. */
+    fith::FithMachine &machine() { return *machine_; }
+
+  private:
+    std::unique_ptr<fith::FithMachine> machine_;
+    bool tracing_ = false;
+};
+
+} // namespace com::api
+
+#endif // COMSIM_API_ENGINE_HPP

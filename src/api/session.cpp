@@ -1,0 +1,97 @@
+#include "api/session.hpp"
+
+#include "sim/logging.hpp"
+
+namespace com::api {
+
+void
+Session::release()
+{
+    if (!pool_ || !engine_)
+        return;
+    // Reset on the releasing thread so the next checkout is instant
+    // and reset work spreads across the serving threads.
+    engine_->reset();
+    pool_->checkin(kind_, std::move(engine_));
+    pool_ = nullptr;
+}
+
+EnginePool::EnginePool() : EnginePool(Config{}) {}
+
+EnginePool::EnginePool(const Config &cfg)
+{
+    auto fill = [this, &cfg](EngineKind kind, std::size_t n) {
+        capacity_[slot(kind)] = n;
+        for (std::size_t i = 0; i < n; ++i)
+            idle_[slot(kind)].push_back(
+                makeEngine(kind, cfg.machineConfig));
+    };
+    fill(EngineKind::Com, cfg.comEngines);
+    fill(EngineKind::Stack, cfg.stackEngines);
+    fill(EngineKind::Fith, cfg.fithEngines);
+}
+
+Session
+EnginePool::checkout(EngineKind kind)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    sim::fatalIf(capacity_[slot(kind)] == 0,
+                 "engine pool holds no ", engineKindName(kind),
+                 " engines");
+    std::vector<std::unique_ptr<Engine>> &bucket = idle_[slot(kind)];
+    if (bucket.empty()) {
+        ++waits_;
+        cv_.wait(lock, [&bucket] { return !bucket.empty(); });
+    }
+    std::unique_ptr<Engine> engine = std::move(bucket.back());
+    bucket.pop_back();
+    ++checkouts_;
+    return Session(this, kind, std::move(engine));
+}
+
+void
+EnginePool::checkin(EngineKind kind, std::unique_ptr<Engine> engine)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_[slot(kind)].push_back(std::move(engine));
+        ++resets_; // Session::release() reset it before checkin
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+EnginePool::capacity(EngineKind kind) const
+{
+    return capacity_[slot(kind)];
+}
+
+std::size_t
+EnginePool::idle(EngineKind kind) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_[slot(kind)].size();
+}
+
+std::uint64_t
+EnginePool::checkouts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return checkouts_;
+}
+
+std::uint64_t
+EnginePool::waits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return waits_;
+}
+
+std::uint64_t
+EnginePool::resets() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return resets_;
+}
+
+} // namespace com::api

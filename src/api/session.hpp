@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Sessions and the engine pool: the serving layer over the unified
+ * engine API.
+ *
+ * A Session is an RAII checkout of one Engine from a thread-safe
+ * EnginePool. Checkout blocks until an engine of the requested kind is
+ * idle; releasing the session resets the engine (Machine::reset() for
+ * the COM — fast re-initialization, not reconstruction) and returns it
+ * to the pool, so every checkout starts from a like-new machine. This
+ * is what lets bench_serve drive mixed workloads from many threads
+ * over a fixed set of machines instead of constructing one simulator
+ * per request.
+ */
+
+#ifndef COMSIM_API_SESSION_HPP
+#define COMSIM_API_SESSION_HPP
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/engine.hpp"
+
+namespace com::api {
+
+class EnginePool;
+
+/**
+ * An exclusive lease on one pooled engine. Movable; the destructor
+ * resets the engine and checks it back in.
+ */
+class Session
+{
+  public:
+    Session() = default;
+    ~Session() { release(); }
+
+    Session(Session &&other) noexcept { *this = std::move(other); }
+    Session &
+    operator=(Session &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            pool_ = other.pool_;
+            kind_ = other.kind_;
+            engine_ = std::move(other.engine_);
+            other.pool_ = nullptr;
+        }
+        return *this;
+    }
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** @return true while this session holds an engine. */
+    explicit operator bool() const { return engine_ != nullptr; }
+
+    /** The leased engine. */
+    Engine &engine() { return *engine_; }
+
+    /** Which kind of engine this session holds. */
+    EngineKind kind() const { return kind_; }
+
+    /** Convenience: run @p spec on the leased engine. */
+    RunOutcome
+    run(const ProgramSpec &spec, std::uint64_t max_ops = kEngineDefaultMaxOps)
+    {
+        return engine_->run(spec, max_ops);
+    }
+
+    /** Reset the engine and return it to the pool early. */
+    void release();
+
+  private:
+    friend class EnginePool;
+    Session(EnginePool *pool, EngineKind kind,
+            std::unique_ptr<Engine> engine)
+        : pool_(pool), kind_(kind), engine_(std::move(engine))
+    {
+    }
+
+    EnginePool *pool_ = nullptr;
+    EngineKind kind_ = EngineKind::Com;
+    std::unique_ptr<Engine> engine_;
+};
+
+/**
+ * A fixed set of reusable engines, checked out one session at a time.
+ * All methods are thread-safe. The pool must outlive its sessions.
+ */
+class EnginePool
+{
+  public:
+    struct Config
+    {
+        std::size_t comEngines = 2;
+        std::size_t stackEngines = 1;
+        std::size_t fithEngines = 1;
+        /** Configuration for the pooled COM machines. */
+        core::MachineConfig machineConfig{};
+    };
+
+    /** Engines are constructed eagerly, before serving starts. */
+    explicit EnginePool(const Config &cfg);
+    /** A pool with the default Config. */
+    EnginePool();
+
+    /**
+     * Check an engine of @p kind out, blocking until one is idle.
+     * fatal()s if the pool holds no engine of that kind at all.
+     */
+    Session checkout(EngineKind kind);
+
+    /** Engines of @p kind owned by the pool. */
+    std::size_t capacity(EngineKind kind) const;
+    /** Engines of @p kind currently idle. */
+    std::size_t idle(EngineKind kind) const;
+
+    /** Sessions handed out so far. */
+    std::uint64_t checkouts() const;
+    /** Checkouts that had to wait for a busy engine. */
+    std::uint64_t waits() const;
+    /** Engine resets performed on checkin. */
+    std::uint64_t resets() const;
+
+  private:
+    friend class Session;
+    void checkin(EngineKind kind, std::unique_ptr<Engine> engine);
+
+    static std::size_t
+    slot(EngineKind kind)
+    {
+        return static_cast<std::size_t>(kind);
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::array<std::vector<std::unique_ptr<Engine>>, kNumEngineKinds>
+        idle_;
+    std::array<std::size_t, kNumEngineKinds> capacity_{};
+    std::uint64_t checkouts_ = 0;
+    std::uint64_t waits_ = 0;
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace com::api
+
+#endif // COMSIM_API_SESSION_HPP

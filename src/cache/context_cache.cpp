@@ -36,15 +36,6 @@ ContextCache::ContextCache(mem::TaggedMemory &memory,
 }
 
 int
-ContextCache::match(mem::AbsAddr abs) const
-{
-    for (std::size_t i = 0; i < blocks_.size(); ++i)
-        if (blocks_[i].valid && blocks_[i].abs == abs)
-            return static_cast<int>(i);
-    return kNone;
-}
-
-int
 ContextCache::firstFree() const
 {
     for (std::size_t i = 0; i < blocks_.size(); ++i)
@@ -78,6 +69,7 @@ ContextCache::copyBack(int b)
             memory_.poke(blkref.abs + i, blkref.data[i]);
     }
     ++copybacks_;
+    dir_.erase(blkref.abs);
     blkref.valid = false;
     blkref.dirty = false;
     ++freeCount_;
@@ -86,6 +78,13 @@ ContextCache::copyBack(int b)
 std::uint64_t
 ContextCache::allocateNext(mem::AbsAddr abs)
 {
+    // A context reclaimed by the collector is freed without a discard,
+    // so its block may still be resident when the pool re-issues the
+    // same address. Drop the stale copy first: the fresh allocation is
+    // cleared by definition, and two valid blocks must never share an
+    // absolute address (the directory index relies on it).
+    discard(abs);
+
     std::uint64_t stall = 0;
     int b = firstFree();
     if (b == kNone) {
@@ -105,6 +104,7 @@ ContextCache::allocateNext(mem::AbsAddr abs)
     blkref.valid = true;
     blkref.dirty = true;
     blkref.abs = abs;
+    dir_[abs] = b;
     touch(b);
     next_ = b;
     ++allocs_;
@@ -148,6 +148,7 @@ ContextCache::discard(mem::AbsAddr abs)
     if (b == kNone)
         return;
     Block &blkref = blk(b);
+    dir_.erase(blkref.abs);
     blkref.valid = false;
     blkref.dirty = false;
     ++freeCount_;
@@ -200,6 +201,7 @@ ContextCache::faultIn(mem::AbsAddr abs, int &block_out)
     blkref.valid = true;
     blkref.dirty = false;
     blkref.abs = abs;
+    dir_[abs] = b;
     touch(b);
     stall += blockWords_; // one read per word to load the block
     block_out = b;

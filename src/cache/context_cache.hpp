@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/tagged_memory.hpp"
@@ -224,8 +225,19 @@ class ContextCache
         std::vector<mem::Word> data;
     };
 
-    /** Directory match: block index holding @p abs, or kNone. */
-    int match(mem::AbsAddr abs) const;
+    /**
+     * Directory match: block index holding @p abs, or kNone. Served by
+     * an O(1) index over the valid blocks (the hardware directory is
+     * associative; the host model used to scan every block on each
+     * readAbs/writeAbs). The index is maintained under the invariant
+     * that at most one valid block holds any absolute address.
+     */
+    int
+    match(mem::AbsAddr abs) const
+    {
+        auto it = dir_.find(abs);
+        return it == dir_.end() ? kNone : it->second;
+    }
     /** First free block, or kNone. */
     int firstFree() const;
     /** LRU valid block excluding current/next, or kNone. */
@@ -245,6 +257,8 @@ class ContextCache
     std::size_t blockWords_;
     std::size_t lowWater_;
     std::vector<Block> blocks_;
+    /** Directory index: absolute address -> valid block holding it. */
+    std::unordered_map<mem::AbsAddr, int> dir_;
     std::size_t freeCount_ = 0; ///< invalid blocks, kept in sync
     int current_ = kNone;
     int next_ = kNone;

@@ -89,6 +89,17 @@ class DecodedCache
         ++generations_;
     }
 
+    /** Restore the just-constructed state (machine reset). */
+    void
+    reset()
+    {
+        for (Line &l : lines_)
+            l.abs = kEmpty;
+        hits_ = 0;
+        misses_ = 0;
+        generations_ = 0;
+    }
+
     /** Host-side probe hits (diagnostics; not a guest statistic). */
     std::uint64_t hits() const { return hits_; }
     /** Host-side probe misses (diagnostics; not a guest statistic). */

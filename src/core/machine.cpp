@@ -23,8 +23,15 @@ constexpr ClassId kPtrCls = static_cast<ClassId>(Tag::ObjectPtr);
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg), decoded_(cfg.decodedCacheLines)
 {
-    selectorOfOp_.fill(obj::SelectorTable::kNotFound);
     space_ = std::make_unique<mem::AbsoluteSpace>(0, cfg.absSpaceOrder);
+    init();
+}
+
+void
+Machine::init()
+{
+    const MachineConfig &cfg = cfg_;
+    selectorOfOp_.fill(obj::SelectorTable::kNotFound);
     segments_ = std::make_unique<mem::SegmentTable>(cfg.addrFormat,
                                                     *space_, 0);
     methods_ = std::make_unique<obj::MethodRegistry>(classes_);
@@ -88,6 +95,62 @@ Machine::Machine(const MachineConfig &cfg)
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::reset()
+{
+    // Tear down in reverse dependency order. The ATLB watches the
+    // segment table, the context pool threads its free list through
+    // the backing store, and the GC's root provider captures `this`;
+    // all of them are rebuilt from scratch by init().
+    gc_.reset();
+    hierarchy_.reset();
+    icache_.reset();
+    ctxCache_.reset();
+    atlb_.reset();
+    itlb_.reset();
+    constants_.reset();
+    contexts_.reset();
+    heap_.reset();
+    methods_.reset();
+    segments_.reset();
+
+    // The two big substrates are re-initialized in place: the
+    // absolute-space region survives and backing pages stay resident
+    // (cleared), which is what makes reset cheaper than construction.
+    memory_.reset();
+    space_->reset();
+
+    classes_ = obj::ClassTable();
+    selectors_ = obj::SelectorTable();
+    pipeline_.reset();
+    decoded_.reset();
+
+    opcodeOf_.clear();
+    nextUserOp_ = static_cast<std::uint8_t>(Op::kFirstUserOp);
+    hostRoutines_.clear();
+    methodLength_.clear();
+    methodObjects_.clear();
+    escaped_.clear();
+    cp_ = 0;
+    ncp_ = 0;
+    ip_ = 0;
+    sn_ = 0;
+    ps_ = 0;
+    ipAbs_ = 0;
+    ipLimitAbs_ = 0;
+    bootCtx_ = 0;
+    finished_ = false;
+    controlTransferred_ = false;
+    recordMnemonics_ = false;
+    traceSink_ = nullptr;
+    ctxRefs_ = 0;
+    heapRefs_ = 0;
+    faultDetail_.clear();
+    output_.clear();
+
+    init();
+}
 
 // ----------------------------------------------------------------------
 // Program construction

@@ -187,6 +187,21 @@ class Machine
     /** Continue running after a cap (not after a fault). */
     RunResult run(std::uint64_t max_instructions);
 
+    /**
+     * Restore the machine to its just-constructed state so it can be
+     * reused for another program (the EnginePool's checkout/checkin
+     * cycle). Guest-visibly indistinguishable from a fresh Machine —
+     * a reset machine reproduces a fresh machine's cycles, statistics
+     * and output bit-for-bit (tests/test_machine_reset.cpp) — but
+     * cheaper: the absolute-space region is kept and the backing
+     * store's resident pages are cleared in place rather than
+     * reconstructed, so repeated programs reuse warm host memory.
+     * Installed methods, host routines, trace sinks and accumulated
+     * output are all dropped; re-run installStandardLibrary() before
+     * the next program.
+     */
+    void reset();
+
     /** Install a per-instruction trace sink (fig. 10/11 experiments). */
     void setTraceSink(TraceSink sink) { traceSink_ = std::move(sink); }
 
@@ -311,6 +326,13 @@ class Machine
     void setFaultDetail(std::string s) { faultDetail_ = std::move(s); }
 
   private:
+    /**
+     * Build every subsystem above the absolute space. Shared by the
+     * constructor and reset(): both must produce the same deterministic
+     * initial state (same allocation addresses, same opcode table).
+     */
+    void init();
+
     struct OperandVal
     {
         mem::Word w;

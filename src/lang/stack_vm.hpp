@@ -117,6 +117,8 @@ class StackVm
 
     /** Output accumulated by 'print'. */
     const std::string &output() const { return output_; }
+    /** Discard accumulated output. */
+    void clearOutput() { output_.clear(); }
     /** Allocate a VM object of class @p cls with @p words words. */
     mem::Word allocObject(std::int32_t cls, std::uint32_t words);
     /** Host-side string contents of a VM string object. */

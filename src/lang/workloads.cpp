@@ -412,13 +412,38 @@ workloads()
     return kSuite;
 }
 
-const Workload &
-workload(const std::string &name)
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    names.reserve(workloads().size());
+    for (const Workload &w : workloads())
+        names.push_back(w.name);
+    return names;
+}
+
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const Workload &w : workloads())
         if (w.name == name)
-            return w;
-    sim::fatal("unknown workload '", name, "'");
+            return &w;
+    return nullptr;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    if (const Workload *w = findWorkload(name))
+        return *w;
+    std::string available;
+    for (const Workload &w : workloads()) {
+        if (!available.empty())
+            available += ", ";
+        available += w.name;
+    }
+    sim::fatal("unknown workload '", name, "' (available: ", available,
+               ")");
 }
 
 } // namespace com::lang

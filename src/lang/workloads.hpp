@@ -40,8 +40,17 @@ struct Workload
 /** The full suite. */
 const std::vector<Workload> &workloads();
 
-/** Look a workload up by name (fatal if unknown). */
+/** The suite's workload names, in suite order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Look a workload up by name. Fatal if unknown — the error lists the
+ * available names so a mistyped --workloads= flag is self-explaining.
+ */
 const Workload &workload(const std::string &name);
+
+/** @return the workload named @p name, or nullptr if unknown. */
+const Workload *findWorkload(const std::string &name);
 
 } // namespace com::lang
 

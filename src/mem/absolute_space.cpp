@@ -100,6 +100,20 @@ AbsoluteSpace::free(AbsAddr addr)
     freeLists_[order].insert(addr);
 }
 
+void
+AbsoluteSpace::reset()
+{
+    for (auto &fl : freeLists_)
+        fl.clear();
+    freeLists_[maxOrder_].insert(base_);
+    live_.clear();
+    wordsAllocated_ = 0;
+    allocs_.reset();
+    frees_.reset();
+    splits_.reset();
+    coalesces_.reset();
+}
+
 bool
 AbsoluteSpace::isAllocated(AbsAddr addr) const
 {

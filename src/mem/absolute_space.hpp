@@ -59,6 +59,14 @@ class AbsoluteSpace
      */
     void free(AbsAddr addr);
 
+    /**
+     * Forget every allocation and restore the whole region to one free
+     * block, as if just constructed. O(live blocks); the region itself
+     * is untouched, so resetting a machine never re-reserves name
+     * space.
+     */
+    void reset();
+
     /** @return true if @p addr is the base of a live allocation. */
     bool isAllocated(AbsAddr addr) const;
 

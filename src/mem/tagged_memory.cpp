@@ -72,4 +72,18 @@ TaggedMemory::copy(AbsAddr dst, AbsAddr src, std::uint64_t words)
         poke(dst + i, peek(src + i));
 }
 
+void
+TaggedMemory::reset()
+{
+    // An absent page and a resident all-Uninit page are
+    // indistinguishable through read/peek, so clearing in place is
+    // functionally identical to a fresh store while keeping the host
+    // allocations warm for the next run.
+    for (auto &page : pages_)
+        page.second->fill(Word());
+    hook_ = nullptr;
+    reads_.reset();
+    writes_.reset();
+}
+
 } // namespace com::mem

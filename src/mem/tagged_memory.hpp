@@ -69,6 +69,14 @@ class TaggedMemory
     /** Copy @p words words from @p src to @p dst (no hooks). */
     void copy(AbsAddr dst, AbsAddr src, std::uint64_t words);
 
+    /**
+     * Restore the store to its just-constructed (all-Uninit) state
+     * without releasing host memory: resident pages are cleared in
+     * place so a reused machine keeps its warmed page map. Reference
+     * counters reset; any hook is removed.
+     */
+    void reset();
+
     /** Install a reference observer (replaces any existing hook). */
     void setRefHook(RefHook hook) { hook_ = std::move(hook); }
     /** Remove the reference observer. */

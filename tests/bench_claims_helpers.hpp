@@ -1,7 +1,8 @@
 /**
  * @file
- * Helpers for the paper-claim regression tests: run a workload on a
- * fresh COM and hand back the machine for inspection.
+ * Helpers for the paper-claim regression tests: run a workload through
+ * the unified engine API and hand back the engine for inspection of
+ * its machine's statistics.
  */
 
 #ifndef COMSIM_TESTS_BENCH_CLAIMS_HELPERS_HPP
@@ -9,44 +10,32 @@
 
 #include <memory>
 
+#include "api/engine.hpp"
 #include "baseline/method_cache.hpp"
-#include "core/machine.hpp"
-#include "lang/compiler_com.hpp"
 #include "lang/workloads.hpp"
 #include "mem/multics_address.hpp"
 #include "sim/rng.hpp"
 
 namespace com::claims {
 
-/** Run @p w on a fresh machine; return the run result. */
-inline core::RunResult
+/** Run @p w on a fresh COM engine; return the outcome. */
+inline api::RunOutcome
 runOnCom(const lang::Workload &w)
 {
-    core::MachineConfig cfg;
-    cfg.contextPoolSize = 4096;
-    core::Machine m(cfg);
-    m.installStandardLibrary();
-    lang::ComCompiler cc(m);
-    lang::CompiledProgram p = cc.compileSource(w.source);
-    return m.call(p.entryVaddr, m.constants().nilWord(), {});
+    api::ComEngine engine;
+    return engine.run(api::ProgramSpec::workload(w.name));
 }
 
-/** Run @p w and return the machine afterwards (for statistics). */
-inline std::unique_ptr<core::Machine>
-machineAfter(const lang::Workload &w)
+/** Run @p w and return the engine afterwards (for statistics). */
+inline std::unique_ptr<api::ComEngine>
+engineAfter(const lang::Workload &w)
 {
-    core::MachineConfig cfg;
-    cfg.contextPoolSize = 4096;
-    auto m = std::make_unique<core::Machine>(cfg);
-    m->installStandardLibrary();
-    lang::ComCompiler cc(*m);
-    lang::CompiledProgram p = cc.compileSource(w.source);
-    core::RunResult r =
-        m->call(p.entryVaddr, m->constants().nilWord(), {});
-    if (!r.finished)
-        sim::panic("workload '", w.name, "' did not finish: ",
-                   r.message);
-    return m;
+    auto engine = std::make_unique<api::ComEngine>();
+    api::RunOutcome r =
+        engine->run(api::ProgramSpec::workload(w.name));
+    if (!r.ok)
+        sim::panic("workload '", w.name, "' did not finish: ", r.error);
+    return engine;
 }
 
 } // namespace com::claims

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * The unified engine API: every seed workload must produce its
+ * checksum through the ProgramSpec/Engine surface on all back ends
+ * that accept it, sessions must lease engines exclusively and return
+ * them like-new, and the pool must survive concurrent checkout from
+ * more threads than it has engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "api/engine.hpp"
+#include "api/session.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/workloads.hpp"
+
+using namespace com;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// ProgramSpec
+// ---------------------------------------------------------------------
+
+TEST(ProgramSpec, WorkloadCarriesTheChecksum)
+{
+    api::ProgramSpec spec = api::ProgramSpec::workload("sieve");
+    EXPECT_EQ(spec.language, api::Language::Smalltalk);
+    EXPECT_EQ(spec.name, "sieve");
+    EXPECT_TRUE(spec.hasExpected);
+    EXPECT_EQ(spec.expected, 78);
+}
+
+TEST(ProgramSpec, WorkloadNamesListTheSuite)
+{
+    std::vector<std::string> names = lang::workloadNames();
+    EXPECT_EQ(names.size(), lang::workloads().size());
+    EXPECT_NE(std::find(names.begin(), names.end(), "sieve"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "richards"),
+              names.end());
+    EXPECT_NE(lang::findWorkload("sieve"), nullptr);
+    EXPECT_EQ(lang::findWorkload("no-such-workload"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------
+
+class WorkloadOnEngines
+    : public ::testing::TestWithParam<lang::Workload>
+{
+};
+
+TEST_P(WorkloadOnEngines, ComAndStackAgreeOnTheChecksum)
+{
+    api::ProgramSpec spec = api::ProgramSpec::workload(GetParam().name);
+    for (api::EngineKind kind :
+         {api::EngineKind::Com, api::EngineKind::Stack}) {
+        std::unique_ptr<api::Engine> engine = api::makeEngine(kind);
+        ASSERT_TRUE(engine->supports(spec.language));
+        api::RunOutcome out = engine->run(spec);
+        EXPECT_TRUE(out.matches(spec))
+            << engine->name() << " on " << spec.name << ": "
+            << (out.ok ? "checksum mismatch, got " + out.resultText
+                       : out.error);
+        EXPECT_EQ(out.engine, engine->name());
+        EXPECT_EQ(out.program, spec.name);
+        EXPECT_GT(out.operations, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadOnEngines,
+    ::testing::ValuesIn(lang::workloads()),
+    [](const ::testing::TestParamInfo<lang::Workload> &info) {
+        return info.param.name;
+    });
+
+TEST(EngineApi, FithEngineRunsTheStandardSuite)
+{
+    api::FithEngine engine;
+    for (const fith::FithProgram &p : fith::standardPrograms()) {
+        api::RunOutcome out =
+            engine.run(api::ProgramSpec::fith(p.name, p.source));
+        EXPECT_TRUE(out.ok) << p.name << ": " << out.error;
+        EXPECT_GT(out.operations, 0u) << p.name;
+    }
+}
+
+TEST(EngineApi, EnginesRejectLanguagesTheyCannotRun)
+{
+    api::ProgramSpec fith_spec = api::ProgramSpec::fith("f", "1 2 + .");
+    api::ProgramSpec asm_spec =
+        api::ProgramSpec::comAssembly("a", "putres.r c2, =7");
+
+    api::StackEngine stack;
+    EXPECT_FALSE(stack.supports(api::Language::Fith));
+    EXPECT_FALSE(stack.run(fith_spec).ok);
+    EXPECT_FALSE(stack.run(fith_spec).error.empty());
+
+    api::FithEngine fith;
+    EXPECT_FALSE(fith.supports(api::Language::ComAssembly));
+    EXPECT_FALSE(fith.run(asm_spec).ok);
+
+    api::ComEngine com;
+    EXPECT_TRUE(com.supports(api::Language::ComAssembly));
+    EXPECT_FALSE(com.supports(api::Language::Fith));
+    EXPECT_FALSE(com.run(fith_spec).ok);
+}
+
+TEST(EngineApi, ComEngineRunsAssemblyWithArguments)
+{
+    api::ComEngine engine;
+    api::ProgramSpec spec = api::ProgramSpec::comAssembly(
+        "sum-squares", R"(
+        move  c6, =0
+        move  c7, =1
+    loop:
+        mul   c8, c7, c7
+        add   c6, c6, c8
+        add   c7, c7, =1
+        le    c9, c7, c4
+        jt    c9, @loop
+        putres.r c2, c6
+    )");
+    spec.args = {mem::Word::fromInt(10)};
+    api::RunOutcome out = engine.run(spec);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_TRUE(out.result.isInt());
+    EXPECT_EQ(out.result.asInt(), 385);
+    EXPECT_EQ(out.resultText, "385");
+}
+
+TEST(EngineApi, RepeatRunsReuseTheCompiledProgram)
+{
+    // The engine memoizes compilation: the second run of the same
+    // spec installs no new methods (same lookup table size) and still
+    // produces the checksum.
+    api::ComEngine engine;
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    api::RunOutcome first = engine.run(spec);
+    ASSERT_TRUE(first.matches(spec)) << first.error;
+    std::size_t selectors = engine.machine().selectors().size();
+    api::RunOutcome second = engine.run(spec);
+    EXPECT_TRUE(second.matches(spec)) << second.error;
+    EXPECT_EQ(engine.machine().selectors().size(), selectors);
+    EXPECT_EQ(first.result, second.result);
+}
+
+TEST(EngineApi, OutputIsPerRun)
+{
+    api::ComEngine engine;
+    api::ProgramSpec spec = api::ProgramSpec::smalltalk(
+        "print", "main [ 42 print. ^0 ]");
+    EXPECT_EQ(engine.run(spec).output, "42\n");
+    EXPECT_EQ(engine.run(spec).output, "42\n"); // not "42\n42\n"
+}
+
+TEST(EngineApi, MalformedProgramsFailTheOutcomeNotTheProcess)
+{
+    // Compile errors fatal() inside the compilers; run() must contain
+    // them (a serving thread cannot afford an escaping exception).
+    api::ProgramSpec bad_st = api::ProgramSpec::smalltalk(
+        "broken", "main [ ^1 + ]]] ]");
+    api::ProgramSpec bad_asm =
+        api::ProgramSpec::comAssembly("broken", "frobnicate c1, c2");
+
+    api::ComEngine com;
+    api::RunOutcome out = com.run(bad_st);
+    EXPECT_FALSE(out.ok);
+    EXPECT_FALSE(out.error.empty());
+    out = com.run(bad_asm);
+    EXPECT_FALSE(out.ok);
+    EXPECT_FALSE(out.error.empty());
+    // The engine survives: a good program still runs afterwards.
+    api::ProgramSpec good = api::ProgramSpec::workload("fib");
+    EXPECT_TRUE(com.run(good).matches(good));
+
+    api::StackEngine stack;
+    out = stack.run(bad_st);
+    EXPECT_FALSE(out.ok);
+    EXPECT_FALSE(out.error.empty());
+    EXPECT_TRUE(stack.run(good).matches(good));
+}
+
+TEST(EngineApi, KindNamesRoundTrip)
+{
+    for (api::EngineKind kind :
+         {api::EngineKind::Com, api::EngineKind::Stack,
+          api::EngineKind::Fith}) {
+        api::EngineKind parsed;
+        ASSERT_TRUE(
+            api::parseEngineKind(api::engineKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+        std::unique_ptr<api::Engine> engine = api::makeEngine(kind);
+        EXPECT_STREQ(engine->name(), api::engineKindName(kind));
+    }
+    api::EngineKind k;
+    EXPECT_FALSE(api::parseEngineKind("z80", k));
+}
+
+// ---------------------------------------------------------------------
+// Sessions and the pool
+// ---------------------------------------------------------------------
+
+TEST(EnginePool, CheckoutRunReleaseRoundTrip)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    cfg.stackEngines = 1;
+    cfg.fithEngines = 1;
+    api::EnginePool pool(cfg);
+
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 1u);
+    {
+        api::Session session = pool.checkout(api::EngineKind::Com);
+        ASSERT_TRUE(session);
+        EXPECT_EQ(pool.idle(api::EngineKind::Com), 0u);
+        api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+        EXPECT_TRUE(session.run(spec).matches(spec));
+    }
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 1u);
+    EXPECT_EQ(pool.checkouts(), 1u);
+    EXPECT_EQ(pool.resets(), 1u);
+}
+
+TEST(EnginePool, CheckinHandsBackALikeNewEngine)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    api::EnginePool pool(cfg);
+
+    {
+        api::Session session = pool.checkout(api::EngineKind::Com);
+        api::ProgramSpec spec = api::ProgramSpec::workload("sieve");
+        ASSERT_TRUE(session.run(spec).matches(spec));
+    }
+    // The single engine comes back reset: zero cycles on the clock.
+    api::Session session = pool.checkout(api::EngineKind::Com);
+    auto &com = static_cast<api::ComEngine &>(session.engine());
+    EXPECT_EQ(com.machine().pipeline().cycles(), 0u);
+}
+
+TEST(EnginePool, ConcurrentSessionsFromMoreThreadsThanEngines)
+{
+    // 8 threads contend for 2+1+1 engines; every request must still
+    // produce its checksum, and nothing may deadlock.
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 2;
+    cfg.stackEngines = 1;
+    cfg.fithEngines = 1;
+    api::EnginePool pool(cfg);
+
+    const std::vector<std::pair<api::EngineKind, api::ProgramSpec>>
+        requests = {
+            {api::EngineKind::Com, api::ProgramSpec::workload("fib")},
+            {api::EngineKind::Stack,
+             api::ProgramSpec::workload("bank")},
+            {api::EngineKind::Fith,
+             api::ProgramSpec::fith("fith-fib",
+                                    ":: Int fib dup 2 < IF ELSE dup 1 "
+                                    "- fib swap 2 - fib + THEN ;\n"
+                                    "10 fib drop")},
+            {api::EngineKind::Com,
+             api::ProgramSpec::workload("dictionary")},
+        };
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 6;
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                const auto &req =
+                    requests[(t + i) % requests.size()];
+                api::Session session = pool.checkout(req.first);
+                api::RunOutcome out = session.run(req.second);
+                if (!out.matches(req.second))
+                    failures.fetch_add(1);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(pool.checkouts(), kThreads * kPerThread);
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 2u);
+    EXPECT_EQ(pool.idle(api::EngineKind::Stack), 1u);
+    EXPECT_EQ(pool.idle(api::EngineKind::Fith), 1u);
+}
+
+TEST(EnginePool, SessionsMove)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    api::EnginePool pool(cfg);
+
+    api::Session a = pool.checkout(api::EngineKind::Com);
+    api::Session b = std::move(a);
+    EXPECT_FALSE(a);
+    ASSERT_TRUE(b);
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    EXPECT_TRUE(b.run(spec).matches(spec));
+    b.release();
+    EXPECT_FALSE(b);
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 1u);
+}
+
+} // namespace

@@ -7,54 +7,41 @@
 
 #include <gtest/gtest.h>
 
-#include "core/machine.hpp"
-#include "lang/compiler_com.hpp"
-#include "lang/compiler_stack.hpp"
+#include "api/engine.hpp"
 #include "lang/parser.hpp"
-#include "lang/stack_vm.hpp"
 #include "lang/workloads.hpp"
 
 using namespace com;
-using lang::ComCompiler;
-using lang::StackCompiler;
-using lang::StackVm;
 
 namespace {
+
+/** Run source on a fresh engine of @p kind; return main's result. */
+std::int32_t
+runOn(api::EngineKind kind, const std::string &src,
+      std::uint64_t *operations = nullptr)
+{
+    std::unique_ptr<api::Engine> engine = api::makeEngine(kind);
+    api::RunOutcome r =
+        engine->run(api::ProgramSpec::smalltalk("test", src));
+    EXPECT_TRUE(r.ok) << r.error;
+    if (operations)
+        *operations = r.operations;
+    EXPECT_TRUE(r.result.isInt()) << "main returned non-integer";
+    return r.result.isInt() ? r.result.asInt() : -1;
+}
 
 /** Run source on a fresh COM; return main's integer result. */
 std::int32_t
 runOnCom(const std::string &src, std::uint64_t *instructions = nullptr)
 {
-    core::MachineConfig cfg;
-    cfg.contextPoolSize = 1024;
-    core::Machine m(cfg);
-    m.installStandardLibrary();
-    ComCompiler cc(m);
-    lang::CompiledProgram prog = cc.compileSource(src);
-    EXPECT_NE(prog.entryVaddr, 0u);
-    core::RunResult r =
-        m.call(prog.entryVaddr, m.constants().nilWord(), {});
-    EXPECT_TRUE(r.finished) << r.message;
-    if (instructions)
-        *instructions = r.instructions;
-    mem::Word res = m.lastResult();
-    EXPECT_TRUE(res.isInt()) << "main returned non-integer";
-    return res.isInt() ? res.asInt() : -1;
+    return runOn(api::EngineKind::Com, src, instructions);
 }
 
 /** Run source on a fresh stack VM; return main's integer result. */
 std::int32_t
 runOnStack(const std::string &src, std::uint64_t *bytecodes = nullptr)
 {
-    StackVm vm;
-    StackCompiler sc(vm);
-    lang::StackCompiled prog = sc.compileSource(src);
-    lang::SResult r = vm.run(prog.entry);
-    EXPECT_TRUE(r.ok) << r.error;
-    if (bytecodes)
-        *bytecodes = r.bytecodes;
-    EXPECT_TRUE(r.result.isInt());
-    return r.result.isInt() ? r.result.asInt() : -1;
+    return runOn(api::EngineKind::Stack, src, bytecodes);
 }
 
 } // namespace

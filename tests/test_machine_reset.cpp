@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Machine::reset() parity: a reset machine must be guest-visibly
+ * indistinguishable from a freshly constructed one — same cycles,
+ * same cache statistics, same output, bit for bit — or the engine
+ * pool's reuse would silently change what the simulator measures.
+ *
+ * The proof runs one workload on a machine that previously ran a
+ * *different* workload and was reset, against the same workload on a
+ * fresh machine, and compares every observable statistic, under both
+ * decoded-cache settings (satellite of the same PR: the host fast
+ * path must survive reset too).
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "lang/compiler_com.hpp"
+#include "lang/workloads.hpp"
+
+using namespace com;
+
+namespace {
+
+/** Everything guest-visible we can observe after a run. */
+struct Snapshot
+{
+    core::RunResult result;
+    mem::Word lastResult;
+    std::string output;
+
+    std::uint64_t cycles, instructions, calls, returns;
+    std::uint64_t branchDelays, callOverhead;
+    std::uint64_t itlbStalls, icacheStalls, atlbStalls;
+    std::uint64_t memoryStalls, contextStalls, trapCycles;
+
+    std::uint64_t itlbHits, itlbMisses;
+    std::uint64_t icacheHits, icacheMisses;
+    std::uint64_t atlbHits, atlbMisses;
+
+    std::uint64_t ctxAllocations, ctxCopybacks;
+    std::uint64_t ctxReturnHits, ctxReturnMisses, ctxForced;
+
+    std::uint64_t contextRefs, heapRefs;
+    std::uint64_t heapLive, ctxLive;
+
+    // Host-side; equal anyway because the simulation is deterministic.
+    std::uint64_t decodedHits;
+};
+
+Snapshot
+snapshotOf(core::Machine &m, const core::RunResult &r)
+{
+    Snapshot s;
+    s.result = r;
+    s.lastResult = m.lastResult();
+    s.output = m.output();
+
+    const core::Pipeline &p = m.pipeline();
+    s.cycles = p.cycles();
+    s.instructions = p.instructions();
+    s.calls = p.calls();
+    s.returns = p.returns();
+    s.branchDelays = p.branchDelays();
+    s.callOverhead = p.callOverhead();
+    s.itlbStalls = p.itlbStalls();
+    s.icacheStalls = p.icacheStalls();
+    s.atlbStalls = p.atlbStalls();
+    s.memoryStalls = p.memoryStalls();
+    s.contextStalls = p.contextStalls();
+    s.trapCycles = p.trapCycles();
+
+    s.itlbHits = m.itlb().hits();
+    s.itlbMisses = m.itlb().misses();
+    s.icacheHits = m.icache().hits();
+    s.icacheMisses = m.icache().misses();
+    s.atlbHits = m.atlb().stats().counterValue("hits");
+    s.atlbMisses = m.atlb().stats().counterValue("misses");
+
+    s.ctxAllocations = m.contextCache().allocations();
+    s.ctxCopybacks = m.contextCache().copybacks();
+    s.ctxReturnHits = m.contextCache().returnHits();
+    s.ctxReturnMisses = m.contextCache().returnMisses();
+    s.ctxForced = m.contextCache().forcedEvictions();
+
+    s.contextRefs = m.contextRefs();
+    s.heapRefs = m.heapRefs();
+    s.heapLive = m.heap().liveCount();
+    s.ctxLive = m.contextPool().liveCount();
+
+    s.decodedHits = m.decodedCache().hits();
+    return s;
+}
+
+void
+expectParity(const Snapshot &reset, const Snapshot &fresh,
+             const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(reset.result.fault, fresh.result.fault);
+    EXPECT_EQ(reset.result.finished, fresh.result.finished);
+    EXPECT_EQ(reset.result.instructions, fresh.result.instructions);
+    EXPECT_EQ(reset.result.cycles, fresh.result.cycles);
+    EXPECT_EQ(reset.result.message, fresh.result.message);
+    EXPECT_EQ(reset.lastResult, fresh.lastResult);
+    EXPECT_EQ(reset.output, fresh.output);
+
+    EXPECT_EQ(reset.cycles, fresh.cycles);
+    EXPECT_EQ(reset.instructions, fresh.instructions);
+    EXPECT_EQ(reset.calls, fresh.calls);
+    EXPECT_EQ(reset.returns, fresh.returns);
+    EXPECT_EQ(reset.branchDelays, fresh.branchDelays);
+    EXPECT_EQ(reset.callOverhead, fresh.callOverhead);
+    EXPECT_EQ(reset.itlbStalls, fresh.itlbStalls);
+    EXPECT_EQ(reset.icacheStalls, fresh.icacheStalls);
+    EXPECT_EQ(reset.atlbStalls, fresh.atlbStalls);
+    EXPECT_EQ(reset.memoryStalls, fresh.memoryStalls);
+    EXPECT_EQ(reset.contextStalls, fresh.contextStalls);
+    EXPECT_EQ(reset.trapCycles, fresh.trapCycles);
+
+    EXPECT_EQ(reset.itlbHits, fresh.itlbHits);
+    EXPECT_EQ(reset.itlbMisses, fresh.itlbMisses);
+    EXPECT_EQ(reset.icacheHits, fresh.icacheHits);
+    EXPECT_EQ(reset.icacheMisses, fresh.icacheMisses);
+    EXPECT_EQ(reset.atlbHits, fresh.atlbHits);
+    EXPECT_EQ(reset.atlbMisses, fresh.atlbMisses);
+
+    EXPECT_EQ(reset.ctxAllocations, fresh.ctxAllocations);
+    EXPECT_EQ(reset.ctxCopybacks, fresh.ctxCopybacks);
+    EXPECT_EQ(reset.ctxReturnHits, fresh.ctxReturnHits);
+    EXPECT_EQ(reset.ctxReturnMisses, fresh.ctxReturnMisses);
+    EXPECT_EQ(reset.ctxForced, fresh.ctxForced);
+
+    EXPECT_EQ(reset.contextRefs, fresh.contextRefs);
+    EXPECT_EQ(reset.heapRefs, fresh.heapRefs);
+    EXPECT_EQ(reset.heapLive, fresh.heapLive);
+    EXPECT_EQ(reset.ctxLive, fresh.ctxLive);
+
+    EXPECT_EQ(reset.decodedHits, fresh.decodedHits);
+}
+
+core::MachineConfig
+configFor(bool decoded)
+{
+    core::MachineConfig cfg;
+    cfg.contextPoolSize = 4096;
+    cfg.enableDecodedCache = decoded;
+    return cfg;
+}
+
+/** Compile and run @p name on @p m (library already installed). */
+core::RunResult
+runWorkload(core::Machine &m, const std::string &name)
+{
+    lang::ComCompiler cc(m);
+    lang::CompiledProgram p =
+        cc.compileSource(lang::workload(name).source);
+    return m.call(p.entryVaddr, m.constants().nilWord(), {});
+}
+
+Snapshot
+freshRun(const std::string &name, bool decoded)
+{
+    core::Machine m(configFor(decoded));
+    m.installStandardLibrary();
+    core::RunResult r = runWorkload(m, name);
+    return snapshotOf(m, r);
+}
+
+Snapshot
+resetRun(const std::string &first, const std::string &second,
+         bool decoded)
+{
+    core::Machine m(configFor(decoded));
+    m.installStandardLibrary();
+    core::RunResult warm = runWorkload(m, first);
+    EXPECT_TRUE(warm.finished) << warm.message;
+
+    m.reset();
+    m.installStandardLibrary();
+    core::RunResult r = runWorkload(m, second);
+    return snapshotOf(m, r);
+}
+
+struct ResetCase
+{
+    const char *first;  ///< workload run before the reset
+    const char *second; ///< workload whose statistics are compared
+};
+
+class ResetParity : public ::testing::TestWithParam<ResetCase>
+{
+};
+
+TEST_P(ResetParity, ResetMachineMatchesFreshMachine)
+{
+    const ResetCase c = GetParam();
+    for (bool decoded : {true, false}) {
+        Snapshot fresh = freshRun(c.second, decoded);
+        Snapshot reset = resetRun(c.first, c.second, decoded);
+        EXPECT_TRUE(fresh.result.finished) << fresh.result.message;
+        expectParity(reset, fresh,
+                     std::string(c.first) + " -> reset -> " + c.second +
+                         (decoded ? " (decoded)" : " (reference)"));
+    }
+}
+
+// Different profiles on either side of the reset: data-heavy after
+// call-heavy, late-binding after data-heavy, allocation-heavy after
+// control-heavy, and a workload after itself.
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ResetParity,
+    ::testing::Values(ResetCase{"fib", "sieve"},
+                      ResetCase{"sieve", "sort"},
+                      ResetCase{"richards", "bintree"},
+                      ResetCase{"sieve", "sieve"}),
+    [](const ::testing::TestParamInfo<ResetCase> &info) {
+        return std::string(info.param.first) + "_then_" +
+               info.param.second;
+    });
+
+TEST(MachineReset, ClearsEverythingObservable)
+{
+    core::Machine m(configFor(true));
+    m.installStandardLibrary();
+    core::RunResult r = runWorkload(m, "fib");
+    ASSERT_TRUE(r.finished) << r.message;
+    ASSERT_GT(m.pipeline().cycles(), 0u);
+
+    m.reset();
+    EXPECT_EQ(m.pipeline().cycles(), 0u);
+    EXPECT_EQ(m.pipeline().instructions(), 0u);
+    EXPECT_EQ(m.output(), "");
+    EXPECT_EQ(m.heap().liveCount(), 0u);
+    EXPECT_EQ(m.contextPool().liveCount(), 0u);
+    EXPECT_EQ(m.itlb().hits() + m.itlb().misses(), 0u);
+    EXPECT_EQ(m.icache().hits() + m.icache().misses(), 0u);
+    EXPECT_EQ(m.contextCache().allocations(), 0u);
+    EXPECT_EQ(m.decodedCache().hits(), 0u);
+    EXPECT_EQ(m.contextRefs(), 0u);
+    EXPECT_EQ(m.heapRefs(), 0u);
+    EXPECT_EQ(m.memory().reads() + m.memory().writes(), 0u);
+    EXPECT_EQ(m.absoluteSpace().wordsAllocated(),
+              core::Machine(configFor(true))
+                  .absoluteSpace()
+                  .wordsAllocated());
+}
+
+TEST(MachineReset, EngineResetReusesTheMachineAcrossPrograms)
+{
+    // The api-level contract bench_serve relies on: checkout, run,
+    // reset, run something else, repeatedly, on one machine.
+    api::ComEngine engine;
+    core::Machine *machine = &engine.machine();
+    for (const char *name : {"fib", "sieve", "bank", "fib"}) {
+        api::ProgramSpec spec = api::ProgramSpec::workload(name);
+        api::RunOutcome out = engine.run(spec);
+        EXPECT_TRUE(out.matches(spec)) << name << ": " << out.error;
+        engine.reset();
+        // Same machine object, like-new state.
+        EXPECT_EQ(&engine.machine(), machine);
+        EXPECT_EQ(machine->pipeline().cycles(), 0u);
+    }
+}
+
+} // namespace

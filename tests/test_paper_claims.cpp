@@ -9,8 +9,6 @@
 
 #include "bench_claims_helpers.hpp"
 #include "fith/fith_programs.hpp"
-#include "lang/compiler_stack.hpp"
-#include "lang/stack_vm.hpp"
 #include "lang/workloads.hpp"
 #include "trace/cache_sim.hpp"
 
@@ -58,18 +56,17 @@ TEST(PaperClaims, StackMachineNeedsSubstantiallyMoreInstructions)
 {
     // Reproduce the Section 5 comparison on two call-heavy workloads.
     for (const char *name : {"fib", "bank"}) {
-        const lang::Workload &w = lang::workload(name);
-        auto com_run = claims::runOnCom(w);
-        ASSERT_TRUE(com_run.finished) << com_run.message;
+        api::ProgramSpec spec = api::ProgramSpec::workload(name);
+        api::RunOutcome com_run =
+            claims::runOnCom(lang::workload(name));
+        ASSERT_TRUE(com_run.ok) << com_run.error;
 
-        lang::StackVm vm;
-        lang::StackCompiler sc(vm);
-        lang::StackCompiled sp = sc.compileSource(w.source);
-        lang::SResult sr = vm.run(sp.entry);
-        ASSERT_TRUE(sr.ok) << sr.error;
+        api::StackEngine stack;
+        api::RunOutcome stack_run = stack.run(spec);
+        ASSERT_TRUE(stack_run.ok) << stack_run.error;
 
-        double ratio = static_cast<double>(sr.bytecodes) /
-                       static_cast<double>(com_run.instructions);
+        double ratio = static_cast<double>(stack_run.operations) /
+                       static_cast<double>(com_run.operations);
         EXPECT_GT(ratio, 1.4) << name;
         EXPECT_LT(ratio, 2.6) << name;
     }
@@ -78,9 +75,10 @@ TEST(PaperClaims, StackMachineNeedsSubstantiallyMoreInstructions)
 TEST(PaperClaims, ContextReferencesDominate)
 {
     // ">91% of all memory references are to contexts."
-    auto m = claims::machineAfter(lang::workload("richards"));
-    double ctx = static_cast<double>(m->contextRefs());
-    double heap = static_cast<double>(m->heapRefs());
+    auto e = claims::engineAfter(lang::workload("richards"));
+    core::Machine &m = e->machine();
+    double ctx = static_cast<double>(m.contextRefs());
+    double heap = static_cast<double>(m.heapRefs());
     EXPECT_GT(ctx / (ctx + heap), 0.91);
 }
 
@@ -88,20 +86,22 @@ TEST(PaperClaims, ContextAllocationsDominate)
 {
     // "85% of all object allocations and deallocations involve
     //  contexts."
-    auto m = claims::machineAfter(lang::workload("bintree"));
-    double ctx = static_cast<double>(m->contextPool().allocations());
-    double heap = static_cast<double>(m->heap().allocations());
+    auto e = claims::engineAfter(lang::workload("bintree"));
+    core::Machine &m = e->machine();
+    double ctx = static_cast<double>(m.contextPool().allocations());
+    double heap = static_cast<double>(m.heap().allocations());
     EXPECT_GT(ctx / (ctx + heap), 0.85);
 }
 
 TEST(PaperClaims, ContextCacheAlmostNeverMissesAt32Blocks)
 {
-    auto m = claims::machineAfter(lang::workload("sort"));
-    std::uint64_t returns = m->contextCache().returnHits() +
-                            m->contextCache().returnMisses();
+    auto e = claims::engineAfter(lang::workload("sort"));
+    core::Machine &m = e->machine();
+    std::uint64_t returns = m.contextCache().returnHits() +
+                            m.contextCache().returnMisses();
     ASSERT_GT(returns, 100u);
-    EXPECT_LE(m->contextCache().returnMisses(), returns / 100);
-    EXPECT_EQ(m->contextCache().forcedEvictions(), 0u);
+    EXPECT_LE(m.contextCache().returnMisses(), returns / 100);
+    EXPECT_EQ(m.contextCache().forcedEvictions(), 0u);
 }
 
 TEST(PaperClaims, MulticsFailsThePopulationFloatingPointHandles)
