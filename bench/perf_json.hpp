@@ -1,14 +1,16 @@
 /**
  * @file
  * The BENCH_perf.json trajectory file, shared by bench_perf and
- * bench_serve (schema comsim.bench.perf/v2, documented in ROADMAP.md).
+ * bench_serve (schema comsim.bench.perf/v3, documented in ROADMAP.md).
  *
  * bench_perf rewrites the file with its single-engine throughput
- * entries; bench_serve merges its BM_Serve/* requests/s entries into
- * the existing file, replacing earlier serve entries and preserving
+ * entries; bench_serve merges its "BM_Serve/..." requests/s entries
+ * into the existing file, replacing earlier serve entries and preserving
  * everything else. The loader only needs to round-trip what these two
  * writers emit (one benchmark object per line), so it is a small
- * line-oriented scanner, not a general JSON parser.
+ * line-oriented scanner, not a general JSON parser. v1/v2-era files
+ * load cleanly (the new v3 fields are simply absent), so old
+ * snapshots merge into the current schema without loss.
  */
 
 #ifndef COMSIM_BENCH_PERF_JSON_HPP
@@ -24,9 +26,13 @@
 
 namespace com::bench {
 
-/** Current trajectory schema. v2 adds requests/s serving entries with
- *  per-entry integer detail fields (threads, sessions, ...). */
-constexpr const char *kPerfSchema = "comsim.bench.perf/v2";
+/** Current trajectory schema. v2 added requests/s serving entries
+ *  with per-entry integer detail fields (threads, sessions, ...); v3
+ *  adds double-valued metric fields on the serving entries
+ *  (latency percentiles in milliseconds, mean batch size, worker
+ *  utilization) plus scheduler counters (shards, batches, rejected,
+ *  expired). */
+constexpr const char *kPerfSchema = "comsim.bench.perf/v3";
 
 /** One benchmark measurement. */
 struct BenchResult
@@ -39,6 +45,21 @@ struct BenchResult
     double seconds = 0.0;
     /** Extra integer fields (v2): e.g. {"threads", 4}. */
     std::vector<std::pair<std::string, std::uint64_t>> details;
+    /** Extra double fields (v3): e.g. {"p99_ms", 4.31}. */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** Integer detail keys the loader round-trips (v2 + v3). */
+constexpr const char *kDetailKeys[] = {
+    "threads",  "sessions", "requests", "max_concurrent",
+    "failures", "shards",   "batches",  "rejected",
+    "expired",
+};
+
+/** Double metric keys the loader round-trips (v3). */
+constexpr const char *kMetricKeys[] = {
+    "p50_ms", "p95_ms", "p99_ms", "mean_ms", "mean_batch",
+    "utilization",
 };
 
 /** Minimal JSON string escape (names are ASCII identifiers anyway). */
@@ -81,6 +102,9 @@ writePerfJson(const std::string &path, double min_time_seconds,
             std::fprintf(f, ", \"%s\": %llu",
                          jsonEscape(kv.first).c_str(),
                          static_cast<unsigned long long>(kv.second));
+        for (const auto &kv : r.metrics)
+            std::fprintf(f, ", \"%s\": %.4f",
+                         jsonEscape(kv.first).c_str(), kv.second);
         std::fprintf(f, "}%s\n", i + 1 < all.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -133,8 +157,8 @@ jsonNumberField(const std::string &line, const std::string &key,
 } // namespace detail
 
 /**
- * Load the benchmark entries of an existing trajectory file (v1 or
- * v2). Unreadable or unparsable files load as empty — the callers
+ * Load the benchmark entries of an existing trajectory file (v1, v2
+ * or v3). Unreadable or unparsable files load as empty — the callers
  * rewrite from scratch then.
  * @param[out] min_time_seconds the file's timing floor, if present;
  *             untouched otherwise (pass a preset default); may be null
@@ -165,11 +189,13 @@ loadPerfJson(const std::string &path,
             r.iterations = static_cast<std::uint64_t>(num);
         if (detail::jsonNumberField(line, "seconds", num))
             r.seconds = num;
-        for (const char *key : {"threads", "sessions", "requests",
-                                "max_concurrent", "failures"})
+        for (const char *key : kDetailKeys)
             if (detail::jsonNumberField(line, key, num))
                 r.details.emplace_back(
                     key, static_cast<std::uint64_t>(num));
+        for (const char *key : kMetricKeys)
+            if (detail::jsonNumberField(line, key, num))
+                r.metrics.emplace_back(key, num);
         out.push_back(std::move(r));
     }
     return out;

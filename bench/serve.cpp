@@ -1,33 +1,47 @@
 /**
  * @file
- * Multi-session serving benchmark over the EnginePool.
+ * Open-loop load generator over the serve::Scheduler.
  *
- * The north star is serving heavy traffic, not running one program:
- * this driver spawns worker threads that check sessions out of a
- * shared api::EnginePool, run mixed workloads across the COM, stack-VM
- * and Fith engines, verify every response (checksum where the spec
- * carries one, plus byte-exact guest output against a single-threaded
- * reference run), and release the session (which resets the machine
- * for the next request — Machine::reset() makes the reuse real;
- * tests/test_machine_reset.cpp proves a reset machine is bit-identical
- * to a fresh one).
+ * PR 2's bench_serve was a closed loop: each worker thread checked a
+ * session out, ran ONE request and reset the engine — so every
+ * request paid a full compile + reset, and the measured number could
+ * only be throughput. This driver measures the serving layer the way
+ * a production system is measured:
  *
- * Results are requests/s entries (BM_Serve/<scenario>) merged into
- * BENCH_perf.json next to bench_perf's single-engine throughput
- * numbers (schema comsim.bench.perf/v2, documented in ROADMAP.md).
+ *   - requests are *submitted* to a serve::Scheduler (shard router ->
+ *     bounded queue -> batch-coalescing workers over per-shard
+ *     EnginePools) instead of executed by the submitting thread;
+ *   - arrivals are open-loop: --rate=R submits on a fixed schedule
+ *     regardless of completions (the only way queueing delay shows up
+ *     in the tail), with admission-control rejects counted; --rate=0
+ *     is the max-throughput mode (blocking submits, back-pressure);
+ *   - every response is verified: checksum where the spec carries
+ *     one, plus byte-exact guest output against a single-threaded
+ *     reference run;
+ *   - the headline numbers are requests/s AND the latency
+ *     distribution: exact p50/p95/p99 over per-request
+ *     submit-to-completion latencies, plus mean batch size and
+ *     worker utilization from the scheduler's own metrics.
+ *
+ * Results merge into BENCH_perf.json as BM_Serve/<scenario> entries
+ * (schema comsim.bench.perf/v3, documented in ROADMAP.md).
  *
  * Usage:
- *   bench_serve [--threads=4] [--requests=100] [--sessions=N]
+ *   bench_serve [--threads=4] [--shards=2] [--requests=100]
+ *               [--sessions=N] [--batch=32] [--queue=1024]
+ *               [--rate=R] [--deadline-ms=D]
  *               [--engines=com,stack,fith] [--workloads=a,b,...]
  *               [--out=BENCH_perf.json]
  */
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,13 +52,14 @@
 #include "bench/perf_json.hpp"
 #include "fith/fith_programs.hpp"
 #include "lang/workloads.hpp"
+#include "serve/scheduler.hpp"
 #include "sim/logging.hpp"
 
 using namespace com;
 
 namespace {
 
-/** One queued request: which engine kind runs which program. */
+/** One template request: which engine kind runs which program. */
 struct Request
 {
     api::EngineKind kind;
@@ -64,71 +79,174 @@ struct Scenario
 
 struct ServeStats
 {
-    std::uint64_t requests = 0;
-    std::uint64_t guestOps = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
     std::uint64_t failures = 0;
-    std::uint64_t maxConcurrent = 0;
+    std::uint64_t guestOps = 0;
+    std::uint64_t batches = 0;
+    double meanBatch = 0.0;
+    double utilization = 0.0;
     double seconds = 0.0;
+    double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0, meanMs = 0.0;
 };
 
-/** Drive @p scenario with @p threads workers over @p pool. */
-ServeStats
-runScenario(api::EnginePool &pool, const Scenario &scenario,
-            std::uint64_t threads, std::uint64_t requests_per_thread)
+/** Exact percentile of an ascending @p sorted (nearest-rank: the
+ *  ceil(q*n)-th smallest sample). */
+double
+percentile(const std::vector<double> &sorted, double q)
 {
-    std::atomic<std::uint64_t> guest_ops{0};
-    std::atomic<std::uint64_t> failures{0};
-    std::atomic<std::uint64_t> active{0};
-    std::atomic<std::uint64_t> max_active{0};
+    if (sorted.empty())
+        return 0.0;
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    rank = std::max<std::size_t>(rank, 1);
+    return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
 
-    auto worker = [&](std::uint64_t tid) {
-        for (std::uint64_t i = 0; i < requests_per_thread; ++i) {
-            const Request &req = scenario.mix[static_cast<std::size_t>(
-                (tid + i * threads) % scenario.mix.size())];
-            api::Session session = pool.checkout(req.kind);
+struct DriveConfig
+{
+    std::uint64_t workers = 4;  ///< total, split across shards
+    std::uint64_t shards = 2;
+    std::uint64_t sessions = 0; ///< per kind per shard; 0 = workers/shard
+    std::uint64_t maxBatch = 32;
+    std::uint64_t queueCapacity = 1024;
+    std::uint64_t totalRequests = 400;
+    double rate = 0.0;          ///< arrivals/s; 0 = back-pressure mode
+    double deadlineMs = 0.0;    ///< 0 = no deadline
+};
 
-            std::uint64_t now = active.fetch_add(1) + 1;
-            std::uint64_t seen = max_active.load();
-            while (seen < now &&
-                   !max_active.compare_exchange_weak(seen, now)) {
-            }
+/**
+ * Drive @p scenario through a fresh scheduler. Fresh per scenario on
+ * purpose: each entry's metrics (batches, latency, utilization) must
+ * describe that scenario alone, and pools are sized from the kinds
+ * the scenario actually serves. Construction is outside the timed
+ * region.
+ */
+ServeStats
+runScenario(const Scenario &scenario, const DriveConfig &dc)
+{
+    std::size_t workers_per_shard = static_cast<std::size_t>(
+        std::max<std::uint64_t>(dc.workers / dc.shards, 1));
+    std::size_t sessions =
+        dc.sessions > 0 ? static_cast<std::size_t>(dc.sessions)
+                        : workers_per_shard;
 
-            api::RunOutcome out = session.run(req.spec);
-            active.fetch_sub(1);
+    // Size the pools from the kinds this scenario actually serves —
+    // a fith-only scenario must not construct idle COM machines.
+    bool present[api::kNumEngineKinds] = {};
+    for (const Request &req : scenario.mix)
+        present[static_cast<std::size_t>(req.kind)] = true;
 
-            if (!out.matches(req.spec) ||
-                out.output != req.expectedOutput) {
-                failures.fetch_add(1);
-                std::fprintf(stderr,
-                             "FAIL %s on %s engine: %s (result %s)\n",
-                             req.spec.name.c_str(),
-                             api::engineKindName(req.kind),
-                             !out.ok          ? out.error.c_str()
-                             : !out.matches(req.spec)
-                                 ? "checksum mismatch"
-                                 : "output differs from reference",
-                             out.resultText.c_str());
-            }
-            guest_ops.fetch_add(out.operations);
-            // Session destructor: reset + checkin.
-        }
-    };
+    serve::Scheduler::Config cfg;
+    cfg.shards = static_cast<std::size_t>(dc.shards);
+    cfg.workersPerShard = workers_per_shard;
+    cfg.queueCapacity = static_cast<std::size_t>(dc.queueCapacity);
+    cfg.maxBatch = static_cast<std::size_t>(dc.maxBatch);
+    cfg.pool.comEngines =
+        present[static_cast<std::size_t>(api::EngineKind::Com)]
+            ? sessions
+            : 0;
+    cfg.pool.stackEngines =
+        present[static_cast<std::size_t>(api::EngineKind::Stack)]
+            ? sessions
+            : 0;
+    cfg.pool.fithEngines =
+        present[static_cast<std::size_t>(api::EngineKind::Fith)]
+            ? sessions
+            : 0;
+    serve::Scheduler scheduler(cfg);
 
-    using clock = std::chrono::steady_clock;
+    using clock = serve::Clock;
     clock::time_point start = clock::now();
-    std::vector<std::thread> poolThreads;
-    for (std::uint64_t t = 0; t < threads; ++t)
-        poolThreads.emplace_back(worker, t);
-    for (std::thread &t : poolThreads)
-        t.join();
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(dc.totalRequests);
+    std::vector<std::size_t> request_of;
+    request_of.reserve(dc.totalRequests);
+
+    for (std::uint64_t i = 0; i < dc.totalRequests; ++i) {
+        std::size_t pick =
+            static_cast<std::size_t>(i) % scenario.mix.size();
+        const Request &req = scenario.mix[pick];
+        if (dc.rate > 0.0) {
+            // Open loop: arrival i is due at start + i/rate, whether
+            // or not earlier requests completed.
+            auto due =
+                start + std::chrono::duration_cast<clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(i) / dc.rate));
+            std::this_thread::sleep_until(due);
+        }
+        clock::time_point deadline =
+            dc.deadlineMs > 0.0
+                ? clock::now() +
+                      std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(
+                              dc.deadlineMs / 1e3))
+                : serve::kNoDeadline;
+        futures.push_back(
+            dc.rate > 0.0
+                ? scheduler.trySubmit(req.kind, req.spec, deadline)
+                : scheduler.submit(req.kind, req.spec, deadline));
+        request_of.push_back(pick);
+    }
 
     ServeStats s;
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    double latency_sum = 0.0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        serve::Response r = futures[i].get();
+        const Request &req = scenario.mix[request_of[i]];
+        switch (r.status) {
+          case serve::ResponseStatus::Ok:
+            if (r.outcome.output != req.expectedOutput) {
+                ++s.failures;
+                std::fprintf(stderr,
+                             "FAIL %s on %s engine: output differs "
+                             "from reference\n",
+                             req.spec.name.c_str(),
+                             api::engineKindName(req.kind));
+            } else {
+                ++s.served;
+                latencies.push_back(r.latencySeconds);
+                latency_sum += r.latencySeconds;
+            }
+            s.guestOps += r.outcome.operations;
+            break;
+          case serve::ResponseStatus::Rejected:
+            ++s.rejected;
+            break;
+          case serve::ResponseStatus::Expired:
+            ++s.expired;
+            break;
+          case serve::ResponseStatus::Failed:
+            ++s.failures;
+            std::fprintf(stderr, "FAIL %s on %s engine: %s\n",
+                         req.spec.name.c_str(),
+                         api::engineKindName(req.kind),
+                         r.error.c_str());
+            break;
+        }
+    }
     s.seconds =
         std::chrono::duration<double>(clock::now() - start).count();
-    s.requests = threads * requests_per_thread;
-    s.guestOps = guest_ops.load();
-    s.failures = failures.load();
-    s.maxConcurrent = max_active.load();
+    s.submitted = dc.totalRequests;
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    s.batches = m.batches;
+    s.meanBatch = m.meanBatch;
+    s.utilization = m.utilization;
+
+    std::sort(latencies.begin(), latencies.end());
+    s.p50Ms = percentile(latencies, 0.50) * 1e3;
+    s.p95Ms = percentile(latencies, 0.95) * 1e3;
+    s.p99Ms = percentile(latencies, 0.99) * 1e3;
+    s.meanMs = latencies.empty()
+                   ? 0.0
+                   : latency_sum /
+                         static_cast<double>(latencies.size()) * 1e3;
     return s;
 }
 
@@ -138,21 +256,39 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t threads = 4;
+    std::uint64_t shards = 2;
     std::uint64_t requests_per_thread = 100;
-    std::uint64_t sessions = 0; // 0: one engine of each kind per thread
+    std::uint64_t sessions = 0; // 0: one engine per worker per shard
+    std::uint64_t max_batch = 32;
+    std::uint64_t queue_capacity = 1024;
+    double rate = 0.0;
+    double deadline_ms = 0.0;
     std::string engines_csv = "com,stack,fith";
     std::string workloads_csv = "all";
     std::string out_path = "BENCH_perf.json";
 
     bench::FlagSet flags(
         "bench_serve",
-        "multi-threaded serving benchmark over the engine pool; merges "
-        "requests/s entries into the BENCH_perf.json trajectory");
-    flags.addUint("threads", &threads, "concurrent request threads");
+        "open-loop load generator over the batching request scheduler "
+        "(serve::Scheduler); merges requests/s + latency-percentile "
+        "entries into the BENCH_perf.json trajectory");
+    flags.addUint("threads", &threads,
+                  "total scheduler worker threads (split across shards)");
+    flags.addUint("shards", &shards,
+                  "independent queue+pool shards (router hashes source)");
     flags.addUint("requests", &requests_per_thread,
-                  "requests issued per thread per scenario");
+                  "requests submitted per worker thread per scenario");
     flags.addUint("sessions", &sessions,
-                  "pooled engines per kind (default: one per thread)");
+                  "engines per kind per shard (default: workers/shard)");
+    flags.addUint("batch", &max_batch,
+                  "max requests coalesced onto one session checkout");
+    flags.addUint("queue", &queue_capacity,
+                  "per-shard queue capacity (admission limit)");
+    flags.addDouble("rate", &rate,
+                    "open-loop arrival rate, requests/s (0: submit "
+                    "with back-pressure at max throughput)");
+    flags.addDouble("deadline-ms", &deadline_ms,
+                    "per-request deadline in ms (0: none)");
     flags.addString("engines", &engines_csv,
                     "engines to serve (csv of com,stack,fith)");
     flags.addString("workloads", &workloads_csv,
@@ -160,14 +296,30 @@ main(int argc, char **argv)
     flags.addString("out", &out_path, "trajectory file to merge into");
     flags.parse(argc, argv);
 
-    if (threads == 0 || requests_per_thread == 0) {
+    if (threads == 0 || requests_per_thread == 0 || shards == 0) {
         std::fprintf(stderr,
-                     "bench_serve: --threads and --requests must be "
-                     "positive\n");
+                     "bench_serve: --threads, --requests and --shards "
+                     "must be positive\n");
         return 2;
     }
-    if (sessions == 0)
-        sessions = threads;
+    if (shards > threads) {
+        std::fprintf(stderr,
+                     "bench_serve: --shards must not exceed --threads "
+                     "(each shard needs a worker)\n");
+        return 2;
+    }
+    if (threads % shards != 0) {
+        // Workers split evenly across shards; round down rather than
+        // silently reporting a thread count that never ran.
+        std::uint64_t actual = (threads / shards) * shards;
+        std::fprintf(stderr,
+                     "bench_serve: --threads=%llu is not divisible by "
+                     "--shards=%llu; running %llu workers\n",
+                     static_cast<unsigned long long>(threads),
+                     static_cast<unsigned long long>(shards),
+                     static_cast<unsigned long long>(actual));
+        threads = actual;
+    }
 
     // Engine selection (deduplicated: "--engines=com,com" is one
     // engine, not two scenarios).
@@ -190,12 +342,9 @@ main(int argc, char **argv)
                      "(available: com, stack, fith)\n");
         return 2;
     }
-    auto selected = [&kinds](api::EngineKind k) {
-        for (api::EngineKind kind : kinds)
-            if (kind == k)
-                return true;
-        return false;
-    };
+    bool selected[api::kNumEngineKinds] = {};
+    for (api::EngineKind kind : kinds)
+        selected[static_cast<std::size_t>(kind)] = true;
 
     // Workload selection (validated against the suite, so a typo lists
     // the real names via lang::workload's fatal message).
@@ -246,12 +395,12 @@ main(int argc, char **argv)
         perEngine.push_back({api::engineKindName(kind), {}});
     for (const std::string &name : workload_names) {
         api::ProgramSpec spec = api::ProgramSpec::workload(name);
-        if (selected(api::EngineKind::Com))
+        if (selected[static_cast<std::size_t>(api::EngineKind::Com)])
             add(api::EngineKind::Com, spec);
-        if (selected(api::EngineKind::Stack))
+        if (selected[static_cast<std::size_t>(api::EngineKind::Stack)])
             add(api::EngineKind::Stack, spec);
     }
-    if (selected(api::EngineKind::Fith))
+    if (selected[static_cast<std::size_t>(api::EngineKind::Fith)])
         for (const fith::FithProgram &p : fith::standardPrograms())
             add(api::EngineKind::Fith,
                 api::ProgramSpec::fith("fith:" + p.name, p.source));
@@ -271,59 +420,78 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // One pool serves every scenario; engines reset between requests.
-    api::EnginePool::Config pool_cfg;
-    pool_cfg.comEngines = selected(api::EngineKind::Com) ? sessions : 0;
-    pool_cfg.stackEngines =
-        selected(api::EngineKind::Stack) ? sessions : 0;
-    pool_cfg.fithEngines = selected(api::EngineKind::Fith) ? sessions : 0;
-    api::EnginePool pool(pool_cfg);
+    DriveConfig dc;
+    dc.workers = threads;
+    dc.shards = shards;
+    dc.sessions = sessions;
+    dc.maxBatch = max_batch;
+    dc.queueCapacity = queue_capacity;
+    dc.totalRequests = threads * requests_per_thread;
+    dc.rate = rate;
+    dc.deadlineMs = deadline_ms;
 
-    std::printf("comsim serving benchmark: %llu threads, %llu requests "
-                "per thread, %llu sessions per engine kind\n\n",
-                static_cast<unsigned long long>(threads),
-                static_cast<unsigned long long>(requests_per_thread),
-                static_cast<unsigned long long>(sessions));
+    std::printf(
+        "comsim serving benchmark: %llu workers over %llu shards, "
+        "%llu requests per scenario, batch<=%llu, queue<=%llu%s\n\n",
+        static_cast<unsigned long long>(threads),
+        static_cast<unsigned long long>(shards),
+        static_cast<unsigned long long>(dc.totalRequests),
+        static_cast<unsigned long long>(max_batch),
+        static_cast<unsigned long long>(queue_capacity),
+        rate > 0.0 ? " (open loop)" : " (back-pressure)");
+    std::printf("  %-20s %12s %9s %9s %9s %7s %6s\n", "scenario",
+                "requests/s", "p50 ms", "p95 ms", "p99 ms", "batch",
+                "util");
 
     std::vector<bench::BenchResult> serve_results;
     std::uint64_t total_failures = 0;
     for (const Scenario &scenario : scenarios) {
-        ServeStats s =
-            runScenario(pool, scenario, threads, requests_per_thread);
+        ServeStats s = runScenario(scenario, dc);
         total_failures += s.failures;
 
         bench::BenchResult r;
         r.name = "BM_Serve/" + scenario.name;
         r.unit = "requests/s";
         r.rate = s.seconds > 0.0
-                     ? static_cast<double>(s.requests) / s.seconds
+                     ? static_cast<double>(s.served) / s.seconds
                      : 0.0;
         r.ops = s.guestOps;
-        r.iterations = s.requests;
+        r.iterations = s.served;
         r.seconds = s.seconds;
         r.details = {{"threads", threads},
-                     {"sessions", sessions},
-                     {"requests", s.requests},
-                     {"max_concurrent", s.maxConcurrent},
+                     {"sessions",
+                      dc.sessions > 0 ? dc.sessions
+                                      : std::max<std::uint64_t>(
+                                            threads / shards, 1)},
+                     {"shards", shards},
+                     {"requests", s.submitted},
+                     {"batches", s.batches},
+                     {"rejected", s.rejected},
+                     {"expired", s.expired},
                      {"failures", s.failures}};
+        r.metrics = {{"p50_ms", s.p50Ms},
+                     {"p95_ms", s.p95Ms},
+                     {"p99_ms", s.p99Ms},
+                     {"mean_ms", s.meanMs},
+                     {"mean_batch", s.meanBatch},
+                     {"utilization", s.utilization}};
         serve_results.push_back(r);
 
-        std::printf("  %-24s %10.1f requests/s  (%llu requests, "
-                    "max %llu concurrent, %llu failures, %.2fs)\n",
-                    r.name.c_str(), r.rate,
-                    static_cast<unsigned long long>(s.requests),
-                    static_cast<unsigned long long>(s.maxConcurrent),
-                    static_cast<unsigned long long>(s.failures),
-                    s.seconds);
+        std::printf("  %-20s %12.1f %9.2f %9.2f %9.2f %7.2f %5.0f%%\n",
+                    r.name.c_str(), r.rate, s.p50Ms, s.p95Ms, s.p99Ms,
+                    s.meanBatch, s.utilization * 100.0);
+        if (s.rejected > 0 || s.expired > 0 || s.failures > 0)
+            std::printf("  %-20s %12s rejected %llu, expired %llu, "
+                        "failed %llu\n",
+                        "", "",
+                        static_cast<unsigned long long>(s.rejected),
+                        static_cast<unsigned long long>(s.expired),
+                        static_cast<unsigned long long>(s.failures));
     }
 
-    std::printf("\npool: %llu checkouts, %llu resets, %llu waits\n",
-                static_cast<unsigned long long>(pool.checkouts()),
-                static_cast<unsigned long long>(pool.resets()),
-                static_cast<unsigned long long>(pool.waits()));
-
     // Merge into the trajectory: keep bench_perf's entries (and its
-    // min_time header), replace any previous serve entries.
+    // min_time header), replace any previous serve entries. v2-era
+    // files merge cleanly — their entries just lack the v3 fields.
     double min_time = 0.3;
     std::vector<bench::BenchResult> all;
     for (bench::BenchResult &r : bench::loadPerfJson(out_path, &min_time))

@@ -4,6 +4,25 @@
 
 namespace com::api {
 
+Engine &
+Session::engine()
+{
+    sim::fatalIf(!engine_,
+                 "Session::engine() on an empty session (released, "
+                 "moved-from, or a timed-out checkout)");
+    return *engine_;
+}
+
+RunOutcome
+Session::run(const ProgramSpec &spec, std::uint64_t max_ops)
+{
+    sim::fatalIf(!engine_,
+                 "Session::run(", spec.name,
+                 ") on an empty session (released, moved-from, or a "
+                 "timed-out checkout)");
+    return engine_->run(spec, max_ops);
+}
+
 void
 Session::release()
 {
@@ -42,6 +61,29 @@ EnginePool::checkout(EngineKind kind)
     if (bucket.empty()) {
         ++waits_;
         cv_.wait(lock, [&bucket] { return !bucket.empty(); });
+    }
+    std::unique_ptr<Engine> engine = std::move(bucket.back());
+    bucket.pop_back();
+    ++checkouts_;
+    return Session(this, kind, std::move(engine));
+}
+
+Session
+EnginePool::tryCheckoutFor(EngineKind kind,
+                           std::chrono::nanoseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    sim::fatalIf(capacity_[slot(kind)] == 0,
+                 "engine pool holds no ", engineKindName(kind),
+                 " engines");
+    std::vector<std::unique_ptr<Engine>> &bucket = idle_[slot(kind)];
+    if (bucket.empty()) {
+        ++waits_;
+        if (!cv_.wait_for(lock, timeout,
+                          [&bucket] { return !bucket.empty(); })) {
+            ++timeouts_;
+            return Session();
+        }
     }
     std::unique_ptr<Engine> engine = std::move(bucket.back());
     bucket.pop_back();
@@ -92,6 +134,13 @@ EnginePool::resets() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return resets_;
+}
+
+std::uint64_t
+EnginePool::timeouts() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return timeouts_;
 }
 
 } // namespace com::api

@@ -17,6 +17,7 @@
 #define COMSIM_API_SESSION_HPP
 
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -59,18 +60,22 @@ class Session
     /** @return true while this session holds an engine. */
     explicit operator bool() const { return engine_ != nullptr; }
 
-    /** The leased engine. */
-    Engine &engine() { return *engine_; }
+    /**
+     * The leased engine. fatal()s on an empty session (default-
+     * constructed, released, moved-from, or a timed-out
+     * tryCheckoutFor) instead of dereferencing null.
+     */
+    Engine &engine();
 
     /** Which kind of engine this session holds. */
     EngineKind kind() const { return kind_; }
 
-    /** Convenience: run @p spec on the leased engine. */
-    RunOutcome
-    run(const ProgramSpec &spec, std::uint64_t max_ops = kEngineDefaultMaxOps)
-    {
-        return engine_->run(spec, max_ops);
-    }
+    /**
+     * Convenience: run @p spec on the leased engine. fatal()s on an
+     * empty session (see engine()).
+     */
+    RunOutcome run(const ProgramSpec &spec,
+                   std::uint64_t max_ops = kEngineDefaultMaxOps);
 
     /** Reset the engine and return it to the pool early. */
     void release();
@@ -115,6 +120,16 @@ class EnginePool
      */
     Session checkout(EngineKind kind);
 
+    /**
+     * Check an engine of @p kind out, waiting at most @p timeout for
+     * one to become idle. @return an empty Session on timeout (the
+     * admission-control path: callers bound how long a request may
+     * hold a scheduler thread). fatal()s if the pool holds no engine
+     * of that kind at all.
+     */
+    Session tryCheckoutFor(EngineKind kind,
+                           std::chrono::nanoseconds timeout);
+
     /** Engines of @p kind owned by the pool. */
     std::size_t capacity(EngineKind kind) const;
     /** Engines of @p kind currently idle. */
@@ -126,6 +141,8 @@ class EnginePool
     std::uint64_t waits() const;
     /** Engine resets performed on checkin. */
     std::uint64_t resets() const;
+    /** tryCheckoutFor() calls that gave up without an engine. */
+    std::uint64_t timeouts() const;
 
   private:
     friend class Session;
@@ -145,6 +162,7 @@ class EnginePool
     std::uint64_t checkouts_ = 0;
     std::uint64_t waits_ = 0;
     std::uint64_t resets_ = 0;
+    std::uint64_t timeouts_ = 0;
 };
 
 } // namespace com::api

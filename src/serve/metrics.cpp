@@ -1,0 +1,129 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace com::serve {
+
+namespace {
+
+/** Raise @p target to @p value if larger (relaxed CAS loop). */
+void
+raiseMax(std::atomic<std::uint64_t> &target, std::uint64_t value)
+{
+    std::uint64_t seen = target.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !target.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Geometric midpoint of bucket @p i ([2^i, 2^(i+1)) µs), seconds. */
+double
+bucketMidSeconds(std::size_t i)
+{
+    double lo = std::exp2(static_cast<double>(i));
+    return lo * std::sqrt(2.0) * 1e-6;
+}
+
+} // namespace
+
+void
+LatencyHistogram::record(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    auto nanos = static_cast<std::uint64_t>(seconds * 1e9);
+    auto micros = nanos / 1000;
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && (micros >> (bucket + 1)) != 0)
+        ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(nanos, std::memory_order_relaxed);
+    raiseMax(maxNanos_, nanos);
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    std::array<std::uint64_t, kBuckets> counts;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    if (s.count == 0)
+        return s;
+    s.meanSeconds =
+        static_cast<double>(sumNanos_.load(std::memory_order_relaxed)) /
+        static_cast<double>(s.count) * 1e-9;
+    s.maxSeconds =
+        static_cast<double>(maxNanos_.load(std::memory_order_relaxed)) *
+        1e-9;
+
+    auto quantile = [&](double q) {
+        auto target = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(s.count)));
+        target = std::max<std::uint64_t>(target, 1);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += counts[i];
+            if (seen >= target)
+                return std::min(bucketMidSeconds(i), s.maxSeconds);
+        }
+        return s.maxSeconds;
+    };
+    s.p50Seconds = quantile(0.50);
+    s.p95Seconds = quantile(0.95);
+    s.p99Seconds = quantile(0.99);
+    return s;
+}
+
+void
+Metrics::recordBatch(std::uint64_t size)
+{
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batchedRequests_.fetch_add(size, std::memory_order_relaxed);
+    raiseMax(maxBatch_, size);
+}
+
+void
+Metrics::countEnqueued()
+{
+    std::uint64_t depth =
+        queueDepth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    raiseMax(maxQueueDepth_, depth);
+}
+
+Metrics::Snapshot
+Metrics::snapshot(double wallSeconds, std::size_t workers) const
+{
+    Snapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.served = served_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    std::uint64_t batched =
+        batchedRequests_.load(std::memory_order_relaxed);
+    s.meanBatch = s.batches > 0 ? static_cast<double>(batched) /
+                                      static_cast<double>(s.batches)
+                                : 0.0;
+    s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
+    s.maxQueueDepth = maxQueueDepth_.load(std::memory_order_relaxed);
+    s.queueDepth = queueDepth_.load(std::memory_order_relaxed);
+    if (wallSeconds > 0.0 && workers > 0) {
+        double busy =
+            static_cast<double>(
+                busyNanos_.load(std::memory_order_relaxed)) *
+            1e-9;
+        s.utilization =
+            busy / (wallSeconds * static_cast<double>(workers));
+    }
+    s.latency = latency_.snapshot();
+    return s;
+}
+
+} // namespace com::serve

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Serving metrics: latency histograms, batch sizes, queue depth and
+ * worker utilization.
+ *
+ * Every counter is lock-free (relaxed atomics updated from the
+ * scheduler's hot path); snapshot() folds them into a plain struct
+ * for reporting. The latency histogram uses power-of-two microsecond
+ * buckets — percentile queries (p50/p95/p99) resolve to the geometric
+ * midpoint of the containing bucket, which is plenty for a trajectory
+ * number (the load generator also computes exact percentiles from its
+ * own recorded latencies; this histogram is what the *scheduler* can
+ * report without remembering every request).
+ */
+
+#ifndef COMSIM_SERVE_METRICS_HPP
+#define COMSIM_SERVE_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace com::serve {
+
+/**
+ * A fixed-bucket log-scale histogram of latencies. Bucket i counts
+ * samples in [2^i, 2^(i+1)) microseconds; bucket 0 also absorbs
+ * sub-microsecond samples. Thread-safe for concurrent record().
+ */
+class LatencyHistogram
+{
+  public:
+    /** Buckets cover up to ~2^39 µs (~6 days) — effectively open. */
+    static constexpr std::size_t kBuckets = 40;
+
+    /** Count one latency sample. */
+    void record(double seconds);
+
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double meanSeconds = 0.0;
+        double maxSeconds = 0.0;
+        double p50Seconds = 0.0;
+        double p95Seconds = 0.0;
+        double p99Seconds = 0.0;
+    };
+
+    /** Fold the counters into percentiles (approximate, see file
+     *  comment) and moments (exact). */
+    Snapshot snapshot() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumNanos_{0};
+    std::atomic<std::uint64_t> maxNanos_{0};
+};
+
+/**
+ * The scheduler's aggregate counters. One Metrics instance covers all
+ * shards; shard-local state (queue depth) reports through it so a
+ * single snapshot describes the whole serving layer.
+ */
+class Metrics
+{
+  public:
+    struct Snapshot
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t served = 0; ///< Ok responses
+        std::uint64_t failed = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t expired = 0;
+        std::uint64_t batches = 0; ///< session checkouts that ran work
+        double meanBatch = 0.0;    ///< requests per checkout
+        std::uint64_t maxBatch = 0;
+        /** Deepest the queues got (summed across shards). */
+        std::uint64_t maxQueueDepth = 0;
+        std::uint64_t queueDepth = 0; ///< at snapshot time, all shards
+        /** Fraction of worker-seconds spent holding a session,
+         *  given the observed wall time (0 when unknown). */
+        double utilization = 0.0;
+        LatencyHistogram::Snapshot latency;
+    };
+
+    void
+    countSubmitted()
+    {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void
+    countOutcome(bool ok)
+    {
+        (ok ? served_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    }
+    void
+    countRejected()
+    {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void
+    countExpired()
+    {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** One batch of @p size requests ran on one session checkout. */
+    void recordBatch(std::uint64_t size);
+
+    /** One request entered a queue. Counts the global (all-shard)
+     *  depth so the gauge and its max are exact totals, not one
+     *  shard's last write. */
+    void countEnqueued();
+    /** @p n requests left a queue. */
+    void
+    countDequeued(std::uint64_t n)
+    {
+        queueDepth_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    /** A worker spent @p nanos holding a session. */
+    void
+    addBusyNanos(std::uint64_t nanos)
+    {
+        busyNanos_.fetch_add(nanos, std::memory_order_relaxed);
+    }
+
+    /** Latency of completed (served/failed/expired) requests. */
+    LatencyHistogram &
+    latency()
+    {
+        return latency_;
+    }
+
+    /**
+     * @param wallSeconds observed serving wall time (for utilization;
+     *        pass 0 when unknown)
+     * @param workers total scheduler worker threads
+     */
+    Snapshot snapshot(double wallSeconds, std::size_t workers) const;
+
+  private:
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batchedRequests_{0};
+    std::atomic<std::uint64_t> maxBatch_{0};
+    std::atomic<std::uint64_t> maxQueueDepth_{0};
+    std::atomic<std::uint64_t> queueDepth_{0};
+    std::atomic<std::uint64_t> busyNanos_{0};
+    LatencyHistogram latency_;
+};
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_METRICS_HPP

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * A bounded, thread-safe request queue with batch-coalescing pop.
+ *
+ * This is the admission-control point of the serving layer: tryPush()
+ * refuses work when the queue is at capacity (callers turn that into
+ * a Rejected response immediately, instead of letting an overloaded
+ * server build an unbounded backlog), while push() blocks — the
+ * closed-loop/back-pressure mode a load generator uses for maximum
+ * throughput.
+ *
+ * popBatch() is where batching starts: it takes the oldest request
+ * and, under the same lock, extracts every queued request with the
+ * same batch key (engine kind + language + source text, see
+ * ServeRequest::sameBatch) up to the batch limit. The scheduler runs
+ * the whole batch on ONE session checkout, so the memoized compile
+ * and the end-of-checkout reset amortize across the batch.
+ */
+
+#ifndef COMSIM_SERVE_QUEUE_HPP
+#define COMSIM_SERVE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace com::serve {
+
+class RequestQueue
+{
+  public:
+    /**
+     * @param capacity admission limit (>= 1)
+     * @param metrics queue-depth sink (may be null)
+     */
+    explicit RequestQueue(std::size_t capacity,
+                          Metrics *metrics = nullptr)
+        : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics)
+    {
+    }
+
+    /**
+     * Admission-controlled enqueue. @return false — leaving @p req
+     * untouched — when the queue is full or closed.
+     */
+    bool
+    tryPush(ServeRequest &&req)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || q_.size() >= capacity_)
+                return false;
+            q_.push_back(std::move(req));
+            noteDepthLocked();
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking enqueue: waits for space instead of rejecting (the
+     * back-pressure path). @return false only if the queue closed
+     * while waiting.
+     */
+    bool
+    push(ServeRequest &&req)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notFull_.wait(lock, [this] {
+                return closed_ || q_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            q_.push_back(std::move(req));
+            noteDepthLocked();
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop the oldest request plus every queued request with the same
+     * batch key, up to @p max_batch total. Blocks while the queue is
+     * empty and open; @return an empty vector once the queue is
+     * closed AND drained (the worker-exit signal).
+     */
+    std::vector<ServeRequest>
+    popBatch(std::size_t max_batch)
+    {
+        std::vector<ServeRequest> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock,
+                           [this] { return closed_ || !q_.empty(); });
+            if (q_.empty())
+                return batch; // closed and drained
+            batch.push_back(std::move(q_.front()));
+            q_.pop_front();
+            for (auto it = q_.begin();
+                 it != q_.end() && batch.size() < max_batch;) {
+                if (batch.front().sameBatch(*it)) {
+                    batch.push_back(std::move(*it));
+                    it = q_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (metrics_)
+                metrics_->countDequeued(batch.size());
+        }
+        notFull_.notify_all();
+        return batch;
+    }
+
+    /**
+     * Refuse new work. Waiting poppers drain what is queued, then
+     * get empty batches; waiting pushers return false.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** Requests currently queued. */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return q_.size();
+    }
+
+    /** @return true once close() ran (no new work accepted). */
+    bool
+    isClosed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    /** Admission limit. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    void
+    noteDepthLocked()
+    {
+        if (metrics_)
+            metrics_->countEnqueued();
+    }
+
+    const std::size_t capacity_;
+    Metrics *metrics_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<ServeRequest> q_;
+    bool closed_ = false;
+};
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_QUEUE_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Request/response types of the serving layer.
+ *
+ * A ServeRequest names what to run (engine kind + ProgramSpec), when
+ * it was submitted, and by when it must start (an absolute deadline;
+ * kNoDeadline means "whenever"). A Response reports how the request
+ * ended: served (checksum verified where the spec carries one),
+ * rejected by admission control, expired before it reached an engine,
+ * or failed during execution — plus the observed submit-to-completion
+ * latency and the size of the batch it rode in.
+ */
+
+#ifndef COMSIM_SERVE_REQUEST_HPP
+#define COMSIM_SERVE_REQUEST_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "api/engine.hpp"
+
+namespace com::serve {
+
+/** The clock every serve-layer timestamp uses. */
+using Clock = std::chrono::steady_clock;
+
+/** "No deadline": the request waits as long as it takes. */
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/** How a request left the serving layer. */
+enum class ResponseStatus : std::uint8_t
+{
+    Ok,       ///< ran to completion, checksum verified where known
+    Rejected, ///< admission control refused it (queue full / stopped)
+    Expired,  ///< deadline passed before the run started
+    Failed,   ///< ran but errored or missed its checksum
+};
+
+/** @return "ok" / "rejected" / "expired" / "failed". */
+const char *responseStatusName(ResponseStatus status);
+
+/** What the serving layer hands back for one request. */
+struct Response
+{
+    ResponseStatus status = ResponseStatus::Rejected;
+    /** The engine's outcome (Ok and Failed responses only). */
+    api::RunOutcome outcome;
+    /** Why the request was not served (non-Ok responses). */
+    std::string error;
+    /** Submit-to-completion latency. */
+    double latencySeconds = 0.0;
+    /** Requests sharing the session checkout that ran this one
+     *  (0 when the request never reached an engine). */
+    std::uint64_t batchSize = 0;
+    /** Shard that handled the request. */
+    std::size_t shard = 0;
+
+    bool ok() const { return status == ResponseStatus::Ok; }
+};
+
+/**
+ * One queued unit of work. Internal to the scheduler: callers hold
+ * the matching std::future<Response>.
+ */
+struct ServeRequest
+{
+    api::EngineKind kind = api::EngineKind::Com;
+    api::ProgramSpec spec;
+    Clock::time_point submitted{};
+    Clock::time_point deadline = kNoDeadline;
+    std::promise<Response> promise;
+
+    bool
+    expiredBy(Clock::time_point now) const
+    {
+        return deadline != kNoDeadline && now > deadline;
+    }
+
+    /** Requests with equal batch keys share one compile and one
+     *  session checkout (args and names may differ). */
+    bool
+    sameBatch(const ServeRequest &other) const
+    {
+        return kind == other.kind &&
+               spec.language == other.spec.language &&
+               spec.source == other.spec.source;
+    }
+};
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_REQUEST_HPP

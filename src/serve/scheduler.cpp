@@ -1,0 +1,320 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace com::serve {
+
+const char *
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok:
+        return "ok";
+      case ResponseStatus::Rejected:
+        return "rejected";
+      case ResponseStatus::Expired:
+        return "expired";
+      case ResponseStatus::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(const Config &cfg)
+    : workersPerShard_(std::max<std::size_t>(cfg.workersPerShard, 1)),
+      maxBatch_(std::max<std::size_t>(cfg.maxBatch, 1)),
+      checkoutTimeout_(cfg.checkoutTimeout)
+{
+    std::size_t shard_count = std::max<std::size_t>(cfg.shards, 1);
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i)
+        shards_.push_back(std::make_unique<Shard>(
+            cfg.queueCapacity, cfg.pool, &metrics_));
+    if (cfg.autoStart)
+        start();
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void
+Scheduler::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycle_);
+    if (started_ || stopped_)
+        return;
+    started_ = true;
+    startTime_ = Clock::now();
+    for (auto &shard : shards_)
+        for (std::size_t w = 0; w < workersPerShard_; ++w)
+            shard->workers.emplace_back(
+                [this, &shard] { workerLoop(*shard); });
+}
+
+void
+Scheduler::stop()
+{
+    std::lock_guard<std::mutex> lock(lifecycle_);
+    if (stopped_)
+        return;
+    stopped_ = true;
+    for (auto &shard : shards_)
+        shard->queue.close();
+    if (!started_) {
+        // Never ran: drain by hand so no future is left dangling.
+        for (auto &shard : shards_)
+            for (std::vector<ServeRequest> batch =
+                     shard->queue.popBatch(maxBatch_);
+                 !batch.empty();
+                 batch = shard->queue.popBatch(maxBatch_))
+                for (ServeRequest &req : batch) {
+                    metrics_.countRejected();
+                    req.promise.set_value(Response{
+                        ResponseStatus::Rejected,
+                        {},
+                        "scheduler stopped before serving",
+                        0.0,
+                        0,
+                        0});
+                }
+        return;
+    }
+    for (auto &shard : shards_)
+        for (std::thread &t : shard->workers)
+            t.join();
+}
+
+std::size_t
+Scheduler::shardFor(const api::ProgramSpec &spec) const
+{
+    return std::hash<std::string>{}(spec.source) % shards_.size();
+}
+
+api::EnginePool &
+Scheduler::pool(std::size_t shard)
+{
+    sim::fatalIf(shard >= shards_.size(), "no such shard: ", shard);
+    return shards_[shard]->pool;
+}
+
+ServeRequest
+Scheduler::makeRequest(api::EngineKind kind, api::ProgramSpec &&spec,
+                       Clock::time_point deadline)
+{
+    ServeRequest req;
+    req.kind = kind;
+    req.spec = std::move(spec);
+    req.submitted = Clock::now();
+    req.deadline = deadline;
+    return req;
+}
+
+bool
+Scheduler::servableKind(api::EngineKind kind) const
+{
+    // Every shard's pool is sized identically, so shard 0 speaks for
+    // all. A kind with no engines must be rejected at submit time: a
+    // worker hitting an engineless pool would fatal() and take the
+    // serving thread (and process) down with it.
+    return shards_[0]->pool.capacity(kind) > 0;
+}
+
+std::future<Response>
+Scheduler::trySubmit(api::EngineKind kind, api::ProgramSpec spec,
+                     Clock::time_point deadline)
+{
+    metrics_.countSubmitted();
+    std::size_t shard_index = shardFor(spec);
+    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    std::future<Response> future = req.promise.get_future();
+    if (!servableKind(kind)) {
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = std::string("pool holds no ") +
+                  api::engineKindName(kind) + " engines";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+        return future;
+    }
+    if (!shards_[shard_index]->queue.tryPush(std::move(req))) {
+        // tryPush left req intact: reject on its still-held promise.
+        // Distinguish shutdown from overload — an overloaded caller
+        // may retry, a stopped scheduler will never accept again.
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = shards_[shard_index]->queue.isClosed()
+                      ? "scheduler stopped"
+                      : "queue full";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+    }
+    return future;
+}
+
+std::future<Response>
+Scheduler::submit(api::EngineKind kind, api::ProgramSpec spec,
+                  Clock::time_point deadline)
+{
+    metrics_.countSubmitted();
+    std::size_t shard_index = shardFor(spec);
+    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    std::future<Response> future = req.promise.get_future();
+    if (!servableKind(kind)) {
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = std::string("pool holds no ") +
+                  api::engineKindName(kind) + " engines";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+        return future;
+    }
+    if (!shards_[shard_index]->queue.push(std::move(req))) {
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = "scheduler stopped";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+    }
+    return future;
+}
+
+void
+Scheduler::finish(ServeRequest &req, ResponseStatus status,
+                  std::string error, std::size_t shard_index)
+{
+    Response r;
+    r.status = status;
+    r.error = std::move(error);
+    r.shard = shard_index;
+    r.latencySeconds = std::chrono::duration<double>(Clock::now() -
+                                                     req.submitted)
+                           .count();
+    if (status == ResponseStatus::Expired)
+        metrics_.countExpired();
+    else if (status == ResponseStatus::Rejected)
+        metrics_.countRejected();
+    metrics_.latency().record(r.latencySeconds);
+    req.promise.set_value(std::move(r));
+}
+
+void
+Scheduler::workerLoop(Shard &shard)
+{
+    std::size_t shard_index = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        if (shards_[i].get() == &shard)
+            shard_index = i;
+
+    for (;;) {
+        std::vector<ServeRequest> batch =
+            shard.queue.popBatch(maxBatch_);
+        if (batch.empty())
+            return; // queue closed and drained
+
+        // Deadline gate #1: anything already expired is completed
+        // without costing an engine.
+        std::vector<ServeRequest> live;
+        live.reserve(batch.size());
+        Clock::time_point now = Clock::now();
+        for (ServeRequest &req : batch) {
+            if (req.expiredBy(now))
+                finish(req, ResponseStatus::Expired,
+                       "deadline expired in queue", shard_index);
+            else
+                live.push_back(std::move(req));
+        }
+        if (live.empty())
+            continue;
+
+        // One session serves the whole batch. While the pool is
+        // busy, keep expiring: a request with a deadline must get
+        // its Expired response even if no engine frees up in time.
+        api::EngineKind kind = live.front().kind;
+        api::Session session;
+        while (!session && !live.empty()) {
+            session =
+                shard.pool.tryCheckoutFor(kind, checkoutTimeout_);
+            if (session)
+                break;
+            now = Clock::now();
+            std::vector<ServeRequest> still;
+            still.reserve(live.size());
+            for (ServeRequest &req : live) {
+                if (req.expiredBy(now))
+                    finish(req, ResponseStatus::Expired,
+                           "deadline expired awaiting an engine",
+                           shard_index);
+                else
+                    still.push_back(std::move(req));
+            }
+            live.swap(still);
+        }
+        if (live.empty())
+            continue;
+
+        Clock::time_point busy_start = Clock::now();
+        std::uint64_t batch_size = live.size();
+        metrics_.recordBatch(batch_size);
+        for (ServeRequest &req : live) {
+            now = Clock::now();
+            if (req.expiredBy(now)) {
+                finish(req, ResponseStatus::Expired,
+                       "deadline expired in batch", shard_index);
+                continue;
+            }
+            Response r;
+            r.outcome = session.run(req.spec);
+            if (!r.outcome.ok) {
+                r.status = ResponseStatus::Failed;
+                r.error = r.outcome.error;
+            } else if (!r.outcome.matches(req.spec)) {
+                r.status = ResponseStatus::Failed;
+                r.error = "checksum mismatch: expected " +
+                          std::to_string(req.spec.expected) +
+                          ", got " + r.outcome.resultText;
+            } else {
+                r.status = ResponseStatus::Ok;
+            }
+            r.batchSize = batch_size;
+            r.shard = shard_index;
+            r.latencySeconds =
+                std::chrono::duration<double>(Clock::now() -
+                                              req.submitted)
+                    .count();
+            metrics_.countOutcome(r.status == ResponseStatus::Ok);
+            metrics_.latency().record(r.latencySeconds);
+            req.promise.set_value(std::move(r));
+        }
+        session.release(); // one reset for the whole batch
+        metrics_.addBusyNanos(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - busy_start)
+                .count()));
+    }
+}
+
+Metrics::Snapshot
+Scheduler::metricsSnapshot() const
+{
+    double wall = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(lifecycle_);
+        if (started_)
+            wall = std::chrono::duration<double>(Clock::now() -
+                                                 startTime_)
+                       .count();
+    }
+    // queueDepth is exact in the shared counters: queues count
+    // enqueues/dequeues globally (see Metrics::countEnqueued).
+    return metrics_.snapshot(wall, workerCount());
+}
+
+} // namespace com::serve

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The batch scheduler: the serving layer's front door.
+ *
+ * PR 2's bench_serve paid one session checkout, one (memoized but
+ * freshly reset, so cold) compile and one reset per request. The
+ * scheduler turns that into a served system:
+ *
+ *   submit / trySubmit
+ *        |  shard router: hash(source) -> one of N shards, so one
+ *        |  program's requests meet in one queue (compile-cache
+ *        v  locality) and shards contend on independent locks
+ *   RequestQueue (bounded; tryPush rejects when full — admission
+ *        |  control — and every request carries an optional deadline)
+ *        v
+ *   worker threads: popBatch() coalesces same-(kind, language,
+ *        source) requests, checks one session out of the shard's
+ *        EnginePool via tryCheckoutFor (re-checking deadlines while
+ *        blocked), runs the whole batch on that session — ONE compile,
+ *        ONE reset, k runs — and completes each request's future.
+ *
+ * Responses are checksum-verified where the spec carries an expected
+ * value (a mismatch is a Failed response, never a silently wrong Ok).
+ * Metrics (serve/metrics.hpp) record queue depth, batch sizes, worker
+ * utilization and a latency histogram.
+ */
+
+#ifndef COMSIM_SERVE_SCHEDULER_HPP
+#define COMSIM_SERVE_SCHEDULER_HPP
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace com::serve {
+
+class Scheduler
+{
+  public:
+    struct Config
+    {
+        /** Independent shards (queue + pool each); >= 1. */
+        std::size_t shards = 1;
+        /** Worker threads per shard; >= 1. */
+        std::size_t workersPerShard = 2;
+        /** Per-shard queue capacity (admission limit). */
+        std::size_t queueCapacity = 1024;
+        /** Most requests one session checkout may serve. */
+        std::size_t maxBatch = 32;
+        /** How long a worker waits for an engine before re-checking
+         *  its batch's deadlines. */
+        std::chrono::nanoseconds checkoutTimeout =
+            std::chrono::milliseconds(5);
+        /** Per-shard engine pool sizing. */
+        api::EnginePool::Config pool{};
+        /** Construct started (serving). Tests construct stopped,
+         *  queue deterministic backlogs, then call start(). */
+        bool autoStart = true;
+    };
+
+    explicit Scheduler(const Config &cfg);
+
+    /** stop()s and joins the workers; queued requests drain first. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admission-controlled submit: if the target shard's queue is
+     * full (or the scheduler is stopped, or the pools hold no
+     * engine of @p kind at all), the returned future is already
+     * resolved to a Rejected response. Never blocks.
+     */
+    std::future<Response>
+    trySubmit(api::EngineKind kind, api::ProgramSpec spec,
+              Clock::time_point deadline = kNoDeadline);
+
+    /**
+     * Back-pressure submit: blocks until the target shard's queue
+     * has room. Only rejects when the scheduler stops while waiting.
+     */
+    std::future<Response>
+    submit(api::EngineKind kind, api::ProgramSpec spec,
+           Clock::time_point deadline = kNoDeadline);
+
+    /** Start the worker threads (no-op when already started). */
+    void start();
+
+    /**
+     * Stop accepting work and join the workers. Already-queued
+     * requests are served (drain, not abandon) — their futures all
+     * resolve before stop() returns.
+     */
+    void stop();
+
+    /** Shard @p spec routes to: hash of the source text. */
+    std::size_t shardFor(const api::ProgramSpec &spec) const;
+
+    /** A shard's engine pool (accounting inspection). */
+    api::EnginePool &pool(std::size_t shard);
+
+    std::size_t shardCount() const { return shards_.size(); }
+    /** Total worker threads across shards. */
+    std::size_t
+    workerCount() const
+    {
+        return shards_.size() * workersPerShard_;
+    }
+
+    /** The live counters (latency histogram, batch stats, ...). */
+    Metrics &metrics() { return metrics_; }
+
+    /** Fold the counters; wall time measured since start(). */
+    Metrics::Snapshot metricsSnapshot() const;
+
+  private:
+    struct Shard
+    {
+        explicit Shard(std::size_t queue_capacity,
+                       const api::EnginePool::Config &pool_cfg,
+                       Metrics *metrics)
+            : queue(queue_capacity, metrics), pool(pool_cfg)
+        {
+        }
+        RequestQueue queue;
+        api::EnginePool pool;
+        std::vector<std::thread> workers;
+    };
+
+    static ServeRequest makeRequest(api::EngineKind kind,
+                                    api::ProgramSpec &&spec,
+                                    Clock::time_point deadline);
+    bool servableKind(api::EngineKind kind) const;
+    void workerLoop(Shard &shard);
+    /** Complete @p req without running it. */
+    void finish(ServeRequest &req, ResponseStatus status,
+                std::string error, std::size_t shard_index);
+
+    const std::size_t workersPerShard_;
+    const std::size_t maxBatch_;
+    const std::chrono::nanoseconds checkoutTimeout_;
+    Metrics metrics_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable std::mutex lifecycle_;
+    bool started_ = false;
+    bool stopped_ = false;
+    Clock::time_point startTime_{};
+};
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_SCHEDULER_HPP

@@ -1,0 +1,579 @@
+/**
+ * @file
+ * The serving layer: EnginePool accounting (checkouts/waits/resets/
+ * timeouts/idle under contention and not), tryCheckoutFor timeouts,
+ * empty-session fatal()s, and the serve::Scheduler — batch coalescing
+ * (same-source requests share ONE session checkout), deadline expiry
+ * (an Expired response, never a hang), queue-full admission rejects,
+ * checksum verification of every served response, and the metrics
+ * module's histogram arithmetic.
+ *
+ * Scheduler tests construct with autoStart=false, queue a
+ * deterministic backlog, then start() — so coalescing assertions do
+ * not race the workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/session.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/logging.hpp"
+
+using namespace com;
+using namespace std::chrono_literals;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// EnginePool accounting
+// ---------------------------------------------------------------------
+
+TEST(EnginePool, AccountingUncontended)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 2;
+    cfg.stackEngines = 1;
+    cfg.fithEngines = 0;
+    api::EnginePool pool(cfg);
+
+    EXPECT_EQ(pool.capacity(api::EngineKind::Com), 2u);
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 2u);
+    EXPECT_EQ(pool.checkouts(), 0u);
+    EXPECT_EQ(pool.waits(), 0u);
+    EXPECT_EQ(pool.resets(), 0u);
+    EXPECT_EQ(pool.timeouts(), 0u);
+
+    {
+        api::Session a = pool.checkout(api::EngineKind::Com);
+        EXPECT_EQ(pool.idle(api::EngineKind::Com), 1u);
+        api::Session b = pool.checkout(api::EngineKind::Com);
+        EXPECT_EQ(pool.idle(api::EngineKind::Com), 0u);
+        EXPECT_EQ(pool.checkouts(), 2u);
+        // Engines were idle both times: no waits.
+        EXPECT_EQ(pool.waits(), 0u);
+        EXPECT_EQ(pool.resets(), 0u);
+    }
+    // Both sessions released: two resets, both engines idle again.
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 2u);
+    EXPECT_EQ(pool.resets(), 2u);
+    EXPECT_EQ(pool.checkouts(), 2u);
+    EXPECT_EQ(pool.waits(), 0u);
+    EXPECT_EQ(pool.timeouts(), 0u);
+    // The stack engine was never touched.
+    EXPECT_EQ(pool.idle(api::EngineKind::Stack), 1u);
+}
+
+TEST(EnginePool, AccountingContended)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    cfg.stackEngines = 0;
+    cfg.fithEngines = 0;
+    api::EnginePool pool(cfg);
+
+    api::Session held = pool.checkout(api::EngineKind::Com);
+    EXPECT_EQ(pool.waits(), 0u);
+
+    std::atomic<bool> got{false};
+    std::thread contender([&] {
+        api::Session s = pool.checkout(api::EngineKind::Com);
+        got.store(true);
+    });
+    // The contender registers its wait before blocking; release only
+    // after the wait is visible so the count is deterministic.
+    for (int i = 0; i < 10000 && pool.waits() == 0; ++i)
+        std::this_thread::sleep_for(1ms);
+    ASSERT_EQ(pool.waits(), 1u);
+    EXPECT_FALSE(got.load());
+
+    held.release();
+    contender.join();
+    EXPECT_TRUE(got.load());
+    EXPECT_EQ(pool.checkouts(), 2u);
+    EXPECT_EQ(pool.waits(), 1u);
+    EXPECT_EQ(pool.resets(), 2u);
+    EXPECT_EQ(pool.idle(api::EngineKind::Com), 1u);
+}
+
+TEST(EnginePool, TryCheckoutForTimesOutAndRecovers)
+{
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    cfg.stackEngines = 0;
+    cfg.fithEngines = 0;
+    api::EnginePool pool(cfg);
+
+    api::Session held = pool.checkout(api::EngineKind::Com);
+    api::Session timed_out =
+        pool.tryCheckoutFor(api::EngineKind::Com, 5ms);
+    EXPECT_FALSE(timed_out);
+    EXPECT_EQ(pool.timeouts(), 1u);
+    EXPECT_EQ(pool.waits(), 1u);
+    EXPECT_EQ(pool.checkouts(), 1u); // the timed-out try is not one
+
+    held.release();
+    api::Session ok = pool.tryCheckoutFor(api::EngineKind::Com, 5ms);
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(pool.checkouts(), 2u);
+    EXPECT_EQ(pool.timeouts(), 1u);
+}
+
+TEST(EnginePool, EmptySessionFatalsInsteadOfUB)
+{
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    api::Session empty;
+    EXPECT_THROW(empty.run(spec), sim::FatalError);
+    EXPECT_THROW(empty.engine(), sim::FatalError);
+
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 1;
+    api::EnginePool pool(cfg);
+    api::Session released = pool.checkout(api::EngineKind::Com);
+    released.release();
+    EXPECT_THROW(released.run(spec), sim::FatalError);
+    EXPECT_THROW(released.engine(), sim::FatalError);
+
+    api::Session moved_from = pool.checkout(api::EngineKind::Com);
+    api::Session moved_to = std::move(moved_from);
+    EXPECT_THROW(moved_from.run(spec), sim::FatalError);
+    EXPECT_TRUE(moved_to.run(spec).matches(spec));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+serve::Scheduler::Config
+comOnlyConfig(std::size_t engines = 1)
+{
+    serve::Scheduler::Config cfg;
+    cfg.shards = 1;
+    cfg.workersPerShard = 1;
+    cfg.maxBatch = 16;
+    cfg.autoStart = false;
+    cfg.pool.comEngines = engines;
+    cfg.pool.stackEngines = 0;
+    cfg.pool.fithEngines = 0;
+    return cfg;
+}
+
+TEST(ServeScheduler, SameSourceBatchSharesOneCheckout)
+{
+    serve::Scheduler scheduler(comOnlyConfig());
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    constexpr std::size_t kRequests = 8;
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t i = 0; i < kRequests; ++i)
+        futures.push_back(
+            scheduler.submit(api::EngineKind::Com, spec));
+    // Nothing runs before start(): the backlog is deterministic.
+    EXPECT_EQ(scheduler.pool(0).checkouts(), 0u);
+
+    scheduler.start();
+    for (auto &f : futures) {
+        serve::Response r = f.get();
+        EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+        EXPECT_TRUE(r.outcome.matches(spec)) << r.error;
+        EXPECT_EQ(r.batchSize, kRequests);
+    }
+    // Join the workers: promises resolve before the end-of-batch
+    // checkin, so pool counters are only settled after stop().
+    scheduler.stop();
+    // The whole batch rode one session checkout (one compile, one
+    // reset) — the amortization the scheduler exists for.
+    EXPECT_EQ(scheduler.pool(0).checkouts(), 1u);
+    EXPECT_EQ(scheduler.pool(0).resets(), 1u);
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.served, kRequests);
+    EXPECT_EQ(m.batches, 1u);
+    EXPECT_EQ(m.maxBatch, kRequests);
+    EXPECT_DOUBLE_EQ(m.meanBatch, static_cast<double>(kRequests));
+    EXPECT_EQ(m.latency.count, kRequests);
+}
+
+TEST(ServeScheduler, DistinctSourcesFormDistinctBatches)
+{
+    serve::Scheduler scheduler(comOnlyConfig());
+    api::ProgramSpec fib = api::ProgramSpec::workload("fib");
+    api::ProgramSpec sieve = api::ProgramSpec::workload("sieve");
+
+    std::vector<std::future<serve::Response>> futures;
+    // Interleaved like an open-loop arrival stream would be.
+    futures.push_back(scheduler.submit(api::EngineKind::Com, fib));
+    futures.push_back(scheduler.submit(api::EngineKind::Com, sieve));
+    futures.push_back(scheduler.submit(api::EngineKind::Com, fib));
+    futures.push_back(scheduler.submit(api::EngineKind::Com, sieve));
+    futures.push_back(scheduler.submit(api::EngineKind::Com, fib));
+
+    scheduler.start();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    scheduler.stop();
+
+    // Two batches — 3x fib coalesced, 2x sieve coalesced — despite
+    // the interleaved arrival order.
+    EXPECT_EQ(scheduler.pool(0).checkouts(), 2u);
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.batches, 2u);
+    EXPECT_EQ(m.maxBatch, 3u);
+}
+
+TEST(ServeScheduler, MaxBatchBoundsCoalescing)
+{
+    serve::Scheduler::Config cfg = comOnlyConfig();
+    cfg.maxBatch = 3;
+    serve::Scheduler scheduler(cfg);
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 7; ++i)
+        futures.push_back(
+            scheduler.submit(api::EngineKind::Com, spec));
+    scheduler.start();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+    scheduler.stop();
+
+    // 7 requests at batch<=3: 3+3+1 = three checkouts.
+    EXPECT_EQ(scheduler.pool(0).checkouts(), 3u);
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.batches, 3u);
+    EXPECT_EQ(m.maxBatch, 3u);
+}
+
+TEST(ServeScheduler, ExpiredDeadlineReturnsExpiredNotAHang)
+{
+    serve::Scheduler scheduler(comOnlyConfig());
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    // Already expired at submit time; queued behind nothing.
+    std::future<serve::Response> dead = scheduler.submit(
+        api::EngineKind::Com, spec, serve::Clock::now() - 1ms);
+    // A live request after it must still be served.
+    std::future<serve::Response> live =
+        scheduler.submit(api::EngineKind::Com, spec);
+
+    scheduler.start();
+    serve::Response dead_r = dead.get();
+    EXPECT_EQ(dead_r.status, serve::ResponseStatus::Expired);
+    EXPECT_FALSE(dead_r.error.empty());
+    EXPECT_EQ(dead_r.batchSize, 0u); // never reached an engine
+
+    serve::Response live_r = live.get();
+    EXPECT_EQ(live_r.status, serve::ResponseStatus::Ok);
+    EXPECT_TRUE(live_r.outcome.matches(spec));
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.expired, 1u);
+    EXPECT_EQ(m.served, 1u);
+}
+
+TEST(ServeScheduler, QueueFullAdmissionRejects)
+{
+    serve::Scheduler::Config cfg = comOnlyConfig();
+    cfg.queueCapacity = 2;
+    serve::Scheduler scheduler(cfg);
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    std::future<serve::Response> a =
+        scheduler.trySubmit(api::EngineKind::Com, spec);
+    std::future<serve::Response> b =
+        scheduler.trySubmit(api::EngineKind::Com, spec);
+    std::future<serve::Response> c =
+        scheduler.trySubmit(api::EngineKind::Com, spec);
+
+    // The third future resolved immediately: queue full.
+    ASSERT_EQ(c.wait_for(0s), std::future_status::ready);
+    serve::Response rejected = c.get();
+    EXPECT_EQ(rejected.status, serve::ResponseStatus::Rejected);
+    EXPECT_EQ(rejected.error, "queue full");
+
+    scheduler.start();
+    EXPECT_EQ(a.get().status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(b.get().status, serve::ResponseStatus::Ok);
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.rejected, 1u);
+    EXPECT_EQ(m.served, 2u);
+    EXPECT_EQ(m.submitted, 3u);
+}
+
+TEST(ServeScheduler, UnservableKindIsRejectedNotFatal)
+{
+    // The pool holds zero fith engines: a fith request must resolve
+    // Rejected at submit time. Letting a worker discover it would
+    // fatal() inside the worker thread and terminate the process.
+    serve::Scheduler scheduler(comOnlyConfig()); // com engines only
+    scheduler.start();
+    api::ProgramSpec fith_spec =
+        api::ProgramSpec::fith("f", "1 2 + .");
+
+    std::future<serve::Response> tried =
+        scheduler.trySubmit(api::EngineKind::Fith, fith_spec);
+    ASSERT_EQ(tried.wait_for(0s), std::future_status::ready);
+    serve::Response r = tried.get();
+    EXPECT_EQ(r.status, serve::ResponseStatus::Rejected);
+    EXPECT_NE(r.error.find("no fith engines"), std::string::npos)
+        << r.error;
+
+    std::future<serve::Response> blocked =
+        scheduler.submit(api::EngineKind::Fith, fith_spec);
+    ASSERT_EQ(blocked.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(blocked.get().status, serve::ResponseStatus::Rejected);
+
+    // The scheduler is unharmed: servable kinds still serve.
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    serve::Response ok =
+        scheduler.submit(api::EngineKind::Com, spec).get();
+    EXPECT_EQ(ok.status, serve::ResponseStatus::Ok);
+    EXPECT_TRUE(ok.outcome.matches(spec));
+}
+
+TEST(ServeScheduler, StopBeforeStartDrainsAsRejected)
+{
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    std::future<serve::Response> orphan;
+    {
+        serve::Scheduler scheduler(comOnlyConfig());
+        orphan = scheduler.submit(api::EngineKind::Com, spec);
+        // Destroyed without ever starting: the future must still
+        // resolve (no caller left waiting forever).
+    }
+    ASSERT_EQ(orphan.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(orphan.get().status, serve::ResponseStatus::Rejected);
+}
+
+TEST(ServeScheduler, FailuresAreReportedNotServed)
+{
+    serve::Scheduler scheduler(comOnlyConfig());
+
+    // A wrong expected checksum must come back Failed — the serving
+    // layer verifies responses, it does not take the engine's word.
+    api::ProgramSpec wrong = api::ProgramSpec::workload("fib");
+    wrong.expected = wrong.expected + 1;
+    std::future<serve::Response> mismatch =
+        scheduler.trySubmit(api::EngineKind::Com, wrong);
+
+    api::ProgramSpec broken = api::ProgramSpec::smalltalk(
+        "broken", "main [ ^1 + ]]] ]");
+    std::future<serve::Response> compile_error =
+        scheduler.trySubmit(api::EngineKind::Com, broken);
+
+    scheduler.start();
+    serve::Response r = mismatch.get();
+    EXPECT_EQ(r.status, serve::ResponseStatus::Failed);
+    EXPECT_NE(r.error.find("checksum mismatch"), std::string::npos)
+        << r.error;
+
+    r = compile_error.get();
+    EXPECT_EQ(r.status, serve::ResponseStatus::Failed);
+    EXPECT_FALSE(r.error.empty());
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.failed, 2u);
+    EXPECT_EQ(m.served, 0u);
+}
+
+TEST(ServeScheduler, ShardRouterIsStableAndReported)
+{
+    serve::Scheduler::Config cfg = comOnlyConfig();
+    cfg.shards = 4;
+    cfg.workersPerShard = 1;
+    serve::Scheduler scheduler(cfg);
+    ASSERT_EQ(scheduler.shardCount(), 4u);
+    EXPECT_EQ(scheduler.workerCount(), 4u);
+
+    std::vector<api::ProgramSpec> specs = {
+        api::ProgramSpec::workload("fib"),
+        api::ProgramSpec::workload("sieve"),
+        api::ProgramSpec::workload("sort"),
+        api::ProgramSpec::workload("bank"),
+    };
+    std::vector<std::future<serve::Response>> futures;
+    std::vector<std::size_t> expected_shards;
+    for (const api::ProgramSpec &spec : specs) {
+        EXPECT_EQ(scheduler.shardFor(spec), scheduler.shardFor(spec));
+        expected_shards.push_back(scheduler.shardFor(spec));
+        futures.push_back(
+            scheduler.submit(api::EngineKind::Com, spec));
+    }
+    scheduler.start();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        serve::Response r = futures[i].get();
+        EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(r.shard, expected_shards[i]);
+    }
+}
+
+TEST(ServeScheduler, ConcurrentSubmittersMixedKinds)
+{
+    // The TSan-facing test: many submitting threads, multiple shards
+    // and workers, all three engine kinds, every response verified.
+    serve::Scheduler::Config cfg;
+    cfg.shards = 2;
+    cfg.workersPerShard = 2;
+    cfg.maxBatch = 4;
+    cfg.pool.comEngines = 1;
+    cfg.pool.stackEngines = 1;
+    cfg.pool.fithEngines = 1;
+    serve::Scheduler scheduler(cfg); // autoStart
+
+    const std::vector<std::pair<api::EngineKind, api::ProgramSpec>>
+        requests = {
+            {api::EngineKind::Com, api::ProgramSpec::workload("fib")},
+            {api::EngineKind::Stack,
+             api::ProgramSpec::workload("bank")},
+            {api::EngineKind::Fith,
+             api::ProgramSpec::fith("fith-fib",
+                                    ":: Int fib dup 2 < IF ELSE dup 1 "
+                                    "- fib swap 2 - fib + THEN ;\n"
+                                    "10 fib drop")},
+            {api::EngineKind::Com,
+             api::ProgramSpec::workload("dictionary")},
+        };
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kPerThread = 6;
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> submitters;
+    for (unsigned t = 0; t < kThreads; ++t)
+        submitters.emplace_back([&, t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                const auto &req = requests[(t + i) % requests.size()];
+                serve::Response r =
+                    scheduler.submit(req.first, req.second).get();
+                if (r.status != serve::ResponseStatus::Ok ||
+                    !r.outcome.matches(req.second))
+                    failures.fetch_add(1);
+            }
+        });
+    for (std::thread &t : submitters)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.served, kThreads * kPerThread);
+    EXPECT_EQ(m.failed + m.rejected + m.expired, 0u);
+    EXPECT_GE(m.batches, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(ServeMetrics, HistogramMomentsAreExactPercentilesBucketed)
+{
+    serve::LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(0.001); // 1 ms
+    h.record(0.1); // one 100 ms outlier
+
+    serve::LatencyHistogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_NEAR(s.meanSeconds, (99 * 0.001 + 0.1) / 100.0, 1e-9);
+    EXPECT_NEAR(s.maxSeconds, 0.1, 1e-9);
+    // Percentiles resolve to the containing power-of-two bucket.
+    EXPECT_GE(s.p50Seconds, 0.0005);
+    EXPECT_LE(s.p50Seconds, 0.002);
+    EXPECT_GE(s.p99Seconds, s.p50Seconds);
+    // The p99 sample < the 100ms outlier at rank 100 of 100... p99
+    // lands on rank 99: still the 1 ms bucket.
+    EXPECT_LE(s.p99Seconds, 0.002);
+}
+
+TEST(ServeMetrics, EmptyHistogramSnapshotsToZero)
+{
+    serve::LatencyHistogram h;
+    serve::LatencyHistogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.meanSeconds, 0.0);
+    EXPECT_EQ(s.p99Seconds, 0.0);
+}
+
+TEST(ServeMetrics, BatchAndQueueCounters)
+{
+    serve::Metrics m;
+    m.recordBatch(4);
+    m.recordBatch(2);
+    // 3 enqueues and a 2-element dequeue: gauge 1, high-water 3 —
+    // exact totals even when several shard queues feed one Metrics.
+    m.countEnqueued();
+    m.countEnqueued();
+    m.countEnqueued();
+    m.countDequeued(2);
+    m.addBusyNanos(500'000'000); // 0.5 s busy
+
+    serve::Metrics::Snapshot s = m.snapshot(1.0, 1);
+    EXPECT_EQ(s.batches, 2u);
+    EXPECT_DOUBLE_EQ(s.meanBatch, 3.0);
+    EXPECT_EQ(s.maxBatch, 4u);
+    EXPECT_EQ(s.maxQueueDepth, 3u);
+    EXPECT_EQ(s.queueDepth, 1u);
+    EXPECT_NEAR(s.utilization, 0.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------
+
+serve::ServeRequest
+makeQueued(const api::ProgramSpec &spec)
+{
+    serve::ServeRequest req;
+    req.kind = api::EngineKind::Com;
+    req.spec = spec;
+    req.submitted = serve::Clock::now();
+    return req;
+}
+
+TEST(ServeQueue, RejectsWhenFullAndKeepsTheRequest)
+{
+    serve::RequestQueue q(1);
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+    EXPECT_TRUE(q.tryPush(makeQueued(spec)));
+    serve::ServeRequest second = makeQueued(spec);
+    EXPECT_FALSE(q.tryPush(std::move(second)));
+    // The refused request is intact: its promise is still usable.
+    second.promise.set_value(serve::Response{});
+    EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(ServeQueue, PopBatchCoalescesByKindAndSource)
+{
+    serve::RequestQueue q(16);
+    api::ProgramSpec fib = api::ProgramSpec::workload("fib");
+    api::ProgramSpec sieve = api::ProgramSpec::workload("sieve");
+    ASSERT_TRUE(q.tryPush(makeQueued(fib)));
+    ASSERT_TRUE(q.tryPush(makeQueued(sieve)));
+    ASSERT_TRUE(q.tryPush(makeQueued(fib)));
+
+    std::vector<serve::ServeRequest> batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 2u); // both fibs, not the sieve between
+    EXPECT_EQ(batch[0].spec.source, fib.source);
+    EXPECT_EQ(batch[1].spec.source, fib.source);
+    EXPECT_EQ(q.depth(), 1u);
+    for (serve::ServeRequest &r : batch)
+        r.promise.set_value(serve::Response{});
+
+    batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.source, sieve.source);
+    batch[0].promise.set_value(serve::Response{});
+
+    q.close();
+    EXPECT_TRUE(q.popBatch(8).empty());
+}
+
+} // namespace
