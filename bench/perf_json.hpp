@@ -31,8 +31,13 @@ namespace com::bench {
  *  adds double-valued metric fields on the serving entries
  *  (latency percentiles in milliseconds, mean batch size, worker
  *  utilization) plus scheduler counters (shards, batches, rejected,
- *  expired). */
-constexpr const char *kPerfSchema = "comsim.bench.perf/v3";
+ *  expired); v4 adds program-cache counters (cache_hits,
+ *  cache_misses, cache_installs, cache_evictions) and the mean
+ *  warm-start restore latency (warm_mean_ms), plus the
+ *  batch=1 serving entries ("BM_Serve/<scenario>_b1") that
+ *  exercise the warm-start path hardest. Older files still load:
+ *  absent fields stay zero/absent on the round trip. */
+constexpr const char *kPerfSchema = "comsim.bench.perf/v4";
 
 /** One benchmark measurement. */
 struct BenchResult
@@ -49,17 +54,18 @@ struct BenchResult
     std::vector<std::pair<std::string, double>> metrics;
 };
 
-/** Integer detail keys the loader round-trips (v2 + v3). */
+/** Integer detail keys the loader round-trips (v2 + v3 + v4). */
 constexpr const char *kDetailKeys[] = {
-    "threads",  "sessions", "requests", "max_concurrent",
-    "failures", "shards",   "batches",  "rejected",
-    "expired",
+    "threads",      "sessions",     "requests",       "max_concurrent",
+    "failures",     "shards",       "batches",        "rejected",
+    "expired",      "cache_hits",   "cache_misses",   "cache_installs",
+    "cache_evictions",
 };
 
-/** Double metric keys the loader round-trips (v3). */
+/** Double metric keys the loader round-trips (v3 + v4). */
 constexpr const char *kMetricKeys[] = {
     "p50_ms", "p95_ms", "p99_ms", "mean_ms", "mean_batch",
-    "utilization",
+    "utilization", "warm_mean_ms",
 };
 
 /** Minimal JSON string escape (names are ASCII identifiers anyway). */

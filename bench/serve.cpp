@@ -24,14 +24,24 @@
  *     worker utilization from the scheduler's own metrics.
  *
  * Results merge into BENCH_perf.json as BM_Serve/<scenario> entries
- * (schema comsim.bench.perf/v3, documented in ROADMAP.md).
+ * (schema comsim.bench.perf/v4, documented in ROADMAP.md), replacing
+ * only the entries this invocation regenerated. --batch=1 disables
+ * batch coalescing, so every request pays its own session checkout —
+ * the mode that leans hardest on the program cache's warm-start path
+ * — and its entries land as BM_Serve/<scenario>_b1 alongside the
+ * batched ones. --repeats=N measures each scenario N times,
+ * interleaved round-robin so drift hits all scenarios alike, and
+ * reports the median-by-rate run. --cache=N sizes each shard's
+ * compiled-program cache (0 turns warm starts off); cache counters
+ * (cache_hits/misses/installs/evictions, warm_mean_ms) ride on every
+ * serve entry.
  *
  * Usage:
  *   bench_serve [--threads=4] [--shards=2] [--requests=100]
  *               [--sessions=N] [--batch=32] [--queue=1024]
- *               [--rate=R] [--deadline-ms=D]
- *               [--engines=com,stack,fith] [--workloads=a,b,...]
- *               [--out=BENCH_perf.json]
+ *               [--rate=R] [--deadline-ms=D] [--repeats=N]
+ *               [--cache=64] [--engines=com,stack,fith]
+ *               [--workloads=a,b,...] [--out=BENCH_perf.json]
  */
 
 #include <algorithm>
@@ -90,6 +100,21 @@ struct ServeStats
     double utilization = 0.0;
     double seconds = 0.0;
     double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0, meanMs = 0.0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheInstalls = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t warmStarts = 0;
+    double warmMeanMs = 0.0;
+
+    /** The headline rate: verified responses per wall second. */
+    double
+    rate() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(served) / seconds
+                   : 0.0;
+    }
 };
 
 /** Exact percentile of an ascending @p sorted (nearest-rank: the
@@ -115,6 +140,7 @@ struct DriveConfig
     std::uint64_t totalRequests = 400;
     double rate = 0.0;          ///< arrivals/s; 0 = back-pressure mode
     double deadlineMs = 0.0;    ///< 0 = no deadline
+    std::uint64_t cacheCapacity = 64; ///< per-shard; 0 = no cache
 };
 
 /**
@@ -144,6 +170,8 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     cfg.workersPerShard = workers_per_shard;
     cfg.queueCapacity = static_cast<std::size_t>(dc.queueCapacity);
     cfg.maxBatch = static_cast<std::size_t>(dc.maxBatch);
+    cfg.programCacheCapacity =
+        static_cast<std::size_t>(dc.cacheCapacity);
     cfg.pool.comEngines =
         present[static_cast<std::size_t>(api::EngineKind::Com)]
             ? sessions
@@ -238,6 +266,12 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     s.batches = m.batches;
     s.meanBatch = m.meanBatch;
     s.utilization = m.utilization;
+    s.cacheHits = m.cacheHits;
+    s.cacheMisses = m.cacheMisses;
+    s.cacheInstalls = m.cacheInstalls;
+    s.cacheEvictions = m.cacheEvictions;
+    s.warmStarts = m.warmStarts;
+    s.warmMeanMs = m.warmStartMeanSeconds * 1e3;
 
     std::sort(latencies.begin(), latencies.end());
     s.p50Ms = percentile(latencies, 0.50) * 1e3;
@@ -263,6 +297,8 @@ main(int argc, char **argv)
     std::uint64_t queue_capacity = 1024;
     double rate = 0.0;
     double deadline_ms = 0.0;
+    std::uint64_t repeats = 1;
+    std::uint64_t cache_capacity = 64;
     std::string engines_csv = "com,stack,fith";
     std::string workloads_csv = "all";
     std::string out_path = "BENCH_perf.json";
@@ -289,6 +325,12 @@ main(int argc, char **argv)
                     "with back-pressure at max throughput)");
     flags.addDouble("deadline-ms", &deadline_ms,
                     "per-request deadline in ms (0: none)");
+    flags.addUint("repeats", &repeats,
+                  "measured runs per scenario, interleaved round-robin; "
+                  "the median-by-rate run is reported");
+    flags.addUint("cache", &cache_capacity,
+                  "per-shard program-cache capacity in programs "
+                  "(0: disable warm starts)");
     flags.addString("engines", &engines_csv,
                     "engines to serve (csv of com,stack,fith)");
     flags.addString("workloads", &workloads_csv,
@@ -429,6 +471,9 @@ main(int argc, char **argv)
     dc.totalRequests = threads * requests_per_thread;
     dc.rate = rate;
     dc.deadlineMs = deadline_ms;
+    dc.cacheCapacity = cache_capacity;
+    if (repeats == 0)
+        repeats = 1;
 
     std::printf(
         "comsim serving benchmark: %llu workers over %llu shards, "
@@ -443,14 +488,41 @@ main(int argc, char **argv)
                 "requests/s", "p50 ms", "p95 ms", "p99 ms", "batch",
                 "util");
 
-    std::vector<bench::BenchResult> serve_results;
+    // Measure. Repeats interleave round-robin (A B C A B C ...), so
+    // machine drift during the run degrades every scenario equally
+    // instead of biasing whichever ran last; each scenario reports
+    // its median-by-rate run.
     std::uint64_t total_failures = 0;
-    for (const Scenario &scenario : scenarios) {
-        ServeStats s = runScenario(scenario, dc);
-        total_failures += s.failures;
+    std::vector<std::vector<ServeStats>> runs(scenarios.size());
+    for (std::uint64_t round = 0; round < repeats; ++round) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            ServeStats s = runScenario(scenarios[i], dc);
+            total_failures += s.failures;
+            if (repeats > 1)
+                std::printf("  round %llu/%llu %-20s %12.1f req/s\n",
+                            static_cast<unsigned long long>(round + 1),
+                            static_cast<unsigned long long>(repeats),
+                            scenarios[i].name.c_str(), s.rate());
+            runs[i].push_back(std::move(s));
+        }
+    }
+
+    std::vector<bench::BenchResult> serve_results;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario &scenario = scenarios[i];
+        std::vector<ServeStats> &reps = runs[i];
+        std::sort(reps.begin(), reps.end(),
+                  [](const ServeStats &a, const ServeStats &b) {
+                      return a.rate() < b.rate();
+                  });
+        const ServeStats &s = reps[reps.size() / 2];
 
         bench::BenchResult r;
-        r.name = "BM_Serve/" + scenario.name;
+        // batch=1 entries are their own trajectory series: no
+        // coalescing, so every request pays a full checkout and the
+        // warm-start path carries the number.
+        r.name = "BM_Serve/" + scenario.name +
+                 (max_batch == 1 ? "_b1" : "");
         r.unit = "requests/s";
         r.rate = s.seconds > 0.0
                      ? static_cast<double>(s.served) / s.seconds
@@ -468,13 +540,18 @@ main(int argc, char **argv)
                      {"batches", s.batches},
                      {"rejected", s.rejected},
                      {"expired", s.expired},
-                     {"failures", s.failures}};
+                     {"failures", s.failures},
+                     {"cache_hits", s.cacheHits},
+                     {"cache_misses", s.cacheMisses},
+                     {"cache_installs", s.cacheInstalls},
+                     {"cache_evictions", s.cacheEvictions}};
         r.metrics = {{"p50_ms", s.p50Ms},
                      {"p95_ms", s.p95Ms},
                      {"p99_ms", s.p99Ms},
                      {"mean_ms", s.meanMs},
                      {"mean_batch", s.meanBatch},
-                     {"utilization", s.utilization}};
+                     {"utilization", s.utilization},
+                     {"warm_mean_ms", s.warmMeanMs}};
         serve_results.push_back(r);
 
         std::printf("  %-20s %12.1f %9.2f %9.2f %9.2f %7.2f %5.0f%%\n",
@@ -490,12 +567,21 @@ main(int argc, char **argv)
     }
 
     // Merge into the trajectory: keep bench_perf's entries (and its
-    // min_time header), replace any previous serve entries. v2-era
-    // files merge cleanly — their entries just lack the v3 fields.
+    // min_time header) AND any serve entries this invocation did not
+    // regenerate — a --batch=1 pass must replace only the _b1 series,
+    // leaving the batched entries in place, and vice versa. Older-
+    // schema files merge cleanly — their entries just lack the newer
+    // fields.
     double min_time = 0.3;
     std::vector<bench::BenchResult> all;
+    auto regenerated = [&serve_results](const std::string &name) {
+        for (const bench::BenchResult &r : serve_results)
+            if (r.name == name)
+                return true;
+        return false;
+    };
     for (bench::BenchResult &r : bench::loadPerfJson(out_path, &min_time))
-        if (r.name.rfind("BM_Serve", 0) != 0)
+        if (!regenerated(r.name))
             all.push_back(std::move(r));
     for (bench::BenchResult &r : serve_results)
         all.push_back(std::move(r));

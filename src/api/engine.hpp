@@ -29,6 +29,7 @@
 #define COMSIM_API_ENGINE_HPP
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,8 @@
 #include "mem/word.hpp"
 
 namespace com::api {
+
+class ProgramCache;
 
 /** Source languages an Engine may accept. */
 enum class Language : std::uint8_t
@@ -105,6 +108,82 @@ constexpr std::uint64_t kDefaultMaxOps = 50'000'000;
 /** Fith default per-run step cap. */
 constexpr std::uint64_t kDefaultMaxFithSteps = 10'000'000;
 
+/** Default cap on an engine's per-source compile memo (entries). */
+constexpr std::size_t kEngineMemoCapacity = 128;
+
+/**
+ * A bounded source -> artifact memo with LRU eviction. Engines keep
+ * one per language so a long-lived engine fed an unbounded stream of
+ * distinct programs cannot grow its memo without limit; the eviction
+ * counter is cumulative over the engine's lifetime (it survives
+ * clear(), so serving metrics can observe pressure across resets).
+ * Not thread-safe — engines are single-caller by contract.
+ */
+template <typename V>
+class LruMemo
+{
+  public:
+    explicit LruMemo(std::size_t capacity = kEngineMemoCapacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /** @return the memoized value (bumping recency), or nullptr. */
+    V *
+    find(const std::string &key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return nullptr;
+        order_.splice(order_.begin(), order_, it->second.pos);
+        return &it->second.value;
+    }
+
+    /** Memoize @p value, evicting the LRU entry when over capacity. */
+    V &
+    insert(const std::string &key, V value)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            order_.splice(order_.begin(), order_, it->second.pos);
+            it->second.value = std::move(value);
+            return it->second.value;
+        }
+        order_.push_front(key);
+        it = map_.emplace(key, Node{std::move(value), order_.begin()})
+                 .first;
+        if (capacity_ != 0 && map_.size() > capacity_) {
+            map_.erase(order_.back());
+            order_.pop_back();
+            ++evictions_;
+        }
+        return it->second.value;
+    }
+
+    /** Drop all entries (the eviction counter is kept). */
+    void
+    clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    struct Node
+    {
+        V value;
+        std::list<std::string>::iterator pos;
+    };
+
+    std::size_t capacity_;
+    std::list<std::string> order_; ///< front = most recently used
+    std::unordered_map<std::string, Node> map_;
+    std::uint64_t evictions_ = 0;
+};
+
 /**
  * One execution back end. compile/install caching is the engine's
  * business: running the same spec twice compiles once.
@@ -135,9 +214,25 @@ class Engine
     /**
      * Restore the just-constructed state: installed programs, caches,
      * statistics and output are all dropped. The pool resets engines
-     * on checkin so every checkout starts clean.
+     * on checkin so every checkout starts clean. A shared ProgramCache
+     * deliberately survives reset — that is the point of it.
      */
     virtual void reset() = 0;
+
+    /**
+     * Attach a shared compiled-program cache (may be nullptr). With a
+     * cache attached, the first program run after reset() is looked up
+     * by (language, source): a hit warm-starts from the cached
+     * artifact instead of compiling (for COM, the post-run image is
+     * restored and the recorded outcome replayed — the machine is
+     * deterministic, so the result is bit-identical to re-executing),
+     * and a miss compiles-and-runs then installs the artifact for
+     * every other engine sharing the cache.
+     */
+    virtual void setProgramCache(std::shared_ptr<ProgramCache> cache) = 0;
+
+    /** Entries evicted from this engine's compile memos so far. */
+    virtual std::uint64_t memoEvictions() const { return 0; }
 
   protected:
     Engine() = default;
@@ -160,9 +255,13 @@ const char *engineKindName(EngineKind kind);
 /** Parse an engine name; @return false if unknown. */
 bool parseEngineKind(const std::string &name, EngineKind &out);
 
-/** Construct an engine of @p kind (COM engines use @p cfg). */
+/**
+ * Construct an engine of @p kind (COM engines use @p cfg), optionally
+ * sharing @p cache with its pool-mates.
+ */
 std::unique_ptr<Engine> makeEngine(
-    EngineKind kind, const core::MachineConfig &cfg = {});
+    EngineKind kind, const core::MachineConfig &cfg = {},
+    std::shared_ptr<ProgramCache> cache = nullptr);
 
 /**
  * The COM back end: a resettable core::Machine with the standard
@@ -178,6 +277,8 @@ class ComEngine : public Engine
     RunOutcome run(const ProgramSpec &spec,
                    std::uint64_t max_ops = kEngineDefaultMaxOps) override;
     void reset() override;
+    void setProgramCache(std::shared_ptr<ProgramCache> cache) override;
+    std::uint64_t memoEvictions() const override;
 
     /** The underlying machine, for statistics inspection. */
     core::Machine &machine() { return machine_; }
@@ -187,11 +288,21 @@ class ComEngine : public Engine
     std::uint64_t entryFor(const ProgramSpec &spec);
 
     core::Machine machine_;
+    /**
+     * True while the machine holds exactly the standard library and
+     * nothing else (just constructed or just reset). The shared
+     * program cache is only consulted — and only fed — from this
+     * state, so a cached image is always "stdlib + one program's
+     * first run" and restoring it cannot discard other programs a
+     * caller installed.
+     */
+    bool pristine_ = true;
+    std::shared_ptr<ProgramCache> cache_;
     /** Per-language source -> installed entry method (cleared on
      *  reset). Split by language so lookups hash the source text
      *  directly instead of building a composite key per run. */
-    std::unordered_map<std::string, std::uint64_t> smalltalkEntries_;
-    std::unordered_map<std::string, std::uint64_t> asmEntries_;
+    LruMemo<std::uint64_t> smalltalkEntries_;
+    LruMemo<std::uint64_t> asmEntries_;
 };
 
 /** The stack-VM baseline back end (Smalltalk only). */
@@ -205,14 +316,19 @@ class StackEngine : public Engine
     RunOutcome run(const ProgramSpec &spec,
                    std::uint64_t max_ops = kEngineDefaultMaxOps) override;
     void reset() override;
+    void setProgramCache(std::shared_ptr<ProgramCache> cache) override;
+    std::uint64_t memoEvictions() const override;
 
     /** The underlying VM, for statistics inspection. */
     lang::StackVm &vm() { return *vm_; }
 
   private:
     std::unique_ptr<lang::StackVm> vm_;
+    /** See ComEngine::pristine_. */
+    bool pristine_ = true;
+    std::shared_ptr<ProgramCache> cache_;
     /** source -> compiled entry method (cleared on reset). */
-    std::unordered_map<std::string, lang::StackCompiled> entries_;
+    LruMemo<lang::StackCompiled> entries_;
 };
 
 /**
@@ -230,6 +346,7 @@ class FithEngine : public Engine
     RunOutcome run(const ProgramSpec &spec,
                    std::uint64_t max_ops = kEngineDefaultMaxOps) override;
     void reset() override;
+    void setProgramCache(std::shared_ptr<ProgramCache> cache) override;
 
     /** Record traces on subsequent runs (Figure 10/11 inputs). */
     void setTracing(bool on) { tracing_ = on; }
@@ -239,6 +356,7 @@ class FithEngine : public Engine
 
   private:
     std::unique_ptr<fith::FithMachine> machine_;
+    std::shared_ptr<ProgramCache> cache_;
     bool tracing_ = false;
 };
 

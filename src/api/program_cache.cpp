@@ -1,0 +1,98 @@
+#include "api/program_cache.hpp"
+
+#include <utility>
+
+#include "api/engine.hpp"
+
+namespace com::api {
+
+std::string
+ProgramCache::key(char kind, Language lang, const std::string &source)
+{
+    std::string k;
+    k.reserve(source.size() + 2);
+    k.push_back(kind);
+    k.push_back(static_cast<char>('0' + static_cast<int>(lang)));
+    k.append(source);
+    return k;
+}
+
+std::shared_ptr<const void>
+ProgramCache::find(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++counters_.misses;
+        return nullptr;
+    }
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.value;
+}
+
+void
+ProgramCache::insert(std::string key, std::shared_ptr<const void> value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Two workers can miss the same cold program concurrently and
+        // both compile it; keep the first install, refresh recency.
+        lru_.splice(lru_.begin(), lru_, it->second.pos);
+        return;
+    }
+    lru_.push_front(key);
+    map_.emplace(std::move(key), Slot{std::move(value), lru_.begin()});
+    ++counters_.installs;
+    if (capacity_ != 0 && map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        ++counters_.evictions;
+    }
+}
+
+std::shared_ptr<const ProgramCache::ComEntry>
+ProgramCache::findCom(Language lang, const std::string &source)
+{
+    return std::static_pointer_cast<const ComEntry>(
+        find(key('c', lang, source)));
+}
+
+void
+ProgramCache::insertCom(Language lang, const std::string &source,
+                        ComEntry e)
+{
+    insert(key('c', lang, source),
+           std::make_shared<const ComEntry>(std::move(e)));
+}
+
+std::shared_ptr<const ProgramCache::StackEntry>
+ProgramCache::findStack(const std::string &source)
+{
+    return std::static_pointer_cast<const StackEntry>(
+        find(key('s', Language::Smalltalk, source)));
+}
+
+void
+ProgramCache::insertStack(const std::string &source, StackEntry e)
+{
+    insert(key('s', Language::Smalltalk, source),
+           std::make_shared<const StackEntry>(std::move(e)));
+}
+
+std::shared_ptr<const ProgramCache::FithEntry>
+ProgramCache::findFith(const std::string &source)
+{
+    return std::static_pointer_cast<const FithEntry>(
+        find(key('f', Language::Fith, source)));
+}
+
+void
+ProgramCache::insertFith(const std::string &source, FithEntry e)
+{
+    insert(key('f', Language::Fith, source),
+           std::make_shared<const FithEntry>(std::move(e)));
+}
+
+} // namespace com::api

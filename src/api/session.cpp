@@ -38,12 +38,13 @@ Session::release()
 EnginePool::EnginePool() : EnginePool(Config{}) {}
 
 EnginePool::EnginePool(const Config &cfg)
+    : programCache_(cfg.programCache)
 {
     auto fill = [this, &cfg](EngineKind kind, std::size_t n) {
         capacity_[slot(kind)] = n;
         for (std::size_t i = 0; i < n; ++i)
             idle_[slot(kind)].push_back(
-                makeEngine(kind, cfg.machineConfig));
+                makeEngine(kind, cfg.machineConfig, programCache_));
     };
     fill(EngineKind::Com, cfg.comEngines);
     fill(EngineKind::Stack, cfg.stackEngines);

@@ -107,7 +107,21 @@ class EnginePool
         std::size_t fithEngines = 1;
         /** Configuration for the pooled COM machines. */
         core::MachineConfig machineConfig{};
+        /**
+         * Compiled-program cache shared by every engine in the pool
+         * (nullptr = no caching). The cache survives engine resets,
+         * so a hot program compiles once per pool, not once per
+         * checkout.
+         */
+        std::shared_ptr<ProgramCache> programCache;
     };
+
+    /** The shared program cache (may be nullptr). */
+    const std::shared_ptr<ProgramCache> &
+    programCache() const
+    {
+        return programCache_;
+    }
 
     /** Engines are constructed eagerly, before serving starts. */
     explicit EnginePool(const Config &cfg);
@@ -154,6 +168,7 @@ class EnginePool
         return static_cast<std::size_t>(kind);
     }
 
+    std::shared_ptr<ProgramCache> programCache_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::array<std::vector<std::unique_ptr<Engine>>, kNumEngineKinds>

@@ -110,6 +110,16 @@ class Atlb
     /** Modeled miss penalty in cycles. */
     std::uint64_t missPenalty() const { return missPenalty_; }
 
+    /** Snapshot type of the underlying cache (machine images). */
+    using Snapshot =
+        SetAssocCache<AtlbKey, mem::SegmentDescriptor,
+                      AtlbKeyHash>::Snapshot;
+
+    /** Capture contents + statistics. */
+    Snapshot snapshot() const { return cache_.snapshot(); }
+    /** Restore a snapshot onto a same-shaped ATLB. */
+    void restore(const Snapshot &s) { cache_.restore(s); }
+
   private:
     SetAssocCache<AtlbKey, mem::SegmentDescriptor, AtlbKeyHash> cache_;
     std::uint64_t missPenalty_;

@@ -213,6 +213,18 @@ class ContextCache
     /** Forced (stalling) evictions during allocate. */
     std::uint64_t forcedEvictions() const { return forced_.value(); }
 
+    /**
+     * Full cache state (blocks, directory, vectors, counters);
+     * defined after the class so it can use the private Block type.
+     */
+    struct Snapshot;
+
+    /** Capture contents + statistics (for machine images). */
+    Snapshot snapshot() const;
+
+    /** Restore state captured by snapshot() on a same-shaped cache. */
+    void restore(const Snapshot &s);
+
   private:
     static constexpr int kNone = -1;
 
@@ -304,6 +316,61 @@ ContextCache::write(CtxVia via, std::size_t offset, mem::Word w)
     blkref.data[offset] = w;
     blkref.dirty = true;
     touch(b);
+}
+
+struct ContextCache::Snapshot
+{
+    std::vector<Block> blocks;
+    std::unordered_map<mem::AbsAddr, int> dir;
+    std::size_t freeCount = 0;
+    int current = kNone;
+    int next = kNone;
+    std::uint64_t tick = 0;
+    std::uint64_t allocs = 0, clears = 0, copybacks = 0, prefetches = 0;
+    std::uint64_t returnHits = 0, returnMisses = 0, forced = 0;
+    std::uint64_t reads = 0, writes = 0;
+};
+
+inline ContextCache::Snapshot
+ContextCache::snapshot() const
+{
+    Snapshot s;
+    s.blocks = blocks_;
+    s.dir = dir_;
+    s.freeCount = freeCount_;
+    s.current = current_;
+    s.next = next_;
+    s.tick = tick_;
+    s.allocs = allocs_.value();
+    s.clears = clears_.value();
+    s.copybacks = copybacks_.value();
+    s.prefetches = prefetches_.value();
+    s.returnHits = returnHits_.value();
+    s.returnMisses = returnMisses_.value();
+    s.forced = forced_.value();
+    s.reads = reads_.value();
+    s.writes = writes_.value();
+    return s;
+}
+
+inline void
+ContextCache::restore(const Snapshot &s)
+{
+    blocks_ = s.blocks;
+    dir_ = s.dir;
+    freeCount_ = s.freeCount;
+    current_ = s.current;
+    next_ = s.next;
+    tick_ = s.tick;
+    allocs_.set(s.allocs);
+    clears_.set(s.clears);
+    copybacks_.set(s.copybacks);
+    prefetches_.set(s.prefetches);
+    returnHits_.set(s.returnHits);
+    returnMisses_.set(s.returnMisses);
+    forced_.set(s.forced);
+    reads_.set(s.reads);
+    writes_.set(s.writes);
 }
 
 } // namespace com::cache

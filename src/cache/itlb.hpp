@@ -141,6 +141,15 @@ class Itlb
     /** Statistics group ("itlb"). */
     const sim::StatGroup &stats() const { return cache_.stats(); }
 
+    /** Snapshot type of the underlying cache (machine images). */
+    using Snapshot =
+        SetAssocCache<ItlbKey, MethodEntry, ItlbKeyHash>::Snapshot;
+
+    /** Capture contents + statistics. */
+    Snapshot snapshot() const { return cache_.snapshot(); }
+    /** Restore a snapshot onto a same-shaped ITLB. */
+    void restore(const Snapshot &s) { cache_.restore(s); }
+
   private:
     SetAssocCache<ItlbKey, MethodEntry, ItlbKeyHash> cache_;
     std::uint64_t missPenalty_;

@@ -255,6 +255,18 @@ class SetAssocCache
     /** Statistics group. */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /**
+     * Full cache state (contents, recency, RNG, counters); defined
+     * after the class so it can use the private Entry type.
+     */
+    struct Snapshot;
+
+    /** Capture contents + statistics (for machine images). */
+    Snapshot snapshot() const;
+
+    /** Restore state captured by snapshot() on a same-shaped cache. */
+    void restore(const Snapshot &s);
+
   private:
     /**
      * One cache slot. stamp == 0 marks an empty slot: tick_ starts at
@@ -296,6 +308,46 @@ class SetAssocCache
     sim::Counter lookups_;
     sim::StatGroup stats_;
 };
+
+template <typename Key, typename Value, typename SetHash>
+struct SetAssocCache<Key, Value, SetHash>::Snapshot
+{
+    std::vector<Entry> slots;
+    std::uint64_t tick = 0;
+    sim::Rng rng;
+    std::uint64_t hits = 0, misses = 0, evictions = 0,
+                  invalidations = 0, lookups = 0;
+};
+
+template <typename Key, typename Value, typename SetHash>
+typename SetAssocCache<Key, Value, SetHash>::Snapshot
+SetAssocCache<Key, Value, SetHash>::snapshot() const
+{
+    Snapshot s;
+    s.slots = slots_;
+    s.tick = tick_;
+    s.rng = rng_;
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evictions_.value();
+    s.invalidations = invalidations_.value();
+    s.lookups = lookups_.value();
+    return s;
+}
+
+template <typename Key, typename Value, typename SetHash>
+void
+SetAssocCache<Key, Value, SetHash>::restore(const Snapshot &s)
+{
+    slots_ = s.slots;
+    tick_ = s.tick;
+    rng_ = s.rng;
+    hits_.set(s.hits);
+    misses_.set(s.misses);
+    evictions_.set(s.evictions);
+    invalidations_.set(s.invalidations);
+    lookups_.set(s.lookups);
+}
 
 } // namespace com::cache
 

@@ -152,6 +152,105 @@ Machine::reset()
     init();
 }
 
+std::shared_ptr<const Machine::Image>
+Machine::captureImage()
+{
+    auto img = std::make_shared<Image>();
+    img->memory = memory_.snapshot();
+    img->space = space_->snapshot();
+    img->segments = segments_->snapshot();
+    img->classes = classes_;
+    img->selectors = selectors_;
+    img->methods = methods_->snapshot();
+    img->heap = heap_->snapshot();
+    img->contexts = contexts_->snapshot();
+    img->constants = *constants_;
+    img->itlb = itlb_->snapshot();
+    img->atlb = atlb_->snapshot();
+    img->ctxCache = ctxCache_->snapshot();
+    img->icache = icache_->snapshot();
+    img->hierarchy = hierarchy_->snapshot();
+    img->gc = gc_->snapshot();
+    img->pipeline = pipeline_.snapshot();
+
+    img->cp = cp_;
+    img->ncp = ncp_;
+    img->ip = ip_;
+    img->sn = sn_;
+    img->ps = ps_;
+    img->ipAbs = ipAbs_;
+    img->ipLimitAbs = ipLimitAbs_;
+
+    img->opcodeOf = opcodeOf_;
+    img->selectorOfOp = selectorOfOp_;
+    img->nextUserOp = nextUserOp_;
+    img->hostRoutines = hostRoutines_;
+    img->methodLength = methodLength_;
+    img->methodObjects = methodObjects_;
+
+    img->escaped = escaped_;
+    img->bootCtx = bootCtx_;
+    img->finished = finished_;
+    img->controlTransferred = controlTransferred_;
+    img->ctxRefs = ctxRefs_;
+    img->heapRefs = heapRefs_;
+    img->faultDetail = faultDetail_;
+    img->output = output_;
+    return img;
+}
+
+void
+Machine::restoreImage(const Image &img)
+{
+    // Every subsystem is overwritten in place: the objects themselves
+    // (and with them the ATLB's segment-table listener, the GC's root
+    // provider and every StatGroup registration) survive, only their
+    // state is replaced.
+    memory_.restore(img.memory);
+    space_->restore(img.space);
+    segments_->restore(img.segments);
+    classes_ = img.classes;
+    selectors_ = img.selectors;
+    methods_->restore(img.methods);
+    heap_->restore(img.heap);
+    contexts_->restore(img.contexts);
+    *constants_ = *img.constants;
+    itlb_->restore(img.itlb);
+    atlb_->restore(img.atlb);
+    ctxCache_->restore(img.ctxCache);
+    icache_->restore(img.icache);
+    hierarchy_->restore(img.hierarchy);
+    gc_->restore(img.gc);
+    pipeline_.restore(img.pipeline);
+    // The decoded memo is a host-side accelerator, not guest state;
+    // it is not captured, so start it empty and let it repopulate.
+    decoded_.reset();
+
+    cp_ = img.cp;
+    ncp_ = img.ncp;
+    ip_ = img.ip;
+    sn_ = img.sn;
+    ps_ = img.ps;
+    ipAbs_ = img.ipAbs;
+    ipLimitAbs_ = img.ipLimitAbs;
+
+    opcodeOf_ = img.opcodeOf;
+    selectorOfOp_ = img.selectorOfOp;
+    nextUserOp_ = img.nextUserOp;
+    hostRoutines_ = img.hostRoutines;
+    methodLength_ = img.methodLength;
+    methodObjects_ = img.methodObjects;
+
+    escaped_ = img.escaped;
+    bootCtx_ = img.bootCtx;
+    finished_ = img.finished;
+    controlTransferred_ = img.controlTransferred;
+    ctxRefs_ = img.ctxRefs;
+    heapRefs_ = img.heapRefs;
+    faultDetail_ = img.faultDetail;
+    output_ = img.output;
+}
+
 // ----------------------------------------------------------------------
 // Program construction
 // ----------------------------------------------------------------------

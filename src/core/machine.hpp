@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -201,6 +202,83 @@ class Machine
      * the next program.
      */
     void reset();
+
+    /**
+     * A complete machine image: every piece of guest-visible state —
+     * tagged-memory pages (shared copy-on-write, never deep-copied),
+     * segment/constant/class/selector/method tables, cache contents
+     * and statistics, pipeline accounting, registers and run state —
+     * plus the host-side program-construction state (opcode tokens,
+     * host routines, method metadata) needed to keep executing.
+     *
+     * An image lets a machine warm-start a cached program:
+     * restoreImage() on a freshly reset machine is bit-identical to
+     * re-running every step that produced the captured state — for an
+     * image captured after compile + install, that is reinstalling
+     * the library and recompiling the source; for one captured after
+     * a run, it is also re-executing the (deterministic) program.
+     * The warm-image parity tests prove cycles, cache statistics and
+     * output match exactly.
+     * Images are immutable once captured and safe to share across
+     * machines and threads: host routines never capture their machine,
+     * and writes through a restored page clone it first.
+     */
+    struct Image
+    {
+        mem::TaggedMemory::Snapshot memory;
+        mem::AbsoluteSpace::Snapshot space;
+        mem::SegmentTable::Snapshot segments;
+        obj::ClassTable classes;
+        obj::SelectorTable selectors;
+        obj::MethodRegistry::Snapshot methods;
+        obj::ObjectHeap::Snapshot heap;
+        obj::ContextPool::Snapshot contexts;
+        std::optional<ConstantTable> constants;
+        cache::Itlb::Snapshot itlb;
+        cache::Atlb::Snapshot atlb;
+        cache::ContextCache::Snapshot ctxCache;
+        cache::SetAssocCache<std::uint64_t, char>::Snapshot icache;
+        mem::MemoryHierarchy::Snapshot hierarchy;
+        obj::GarbageCollector::Snapshot gc;
+        Pipeline::Snapshot pipeline;
+
+        std::uint64_t cp = 0, ncp = 0, ip = 0;
+        std::uint32_t sn = 0, ps = 0;
+        mem::AbsAddr ipAbs = 0, ipLimitAbs = 0;
+
+        std::unordered_map<std::string, Op> opcodeOf;
+        std::array<obj::SelectorId, kOpTableSize> selectorOfOp{};
+        std::uint8_t nextUserOp = 0;
+        std::vector<HostRoutine> hostRoutines;
+        std::unordered_map<std::uint64_t, std::uint64_t> methodLength;
+        std::vector<std::uint64_t> methodObjects;
+
+        std::unordered_set<std::uint64_t> escaped;
+        std::uint64_t bootCtx = 0;
+        bool finished = false;
+        bool controlTransferred = false;
+        std::uint64_t ctxRefs = 0, heapRefs = 0;
+        std::string faultDetail;
+        std::string output;
+    };
+
+    /**
+     * Capture the machine's complete state as a shareable image.
+     * Cheap: tagged-memory pages are shared copy-on-write, so cost is
+     * proportional to table sizes, not the 64M-word space. After
+     * capture this machine keeps running normally (its next write to a
+     * shared page clones it).
+     */
+    std::shared_ptr<const Image> captureImage();
+
+    /**
+     * Overwrite this machine's state with @p img. The machine must
+     * have the same MachineConfig as the image's source. Typically
+     * called on a freshly reset machine to warm-start a cached
+     * program; afterwards the machine is bit-identical to the one the
+     * image was captured from.
+     */
+    void restoreImage(const Image &img);
 
     /** Install a per-instruction trace sink (fig. 10/11 experiments). */
     void setTraceSink(TraceSink sink) { traceSink_ = std::move(sink); }

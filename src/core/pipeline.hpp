@@ -184,6 +184,57 @@ class Pipeline
     /** Reset all counters. */
     void reset();
 
+    /** Full counter + trace state, as captured by snapshot(). */
+    struct Snapshot
+    {
+        std::uint64_t instrs = 0, cycles = 0, calls = 0, returns = 0;
+        std::uint64_t branchCycles = 0, callCycles = 0,
+                      operandCopyCycles = 0;
+        std::uint64_t itlbCycles = 0, icacheCycles = 0, atlbCycles = 0;
+        std::uint64_t memCycles = 0, ctxCycles = 0, trapCycles = 0;
+        std::deque<std::string> recent;
+    };
+
+    /** Capture all pipeline accounting (for machine images). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{instrs_.value(),
+                        cycles_.value(),
+                        calls_.value(),
+                        returns_.value(),
+                        branchCycles_.value(),
+                        callCycles_.value(),
+                        operandCopyCycles_.value(),
+                        itlbCycles_.value(),
+                        icacheCycles_.value(),
+                        atlbCycles_.value(),
+                        memCycles_.value(),
+                        ctxCycles_.value(),
+                        trapCycles_.value(),
+                        recent_};
+    }
+
+    /** Restore accounting captured by snapshot(). */
+    void
+    restore(const Snapshot &s)
+    {
+        instrs_.set(s.instrs);
+        cycles_.set(s.cycles);
+        calls_.set(s.calls);
+        returns_.set(s.returns);
+        branchCycles_.set(s.branchCycles);
+        callCycles_.set(s.callCycles);
+        operandCopyCycles_.set(s.operandCopyCycles);
+        itlbCycles_.set(s.itlbCycles);
+        icacheCycles_.set(s.icacheCycles);
+        atlbCycles_.set(s.atlbCycles);
+        memCycles_.set(s.memCycles);
+        ctxCycles_.set(s.ctxCycles);
+        trapCycles_.set(s.trapCycles);
+        recent_ = s.recent;
+    }
+
     /**
      * Render the Figure 6 staircase for the last @p n issued
      * instructions: five stage boxes per instruction, successive

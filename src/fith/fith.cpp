@@ -249,6 +249,12 @@ FithMachine::compile(const std::vector<std::string> &toks, std::size_t i,
 FithResult
 FithMachine::run(const std::string &source, std::uint64_t max_steps)
 {
+    return runCompiled(compileSource(source), max_steps);
+}
+
+std::vector<std::uint32_t>
+FithMachine::compileSource(const std::string &source)
+{
     std::vector<std::string> toks = tokenize(source);
 
     // Split definitions from immediate code, compiling as we go.
@@ -296,10 +302,16 @@ FithMachine::run(const std::string &source, std::uint64_t max_steps)
             i = j;
         }
     }
+    return immediate_starts;
+}
 
+FithResult
+FithMachine::runCompiled(const std::vector<std::uint32_t> &starts,
+                         std::uint64_t max_steps)
+{
     FithResult res;
     res.ok = true;
-    for (std::uint32_t start : immediate_starts) {
+    for (std::uint32_t start : starts) {
         FithResult r = execute(start, max_steps);
         res.steps += r.steps;
         if (!r.ok) {

@@ -88,6 +88,38 @@ class FithMachine
     FithResult run(const std::string &source,
                    std::uint64_t max_steps = 10'000'000);
 
+    /**
+     * Compile @p source without executing: definitions are installed
+     * and immediate code is emitted but deferred.
+     * @return code-space start addresses of the immediate chunks, in
+     *         source order — pass to runCompiled() to execute
+     */
+    std::vector<std::uint32_t> compileSource(const std::string &source);
+
+    /** Execute immediate chunks produced by compileSource(). */
+    FithResult runCompiled(const std::vector<std::uint32_t> &starts,
+                           std::uint64_t max_steps = 10'000'000);
+
+    /**
+     * The compiled form of a program (token table, code space, method
+     * dictionary, immediate-chunk starts); defined after the class so
+     * it can use the private cell types. Lets a program cache skip
+     * re-compilation: capture on a freshly constructed machine after
+     * compileSource(), restore onto another freshly constructed
+     * machine and call runCompiled() with the captured starts.
+     * Primitive token ids are assigned deterministically at
+     * construction, so the captured token table is valid on any
+     * machine of this class.
+     */
+    struct CompiledState;
+
+    /** Capture the compiled program (post-compileSource). */
+    CompiledState captureCompiled(
+        std::vector<std::uint32_t> immediate_starts) const;
+
+    /** Restore a compiled program captured on an identical machine. */
+    void restoreCompiled(const CompiledState &s);
+
     /** Enable/disable trace recording (off by default). */
     void setTracing(bool on) { tracing_ = on; }
     /** The recorded trace. */
@@ -194,6 +226,30 @@ class FithMachine
     sim::Counter dispatches_;
     sim::Counter lookups_;
 };
+
+struct FithMachine::CompiledState
+{
+    obj::SelectorTable tokens;
+    std::vector<Cell> code;
+    std::unordered_map<MethodKey, Definition> methods;
+    std::vector<std::uint32_t> immediateStarts;
+};
+
+inline FithMachine::CompiledState
+FithMachine::captureCompiled(
+    std::vector<std::uint32_t> immediate_starts) const
+{
+    return CompiledState{tokens_, code_, methods_,
+                         std::move(immediate_starts)};
+}
+
+inline void
+FithMachine::restoreCompiled(const CompiledState &s)
+{
+    tokens_ = s.tokens;
+    code_ = s.code;
+    methods_ = s.methods;
+}
 
 } // namespace com::fith
 

@@ -89,6 +89,37 @@ class AbsoluteSpace
     /** @return smallest order whose block holds @p size_words words. */
     static unsigned orderForWords(std::uint64_t size_words);
 
+    /** Full allocator state, as captured by snapshot(). */
+    struct Snapshot
+    {
+        std::vector<std::set<AbsAddr>> freeLists;
+        std::map<AbsAddr, unsigned> live;
+        std::uint64_t wordsAllocated = 0;
+        std::uint64_t allocs = 0, frees = 0, splits = 0, coalesces = 0;
+    };
+
+    /** Capture the allocator state (for machine images). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{freeLists_, live_, wordsAllocated_,
+                        allocs_.value(), frees_.value(), splits_.value(),
+                        coalesces_.value()};
+    }
+
+    /** Restore state captured by snapshot() on the same region. */
+    void
+    restore(const Snapshot &s)
+    {
+        freeLists_ = s.freeLists;
+        live_ = s.live;
+        wordsAllocated_ = s.wordsAllocated;
+        allocs_.set(s.allocs);
+        frees_.set(s.frees);
+        splits_.set(s.splits);
+        coalesces_.set(s.coalesces);
+    }
+
     /** Statistics group ("abs_space"). */
     const sim::StatGroup &stats() const { return stats_; }
 

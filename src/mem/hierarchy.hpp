@@ -90,6 +90,19 @@ class MemoryHierarchy
     /** Statistics group ("hierarchy"). */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /**
+     * Full hierarchy state (per-level cache snapshots + counters);
+     * defined after the class so it can use the private level cache
+     * type.
+     */
+    struct Snapshot;
+
+    /** Capture contents + statistics (for machine images). */
+    Snapshot snapshot() const;
+
+    /** Restore state captured on an identically configured stack. */
+    void restore(const Snapshot &s);
+
   private:
     struct BlockState
     {
@@ -113,6 +126,40 @@ class MemoryHierarchy
     sim::Counter totalLatency_;
     sim::StatGroup stats_;
 };
+
+struct MemoryHierarchy::Snapshot
+{
+    std::vector<
+        cache::SetAssocCache<std::uint64_t, BlockState>::Snapshot>
+        levels;
+    std::uint64_t accesses = 0, backing = 0, writebacks = 0,
+                  totalLatency = 0;
+};
+
+inline MemoryHierarchy::Snapshot
+MemoryHierarchy::snapshot() const
+{
+    Snapshot s;
+    s.levels.reserve(levels_.size());
+    for (const Level &l : levels_)
+        s.levels.push_back(l.cache->snapshot());
+    s.accesses = accesses_.value();
+    s.backing = backing_.value();
+    s.writebacks = writebacks_.value();
+    s.totalLatency = totalLatency_.value();
+    return s;
+}
+
+inline void
+MemoryHierarchy::restore(const Snapshot &s)
+{
+    for (std::size_t i = 0; i < levels_.size(); ++i)
+        levels_[i].cache->restore(s.levels[i]);
+    accesses_.set(s.accesses);
+    backing_.set(s.backing);
+    writebacks_.set(s.writebacks);
+    totalLatency_.set(s.totalLatency);
+}
 
 } // namespace com::mem
 

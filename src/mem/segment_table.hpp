@@ -148,6 +148,50 @@ class SegmentTable
     /** Register a mapping-change listener (ATLB invalidation). */
     void addChangeListener(ChangeListener l);
 
+    /**
+     * Full table state (descriptors, name allocation, counters), as
+     * captured by snapshot(). Change listeners are identity, not
+     * state, and are never part of a snapshot.
+     */
+    struct Snapshot
+    {
+        std::unordered_map<std::uint64_t, SegmentDescriptor> table;
+        std::vector<std::uint64_t> nextField;
+        std::vector<std::vector<std::uint64_t>> freeFields;
+        std::uint64_t allocated = 0, freed = 0, grown = 0;
+        std::uint64_t growthTraps = 0, boundsFaults = 0, protFaults = 0;
+    };
+
+    /** Capture the table state (for machine images). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{table_,
+                        nextField_,
+                        freeFields_,
+                        allocated_.value(),
+                        freed_.value(),
+                        grown_.value(),
+                        growthTraps_.value(),
+                        boundsFaults_.value(),
+                        protFaults_.value()};
+    }
+
+    /** Restore state captured by snapshot(); listeners are kept. */
+    void
+    restore(const Snapshot &s)
+    {
+        table_ = s.table;
+        nextField_ = s.nextField;
+        freeFields_ = s.freeFields;
+        allocated_.set(s.allocated);
+        freed_.set(s.freed);
+        grown_.set(s.grown);
+        growthTraps_.set(s.growthTraps);
+        boundsFaults_.set(s.boundsFaults);
+        protFaults_.set(s.protFaults);
+    }
+
     /** Statistics group ("segtable"). */
     const sim::StatGroup &stats() const { return stats_; }
 

@@ -13,16 +13,39 @@ TaggedMemory::pageFor(AbsAddr addr)
 {
     std::uint64_t pn = addr / kPageWords;
     auto it = pages_.find(pn);
-    if (it == pages_.end())
-        it = pages_.emplace(pn, std::make_unique<Page>()).first;
-    return *it->second;
+    if (it == pages_.end()) {
+        it = pages_
+                 .emplace(pn, PageEntry{std::make_shared<Page>(), true,
+                                        gen_})
+                 .first;
+        return *it->second.page;
+    }
+    PageEntry &e = it->second;
+    if (e.gen == gen_ && e.owned) [[likely]]
+        return *e.page;
+    return pageForSlow(e);
 }
 
-const TaggedMemory::Page *
-TaggedMemory::pageForConst(AbsAddr addr) const
+TaggedMemory::Page &
+TaggedMemory::pageForSlow(PageEntry &e)
 {
-    auto it = pages_.find(addr / kPageWords);
-    return it == pages_.end() ? nullptr : it->second.get();
+    if (e.gen != gen_) {
+        // Stale frame from before a reset. An owned page is referenced
+        // only by this map, so it can be wiped and recycled in place;
+        // a shared one still backs a snapshot and must be replaced.
+        if (e.owned)
+            e.page->fill(Word());
+        else {
+            e.page = std::make_shared<Page>();
+            e.owned = true;
+        }
+        e.gen = gen_;
+    } else {
+        // Live but shared with a snapshot: copy-on-write clone.
+        e.page = std::make_shared<Page>(*e.page);
+        e.owned = true;
+    }
+    return *e.page;
 }
 
 Word
@@ -46,10 +69,10 @@ TaggedMemory::write(AbsAddr addr, Word w)
 Word
 TaggedMemory::peek(AbsAddr addr) const
 {
-    const Page *p = pageForConst(addr);
-    if (!p)
+    auto it = pages_.find(addr / kPageWords);
+    if (it == pages_.end() || it->second.gen != gen_)
         return Word();
-    return (*p)[addr % kPageWords];
+    return (*it->second.page)[addr % kPageWords];
 }
 
 void
@@ -75,15 +98,50 @@ TaggedMemory::copy(AbsAddr dst, AbsAddr src, std::uint64_t words)
 void
 TaggedMemory::reset()
 {
-    // An absent page and a resident all-Uninit page are
-    // indistinguishable through read/peek, so clearing in place is
+    // An absent page and an invalidated resident page are
+    // indistinguishable through read/peek, so bumping the generation is
     // functionally identical to a fresh store while keeping the host
     // allocations warm for the next run.
-    for (auto &page : pages_)
-        page.second->fill(Word());
+    ++gen_;
     hook_ = nullptr;
     reads_.reset();
     writes_.reset();
+}
+
+TaggedMemory::Snapshot
+TaggedMemory::snapshot()
+{
+    Snapshot s;
+    s.pages.reserve(pages_.size());
+    for (auto &[pn, e] : pages_) {
+        if (e.gen != gen_)
+            continue;
+        e.owned = false; // future writes must clone, not mutate
+        s.pages.emplace(pn, e.page);
+    }
+    s.reads = reads_.value();
+    s.writes = writes_.value();
+    return s;
+}
+
+void
+TaggedMemory::restore(const Snapshot &s)
+{
+    ++gen_; // invalidate everything the store currently holds
+    for (const auto &[pn, page] : s.pages)
+        pages_[pn] = PageEntry{page, false, gen_};
+    reads_.set(s.reads);
+    writes_.set(s.writes);
+}
+
+std::size_t
+TaggedMemory::residentPages() const
+{
+    std::size_t n = 0;
+    for (const auto &[pn, e] : pages_)
+        if (e.gen == gen_)
+            ++n;
+    return n;
 }
 
 } // namespace com::mem

@@ -11,6 +11,14 @@
  * only what is touched. Every access can be observed through a reference
  * hook, which the trace machinery and the T-ctx experiment use to count
  * context vs non-context references.
+ *
+ * Pages carry a generation tag so reset() is O(1): bumping the store
+ * generation makes every resident page read as Uninit without touching
+ * it, while keeping the host allocation warm for reuse on the next
+ * write. Pages are also copy-on-write shareable, which is what makes
+ * machine-image snapshots cheap: snapshot() hands out shared references
+ * to the current pages, restore() installs shared references from an
+ * image, and the first write to a shared page clones it.
  */
 
 #ifndef COMSIM_MEM_TAGGED_MEMORY_HPP
@@ -71,11 +79,40 @@ class TaggedMemory
 
     /**
      * Restore the store to its just-constructed (all-Uninit) state
-     * without releasing host memory: resident pages are cleared in
-     * place so a reused machine keeps its warmed page map. Reference
-     * counters reset; any hook is removed.
+     * without releasing host memory. O(1): the store generation is
+     * bumped, which invalidates every resident page in place; stale
+     * pages are recycled lazily on the next write to their frame.
+     * Reference counters reset; any hook is removed.
      */
     void reset();
+
+    /**
+     * An immutable copy-on-write image of the store's contents plus
+     * its reference counters, as captured by snapshot().
+     */
+    struct Snapshot
+    {
+        std::unordered_map<std::uint64_t,
+                           std::shared_ptr<std::array<Word, 1024>>>
+            pages;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    /**
+     * Capture the current contents without copying any page data:
+     * every live page is marked shared (copy-on-write) and referenced
+     * from the snapshot. Later writes through this store clone the
+     * affected page first, so the snapshot never changes.
+     */
+    Snapshot snapshot();
+
+    /**
+     * Replace the store's contents with @p s (shared, copy-on-write)
+     * and restore its reference counters. O(pages in the snapshot),
+     * never O(address space). The hook is left untouched.
+     */
+    void restore(const Snapshot &s);
 
     /** Install a reference observer (replaces any existing hook). */
     void setRefHook(RefHook hook) { hook_ = std::move(hook); }
@@ -87,8 +124,8 @@ class TaggedMemory
     /** Total counted writes. */
     std::uint64_t writes() const { return writes_.value(); }
 
-    /** Number of resident pages (for footprint checks). */
-    std::size_t residentPages() const { return pages_.size(); }
+    /** Number of live (current-generation) pages. */
+    std::size_t residentPages() const;
 
     /** Statistics group ("memory"). */
     const sim::StatGroup &stats() const { return stats_; }
@@ -98,10 +135,24 @@ class TaggedMemory
 
     using Page = std::array<Word, kPageWords>;
 
-    Page &pageFor(AbsAddr addr);
-    const Page *pageForConst(AbsAddr addr) const;
+    /** Entry in the sparse page map. */
+    struct PageEntry
+    {
+        std::shared_ptr<Page> page;
+        /// True when this store may write through @c page in place;
+        /// false when the page is shared with a snapshot (write =>
+        /// clone first).
+        bool owned = true;
+        /// Generation the entry belongs to; stale entries (gen !=
+        /// store generation) read as absent and are recycled on write.
+        std::uint64_t gen = 0;
+    };
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    Page &pageFor(AbsAddr addr);
+    Page &pageForSlow(PageEntry &e);
+
+    std::unordered_map<std::uint64_t, PageEntry> pages_;
+    std::uint64_t gen_ = 0;
     RefHook hook_;
     sim::Counter reads_;
     sim::Counter writes_;

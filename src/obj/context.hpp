@@ -128,6 +128,40 @@ class ContextPool
     /** Statistics group ("contexts"). */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /**
+     * Pool bookkeeping state, as captured by snapshot(). The pool
+     * segment itself (and the free-list links inside it) lives in
+     * TaggedMemory and is covered by the memory snapshot.
+     */
+    struct Snapshot
+    {
+        std::uint64_t head = kNullCtxPtr;
+        std::unordered_set<std::uint64_t> live;
+        std::size_t highWater = 0;
+        std::uint64_t allocs = 0, lifoFrees = 0, gcFrees = 0;
+    };
+
+    /** Capture the pool bookkeeping (for machine images). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{head_,           live_,
+                        highWater_,      allocs_.value(),
+                        lifoFrees_.value(), gcFrees_.value()};
+    }
+
+    /** Restore bookkeeping captured by snapshot() on the same pool. */
+    void
+    restore(const Snapshot &s)
+    {
+        head_ = s.head;
+        live_ = s.live;
+        highWater_ = s.highWater;
+        allocs_.set(s.allocs);
+        lifoFrees_.set(s.lifoFrees);
+        gcFrees_.set(s.gcFrees);
+    }
+
   private:
     mem::SegmentTable &table_;
     mem::TaggedMemory &memory_;

@@ -64,6 +64,31 @@ class GarbageCollector
     /** Statistics group ("gc"). */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /** Counter state, as captured by snapshot(). */
+    struct Snapshot
+    {
+        std::uint64_t collections = 0;
+        std::uint64_t sweptObjects = 0;
+        std::uint64_t sweptContexts = 0;
+    };
+
+    /** Capture counters (root providers are identity, not state). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{collections_.value(), sweptObjects_.value(),
+                        sweptContexts_.value()};
+    }
+
+    /** Restore counters captured by snapshot(). */
+    void
+    restore(const Snapshot &s)
+    {
+        collections_.set(s.collections);
+        sweptObjects_.set(s.sweptObjects);
+        sweptContexts_.set(s.sweptContexts);
+    }
+
   private:
     ObjectHeap &heap_;
     ContextPool &contexts_;

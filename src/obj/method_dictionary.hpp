@@ -113,6 +113,36 @@ class MethodRegistry
     /** Statistics group ("method_lookup"). */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /** Registry state, as captured by snapshot(). */
+    struct Snapshot
+    {
+        std::unordered_map<mem::ClassId, MethodDictionary> dicts;
+        std::uint64_t lookups = 0, failures = 0;
+        sim::Histogram probeHist{16, 1};
+    };
+
+    /** Capture dictionaries + lookup statistics (machine images). */
+    Snapshot
+    snapshot() const
+    {
+        Snapshot s;
+        s.dicts = dicts_;
+        s.lookups = lookups_.value();
+        s.failures = failures_.value();
+        s.probeHist = probeHist_;
+        return s;
+    }
+
+    /** Restore state captured by snapshot(). */
+    void
+    restore(const Snapshot &s)
+    {
+        dicts_ = s.dicts;
+        lookups_.set(s.lookups);
+        failures_.set(s.failures);
+        probeHist_ = s.probeHist;
+    }
+
   private:
     const ClassTable &classes_;
     mutable std::unordered_map<mem::ClassId, MethodDictionary> dicts_;

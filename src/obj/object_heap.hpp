@@ -94,6 +94,31 @@ class ObjectHeap
     /** Statistics group ("heap"). */
     const sim::StatGroup &stats() const { return stats_; }
 
+    /** Heap bookkeeping state, as captured by snapshot(). */
+    struct Snapshot
+    {
+        std::unordered_set<std::uint64_t> live;
+        std::uint64_t allocs = 0, frees = 0, wordsAllocated = 0;
+    };
+
+    /** Capture the heap bookkeeping (for machine images). */
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{live_, allocs_.value(), frees_.value(),
+                        wordsAllocated_.value()};
+    }
+
+    /** Restore bookkeeping captured by snapshot(). */
+    void
+    restore(const Snapshot &s)
+    {
+        live_ = s.live;
+        allocs_.set(s.allocs);
+        frees_.set(s.frees);
+        wordsAllocated_.set(s.wordsAllocated);
+    }
+
   private:
     mem::SegmentTable &table_;
     mem::TaggedMemory &memory_;

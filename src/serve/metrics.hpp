@@ -82,6 +82,18 @@ class Metrics
          *  given the observed wall time (0 when unknown). */
         double utilization = 0.0;
         LatencyHistogram::Snapshot latency;
+
+        // Program-cache counters, summed across the shards' caches.
+        // Metrics::snapshot() leaves these zero (the caches live in
+        // the pools, not here); Scheduler::metricsSnapshot() fills
+        // them in. All zero when caching is off.
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t cacheInstalls = 0;
+        std::uint64_t cacheEvictions = 0;
+        std::uint64_t warmStarts = 0;
+        /** Mean time one warm start spent restoring (seconds). */
+        double warmStartMeanSeconds = 0.0;
     };
 
     void

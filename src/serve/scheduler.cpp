@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "api/program_cache.hpp"
 #include "sim/logging.hpp"
 
 namespace com::serve {
@@ -32,9 +33,14 @@ Scheduler::Scheduler(const Config &cfg)
 {
     std::size_t shard_count = std::max<std::size_t>(cfg.shards, 1);
     shards_.reserve(shard_count);
-    for (std::size_t i = 0; i < shard_count; ++i)
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        api::EnginePool::Config pool_cfg = cfg.pool;
+        if (cfg.programCacheCapacity > 0 && !pool_cfg.programCache)
+            pool_cfg.programCache = std::make_shared<api::ProgramCache>(
+                cfg.programCacheCapacity);
         shards_.push_back(std::make_unique<Shard>(
-            cfg.queueCapacity, cfg.pool, &metrics_));
+            cfg.queueCapacity, pool_cfg, &metrics_));
+    }
     if (cfg.autoStart)
         start();
 }
@@ -99,6 +105,13 @@ Scheduler::pool(std::size_t shard)
 {
     sim::fatalIf(shard >= shards_.size(), "no such shard: ", shard);
     return shards_[shard]->pool;
+}
+
+const std::shared_ptr<api::ProgramCache> &
+Scheduler::programCache(std::size_t shard)
+{
+    sim::fatalIf(shard >= shards_.size(), "no such shard: ", shard);
+    return shards_[shard]->pool.programCache();
 }
 
 ServeRequest
@@ -314,7 +327,26 @@ Scheduler::metricsSnapshot() const
     }
     // queueDepth is exact in the shared counters: queues count
     // enqueues/dequeues globally (see Metrics::countEnqueued).
-    return metrics_.snapshot(wall, workerCount());
+    Metrics::Snapshot s = metrics_.snapshot(wall, workerCount());
+    std::uint64_t warm_nanos = 0;
+    for (const auto &shard : shards_) {
+        const std::shared_ptr<api::ProgramCache> &cache =
+            shard->pool.programCache();
+        if (!cache)
+            continue;
+        api::ProgramCache::Counters c = cache->counters();
+        s.cacheHits += c.hits;
+        s.cacheMisses += c.misses;
+        s.cacheInstalls += c.installs;
+        s.cacheEvictions += c.evictions;
+        s.warmStarts += c.warmStarts;
+        warm_nanos += c.warmNanos;
+    }
+    if (s.warmStarts > 0)
+        s.warmStartMeanSeconds =
+            static_cast<double>(warm_nanos) / 1e9 /
+            static_cast<double>(s.warmStarts);
+    return s;
 }
 
 } // namespace com::serve

@@ -60,6 +60,15 @@ class Scheduler
             std::chrono::milliseconds(5);
         /** Per-shard engine pool sizing. */
         api::EnginePool::Config pool{};
+        /**
+         * Capacity of each shard's compiled-program cache (0 turns
+         * caching off). One cache per shard, shared by the shard's
+         * engines: the shard router already sends one program's
+         * requests to one shard, so a hot program compiles once per
+         * shard and every later request warm-starts from the cached
+         * image. Ignored when pool.programCache is set explicitly.
+         */
+        std::size_t programCacheCapacity = 64;
         /** Construct started (serving). Tests construct stopped,
          *  queue deterministic backlogs, then call start(). */
         bool autoStart = true;
@@ -106,6 +115,10 @@ class Scheduler
 
     /** A shard's engine pool (accounting inspection). */
     api::EnginePool &pool(std::size_t shard);
+
+    /** A shard's program cache (nullptr when caching is off). */
+    const std::shared_ptr<api::ProgramCache> &
+    programCache(std::size_t shard);
 
     std::size_t shardCount() const { return shards_.size(); }
     /** Total worker threads across shards. */

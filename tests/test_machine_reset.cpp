@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "api/engine.hpp"
+#include "api/program_cache.hpp"
 #include "lang/compiler_com.hpp"
 #include "lang/workloads.hpp"
 
@@ -261,6 +262,93 @@ TEST(MachineReset, EngineResetReusesTheMachineAcrossPrograms)
         EXPECT_EQ(&engine.machine(), machine);
         EXPECT_EQ(machine->pipeline().cycles(), 0u);
     }
+}
+
+TEST(MachineReset, WarmStartedEngineMatchesColdEngine)
+{
+    // Warm-image on/off parity at the engine level: across resets, an
+    // engine warm-starting from a shared program cache must report
+    // exactly what a cacheless engine reports — cycles, operations,
+    // result and guest output — or the cache would change what the
+    // serving layer measures.
+    auto cache = std::make_shared<api::ProgramCache>(8);
+    api::ComEngine cold;
+    api::ComEngine warm;
+    warm.setProgramCache(cache);
+    for (const char *name : {"fib", "sieve", "fib", "sieve", "fib"}) {
+        api::ProgramSpec spec = api::ProgramSpec::workload(name);
+        api::RunOutcome c = cold.run(spec);
+        api::RunOutcome w = warm.run(spec);
+        EXPECT_TRUE(c.matches(spec)) << name << ": " << c.error;
+        EXPECT_TRUE(w.matches(spec)) << name << ": " << w.error;
+        EXPECT_EQ(w.cycles, c.cycles) << name;
+        EXPECT_EQ(w.operations, c.operations) << name;
+        EXPECT_EQ(w.resultText, c.resultText) << name;
+        EXPECT_EQ(w.output, c.output) << name;
+        cold.reset();
+        warm.reset();
+    }
+    // The later rounds really did warm-start.
+    api::ProgramCache::Counters k = cache->counters();
+    EXPECT_EQ(k.installs, 2u);
+    EXPECT_EQ(k.hits, 3u);
+    EXPECT_EQ(k.warmStarts, 3u);
+}
+
+TEST(MachineReset, WarmReplayLeavesMachineBitIdentical)
+{
+    // A warm hit replays the recorded run by restoring its post-run
+    // image. The machine must land in the *exact* state an actual
+    // execution produces: a second program run in the same dirty
+    // session inherits that state (warm TLBs, cache contents, heap),
+    // so its guest statistics expose any divergence.
+    auto cache = std::make_shared<api::ProgramCache>(8);
+    api::ComEngine cold;
+    api::ComEngine warm;
+    warm.setProgramCache(cache);
+    api::ProgramSpec fib = api::ProgramSpec::workload("fib");
+    api::ProgramSpec sieve = api::ProgramSpec::workload("sieve");
+
+    // Prime: the first run records fib's post-run image.
+    ASSERT_TRUE(warm.run(fib).matches(fib));
+    warm.reset();
+
+    api::RunOutcome wf = warm.run(fib); // replayed from the image
+    api::RunOutcome ws = warm.run(sieve); // executed on restored state
+    api::RunOutcome cf = cold.run(fib);
+    api::RunOutcome cs = cold.run(sieve);
+    EXPECT_EQ(cache->counters().warmStarts, 1u);
+
+    for (const auto &[w, c] : {std::pair(wf, cf), std::pair(ws, cs)}) {
+        EXPECT_EQ(w.cycles, c.cycles);
+        EXPECT_EQ(w.operations, c.operations);
+        EXPECT_EQ(w.resultText, c.resultText);
+        EXPECT_EQ(w.output, c.output);
+    }
+
+    // Machine-level observables after both sessions ran fib + sieve.
+    // (The decoded-instruction memo is host-side telemetry, not guest
+    // state, and is deliberately not part of an image — skip it.)
+    core::Machine &wm = warm.machine();
+    core::Machine &cm = cold.machine();
+    EXPECT_EQ(wm.pipeline().cycles(), cm.pipeline().cycles());
+    EXPECT_EQ(wm.pipeline().instructions(),
+              cm.pipeline().instructions());
+    EXPECT_EQ(wm.pipeline().calls(), cm.pipeline().calls());
+    EXPECT_EQ(wm.pipeline().memoryStalls(), cm.pipeline().memoryStalls());
+    EXPECT_EQ(wm.itlb().hits(), cm.itlb().hits());
+    EXPECT_EQ(wm.itlb().misses(), cm.itlb().misses());
+    EXPECT_EQ(wm.icache().hits(), cm.icache().hits());
+    EXPECT_EQ(wm.icache().misses(), cm.icache().misses());
+    EXPECT_EQ(wm.contextCache().allocations(),
+              cm.contextCache().allocations());
+    EXPECT_EQ(wm.contextCache().copybacks(),
+              cm.contextCache().copybacks());
+    EXPECT_EQ(wm.heap().liveCount(), cm.heap().liveCount());
+    EXPECT_EQ(wm.contextPool().liveCount(), cm.contextPool().liveCount());
+    EXPECT_EQ(wm.contextRefs(), cm.contextRefs());
+    EXPECT_EQ(wm.heapRefs(), cm.heapRefs());
+    EXPECT_EQ(wm.output(), cm.output());
 }
 
 } // namespace

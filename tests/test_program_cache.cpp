@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The shard-level compiled-program cache (api/program_cache.hpp):
+ * hit/miss/install/eviction accounting, survival across engine
+ * resets, warm-start parity on all three engine kinds, the
+ * per-engine memo LRU, and concurrent access from many serving
+ * threads (the TSan job runs these suites with --gtest_filter
+ * including ProgramCache*).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/program_cache.hpp"
+#include "api/session.hpp"
+#include "fith/fith_programs.hpp"
+#include "lang/workloads.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace com;
+
+namespace {
+
+TEST(ProgramCache, CountsHitsMissesAndInstalls)
+{
+    api::ProgramCache cache(8);
+    const std::string src = "main [ ^ 1 + 2 ]";
+
+    EXPECT_EQ(cache.findCom(api::Language::Smalltalk, src), nullptr);
+    api::ProgramCache::Counters k = cache.counters();
+    EXPECT_EQ(k.misses, 1u);
+    EXPECT_EQ(k.hits, 0u);
+
+    cache.insertCom(api::Language::Smalltalk, src,
+                    api::ProgramCache::ComEntry{nullptr, 42, {}, 0});
+    auto hit = cache.findCom(api::Language::Smalltalk, src);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->entryVaddr, 42u);
+
+    k = cache.counters();
+    EXPECT_EQ(k.misses, 1u);
+    EXPECT_EQ(k.hits, 1u);
+    EXPECT_EQ(k.installs, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProgramCache, KeysAreNamespacedByEngineAndLanguage)
+{
+    // The same source text compiled by different engines (or as a
+    // different language) must occupy distinct entries.
+    api::ProgramCache cache(8);
+    const std::string src = "main [ ^ 7 ]";
+    cache.insertCom(api::Language::Smalltalk, src,
+                    api::ProgramCache::ComEntry{nullptr, 1, {}, 0});
+    EXPECT_EQ(cache.findStack(src), nullptr);
+    EXPECT_EQ(cache.findFith(src), nullptr);
+    EXPECT_EQ(cache.findCom(api::Language::ComAssembly, src), nullptr);
+    EXPECT_NE(cache.findCom(api::Language::Smalltalk, src), nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProgramCache, EvictsLeastRecentlyUsed)
+{
+    api::ProgramCache cache(2);
+    auto entry = [] {
+        return api::ProgramCache::ComEntry{nullptr, 0, {}, 0};
+    };
+    cache.insertCom(api::Language::Smalltalk, "a", entry());
+    cache.insertCom(api::Language::Smalltalk, "b", entry());
+    // Touch "a" so "b" is the LRU victim when "c" arrives.
+    EXPECT_NE(cache.findCom(api::Language::Smalltalk, "a"), nullptr);
+    cache.insertCom(api::Language::Smalltalk, "c", entry());
+
+    EXPECT_EQ(cache.counters().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NE(cache.findCom(api::Language::Smalltalk, "a"), nullptr);
+    EXPECT_NE(cache.findCom(api::Language::Smalltalk, "c"), nullptr);
+    EXPECT_EQ(cache.findCom(api::Language::Smalltalk, "b"), nullptr);
+}
+
+TEST(ProgramCache, SurvivesEngineResets)
+{
+    // The whole point: compile once, then every post-reset rerun of
+    // the same program warm-starts instead of recompiling.
+    auto cache = std::make_shared<api::ProgramCache>(8);
+    api::ComEngine engine;
+    engine.setProgramCache(cache);
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    constexpr int kRounds = 5;
+    for (int i = 0; i < kRounds; ++i) {
+        api::RunOutcome out = engine.run(spec);
+        EXPECT_TRUE(out.matches(spec)) << out.error;
+        engine.reset();
+    }
+    api::ProgramCache::Counters k = cache->counters();
+    EXPECT_EQ(k.installs, 1u);
+    EXPECT_EQ(k.misses, 1u);
+    EXPECT_EQ(k.hits, kRounds - 1u);
+    EXPECT_EQ(k.warmStarts, kRounds - 1u);
+}
+
+TEST(ProgramCache, OnlyTheFirstProgramAfterResetUsesTheCache)
+{
+    // A second program compiled into a dirty machine must not restore
+    // a cached image (that would discard the first program), and its
+    // artifact must not be installed (the image would not be
+    // "stdlib + one program").
+    auto cache = std::make_shared<api::ProgramCache>(8);
+    api::ComEngine engine;
+    engine.setProgramCache(cache);
+
+    api::ProgramSpec fib = api::ProgramSpec::workload("fib");
+    api::ProgramSpec sieve = api::ProgramSpec::workload("sieve");
+    EXPECT_TRUE(engine.run(fib).matches(fib));
+    EXPECT_TRUE(engine.run(sieve).matches(sieve));
+
+    api::ProgramCache::Counters k = cache->counters();
+    EXPECT_EQ(k.installs, 1u); // fib only
+    EXPECT_EQ(k.misses, 1u);   // sieve never consulted the cache
+
+    // And both programs still run correctly from the engine's memo.
+    EXPECT_TRUE(engine.run(fib).matches(fib));
+    EXPECT_TRUE(engine.run(sieve).matches(sieve));
+}
+
+TEST(ProgramCache, StackEngineWarmStartMatchesCold)
+{
+    auto cache = std::make_shared<api::ProgramCache>(8);
+    api::StackEngine cold;
+    api::StackEngine warm;
+    warm.setProgramCache(cache);
+    for (const char *name : {"sieve", "sieve", "sieve"}) {
+        api::ProgramSpec spec = api::ProgramSpec::workload(name);
+        api::RunOutcome c = cold.run(spec);
+        api::RunOutcome w = warm.run(spec);
+        EXPECT_TRUE(c.matches(spec)) << c.error;
+        EXPECT_TRUE(w.matches(spec)) << w.error;
+        EXPECT_EQ(w.cycles, c.cycles);
+        EXPECT_EQ(w.operations, c.operations);
+        EXPECT_EQ(w.resultText, c.resultText);
+        EXPECT_EQ(w.output, c.output);
+        cold.reset();
+        warm.reset();
+    }
+    EXPECT_EQ(cache->counters().hits, 2u);
+    EXPECT_EQ(cache->counters().installs, 1u);
+}
+
+TEST(ProgramCache, FithEngineWarmStartMatchesCold)
+{
+    auto cache = std::make_shared<api::ProgramCache>(32);
+    api::FithEngine cold;
+    api::FithEngine warm;
+    warm.setProgramCache(cache);
+    for (int round = 0; round < 2; ++round) {
+        for (const fith::FithProgram &p : fith::standardPrograms()) {
+            api::ProgramSpec spec =
+                api::ProgramSpec::fith("fith:" + p.name, p.source);
+            api::RunOutcome c = cold.run(spec);
+            api::RunOutcome w = warm.run(spec);
+            EXPECT_TRUE(c.ok) << p.name << ": " << c.error;
+            EXPECT_TRUE(w.ok) << p.name << ": " << w.error;
+            EXPECT_EQ(w.operations, c.operations) << p.name;
+            EXPECT_EQ(w.resultText, c.resultText) << p.name;
+            EXPECT_EQ(w.output, c.output) << p.name;
+            cold.reset();
+            warm.reset();
+        }
+    }
+    EXPECT_GT(cache->counters().hits, 0u);
+    EXPECT_EQ(cache->counters().installs,
+              fith::standardPrograms().size());
+}
+
+TEST(ProgramCache, EngineMemoEvictsUnderPressure)
+{
+    // Satellite: the per-engine source -> entry memos are bounded.
+    api::LruMemo<int> memo(2);
+    memo.insert("a", 1);
+    memo.insert("b", 2);
+    EXPECT_NE(memo.find("a"), nullptr); // bump: "b" becomes LRU
+    memo.insert("c", 3);
+    EXPECT_EQ(memo.size(), 2u);
+    EXPECT_EQ(memo.evictions(), 1u);
+    EXPECT_EQ(memo.find("b"), nullptr);
+    ASSERT_NE(memo.find("a"), nullptr);
+    EXPECT_EQ(*memo.find("a"), 1);
+    memo.clear();
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_EQ(memo.evictions(), 1u); // cumulative across clear()
+
+    // And the engines report it (fresh engines have evicted nothing).
+    api::ComEngine engine;
+    EXPECT_EQ(engine.memoEvictions(), 0u);
+}
+
+TEST(ProgramCacheConcurrency, SharedCacheServesManyEnginesAtOnce)
+{
+    // Many threads checking engines out of one pool, all funneling
+    // through one shared cache: every outcome must still verify, and
+    // the hot programs must have compiled far fewer times than they
+    // ran. TSan covers the lock discipline.
+    auto cache = std::make_shared<api::ProgramCache>(16);
+    api::EnginePool::Config cfg;
+    cfg.comEngines = 4;
+    cfg.programCache = cache;
+    api::EnginePool pool(cfg);
+
+    const api::ProgramSpec specs[] = {
+        api::ProgramSpec::workload("fib"),
+        api::ProgramSpec::workload("sieve"),
+    };
+    constexpr int kThreads = 4;
+    constexpr int kRunsPerThread = 8;
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kRunsPerThread; ++i) {
+                api::Session s = pool.checkout(api::EngineKind::Com);
+                const api::ProgramSpec &spec = specs[(t + i) % 2];
+                if (!s.run(spec).matches(spec))
+                    ++failures[t];
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(failures[t], 0) << "thread " << t;
+    api::ProgramCache::Counters k = cache->counters();
+    // Two programs; concurrent cold misses may compile each a few
+    // times, but the steady state must be hits.
+    EXPECT_EQ(cache->size(), 2u);
+    EXPECT_GT(k.hits, static_cast<std::uint64_t>(
+                          kThreads * kRunsPerThread / 2));
+    EXPECT_EQ(k.hits + k.misses,
+              static_cast<std::uint64_t>(kThreads * kRunsPerThread));
+}
+
+TEST(ProgramCacheConcurrency, SchedulerShardsWarmStartIndependently)
+{
+    // End-to-end through the scheduler: per-shard caches, batch
+    // coalescing off (--batch=1 equivalent) so every request pays a
+    // full checkout and the warm-start path carries the load.
+    serve::Scheduler::Config cfg;
+    cfg.shards = 2;
+    cfg.workersPerShard = 2;
+    cfg.maxBatch = 1;
+    cfg.programCacheCapacity = 16;
+    cfg.pool.comEngines = 2;
+    cfg.pool.stackEngines = 0;
+    cfg.pool.fithEngines = 0;
+    serve::Scheduler scheduler(cfg);
+
+    const api::ProgramSpec specs[] = {
+        api::ProgramSpec::workload("fib"),
+        api::ProgramSpec::workload("sieve"),
+        api::ProgramSpec::workload("bank"),
+    };
+    constexpr int kRequests = 48;
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(
+            scheduler.submit(api::EngineKind::Com, specs[i % 3]));
+    int ok = 0;
+    for (auto &f : futures)
+        ok += f.get().status == serve::ResponseStatus::Ok;
+    EXPECT_EQ(ok, kRequests);
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_GT(m.cacheHits, 0u);
+    EXPECT_GT(m.cacheInstalls, 0u);
+    EXPECT_EQ(m.cacheHits + m.cacheMisses,
+              static_cast<std::uint64_t>(kRequests));
+    EXPECT_GT(m.warmStarts, 0u);
+}
+
+} // namespace

@@ -155,6 +155,34 @@ runWorkload(const std::string &name, bool decoded)
     return snapshotOf(m, r);
 }
 
+/**
+ * Like runWorkload, but through the warm-start path: compile on one
+ * machine, capture the image, restore it onto a second machine (which
+ * has its own standard library installed, like a pooled engine after
+ * reset) and run there. Bit-identity with the fresh-compile path is
+ * the program cache's correctness contract.
+ */
+Snapshot
+runWorkloadWarm(const std::string &name, bool decoded)
+{
+    core::MachineConfig cfg = configFor(decoded);
+
+    core::Machine compiler(cfg);
+    compiler.installStandardLibrary();
+    lang::ComCompiler cc(compiler);
+    lang::CompiledProgram p =
+        cc.compileSource(lang::workload(name).source);
+    std::shared_ptr<const core::Machine::Image> img =
+        compiler.captureImage();
+
+    core::Machine m(cfg);
+    m.installStandardLibrary();
+    m.restoreImage(*img);
+    core::RunResult r =
+        m.call(p.entryVaddr, m.constants().nilWord(), {});
+    return snapshotOf(m, r);
+}
+
 class WorkloadParity : public ::testing::TestWithParam<const char *>
 {
 };
@@ -172,6 +200,19 @@ TEST_P(WorkloadParity, FastPathMatchesReference)
     EXPECT_EQ(ref.decodedHits, 0u);
 
     expectParity(fast, ref, name);
+}
+
+TEST_P(WorkloadParity, WarmImageMatchesFreshCompile)
+{
+    const std::string name = GetParam();
+    for (bool decoded : {true, false}) {
+        SCOPED_TRACE(decoded ? "decoded-cache on"
+                             : "decoded-cache off");
+        Snapshot warm = runWorkloadWarm(name, decoded);
+        Snapshot fresh = runWorkload(name, decoded);
+        EXPECT_TRUE(warm.result.finished) << warm.result.message;
+        expectParity(warm, fresh, name + "/warm-vs-fresh");
+    }
 }
 
 // sieve (data-access heavy), fib (call/return heavy), sort (late
@@ -239,6 +280,47 @@ TEST(TimingParity, SelfModifiedCodeInvalidatesDecodings)
     EXPECT_EQ(fastR.fault, core::GuestFault::ExecuteData);
     EXPECT_EQ(refR.fault, core::GuestFault::ExecuteData);
     expectParity(fast, ref, "selfModify");
+}
+
+TEST(TimingParity, WarmImageSurvivesSelfModifyingRun)
+{
+    // A cached image is shared by every consumer that warm-starts
+    // from it. One consumer runs the program and then overwrites its
+    // code through the guest store path; a second consumer restoring
+    // the same image must still see the pristine code (the restored
+    // pages are copy-on-write, so the first consumer's scribble can
+    // never leak into the shared image).
+    core::MachineConfig cfg = configFor(true);
+    core::Machine compiler(cfg);
+    compiler.installStandardLibrary();
+    core::Assembler as(compiler);
+    std::uint64_t entry = compiler.makeMethodObject(as.assemble(R"(
+        move   c8, =41
+        add    c9, c8, =1
+        putres.r c2, c9
+    )"));
+    std::shared_ptr<const core::Machine::Image> img =
+        compiler.captureImage();
+
+    core::Machine a(cfg);
+    a.installStandardLibrary();
+    a.restoreImage(*img);
+    core::RunResult r1 = a.call(entry, a.constants().nilWord(), {});
+    EXPECT_TRUE(r1.finished) << r1.message;
+    EXPECT_EQ(a.lastResult().asInt(), 42);
+    core::GuestFault f = a.indexedStore(
+        mem::Word::fromPointer(static_cast<std::uint32_t>(entry)), 0,
+        mem::Word::fromInt(1234));
+    EXPECT_EQ(f, core::GuestFault::None);
+    core::RunResult r2 = a.call(entry, a.constants().nilWord(), {});
+    EXPECT_EQ(r2.fault, core::GuestFault::ExecuteData);
+
+    core::Machine b(cfg);
+    b.installStandardLibrary();
+    b.restoreImage(*img);
+    core::RunResult r3 = b.call(entry, b.constants().nilWord(), {});
+    EXPECT_TRUE(r3.finished) << r3.message;
+    EXPECT_EQ(b.lastResult().asInt(), 42);
 }
 
 } // namespace
