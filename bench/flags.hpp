@@ -4,9 +4,10 @@
  *
  * bench_perf used to ignore what it didn't recognize; bench_serve and
  * bench_perf now share this parser, which rejects unknown flags with
- * usage text and supports --help. All flags take the --name=value
- * form; --help (and -h) print usage and exit 0; anything unrecognized
- * prints usage and exits 2.
+ * usage text and supports --help. Flags take either the --name=value
+ * or the --name value form; --help (and -h) print usage and exit 0;
+ * anything unrecognized prints usage — naming the offending token —
+ * and exits 2. tryParse() is the exit-free core, for tests.
  */
 
 #ifndef COMSIM_BENCH_FLAGS_HPP
@@ -61,43 +62,85 @@ class FlagSet
     }
 
     /**
-     * Parse argv. On --help prints usage and exits 0; on an unknown
-     * flag, a missing '=', or an unparsable value prints usage to
-     * stderr and exits 2.
+     * Exit-free parse: accepts --name=value and --name value, sets
+     * bound targets as it goes. @return false on the first error,
+     * with @p error naming the offending token verbatim (the exact
+     * argv string the user typed, so typos are findable in long
+     * command lines). --help / -h stop parsing, set helpRequested()
+     * and return true.
+     */
+    bool
+    tryParse(int argc, char **argv, std::string *error)
+    {
+        helpRequested_ = false;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                helpRequested_ = true;
+                return true;
+            }
+            if (arg.rfind("--", 0) != 0) {
+                *error = program_ + ": unrecognized argument '" +
+                         arg + "' (flags look like --name=value or "
+                         "--name value)";
+                return false;
+            }
+            std::string::size_type eq = arg.find('=');
+            std::string name;
+            std::string value;
+            if (eq != std::string::npos) {
+                name = arg.substr(2, eq - 2);
+                value = arg.substr(eq + 1);
+            } else {
+                name = arg.substr(2);
+                if (!find(name)) {
+                    *error = program_ + ": unknown flag '--" + name +
+                             "' (from argument '" + arg + "')";
+                    return false;
+                }
+                if (i + 1 >= argc) {
+                    *error = program_ + ": flag '" + arg +
+                             "' expects a value (--" + name +
+                             "=value or --" + name + " value)";
+                    return false;
+                }
+                value = argv[++i];
+            }
+            const Flag *flag = find(name);
+            if (!flag) {
+                *error = program_ + ": unknown flag '--" + name +
+                         "' (from argument '" + arg + "')";
+                return false;
+            }
+            if (!apply(*flag, value)) {
+                *error = program_ + ": bad value '" + value +
+                         "' for flag '--" + name +
+                         "' (from argument '" + arg + "')";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** @return true when tryParse saw --help / -h. */
+    bool helpRequested() const { return helpRequested_; }
+
+    /**
+     * Parse argv or die: --help prints usage and exits 0; any error
+     * prints the offending token plus usage to stderr and exits 2.
      */
     void
     parse(int argc, char **argv)
     {
-        for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            if (arg == "--help" || arg == "-h") {
-                usage(stdout);
-                std::exit(0);
-            }
-            std::string::size_type eq = arg.find('=');
-            if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
-                std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
-                             program_.c_str(), arg.c_str());
-                usage(stderr);
-                std::exit(2);
-            }
-            std::string name = arg.substr(2, eq - 2);
-            std::string value = arg.substr(eq + 1);
-            const Flag *flag = find(name);
-            if (!flag) {
-                std::fprintf(stderr, "%s: unknown flag '--%s'\n",
-                             program_.c_str(), name.c_str());
-                usage(stderr);
-                std::exit(2);
-            }
-            if (!apply(*flag, value)) {
-                std::fprintf(stderr,
-                             "%s: bad value '%s' for flag '--%s'\n",
-                             program_.c_str(), value.c_str(),
-                             name.c_str());
-                usage(stderr);
-                std::exit(2);
-            }
+        std::string error;
+        if (!tryParse(argc, argv, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            usage(stderr);
+            std::exit(2);
+        }
+        if (helpRequested_) {
+            usage(stdout);
+            std::exit(0);
         }
     }
 
@@ -190,6 +233,7 @@ class FlagSet
     std::string program_;
     std::string summary_;
     std::vector<Flag> flags_;
+    bool helpRequested_ = false;
 };
 
 /** Split a comma-separated flag value ("a,b,c") into its items. */

@@ -1,7 +1,7 @@
 /**
  * @file
  * The BENCH_perf.json trajectory file, shared by bench_perf and
- * bench_serve (schema comsim.bench.perf/v3, documented in ROADMAP.md).
+ * bench_serve (schema comsim.bench.perf/v5, documented in ROADMAP.md).
  *
  * bench_perf rewrites the file with its single-engine throughput
  * entries; bench_serve merges its "BM_Serve/..." requests/s entries
@@ -35,9 +35,12 @@ namespace com::bench {
  *  cache_misses, cache_installs, cache_evictions) and the mean
  *  warm-start restore latency (warm_mean_ms), plus the
  *  batch=1 serving entries ("BM_Serve/<scenario>_b1") that
- *  exercise the warm-start path hardest. Older files still load:
- *  absent fields stay zero/absent on the round trip. */
-constexpr const char *kPerfSchema = "comsim.bench.perf/v4";
+ *  exercise the warm-start path hardest; v5 adds string-valued
+ *  label fields ("transport": "local" | "tcp") and the remote
+ *  serving entries ("BM_Serve/<scenario>_remote") measured through
+ *  the wire protocol against comsim_routerd. Older files still
+ *  load: absent fields stay zero/absent on the round trip. */
+constexpr const char *kPerfSchema = "comsim.bench.perf/v5";
 
 /** One benchmark measurement. */
 struct BenchResult
@@ -52,6 +55,8 @@ struct BenchResult
     std::vector<std::pair<std::string, std::uint64_t>> details;
     /** Extra double fields (v3): e.g. {"p99_ms", 4.31}. */
     std::vector<std::pair<std::string, double>> metrics;
+    /** Extra string fields (v5): e.g. {"transport", "tcp"}. */
+    std::vector<std::pair<std::string, std::string>> labels;
 };
 
 /** Integer detail keys the loader round-trips (v2 + v3 + v4). */
@@ -66,6 +71,11 @@ constexpr const char *kDetailKeys[] = {
 constexpr const char *kMetricKeys[] = {
     "p50_ms", "p95_ms", "p99_ms", "mean_ms", "mean_batch",
     "utilization", "warm_mean_ms",
+};
+
+/** String label keys the loader round-trips (v5). */
+constexpr const char *kLabelKeys[] = {
+    "transport",
 };
 
 /** Minimal JSON string escape (names are ASCII identifiers anyway). */
@@ -111,6 +121,10 @@ writePerfJson(const std::string &path, double min_time_seconds,
         for (const auto &kv : r.metrics)
             std::fprintf(f, ", \"%s\": %.4f",
                          jsonEscape(kv.first).c_str(), kv.second);
+        for (const auto &kv : r.labels)
+            std::fprintf(f, ", \"%s\": \"%s\"",
+                         jsonEscape(kv.first).c_str(),
+                         jsonEscape(kv.second).c_str());
         std::fprintf(f, "}%s\n", i + 1 < all.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -163,9 +177,9 @@ jsonNumberField(const std::string &line, const std::string &key,
 } // namespace detail
 
 /**
- * Load the benchmark entries of an existing trajectory file (v1, v2
- * or v3). Unreadable or unparsable files load as empty — the callers
- * rewrite from scratch then.
+ * Load the benchmark entries of an existing trajectory file (any
+ * schema, v1 through v5). Unreadable or unparsable files load as
+ * empty — the callers rewrite from scratch then.
  * @param[out] min_time_seconds the file's timing floor, if present;
  *             untouched otherwise (pass a preset default); may be null
  */
@@ -202,6 +216,11 @@ loadPerfJson(const std::string &path,
         for (const char *key : kMetricKeys)
             if (detail::jsonNumberField(line, key, num))
                 r.metrics.emplace_back(key, num);
+        for (const char *key : kLabelKeys) {
+            std::string text;
+            if (detail::jsonStringField(line, key, text))
+                r.labels.emplace_back(key, std::move(text));
+        }
         out.push_back(std::move(r));
     }
     return out;

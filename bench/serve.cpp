@@ -24,7 +24,7 @@
  *     worker utilization from the scheduler's own metrics.
  *
  * Results merge into BENCH_perf.json as BM_Serve/<scenario> entries
- * (schema comsim.bench.perf/v4, documented in ROADMAP.md), replacing
+ * (schema comsim.bench.perf/v5, documented in ROADMAP.md), replacing
  * only the entries this invocation regenerated. --batch=1 disables
  * batch coalescing, so every request pays its own session checkout —
  * the mode that leans hardest on the program cache's warm-start path
@@ -36,22 +36,34 @@
  * (cache_hits/misses/installs/evictions, warm_mean_ms) ride on every
  * serve entry.
  *
+ * --remote=host:port drives a running comsim_served or comsim_routerd
+ * over the wire protocol (net/client.hpp) instead of an in-process
+ * scheduler: --threads closed-loop client threads, each on its own
+ * connection, with client-observed latencies (wire included) and
+ * batch/cache/utilization numbers read as before/after deltas of the
+ * server's own merged metrics. Those entries land as
+ * BM_Serve/<scenario>_remote; every entry carries a "transport" label
+ * ("local" or "tcp", schema v5) naming how it was measured.
+ *
  * Usage:
  *   bench_serve [--threads=4] [--shards=2] [--requests=100]
  *               [--sessions=N] [--batch=32] [--queue=1024]
  *               [--rate=R] [--deadline-ms=D] [--repeats=N]
  *               [--cache=64] [--engines=com,stack,fith]
- *               [--workloads=a,b,...] [--out=BENCH_perf.json]
+ *               [--workloads=a,b,...] [--remote=host:port]
+ *               [--out=BENCH_perf.json]
  */
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +74,7 @@
 #include "bench/perf_json.hpp"
 #include "fith/fith_programs.hpp"
 #include "lang/workloads.hpp"
+#include "net/client.hpp"
 #include "serve/scheduler.hpp"
 #include "sim/logging.hpp"
 
@@ -284,6 +297,169 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     return s;
 }
 
+/** @return a - b, clamping instead of wrapping: a worker process
+ *  restarted mid-run resets its counters, which must not explode a
+ *  delta into 2^64-ish garbage. */
+std::uint64_t
+counterDelta(std::uint64_t a, std::uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+/**
+ * Drive @p scenario through a running server at @p host:@p port:
+ * dc.workers closed-loop client threads, each on its own connection,
+ * sharing one request counter. Latencies are client-observed (wire
+ * included); scheduler counters come from before/after metrics
+ * snapshots of the server itself, so they describe exactly this run
+ * even against a long-lived server.
+ */
+ServeStats
+runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
+                  const std::string &host, std::uint16_t port)
+{
+    net::Client::Config ccfg;
+    ccfg.host = host;
+    ccfg.port = port;
+
+    net::Client probe;
+    if (!probe.connect(ccfg))
+        sim::fatal("bench_serve: cannot reach ", host, ":", port,
+                   ": ", probe.error());
+    serve::Metrics::Snapshot before;
+    bool have_counters = probe.metrics(&before);
+
+    using clock = serve::Clock;
+    clock::time_point start = clock::now();
+
+    std::atomic<std::uint64_t> next{0};
+    std::mutex mu;
+    ServeStats s;
+    std::vector<double> latencies;
+    latencies.reserve(dc.totalRequests);
+    double latency_sum = 0.0;
+
+    auto drive = [&]() {
+        net::Client client;
+        bool up = client.connect(ccfg);
+        ServeStats local;
+        std::vector<double> local_lat;
+        double local_sum = 0.0;
+        for (;;) {
+            std::uint64_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= dc.totalRequests)
+                break;
+            const Request &req =
+                scenario.mix[static_cast<std::size_t>(i) %
+                             scenario.mix.size()];
+            if (!up || !client.connected()) {
+                ++local.rejected; // connection lost; count honestly
+                continue;
+            }
+            clock::time_point t0 = clock::now();
+            serve::Response r = client.run(
+                req.kind, req.spec,
+                static_cast<std::uint32_t>(dc.deadlineMs));
+            double lat = std::chrono::duration<double>(
+                             clock::now() - t0)
+                             .count();
+            switch (r.status) {
+              case serve::ResponseStatus::Ok:
+                if (r.outcome.output != req.expectedOutput) {
+                    ++local.failures;
+                    std::fprintf(stderr,
+                                 "FAIL %s on %s engine (remote): "
+                                 "output differs from reference\n",
+                                 req.spec.name.c_str(),
+                                 api::engineKindName(req.kind));
+                } else {
+                    ++local.served;
+                    local_lat.push_back(lat);
+                    local_sum += lat;
+                }
+                local.guestOps += r.outcome.operations;
+                break;
+              case serve::ResponseStatus::Rejected:
+                ++local.rejected;
+                break;
+              case serve::ResponseStatus::Expired:
+                ++local.expired;
+                break;
+              case serve::ResponseStatus::Failed:
+                ++local.failures;
+                std::fprintf(stderr,
+                             "FAIL %s on %s engine (remote): %s\n",
+                             req.spec.name.c_str(),
+                             api::engineKindName(req.kind),
+                             r.error.c_str());
+                break;
+            }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        s.served += local.served;
+        s.rejected += local.rejected;
+        s.expired += local.expired;
+        s.failures += local.failures;
+        s.guestOps += local.guestOps;
+        latencies.insert(latencies.end(), local_lat.begin(),
+                         local_lat.end());
+        latency_sum += local_sum;
+    };
+
+    std::vector<std::thread> threads;
+    for (std::uint64_t t = 0; t < dc.workers; ++t)
+        threads.emplace_back(drive);
+    for (std::thread &t : threads)
+        t.join();
+
+    s.seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    s.submitted = dc.totalRequests;
+
+    serve::Metrics::Snapshot after;
+    if (have_counters && probe.metrics(&after)) {
+        s.batches = counterDelta(after.batches, before.batches);
+        std::uint64_t batched = counterDelta(
+            after.batchedRequests, before.batchedRequests);
+        s.meanBatch = s.batches > 0
+                          ? static_cast<double>(batched) /
+                                static_cast<double>(s.batches)
+                          : 0.0;
+        double busy =
+            std::max(0.0, after.busySeconds - before.busySeconds);
+        double worker_secs = std::max(
+            0.0, after.workerSeconds - before.workerSeconds);
+        s.utilization = worker_secs > 0.0 ? busy / worker_secs : 0.0;
+        s.cacheHits = counterDelta(after.cacheHits, before.cacheHits);
+        s.cacheMisses =
+            counterDelta(after.cacheMisses, before.cacheMisses);
+        s.cacheInstalls =
+            counterDelta(after.cacheInstalls, before.cacheInstalls);
+        s.cacheEvictions =
+            counterDelta(after.cacheEvictions, before.cacheEvictions);
+        s.warmStarts =
+            counterDelta(after.warmStarts, before.warmStarts);
+        std::uint64_t warm_nanos = counterDelta(
+            after.warmStartNanos, before.warmStartNanos);
+        s.warmMeanMs =
+            s.warmStarts > 0
+                ? static_cast<double>(warm_nanos) / 1e6 /
+                      static_cast<double>(s.warmStarts)
+                : 0.0;
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    s.p50Ms = percentile(latencies, 0.50) * 1e3;
+    s.p95Ms = percentile(latencies, 0.95) * 1e3;
+    s.p99Ms = percentile(latencies, 0.99) * 1e3;
+    s.meanMs = latencies.empty()
+                   ? 0.0
+                   : latency_sum /
+                         static_cast<double>(latencies.size()) * 1e3;
+    return s;
+}
+
 } // namespace
 
 int
@@ -301,6 +477,7 @@ main(int argc, char **argv)
     std::uint64_t cache_capacity = 64;
     std::string engines_csv = "com,stack,fith";
     std::string workloads_csv = "all";
+    std::string remote;
     std::string out_path = "BENCH_perf.json";
 
     bench::FlagSet flags(
@@ -335,8 +512,37 @@ main(int argc, char **argv)
                     "engines to serve (csv of com,stack,fith)");
     flags.addString("workloads", &workloads_csv,
                     "Smalltalk workloads to mix ('all' or csv)");
+    flags.addString("remote", &remote,
+                    "host:port of a running comsim_served/routerd to "
+                    "drive over the wire (default: in-process)");
     flags.addString("out", &out_path, "trajectory file to merge into");
     flags.parse(argc, argv);
+
+    // Remote mode: --threads closed-loop clients against host:port.
+    std::string remote_host;
+    std::uint16_t remote_port = 0;
+    if (!remote.empty()) {
+        std::string::size_type colon = remote.rfind(':');
+        unsigned long parsed_port = 0;
+        if (colon != std::string::npos && colon > 0)
+            parsed_port =
+                std::strtoul(remote.c_str() + colon + 1, nullptr, 10);
+        if (parsed_port == 0 || parsed_port > 65535) {
+            std::fprintf(stderr,
+                         "bench_serve: --remote wants host:port, got "
+                         "'%s'\n",
+                         remote.c_str());
+            return 2;
+        }
+        remote_host = remote.substr(0, colon);
+        remote_port = static_cast<std::uint16_t>(parsed_port);
+        if (rate > 0.0) {
+            std::fprintf(stderr,
+                         "bench_serve: --rate is ignored with "
+                         "--remote (closed-loop clients)\n");
+            rate = 0.0;
+        }
+    }
 
     if (threads == 0 || requests_per_thread == 0 || shards == 0) {
         std::fprintf(stderr,
@@ -475,15 +681,22 @@ main(int argc, char **argv)
     if (repeats == 0)
         repeats = 1;
 
-    std::printf(
-        "comsim serving benchmark: %llu workers over %llu shards, "
-        "%llu requests per scenario, batch<=%llu, queue<=%llu%s\n\n",
-        static_cast<unsigned long long>(threads),
-        static_cast<unsigned long long>(shards),
-        static_cast<unsigned long long>(dc.totalRequests),
-        static_cast<unsigned long long>(max_batch),
-        static_cast<unsigned long long>(queue_capacity),
-        rate > 0.0 ? " (open loop)" : " (back-pressure)");
+    if (remote.empty())
+        std::printf(
+            "comsim serving benchmark: %llu workers over %llu shards, "
+            "%llu requests per scenario, batch<=%llu, queue<=%llu%s\n\n",
+            static_cast<unsigned long long>(threads),
+            static_cast<unsigned long long>(shards),
+            static_cast<unsigned long long>(dc.totalRequests),
+            static_cast<unsigned long long>(max_batch),
+            static_cast<unsigned long long>(queue_capacity),
+            rate > 0.0 ? " (open loop)" : " (back-pressure)");
+    else
+        std::printf(
+            "comsim serving benchmark: %llu client threads -> %s "
+            "(wire protocol), %llu requests per scenario\n\n",
+            static_cast<unsigned long long>(threads), remote.c_str(),
+            static_cast<unsigned long long>(dc.totalRequests));
     std::printf("  %-20s %12s %9s %9s %9s %7s %6s\n", "scenario",
                 "requests/s", "p50 ms", "p95 ms", "p99 ms", "batch",
                 "util");
@@ -496,7 +709,11 @@ main(int argc, char **argv)
     std::vector<std::vector<ServeStats>> runs(scenarios.size());
     for (std::uint64_t round = 0; round < repeats; ++round) {
         for (std::size_t i = 0; i < scenarios.size(); ++i) {
-            ServeStats s = runScenario(scenarios[i], dc);
+            ServeStats s =
+                remote.empty()
+                    ? runScenario(scenarios[i], dc)
+                    : runScenarioRemote(scenarios[i], dc,
+                                        remote_host, remote_port);
             total_failures += s.failures;
             if (repeats > 1)
                 std::printf("  round %llu/%llu %-20s %12.1f req/s\n",
@@ -520,10 +737,13 @@ main(int argc, char **argv)
         bench::BenchResult r;
         // batch=1 entries are their own trajectory series: no
         // coalescing, so every request pays a full checkout and the
-        // warm-start path carries the number.
+        // warm-start path carries the number. Remote entries are too:
+        // same programs, but the number includes the wire.
         r.name = "BM_Serve/" + scenario.name +
-                 (max_batch == 1 ? "_b1" : "");
+                 (max_batch == 1 && remote.empty() ? "_b1" : "") +
+                 (remote.empty() ? "" : "_remote");
         r.unit = "requests/s";
+        r.labels = {{"transport", remote.empty() ? "local" : "tcp"}};
         r.rate = s.seconds > 0.0
                      ? static_cast<double>(s.served) / s.seconds
                      : 0.0;

@@ -1,0 +1,256 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace com::net {
+
+namespace {
+
+serve::Response
+rejected(std::string why)
+{
+    serve::Response resp;
+    resp.status = serve::ResponseStatus::Rejected;
+    resp.error = std::move(why);
+    return resp;
+}
+
+} // namespace
+
+Client::~Client() { close(); }
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+bool
+Client::connect(const Config &cfg)
+{
+    close();
+    responseTimeout_ = cfg.responseTimeout;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1) {
+        lastError_ = "bad address: " + cfg.host;
+        return false;
+    }
+
+    auto give_up = std::chrono::steady_clock::now() +
+                   cfg.connectTimeout;
+    for (;;) {
+        int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            lastError_ = std::string("socket: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        if (::connect(fd,
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            fd_ = fd;
+            lastError_.clear();
+            return true;
+        }
+        int err = errno;
+        ::close(fd);
+        // Retry the races a freshly-forked server loses: not yet
+        // bound (refused) or not yet forked far enough (reset).
+        bool retryable = err == ECONNREFUSED || err == ECONNRESET ||
+                         err == EINTR;
+        if (!retryable ||
+            std::chrono::steady_clock::now() >= give_up) {
+            lastError_ = std::string("connect ") + cfg.host + ":" +
+                         std::to_string(cfg.port) + ": " +
+                         std::strerror(err);
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+bool
+Client::sendAll(const std::string &frame)
+{
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        ssize_t n = ::send(fd_, frame.data() + sent,
+                           frame.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        lastError_ = std::string("send: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::receive(std::uint64_t want_id, FrameView *view,
+                std::size_t *consumed)
+{
+    auto give_up =
+        responseTimeout_.count() > 0
+            ? std::chrono::steady_clock::now() + responseTimeout_
+            : std::chrono::steady_clock::time_point::max();
+    for (;;) {
+        DecodeStatus status = peekFrame(buf_, view, consumed);
+        if (status == DecodeStatus::Frame) {
+            // A response to someone else's id cannot happen on this
+            // one-request-at-a-time client; drop such a frame rather
+            // than deadlock on it.
+            if (view->requestId == want_id)
+                return true;
+            buf_.erase(0, *consumed);
+            continue;
+        }
+        if (status != DecodeStatus::NeedMore) {
+            lastError_ = "protocol error from server";
+            close();
+            return false;
+        }
+
+        auto now = std::chrono::steady_clock::now();
+        if (now >= give_up) {
+            lastError_ = "timed out waiting for response";
+            close();
+            return false;
+        }
+        auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(give_up - now);
+        int timeout_ms =
+            give_up == std::chrono::steady_clock::time_point::max()
+                ? -1
+                : static_cast<int>(
+                      std::min<std::int64_t>(left.count(), 1000));
+
+        pollfd pfd{fd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0 && errno != EINTR) {
+            lastError_ = std::string("poll: ") +
+                         std::strerror(errno);
+            close();
+            return false;
+        }
+        if (ready <= 0)
+            continue;
+
+        char chunk[64 * 1024];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR))
+            continue;
+        lastError_ = n == 0 ? "server closed the connection"
+                            : std::string("recv: ") +
+                                  std::strerror(errno);
+        close();
+        return false;
+    }
+}
+
+serve::Response
+Client::run(api::EngineKind kind, const api::ProgramSpec &spec,
+            std::uint32_t deadline_ms)
+{
+    if (fd_ < 0)
+        return rejected("not connected");
+
+    std::uint64_t id = nextId_++;
+    RunRequestFrame req =
+        RunRequestFrame::fromSpec(id, kind, spec, deadline_ms);
+    if (!sendAll(encodeRunRequest(req)))
+        return rejected(lastError_);
+
+    FrameView view;
+    std::size_t consumed = 0;
+    if (!receive(id, &view, &consumed))
+        return rejected(lastError_);
+
+    serve::Response resp;
+    if (view.type == FrameType::RunResponse) {
+        RunResponseFrame frame;
+        if (decodeRunResponse(view, &frame)) {
+            resp = frame.toResponse();
+        } else {
+            lastError_ = "undecodable run response";
+            resp = rejected(lastError_);
+        }
+    } else if (view.type == FrameType::Error) {
+        ErrorFrame err;
+        resp = rejected(
+            decodeError(view, &err)
+                ? std::string(errorCodeName(err.code)) + ": " +
+                      err.message
+                : "undecodable error frame");
+    } else {
+        resp = rejected("unexpected frame type in response");
+    }
+    buf_.erase(0, consumed);
+    return resp;
+}
+
+bool
+Client::metrics(serve::Metrics::Snapshot *out)
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return false;
+    }
+    std::uint64_t id = nextId_++;
+    if (!sendAll(encodeMetricsRequest(id)))
+        return false;
+
+    FrameView view;
+    std::size_t consumed = 0;
+    if (!receive(id, &view, &consumed))
+        return false;
+
+    bool ok = false;
+    if (view.type == FrameType::MetricsResponse) {
+        MetricsResponseFrame frame;
+        if (decodeMetricsResponse(view, &frame)) {
+            *out = frame.snapshot;
+            ok = true;
+        } else {
+            lastError_ = "undecodable metrics response";
+        }
+    } else if (view.type == FrameType::Error) {
+        ErrorFrame err;
+        lastError_ = decodeError(view, &err)
+                         ? err.message
+                         : "undecodable error frame";
+    } else {
+        lastError_ = "unexpected frame type in response";
+    }
+    buf_.erase(0, consumed);
+    return ok;
+}
+
+} // namespace com::net

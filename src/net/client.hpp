@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The blocking remote client: one TCP connection speaking the wire
+ * protocol (net/frame.hpp) to a comsim_served or comsim_routerd.
+ *
+ * Deliberately simple — a synchronous request/response library for
+ * bench_serve's --remote mode and for tests. One Client is one
+ * connection and is NOT thread-safe; concurrent load comes from one
+ * Client per thread (mirroring bench_serve's local closed-loop
+ * workers). connect() retries with a backoff so clients may start
+ * before the server finishes binding (process races in tests and CI).
+ *
+ * run() sends a RunRequest and blocks until the matching RunResponse
+ * or Error frame arrives, the receive deadline passes, or the
+ * connection dies. Server-side Error frames and transport failures
+ * both surface as a Rejected/Failed serve::Response with the reason
+ * in .error — callers get one uniform result type, remote or local.
+ */
+
+#ifndef COMSIM_NET_CLIENT_HPP
+#define COMSIM_NET_CLIENT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+#include "serve/request.hpp"
+
+namespace com::net {
+
+class Client
+{
+  public:
+    struct Config
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;
+        /** Keep retrying connect() this long before giving up. */
+        std::chrono::milliseconds connectTimeout{2000};
+        /** Longest run() waits on a response; 0 = wait forever. */
+        std::chrono::milliseconds responseTimeout{30000};
+    };
+
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to @p cfg's host:port, retrying ECONNREFUSED with a
+     * small backoff until connectTimeout elapses. @return false when
+     * the server never became reachable (error() says why).
+     */
+    bool connect(const Config &cfg);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** The last transport-level failure reason. */
+    const std::string &error() const { return lastError_; }
+
+    /**
+     * Run one program remotely and block for the result.
+     * @p deadline_ms rides in the frame (the server's queue deadline);
+     * 0 means none. Transport failures and server Error frames come
+     * back as Rejected responses with .error set — never an exception.
+     */
+    serve::Response run(api::EngineKind kind,
+                        const api::ProgramSpec &spec,
+                        std::uint32_t deadline_ms = 0);
+
+    /**
+     * Fetch the server's merged metrics snapshot. @return false on
+     * transport failure or a refusal (error() says why).
+     */
+    bool metrics(serve::Metrics::Snapshot *out);
+
+  private:
+    /** Send all of @p frame; @return false on a dead socket. */
+    bool sendAll(const std::string &frame);
+    /**
+     * Block until one whole frame with @p want_id is buffered and
+     * peek it into @p view (borrowing into buf_). @return false on
+     * timeout, EOF, or a protocol-fatal stream.
+     */
+    bool receive(std::uint64_t want_id, FrameView *view,
+                 std::size_t *consumed);
+
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+    std::string buf_;
+    std::string lastError_;
+    std::chrono::milliseconds responseTimeout_{30000};
+};
+
+} // namespace com::net
+
+#endif // COMSIM_NET_CLIENT_HPP

@@ -1,0 +1,527 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "sim/logging.hpp"
+
+namespace com::net {
+
+namespace {
+
+constexpr unsigned char kMagic[4] = {'C', 'O', 'M', 'F'};
+
+/** Append little-endian integers and length-prefixed strings. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(static_cast<char>(v));
+    }
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.append(s);
+    }
+    void
+    word(mem::Word w)
+    {
+        u32(w.bits());
+        u8(static_cast<std::uint8_t>(w.tag()));
+    }
+
+    std::string &bytes() { return out_; }
+
+  private:
+    std::string out_;
+};
+
+/** Bounds-checked little-endian reads; one failure poisons the rest. */
+class Reader
+{
+  public:
+    Reader(const unsigned char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (at_ + 1 > size_)
+            return fail();
+        return data_[at_++];
+    }
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8(), hi = u8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16(), hi = u16();
+        return lo | (hi << 16);
+    }
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32(), hi = u32();
+        return lo | (hi << 32);
+    }
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+    bool
+    str(std::string *out)
+    {
+        std::uint32_t n = u32();
+        if (!ok_ || at_ + n > size_) {
+            ok_ = false;
+            return false;
+        }
+        out->assign(reinterpret_cast<const char *>(data_ + at_), n);
+        at_ += n;
+        return true;
+    }
+
+    bool ok() const { return ok_; }
+    /** @return true when every byte was consumed cleanly (catches
+     *  payloads with trailing garbage). */
+    bool done() const { return ok_ && at_ == size_; }
+
+  private:
+    std::uint8_t
+    fail()
+    {
+        ok_ = false;
+        return 0;
+    }
+
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t at_ = 0;
+    bool ok_ = true;
+};
+
+/** Wrap @p payload in a header. */
+std::string
+finishFrame(FrameType type, Writer &payload)
+{
+    Writer head;
+    head.bytes().append(reinterpret_cast<const char *>(kMagic), 4);
+    head.u16(kProtocolVersion);
+    head.u16(static_cast<std::uint16_t>(type));
+    head.u32(static_cast<std::uint32_t>(payload.bytes().size()));
+    head.bytes().append(payload.bytes());
+    return std::move(head.bytes());
+}
+
+bool
+validTag(std::uint8_t t)
+{
+    return t < static_cast<std::uint8_t>(mem::kNumTags);
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadFrame:
+        return "bad-frame";
+      case ErrorCode::VersionMismatch:
+        return "version-mismatch";
+      case ErrorCode::UnknownType:
+        return "unknown-type";
+      case ErrorCode::WorkerLost:
+        return "worker-lost";
+      case ErrorCode::Draining:
+        return "draining";
+    }
+    return "?";
+}
+
+api::ProgramSpec
+RunRequestFrame::toSpec() const
+{
+    api::ProgramSpec spec;
+    spec.language = language;
+    spec.name = name;
+    spec.source = source;
+    spec.args = args;
+    spec.hasExpected = hasExpected;
+    spec.expected = expected;
+    return spec;
+}
+
+RunRequestFrame
+RunRequestFrame::fromSpec(std::uint64_t id, api::EngineKind kind,
+                          const api::ProgramSpec &spec,
+                          std::uint32_t deadline_ms)
+{
+    RunRequestFrame f;
+    f.requestId = id;
+    f.kind = kind;
+    f.language = spec.language;
+    f.name = spec.name;
+    f.source = spec.source;
+    f.args = spec.args;
+    f.hasExpected = spec.hasExpected;
+    f.expected = spec.expected;
+    f.deadlineMs = deadline_ms;
+    return f;
+}
+
+serve::Response
+RunResponseFrame::toResponse() const
+{
+    serve::Response r;
+    r.status = status;
+    r.error = error;
+    r.latencySeconds = latencySeconds;
+    r.batchSize = batchSize;
+    r.shard = static_cast<std::size_t>(shard);
+    r.outcome.ok = ok;
+    r.outcome.error = outcomeError;
+    r.outcome.result = result;
+    r.outcome.resultText = resultText;
+    r.outcome.output = output;
+    r.outcome.operations = operations;
+    r.outcome.cycles = cycles;
+    r.outcome.engine = engine;
+    r.outcome.program = program;
+    return r;
+}
+
+RunResponseFrame
+RunResponseFrame::fromResponse(std::uint64_t id,
+                               const serve::Response &r)
+{
+    RunResponseFrame f;
+    f.requestId = id;
+    f.status = r.status;
+    f.ok = r.outcome.ok;
+    f.result = r.outcome.result;
+    f.resultText = r.outcome.resultText;
+    f.output = r.outcome.output;
+    f.outcomeError = r.outcome.error;
+    f.error = r.error;
+    f.engine = r.outcome.engine;
+    f.program = r.outcome.program;
+    f.operations = r.outcome.operations;
+    f.cycles = r.outcome.cycles;
+    f.latencySeconds = r.latencySeconds;
+    f.batchSize = r.batchSize;
+    f.shard = r.shard;
+    return f;
+}
+
+std::string
+encodeRunRequest(const RunRequestFrame &f)
+{
+    Writer w;
+    w.u64(f.requestId);
+    w.u8(static_cast<std::uint8_t>(f.kind));
+    w.u8(static_cast<std::uint8_t>(f.language));
+    w.u8(f.hasExpected ? 1 : 0);
+    w.u8(0); // reserved
+    w.u32(static_cast<std::uint32_t>(f.expected));
+    w.u32(f.deadlineMs);
+    w.str(f.name);
+    w.str(f.source);
+    w.u32(static_cast<std::uint32_t>(f.args.size()));
+    for (mem::Word a : f.args)
+        w.word(a);
+    return finishFrame(FrameType::RunRequest, w);
+}
+
+std::string
+encodeRunResponse(const RunResponseFrame &f)
+{
+    Writer w;
+    w.u64(f.requestId);
+    w.u8(static_cast<std::uint8_t>(f.status));
+    w.u8(f.ok ? 1 : 0);
+    w.word(f.result);
+    w.u64(f.operations);
+    w.u64(f.cycles);
+    w.f64(f.latencySeconds);
+    w.u64(f.batchSize);
+    w.u64(f.shard);
+    w.str(f.resultText);
+    w.str(f.output);
+    w.str(f.outcomeError);
+    w.str(f.error);
+    w.str(f.engine);
+    w.str(f.program);
+    return finishFrame(FrameType::RunResponse, w);
+}
+
+std::string
+encodeMetricsRequest(std::uint64_t request_id)
+{
+    Writer w;
+    w.u64(request_id);
+    return finishFrame(FrameType::MetricsRequest, w);
+}
+
+std::string
+encodeMetricsResponse(const MetricsResponseFrame &f)
+{
+    const serve::Metrics::Snapshot &s = f.snapshot;
+    Writer w;
+    w.u64(f.requestId);
+    w.u64(s.submitted);
+    w.u64(s.served);
+    w.u64(s.failed);
+    w.u64(s.rejected);
+    w.u64(s.expired);
+    w.u64(s.batches);
+    w.u64(s.batchedRequests);
+    w.f64(s.meanBatch);
+    w.u64(s.maxBatch);
+    w.u64(s.maxQueueDepth);
+    w.u64(s.queueDepth);
+    w.u64(s.workers);
+    w.f64(s.wallSeconds);
+    w.f64(s.busySeconds);
+    w.f64(s.workerSeconds);
+    w.f64(s.utilization);
+    w.u64(s.cacheHits);
+    w.u64(s.cacheMisses);
+    w.u64(s.cacheInstalls);
+    w.u64(s.cacheEvictions);
+    w.u64(s.warmStarts);
+    w.u64(s.warmStartNanos);
+    w.f64(s.warmStartMeanSeconds);
+    w.u64(s.latency.count);
+    w.f64(s.latency.meanSeconds);
+    w.f64(s.latency.maxSeconds);
+    w.f64(s.latency.p50Seconds);
+    w.f64(s.latency.p95Seconds);
+    w.f64(s.latency.p99Seconds);
+    for (std::uint64_t b : s.latency.buckets)
+        w.u64(b);
+    return finishFrame(FrameType::MetricsResponse, w);
+}
+
+std::string
+encodeError(const ErrorFrame &f)
+{
+    Writer w;
+    w.u64(f.requestId);
+    w.u16(static_cast<std::uint16_t>(f.code));
+    w.str(f.message);
+    return finishFrame(FrameType::Error, w);
+}
+
+DecodeStatus
+peekFrame(const unsigned char *data, std::size_t len, FrameView *view,
+          std::size_t *consumed)
+{
+    if (len < kHeaderSize) {
+        // Reject hopeless streams before the full header arrives: the
+        // magic mismatch is visible from the first differing byte.
+        for (std::size_t i = 0; i < len && i < 4; ++i)
+            if (data[i] != kMagic[i])
+                return DecodeStatus::BadMagic;
+        return DecodeStatus::NeedMore;
+    }
+    if (std::memcmp(data, kMagic, 4) != 0)
+        return DecodeStatus::BadMagic;
+    Reader head(data + 4, kHeaderSize - 4);
+    std::uint16_t version = head.u16();
+    std::uint16_t type = head.u16();
+    std::uint32_t size = head.u32();
+    if (version != kProtocolVersion)
+        return DecodeStatus::BadVersion;
+    if (size > kMaxPayloadBytes)
+        return DecodeStatus::TooLarge;
+    if (len < kHeaderSize + size)
+        return DecodeStatus::NeedMore;
+    view->type = static_cast<FrameType>(type);
+    view->payload = data + kHeaderSize;
+    view->size = size;
+    view->requestId = 0;
+    if (size >= 8) {
+        Reader id(view->payload, 8);
+        view->requestId = id.u64();
+    }
+    *consumed = kHeaderSize + size;
+    return DecodeStatus::Frame;
+}
+
+DecodeStatus
+peekFrame(const std::string &buffer, FrameView *view,
+          std::size_t *consumed)
+{
+    return peekFrame(
+        reinterpret_cast<const unsigned char *>(buffer.data()),
+        buffer.size(), view, consumed);
+}
+
+bool
+decodeRunRequest(const FrameView &view, RunRequestFrame *out)
+{
+    if (view.type != FrameType::RunRequest)
+        return false;
+    Reader r(view.payload, view.size);
+    out->requestId = r.u64();
+    std::uint8_t kind = r.u8();
+    std::uint8_t language = r.u8();
+    std::uint8_t has_expected = r.u8();
+    (void)r.u8(); // reserved
+    out->expected = static_cast<std::int32_t>(r.u32());
+    out->deadlineMs = r.u32();
+    if (!r.str(&out->name) || !r.str(&out->source))
+        return false;
+    std::uint32_t nargs = r.u32();
+    if (!r.ok() ||
+        nargs > view.size / 5) // each encoded arg is 5 bytes
+        return false;
+    out->args.clear();
+    out->args.reserve(nargs);
+    for (std::uint32_t i = 0; i < nargs; ++i) {
+        std::uint32_t bits = r.u32();
+        std::uint8_t tag = r.u8();
+        if (!r.ok() || !validTag(tag))
+            return false;
+        out->args.emplace_back(bits, static_cast<mem::Tag>(tag));
+    }
+    if (kind >= api::kNumEngineKinds || language > 2 ||
+        has_expected > 1)
+        return false;
+    out->kind = static_cast<api::EngineKind>(kind);
+    out->language = static_cast<api::Language>(language);
+    out->hasExpected = has_expected == 1;
+    return r.done();
+}
+
+bool
+decodeRunResponse(const FrameView &view, RunResponseFrame *out)
+{
+    if (view.type != FrameType::RunResponse)
+        return false;
+    Reader r(view.payload, view.size);
+    out->requestId = r.u64();
+    std::uint8_t status = r.u8();
+    std::uint8_t ok = r.u8();
+    std::uint32_t bits = r.u32();
+    std::uint8_t tag = r.u8();
+    out->operations = r.u64();
+    out->cycles = r.u64();
+    out->latencySeconds = r.f64();
+    out->batchSize = r.u64();
+    out->shard = r.u64();
+    if (!r.str(&out->resultText) || !r.str(&out->output) ||
+        !r.str(&out->outcomeError) || !r.str(&out->error) ||
+        !r.str(&out->engine) || !r.str(&out->program))
+        return false;
+    if (status > 3 || ok > 1 || !validTag(tag))
+        return false;
+    out->status = static_cast<serve::ResponseStatus>(status);
+    out->ok = ok == 1;
+    out->result = mem::Word(bits, static_cast<mem::Tag>(tag));
+    return r.done();
+}
+
+bool
+decodeMetricsResponse(const FrameView &view, MetricsResponseFrame *out)
+{
+    if (view.type != FrameType::MetricsResponse)
+        return false;
+    Reader r(view.payload, view.size);
+    serve::Metrics::Snapshot &s = out->snapshot;
+    out->requestId = r.u64();
+    s.submitted = r.u64();
+    s.served = r.u64();
+    s.failed = r.u64();
+    s.rejected = r.u64();
+    s.expired = r.u64();
+    s.batches = r.u64();
+    s.batchedRequests = r.u64();
+    s.meanBatch = r.f64();
+    s.maxBatch = r.u64();
+    s.maxQueueDepth = r.u64();
+    s.queueDepth = r.u64();
+    s.workers = r.u64();
+    s.wallSeconds = r.f64();
+    s.busySeconds = r.f64();
+    s.workerSeconds = r.f64();
+    s.utilization = r.f64();
+    s.cacheHits = r.u64();
+    s.cacheMisses = r.u64();
+    s.cacheInstalls = r.u64();
+    s.cacheEvictions = r.u64();
+    s.warmStarts = r.u64();
+    s.warmStartNanos = r.u64();
+    s.warmStartMeanSeconds = r.f64();
+    s.latency.count = r.u64();
+    s.latency.meanSeconds = r.f64();
+    s.latency.maxSeconds = r.f64();
+    s.latency.p50Seconds = r.f64();
+    s.latency.p95Seconds = r.f64();
+    s.latency.p99Seconds = r.f64();
+    for (std::uint64_t &b : s.latency.buckets)
+        b = r.u64();
+    return r.done();
+}
+
+bool
+decodeError(const FrameView &view, ErrorFrame *out)
+{
+    if (view.type != FrameType::Error)
+        return false;
+    Reader r(view.payload, view.size);
+    out->requestId = r.u64();
+    std::uint16_t code = r.u16();
+    if (!r.str(&out->message))
+        return false;
+    if (code < 1 || code > 5)
+        return false;
+    out->code = static_cast<ErrorCode>(code);
+    return r.done();
+}
+
+void
+patchRequestId(std::string &frame, std::uint64_t request_id)
+{
+    sim::fatalIf(frame.size() < kRequestIdOffset + 8,
+                 "patchRequestId: frame too short");
+    for (std::size_t i = 0; i < 8; ++i)
+        frame[kRequestIdOffset + i] =
+            static_cast<char>(request_id >> (8 * i));
+}
+
+} // namespace com::net

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The wire protocol of the serving front-end: length-prefixed binary
+ * frames, versioned and bounded.
+ *
+ * Every frame is a fixed 12-byte header followed by a payload:
+ *
+ *   offset  size  field
+ *        0     4  magic "COMF" (raw bytes, in order)
+ *        4     2  protocol version (little-endian u16)
+ *        6     2  frame type (little-endian u16, FrameType)
+ *        8     4  payload length (little-endian u32, bounded by
+ *                 kMaxPayloadBytes)
+ *       12     n  payload
+ *
+ * Every payload begins with a little-endian u64 *request id*, echoed
+ * verbatim in the matching response, so callers may pipeline requests
+ * and match completions out of order. The fixed offset is load-bearing:
+ * the router (net/router.hpp) forwards frames between clients and
+ * worker processes by rewriting just those eight bytes
+ * (patchRequestId) instead of re-encoding.
+ *
+ * All integers are little-endian, serialized byte-by-byte (no struct
+ * punning), so the codec is byte-order portable. Strings are u32
+ * length + raw bytes. Doubles travel as their IEEE-754 bit pattern in
+ * a u64.
+ *
+ * Error containment: a frame whose header is well-formed but whose
+ * payload does not decode is *skippable* — the length prefix names
+ * where the next frame starts, so a server rejects it with an Error
+ * frame and keeps the connection. Only unrecoverable streams (bad
+ * magic, version mismatch, oversized length — no resync point) close
+ * the connection.
+ */
+
+#ifndef COMSIM_NET_FRAME_HPP
+#define COMSIM_NET_FRAME_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace com::net {
+
+/** Bumped on any incompatible wire change; mismatches are refused. */
+constexpr std::uint16_t kProtocolVersion = 1;
+
+/** Header bytes before the payload. */
+constexpr std::size_t kHeaderSize = 12;
+
+/** Offset of the u64 request id (start of every payload). */
+constexpr std::size_t kRequestIdOffset = kHeaderSize;
+
+/** Largest accepted payload (a program source, comfortably). */
+constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+/** What a frame carries. */
+enum class FrameType : std::uint16_t
+{
+    RunRequest = 1,      ///< client -> server: run one program
+    RunResponse = 2,     ///< server -> client: how the run ended
+    MetricsRequest = 3,  ///< client -> server: snapshot the counters
+    MetricsResponse = 4, ///< server -> client: Metrics::Snapshot
+    Error = 5,           ///< server -> client: request-level refusal
+};
+
+/** Why a request came back as an Error frame. */
+enum class ErrorCode : std::uint16_t
+{
+    BadFrame = 1,        ///< payload did not decode (frame skipped)
+    VersionMismatch = 2, ///< header version != kProtocolVersion
+    UnknownType = 3,     ///< frame type the server does not speak
+    WorkerLost = 4,      ///< router: worker died too often on this
+    Draining = 5,        ///< server is shutting down gracefully
+};
+
+/** @return a short name for @p code ("bad-frame", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** A request to run one program on one engine kind. */
+struct RunRequestFrame
+{
+    std::uint64_t requestId = 0;
+    api::EngineKind kind = api::EngineKind::Com;
+    api::Language language = api::Language::Smalltalk;
+    std::string name;
+    std::string source;
+    std::vector<mem::Word> args;
+    bool hasExpected = false;
+    std::int32_t expected = 0;
+    /** Relative deadline in ms from server receipt; 0 = none. */
+    std::uint32_t deadlineMs = 0;
+
+    /** The ProgramSpec this frame names. */
+    api::ProgramSpec toSpec() const;
+    /** Build a frame from a spec (the client-side constructor). */
+    static RunRequestFrame fromSpec(std::uint64_t id,
+                                    api::EngineKind kind,
+                                    const api::ProgramSpec &spec,
+                                    std::uint32_t deadline_ms);
+};
+
+/** How one run ended: a serve::Response, flattened for the wire. */
+struct RunResponseFrame
+{
+    std::uint64_t requestId = 0;
+    serve::ResponseStatus status = serve::ResponseStatus::Rejected;
+    bool ok = false; ///< RunOutcome::ok
+    mem::Word result;
+    std::string resultText;
+    std::string output;
+    std::string outcomeError; ///< RunOutcome::error
+    std::string error;        ///< Response::error (non-Ok reasons)
+    std::string engine;
+    std::string program;
+    std::uint64_t operations = 0;
+    std::uint64_t cycles = 0;
+    double latencySeconds = 0.0;
+    std::uint64_t batchSize = 0;
+    std::uint64_t shard = 0;
+
+    /** Rebuild the serve::Response this frame flattened. */
+    serve::Response toResponse() const;
+    /** Flatten @p r (the server-side constructor). */
+    static RunResponseFrame fromResponse(std::uint64_t id,
+                                         const serve::Response &r);
+};
+
+/** A request-level refusal (the connection survives). */
+struct ErrorFrame
+{
+    std::uint64_t requestId = 0;
+    ErrorCode code = ErrorCode::BadFrame;
+    std::string message;
+};
+
+/** A serve::Metrics::Snapshot, histogram buckets included. */
+struct MetricsResponseFrame
+{
+    std::uint64_t requestId = 0;
+    serve::Metrics::Snapshot snapshot;
+};
+
+// Encoders: complete frames (header + payload), ready to write.
+std::string encodeRunRequest(const RunRequestFrame &f);
+std::string encodeRunResponse(const RunResponseFrame &f);
+std::string encodeMetricsRequest(std::uint64_t request_id);
+std::string encodeMetricsResponse(const MetricsResponseFrame &f);
+std::string encodeError(const ErrorFrame &f);
+
+/** What peekFrame found at the front of a byte stream. */
+enum class DecodeStatus : std::uint8_t
+{
+    NeedMore,   ///< header or payload incomplete; read more bytes
+    Frame,      ///< one whole frame is available
+    BadMagic,   ///< not this protocol; close the connection
+    BadVersion, ///< incompatible peer; refuse + close
+    TooLarge,   ///< length exceeds kMaxPayloadBytes; close
+};
+
+/** A decoded header plus a borrowed view of its payload. */
+struct FrameView
+{
+    FrameType type = FrameType::Error;
+    /** The payload's leading u64 (0 when the payload is shorter). */
+    std::uint64_t requestId = 0;
+    const unsigned char *payload = nullptr;
+    std::size_t size = 0;
+};
+
+/**
+ * Examine the start of @p data for one frame. On Frame, @p view
+ * borrows into @p data and @p consumed is the total frame size
+ * (header + payload) to drop from the stream. The payload is NOT
+ * validated here — typed decoders below do that, so a malformed
+ * payload can be skipped frame-wise.
+ */
+DecodeStatus peekFrame(const unsigned char *data, std::size_t len,
+                       FrameView *view, std::size_t *consumed);
+
+/** String-buffer convenience overload. */
+DecodeStatus peekFrame(const std::string &buffer, FrameView *view,
+                       std::size_t *consumed);
+
+// Typed payload decoders. @return false when the payload is
+// malformed (truncated, over-long strings, enum out of range);
+// the caller skips the frame and answers with an Error frame.
+bool decodeRunRequest(const FrameView &view, RunRequestFrame *out);
+bool decodeRunResponse(const FrameView &view, RunResponseFrame *out);
+bool decodeMetricsResponse(const FrameView &view,
+                           MetricsResponseFrame *out);
+bool decodeError(const FrameView &view, ErrorFrame *out);
+
+/**
+ * Rewrite the request id of an encoded frame in place (the router's
+ * forwarding primitive). @p frame must hold at least a header and the
+ * leading payload u64.
+ */
+void patchRequestId(std::string &frame, std::uint64_t request_id);
+
+} // namespace com::net
+
+#endif // COMSIM_NET_FRAME_HPP

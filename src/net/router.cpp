@@ -1,0 +1,688 @@
+#include "net/router.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/scheduler.hpp" // sourceShard
+#include "sim/logging.hpp"
+
+namespace com::net {
+
+namespace {
+
+void
+setNonblocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** The directory of the running binary, for finding comsim_served. */
+std::string
+siblingPath(const char *name)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return name;
+    buf[n] = '\0';
+    std::string path(buf);
+    std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return name;
+    return path.substr(0, slash + 1) + name;
+}
+
+} // namespace
+
+Router::Router(const Config &cfg) : cfg_(cfg)
+{
+    sim::fatalIf(cfg_.workers == 0, "router: needs >= 1 worker");
+    if (cfg_.workerPath.empty())
+        cfg_.workerPath = siblingPath("comsim_served");
+    sim::fatalIf(::access(cfg_.workerPath.c_str(), X_OK) != 0,
+                 "router: worker binary not executable: ",
+                 cfg_.workerPath);
+
+    int pipefds[2];
+    sim::fatalIf(::pipe2(pipefds, O_NONBLOCK | O_CLOEXEC) != 0,
+                 "router: pipe2 failed: ", std::strerror(errno));
+    wakeRead_ = pipefds[0];
+    wakeWrite_ = pipefds[1];
+
+    openListener(cfg_);
+    workers_.resize(cfg_.workers);
+    for (std::size_t i = 0; i < cfg_.workers; ++i) {
+        workers_[i].shard = i;
+        spawnWorker(i);
+    }
+}
+
+Router::~Router()
+{
+    for (auto &conn : conns_)
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    for (auto &w : workers_) {
+        if (w.fd >= 0)
+            ::close(w.fd);
+        if (w.alive && w.pid > 0) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+        }
+    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+void
+Router::openListener(const Config &cfg)
+{
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    sim::fatalIf(listenFd_ < 0,
+                 "router: socket failed: ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    sim::fatalIf(
+        ::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1,
+        "router: bad listen address: ", cfg.host);
+    // Evaluate errno only after the call: inside a fatalIf argument
+    // list its read could be sequenced before the bind itself.
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        sim::fatal("router: cannot bind ", cfg.host, ":", cfg.port,
+                   ": ", std::strerror(errno));
+    if (::listen(listenFd_, 128) != 0)
+        sim::fatal("router: listen failed: ", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+}
+
+void
+Router::spawnWorker(std::size_t shard)
+{
+    // CLOEXEC on both ends: a worker forked later must not inherit
+    // this pair, or its copy would hold the stream open past the
+    // owner's death and break EOF-based death detection / shutdown.
+    int sv[2];
+    sim::fatalIf(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0,
+                              sv) != 0,
+                 "router: socketpair failed: ",
+                 std::strerror(errno));
+
+    pid_t pid = ::fork();
+    sim::fatalIf(pid < 0,
+                 "router: fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        // Child: worker's end becomes fd 3, everything else of the
+        // router's is close-on-exec or closed here.
+        ::close(sv[0]);
+        if (sv[1] != 3) {
+            ::dup2(sv[1], 3); // dup2 clears CLOEXEC on the copy
+            ::close(sv[1]);
+        } else {
+            int fl = ::fcntl(3, F_GETFD, 0);
+            ::fcntl(3, F_SETFD, fl & ~FD_CLOEXEC);
+        }
+        std::vector<std::string> args;
+        args.push_back(cfg_.workerPath);
+        args.push_back("--control-fd");
+        args.push_back("3");
+        for (const auto &extra : cfg_.workerArgs)
+            args.push_back(extra);
+        std::vector<char *> argv;
+        for (auto &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(cfg_.workerPath.c_str(), argv.data());
+        ::_exit(127); // exec failed; parent sees instant EOF
+    }
+
+    ::close(sv[1]);
+    setNonblocking(sv[0]);
+
+    Worker &w = workers_[shard];
+    w.fd = sv[0];
+    w.in.clear();
+    w.out.clear();
+    w.alive = true;
+    {
+        std::lock_guard<std::mutex> lock(workerMu_);
+        w.pid = pid;
+    }
+}
+
+void
+Router::handleWorkerDeath(std::size_t shard)
+{
+    Worker &w = workers_[shard];
+    if (!w.alive)
+        return;
+    w.alive = false;
+    if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    if (w.pid > 0)
+        ::waitpid(w.pid, nullptr, 0); // EOF means it already exited
+    ++restarts_;
+
+    // Metrics fan-out shares with the dead worker arrive as empty.
+    for (auto it = metricsSub_.begin(); it != metricsSub_.end();) {
+        if (it->second.shard != shard) {
+            ++it;
+            continue;
+        }
+        auto agg = metricsAggs_.find(it->second.aggId);
+        it = metricsSub_.erase(it);
+        if (agg == metricsAggs_.end())
+            continue;
+        if (--agg->second.remaining == 0) {
+            if (Conn *conn = findConn(agg->second.connId)) {
+                MetricsResponseFrame resp;
+                resp.requestId = agg->second.clientId;
+                resp.snapshot = agg->second.merged;
+                conn->out.append(encodeMetricsResponse(resp));
+            }
+            metricsAggs_.erase(agg);
+        }
+    }
+
+    spawnWorker(shard);
+
+    // Re-send the dead worker's in-flight requests to the fresh one.
+    // Programs are pure, so a rerun is idempotent; the attempt bound
+    // keeps a poison request from crash-looping the shard forever.
+    Worker &fresh = workers_[shard];
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        Inflight &f = it->second;
+        if (f.shard != shard) {
+            ++it;
+            continue;
+        }
+        if (++f.attempts > cfg_.maxAttempts) {
+            if (Conn *conn = findConn(f.connId))
+                replyError(*conn, f.clientId, ErrorCode::WorkerLost,
+                           "worker died too many times serving this");
+            it = inflight_.erase(it);
+            continue;
+        }
+        fresh.out.append(f.frame);
+        ++it;
+    }
+}
+
+void
+Router::acceptNew()
+{
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            return;
+        if (conns_.size() >= cfg_.maxConnections) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        auto conn = std::make_unique<Conn>();
+        conn->id = nextConnId_++;
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+bool
+Router::readInto(int fd, std::string &buf, bool *closed)
+{
+    *closed = false;
+    for (;;) {
+        char chunk[64 * 1024];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            *closed = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        *closed = true;
+        return true;
+    }
+}
+
+Router::Conn *
+Router::findConn(std::uint64_t conn_id)
+{
+    for (auto &conn : conns_)
+        if (conn->id == conn_id && !conn->dead)
+            return conn.get();
+    return nullptr;
+}
+
+void
+Router::replyError(Conn &conn, std::uint64_t id, ErrorCode code,
+                   std::string message)
+{
+    ErrorFrame err;
+    err.requestId = id;
+    err.code = code;
+    err.message = std::move(message);
+    conn.out.append(encodeError(err));
+}
+
+void
+Router::forwardRun(Conn &conn, const FrameView &view,
+                   const unsigned char *raw, std::size_t raw_len)
+{
+    RunRequestFrame req;
+    if (!decodeRunRequest(view, &req)) {
+        replyError(conn, view.requestId, ErrorCode::BadFrame,
+                   "malformed run request payload");
+        return;
+    }
+    std::size_t shard =
+        serve::sourceShard(req.source, workers_.size());
+
+    std::uint64_t router_id = nextRouterId_++;
+    Inflight flight;
+    flight.connId = conn.id;
+    flight.clientId = view.requestId;
+    flight.shard = shard;
+    flight.frame.assign(reinterpret_cast<const char *>(raw),
+                        raw_len);
+    patchRequestId(flight.frame, router_id);
+
+    workers_[shard].out.append(flight.frame);
+    inflight_.emplace(router_id, std::move(flight));
+}
+
+void
+Router::broadcastMetrics(Conn &conn, std::uint64_t client_id)
+{
+    std::uint64_t agg_id = nextRouterId_++;
+    MetricsAgg agg;
+    agg.connId = conn.id;
+    agg.clientId = client_id;
+    for (auto &w : workers_) {
+        if (!w.alive)
+            continue;
+        std::uint64_t router_id = nextRouterId_++;
+        w.out.append(encodeMetricsRequest(router_id));
+        metricsSub_[router_id] = MetricsSub{agg_id, w.shard};
+        ++agg.remaining;
+    }
+    if (agg.remaining == 0) {
+        MetricsResponseFrame resp;
+        resp.requestId = client_id;
+        conn.out.append(encodeMetricsResponse(resp));
+        return;
+    }
+    metricsAggs_.emplace(agg_id, std::move(agg));
+}
+
+void
+Router::consumeClientFrames(Conn &conn)
+{
+    std::size_t at = 0;
+    for (;;) {
+        FrameView view;
+        std::size_t consumed = 0;
+        const auto *base =
+            reinterpret_cast<const unsigned char *>(conn.in.data()) +
+            at;
+        DecodeStatus status =
+            peekFrame(base, conn.in.size() - at, &view, &consumed);
+        if (status == DecodeStatus::NeedMore)
+            break;
+        if (status != DecodeStatus::Frame) {
+            replyError(conn, 0,
+                       status == DecodeStatus::BadVersion
+                           ? ErrorCode::VersionMismatch
+                           : ErrorCode::BadFrame,
+                       "unrecoverable frame stream");
+            conn.closeAfterFlush = true;
+            break;
+        }
+        switch (view.type) {
+          case FrameType::RunRequest:
+            forwardRun(conn, view, base, consumed);
+            break;
+          case FrameType::MetricsRequest:
+            broadcastMetrics(conn, view.requestId);
+            break;
+          default:
+            replyError(conn, view.requestId, ErrorCode::UnknownType,
+                       "router does not accept this frame type");
+            break;
+        }
+        at += consumed;
+    }
+    if (at > 0)
+        conn.in.erase(0, at);
+}
+
+void
+Router::consumeWorkerFrames(Worker &worker)
+{
+    std::size_t at = 0;
+    bool poisoned = false;
+    while (!poisoned) {
+        FrameView view;
+        std::size_t consumed = 0;
+        const auto *base = reinterpret_cast<const unsigned char *>(
+                               worker.in.data()) +
+                           at;
+        DecodeStatus status = peekFrame(base, worker.in.size() - at,
+                                        &view, &consumed);
+        if (status == DecodeStatus::NeedMore)
+            break;
+        if (status != DecodeStatus::Frame) {
+            poisoned = true; // a worker speaking garbage is dead to us
+            break;
+        }
+        switch (view.type) {
+          case FrameType::RunResponse:
+          case FrameType::Error: {
+            auto it = inflight_.find(view.requestId);
+            if (it != inflight_.end()) {
+                if (Conn *conn = findConn(it->second.connId)) {
+                    std::string frame(
+                        reinterpret_cast<const char *>(base),
+                        consumed);
+                    patchRequestId(frame, it->second.clientId);
+                    conn->out.append(frame);
+                }
+                inflight_.erase(it);
+            }
+            break;
+          }
+          case FrameType::MetricsResponse: {
+            auto sub = metricsSub_.find(view.requestId);
+            if (sub == metricsSub_.end())
+                break;
+            std::uint64_t agg_id = sub->second.aggId;
+            metricsSub_.erase(sub);
+            auto agg = metricsAggs_.find(agg_id);
+            if (agg == metricsAggs_.end())
+                break;
+            MetricsResponseFrame frame;
+            if (decodeMetricsResponse(view, &frame))
+                agg->second.merged.merge(frame.snapshot);
+            if (--agg->second.remaining == 0) {
+                if (Conn *conn = findConn(agg->second.connId)) {
+                    MetricsResponseFrame resp;
+                    resp.requestId = agg->second.clientId;
+                    resp.snapshot = agg->second.merged;
+                    conn->out.append(encodeMetricsResponse(resp));
+                }
+                metricsAggs_.erase(agg);
+            }
+            break;
+          }
+          default:
+            break; // a worker never originates requests; ignore
+        }
+        at += consumed;
+    }
+    if (at > 0)
+        worker.in.erase(0, at);
+    if (poisoned) {
+        std::size_t shard = worker.shard;
+        if (workers_[shard].pid > 0)
+            ::kill(workers_[shard].pid, SIGKILL);
+        handleWorkerDeath(shard);
+    }
+}
+
+bool
+Router::flush(int fd, std::string &out)
+{
+    while (!out.empty()) {
+        ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            out.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+Router::requestDrain()
+{
+    drain_.store(true, std::memory_order_release);
+    char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+pid_t
+Router::workerPid(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lock(workerMu_);
+    return i < workers_.size() ? workers_[i].pid : -1;
+}
+
+std::uint64_t
+Router::restarts() const
+{
+    std::lock_guard<std::mutex> lock(workerMu_);
+    return restarts_;
+}
+
+bool
+Router::shutdownWorkers()
+{
+    bool all_clean = true;
+    for (auto &w : workers_) {
+        if (!w.alive)
+            continue;
+        ::kill(w.pid, SIGTERM);
+    }
+    for (auto &w : workers_) {
+        if (!w.alive)
+            continue;
+        if (w.fd >= 0) {
+            ::close(w.fd); // EOF backs up the SIGTERM drain
+            w.fd = -1;
+        }
+        int status = 0;
+        pid_t got = ::waitpid(w.pid, &status, 0);
+        if (got != w.pid || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0)
+            all_clean = false;
+        w.alive = false;
+    }
+    return all_clean;
+}
+
+int
+Router::run()
+{
+    std::vector<pollfd> fds;
+    // Parallel tags: which Conn / Worker a pollfd row belongs to.
+    std::vector<Conn *> fdConn;
+    std::vector<int> fdWorker;
+
+    for (;;) {
+        bool draining = drain_.load(std::memory_order_acquire);
+        if (draining && listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+
+        fds.clear();
+        fdConn.clear();
+        fdWorker.clear();
+        auto push = [&](int fd, short events, Conn *conn,
+                        int worker) {
+            fds.push_back({fd, events, 0});
+            fdConn.push_back(conn);
+            fdWorker.push_back(worker);
+        };
+        push(wakeRead_, POLLIN, nullptr, -1);
+        if (listenFd_ >= 0)
+            push(listenFd_, POLLIN, nullptr, -1);
+        for (auto &w : workers_) {
+            if (!w.alive)
+                continue;
+            short events = POLLIN;
+            if (!w.out.empty())
+                events |= POLLOUT;
+            push(w.fd, events, nullptr,
+                 static_cast<int>(w.shard));
+        }
+        for (auto &conn : conns_) {
+            short events = 0;
+            if (!draining && !conn->closeAfterFlush)
+                events |= POLLIN;
+            if (!conn->out.empty())
+                events |= POLLOUT;
+            push(conn->fd, events, conn.get(), -1);
+        }
+
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()),
+                           draining ? 50 : -1);
+        if (ready < 0 && errno != EINTR)
+            sim::fatal("router: poll failed: ",
+                       std::strerror(errno));
+
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
+            }
+        }
+        if (listenFd_ >= 0 && fds.size() > 1 &&
+            (fds[1].revents & POLLIN))
+            acceptNew();
+
+        // Workers first: deaths re-route in-flight work before any
+        // new frames pick a shard.
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            int shard = fdWorker[i];
+            if (shard < 0)
+                continue;
+            Worker &w = workers_[static_cast<std::size_t>(shard)];
+            if (!w.alive || w.fd != fds[i].fd)
+                continue; // replaced mid-loop by an earlier death
+            bool closed = false;
+            if (fds[i].revents &
+                (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+                readInto(w.fd, w.in, &closed);
+            consumeWorkerFrames(w);
+            if (closed)
+                handleWorkerDeath(
+                    static_cast<std::size_t>(shard));
+        }
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            Conn *conn = fdConn[i];
+            if (!conn || conn->fd != fds[i].fd)
+                continue;
+            if (fds[i].revents & (POLLERR | POLLNVAL)) {
+                conn->dead = true;
+                continue;
+            }
+            if (fds[i].revents & POLLIN) {
+                bool closed = false;
+                readInto(conn->fd, conn->in, &closed);
+                if (closed)
+                    conn->dead = true;
+            } else if ((fds[i].revents & POLLHUP) &&
+                       conn->in.empty()) {
+                conn->dead = true;
+            }
+        }
+
+        for (auto &conn : conns_) {
+            if (conn->dead)
+                continue;
+            if (!conn->in.empty() && !conn->closeAfterFlush)
+                consumeClientFrames(*conn);
+            if (!flush(conn->fd, conn->out)) {
+                conn->dead = true;
+                continue;
+            }
+            if (conn->closeAfterFlush && conn->out.empty())
+                conn->dead = true;
+        }
+        for (auto &w : workers_) {
+            if (!w.alive)
+                continue;
+            if (!flush(w.fd, w.out)) {
+                std::size_t shard = w.shard;
+                handleWorkerDeath(shard);
+            }
+        }
+
+        for (std::size_t i = 0; i < conns_.size();) {
+            if (conns_[i]->dead) {
+                ::close(conns_[i]->fd);
+                conns_.erase(conns_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        if (draining && inflight_.empty() &&
+            metricsAggs_.empty()) {
+            bool flushed = true;
+            for (auto &conn : conns_)
+                if (!conn->out.empty())
+                    flushed = false;
+            if (flushed)
+                break;
+        }
+    }
+
+    for (auto &conn : conns_) {
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conns_.clear();
+    return shutdownWorkers() ? 0 : 1;
+}
+
+} // namespace com::net

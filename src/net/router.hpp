@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The multi-process shard router: comsim_routerd's engine.
+ *
+ * The in-process scheduler shards requests across queues by a stable
+ * hash of the program source (serve::sourceShard). The router lifts
+ * that exact function one level up: it forks N worker *processes*
+ * (comsim_served in control-fd mode, each owning its own scheduler,
+ * engine pools and program caches), listens on one TCP port, and
+ * forwards each RunRequest to the worker sourceShard(source, N) names
+ * — so one program's requests always land on one worker's hot caches,
+ * whether sharding happens in-process or across processes.
+ *
+ * Forwarding is frame-copy cheap: the request id lives at a fixed
+ * offset in every frame (net/frame.hpp), so the router rewrites just
+ * those eight bytes (patchRequestId) to a router-global id on the way
+ * in and back to the client's id on the way out — no re-encode.
+ *
+ * Fault containment: a worker that dies (crash, SIGKILL) is detected
+ * by EOF on its socketpair, reaped, and restarted; its in-flight
+ * requests are re-sent to the replacement (programs are pure, so the
+ * retry is idempotent), bounded by maxAttempts before the client gets
+ * an Error(WorkerLost). Other workers and every client connection
+ * ride through undisturbed.
+ *
+ * MetricsRequest frames fan out to every worker; the per-worker
+ * serve::Metrics::Snapshots merge (Snapshot::merge) into one
+ * fleet-wide answer.
+ *
+ * Graceful drain (SIGTERM in comsim_routerd via requestDrain):
+ * stop accepting and stop reading clients, relay every in-flight
+ * response, then SIGTERM the (now idle) workers and wait for them to
+ * exit cleanly. run() returns 0 only when every worker did.
+ */
+
+#ifndef COMSIM_NET_ROUTER_HPP
+#define COMSIM_NET_ROUTER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/metrics.hpp"
+
+namespace com::net {
+
+class Router
+{
+  public:
+    struct Config
+    {
+        std::string host = "127.0.0.1";
+        /** Listening port; 0 picks a free one (read it via port()). */
+        std::uint16_t port = 0;
+        /** Worker processes to fork (the shard count); >= 1. */
+        std::size_t workers = 2;
+        /** comsim_served binary; "" = sibling of /proc/self/exe. */
+        std::string workerPath;
+        /** Extra argv passed to every worker (scheduler sizing). */
+        std::vector<std::string> workerArgs;
+        /** Times one request may be re-sent after worker deaths
+         *  before the client gets Error(WorkerLost). */
+        std::size_t maxAttempts = 3;
+        std::size_t maxConnections = 128;
+    };
+
+    /** Binds the listener and forks the workers; fatal()s when the
+     *  port cannot be bound or a worker cannot be spawned. */
+    explicit Router(const Config &cfg);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Route until drained. @return the exit code for the process:
+     * 0 when every worker exited cleanly after the drain.
+     */
+    int run();
+
+    /** Begin graceful drain; async-signal-safe. */
+    void requestDrain();
+
+    /** Worker @p i's current pid (tests kill one mid-run). */
+    pid_t workerPid(std::size_t i) const;
+
+    /** Times any worker was restarted after dying. */
+    std::uint64_t restarts() const;
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+  private:
+    struct Worker
+    {
+        std::size_t shard = 0;
+        pid_t pid = -1;
+        int fd = -1; ///< router end of the socketpair
+        std::string in;
+        std::string out;
+        bool alive = false;
+    };
+
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::string in;
+        std::string out;
+        bool closeAfterFlush = false;
+        bool dead = false;
+    };
+
+    /** One forwarded RunRequest awaiting its worker's response. */
+    struct Inflight
+    {
+        std::uint64_t connId = 0;  ///< which client gets the answer
+        std::uint64_t clientId = 0; ///< the id that client used
+        std::size_t shard = 0;
+        std::string frame; ///< patched bytes, kept for re-send
+        std::size_t attempts = 1;
+    };
+
+    /** One client MetricsRequest fanned out across the fleet. */
+    struct MetricsAgg
+    {
+        std::uint64_t connId = 0;
+        std::uint64_t clientId = 0;
+        std::size_t remaining = 0;
+        serve::Metrics::Snapshot merged;
+    };
+
+    void openListener(const Config &cfg);
+    void spawnWorker(std::size_t shard);
+    void handleWorkerDeath(std::size_t shard);
+    void acceptNew();
+    bool readInto(int fd, std::string &buf, bool *closed);
+    void consumeClientFrames(Conn &conn);
+    void consumeWorkerFrames(Worker &worker);
+    void forwardRun(Conn &conn, const FrameView &view,
+                    const unsigned char *raw, std::size_t raw_len);
+    void broadcastMetrics(Conn &conn, std::uint64_t client_id);
+    void replyError(Conn &conn, std::uint64_t id, ErrorCode code,
+                    std::string message);
+    Conn *findConn(std::uint64_t conn_id);
+    bool flush(int fd, std::string &out);
+    /** SIGTERM every worker and reap; @return true when all were
+     *  alive-and-exited-0 (or already gone by our own hand). */
+    bool shutdownWorkers();
+
+    Config cfg_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> drain_{false};
+    std::uint64_t nextRouterId_ = 1;
+    std::uint64_t nextConnId_ = 1;
+    std::uint64_t restarts_ = 0;
+    mutable std::mutex workerMu_; ///< guards pids for workerPid()
+    std::vector<Worker> workers_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::map<std::uint64_t, Inflight> inflight_;
+    std::map<std::uint64_t, MetricsAgg> metricsAggs_;
+    /** One worker's share of a metrics fan-out. */
+    struct MetricsSub
+    {
+        std::uint64_t aggId = 0;
+        std::size_t shard = 0;
+    };
+    /** routerId -> aggregation it feeds (metrics subrequests). */
+    std::map<std::uint64_t, MetricsSub> metricsSub_;
+};
+
+} // namespace com::net
+
+#endif // COMSIM_NET_ROUTER_HPP

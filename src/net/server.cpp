@@ -1,0 +1,444 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace com::net {
+
+namespace {
+
+/** Read buffer granularity. */
+constexpr std::size_t kReadChunk = 64 * 1024;
+/** Most bytes one connection may consume per loop turn (fairness). */
+constexpr std::size_t kReadBudget = 512 * 1024;
+
+void
+setNonblocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+Server::Server(const Config &cfg)
+    : maxConnections_(std::max<std::size_t>(cfg.maxConnections, 1)),
+      controlMode_(cfg.controlFd >= 0)
+{
+    scheduler_ = std::make_unique<serve::Scheduler>(cfg.scheduler);
+
+    int pipefds[2];
+    sim::fatalIf(::pipe2(pipefds, O_NONBLOCK | O_CLOEXEC) != 0,
+                 "server: pipe2 failed: ", std::strerror(errno));
+    wakeRead_ = pipefds[0];
+    wakeWrite_ = pipefds[1];
+
+    if (controlMode_) {
+        setNonblocking(cfg.controlFd);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = cfg.controlFd;
+        conns_.push_back(std::move(conn));
+    } else {
+        openListener(cfg);
+    }
+}
+
+Server::~Server()
+{
+    for (auto &conn : conns_)
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+void
+Server::openListener(const Config &cfg)
+{
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    sim::fatalIf(listenFd_ < 0,
+                 "server: socket failed: ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    sim::fatalIf(
+        ::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1,
+        "server: bad listen address: ", cfg.host);
+    // Evaluate errno only after the call: inside a fatalIf argument
+    // list its read could be sequenced before the bind itself.
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        sim::fatal("server: cannot bind ", cfg.host, ":", cfg.port,
+                   ": ", std::strerror(errno));
+    if (::listen(listenFd_, 128) != 0)
+        sim::fatal("server: listen failed: ", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+}
+
+void
+Server::requestDrain()
+{
+    drain_.store(true, std::memory_order_release);
+    // Wake the poll loop; async-signal-safe (write on a pipe).
+    char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+void
+Server::acceptNew()
+{
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            return; // EAGAIN / transient
+        if (conns_.size() >= maxConnections_) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+bool
+Server::readInput(Conn &conn)
+{
+    std::size_t taken = 0;
+    while (taken < kReadBudget) {
+        char buf[kReadChunk];
+        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+            taken += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return false; // peer closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+Server::sendError(Conn &conn, std::uint64_t id, ErrorCode code,
+                  std::string message)
+{
+    ErrorFrame err;
+    err.requestId = id;
+    err.code = code;
+    err.message = std::move(message);
+    conn.out.append(encodeError(err));
+    ++framesServed_;
+}
+
+void
+Server::submitOrPark(Conn &conn, Parked &&req)
+{
+    std::future<serve::Response> future;
+    serve::Scheduler::Admission verdict = scheduler_->offer(
+        req.kind, req.spec, req.deadline, req.received, &future);
+    if (verdict == serve::Scheduler::Admission::QueueFull) {
+        conn.parked.push_back(std::move(req));
+        return;
+    }
+    conn.pending.push_back(Pending{req.id, std::move(future)});
+}
+
+void
+Server::pumpParked(Conn &conn)
+{
+    while (!conn.parked.empty()) {
+        Parked &head = conn.parked.front();
+        std::future<serve::Response> future;
+        serve::Scheduler::Admission verdict = scheduler_->offer(
+            head.kind, head.spec, head.deadline, head.received,
+            &future);
+        if (verdict == serve::Scheduler::Admission::QueueFull)
+            return; // still no room; keep holding
+        conn.pending.push_back(Pending{head.id, std::move(future)});
+        conn.parked.pop_front();
+    }
+}
+
+bool
+Server::handleFrame(Conn &conn, const FrameView &view)
+{
+    switch (view.type) {
+      case FrameType::RunRequest: {
+        RunRequestFrame req;
+        if (!decodeRunRequest(view, &req)) {
+            sendError(conn, view.requestId, ErrorCode::BadFrame,
+                      "malformed run request payload");
+            return true; // frame skipped; connection survives
+        }
+        Parked parked;
+        parked.id = req.requestId;
+        parked.kind = req.kind;
+        parked.spec = req.toSpec();
+        parked.received = serve::Clock::now();
+        parked.deadline =
+            req.deadlineMs > 0
+                ? parked.received +
+                      std::chrono::milliseconds(req.deadlineMs)
+                : serve::kNoDeadline;
+        submitOrPark(conn, std::move(parked));
+        return true;
+      }
+      case FrameType::MetricsRequest: {
+        MetricsResponseFrame resp;
+        resp.requestId = view.requestId;
+        resp.snapshot = scheduler_->metricsSnapshot();
+        conn.out.append(encodeMetricsResponse(resp));
+        ++framesServed_;
+        return true;
+      }
+      case FrameType::RunResponse:
+      case FrameType::MetricsResponse:
+      case FrameType::Error:
+      default:
+        // A server only *receives* requests; anything else is a
+        // confused peer. Skippable, so the connection survives.
+        sendError(conn, view.requestId, ErrorCode::UnknownType,
+                  "server does not accept this frame type");
+        return true;
+    }
+}
+
+bool
+Server::consumeFrames(Conn &conn)
+{
+    std::size_t at = 0;
+    bool keep = true;
+    while (keep) {
+        FrameView view;
+        std::size_t consumed = 0;
+        DecodeStatus status = peekFrame(
+            reinterpret_cast<const unsigned char *>(conn.in.data()) +
+                at,
+            conn.in.size() - at, &view, &consumed);
+        if (status == DecodeStatus::NeedMore)
+            break;
+        if (status == DecodeStatus::BadVersion) {
+            sendError(conn, 0, ErrorCode::VersionMismatch,
+                      "protocol version mismatch");
+            conn.closeAfterFlush = true;
+            break;
+        }
+        if (status != DecodeStatus::Frame) {
+            // BadMagic / TooLarge: not resynchronizable.
+            sendError(conn, 0, ErrorCode::BadFrame,
+                      status == DecodeStatus::TooLarge
+                          ? "frame exceeds size bound"
+                          : "bad frame magic");
+            conn.closeAfterFlush = true;
+            break;
+        }
+        keep = handleFrame(conn, view);
+        at += consumed;
+    }
+    if (at > 0)
+        conn.in.erase(0, at);
+    return keep;
+}
+
+void
+Server::pumpFutures(Conn &conn)
+{
+    for (std::size_t i = 0; i < conn.pending.size();) {
+        Pending &p = conn.pending[i];
+        if (p.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++i;
+            continue;
+        }
+        serve::Response resp = p.future.get();
+        conn.out.append(
+            encodeRunResponse(RunResponseFrame::fromResponse(
+                p.id, resp)));
+        ++framesServed_;
+        conn.pending.erase(conn.pending.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+bool
+Server::flushOutput(Conn &conn)
+{
+    while (!conn.out.empty()) {
+        ssize_t n = ::send(conn.fd, conn.out.data(), conn.out.size(),
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::workRemains() const
+{
+    for (const auto &conn : conns_)
+        if (!conn->pending.empty() || !conn->parked.empty() ||
+            !conn->out.empty())
+            return true;
+    return false;
+}
+
+void
+Server::run()
+{
+    std::vector<pollfd> fds;
+    std::vector<Conn *> fdConn;
+    for (;;) {
+        bool draining = drain_.load(std::memory_order_acquire);
+        if (draining && listenFd_ >= 0) {
+            ::close(listenFd_); // stop accepting; drain what we hold
+            listenFd_ = -1;
+        }
+
+        fds.clear();
+        fdConn.clear();
+        fds.push_back({wakeRead_, POLLIN, 0});
+        fdConn.push_back(nullptr);
+        if (listenFd_ >= 0) {
+            fds.push_back({listenFd_, POLLIN, 0});
+            fdConn.push_back(nullptr);
+        }
+        for (auto &conn : conns_) {
+            short events = 0;
+            if (!conn->paused(draining))
+                events |= POLLIN;
+            if (!conn->out.empty())
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+            fdConn.push_back(conn.get());
+        }
+
+        // Futures resolve in scheduler workers with no fd to poll;
+        // take short naps while any are outstanding.
+        bool busy = false;
+        for (auto &conn : conns_)
+            if (!conn->pending.empty() || !conn->parked.empty())
+                busy = true;
+        int timeout_ms = busy ? 1 : (draining ? 10 : -1);
+
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()),
+                           timeout_ms);
+        if (ready < 0 && errno != EINTR)
+            sim::fatal("server: poll failed: ", std::strerror(errno));
+
+        // Drain the wake pipe (its only job is interrupting poll).
+        if (fds[0].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
+            }
+        }
+        if (listenFd_ >= 0 && fds.size() > 1 &&
+            (fds[1].revents & POLLIN))
+            acceptNew();
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            Conn *conn = fdConn[i];
+            if (!conn)
+                continue;
+            bool drop = false;
+            if (fds[i].revents & (POLLERR | POLLNVAL))
+                drop = true;
+            if (!drop && (fds[i].revents & POLLIN))
+                drop = !readInput(*conn);
+            // A HUP with no readable data left means the peer is
+            // fully gone (readInput above consumed any remainder).
+            if (!drop && (fds[i].revents & POLLHUP) &&
+                conn->in.empty() && conn->pending.empty() &&
+                conn->parked.empty())
+                drop = true;
+            conn->dead = drop;
+        }
+
+        for (auto &conn : conns_) {
+            if (conn->dead)
+                continue;
+            if (!conn->in.empty() && !conn->closeAfterFlush)
+                conn->dead = !consumeFrames(*conn);
+            if (conn->dead)
+                continue;
+            pumpParked(*conn);
+            pumpFutures(*conn);
+            if (!flushOutput(*conn)) {
+                conn->dead = true;
+                continue;
+            }
+            if (conn->closeAfterFlush && conn->out.empty() &&
+                conn->pending.empty())
+                conn->dead = true;
+        }
+
+        for (std::size_t i = 0; i < conns_.size();) {
+            if (conns_[i]->dead) {
+                ::close(conns_[i]->fd);
+                conns_.erase(conns_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        if (controlMode_ && conns_.empty())
+            break; // the parent router is gone; nothing to serve
+        if (draining && !workRemains())
+            break; // every accepted request resolved and flushed
+    }
+
+    for (auto &conn : conns_) {
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conns_.clear();
+    // Drain the scheduler too: queued work resolves before exit.
+    scheduler_->stop();
+}
+
+} // namespace com::net

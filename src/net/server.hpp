@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The socket server: one serve::Scheduler behind the wire protocol.
+ *
+ * A single poll(2) event loop owns every connection. Sockets are
+ * nonblocking; each connection accumulates bytes into a read buffer
+ * until whole frames appear (net/frame.hpp), and queues encoded
+ * responses into a write buffer that drains as the socket allows.
+ * RunRequest frames are submitted to the scheduler; the returned
+ * futures are polled from the event loop (wait_for(0)) and completed
+ * responses are written back in completion order — request ids, not
+ * arrival order, match responses to requests, so callers may
+ * pipeline.
+ *
+ * Overload never blocks the loop: when the scheduler's shard queue is
+ * full, the decoded request parks connection-side and the loop stops
+ * *reading* that connection — TCP back-pressure pushes the overload
+ * to the sender instead of building an unbounded backlog or spinning.
+ *
+ * Malformed payloads are answered with an Error frame and skipped
+ * (the connection survives — see frame.hpp); bad magic, a version
+ * mismatch, or an oversized length close the connection after a
+ * best-effort Error frame, since the stream has no resync point.
+ *
+ * Graceful drain (SIGTERM in comsim_served, via requestDrain(), which
+ * is async-signal-safe): stop accepting connections and stop reading
+ * new frames, serve everything already accepted — every submitted
+ * future resolves and flushes — then close, stop the scheduler and
+ * return from run(). The process exits 0 with no request dropped.
+ *
+ * Two modes:
+ *   - listening: bind host:port (port 0 = kernel-assigned, see
+ *     port()) and accept clients;
+ *   - control-fd (router worker): serve exactly one pre-connected
+ *     socket inherited from the parent (net/router.hpp); EOF on it
+ *     means the parent is gone, which drains and returns.
+ */
+
+#ifndef COMSIM_NET_SERVER_HPP
+#define COMSIM_NET_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "serve/scheduler.hpp"
+
+namespace com::net {
+
+class Server
+{
+  public:
+    struct Config
+    {
+        /** Listening address (ignored with controlFd >= 0). */
+        std::string host = "127.0.0.1";
+        /** Listening port; 0 picks a free one (read it via port()). */
+        std::uint16_t port = 0;
+        /** Serve exactly this connected socket instead of listening
+         *  (the router-worker mode); -1 = listen normally. */
+        int controlFd = -1;
+        /** The scheduler this server fronts. */
+        serve::Scheduler::Config scheduler;
+        /** Accepted-connection cap; further accepts are closed. */
+        std::size_t maxConnections = 128;
+    };
+
+    /** Binds and listens (or adopts the control fd) and starts the
+     *  scheduler; fatal()s when the address cannot be bound. */
+    explicit Server(const Config &cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port (the configured one, or the kernel's pick). */
+    std::uint16_t port() const { return port_; }
+
+    /** The scheduler behind the wire (tests and tools). */
+    serve::Scheduler &scheduler() { return *scheduler_; }
+
+    /**
+     * Serve until drained: runs the event loop, returns once
+     * requestDrain() was called AND every accepted request has
+     * resolved and flushed (or every connection is gone). The
+     * scheduler is stopped (drained) before returning.
+     */
+    void run();
+
+    /**
+     * Begin graceful drain. Async-signal-safe (a flag store plus a
+     * self-pipe write), callable from any thread or signal handler.
+     */
+    void requestDrain();
+
+    /** @return true once requestDrain() was called. */
+    bool
+    draining() const
+    {
+        return drain_.load(std::memory_order_acquire);
+    }
+
+    /** Frames answered over the server's lifetime (tests). */
+    std::uint64_t framesServed() const { return framesServed_; }
+
+  private:
+    /** A request decoded but not yet accepted by the scheduler
+     *  (its shard queue was full at the time). */
+    struct Parked
+    {
+        std::uint64_t id = 0;
+        api::EngineKind kind = api::EngineKind::Com;
+        api::ProgramSpec spec;
+        serve::Clock::time_point deadline = serve::kNoDeadline;
+        /** When the frame arrived — latency runs from here even when
+         *  the request parks and is offered again later. */
+        serve::Clock::time_point received{};
+    };
+
+    /** A submitted request whose future has not resolved yet. */
+    struct Pending
+    {
+        std::uint64_t id = 0;
+        std::future<serve::Response> future;
+    };
+
+    struct Conn
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
+        std::deque<Parked> parked;
+        std::deque<Pending> pending;
+        /** Flush out, then close (protocol-fatal streams). */
+        bool closeAfterFlush = false;
+        /** Marked for removal at the end of the loop turn. */
+        bool dead = false;
+        /** Stop reading (draining, or parked requests exist). */
+        bool
+        paused(bool draining) const
+        {
+            return draining || !parked.empty() || closeAfterFlush;
+        }
+    };
+
+    void openListener(const Config &cfg);
+    void acceptNew();
+    /** Drain readable bytes; @return false to drop the connection. */
+    bool readInput(Conn &conn);
+    /** Consume whole frames from conn.in; @return false to drop. */
+    bool consumeFrames(Conn &conn);
+    /** Handle one whole frame; @return false to drop the conn. */
+    bool handleFrame(Conn &conn, const FrameView &view);
+    void submitOrPark(Conn &conn, Parked &&req);
+    /** Retry parked submissions (queue may have room now). */
+    void pumpParked(Conn &conn);
+    /** Complete resolved futures into the write buffer. */
+    void pumpFutures(Conn &conn);
+    /** Write as much of conn.out as the socket takes;
+     *  @return false on a dead socket. */
+    bool flushOutput(Conn &conn);
+    void sendError(Conn &conn, std::uint64_t id, ErrorCode code,
+                   std::string message);
+    bool workRemains() const;
+
+    std::unique_ptr<serve::Scheduler> scheduler_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::uint16_t port_ = 0;
+    std::size_t maxConnections_;
+    bool controlMode_ = false;
+    std::atomic<bool> drain_{false};
+    std::uint64_t framesServed_ = 0;
+    std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+} // namespace com::net
+
+#endif // COMSIM_NET_SERVER_HPP

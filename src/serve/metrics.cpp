@@ -26,6 +26,25 @@ bucketMidSeconds(std::size_t i)
     return lo * std::sqrt(2.0) * 1e-6;
 }
 
+/** The @p q quantile of @p counts (see bucketMidSeconds), capped at
+ *  the exact observed @p maxSeconds. */
+double
+bucketQuantile(
+    const std::array<std::uint64_t, LatencyHistogram::kBuckets> &counts,
+    std::uint64_t total, double q, double maxSeconds)
+{
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    target = std::max<std::uint64_t>(target, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= target)
+            return std::min(bucketMidSeconds(i), maxSeconds);
+    }
+    return maxSeconds;
+}
+
 } // namespace
 
 void
@@ -47,11 +66,10 @@ LatencyHistogram::record(double seconds)
 LatencyHistogram::Snapshot
 LatencyHistogram::snapshot() const
 {
-    std::array<std::uint64_t, kBuckets> counts;
-    for (std::size_t i = 0; i < kBuckets; ++i)
-        counts[i] = buckets_[i].load(std::memory_order_relaxed);
-
     Snapshot s;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+
     s.count = count_.load(std::memory_order_relaxed);
     if (s.count == 0)
         return s;
@@ -61,23 +79,28 @@ LatencyHistogram::snapshot() const
     s.maxSeconds =
         static_cast<double>(maxNanos_.load(std::memory_order_relaxed)) *
         1e-9;
-
-    auto quantile = [&](double q) {
-        auto target = static_cast<std::uint64_t>(
-            std::ceil(q * static_cast<double>(s.count)));
-        target = std::max<std::uint64_t>(target, 1);
-        std::uint64_t seen = 0;
-        for (std::size_t i = 0; i < kBuckets; ++i) {
-            seen += counts[i];
-            if (seen >= target)
-                return std::min(bucketMidSeconds(i), s.maxSeconds);
-        }
-        return s.maxSeconds;
-    };
-    s.p50Seconds = quantile(0.50);
-    s.p95Seconds = quantile(0.95);
-    s.p99Seconds = quantile(0.99);
+    s.p50Seconds = bucketQuantile(s.buckets, s.count, 0.50, s.maxSeconds);
+    s.p95Seconds = bucketQuantile(s.buckets, s.count, 0.95, s.maxSeconds);
+    s.p99Seconds = bucketQuantile(s.buckets, s.count, 0.99, s.maxSeconds);
     return s;
+}
+
+void
+LatencyHistogram::Snapshot::merge(const Snapshot &other)
+{
+    std::uint64_t total = count + other.count;
+    if (total == 0)
+        return;
+    meanSeconds = (meanSeconds * static_cast<double>(count) +
+                   other.meanSeconds * static_cast<double>(other.count)) /
+                  static_cast<double>(total);
+    count = total;
+    maxSeconds = std::max(maxSeconds, other.maxSeconds);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    p50Seconds = bucketQuantile(buckets, count, 0.50, maxSeconds);
+    p95Seconds = bucketQuantile(buckets, count, 0.95, maxSeconds);
+    p99Seconds = bucketQuantile(buckets, count, 0.99, maxSeconds);
 }
 
 void
@@ -114,16 +137,52 @@ Metrics::snapshot(double wallSeconds, std::size_t workers) const
     s.maxBatch = maxBatch_.load(std::memory_order_relaxed);
     s.maxQueueDepth = maxQueueDepth_.load(std::memory_order_relaxed);
     s.queueDepth = queueDepth_.load(std::memory_order_relaxed);
-    if (wallSeconds > 0.0 && workers > 0) {
-        double busy =
-            static_cast<double>(
-                busyNanos_.load(std::memory_order_relaxed)) *
-            1e-9;
-        s.utilization =
-            busy / (wallSeconds * static_cast<double>(workers));
-    }
+    s.batchedRequests = batched;
+    s.workers = workers;
+    s.wallSeconds = wallSeconds;
+    s.busySeconds =
+        static_cast<double>(busyNanos_.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.workerSeconds = wallSeconds * static_cast<double>(workers);
+    if (s.workerSeconds > 0.0)
+        s.utilization = s.busySeconds / s.workerSeconds;
     s.latency = latency_.snapshot();
     return s;
+}
+
+void
+Metrics::Snapshot::merge(const Snapshot &other)
+{
+    submitted += other.submitted;
+    served += other.served;
+    failed += other.failed;
+    rejected += other.rejected;
+    expired += other.expired;
+    batches += other.batches;
+    batchedRequests += other.batchedRequests;
+    meanBatch = batches > 0 ? static_cast<double>(batchedRequests) /
+                                  static_cast<double>(batches)
+                            : 0.0;
+    maxBatch = std::max(maxBatch, other.maxBatch);
+    maxQueueDepth += other.maxQueueDepth;
+    queueDepth += other.queueDepth;
+    workers += other.workers;
+    wallSeconds = std::max(wallSeconds, other.wallSeconds);
+    busySeconds += other.busySeconds;
+    workerSeconds += other.workerSeconds;
+    utilization =
+        workerSeconds > 0.0 ? busySeconds / workerSeconds : 0.0;
+    latency.merge(other.latency);
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+    cacheInstalls += other.cacheInstalls;
+    cacheEvictions += other.cacheEvictions;
+    warmStarts += other.warmStarts;
+    warmStartNanos += other.warmStartNanos;
+    warmStartMeanSeconds =
+        warmStarts > 0 ? static_cast<double>(warmStartNanos) / 1e9 /
+                             static_cast<double>(warmStarts)
+                       : 0.0;
 }
 
 } // namespace com::serve

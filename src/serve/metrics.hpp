@@ -44,6 +44,17 @@ class LatencyHistogram
         double p50Seconds = 0.0;
         double p95Seconds = 0.0;
         double p99Seconds = 0.0;
+        /** The raw bucket counts behind the percentiles ([2^i,
+         *  2^(i+1)) µs each), so snapshots from different histograms
+         *  — or different *processes* — can be combined exactly. */
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        /**
+         * Fold @p other into this snapshot: bucket counts and moments
+         * sum (the mean is count-weighted, the max is the larger),
+         * percentiles are recomputed from the combined buckets.
+         */
+        void merge(const Snapshot &other);
     };
 
     /** Fold the counters into percentiles (approximate, see file
@@ -83,6 +94,17 @@ class Metrics
         double utilization = 0.0;
         LatencyHistogram::Snapshot latency;
 
+        // Raw ingredients behind the derived numbers, kept so
+        // snapshots can be merged (router-side aggregation across
+        // worker processes) and diffed (a benchmark isolating one
+        // scenario on a long-lived server) without losing exactness.
+        std::uint64_t batchedRequests = 0; ///< Σ batch sizes
+        std::uint64_t workers = 0;         ///< worker threads covered
+        double wallSeconds = 0.0;          ///< observed serving wall
+        double busySeconds = 0.0;          ///< Σ session-held seconds
+        /** Utilization denominator: Σ wall×workers per source. */
+        double workerSeconds = 0.0;
+
         // Program-cache counters, summed across the shards' caches.
         // Metrics::snapshot() leaves these zero (the caches live in
         // the pools, not here); Scheduler::metricsSnapshot() fills
@@ -94,6 +116,21 @@ class Metrics
         std::uint64_t warmStarts = 0;
         /** Mean time one warm start spent restoring (seconds). */
         double warmStartMeanSeconds = 0.0;
+        /** Total warm-start restore time (merge ingredient). */
+        std::uint64_t warmStartNanos = 0;
+
+        /**
+         * Fold @p other into this snapshot. Counters and raw
+         * ingredients sum; meanBatch, utilization and the warm-start
+         * mean are recomputed from the summed ingredients (so merging
+         * is exact, not an average of averages); maxima take the
+         * larger (wallSeconds too — parallel processes overlap, their
+         * walls do not add); queue depths sum (the combined system's
+         * total backlog). The latency histograms merge bucket-wise.
+         * Router-side aggregation of per-worker-process snapshots and
+         * any future multi-scheduler caller both use this.
+         */
+        void merge(const Snapshot &other);
     };
 
     void

@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -95,9 +96,24 @@ Scheduler::stop()
 }
 
 std::size_t
+sourceShard(const std::string &source, std::size_t shards)
+{
+    if (shards <= 1)
+        return 0;
+    // FNV-1a, 64-bit: stable across builds and processes (the router
+    // depends on matching this — see the header comment).
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : source) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h % shards);
+}
+
+std::size_t
 Scheduler::shardFor(const api::ProgramSpec &spec) const
 {
-    return std::hash<std::string>{}(spec.source) % shards_.size();
+    return sourceShard(spec.source, shards_.size());
 }
 
 api::EnginePool &
@@ -168,6 +184,49 @@ Scheduler::trySubmit(api::EngineKind kind, api::ProgramSpec spec,
         req.promise.set_value(std::move(r));
     }
     return future;
+}
+
+Scheduler::Admission
+Scheduler::offer(api::EngineKind kind, api::ProgramSpec &spec,
+                 Clock::time_point deadline,
+                 Clock::time_point submitted, std::future<Response> *out)
+{
+    std::size_t shard_index = shardFor(spec);
+    if (!servableKind(kind)) {
+        metrics_.countSubmitted();
+        metrics_.countRejected();
+        ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+        req.submitted = submitted;
+        *out = req.promise.get_future();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = std::string("pool holds no ") +
+                  api::engineKindName(kind) + " engines";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+        return Admission::NoEngine;
+    }
+    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    req.submitted = submitted;
+    *out = req.promise.get_future();
+    if (shards_[shard_index]->queue.tryPush(std::move(req))) {
+        metrics_.countSubmitted();
+        return Admission::Accepted;
+    }
+    // tryPush left req intact either way; decide which failure.
+    if (shards_[shard_index]->queue.isClosed()) {
+        metrics_.countSubmitted();
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = "scheduler stopped";
+        r.shard = shard_index;
+        req.promise.set_value(std::move(r));
+        return Admission::Stopped;
+    }
+    spec = std::move(req.spec); // hand the program back to the caller
+    *out = std::future<Response>{};
+    return Admission::QueueFull;
 }
 
 std::future<Response>
@@ -328,7 +387,6 @@ Scheduler::metricsSnapshot() const
     // queueDepth is exact in the shared counters: queues count
     // enqueues/dequeues globally (see Metrics::countEnqueued).
     Metrics::Snapshot s = metrics_.snapshot(wall, workerCount());
-    std::uint64_t warm_nanos = 0;
     for (const auto &shard : shards_) {
         const std::shared_ptr<api::ProgramCache> &cache =
             shard->pool.programCache();
@@ -340,11 +398,11 @@ Scheduler::metricsSnapshot() const
         s.cacheInstalls += c.installs;
         s.cacheEvictions += c.evictions;
         s.warmStarts += c.warmStarts;
-        warm_nanos += c.warmNanos;
+        s.warmStartNanos += c.warmNanos;
     }
     if (s.warmStarts > 0)
         s.warmStartMeanSeconds =
-            static_cast<double>(warm_nanos) / 1e9 /
+            static_cast<double>(s.warmStartNanos) / 1e9 /
             static_cast<double>(s.warmStarts);
     return s;
 }

@@ -41,6 +41,18 @@
 
 namespace com::serve {
 
+/**
+ * The shard a program's source text routes to, out of @p shards.
+ *
+ * FNV-1a on the bytes — deliberately NOT std::hash: the wire-protocol
+ * router (net/router.hpp) must shard across worker *processes* with
+ * the same function the in-process scheduler uses across its shards,
+ * so one program's requests always land on one worker's (hot) caches.
+ * A stable, implementation-independent hash makes that a contract
+ * instead of a coincidence.
+ */
+std::size_t sourceShard(const std::string &source, std::size_t shards);
+
 class Scheduler
 {
   public:
@@ -99,6 +111,31 @@ class Scheduler
     std::future<Response>
     submit(api::EngineKind kind, api::ProgramSpec spec,
            Clock::time_point deadline = kNoDeadline);
+
+    /** How offer() disposed of a request. */
+    enum class Admission : std::uint8_t
+    {
+        Accepted,  ///< queued; @p out is the live future
+        QueueFull, ///< hold the request and retry; @p spec returned
+        Stopped,   ///< @p out is an already-Rejected future
+        NoEngine,  ///< @p out is an already-Rejected future
+    };
+
+    /**
+     * Nonblocking submit for callers that can *hold* work instead of
+     * rejecting it — the socket server (net/server.hpp) parks the
+     * request and stops reading its connection, turning a full shard
+     * queue into TCP back-pressure on the sender. On QueueFull, @p
+     * spec is handed back intact, nothing is counted against the
+     * metrics, and no future exists; every other result behaves like
+     * trySubmit. @p submitted is when the request first arrived (a
+     * parked-and-retried request's latency runs from its original
+     * receipt, not the retry); pass Clock::now() for fresh work.
+     */
+    Admission offer(api::EngineKind kind, api::ProgramSpec &spec,
+                    Clock::time_point deadline,
+                    Clock::time_point submitted,
+                    std::future<Response> *out);
 
     /** Start the worker threads (no-op when already started). */
     void start();

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FlagSet parsing regressions (bench/flags.hpp): the `--flag value`
+ * form added alongside `--flag=value`, and error messages that name
+ * the exact offending command-line token.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/flags.hpp"
+
+using namespace com;
+
+namespace {
+
+/** argv builder: keeps the strings alive, hands out char pointers. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : strings_(std::move(args))
+    {
+        strings_.insert(strings_.begin(), "test_binary");
+        for (std::string &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(BenchFlags, EqualsFormParses)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    std::string s;
+    double d = 0.0;
+    flags.addUint("count", &n, "");
+    flags.addString("name", &s, "");
+    flags.addDouble("rate", &d, "");
+
+    Argv argv({"--count=42", "--name=fib", "--rate=1.5"});
+    std::string err;
+    ASSERT_TRUE(flags.tryParse(argv.argc(), argv.argv(), &err))
+        << err;
+    EXPECT_EQ(n, 42u);
+    EXPECT_EQ(s, "fib");
+    EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+TEST(BenchFlags, SpaceSeparatedFormParses)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    std::string s;
+    flags.addUint("count", &n, "");
+    flags.addString("name", &s, "");
+
+    Argv argv({"--count", "7", "--name", "sieve"});
+    std::string err;
+    ASSERT_TRUE(flags.tryParse(argv.argc(), argv.argv(), &err))
+        << err;
+    EXPECT_EQ(n, 7u);
+    EXPECT_EQ(s, "sieve");
+}
+
+TEST(BenchFlags, MixedFormsParse)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t a = 0, b = 0;
+    flags.addUint("alpha", &a, "");
+    flags.addUint("beta", &b, "");
+
+    Argv argv({"--alpha=1", "--beta", "2"});
+    std::string err;
+    ASSERT_TRUE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+}
+
+TEST(BenchFlags, UnknownFlagNamesTheToken)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"--bogus=3"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+    EXPECT_NE(err.find("--bogus=3"), std::string::npos) << err;
+}
+
+TEST(BenchFlags, UnknownFlagInSpaceFormDoesNotEatValue)
+{
+    // "--bogus 3": since --bogus is unknown it must NOT consume "3";
+    // the error names the flag itself.
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"--bogus", "3"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+}
+
+TEST(BenchFlags, MissingValueNamesTheFlag)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"--count"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("--count"), std::string::npos) << err;
+    EXPECT_NE(err.find("value"), std::string::npos) << err;
+}
+
+TEST(BenchFlags, BadValueNamesValueAndToken)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"--count=banana"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("banana"), std::string::npos) << err;
+    EXPECT_NE(err.find("--count"), std::string::npos) << err;
+}
+
+TEST(BenchFlags, NonFlagArgumentIsRejected)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"stray"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("stray"), std::string::npos) << err;
+}
+
+TEST(BenchFlags, HelpIsReportedNotFatal)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    flags.addUint("count", &n, "");
+
+    Argv argv({"--help"});
+    std::string err;
+    EXPECT_TRUE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_TRUE(flags.helpRequested());
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The multi-process shard router (net/router.hpp): requests flow
+ * through to forked comsim_served workers, a SIGKILLed worker is
+ * restarted without dropping other connections, and drain shuts both
+ * workers down cleanly (run() returns 0).
+ *
+ * These tests fork real worker processes, so they need the
+ * comsim_served binary next to the test executable (the normal CMake
+ * layout). When it is missing the suite skips rather than fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/router.hpp"
+
+using namespace com;
+
+namespace {
+
+/** comsim_served next to this test binary, or "" if absent. */
+std::string
+workerBinary()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    std::string path(buf);
+    std::size_t slash = path.find_last_of('/');
+    path = path.substr(0, slash + 1) + "comsim_served";
+    return ::access(path.c_str(), X_OK) == 0 ? path : "";
+}
+
+/** A Router over two real workers plus the thread running it. */
+class RouterFixture
+{
+  public:
+    RouterFixture()
+    {
+        net::Router::Config cfg;
+        cfg.port = 0;
+        cfg.workers = 2;
+        cfg.workerPath = workerBinary();
+        router_ = std::make_unique<net::Router>(cfg);
+        thread_ = std::thread([this] { exit_ = router_->run(); });
+    }
+
+    ~RouterFixture()
+    {
+        if (thread_.joinable()) {
+            router_->requestDrain();
+            thread_.join();
+        }
+    }
+
+    net::Router &router() { return *router_; }
+    int exitCode() const { return exit_; }
+
+    net::Client::Config
+    clientConfig() const
+    {
+        net::Client::Config cfg;
+        cfg.port = router_->port();
+        return cfg;
+    }
+
+    int
+    shutdown()
+    {
+        router_->requestDrain();
+        thread_.join();
+        return exit_;
+    }
+
+  private:
+    std::unique_ptr<net::Router> router_;
+    std::thread thread_;
+    int exit_ = -1;
+};
+
+/** Distinct sources so requests land on both shards. */
+api::ProgramSpec
+specFor(int i)
+{
+    std::string src = std::to_string(i) + " 1 + dup .";
+    api::ProgramSpec spec = api::ProgramSpec::fith("add", src);
+    spec.hasExpected = true;
+    spec.expected = i + 1;
+    return spec;
+}
+
+TEST(NetRouter, RoutesRequestsToWorkers)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()))
+        << client.error();
+
+    for (int i = 0; i < 10; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+        EXPECT_TRUE(r.outcome.ok);
+    }
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, AggregatesMetricsAcrossWorkers)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+
+    constexpr int kRequests = 12;
+    for (int i = 0; i < kRequests; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+
+    serve::Metrics::Snapshot snap;
+    ASSERT_TRUE(client.metrics(&snap)) << client.error();
+    EXPECT_EQ(snap.served, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, RestartsKilledWorker)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+
+    // Warm both shards first.
+    for (int i = 0; i < 6; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+
+    pid_t victim = fx.router().workerPid(0);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    // The router notices the death via EOF and respawns; requests to
+    // BOTH shards must keep succeeding (the replacement may need a
+    // connect retry internally, which the router hides from us).
+    for (int i = 0; i < 12; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok)
+            << "request " << i << ": " << r.error;
+    }
+
+    EXPECT_GE(fx.router().restarts(), 1u);
+    pid_t replacement = fx.router().workerPid(0);
+    EXPECT_GT(replacement, 0);
+    EXPECT_NE(replacement, victim);
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, DrainExitsZeroWithIdleWorkers)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    serve::Response r = client.run(api::EngineKind::Fith, specFor(1));
+    ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    client.close();
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+} // namespace

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The socket server's lifecycle (net/server.hpp + net/client.hpp):
+ * request/response round trips over real TCP, concurrent clients
+ * (exercised under TSan in CI), pipelined requests matched by id,
+ * malformed-frame containment (Error frame, connection survives),
+ * protocol-fatal streams (closed), the metrics frame, and graceful
+ * drain — requestDrain() resolves every accepted request before
+ * run() returns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+
+using namespace com;
+
+namespace {
+
+/** A tiny always-valid Fith program with a known checksum. */
+api::ProgramSpec
+addSpec()
+{
+    api::ProgramSpec spec = api::ProgramSpec::fith("add", "1 2 + dup .");
+    spec.hasExpected = true;
+    spec.expected = 3;
+    return spec;
+}
+
+/** A Server on a free port plus the thread running its loop. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(net::Server::Config cfg = {})
+    {
+        cfg.port = 0;
+        if (cfg.scheduler.pool.fithEngines == 0)
+            cfg.scheduler.pool.fithEngines = 2;
+        server_ = std::make_unique<net::Server>(cfg);
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~ServerFixture()
+    {
+        if (thread_.joinable()) {
+            server_->requestDrain();
+            thread_.join();
+        }
+    }
+
+    net::Server &server() { return *server_; }
+
+    net::Client::Config
+    clientConfig() const
+    {
+        net::Client::Config cfg;
+        cfg.port = server_->port();
+        return cfg;
+    }
+
+    /** Drain and join — asserts run() actually returns. */
+    void
+    shutdown()
+    {
+        server_->requestDrain();
+        thread_.join();
+    }
+
+  private:
+    std::unique_ptr<net::Server> server_;
+    std::thread thread_;
+};
+
+TEST(NetServer, ServesOneRequest)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()))
+        << client.error();
+
+    serve::Response r = client.run(api::EngineKind::Fith, addSpec());
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+    EXPECT_TRUE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.output, "3 ");
+    EXPECT_GT(r.latencySeconds, 0.0);
+}
+
+TEST(NetServer, ManySequentialRequestsOneConnection)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    for (int i = 0; i < 20; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, addSpec());
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+}
+
+TEST(NetServer, ConcurrentClients)
+{
+    net::Server::Config cfg;
+    cfg.scheduler.shards = 2;
+    cfg.scheduler.pool.fithEngines = 2;
+    ServerFixture fx(cfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            net::Client client;
+            if (!client.connect(fx.clientConfig()))
+                return;
+            for (int i = 0; i < kPerThread; ++i) {
+                serve::Response r =
+                    client.run(api::EngineKind::Fith, addSpec());
+                if (r.status == serve::ResponseStatus::Ok)
+                    ok.fetch_add(1);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kThreads * kPerThread);
+}
+
+TEST(NetServer, MetricsFrameReportsServedRequests)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    for (int i = 0; i < 3; ++i)
+        (void)client.run(api::EngineKind::Fith, addSpec());
+
+    serve::Metrics::Snapshot snap;
+    ASSERT_TRUE(client.metrics(&snap)) << client.error();
+    EXPECT_EQ(snap.submitted, 3u);
+    EXPECT_EQ(snap.served, 3u);
+    EXPECT_GT(snap.latency.count, 0u);
+}
+
+/** A blocking raw socket for speaking hand-built bytes at a server. */
+class RawConn
+{
+  public:
+    explicit RawConn(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        connected_ =
+            ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0;
+    }
+    ~RawConn()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return connected_; }
+
+    void
+    sendAll(const std::string &bytes)
+    {
+        std::size_t at = 0;
+        while (at < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + at,
+                               bytes.size() - at, MSG_NOSIGNAL);
+            if (n <= 0)
+                return;
+            at += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Block until one whole frame arrives; false on EOF. */
+    bool
+    readFrame(net::FrameView *view, std::string *hold)
+    {
+        for (;;) {
+            std::size_t consumed = 0;
+            if (net::peekFrame(buf_, view, &consumed) ==
+                net::DecodeStatus::Frame) {
+                hold->assign(buf_, 0, consumed);
+                buf_.erase(0, consumed);
+                std::size_t unused = 0;
+                net::peekFrame(*hold, view, &unused);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+    std::string buf_;
+};
+
+TEST(NetServer, MalformedPayloadGetsErrorFrameAndConnectionSurvives)
+{
+    ServerFixture fx;
+    RawConn raw(fx.server().port());
+    ASSERT_TRUE(raw.connected());
+
+    // Hand-mangle a frame: valid header, truncated payload (header
+    // length patched to match, so it peeks fine but decodes false).
+    net::RunRequestFrame good = net::RunRequestFrame::fromSpec(
+        1, api::EngineKind::Fith, addSpec(), 0);
+    std::string bad = net::encodeRunRequest(good);
+    bad.resize(bad.size() - 4);
+    std::uint32_t len = static_cast<std::uint32_t>(
+        bad.size() - net::kHeaderSize);
+    bad[8] = static_cast<char>(len & 0xFF);
+    bad[9] = static_cast<char>((len >> 8) & 0xFF);
+    bad[10] = static_cast<char>((len >> 16) & 0xFF);
+    bad[11] = static_cast<char>((len >> 24) & 0xFF);
+    raw.sendAll(bad);
+
+    net::FrameView view;
+    std::string hold;
+    ASSERT_TRUE(raw.readFrame(&view, &hold));
+    EXPECT_EQ(view.type, net::FrameType::Error);
+    net::ErrorFrame err;
+    ASSERT_TRUE(net::decodeError(view, &err));
+    EXPECT_EQ(err.code, net::ErrorCode::BadFrame);
+
+    // The SAME connection still serves well-formed frames after the
+    // bad one was skipped.
+    good.requestId = 2;
+    raw.sendAll(net::encodeRunRequest(good));
+    ASSERT_TRUE(raw.readFrame(&view, &hold));
+    EXPECT_EQ(view.type, net::FrameType::RunResponse);
+    EXPECT_EQ(view.requestId, 2u);
+    net::RunResponseFrame resp;
+    ASSERT_TRUE(net::decodeRunResponse(view, &resp));
+    EXPECT_EQ(resp.status, serve::ResponseStatus::Ok);
+}
+
+TEST(NetServer, GarbageStreamIsClosed)
+{
+    ServerFixture fx;
+    RawConn raw(fx.server().port());
+    ASSERT_TRUE(raw.connected());
+    raw.sendAll("GET / HTTP/1.1\r\nHost: nope\r\n\r\n");
+
+    // Best-effort Error frame, then EOF: readFrame returns the Error
+    // first (if it arrived) and false after.
+    net::FrameView view;
+    std::string hold;
+    bool got = raw.readFrame(&view, &hold);
+    if (got) {
+        EXPECT_EQ(view.type, net::FrameType::Error);
+        EXPECT_FALSE(raw.readFrame(&view, &hold));
+    }
+}
+
+TEST(NetServer, VersionMismatchIsRefused)
+{
+    ServerFixture fx;
+    RawConn raw(fx.server().port());
+    ASSERT_TRUE(raw.connected());
+
+    std::string frame = net::encodeRunRequest(
+        net::RunRequestFrame::fromSpec(1, api::EngineKind::Fith,
+                                       addSpec(), 0));
+    frame[4] = static_cast<char>(net::kProtocolVersion + 1);
+    raw.sendAll(frame);
+
+    net::FrameView view;
+    std::string hold;
+    bool got = raw.readFrame(&view, &hold);
+    if (got) {
+        EXPECT_EQ(view.type, net::FrameType::Error);
+        net::ErrorFrame err;
+        ASSERT_TRUE(net::decodeError(view, &err));
+        EXPECT_EQ(err.code, net::ErrorCode::VersionMismatch);
+        EXPECT_FALSE(raw.readFrame(&view, &hold));
+    }
+}
+
+TEST(NetServer, PipelinedRequestsMatchById)
+{
+    ServerFixture fx;
+    RawConn raw(fx.server().port());
+    ASSERT_TRUE(raw.connected());
+
+    // Send three requests back-to-back before reading anything;
+    // responses must carry the matching ids (order may vary).
+    std::string burst;
+    for (std::uint64_t id = 10; id < 13; ++id)
+        burst += net::encodeRunRequest(net::RunRequestFrame::fromSpec(
+            id, api::EngineKind::Fith, addSpec(), 0));
+    raw.sendAll(burst);
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+        net::FrameView view;
+        std::string hold;
+        ASSERT_TRUE(raw.readFrame(&view, &hold));
+        ASSERT_EQ(view.type, net::FrameType::RunResponse);
+        net::RunResponseFrame resp;
+        ASSERT_TRUE(net::decodeRunResponse(view, &resp));
+        EXPECT_EQ(resp.status, serve::ResponseStatus::Ok);
+        ids.push_back(resp.requestId);
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(NetServer, DrainResolvesEveryAcceptedRequest)
+{
+    net::Server::Config cfg;
+    cfg.scheduler.pool.fithEngines = 1;
+    cfg.scheduler.workersPerShard = 1;
+    ServerFixture fx(cfg);
+
+    // Saturate, then drain mid-flight: every accepted request must
+    // still resolve (Ok here — no deadlines), and run() must return.
+    constexpr int kThreads = 3;
+    constexpr int kPerThread = 5;
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            net::Client client;
+            if (!client.connect(fx.clientConfig()))
+                return;
+            for (int i = 0; i < kPerThread; ++i) {
+                serve::Response r =
+                    client.run(api::EngineKind::Fith, addSpec());
+                if (r.status == serve::ResponseStatus::Ok)
+                    resolved.fetch_add(1);
+            }
+        });
+
+    for (std::thread &t : threads)
+        t.join();
+    fx.shutdown(); // asserts run() returns
+    EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+    EXPECT_TRUE(fx.server().draining());
+}
+
+TEST(NetServer, ReportsFramesServed)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    (void)client.run(api::EngineKind::Fith, addSpec());
+    serve::Metrics::Snapshot snap;
+    (void)client.metrics(&snap);
+    fx.shutdown();
+    EXPECT_GE(fx.server().framesServed(), 2u);
+}
+
+} // namespace

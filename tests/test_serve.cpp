@@ -576,4 +576,153 @@ TEST(ServeQueue, PopBatchCoalescesByKindAndSource)
     EXPECT_TRUE(q.popBatch(8).empty());
 }
 
+// ---------------------------------------------------------------
+// Snapshot::merge — two hand-built snapshots fold into exact sums,
+// recomputed (not averaged) derived values, and bucket-wise latency.
+// ---------------------------------------------------------------
+
+TEST(ServeMetrics, SnapshotMergeSumsCountersExactly)
+{
+    serve::Metrics::Snapshot a;
+    a.submitted = 100;
+    a.served = 90;
+    a.failed = 4;
+    a.rejected = 3;
+    a.expired = 3;
+    a.batches = 30;
+    a.batchedRequests = 90;
+    a.meanBatch = 3.0;
+    a.maxBatch = 8;
+    a.maxQueueDepth = 12;
+    a.queueDepth = 2;
+    a.workers = 4;
+    a.wallSeconds = 10.0;
+    a.busySeconds = 24.0;
+    a.workerSeconds = 40.0;
+    a.utilization = 0.6;
+    a.cacheHits = 50;
+    a.cacheMisses = 10;
+    a.cacheInstalls = 10;
+    a.cacheEvictions = 1;
+    a.warmStarts = 40;
+    a.warmStartNanos = 80'000'000; // 2 ms mean
+    a.warmStartMeanSeconds = 0.002;
+
+    serve::Metrics::Snapshot b;
+    b.submitted = 50;
+    b.served = 45;
+    b.failed = 1;
+    b.rejected = 2;
+    b.expired = 2;
+    b.batches = 10;
+    b.batchedRequests = 50;
+    b.meanBatch = 5.0;
+    b.maxBatch = 6;
+    b.maxQueueDepth = 20;
+    b.queueDepth = 3;
+    b.workers = 2;
+    b.wallSeconds = 8.0;
+    b.busySeconds = 8.0;
+    b.workerSeconds = 16.0;
+    b.utilization = 0.5;
+    b.cacheHits = 20;
+    b.cacheMisses = 5;
+    b.cacheInstalls = 5;
+    b.cacheEvictions = 0;
+    b.warmStarts = 10;
+    b.warmStartNanos = 70'000'000; // 7 ms mean
+    b.warmStartMeanSeconds = 0.007;
+
+    a.merge(b);
+
+    EXPECT_EQ(a.submitted, 150u);
+    EXPECT_EQ(a.served, 135u);
+    EXPECT_EQ(a.failed, 5u);
+    EXPECT_EQ(a.rejected, 5u);
+    EXPECT_EQ(a.expired, 5u);
+    EXPECT_EQ(a.batches, 40u);
+    EXPECT_EQ(a.batchedRequests, 140u);
+    // Recomputed from summed ingredients: 140/40, NOT (3+5)/2.
+    EXPECT_DOUBLE_EQ(a.meanBatch, 3.5);
+    EXPECT_EQ(a.maxBatch, 8u);
+    // Queue depths sum — each process's peak is its own shards'
+    // backlog, and the combined system's worst case is both at once.
+    EXPECT_EQ(a.maxQueueDepth, 32u);
+    EXPECT_EQ(a.queueDepth, 5u);
+    EXPECT_EQ(a.workers, 6u);
+    // Parallel processes overlap: walls take the max, not the sum.
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(a.busySeconds, 32.0);
+    EXPECT_DOUBLE_EQ(a.workerSeconds, 56.0);
+    // 32/56, NOT (0.6+0.5)/2.
+    EXPECT_DOUBLE_EQ(a.utilization, 32.0 / 56.0);
+    EXPECT_EQ(a.cacheHits, 70u);
+    EXPECT_EQ(a.cacheMisses, 15u);
+    EXPECT_EQ(a.cacheInstalls, 15u);
+    EXPECT_EQ(a.cacheEvictions, 1u);
+    EXPECT_EQ(a.warmStarts, 50u);
+    EXPECT_EQ(a.warmStartNanos, 150'000'000u);
+    // 150 ms over 50 starts = 3 ms, NOT (2 ms + 7 ms)/2.
+    EXPECT_DOUBLE_EQ(a.warmStartMeanSeconds, 0.003);
+}
+
+TEST(ServeMetrics, SnapshotMergeCombinesLatencyBucketwise)
+{
+    serve::LatencyHistogram ha;
+    ha.record(0.001);
+    ha.record(0.001);
+    ha.record(0.004);
+    serve::LatencyHistogram hb;
+    hb.record(0.002);
+    hb.record(0.064);
+
+    serve::LatencyHistogram both;
+    for (double v : {0.001, 0.001, 0.004, 0.002, 0.064})
+        both.record(v);
+
+    serve::Metrics::Snapshot a;
+    a.latency = ha.snapshot();
+    serve::Metrics::Snapshot b;
+    b.latency = hb.snapshot();
+    a.merge(b);
+
+    serve::LatencyHistogram::Snapshot want = both.snapshot();
+    EXPECT_EQ(a.latency.count, want.count);
+    EXPECT_EQ(a.latency.buckets, want.buckets);
+    EXPECT_DOUBLE_EQ(a.latency.maxSeconds, want.maxSeconds);
+    // The merged mean is count-weighted from the two sums; recording
+    // into one histogram quantizes identically, so they agree.
+    EXPECT_NEAR(a.latency.meanSeconds, want.meanSeconds, 1e-9);
+    EXPECT_DOUBLE_EQ(a.latency.p50Seconds, want.p50Seconds);
+    EXPECT_DOUBLE_EQ(a.latency.p95Seconds, want.p95Seconds);
+    EXPECT_DOUBLE_EQ(a.latency.p99Seconds, want.p99Seconds);
+}
+
+TEST(ServeMetrics, SnapshotMergeWithEmptyIsIdentity)
+{
+    serve::Metrics::Snapshot a;
+    a.submitted = 7;
+    a.served = 7;
+    a.batches = 2;
+    a.batchedRequests = 7;
+    a.meanBatch = 3.5;
+    a.busySeconds = 1.0;
+    a.workerSeconds = 4.0;
+    a.utilization = 0.25;
+
+    serve::Metrics::Snapshot empty;
+    a.merge(empty);
+
+    EXPECT_EQ(a.submitted, 7u);
+    EXPECT_DOUBLE_EQ(a.meanBatch, 3.5);
+    EXPECT_DOUBLE_EQ(a.utilization, 0.25);
+
+    // And the other direction: empty.merge(a) == a's counters.
+    serve::Metrics::Snapshot fresh;
+    fresh.merge(a);
+    EXPECT_EQ(fresh.submitted, 7u);
+    EXPECT_DOUBLE_EQ(fresh.meanBatch, 3.5);
+    EXPECT_DOUBLE_EQ(fresh.utilization, 0.25);
+}
+
 } // namespace

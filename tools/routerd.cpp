@@ -1,0 +1,91 @@
+/**
+ * @file
+ * comsim_routerd — the multi-process shard router (net/router.hpp).
+ *
+ * Forks --workers comsim_served processes, listens on --host:--port
+ * (0 picks a free port, printed as "listening on HOST:PORT"), and
+ * routes each request to the worker the stable source hash names.
+ * A crashed worker is restarted in place; SIGTERM drains gracefully
+ * (every in-flight request resolves, workers exit 0, then we do).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "bench/flags.hpp"
+#include "net/router.hpp"
+
+namespace {
+
+com::net::Router *g_router = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_router)
+        g_router->requestDrain(); // async-signal-safe
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint64_t port = 0;
+    std::uint64_t workers = 2;
+    std::string worker_path;
+    std::uint64_t workers_per_shard = 2;
+    std::uint64_t queue_capacity = 1024;
+    std::uint64_t max_batch = 32;
+    std::uint64_t max_attempts = 3;
+    std::uint64_t max_connections = 128;
+
+    com::bench::FlagSet flags(
+        "comsim_routerd",
+        "multi-process shard router over comsim_served workers");
+    flags.addString("host", &host, "listening address");
+    flags.addUint("port", &port, "listening port (0 = pick free)");
+    flags.addUint("workers", &workers,
+                  "worker processes (the shard count)");
+    flags.addString("worker-path", &worker_path,
+                    "comsim_served binary (default: our sibling)");
+    flags.addUint("workers-per-shard", &workers_per_shard,
+                  "scheduler threads inside each worker");
+    flags.addUint("queue-capacity", &queue_capacity,
+                  "queue capacity inside each worker");
+    flags.addUint("max-batch", &max_batch,
+                  "requests per session checkout in each worker");
+    flags.addUint("max-attempts", &max_attempts,
+                  "re-sends after worker deaths before WorkerLost");
+    flags.addUint("max-connections", &max_connections,
+                  "accepted-connection cap");
+    flags.parse(argc, argv);
+
+    com::net::Router::Config cfg;
+    cfg.host = host;
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.workers = workers;
+    cfg.workerPath = worker_path;
+    cfg.maxAttempts = max_attempts;
+    cfg.maxConnections = max_connections;
+    cfg.workerArgs = {
+        "--workers-per-shard", std::to_string(workers_per_shard),
+        "--queue-capacity",    std::to_string(queue_capacity),
+        "--max-batch",         std::to_string(max_batch),
+    };
+
+    std::signal(SIGPIPE, SIG_IGN);
+    com::net::Router router(cfg);
+    g_router = &router;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::printf("listening on %s:%u\n", host.c_str(),
+                router.port());
+    std::fflush(stdout);
+    int rc = router.run();
+    g_router = nullptr;
+    return rc;
+}

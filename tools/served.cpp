@@ -1,0 +1,98 @@
+/**
+ * @file
+ * comsim_served — one wire-protocol serving process.
+ *
+ * Two modes:
+ *   - standalone: bind --host:--port (0 picks a free port, printed as
+ *     "listening on HOST:PORT" for scripts) and serve clients;
+ *   - router worker: --control-fd N serves exactly that inherited
+ *     pre-connected socket (comsim_routerd forks us this way).
+ *
+ * SIGTERM / SIGINT drain gracefully: stop accepting, resolve every
+ * accepted request, flush, exit 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "bench/flags.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+com::net::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestDrain(); // async-signal-safe
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint64_t port = 0;
+    // 0 = standalone (fd 0 is stdin, never a control socket).
+    std::uint64_t control_fd = 0;
+    std::uint64_t shards = 1;
+    std::uint64_t workers_per_shard = 2;
+    std::uint64_t queue_capacity = 1024;
+    std::uint64_t max_batch = 32;
+    std::uint64_t pool_size = 0;
+    std::uint64_t max_connections = 128;
+
+    com::bench::FlagSet flags(
+        "comsim_served",
+        "wire-protocol serving process (net/server.hpp)");
+    flags.addString("host", &host, "listening address");
+    flags.addUint("port", &port, "listening port (0 = pick free)");
+    flags.addUint("control-fd", &control_fd,
+                  "serve this inherited fd instead of listening");
+    flags.addUint("shards", &shards, "scheduler shards");
+    flags.addUint("workers-per-shard", &workers_per_shard,
+                  "worker threads per shard");
+    flags.addUint("queue-capacity", &queue_capacity,
+                  "per-shard queue capacity");
+    flags.addUint("max-batch", &max_batch,
+                  "requests per session checkout");
+    flags.addUint("pool-size", &pool_size,
+                  "engines per kind in each pool (0 = default)");
+    flags.addUint("max-connections", &max_connections,
+                  "accepted-connection cap");
+    flags.parse(argc, argv);
+
+    com::net::Server::Config cfg;
+    cfg.host = host;
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.controlFd = control_fd > 0 ? static_cast<int>(control_fd)
+                                   : -1;
+    cfg.maxConnections = max_connections;
+    cfg.scheduler.shards = shards;
+    cfg.scheduler.workersPerShard = workers_per_shard;
+    cfg.scheduler.queueCapacity = queue_capacity;
+    cfg.scheduler.maxBatch = max_batch;
+    if (pool_size > 0) {
+        cfg.scheduler.pool.comEngines = pool_size;
+        cfg.scheduler.pool.stackEngines = pool_size;
+        cfg.scheduler.pool.fithEngines = pool_size;
+    }
+
+    com::net::Server server(cfg);
+    g_server = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (cfg.controlFd < 0) {
+        std::printf("listening on %s:%u\n", host.c_str(),
+                    server.port());
+        std::fflush(stdout);
+    }
+    server.run();
+    g_server = nullptr;
+    return 0;
+}
