@@ -1,7 +1,7 @@
 /**
  * @file
  * The BENCH_perf.json trajectory file, shared by bench_perf and
- * bench_serve (schema comsim.bench.perf/v5, documented in ROADMAP.md).
+ * bench_serve (schema comsim.bench.perf/v6, documented in ROADMAP.md).
  *
  * bench_perf rewrites the file with its single-engine throughput
  * entries; bench_serve merges its "BM_Serve/..." requests/s entries
@@ -38,9 +38,13 @@ namespace com::bench {
  *  exercise the warm-start path hardest; v5 adds string-valued
  *  label fields ("transport": "local" | "tcp") and the remote
  *  serving entries ("BM_Serve/<scenario>_remote") measured through
- *  the wire protocol against comsim_routerd. Older files still
- *  load: absent fields stay zero/absent on the round trip. */
-constexpr const char *kPerfSchema = "comsim.bench.perf/v5";
+ *  the wire protocol against comsim_routerd; v6 adds the stage-
+ *  latency breakdown on serving entries (queue_wait_p50_ms,
+ *  pool_wait_p50_ms, exec_p50_ms — from the scheduler's span
+ *  histograms, remote entries via before/after histogram deltas).
+ *  Older files still load: absent fields stay zero/absent on the
+ *  round trip. */
+constexpr const char *kPerfSchema = "comsim.bench.perf/v6";
 
 /** One benchmark measurement. */
 struct BenchResult
@@ -67,10 +71,11 @@ constexpr const char *kDetailKeys[] = {
     "cache_evictions",
 };
 
-/** Double metric keys the loader round-trips (v3 + v4). */
+/** Double metric keys the loader round-trips (v3 + v4 + v6). */
 constexpr const char *kMetricKeys[] = {
     "p50_ms", "p95_ms", "p99_ms", "mean_ms", "mean_batch",
-    "utilization", "warm_mean_ms",
+    "utilization", "warm_mean_ms", "queue_wait_p50_ms",
+    "pool_wait_p50_ms", "exec_p50_ms",
 };
 
 /** String label keys the loader round-trips (v5). */
@@ -178,7 +183,7 @@ jsonNumberField(const std::string &line, const std::string &key,
 
 /**
  * Load the benchmark entries of an existing trajectory file (any
- * schema, v1 through v5). Unreadable or unparsable files load as
+ * schema, v1 through v6). Unreadable or unparsable files load as
  * empty — the callers rewrite from scratch then.
  * @param[out] min_time_seconds the file's timing floor, if present;
  *             untouched otherwise (pass a preset default); may be null

@@ -24,7 +24,7 @@
  *     worker utilization from the scheduler's own metrics.
  *
  * Results merge into BENCH_perf.json as BM_Serve/<scenario> entries
- * (schema comsim.bench.perf/v5, documented in ROADMAP.md), replacing
+ * (schema comsim.bench.perf/v6, documented in ROADMAP.md), replacing
  * only the entries this invocation regenerated. --batch=1 disables
  * batch coalescing, so every request pays its own session checkout —
  * the mode that leans hardest on the program cache's warm-start path
@@ -119,6 +119,12 @@ struct ServeStats
     std::uint64_t cacheEvictions = 0;
     std::uint64_t warmStarts = 0;
     double warmMeanMs = 0.0;
+    /** Stage p50s from the scheduler's span histograms (v6 schema);
+     *  remote runs compute them from before/after histogram deltas,
+     *  so they describe exactly this run on a long-lived server. */
+    double queueWaitP50Ms = 0.0;
+    double poolWaitP50Ms = 0.0;
+    double execP50Ms = 0.0;
 
     /** The headline rate: verified responses per wall second. */
     double
@@ -285,6 +291,9 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     s.cacheEvictions = m.cacheEvictions;
     s.warmStarts = m.warmStarts;
     s.warmMeanMs = m.warmStartMeanSeconds * 1e3;
+    s.queueWaitP50Ms = m.queueWait.p50Seconds * 1e3;
+    s.poolWaitP50Ms = m.poolWait.p50Seconds * 1e3;
+    s.execP50Ms = m.execute.p50Seconds * 1e3;
 
     std::sort(latencies.begin(), latencies.end());
     s.p50Ms = percentile(latencies, 0.50) * 1e3;
@@ -447,6 +456,17 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
                 ? static_cast<double>(warm_nanos) / 1e6 /
                       static_cast<double>(s.warmStarts)
                 : 0.0;
+        using Hist = serve::LatencyHistogram::Snapshot;
+        s.queueWaitP50Ms =
+            Hist::delta(after.queueWait, before.queueWait)
+                .p50Seconds *
+            1e3;
+        s.poolWaitP50Ms =
+            Hist::delta(after.poolWait, before.poolWait).p50Seconds *
+            1e3;
+        s.execP50Ms =
+            Hist::delta(after.execute, before.execute).p50Seconds *
+            1e3;
     }
 
     std::sort(latencies.begin(), latencies.end());
@@ -697,9 +717,10 @@ main(int argc, char **argv)
             "(wire protocol), %llu requests per scenario\n\n",
             static_cast<unsigned long long>(threads), remote.c_str(),
             static_cast<unsigned long long>(dc.totalRequests));
-    std::printf("  %-20s %12s %9s %9s %9s %7s %6s\n", "scenario",
-                "requests/s", "p50 ms", "p95 ms", "p99 ms", "batch",
-                "util");
+    std::printf("  %-20s %12s %9s %9s %9s %8s %8s %8s %7s %6s\n",
+                "scenario", "requests/s", "p50 ms", "p95 ms",
+                "p99 ms", "queue p50", "pool p50", "exec p50",
+                "batch", "util");
 
     // Measure. Repeats interleave round-robin (A B C A B C ...), so
     // machine drift during the run degrades every scenario equally
@@ -771,11 +792,16 @@ main(int argc, char **argv)
                      {"mean_ms", s.meanMs},
                      {"mean_batch", s.meanBatch},
                      {"utilization", s.utilization},
-                     {"warm_mean_ms", s.warmMeanMs}};
+                     {"warm_mean_ms", s.warmMeanMs},
+                     {"queue_wait_p50_ms", s.queueWaitP50Ms},
+                     {"pool_wait_p50_ms", s.poolWaitP50Ms},
+                     {"exec_p50_ms", s.execP50Ms}};
         serve_results.push_back(r);
 
-        std::printf("  %-20s %12.1f %9.2f %9.2f %9.2f %7.2f %5.0f%%\n",
+        std::printf("  %-20s %12.1f %9.2f %9.2f %9.2f %8.2f %8.2f "
+                    "%8.2f %7.2f %5.0f%%\n",
                     r.name.c_str(), r.rate, s.p50Ms, s.p95Ms, s.p99Ms,
+                    s.queueWaitP50Ms, s.poolWaitP50Ms, s.execP50Ms,
                     s.meanBatch, s.utilization * 100.0);
         if (s.rejected > 0 || s.expired > 0 || s.failures > 0)
             std::printf("  %-20s %12s rejected %llu, expired %llu, "

@@ -223,10 +223,13 @@ ComEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
                         ? smalltalkEntries_
                         : asmEntries_;
                 table.insert(spec.source, hit->entryVaddr);
-                cache_->noteWarmStart(WarmClock::now() - t0);
+                auto restore = WarmClock::now() - t0;
+                cache_->noteWarmStart(restore);
                 out = hit->outcome;
                 out.engine = name();
                 out.program = spec.name;
+                out.warmRestoreSeconds =
+                    std::chrono::duration<double>(restore).count();
                 return out;
             }
         }
@@ -320,7 +323,10 @@ StackEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
                 // post-compile image restores by plain assignment.
                 auto t0 = WarmClock::now();
                 *vm_ = *hit->vmImage;
-                cache_->noteWarmStart(WarmClock::now() - t0);
+                auto restore = WarmClock::now() - t0;
+                cache_->noteWarmStart(restore);
+                out.warmRestoreSeconds =
+                    std::chrono::duration<double>(restore).count();
                 compiled = &entries_.insert(spec.source, hit->compiled);
             } else {
                 lang::StackCompiler sc(*vm_);
@@ -411,7 +417,10 @@ FithEngine::run(const ProgramSpec &spec, std::uint64_t max_ops)
             // restores directly (token ids are deterministic).
             auto t0 = WarmClock::now();
             machine_->restoreCompiled(*hit->compiled);
-            cache_->noteWarmStart(WarmClock::now() - t0);
+            auto restore = WarmClock::now() - t0;
+            cache_->noteWarmStart(restore);
+            out.warmRestoreSeconds =
+                std::chrono::duration<double>(restore).count();
             r = machine_->runCompiled(hit->compiled->immediateStarts,
                                       max_ops);
         } else if (cache_) {

@@ -87,6 +87,11 @@ struct RunOutcome
     std::uint64_t cycles = 0;     ///< guest cycles (0 if unmodeled)
     std::string engine;       ///< engine name
     std::string program;      ///< ProgramSpec::name
+    /** Host time a program-cache warm start spent restoring the
+     *  cached artifact for this run (0: the run compiled cold).
+     *  The serving layer's warm-restore stage histogram feeds on
+     *  this. */
+    double warmRestoreSeconds = 0.0;
 
     /**
      * @return true if the run finished and, when the spec carries an

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <thread>
+#include <utility>
 
 namespace com::net {
 
@@ -240,6 +241,43 @@ Client::metrics(serve::Metrics::Snapshot *out)
             ok = true;
         } else {
             lastError_ = "undecodable metrics response";
+        }
+    } else if (view.type == FrameType::Error) {
+        ErrorFrame err;
+        lastError_ = decodeError(view, &err)
+                         ? err.message
+                         : "undecodable error frame";
+    } else {
+        lastError_ = "unexpected frame type in response";
+    }
+    buf_.erase(0, consumed);
+    return ok;
+}
+
+bool
+Client::trace(std::vector<serve::FlightSpan> *out)
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return false;
+    }
+    std::uint64_t id = nextId_++;
+    if (!sendAll(encodeTraceRequest(id)))
+        return false;
+
+    FrameView view;
+    std::size_t consumed = 0;
+    if (!receive(id, &view, &consumed))
+        return false;
+
+    bool ok = false;
+    if (view.type == FrameType::TraceResponse) {
+        TraceResponseFrame frame;
+        if (decodeTraceResponse(view, &frame)) {
+            *out = std::move(frame.spans);
+            ok = true;
+        } else {
+            lastError_ = "undecodable trace response";
         }
     } else if (view.type == FrameType::Error) {
         ErrorFrame err;

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/frame.hpp"
 #include "serve/request.hpp"
@@ -78,6 +79,13 @@ class Client
      * transport failure or a refusal (error() says why).
      */
     bool metrics(serve::Metrics::Snapshot *out);
+
+    /**
+     * Fetch the server's flight-recorder spans (the router returns
+     * every worker's, concatenated). @return false on transport
+     * failure or a refusal (error() says why).
+     */
+    bool trace(std::vector<serve::FlightSpan> *out);
 
   private:
     /** Send all of @p frame; @return false on a dead socket. */

@@ -152,6 +152,33 @@ validTag(std::uint8_t t)
     return t < static_cast<std::uint8_t>(mem::kNumTags);
 }
 
+/** One latency histogram: moments, percentiles, raw buckets. */
+void
+writeHistogram(Writer &w, const serve::LatencyHistogram::Snapshot &h)
+{
+    w.u64(h.count);
+    w.f64(h.meanSeconds);
+    w.f64(h.maxSeconds);
+    w.f64(h.p50Seconds);
+    w.f64(h.p95Seconds);
+    w.f64(h.p99Seconds);
+    for (std::uint64_t b : h.buckets)
+        w.u64(b);
+}
+
+void
+readHistogram(Reader &r, serve::LatencyHistogram::Snapshot *h)
+{
+    h->count = r.u64();
+    h->meanSeconds = r.f64();
+    h->maxSeconds = r.f64();
+    h->p50Seconds = r.f64();
+    h->p95Seconds = r.f64();
+    h->p99Seconds = r.f64();
+    for (std::uint64_t &b : h->buckets)
+        b = r.u64();
+}
+
 } // namespace
 
 const char *
@@ -221,6 +248,7 @@ RunResponseFrame::toResponse() const
     r.outcome.cycles = cycles;
     r.outcome.engine = engine;
     r.outcome.program = program;
+    r.outcome.warmRestoreSeconds = warmRestoreSeconds;
     return r;
 }
 
@@ -242,6 +270,7 @@ RunResponseFrame::fromResponse(std::uint64_t id,
     f.operations = r.outcome.operations;
     f.cycles = r.outcome.cycles;
     f.latencySeconds = r.latencySeconds;
+    f.warmRestoreSeconds = r.outcome.warmRestoreSeconds;
     f.batchSize = r.batchSize;
     f.shard = r.shard;
     return f;
@@ -277,6 +306,7 @@ encodeRunResponse(const RunResponseFrame &f)
     w.u64(f.operations);
     w.u64(f.cycles);
     w.f64(f.latencySeconds);
+    w.f64(f.warmRestoreSeconds);
     w.u64(f.batchSize);
     w.u64(f.shard);
     w.str(f.resultText);
@@ -325,15 +355,46 @@ encodeMetricsResponse(const MetricsResponseFrame &f)
     w.u64(s.warmStarts);
     w.u64(s.warmStartNanos);
     w.f64(s.warmStartMeanSeconds);
-    w.u64(s.latency.count);
-    w.f64(s.latency.meanSeconds);
-    w.f64(s.latency.maxSeconds);
-    w.f64(s.latency.p50Seconds);
-    w.f64(s.latency.p95Seconds);
-    w.f64(s.latency.p99Seconds);
-    for (std::uint64_t b : s.latency.buckets)
-        w.u64(b);
+    writeHistogram(w, s.latency);
+    writeHistogram(w, s.queueWait);
+    writeHistogram(w, s.poolWait);
+    writeHistogram(w, s.warmRestore);
+    writeHistogram(w, s.execute);
+    writeHistogram(w, s.verify);
     return finishFrame(FrameType::MetricsResponse, w);
+}
+
+std::string
+encodeTraceRequest(std::uint64_t request_id)
+{
+    Writer w;
+    w.u64(request_id);
+    return finishFrame(FrameType::TraceRequest, w);
+}
+
+std::string
+encodeTraceResponse(const TraceResponseFrame &f)
+{
+    Writer w;
+    w.u64(f.requestId);
+    w.u32(static_cast<std::uint32_t>(f.spans.size()));
+    for (const serve::FlightSpan &s : f.spans) {
+        w.u64(s.seq);
+        w.u64(s.submitNanos);
+        w.u32(s.queueUs);
+        w.u32(s.poolUs);
+        w.u32(s.warmUs);
+        w.u32(s.execUs);
+        w.u32(s.verifyUs);
+        w.u32(s.totalUs);
+        w.u8(static_cast<std::uint8_t>(s.status));
+        w.u8(static_cast<std::uint8_t>(s.kind));
+        w.u16(s.shard);
+        w.u32(s.batchSize);
+        w.u8(s.slow ? 1 : 0);
+        w.str(s.program);
+    }
+    return finishFrame(FrameType::TraceResponse, w);
 }
 
 std::string
@@ -442,6 +503,7 @@ decodeRunResponse(const FrameView &view, RunResponseFrame *out)
     out->operations = r.u64();
     out->cycles = r.u64();
     out->latencySeconds = r.f64();
+    out->warmRestoreSeconds = r.f64();
     out->batchSize = r.u64();
     out->shard = r.u64();
     if (!r.str(&out->resultText) || !r.str(&out->output) ||
@@ -487,14 +549,54 @@ decodeMetricsResponse(const FrameView &view, MetricsResponseFrame *out)
     s.warmStarts = r.u64();
     s.warmStartNanos = r.u64();
     s.warmStartMeanSeconds = r.f64();
-    s.latency.count = r.u64();
-    s.latency.meanSeconds = r.f64();
-    s.latency.maxSeconds = r.f64();
-    s.latency.p50Seconds = r.f64();
-    s.latency.p95Seconds = r.f64();
-    s.latency.p99Seconds = r.f64();
-    for (std::uint64_t &b : s.latency.buckets)
-        b = r.u64();
+    readHistogram(r, &s.latency);
+    readHistogram(r, &s.queueWait);
+    readHistogram(r, &s.poolWait);
+    readHistogram(r, &s.warmRestore);
+    readHistogram(r, &s.execute);
+    readHistogram(r, &s.verify);
+    return r.done();
+}
+
+bool
+decodeTraceResponse(const FrameView &view, TraceResponseFrame *out)
+{
+    if (view.type != FrameType::TraceResponse)
+        return false;
+    Reader r(view.payload, view.size);
+    out->requestId = r.u64();
+    std::uint32_t count = r.u32();
+    // Each encoded span is at least 41 bytes; a count the payload
+    // cannot possibly hold is malformed (and must not reserve()).
+    if (!r.ok() || count > kMaxTraceSpans ||
+        count > view.size / 41)
+        return false;
+    out->spans.clear();
+    out->spans.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        serve::FlightSpan s;
+        s.seq = r.u64();
+        s.submitNanos = r.u64();
+        s.queueUs = r.u32();
+        s.poolUs = r.u32();
+        s.warmUs = r.u32();
+        s.execUs = r.u32();
+        s.verifyUs = r.u32();
+        s.totalUs = r.u32();
+        std::uint8_t status = r.u8();
+        std::uint8_t kind = r.u8();
+        s.shard = r.u16();
+        s.batchSize = r.u32();
+        std::uint8_t slow = r.u8();
+        if (!r.str(&s.program))
+            return false;
+        if (status > 3 || kind >= api::kNumEngineKinds || slow > 1)
+            return false;
+        s.status = static_cast<serve::ResponseStatus>(status);
+        s.kind = static_cast<api::EngineKind>(kind);
+        s.slow = slow == 1;
+        out->spans.push_back(std::move(s));
+    }
     return r.done();
 }
 

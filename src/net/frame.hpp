@@ -41,13 +41,17 @@
 #include <vector>
 
 #include "api/engine.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 
 namespace com::net {
 
-/** Bumped on any incompatible wire change; mismatches are refused. */
-constexpr std::uint16_t kProtocolVersion = 1;
+/** Bumped on any incompatible wire change; mismatches are refused.
+ *  v2: stage-latency histograms in MetricsResponse, warm-restore
+ *  seconds in RunResponse, and the TraceRequest/TraceResponse pair
+ *  (the flight recorder over the wire). */
+constexpr std::uint16_t kProtocolVersion = 2;
 
 /** Header bytes before the payload. */
 constexpr std::size_t kHeaderSize = 12;
@@ -66,6 +70,8 @@ enum class FrameType : std::uint16_t
     MetricsRequest = 3,  ///< client -> server: snapshot the counters
     MetricsResponse = 4, ///< server -> client: Metrics::Snapshot
     Error = 5,           ///< server -> client: request-level refusal
+    TraceRequest = 6,    ///< client -> server: dump the recorder
+    TraceResponse = 7,   ///< server -> client: flight-recorder spans
 };
 
 /** Why a request came back as an Error frame. */
@@ -120,6 +126,7 @@ struct RunResponseFrame
     std::uint64_t operations = 0;
     std::uint64_t cycles = 0;
     double latencySeconds = 0.0;
+    double warmRestoreSeconds = 0.0;
     std::uint64_t batchSize = 0;
     std::uint64_t shard = 0;
 
@@ -145,11 +152,24 @@ struct MetricsResponseFrame
     serve::Metrics::Snapshot snapshot;
 };
 
+/** The flight recorder's spans (TraceResponse). The router merges
+ *  per-worker lists by concatenation — spans carry their shard. */
+struct TraceResponseFrame
+{
+    std::uint64_t requestId = 0;
+    std::vector<serve::FlightSpan> spans;
+};
+
+/** Spans one TraceResponse may carry (bounds a malicious count). */
+constexpr std::uint32_t kMaxTraceSpans = 65536;
+
 // Encoders: complete frames (header + payload), ready to write.
 std::string encodeRunRequest(const RunRequestFrame &f);
 std::string encodeRunResponse(const RunResponseFrame &f);
 std::string encodeMetricsRequest(std::uint64_t request_id);
 std::string encodeMetricsResponse(const MetricsResponseFrame &f);
+std::string encodeTraceRequest(std::uint64_t request_id);
+std::string encodeTraceResponse(const TraceResponseFrame &f);
 std::string encodeError(const ErrorFrame &f);
 
 /** What peekFrame found at the front of a byte stream. */
@@ -193,6 +213,8 @@ bool decodeRunRequest(const FrameView &view, RunRequestFrame *out);
 bool decodeRunResponse(const FrameView &view, RunResponseFrame *out);
 bool decodeMetricsResponse(const FrameView &view,
                            MetricsResponseFrame *out);
+bool decodeTraceResponse(const FrameView &view,
+                         TraceResponseFrame *out);
 bool decodeError(const FrameView &view, ErrorFrame *out);
 
 /**

@@ -12,15 +12,31 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <utility>
 
+#include "serve/prometheus.hpp"
 #include "serve/scheduler.hpp" // sourceShard
 #include "sim/logging.hpp"
 
 namespace com::net {
 
 namespace {
+
+/** Longest HTTP request head a scraper may send before we give up. */
+constexpr std::size_t kMaxHttpHead = 8 * 1024;
+
+/** @return true when @p in is (a prefix of) an HTTP GET line —
+ *  i.e. cannot be this protocol, whose frames start "COMF". */
+bool
+looksLikeHttpGet(const std::string &in)
+{
+    static const char kGet[] = "GET ";
+    std::size_t n = std::min(in.size(), sizeof(kGet) - 1);
+    return n > 0 && in.compare(0, n, kGet, n) == 0;
+}
 
 void
 setNonblocking(int fd)
@@ -195,7 +211,7 @@ Router::handleWorkerDeath(std::size_t shard)
         ::waitpid(w.pid, nullptr, 0); // EOF means it already exited
     ++restarts_;
 
-    // Metrics fan-out shares with the dead worker arrive as empty.
+    // Fan-out shares with the dead worker arrive as empty.
     for (auto it = metricsSub_.begin(); it != metricsSub_.end();) {
         if (it->second.shard != shard) {
             ++it;
@@ -206,13 +222,22 @@ Router::handleWorkerDeath(std::size_t shard)
         if (agg == metricsAggs_.end())
             continue;
         if (--agg->second.remaining == 0) {
-            if (Conn *conn = findConn(agg->second.connId)) {
-                MetricsResponseFrame resp;
-                resp.requestId = agg->second.clientId;
-                resp.snapshot = agg->second.merged;
-                conn->out.append(encodeMetricsResponse(resp));
-            }
+            completeMetricsAgg(agg->second);
             metricsAggs_.erase(agg);
+        }
+    }
+    for (auto it = traceSub_.begin(); it != traceSub_.end();) {
+        if (it->second.shard != shard) {
+            ++it;
+            continue;
+        }
+        auto agg = traceAggs_.find(it->second.aggId);
+        it = traceSub_.erase(it);
+        if (agg == traceAggs_.end())
+            continue;
+        if (--agg->second.remaining == 0) {
+            completeTraceAgg(agg->second);
+            traceAggs_.erase(agg);
         }
     }
 
@@ -333,12 +358,56 @@ Router::forwardRun(Conn &conn, const FrameView &view,
 }
 
 void
-Router::broadcastMetrics(Conn &conn, std::uint64_t client_id)
+Router::completeMetricsAgg(const MetricsAgg &agg)
+{
+    Conn *conn = findConn(agg.connId);
+    if (!conn)
+        return;
+    if (agg.http) {
+        std::string body = serve::renderPrometheus(agg.merged);
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "HTTP/1.0 200 OK\r\n"
+                      "Content-Type: text/plain; version=0.0.4; "
+                      "charset=utf-8\r\n"
+                      "Content-Length: %zu\r\n"
+                      "Connection: close\r\n"
+                      "\r\n",
+                      body.size());
+        conn->out.append(head);
+        conn->out.append(body);
+        conn->closeAfterFlush = true;
+        return;
+    }
+    MetricsResponseFrame resp;
+    resp.requestId = agg.clientId;
+    resp.snapshot = agg.merged;
+    conn->out.append(encodeMetricsResponse(resp));
+}
+
+void
+Router::completeTraceAgg(TraceAgg &agg)
+{
+    Conn *conn = findConn(agg.connId);
+    if (!conn)
+        return;
+    TraceResponseFrame resp;
+    resp.requestId = agg.clientId;
+    if (agg.spans.size() > kMaxTraceSpans)
+        agg.spans.resize(kMaxTraceSpans);
+    resp.spans = std::move(agg.spans);
+    conn->out.append(encodeTraceResponse(resp));
+}
+
+void
+Router::broadcastMetrics(Conn &conn, std::uint64_t client_id,
+                         bool http)
 {
     std::uint64_t agg_id = nextRouterId_++;
     MetricsAgg agg;
     agg.connId = conn.id;
     agg.clientId = client_id;
+    agg.http = http;
     for (auto &w : workers_) {
         if (!w.alive)
             continue;
@@ -348,12 +417,50 @@ Router::broadcastMetrics(Conn &conn, std::uint64_t client_id)
         ++agg.remaining;
     }
     if (agg.remaining == 0) {
-        MetricsResponseFrame resp;
-        resp.requestId = client_id;
-        conn.out.append(encodeMetricsResponse(resp));
+        completeMetricsAgg(agg); // empty fleet: empty snapshot
         return;
     }
     metricsAggs_.emplace(agg_id, std::move(agg));
+}
+
+void
+Router::broadcastTrace(Conn &conn, std::uint64_t client_id)
+{
+    std::uint64_t agg_id = nextRouterId_++;
+    TraceAgg agg;
+    agg.connId = conn.id;
+    agg.clientId = client_id;
+    for (auto &w : workers_) {
+        if (!w.alive)
+            continue;
+        std::uint64_t router_id = nextRouterId_++;
+        w.out.append(encodeTraceRequest(router_id));
+        traceSub_[router_id] = MetricsSub{agg_id, w.shard};
+        ++agg.remaining;
+    }
+    if (agg.remaining == 0) {
+        completeTraceAgg(agg);
+        return;
+    }
+    traceAggs_.emplace(agg_id, std::move(agg));
+}
+
+void
+Router::handleHttp(Conn &conn)
+{
+    conn.http = true;
+    if (conn.in.find("\r\n\r\n") == std::string::npos &&
+        conn.in.find("\n\n") == std::string::npos) {
+        if (conn.in.size() > kMaxHttpHead) {
+            conn.in.clear();
+            conn.closeAfterFlush = true;
+        }
+        return;
+    }
+    conn.in.clear();
+    // The answer needs every worker's snapshot; reuse the metrics
+    // fan-out and render once the last share lands.
+    broadcastMetrics(conn, 0, /*http=*/true);
 }
 
 void
@@ -384,7 +491,10 @@ Router::consumeClientFrames(Conn &conn)
             forwardRun(conn, view, base, consumed);
             break;
           case FrameType::MetricsRequest:
-            broadcastMetrics(conn, view.requestId);
+            broadcastMetrics(conn, view.requestId, /*http=*/false);
+            break;
+          case FrameType::TraceRequest:
+            broadcastTrace(conn, view.requestId);
             break;
           default:
             replyError(conn, view.requestId, ErrorCode::UnknownType,
@@ -445,13 +555,29 @@ Router::consumeWorkerFrames(Worker &worker)
             if (decodeMetricsResponse(view, &frame))
                 agg->second.merged.merge(frame.snapshot);
             if (--agg->second.remaining == 0) {
-                if (Conn *conn = findConn(agg->second.connId)) {
-                    MetricsResponseFrame resp;
-                    resp.requestId = agg->second.clientId;
-                    resp.snapshot = agg->second.merged;
-                    conn->out.append(encodeMetricsResponse(resp));
-                }
+                completeMetricsAgg(agg->second);
                 metricsAggs_.erase(agg);
+            }
+            break;
+          }
+          case FrameType::TraceResponse: {
+            auto sub = traceSub_.find(view.requestId);
+            if (sub == traceSub_.end())
+                break;
+            std::uint64_t agg_id = sub->second.aggId;
+            traceSub_.erase(sub);
+            auto agg = traceAggs_.find(agg_id);
+            if (agg == traceAggs_.end())
+                break;
+            TraceResponseFrame frame;
+            if (decodeTraceResponse(view, &frame))
+                agg->second.spans.insert(
+                    agg->second.spans.end(),
+                    std::make_move_iterator(frame.spans.begin()),
+                    std::make_move_iterator(frame.spans.end()));
+            if (--agg->second.remaining == 0) {
+                completeTraceAgg(agg->second);
+                traceAggs_.erase(agg);
             }
             break;
           }
@@ -493,6 +619,14 @@ Router::requestDrain()
 {
     drain_.store(true, std::memory_order_release);
     char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+void
+Router::requestTraceDump()
+{
+    traceDump_.store(true, std::memory_order_release);
+    char byte = 't';
     [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
 }
 
@@ -593,6 +727,14 @@ Router::run()
             while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
             }
         }
+        if (traceDump_.exchange(false, std::memory_order_acq_rel)) {
+            // Each worker dumps its own recorder to the shared
+            // stderr (SIGUSR1 is wired to Server::requestTraceDump
+            // in comsim_served).
+            for (auto &w : workers_)
+                if (w.alive && w.pid > 0)
+                    ::kill(w.pid, SIGUSR1);
+        }
         if (listenFd_ >= 0 && fds.size() > 1 &&
             (fds[1].revents & POLLIN))
             acceptNew();
@@ -638,8 +780,12 @@ Router::run()
         for (auto &conn : conns_) {
             if (conn->dead)
                 continue;
-            if (!conn->in.empty() && !conn->closeAfterFlush)
-                consumeClientFrames(*conn);
+            if (!conn->in.empty() && !conn->closeAfterFlush) {
+                if (conn->http || looksLikeHttpGet(conn->in))
+                    handleHttp(*conn);
+                else
+                    consumeClientFrames(*conn);
+            }
             if (!flush(conn->fd, conn->out)) {
                 conn->dead = true;
                 continue;
@@ -667,7 +813,7 @@ Router::run()
         }
 
         if (draining && inflight_.empty() &&
-            metricsAggs_.empty()) {
+            metricsAggs_.empty() && traceAggs_.empty()) {
             bool flushed = true;
             for (auto &conn : conns_)
                 if (!conn->out.empty())

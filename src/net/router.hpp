@@ -25,7 +25,13 @@
  *
  * MetricsRequest frames fan out to every worker; the per-worker
  * serve::Metrics::Snapshots merge (Snapshot::merge) into one
- * fleet-wide answer.
+ * fleet-wide answer. TraceRequest fans out the same way and the
+ * workers' flight-recorder spans concatenate (each span names its
+ * shard). A plain-HTTP "GET " on the frame port is a Prometheus
+ * scraper: it triggers the same metrics fan-out and the merged
+ * snapshot renders as text once every share arrives. SIGUSR1
+ * (requestTraceDump) forwards to every live worker, so each dumps
+ * its recorder to the shared stderr.
  *
  * Graceful drain (SIGTERM in comsim_routerd via requestDrain):
  * stop accepting and stop reading clients, relay every in-flight
@@ -89,6 +95,10 @@ class Router
     /** Begin graceful drain; async-signal-safe. */
     void requestDrain();
 
+    /** Forward a flight-recorder dump request (SIGUSR1) to every
+     *  live worker; async-signal-safe the same way. */
+    void requestTraceDump();
+
     /** Worker @p i's current pid (tests kill one mid-run). */
     pid_t workerPid(std::size_t i) const;
 
@@ -116,6 +126,9 @@ class Router
         std::string out;
         bool closeAfterFlush = false;
         bool dead = false;
+        /** The peer spoke HTTP ("GET ..."): a Prometheus scraper.
+         *  Answered once the metrics fan-out it triggered merges. */
+        bool http = false;
     };
 
     /** One forwarded RunRequest awaiting its worker's response. */
@@ -135,6 +148,17 @@ class Router
         std::uint64_t clientId = 0;
         std::size_t remaining = 0;
         serve::Metrics::Snapshot merged;
+        /** Render as an HTTP Prometheus page, not a frame. */
+        bool http = false;
+    };
+
+    /** One client TraceRequest fanned out across the fleet. */
+    struct TraceAgg
+    {
+        std::uint64_t connId = 0;
+        std::uint64_t clientId = 0;
+        std::size_t remaining = 0;
+        std::vector<serve::FlightSpan> spans;
     };
 
     void openListener(const Config &cfg);
@@ -146,7 +170,14 @@ class Router
     void consumeWorkerFrames(Worker &worker);
     void forwardRun(Conn &conn, const FrameView &view,
                     const unsigned char *raw, std::size_t raw_len);
-    void broadcastMetrics(Conn &conn, std::uint64_t client_id);
+    void broadcastMetrics(Conn &conn, std::uint64_t client_id,
+                          bool http);
+    void broadcastTrace(Conn &conn, std::uint64_t client_id);
+    /** Answer the client once an aggregation's last share landed. */
+    void completeMetricsAgg(const MetricsAgg &agg);
+    void completeTraceAgg(TraceAgg &agg);
+    /** Consume an HTTP request head; kicks off a metrics fan-out. */
+    void handleHttp(Conn &conn);
     void replyError(Conn &conn, std::uint64_t id, ErrorCode code,
                     std::string message);
     Conn *findConn(std::uint64_t conn_id);
@@ -161,6 +192,7 @@ class Router
     int wakeWrite_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> drain_{false};
+    std::atomic<bool> traceDump_{false};
     std::uint64_t nextRouterId_ = 1;
     std::uint64_t nextConnId_ = 1;
     std::uint64_t restarts_ = 0;
@@ -169,7 +201,8 @@ class Router
     std::vector<std::unique_ptr<Conn>> conns_;
     std::map<std::uint64_t, Inflight> inflight_;
     std::map<std::uint64_t, MetricsAgg> metricsAggs_;
-    /** One worker's share of a metrics fan-out. */
+    std::map<std::uint64_t, TraceAgg> traceAggs_;
+    /** One worker's share of a metrics or trace fan-out. */
     struct MetricsSub
     {
         std::uint64_t aggId = 0;
@@ -177,6 +210,8 @@ class Router
     };
     /** routerId -> aggregation it feeds (metrics subrequests). */
     std::map<std::uint64_t, MetricsSub> metricsSub_;
+    /** routerId -> aggregation it feeds (trace subrequests). */
+    std::map<std::uint64_t, MetricsSub> traceSub_;
 };
 
 } // namespace com::net

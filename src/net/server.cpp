@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "serve/prometheus.hpp"
 #include "sim/logging.hpp"
 
 namespace com::net {
@@ -24,6 +26,18 @@ namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
 /** Most bytes one connection may consume per loop turn (fairness). */
 constexpr std::size_t kReadBudget = 512 * 1024;
+/** Longest HTTP request head a scraper may send before we give up. */
+constexpr std::size_t kMaxHttpHead = 8 * 1024;
+
+/** @return true when @p in is (a prefix of) an HTTP GET line —
+ *  i.e. cannot be this protocol, whose frames start "COMF". */
+bool
+looksLikeHttpGet(const std::string &in)
+{
+    static const char kGet[] = "GET ";
+    std::size_t n = std::min(in.size(), sizeof(kGet) - 1);
+    return n > 0 && in.compare(0, n, kGet, n) == 0;
+}
 
 void
 setNonblocking(int fd)
@@ -109,6 +123,14 @@ Server::requestDrain()
     drain_.store(true, std::memory_order_release);
     // Wake the poll loop; async-signal-safe (write on a pipe).
     char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+void
+Server::requestTraceDump()
+{
+    traceDump_.store(true, std::memory_order_release);
+    char byte = 't';
     [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
 }
 
@@ -228,8 +250,19 @@ Server::handleFrame(Conn &conn, const FrameView &view)
         ++framesServed_;
         return true;
       }
+      case FrameType::TraceRequest: {
+        TraceResponseFrame resp;
+        resp.requestId = view.requestId;
+        resp.spans = scheduler_->traceSpans();
+        if (resp.spans.size() > kMaxTraceSpans)
+            resp.spans.resize(kMaxTraceSpans);
+        conn.out.append(encodeTraceResponse(resp));
+        ++framesServed_;
+        return true;
+      }
       case FrameType::RunResponse:
       case FrameType::MetricsResponse:
+      case FrameType::TraceResponse:
       case FrameType::Error:
       default:
         // A server only *receives* requests; anything else is a
@@ -275,6 +308,38 @@ Server::consumeFrames(Conn &conn)
     if (at > 0)
         conn.in.erase(0, at);
     return keep;
+}
+
+void
+Server::handleHttp(Conn &conn)
+{
+    conn.http = true;
+    // Wait for the whole request head; any GET path gets the same
+    // answer, so the path itself is never parsed.
+    if (conn.in.find("\r\n\r\n") == std::string::npos &&
+        conn.in.find("\n\n") == std::string::npos) {
+        if (conn.in.size() > kMaxHttpHead) {
+            conn.in.clear();
+            conn.closeAfterFlush = true;
+        }
+        return;
+    }
+    conn.in.clear();
+    std::string body =
+        serve::renderPrometheus(scheduler_->metricsSnapshot());
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4; "
+                  "charset=utf-8\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n"
+                  "\r\n",
+                  body.size());
+    conn.out.append(head);
+    conn.out.append(body);
+    conn.closeAfterFlush = true;
+    ++framesServed_;
 }
 
 void
@@ -376,6 +441,11 @@ Server::run()
             while (::read(wakeRead_, buf, sizeof(buf)) > 0) {
             }
         }
+        if (traceDump_.exchange(false, std::memory_order_acq_rel)) {
+            std::string text = scheduler_->traceDumpText();
+            std::fwrite(text.data(), 1, text.size(), stderr);
+            std::fflush(stderr);
+        }
         if (listenFd_ >= 0 && fds.size() > 1 &&
             (fds[1].revents & POLLIN))
             acceptNew();
@@ -401,8 +471,12 @@ Server::run()
         for (auto &conn : conns_) {
             if (conn->dead)
                 continue;
-            if (!conn->in.empty() && !conn->closeAfterFlush)
-                conn->dead = !consumeFrames(*conn);
+            if (!conn->in.empty() && !conn->closeAfterFlush) {
+                if (conn->http || looksLikeHttpGet(conn->in))
+                    handleHttp(*conn);
+                else
+                    conn->dead = !consumeFrames(*conn);
+            }
             if (conn->dead)
                 continue;
             pumpParked(*conn);

@@ -17,6 +17,13 @@
  * *reading* that connection — TCP back-pressure pushes the overload
  * to the sender instead of building an unbounded backlog or spinning.
  *
+ * Observability rides the same port: a connection whose first bytes
+ * are "GET " is a Prometheus scraper, not a frame peer — it gets one
+ * HTTP/1.0 response carrying serve::renderPrometheus() and a close.
+ * TraceRequest frames return the flight recorder's spans, and
+ * requestTraceDump() (SIGUSR1 in comsim_served) prints the human
+ * rendering to stderr from the event loop.
+ *
  * Malformed payloads are answered with an Error frame and skipped
  * (the connection survives — see frame.hpp); bad magic, a version
  * mismatch, or an oversized length close the connection after a
@@ -98,6 +105,14 @@ class Server
      */
     void requestDrain();
 
+    /**
+     * Ask the event loop to dump the flight recorder to stderr.
+     * Async-signal-safe the same way — comsim_served wires SIGUSR1
+     * to this, so a wedged-looking server can be asked where its
+     * requests' time went without stopping it.
+     */
+    void requestTraceDump();
+
     /** @return true once requestDrain() was called. */
     bool
     draining() const
@@ -138,6 +153,9 @@ class Server
         std::deque<Pending> pending;
         /** Flush out, then close (protocol-fatal streams). */
         bool closeAfterFlush = false;
+        /** The peer spoke HTTP ("GET ..."), not frames: it is a
+         *  scraper, answered once with the Prometheus text. */
+        bool http = false;
         /** Marked for removal at the end of the loop turn. */
         bool dead = false;
         /** Stop reading (draining, or parked requests exist). */
@@ -154,6 +172,8 @@ class Server
     bool readInput(Conn &conn);
     /** Consume whole frames from conn.in; @return false to drop. */
     bool consumeFrames(Conn &conn);
+    /** Answer a plain-HTTP GET with the Prometheus rendering. */
+    void handleHttp(Conn &conn);
     /** Handle one whole frame; @return false to drop the conn. */
     bool handleFrame(Conn &conn, const FrameView &view);
     void submitOrPark(Conn &conn, Parked &&req);
@@ -176,6 +196,7 @@ class Server
     std::size_t maxConnections_;
     bool controlMode_ = false;
     std::atomic<bool> drain_{false};
+    std::atomic<bool> traceDump_{false};
     std::uint64_t framesServed_ = 0;
     std::vector<std::unique_ptr<Conn>> conns_;
 };

@@ -1,0 +1,179 @@
+#include "serve/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace com::serve {
+
+namespace {
+
+std::uint64_t
+packPair(std::uint32_t lo, std::uint32_t hi)
+{
+    return static_cast<std::uint64_t>(lo) |
+           (static_cast<std::uint64_t>(hi) << 32);
+}
+
+std::uint64_t
+packMeta(ResponseStatus status, api::EngineKind kind,
+         std::uint16_t shard, std::uint32_t batch)
+{
+    return static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(status)) |
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(kind))
+            << 8) |
+           (static_cast<std::uint64_t>(shard) << 16) |
+           (static_cast<std::uint64_t>(batch) << 32);
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               Clock::time_point epoch,
+                               std::chrono::nanoseconds slow_threshold)
+    : epoch_(epoch), slowThreshold_(slow_threshold), slots_(capacity)
+{
+}
+
+void
+FlightRecorder::record(FlightSpan span)
+{
+    if (slowThreshold_.count() > 0 &&
+        span.totalUs >= static_cast<std::uint64_t>(
+                            slowThreshold_.count() / 1000)) {
+        std::lock_guard<std::mutex> lock(slowMu_);
+        FlightSpan full = span;
+        full.seq = slowSeq_++;
+        full.slow = true;
+        slow_.push_back(std::move(full));
+        if (slow_.size() > kMaxSlowSpans)
+            slow_.pop_front();
+    }
+    if (slots_.empty())
+        return;
+
+    std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[idx % slots_.size()];
+
+    // Seqlock write: invalidate, fence, payload, publish. The
+    // release fence pairs with collect()'s acquire fence so a reader
+    // that observed any payload word of this write must also observe
+    // the invalidation — a torn span can never pass the seq check.
+    slot.seq.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+
+    slot.words[0].store(span.submitNanos, std::memory_order_relaxed);
+    slot.words[1].store(packPair(span.queueUs, span.poolUs),
+                        std::memory_order_relaxed);
+    slot.words[2].store(packPair(span.warmUs, span.execUs),
+                        std::memory_order_relaxed);
+    slot.words[3].store(packPair(span.verifyUs, span.totalUs),
+                        std::memory_order_relaxed);
+    slot.words[4].store(packMeta(span.status, span.kind, span.shard,
+                                 span.batchSize),
+                        std::memory_order_relaxed);
+    for (std::size_t w = 0; w < 3; ++w) {
+        std::uint64_t packed = 0;
+        for (std::size_t b = 0; b < 8; ++b) {
+            std::size_t at = w * 8 + b;
+            unsigned char c = at < span.program.size()
+                                  ? static_cast<unsigned char>(
+                                        span.program[at])
+                                  : 0;
+            packed |= static_cast<std::uint64_t>(c) << (8 * b);
+        }
+        slot.words[5 + w].store(packed, std::memory_order_relaxed);
+    }
+
+    slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<FlightSpan>
+FlightRecorder::collect() const
+{
+    std::vector<FlightSpan> out;
+    out.reserve(slots_.size());
+    for (const Slot &slot : slots_) {
+        std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 == 0)
+            continue; // never written, or mid-write
+        std::array<std::uint64_t, kPayloadWords> words;
+        for (std::size_t w = 0; w < kPayloadWords; ++w)
+            words[w] = slot.words[w].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+        if (s1 != s2)
+            continue; // caught a writer mid-update; skip the slot
+
+        FlightSpan span;
+        span.seq = s1 - 1;
+        span.submitNanos = words[0];
+        span.queueUs = static_cast<std::uint32_t>(words[1]);
+        span.poolUs = static_cast<std::uint32_t>(words[1] >> 32);
+        span.warmUs = static_cast<std::uint32_t>(words[2]);
+        span.execUs = static_cast<std::uint32_t>(words[2] >> 32);
+        span.verifyUs = static_cast<std::uint32_t>(words[3]);
+        span.totalUs = static_cast<std::uint32_t>(words[3] >> 32);
+        span.status =
+            static_cast<ResponseStatus>(words[4] & 0xff);
+        span.kind =
+            static_cast<api::EngineKind>((words[4] >> 8) & 0xff);
+        span.shard =
+            static_cast<std::uint16_t>((words[4] >> 16) & 0xffff);
+        span.batchSize = static_cast<std::uint32_t>(words[4] >> 32);
+        char name[kProgramChars];
+        for (std::size_t w = 0; w < 3; ++w)
+            for (std::size_t b = 0; b < 8; ++b)
+                name[w * 8 + b] = static_cast<char>(
+                    (words[5 + w] >> (8 * b)) & 0xff);
+        std::size_t len = 0;
+        while (len < kProgramChars && name[len] != '\0')
+            ++len;
+        span.program.assign(name, len);
+        out.push_back(std::move(span));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightSpan &a, const FlightSpan &b) {
+                  return a.seq < b.seq;
+              });
+
+    std::lock_guard<std::mutex> lock(slowMu_);
+    out.insert(out.end(), slow_.begin(), slow_.end());
+    return out;
+}
+
+std::string
+renderFlightSpans(const std::vector<FlightSpan> &spans,
+                  const std::string &heading)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "== flight recorder: %s (%zu spans) ==\n",
+                  heading.c_str(), spans.size());
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "%8s %10s %6s %5s %5s %5s %9s %9s %9s %9s %9s %9s  %s\n",
+        "seq", "t+ms", "shard", "stat", "kind", "batch", "queue_us",
+        "pool_us", "warm_us", "exec_us", "verif_us", "total_us",
+        "program");
+    out += line;
+    for (const FlightSpan &s : spans) {
+        std::snprintf(
+            line, sizeof(line),
+            "%7llu%c %10.1f %6u %5.5s %5s %5u %9u %9u %9u %9u %9u "
+            "%9u  %s\n",
+            static_cast<unsigned long long>(s.seq),
+            s.slow ? '!' : ' ',
+            static_cast<double>(s.submitNanos) / 1e6, s.shard,
+            responseStatusName(s.status), api::engineKindName(s.kind),
+            s.batchSize, s.queueUs, s.poolUs, s.warmUs, s.execUs,
+            s.verifyUs, s.totalUs, s.program.c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace com::serve

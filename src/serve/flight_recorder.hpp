@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The flight recorder: a lock-free ring of the last N completed
+ * request spans, plus a bounded capture of slow requests.
+ *
+ * Each shard of the scheduler owns one recorder. Workers record()
+ * a FlightSpan as they resolve each request — a handful of relaxed
+ * atomic stores, cheap enough for the hot path — and a diagnostic
+ * reader (SIGUSR1 dump, TraceRequest over the wire, dump-on-fatal)
+ * collect()s concurrently without stopping the world.
+ *
+ * The ring is a seqlock per slot with every field stored in atomic
+ * words, so a concurrent dump is race-free by construction (TSan
+ * agrees): the writer invalidates the slot's sequence word, publishes
+ * the payload with relaxed stores behind a release fence, then
+ * publishes the new sequence; the reader re-checks the sequence
+ * around its payload reads (acquire fence in between) and skips
+ * slots it caught mid-write. A writer lapped a full ring-length
+ * while another writer stalls inside the same slot could in theory
+ * blend two spans' fields under one valid sequence — harmless for a
+ * diagnostic buffer, and unreachable in practice with worker counts
+ * orders of magnitude below the capacity.
+ *
+ * The slow capture is the opposite trade: requests whose total
+ * latency exceeds a configurable threshold are rare, so they keep
+ * their *full* span (untruncated program name) in a small mutex-
+ * guarded deque of the most recent kMaxSlowSpans.
+ */
+
+#ifndef COMSIM_SERVE_FLIGHT_RECORDER_HPP
+#define COMSIM_SERVE_FLIGHT_RECORDER_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace com::serve {
+
+/** One completed request's span, decoded. Durations saturate at
+ *  ~71 minutes per stage (u32 microseconds) — far past anything the
+ *  serving layer lets live that long. */
+struct FlightSpan
+{
+    std::uint64_t seq = 0; ///< completion number within the shard
+    /** When the request was submitted, nanoseconds after the
+     *  recorder's epoch (the scheduler's construction). */
+    std::uint64_t submitNanos = 0;
+    std::uint32_t queueUs = 0;  ///< submitted -> dequeued
+    std::uint32_t poolUs = 0;   ///< dequeued -> session acquired
+    std::uint32_t warmUs = 0;   ///< warm-start artifact restore
+    std::uint32_t execUs = 0;   ///< engine run wall time
+    std::uint32_t verifyUs = 0; ///< checksum verification
+    std::uint32_t totalUs = 0;  ///< submitted -> resolved
+    ResponseStatus status = ResponseStatus::Ok;
+    api::EngineKind kind = api::EngineKind::Com;
+    std::uint16_t shard = 0;
+    std::uint32_t batchSize = 0;
+    /** True for entries from the slow capture (full program name). */
+    bool slow = false;
+    /** Program name; ring entries truncate to kProgramChars. */
+    std::string program;
+};
+
+class FlightRecorder
+{
+  public:
+    /** Ring slots pack the program name into three words. */
+    static constexpr std::size_t kProgramChars = 24;
+    /** Most slow spans kept (newest win). */
+    static constexpr std::size_t kMaxSlowSpans = 64;
+
+    /**
+     * @param capacity ring slots (0 disables the ring; the slow
+     *        capture still works)
+     * @param epoch the time submitNanos counts from
+     * @param slow_threshold total latency beyond which a span joins
+     *        the slow capture (zero disables it)
+     */
+    FlightRecorder(std::size_t capacity, Clock::time_point epoch,
+                   std::chrono::nanoseconds slow_threshold);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Record one completed span (span.seq is assigned here). */
+    void record(FlightSpan span);
+
+    /**
+     * Every live span: the ring's surviving entries (program names
+     * truncated) followed by the slow capture, each sorted oldest
+     * first. Safe concurrently with record().
+     */
+    std::vector<FlightSpan> collect() const;
+
+    std::size_t capacity() const { return slots_.size(); }
+    Clock::time_point epoch() const { return epoch_; }
+    std::chrono::nanoseconds
+    slowThreshold() const
+    {
+        return slowThreshold_;
+    }
+
+  private:
+    /** Payload words behind each slot's seqlock (see file comment):
+     *    0  submitNanos
+     *    1  queueUs | poolUs<<32
+     *    2  warmUs | execUs<<32
+     *    3  verifyUs | totalUs<<32
+     *    4  status | kind<<8 | shard<<16 | batchSize<<32
+     *    5..7  program name bytes (kProgramChars)
+     */
+    static constexpr std::size_t kPayloadWords = 8;
+
+    struct Slot
+    {
+        std::atomic<std::uint64_t> seq{0}; ///< 0 = never written
+        std::array<std::atomic<std::uint64_t>, kPayloadWords> words{};
+    };
+
+    const Clock::time_point epoch_;
+    const std::chrono::nanoseconds slowThreshold_;
+    std::vector<Slot> slots_;
+    std::atomic<std::uint64_t> head_{0};
+
+    mutable std::mutex slowMu_;
+    std::deque<FlightSpan> slow_;
+    std::uint64_t slowSeq_ = 0;
+};
+
+/**
+ * Render @p spans as the human-readable dump (SIGUSR1, fatal, the
+ * comsim_stat --trace mode): one fixed-width row per span, slowest
+ * stages visible at a glance. @p heading labels the dump source.
+ */
+std::string renderFlightSpans(const std::vector<FlightSpan> &spans,
+                              const std::string &heading);
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_FLIGHT_RECORDER_HPP

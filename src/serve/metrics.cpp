@@ -103,6 +103,32 @@ LatencyHistogram::Snapshot::merge(const Snapshot &other)
     p99Seconds = bucketQuantile(buckets, count, 0.99, maxSeconds);
 }
 
+LatencyHistogram::Snapshot
+LatencyHistogram::Snapshot::delta(const Snapshot &after,
+                                  const Snapshot &before)
+{
+    Snapshot d;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        d.buckets[i] = after.buckets[i] >= before.buckets[i]
+                           ? after.buckets[i] - before.buckets[i]
+                           : 0;
+    for (std::uint64_t b : d.buckets)
+        d.count += b;
+    if (d.count == 0)
+        return d;
+    double sum_after =
+        after.meanSeconds * static_cast<double>(after.count);
+    double sum_before =
+        before.meanSeconds * static_cast<double>(before.count);
+    double sum = std::max(sum_after - sum_before, 0.0);
+    d.meanSeconds = sum / static_cast<double>(d.count);
+    d.maxSeconds = after.maxSeconds;
+    d.p50Seconds = bucketQuantile(d.buckets, d.count, 0.50, d.maxSeconds);
+    d.p95Seconds = bucketQuantile(d.buckets, d.count, 0.95, d.maxSeconds);
+    d.p99Seconds = bucketQuantile(d.buckets, d.count, 0.99, d.maxSeconds);
+    return d;
+}
+
 void
 Metrics::recordBatch(std::uint64_t size)
 {
@@ -147,6 +173,11 @@ Metrics::snapshot(double wallSeconds, std::size_t workers) const
     if (s.workerSeconds > 0.0)
         s.utilization = s.busySeconds / s.workerSeconds;
     s.latency = latency_.snapshot();
+    s.queueWait = queueWait_.snapshot();
+    s.poolWait = poolWait_.snapshot();
+    s.warmRestore = warmRestore_.snapshot();
+    s.execute = execute_.snapshot();
+    s.verify = verify_.snapshot();
     return s;
 }
 
@@ -173,6 +204,11 @@ Metrics::Snapshot::merge(const Snapshot &other)
     utilization =
         workerSeconds > 0.0 ? busySeconds / workerSeconds : 0.0;
     latency.merge(other.latency);
+    queueWait.merge(other.queueWait);
+    poolWait.merge(other.poolWait);
+    warmRestore.merge(other.warmRestore);
+    execute.merge(other.execute);
+    verify.merge(other.verify);
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
     cacheInstalls += other.cacheInstalls;

@@ -55,6 +55,21 @@ class LatencyHistogram
          * percentiles are recomputed from the combined buckets.
          */
         void merge(const Snapshot &other);
+
+        /**
+         * @return @p after minus @p before — the histogram of just
+         * the samples recorded between the two snapshots of one
+         * monotonically-growing histogram. Bucket counts subtract
+         * clamped at zero (a restarted worker's counters reset, so a
+         * raw subtraction could go negative — see counterDelta in
+         * bench/serve.cpp); the count is the clamped bucket sum so
+         * percentiles stay consistent with the buckets, the mean is
+         * recomputed from the clamped nano sums, and the max is
+         * @p after's (a lifetime max cannot be windowed — it is an
+         * upper bound for the interval).
+         */
+        static Snapshot delta(const Snapshot &after,
+                              const Snapshot &before);
     };
 
     /** Fold the counters into percentiles (approximate, see file
@@ -93,6 +108,17 @@ class Metrics
          *  given the observed wall time (0 when unknown). */
         double utilization = 0.0;
         LatencyHistogram::Snapshot latency;
+
+        // Per-stage latency breakdown (the span-tracing tentpole):
+        // where a request's end-to-end latency went. Counts differ —
+        // every completed request records queue/pool waits, only
+        // requests that reached an engine record execute/verify, and
+        // only warm-started runs record a warm restore.
+        LatencyHistogram::Snapshot queueWait; ///< submitted->dequeued
+        LatencyHistogram::Snapshot poolWait; ///< dequeued->session
+        LatencyHistogram::Snapshot warmRestore; ///< image restore
+        LatencyHistogram::Snapshot execute;     ///< engine run wall
+        LatencyHistogram::Snapshot verify;      ///< checksum check
 
         // Raw ingredients behind the derived numbers, kept so
         // snapshots can be merged (router-side aggregation across
@@ -182,6 +208,15 @@ class Metrics
         return latency_;
     }
 
+    // Stage histograms (see Snapshot's stage fields). All relaxed-
+    // atomic like latency(): stamping is a few fetch_adds per
+    // request per stage, cheap enough for the hot path.
+    LatencyHistogram &queueWait() { return queueWait_; }
+    LatencyHistogram &poolWait() { return poolWait_; }
+    LatencyHistogram &warmRestore() { return warmRestore_; }
+    LatencyHistogram &execute() { return execute_; }
+    LatencyHistogram &verify() { return verify_; }
+
     /**
      * @param wallSeconds observed serving wall time (for utilization;
      *        pass 0 when unknown)
@@ -202,6 +237,11 @@ class Metrics
     std::atomic<std::uint64_t> queueDepth_{0};
     std::atomic<std::uint64_t> busyNanos_{0};
     LatencyHistogram latency_;
+    LatencyHistogram queueWait_;
+    LatencyHistogram poolWait_;
+    LatencyHistogram warmRestore_;
+    LatencyHistogram execute_;
+    LatencyHistogram verify_;
 };
 
 } // namespace com::serve

@@ -1,0 +1,153 @@
+#include "serve/prometheus.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace com::serve {
+
+namespace {
+
+void
+line(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+    out += '\n';
+}
+
+void
+counter(std::string &out, const char *name, const char *help,
+        std::uint64_t value)
+{
+    line(out, "# HELP %s %s", name, help);
+    line(out, "# TYPE %s counter", name);
+    line(out, "%s %llu", name,
+         static_cast<unsigned long long>(value));
+}
+
+void
+counterSeconds(std::string &out, const char *name, const char *help,
+               double value)
+{
+    line(out, "# HELP %s %s", name, help);
+    line(out, "# TYPE %s counter", name);
+    line(out, "%s %.9g", name, value);
+}
+
+void
+gauge(std::string &out, const char *name, const char *help,
+      double value)
+{
+    line(out, "# HELP %s %s", name, help);
+    line(out, "# TYPE %s gauge", name);
+    line(out, "%s %.9g", name, value);
+}
+
+void
+histogram(std::string &out, const char *name, const char *help,
+          const LatencyHistogram::Snapshot &h)
+{
+    line(out, "# HELP %s %s", name, help);
+    line(out, "# TYPE %s histogram", name);
+    std::size_t last = 0; // one past the last nonempty bucket
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        if (h.buckets[i] > 0)
+            last = i + 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < last; ++i) {
+        cumulative += h.buckets[i];
+        double le = std::exp2(static_cast<double>(i + 1)) * 1e-6;
+        line(out, "%s_bucket{le=\"%.9g\"} %llu", name, le,
+             static_cast<unsigned long long>(cumulative));
+    }
+    line(out, "%s_bucket{le=\"+Inf\"} %llu", name,
+         static_cast<unsigned long long>(h.count));
+    line(out, "%s_sum %.9g", name,
+         h.meanSeconds * static_cast<double>(h.count));
+    line(out, "%s_count %llu", name,
+         static_cast<unsigned long long>(h.count));
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const Metrics::Snapshot &s)
+{
+    std::string out;
+    out.reserve(8192);
+
+    counter(out, "comsim_requests_submitted_total",
+            "Requests accepted by the serving layer.", s.submitted);
+    counter(out, "comsim_requests_served_total",
+            "Requests that completed Ok (checksum verified).",
+            s.served);
+    counter(out, "comsim_requests_failed_total",
+            "Requests that ran but errored or missed their checksum.",
+            s.failed);
+    counter(out, "comsim_requests_rejected_total",
+            "Requests refused by admission control.", s.rejected);
+    counter(out, "comsim_requests_expired_total",
+            "Requests whose deadline passed before they ran.",
+            s.expired);
+    counter(out, "comsim_batches_total",
+            "Session checkouts that served at least one request.",
+            s.batches);
+    counter(out, "comsim_batched_requests_total",
+            "Requests summed over all batches.", s.batchedRequests);
+    counter(out, "comsim_cache_hits_total",
+            "Program-cache lookups that warm-started.", s.cacheHits);
+    counter(out, "comsim_cache_misses_total",
+            "Program-cache lookups that compiled cold.",
+            s.cacheMisses);
+    counter(out, "comsim_cache_installs_total",
+            "Artifacts installed into the program cache.",
+            s.cacheInstalls);
+    counter(out, "comsim_cache_evictions_total",
+            "Artifacts evicted from the program cache.",
+            s.cacheEvictions);
+    counter(out, "comsim_warm_starts_total",
+            "Runs restored from a cached artifact.", s.warmStarts);
+    counterSeconds(out, "comsim_busy_seconds_total",
+                   "Worker-seconds spent holding a session.",
+                   s.busySeconds);
+
+    gauge(out, "comsim_queue_depth",
+          "Requests queued across all shards at scrape time.",
+          static_cast<double>(s.queueDepth));
+    gauge(out, "comsim_queue_depth_max",
+          "Deepest the queues have been (summed across shards).",
+          static_cast<double>(s.maxQueueDepth));
+    gauge(out, "comsim_batch_max", "Largest batch served so far.",
+          static_cast<double>(s.maxBatch));
+    gauge(out, "comsim_workers", "Scheduler worker threads.",
+          static_cast<double>(s.workers));
+    gauge(out, "comsim_utilization",
+          "Busy worker-seconds over wall worker-seconds.",
+          s.utilization);
+    gauge(out, "comsim_wall_seconds",
+          "Observed serving wall time.", s.wallSeconds);
+
+    histogram(out, "comsim_request_latency_seconds",
+              "Submit-to-completion latency of completed requests.",
+              s.latency);
+    histogram(out, "comsim_stage_queue_wait_seconds",
+              "Span stage: submitted to dequeued.", s.queueWait);
+    histogram(out, "comsim_stage_pool_wait_seconds",
+              "Span stage: dequeued to session acquired.",
+              s.poolWait);
+    histogram(out, "comsim_stage_warm_restore_seconds",
+              "Span stage: warm-start artifact restore.",
+              s.warmRestore);
+    histogram(out, "comsim_stage_execute_seconds",
+              "Span stage: engine run wall time.", s.execute);
+    histogram(out, "comsim_stage_verify_seconds",
+              "Span stage: checksum verification.", s.verify);
+    return out;
+}
+
+} // namespace com::serve

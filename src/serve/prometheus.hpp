@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering of serve::Metrics::Snapshot.
+ *
+ * One function, no dependencies on the transport: the socket server
+ * answers a plain-HTTP GET on its frame port with this text (see
+ * net/server.hpp), the router serves the fleet-merged snapshot the
+ * same way, and comsim_stat --prom prints it for piping.
+ *
+ * Format contract (prometheus.io/docs/instrumenting/exposition_formats):
+ *   - every metric is preceded by `# HELP` and `# TYPE` lines;
+ *   - counters end in `_total`;
+ *   - each log-bucket LatencyHistogram renders as a cumulative
+ *     histogram: `_bucket{le="..."}` series (le = the bucket's upper
+ *     bound, 2^(i+1) microseconds, in seconds), a final
+ *     `_bucket{le="+Inf"}`, then `_sum` and `_count`. Trailing empty
+ *     buckets are elided (the cumulative counts stay exact).
+ * tests/test_obs_prometheus.cpp pins these invariants and CI lints
+ * the scraped output with an independent checker.
+ */
+
+#ifndef COMSIM_SERVE_PROMETHEUS_HPP
+#define COMSIM_SERVE_PROMETHEUS_HPP
+
+#include <string>
+
+#include "serve/metrics.hpp"
+
+namespace com::serve {
+
+/** Render @p s in the Prometheus text exposition format. */
+std::string renderPrometheus(const Metrics::Snapshot &s);
+
+} // namespace com::serve
+
+#endif // COMSIM_SERVE_PROMETHEUS_HPP

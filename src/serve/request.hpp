@@ -72,6 +72,13 @@ struct ServeRequest
     Clock::time_point deadline = kNoDeadline;
     std::promise<Response> promise;
 
+    // Span timeline, stamped by the scheduler as the request crosses
+    // stages (plain writes — each request is owned by exactly one
+    // worker thread once popped). A default (epoch) value means the
+    // stage was never reached (e.g. expired in the queue).
+    Clock::time_point dequeued{};        ///< left the shard queue
+    Clock::time_point sessionAcquired{}; ///< batch got its engine
+
     bool
     expiredBy(Clock::time_point now) const
     {

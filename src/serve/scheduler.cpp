@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -34,13 +35,15 @@ Scheduler::Scheduler(const Config &cfg)
 {
     std::size_t shard_count = std::max<std::size_t>(cfg.shards, 1);
     shards_.reserve(shard_count);
+    Clock::time_point epoch = Clock::now();
     for (std::size_t i = 0; i < shard_count; ++i) {
         api::EnginePool::Config pool_cfg = cfg.pool;
         if (cfg.programCacheCapacity > 0 && !pool_cfg.programCache)
             pool_cfg.programCache = std::make_shared<api::ProgramCache>(
                 cfg.programCacheCapacity);
         shards_.push_back(std::make_unique<Shard>(
-            cfg.queueCapacity, pool_cfg, &metrics_));
+            cfg.queueCapacity, pool_cfg, &metrics_,
+            cfg.flightRecorderCapacity, epoch, cfg.slowThreshold));
     }
     if (cfg.autoStart)
         start();
@@ -258,6 +261,77 @@ Scheduler::submit(api::EngineKind kind, api::ProgramSpec spec,
     return future;
 }
 
+namespace {
+
+double
+stageSeconds(Clock::time_point from, Clock::time_point to)
+{
+    double s = std::chrono::duration<double>(to - from).count();
+    return s > 0.0 ? s : 0.0;
+}
+
+/** Seconds -> saturating u32 microseconds (FlightSpan durations). */
+std::uint32_t
+stageMicros(double seconds)
+{
+    if (seconds <= 0.0)
+        return 0;
+    double us = seconds * 1e6;
+    if (us >= 4294967295.0)
+        return 0xffffffffu;
+    return static_cast<std::uint32_t>(us);
+}
+
+} // namespace
+
+void
+Scheduler::recordSpan(const ServeRequest &req, ResponseStatus status,
+                      std::size_t shard_index, Clock::time_point now,
+                      double exec_seconds, double verify_seconds,
+                      double warm_seconds, std::uint64_t batch_size)
+{
+    constexpr Clock::time_point kUnset{};
+    bool dequeued = req.dequeued != kUnset;
+    bool acquired = req.sessionAcquired != kUnset;
+    double queue_s =
+        dequeued ? stageSeconds(req.submitted, req.dequeued) : 0.0;
+    double pool_s =
+        acquired ? stageSeconds(req.dequeued, req.sessionAcquired)
+                 : 0.0;
+    if (dequeued)
+        metrics_.queueWait().record(queue_s);
+    if (acquired)
+        metrics_.poolWait().record(pool_s);
+    if (exec_seconds >= 0.0) {
+        metrics_.execute().record(exec_seconds);
+        metrics_.verify().record(verify_seconds);
+    }
+    if (warm_seconds > 0.0)
+        metrics_.warmRestore().record(warm_seconds);
+
+    FlightRecorder &recorder = shards_[shard_index]->recorder;
+    FlightSpan span;
+    std::chrono::nanoseconds since_epoch = req.submitted -
+                                           recorder.epoch();
+    span.submitNanos =
+        since_epoch.count() > 0
+            ? static_cast<std::uint64_t>(since_epoch.count())
+            : 0;
+    span.queueUs = stageMicros(queue_s);
+    span.poolUs = stageMicros(pool_s);
+    span.warmUs = stageMicros(warm_seconds);
+    span.execUs = stageMicros(exec_seconds);
+    span.verifyUs = stageMicros(verify_seconds);
+    span.totalUs =
+        stageMicros(stageSeconds(req.submitted, now));
+    span.status = status;
+    span.kind = req.kind;
+    span.shard = static_cast<std::uint16_t>(shard_index);
+    span.batchSize = static_cast<std::uint32_t>(batch_size);
+    span.program = req.spec.name;
+    recorder.record(std::move(span));
+}
+
 void
 Scheduler::finish(ServeRequest &req, ResponseStatus status,
                   std::string error, std::size_t shard_index)
@@ -266,14 +340,15 @@ Scheduler::finish(ServeRequest &req, ResponseStatus status,
     r.status = status;
     r.error = std::move(error);
     r.shard = shard_index;
-    r.latencySeconds = std::chrono::duration<double>(Clock::now() -
-                                                     req.submitted)
-                           .count();
+    Clock::time_point now = Clock::now();
+    r.latencySeconds =
+        std::chrono::duration<double>(now - req.submitted).count();
     if (status == ResponseStatus::Expired)
         metrics_.countExpired();
     else if (status == ResponseStatus::Rejected)
         metrics_.countRejected();
     metrics_.latency().record(r.latencySeconds);
+    recordSpan(req, status, shard_index, now, -1.0, 0.0, 0.0, 0);
     req.promise.set_value(std::move(r));
 }
 
@@ -297,6 +372,7 @@ Scheduler::workerLoop(Shard &shard)
         live.reserve(batch.size());
         Clock::time_point now = Clock::now();
         for (ServeRequest &req : batch) {
+            req.dequeued = now;
             if (req.expiredBy(now))
                 finish(req, ResponseStatus::Expired,
                        "deadline expired in queue", shard_index);
@@ -335,6 +411,8 @@ Scheduler::workerLoop(Shard &shard)
         Clock::time_point busy_start = Clock::now();
         std::uint64_t batch_size = live.size();
         metrics_.recordBatch(batch_size);
+        for (ServeRequest &req : live)
+            req.sessionAcquired = busy_start;
         for (ServeRequest &req : live) {
             now = Clock::now();
             if (req.expiredBy(now)) {
@@ -343,7 +421,9 @@ Scheduler::workerLoop(Shard &shard)
                 continue;
             }
             Response r;
+            Clock::time_point run_start = Clock::now();
             r.outcome = session.run(req.spec);
+            Clock::time_point run_end = Clock::now();
             if (!r.outcome.ok) {
                 r.status = ResponseStatus::Failed;
                 r.error = r.outcome.error;
@@ -357,12 +437,16 @@ Scheduler::workerLoop(Shard &shard)
             }
             r.batchSize = batch_size;
             r.shard = shard_index;
+            now = Clock::now();
             r.latencySeconds =
-                std::chrono::duration<double>(Clock::now() -
-                                              req.submitted)
+                std::chrono::duration<double>(now - req.submitted)
                     .count();
             metrics_.countOutcome(r.status == ResponseStatus::Ok);
             metrics_.latency().record(r.latencySeconds);
+            recordSpan(req, r.status, shard_index, now,
+                       stageSeconds(run_start, run_end),
+                       stageSeconds(run_end, now),
+                       r.outcome.warmRestoreSeconds, batch_size);
             req.promise.set_value(std::move(r));
         }
         session.release(); // one reset for the whole batch
@@ -405,6 +489,31 @@ Scheduler::metricsSnapshot() const
             static_cast<double>(s.warmStartNanos) / 1e9 /
             static_cast<double>(s.warmStarts);
     return s;
+}
+
+std::vector<FlightSpan>
+Scheduler::traceSpans() const
+{
+    std::vector<FlightSpan> all;
+    for (const auto &shard : shards_) {
+        std::vector<FlightSpan> spans = shard->recorder.collect();
+        all.insert(all.end(),
+                   std::make_move_iterator(spans.begin()),
+                   std::make_move_iterator(spans.end()));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const FlightSpan &a, const FlightSpan &b) {
+                  return a.submitNanos < b.submitNanos;
+              });
+    return all;
+}
+
+std::string
+Scheduler::traceDumpText() const
+{
+    return renderFlightSpans(traceSpans(),
+                             std::to_string(shards_.size()) +
+                                 " shard(s)");
 }
 
 } // namespace com::serve

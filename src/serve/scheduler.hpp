@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "serve/flight_recorder.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -81,6 +82,18 @@ class Scheduler
          * image. Ignored when pool.programCache is set explicitly.
          */
         std::size_t programCacheCapacity = 64;
+        /**
+         * Per-shard flight-recorder ring capacity: the last N
+         * completed-request spans stay inspectable (SIGUSR1 dump,
+         * TraceRequest over the wire). 0 disables recording.
+         */
+        std::size_t flightRecorderCapacity = 256;
+        /**
+         * Requests whose total latency exceeds this keep their full
+         * span in the recorder's slow capture (zero disables; see
+         * FlightRecorder).
+         */
+        std::chrono::nanoseconds slowThreshold{0};
         /** Construct started (serving). Tests construct stopped,
          *  queue deterministic backlogs, then call start(). */
         bool autoStart = true;
@@ -171,17 +184,31 @@ class Scheduler
     /** Fold the counters; wall time measured since start(). */
     Metrics::Snapshot metricsSnapshot() const;
 
+    /**
+     * Every shard's flight-recorder spans (rings + slow captures),
+     * ordered by submit time. Safe while serving — collection is
+     * lock-free against the workers (see FlightRecorder).
+     */
+    std::vector<FlightSpan> traceSpans() const;
+
+    /** The spans rendered as the human-readable dump. */
+    std::string traceDumpText() const;
+
   private:
     struct Shard
     {
         explicit Shard(std::size_t queue_capacity,
                        const api::EnginePool::Config &pool_cfg,
-                       Metrics *metrics)
-            : queue(queue_capacity, metrics), pool(pool_cfg)
+                       Metrics *metrics, std::size_t recorder_capacity,
+                       Clock::time_point epoch,
+                       std::chrono::nanoseconds slow_threshold)
+            : queue(queue_capacity, metrics), pool(pool_cfg),
+              recorder(recorder_capacity, epoch, slow_threshold)
         {
         }
         RequestQueue queue;
         api::EnginePool pool;
+        FlightRecorder recorder;
         std::vector<std::thread> workers;
     };
 
@@ -193,6 +220,15 @@ class Scheduler
     /** Complete @p req without running it. */
     void finish(ServeRequest &req, ResponseStatus status,
                 std::string error, std::size_t shard_index);
+    /**
+     * Fold @p req's span into the stage histograms and the shard's
+     * flight recorder. @p exec_seconds < 0 means the request never
+     * reached an engine (stages it never crossed are not recorded).
+     */
+    void recordSpan(const ServeRequest &req, ResponseStatus status,
+                    std::size_t shard_index, Clock::time_point now,
+                    double exec_seconds, double verify_seconds,
+                    double warm_seconds, std::uint64_t batch_size);
 
     const std::size_t workersPerShard_;
     const std::size_t maxBatch_;

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * The flight recorder (serve/flight_recorder.hpp): seqlock ring
+ * round-trips every span field, wraparound keeps the newest spans,
+ * the slow capture keeps full spans past the threshold, and a
+ * concurrent reader never sees a torn span (the TSan job runs the
+ * Trace* suites under the race detector). TraceScheduler covers the
+ * scheduler integration: traceSpans() describes served requests and
+ * the stage histograms count them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/flight_recorder.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace com;
+using serve::FlightRecorder;
+using serve::FlightSpan;
+
+namespace {
+
+/** A span whose fields are all derived from @p i, so a reader can
+ *  tell a torn blend of two spans from a consistent one. */
+FlightSpan
+spanFor(std::uint32_t i)
+{
+    FlightSpan s;
+    s.submitNanos = i * 1000ull;
+    s.queueUs = i;
+    s.poolUs = i + 1;
+    s.warmUs = i + 2;
+    s.execUs = i + 3;
+    s.verifyUs = i + 4;
+    s.totalUs = i + 5;
+    s.status = serve::ResponseStatus::Ok;
+    s.kind = api::EngineKind::Fith;
+    s.shard = static_cast<std::uint16_t>(i % 7);
+    s.batchSize = i % 31 + 1;
+    s.program = "prog-" + std::to_string(i);
+    return s;
+}
+
+/** All duration fields consistent with one spanFor() write? */
+bool
+consistent(const FlightSpan &s)
+{
+    std::uint32_t i = s.queueUs;
+    return s.submitNanos == i * 1000ull && s.poolUs == i + 1 &&
+           s.warmUs == i + 2 && s.execUs == i + 3 &&
+           s.verifyUs == i + 4 && s.totalUs == i + 5 &&
+           s.shard == i % 7 && s.batchSize == i % 31 + 1;
+}
+
+TEST(TraceRecorder, RoundTripsEveryField)
+{
+    FlightRecorder rec(8, serve::Clock::now(),
+                       std::chrono::nanoseconds(0));
+    FlightSpan in = spanFor(42);
+    in.status = serve::ResponseStatus::Failed;
+    in.kind = api::EngineKind::Stack;
+    rec.record(in);
+
+    std::vector<FlightSpan> out = rec.collect();
+    ASSERT_EQ(out.size(), 1u);
+    const FlightSpan &s = out[0];
+    EXPECT_EQ(s.seq, 0u);
+    EXPECT_EQ(s.submitNanos, in.submitNanos);
+    EXPECT_EQ(s.queueUs, in.queueUs);
+    EXPECT_EQ(s.poolUs, in.poolUs);
+    EXPECT_EQ(s.warmUs, in.warmUs);
+    EXPECT_EQ(s.execUs, in.execUs);
+    EXPECT_EQ(s.verifyUs, in.verifyUs);
+    EXPECT_EQ(s.totalUs, in.totalUs);
+    EXPECT_EQ(s.status, serve::ResponseStatus::Failed);
+    EXPECT_EQ(s.kind, api::EngineKind::Stack);
+    EXPECT_EQ(s.shard, in.shard);
+    EXPECT_EQ(s.batchSize, in.batchSize);
+    EXPECT_FALSE(s.slow);
+    EXPECT_EQ(s.program, "prog-42");
+}
+
+TEST(TraceRecorder, RingKeepsTheNewestSpans)
+{
+    constexpr std::size_t kCapacity = 8;
+    FlightRecorder rec(kCapacity, serve::Clock::now(),
+                       std::chrono::nanoseconds(0));
+    for (std::uint32_t i = 1; i <= 20; ++i)
+        rec.record(spanFor(i));
+
+    std::vector<FlightSpan> out = rec.collect();
+    ASSERT_EQ(out.size(), kCapacity);
+    // Oldest first, and exactly the last kCapacity completions
+    // (seq is the 0-based completion number within the shard).
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].seq, 20 - kCapacity + i);
+        EXPECT_TRUE(consistent(out[i])) << "span " << i;
+    }
+}
+
+TEST(TraceRecorder, RingTruncatesLongProgramNames)
+{
+    FlightRecorder rec(4, serve::Clock::now(),
+                       std::chrono::nanoseconds(0));
+    std::string longname(FlightRecorder::kProgramChars + 10, 'x');
+    FlightSpan s = spanFor(1);
+    s.program = longname;
+    rec.record(s);
+
+    std::vector<FlightSpan> out = rec.collect();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].program,
+              longname.substr(0, FlightRecorder::kProgramChars));
+}
+
+TEST(TraceRecorder, ZeroCapacityDisablesTheRing)
+{
+    FlightRecorder rec(0, serve::Clock::now(),
+                       std::chrono::nanoseconds(0));
+    rec.record(spanFor(1));
+    EXPECT_TRUE(rec.collect().empty());
+}
+
+TEST(TraceRecorder, SlowCaptureKeepsFullSpans)
+{
+    // Threshold 1ms; the ring is off, so everything collected comes
+    // from the slow capture.
+    FlightRecorder rec(0, serve::Clock::now(),
+                       std::chrono::milliseconds(1));
+    std::string longname(FlightRecorder::kProgramChars + 16, 'y');
+
+    FlightSpan fast = spanFor(1);
+    fast.totalUs = 500; // under threshold
+    rec.record(fast);
+
+    FlightSpan slow = spanFor(2);
+    slow.totalUs = 5000; // over threshold
+    slow.program = longname;
+    rec.record(slow);
+
+    std::vector<FlightSpan> out = rec.collect();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].slow);
+    EXPECT_EQ(out[0].totalUs, 5000u);
+    // Slow capture keeps the FULL name, not the ring truncation.
+    EXPECT_EQ(out[0].program, longname);
+}
+
+TEST(TraceRecorder, SlowCaptureIsBoundedNewestWin)
+{
+    FlightRecorder rec(0, serve::Clock::now(),
+                       std::chrono::microseconds(1));
+    const std::uint32_t total = FlightRecorder::kMaxSlowSpans + 10;
+    for (std::uint32_t i = 1; i <= total; ++i) {
+        FlightSpan s = spanFor(i);
+        s.totalUs = 1000 + i; // all over threshold
+        rec.record(s);
+    }
+    std::vector<FlightSpan> out = rec.collect();
+    ASSERT_EQ(out.size(), FlightRecorder::kMaxSlowSpans);
+    // The survivors are the newest, oldest first.
+    EXPECT_EQ(out.front().totalUs, 1000u + 11u);
+    EXPECT_EQ(out.back().totalUs, 1000u + total);
+}
+
+TEST(TraceRecorder, ConcurrentWritersAndReaderSeeNoTornSpans)
+{
+    constexpr int kWriters = 4;
+    constexpr std::uint32_t kPerWriter = 2000;
+    FlightRecorder rec(64, serve::Clock::now(),
+                       std::chrono::nanoseconds(0));
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            for (const FlightSpan &s : rec.collect())
+                // A torn read would blend two spanFor() payloads;
+                // every collected span must be self-consistent.
+                ASSERT_TRUE(consistent(s))
+                    << "torn span at seq " << s.seq;
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&rec, w] {
+            for (std::uint32_t i = 0; i < kPerWriter; ++i)
+                rec.record(spanFor(
+                    static_cast<std::uint32_t>(w) * kPerWriter + i));
+        });
+    for (std::thread &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    std::vector<FlightSpan> out = rec.collect();
+    EXPECT_EQ(out.size(), 64u);
+    for (const FlightSpan &s : out)
+        EXPECT_TRUE(consistent(s));
+}
+
+/** Serve a few fith programs through a real scheduler. */
+serve::Scheduler::Config
+schedulerConfig()
+{
+    serve::Scheduler::Config cfg;
+    cfg.shards = 2;
+    cfg.workersPerShard = 2;
+    cfg.pool.fithEngines = 2;
+    cfg.flightRecorderCapacity = 32;
+    return cfg;
+}
+
+api::ProgramSpec
+addSpec(int i)
+{
+    std::string src = std::to_string(i) + " 1 + dup .";
+    api::ProgramSpec spec = api::ProgramSpec::fith("add", src);
+    spec.hasExpected = true;
+    spec.expected = i + 1;
+    return spec;
+}
+
+TEST(TraceScheduler, TraceSpansDescribeServedRequests)
+{
+    serve::Scheduler sched(schedulerConfig());
+    constexpr int kRequests = 10;
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(
+            sched.submit(api::EngineKind::Fith, addSpec(i)));
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+
+    std::vector<FlightSpan> spans = sched.traceSpans();
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(kRequests));
+    for (const FlightSpan &s : spans) {
+        EXPECT_EQ(s.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(s.kind, api::EngineKind::Fith);
+        EXPECT_EQ(s.program, "add");
+        EXPECT_LT(s.shard, 2u);
+        EXPECT_GE(s.batchSize, 1u);
+        // Stages are sub-intervals of the whole span.
+        EXPECT_LE(s.execUs, s.totalUs);
+        EXPECT_LE(s.queueUs, s.totalUs);
+    }
+    // Ordered by submit time.
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_GE(spans[i].submitNanos, spans[i - 1].submitNanos);
+}
+
+TEST(TraceScheduler, StageHistogramsCountCompletedRequests)
+{
+    serve::Scheduler sched(schedulerConfig());
+    constexpr int kRequests = 8;
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(
+            sched.submit(api::EngineKind::Fith, addSpec(i)));
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+
+    serve::Metrics::Snapshot m = sched.metricsSnapshot();
+    // Every completed request crossed the queue and reached an
+    // engine, so these stage counts all equal the request count.
+    EXPECT_EQ(m.queueWait.count, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(m.poolWait.count, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(m.execute.count, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(m.verify.count, static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(m.latency.count, static_cast<std::uint64_t>(kRequests));
+    // Execution took nonzero wall time in aggregate.
+    EXPECT_GT(m.execute.meanSeconds, 0.0);
+}
+
+TEST(TraceScheduler, SlowThresholdCapturesEverythingWhenTiny)
+{
+    serve::Scheduler::Config cfg = schedulerConfig();
+    cfg.flightRecorderCapacity = 0; // slow capture only
+    cfg.slowThreshold = std::chrono::nanoseconds(1);
+    serve::Scheduler sched(cfg);
+    auto f = sched.submit(api::EngineKind::Fith, addSpec(1));
+    EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+
+    std::vector<FlightSpan> spans = sched.traceSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_TRUE(spans[0].slow);
+}
+
+TEST(TraceScheduler, DumpTextNamesTheProgram)
+{
+    serve::Scheduler sched(schedulerConfig());
+    auto f = sched.submit(api::EngineKind::Fith, addSpec(3));
+    EXPECT_EQ(f.get().status, serve::ResponseStatus::Ok);
+
+    std::string dump = sched.traceDumpText();
+    EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+    EXPECT_NE(dump.find("add"), std::string::npos);
+}
+
+TEST(TraceScheduler, EmptyRecorderDumpsHeaderOnly)
+{
+    serve::Scheduler sched(schedulerConfig());
+    std::string dump = sched.traceDumpText();
+    EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+}
+
+} // namespace

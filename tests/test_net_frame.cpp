@@ -246,6 +246,213 @@ TEST(NetFrame, MetricsRoundTripsHistogramBuckets)
     EXPECT_EQ(back.snapshot.latency.buckets[10], 40u);
 }
 
+TEST(NetFrame, MetricsRoundTripsStageHistograms)
+{
+    // v2: the five per-stage histograms travel with the snapshot,
+    // buckets and moments intact, so the router can merge them
+    // exactly across worker processes.
+    net::MetricsResponseFrame m;
+    m.requestId = 6;
+    m.snapshot.queueWait.count = 10;
+    m.snapshot.queueWait.meanSeconds = 0.002;
+    m.snapshot.queueWait.maxSeconds = 0.02;
+    m.snapshot.queueWait.buckets[5] = 7;
+    m.snapshot.queueWait.buckets[9] = 3;
+    m.snapshot.poolWait.count = 10;
+    m.snapshot.poolWait.buckets[2] = 10;
+    m.snapshot.warmRestore.count = 4;
+    m.snapshot.warmRestore.buckets[1] = 4;
+    m.snapshot.execute.count = 9;
+    m.snapshot.execute.meanSeconds = 0.5;
+    m.snapshot.execute.buckets[19] = 9;
+    m.snapshot.verify.count = 9;
+    m.snapshot.verify.buckets[0] = 9;
+
+    net::MetricsResponseFrame back;
+    ASSERT_TRUE(net::decodeMetricsResponse(
+        peekOk(net::encodeMetricsResponse(m)), &back));
+    EXPECT_EQ(back.snapshot.queueWait.count, 10u);
+    EXPECT_DOUBLE_EQ(back.snapshot.queueWait.meanSeconds, 0.002);
+    EXPECT_DOUBLE_EQ(back.snapshot.queueWait.maxSeconds, 0.02);
+    EXPECT_EQ(back.snapshot.queueWait.buckets[5], 7u);
+    EXPECT_EQ(back.snapshot.queueWait.buckets[9], 3u);
+    EXPECT_EQ(back.snapshot.poolWait.buckets[2], 10u);
+    EXPECT_EQ(back.snapshot.warmRestore.buckets[1], 4u);
+    EXPECT_DOUBLE_EQ(back.snapshot.execute.meanSeconds, 0.5);
+    EXPECT_EQ(back.snapshot.execute.buckets[19], 9u);
+    EXPECT_EQ(back.snapshot.verify.buckets[0], 9u);
+}
+
+TEST(NetFrame, RunResponseRoundTripsWarmRestoreSeconds)
+{
+    net::RunResponseFrame resp;
+    resp.requestId = 12;
+    resp.status = serve::ResponseStatus::Ok;
+    resp.warmRestoreSeconds = 0.00125;
+    net::RunResponseFrame back;
+    ASSERT_TRUE(net::decodeRunResponse(
+        peekOk(net::encodeRunResponse(resp)), &back));
+    EXPECT_DOUBLE_EQ(back.warmRestoreSeconds, 0.00125);
+}
+
+serve::FlightSpan
+sampleSpan()
+{
+    serve::FlightSpan s;
+    s.seq = 41;
+    s.submitNanos = 123456789;
+    s.queueUs = 10;
+    s.poolUs = 20;
+    s.warmUs = 30;
+    s.execUs = 40;
+    s.verifyUs = 50;
+    s.totalUs = 150;
+    s.status = serve::ResponseStatus::Failed;
+    s.kind = api::EngineKind::Fith;
+    s.shard = 3;
+    s.batchSize = 6;
+    s.slow = false;
+    s.program = "hot-loop";
+    return s;
+}
+
+TEST(NetFrame, TraceRequestEncodes)
+{
+    FrameView view = peekOk(net::encodeTraceRequest(31337));
+    EXPECT_EQ(view.type, FrameType::TraceRequest);
+    EXPECT_EQ(view.requestId, 31337u);
+}
+
+TEST(NetFrame, TraceResponseRoundTripsEveryField)
+{
+    net::TraceResponseFrame f;
+    f.requestId = 21;
+    f.spans.push_back(sampleSpan());
+    serve::FlightSpan slow = sampleSpan();
+    slow.slow = true;
+    // Slow-capture spans keep names past the ring's 24-char pack;
+    // the wire codec must carry them whole.
+    slow.program = std::string(40, 'z');
+    f.spans.push_back(slow);
+
+    std::string bytes = net::encodeTraceResponse(f);
+    FrameView view = peekOk(bytes);
+    EXPECT_EQ(view.type, FrameType::TraceResponse);
+
+    net::TraceResponseFrame back;
+    ASSERT_TRUE(net::decodeTraceResponse(view, &back));
+    EXPECT_EQ(back.requestId, 21u);
+    ASSERT_EQ(back.spans.size(), 2u);
+    const serve::FlightSpan &a = back.spans[0];
+    const serve::FlightSpan &in = f.spans[0];
+    EXPECT_EQ(a.seq, in.seq);
+    EXPECT_EQ(a.submitNanos, in.submitNanos);
+    EXPECT_EQ(a.queueUs, in.queueUs);
+    EXPECT_EQ(a.poolUs, in.poolUs);
+    EXPECT_EQ(a.warmUs, in.warmUs);
+    EXPECT_EQ(a.execUs, in.execUs);
+    EXPECT_EQ(a.verifyUs, in.verifyUs);
+    EXPECT_EQ(a.totalUs, in.totalUs);
+    EXPECT_EQ(a.status, in.status);
+    EXPECT_EQ(a.kind, in.kind);
+    EXPECT_EQ(a.shard, in.shard);
+    EXPECT_EQ(a.batchSize, in.batchSize);
+    EXPECT_FALSE(a.slow);
+    EXPECT_EQ(a.program, "hot-loop");
+    EXPECT_TRUE(back.spans[1].slow);
+    EXPECT_EQ(back.spans[1].program, std::string(40, 'z'));
+}
+
+TEST(NetFrame, TraceResponseRoundTripsEmpty)
+{
+    net::TraceResponseFrame f;
+    f.requestId = 1;
+    net::TraceResponseFrame back;
+    ASSERT_TRUE(net::decodeTraceResponse(
+        peekOk(net::encodeTraceResponse(f)), &back));
+    EXPECT_TRUE(back.spans.empty());
+}
+
+TEST(NetFrame, TraceResponseRejectsLyingSpanCount)
+{
+    // A count the payload cannot possibly hold must be rejected
+    // before any reserve() — a 4-byte lie must not cost gigabytes.
+    net::TraceResponseFrame f;
+    f.requestId = 2;
+    f.spans.push_back(sampleSpan());
+    std::string bytes = net::encodeTraceResponse(f);
+    std::uint32_t huge = 0xFFFFFFFFu;
+    // Payload layout: u64 request id, then the u32 span count.
+    std::memcpy(&bytes[net::kHeaderSize + 8], &huge, sizeof(huge));
+
+    net::TraceResponseFrame back;
+    EXPECT_FALSE(net::decodeTraceResponse(peekOk(bytes), &back));
+}
+
+TEST(NetFrame, TraceResponseRejectsBadEnumBytes)
+{
+    net::TraceResponseFrame f;
+    f.requestId = 3;
+    f.spans.push_back(sampleSpan());
+    std::string pristine = net::encodeTraceResponse(f);
+    // First span starts at payload offset 12; status and kind are
+    // the two bytes after its six u32 durations and two u64s.
+    std::size_t status_at = net::kHeaderSize + 12 + 40;
+
+    std::string bad_status = pristine;
+    bad_status[status_at] = 9; // > Failed
+    net::TraceResponseFrame back;
+    EXPECT_FALSE(
+        net::decodeTraceResponse(peekOk(bad_status), &back));
+
+    std::string bad_kind = pristine;
+    bad_kind[status_at + 1] = 7; // >= kNumEngineKinds
+    EXPECT_FALSE(net::decodeTraceResponse(peekOk(bad_kind), &back));
+}
+
+TEST(NetFrame, TraceResponseTruncationIsSkippableNotFatal)
+{
+    net::TraceResponseFrame f;
+    f.requestId = 4;
+    f.spans.push_back(sampleSpan());
+    std::string bytes = net::encodeTraceResponse(f);
+    std::string cut = bytes.substr(0, bytes.size() - 3);
+    std::uint32_t len =
+        static_cast<std::uint32_t>(cut.size() - net::kHeaderSize);
+    std::memcpy(&cut[8], &len, sizeof(len));
+
+    FrameView view;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::peekFrame(cut, &view, &consumed),
+              DecodeStatus::Frame);
+    net::TraceResponseFrame back;
+    EXPECT_FALSE(net::decodeTraceResponse(view, &back));
+}
+
+TEST(NetFrame, TraceCorruptionSweepNeverCrashes)
+{
+    net::TraceResponseFrame f;
+    f.requestId = 5;
+    f.spans.push_back(sampleSpan());
+    serve::FlightSpan second = sampleSpan();
+    second.program = "other";
+    f.spans.push_back(second);
+    std::string pristine = net::encodeTraceResponse(f);
+    for (std::size_t i = net::kHeaderSize; i < pristine.size(); ++i) {
+        for (unsigned char flip : {0x00, 0xFF, 0x80, 0x01}) {
+            std::string bytes = pristine;
+            bytes[i] = static_cast<char>(bytes[i] ^ flip);
+            FrameView view;
+            std::size_t consumed = 0;
+            if (net::peekFrame(bytes, &view, &consumed) !=
+                DecodeStatus::Frame)
+                continue;
+            net::TraceResponseFrame back;
+            (void)net::decodeTraceResponse(view, &back);
+        }
+    }
+}
+
 TEST(NetFrame, TruncatedStreamsWantMoreBytes)
 {
     std::string bytes = net::encodeRunRequest(sampleRequest());

@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <memory>
@@ -176,6 +179,142 @@ TEST(NetRouter, RestartsKilledWorker)
     pid_t replacement = fx.router().workerPid(0);
     EXPECT_GT(replacement, 0);
     EXPECT_NE(replacement, victim);
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, TraceFanOutConcatenatesWorkerSpans)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+
+    constexpr int kRequests = 10;
+    for (int i = 0; i < kRequests; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+
+    // One TraceRequest fans out to every worker; the response is the
+    // concatenation of their flight recorders — every served request
+    // appears exactly once, whichever worker ran it.
+    std::vector<serve::FlightSpan> spans;
+    ASSERT_TRUE(client.trace(&spans)) << client.error();
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(kRequests));
+    for (const serve::FlightSpan &s : spans) {
+        EXPECT_EQ(s.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(s.program, "add");
+    }
+
+    // Runs keep working on the same connection after a trace.
+    serve::Response r = client.run(api::EngineKind::Fith, specFor(1));
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, MetricsDeltasSurviveWorkerRestart)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+
+    // A before/after metrics window with a worker restart inside it:
+    // the restarted worker re-reports from zero, so the fleet-merged
+    // "after" counters can be SMALLER than "before". The clamped
+    // delta path (LatencyHistogram::Snapshot::delta + clamped counter
+    // diffs, what bench_serve and comsim_stat use) must yield a sane
+    // window, never 2^64 wrap-around garbage.
+    constexpr int kBefore = 12;
+    for (int i = 0; i < kBefore; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+    serve::Metrics::Snapshot before;
+    ASSERT_TRUE(client.metrics(&before)) << client.error();
+    EXPECT_EQ(before.served, static_cast<std::uint64_t>(kBefore));
+
+    pid_t victim = fx.router().workerPid(0);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    constexpr int kAfter = 12;
+    for (int i = 0; i < kAfter; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+    EXPECT_GE(fx.router().restarts(), 1u);
+
+    serve::Metrics::Snapshot after;
+    ASSERT_TRUE(client.metrics(&after)) << client.error();
+
+    using Hist = serve::LatencyHistogram::Snapshot;
+    for (const Hist &d : {Hist::delta(after.latency, before.latency),
+                          Hist::delta(after.queueWait, before.queueWait),
+                          Hist::delta(after.execute, before.execute)}) {
+        // The window really held at most kAfter completions (the
+        // killed worker's lost history clamps away, it cannot
+        // inflate the delta).
+        EXPECT_LE(d.count, static_cast<std::uint64_t>(kAfter));
+        std::uint64_t total = 0;
+        for (std::uint64_t b : d.buckets)
+            total += b;
+        EXPECT_EQ(total, d.count);
+    }
+    auto diff = [](std::uint64_t a, std::uint64_t b) {
+        return a >= b ? a - b : 0;
+    };
+    EXPECT_LE(diff(after.served, before.served),
+              static_cast<std::uint64_t>(kAfter));
+    EXPECT_EQ(fx.shutdown(), 0);
+}
+
+TEST(NetRouter, HttpScrapeAggregatesTheFleet)
+{
+    if (workerBinary().empty())
+        GTEST_SKIP() << "comsim_served not built next to tests";
+
+    RouterFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    constexpr int kRequests = 8;
+    for (int i = 0; i < kRequests; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, specFor(i));
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.router().port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, get.data(), get.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(get.size()));
+    std::string resp;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        resp.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u) << resp;
+    // The body is the fleet-MERGED snapshot: both workers' served
+    // counts summed.
+    EXPECT_NE(resp.find("comsim_requests_served_total 8"),
+              std::string::npos)
+        << resp;
     EXPECT_EQ(fx.shutdown(), 0);
 }
 

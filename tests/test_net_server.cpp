@@ -260,10 +260,12 @@ TEST(NetServer, MalformedPayloadGetsErrorFrameAndConnectionSurvives)
 
 TEST(NetServer, GarbageStreamIsClosed)
 {
+    // Genuine garbage (an HTTP GET is NOT garbage any more — see
+    // HttpGetIsAnsweredWithPrometheusText below).
     ServerFixture fx;
     RawConn raw(fx.server().port());
     ASSERT_TRUE(raw.connected());
-    raw.sendAll("GET / HTTP/1.1\r\nHost: nope\r\n\r\n");
+    raw.sendAll("\x7f\x03XYZ not a frame, not http\r\n");
 
     // Best-effort Error frame, then EOF: readFrame returns the Error
     // first (if it arrived) and false after.
@@ -372,6 +374,96 @@ TEST(NetServer, ReportsFramesServed)
     (void)client.metrics(&snap);
     fx.shutdown();
     EXPECT_GE(fx.server().framesServed(), 2u);
+}
+
+TEST(NetServer, TraceFrameReturnsServedSpans)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    constexpr int kRequests = 4;
+    for (int i = 0; i < kRequests; ++i) {
+        serve::Response r =
+            client.run(api::EngineKind::Fith, addSpec());
+        ASSERT_EQ(r.status, serve::ResponseStatus::Ok) << r.error;
+    }
+
+    std::vector<serve::FlightSpan> spans;
+    ASSERT_TRUE(client.trace(&spans)) << client.error();
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(kRequests));
+    for (const serve::FlightSpan &s : spans) {
+        EXPECT_EQ(s.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(s.kind, api::EngineKind::Fith);
+        EXPECT_EQ(s.program, "add");
+    }
+
+    // The same connection keeps serving runs after a trace.
+    serve::Response r = client.run(api::EngineKind::Fith, addSpec());
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+}
+
+TEST(NetServer, HttpGetIsAnsweredWithPrometheusText)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    for (int i = 0; i < 2; ++i)
+        (void)client.run(api::EngineKind::Fith, addSpec());
+
+    // Scrape like a Prometheus server would: plain HTTP GET on the
+    // frame port, read to EOF (Connection: close).
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server().port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string get =
+        "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    ASSERT_EQ(::send(fd, get.data(), get.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(get.size()));
+    std::string resp;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        resp.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u) << resp;
+    EXPECT_NE(resp.find("Content-Type: text/plain"),
+              std::string::npos);
+    // The body is the Prometheus rendering of the live snapshot.
+    EXPECT_NE(resp.find("comsim_requests_served_total 2"),
+              std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("comsim_request_latency_seconds_count"),
+              std::string::npos);
+
+    // Frame clients are untouched by the scrape.
+    serve::Response r = client.run(api::EngineKind::Fith, addSpec());
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+}
+
+TEST(NetServer, RequestTraceDumpWritesTheRecorderToStderr)
+{
+    ServerFixture fx;
+    net::Client client;
+    ASSERT_TRUE(client.connect(fx.clientConfig()));
+    serve::Response r = client.run(api::EngineKind::Fith, addSpec());
+    ASSERT_EQ(r.status, serve::ResponseStatus::Ok);
+    client.close();
+
+    // requestTraceDump is what the SIGUSR1 handler calls; the event
+    // loop checks the flag at the top of every iteration, so the
+    // dump lands before a subsequent drain lets run() return.
+    testing::internal::CaptureStderr();
+    fx.server().requestTraceDump();
+    fx.shutdown();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("flight recorder"), std::string::npos) << err;
+    EXPECT_NE(err.find("add"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * LatencyHistogram::Snapshot algebra (serve/metrics.hpp): merge(a, b)
+ * must equal the histogram of the concatenated samples — buckets,
+ * count, mean and max — and delta(after, before) must recover just
+ * the samples recorded between two snapshots of one growing
+ * histogram, clamping instead of underflowing when a worker restart
+ * resets the counters. These are the invariants the router's
+ * cross-process aggregation and the benchmark's before/after windows
+ * lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "serve/metrics.hpp"
+
+using namespace com;
+using serve::LatencyHistogram;
+using Snap = serve::LatencyHistogram::Snapshot;
+
+namespace {
+
+/** Deterministic LCG so the property trials are reproducible. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_ >> 33;
+    }
+
+    /** A latency sample spanning many buckets (µs to minutes). */
+    double
+    nextSeconds()
+    {
+        // 2^(0..31) microseconds, jittered within the bucket.
+        double us = static_cast<double>(1u << (next() % 32)) *
+                    (1.0 + static_cast<double>(next() % 100) / 100.0);
+        return us * 1e-6;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+Snap
+histogramOf(const std::vector<double> &samples)
+{
+    LatencyHistogram h;
+    for (double s : samples)
+        h.record(s);
+    return h.snapshot();
+}
+
+/** merge(a, b) == histogram(a ++ b), field by field. */
+void
+expectMergeMatchesConcatenation(const std::vector<double> &a,
+                                const std::vector<double> &b)
+{
+    std::vector<double> both = a;
+    both.insert(both.end(), b.begin(), b.end());
+    Snap ref = histogramOf(both);
+
+    Snap merged = histogramOf(a);
+    merged.merge(histogramOf(b));
+
+    EXPECT_EQ(merged.count, ref.count);
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        EXPECT_EQ(merged.buckets[i], ref.buckets[i]) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(merged.maxSeconds, ref.maxSeconds);
+    // Weighted-mean merge vs direct mean differ only in rounding;
+    // scale the tolerance so huge (top-bucket) samples pass too.
+    EXPECT_NEAR(merged.meanSeconds, ref.meanSeconds,
+                1e-9 * std::max(1.0, ref.meanSeconds));
+    // Percentiles derive from the buckets alone, so identical
+    // buckets must yield identical percentiles.
+    EXPECT_DOUBLE_EQ(merged.p50Seconds, ref.p50Seconds);
+    EXPECT_DOUBLE_EQ(merged.p95Seconds, ref.p95Seconds);
+    EXPECT_DOUBLE_EQ(merged.p99Seconds, ref.p99Seconds);
+}
+
+TEST(ObsHistogram, MergeEqualsHistogramOfConcatenatedSamples)
+{
+    Lcg rng(12345);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> a, b;
+        std::size_t na = rng.next() % 200;
+        std::size_t nb = rng.next() % 200;
+        for (std::size_t i = 0; i < na; ++i)
+            a.push_back(rng.nextSeconds());
+        for (std::size_t i = 0; i < nb; ++i)
+            b.push_back(rng.nextSeconds());
+        expectMergeMatchesConcatenation(a, b);
+    }
+}
+
+TEST(ObsHistogram, MergeEmptyWithEmptyIsEmpty)
+{
+    Snap merged;
+    merged.merge(Snap{});
+    EXPECT_EQ(merged.count, 0u);
+    EXPECT_DOUBLE_EQ(merged.meanSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(merged.maxSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(merged.p50Seconds, 0.0);
+    for (std::uint64_t b : merged.buckets)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(ObsHistogram, MergeEmptyWithNonemptyIsIdentity)
+{
+    std::vector<double> samples = {0.001, 0.010, 0.100};
+    expectMergeMatchesConcatenation({}, samples);
+    expectMergeMatchesConcatenation(samples, {});
+}
+
+TEST(ObsHistogram, MergeHandlesTopBucketOverflow)
+{
+    // ~31.7 years: far past the last bucket boundary, so both
+    // samples land in the clamped top bucket. Merge must keep them
+    // there and keep the moments exact.
+    std::vector<double> a = {1e9};
+    std::vector<double> b = {1e9, 2e9};
+    expectMergeMatchesConcatenation(a, b);
+
+    Snap merged = histogramOf(a);
+    merged.merge(histogramOf(b));
+    EXPECT_EQ(merged.buckets[LatencyHistogram::kBuckets - 1], 3u);
+    EXPECT_DOUBLE_EQ(merged.maxSeconds, 2e9);
+}
+
+TEST(ObsHistogram, DeltaRecoversTheWindowSamples)
+{
+    LatencyHistogram h;
+    std::vector<double> before_samples = {0.002, 0.004, 0.050};
+    std::vector<double> window_samples = {0.001, 0.030, 0.030, 1.5};
+    for (double s : before_samples)
+        h.record(s);
+    Snap before = h.snapshot();
+    for (double s : window_samples)
+        h.record(s);
+    Snap after = h.snapshot();
+
+    Snap ref = histogramOf(window_samples);
+    Snap d = Snap::delta(after, before);
+    EXPECT_EQ(d.count, ref.count);
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        EXPECT_EQ(d.buckets[i], ref.buckets[i]) << "bucket " << i;
+    EXPECT_NEAR(d.meanSeconds, ref.meanSeconds, 1e-9);
+    EXPECT_DOUBLE_EQ(d.p50Seconds, ref.p50Seconds);
+    // The max cannot be windowed from counters; delta documents it
+    // as after's lifetime max (an upper bound for the interval).
+    EXPECT_DOUBLE_EQ(d.maxSeconds, after.maxSeconds);
+}
+
+TEST(ObsHistogram, DeltaOfIdenticalSnapshotsIsEmpty)
+{
+    LatencyHistogram h;
+    h.record(0.003);
+    h.record(0.004);
+    Snap snap = h.snapshot();
+    Snap d = Snap::delta(snap, snap);
+    EXPECT_EQ(d.count, 0u);
+    for (std::uint64_t b : d.buckets)
+        EXPECT_EQ(b, 0u);
+    EXPECT_DOUBLE_EQ(d.meanSeconds, 0.0);
+}
+
+TEST(ObsHistogram, DeltaClampsAfterWorkerRestart)
+{
+    // A restarted worker re-reports from zero, so "after" can be
+    // SMALLER than "before". The delta must clamp at zero instead of
+    // wrapping to 2^64-garbage.
+    LatencyHistogram big;
+    for (int i = 0; i < 50; ++i)
+        big.record(0.010);
+    Snap before = big.snapshot();
+
+    LatencyHistogram fresh;
+    fresh.record(0.002); // the restarted worker's single sample
+    Snap after = fresh.snapshot();
+
+    Snap d = Snap::delta(after, before);
+    // The one bucket that grew (2ms lands lower than 10ms) keeps its
+    // sample; the shrunken bucket clamps to zero; count stays the
+    // clamped bucket sum so percentiles remain consistent.
+    EXPECT_EQ(d.count, 1u);
+    std::uint64_t total = 0;
+    for (std::uint64_t b : d.buckets)
+        total += b;
+    EXPECT_EQ(total, d.count);
+    EXPECT_LT(d.meanSeconds, 0.010);
+    EXPECT_GE(d.meanSeconds, 0.0);
+}
+
+TEST(ObsHistogram, MetricsSnapshotMergeFoldsStageHistograms)
+{
+    serve::Metrics a;
+    serve::Metrics b;
+    a.queueWait().record(0.001);
+    a.execute().record(0.002);
+    b.queueWait().record(0.004);
+    b.verify().record(0.0005);
+
+    serve::Metrics::Snapshot sa = a.snapshot(1.0, 2);
+    serve::Metrics::Snapshot sb = b.snapshot(1.0, 2);
+    sa.merge(sb);
+
+    EXPECT_EQ(sa.queueWait.count, 2u);
+    EXPECT_EQ(sa.execute.count, 1u);
+    EXPECT_EQ(sa.verify.count, 1u);
+    EXPECT_EQ(sa.poolWait.count, 0u);
+    EXPECT_EQ(sa.warmRestore.count, 0u);
+    EXPECT_NEAR(sa.queueWait.meanSeconds, 0.0025, 1e-9);
+}
+
+} // namespace

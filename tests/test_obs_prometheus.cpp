@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The Prometheus text renderer (serve/prometheus.hpp) keeps the
+ * exposition-format contract: every sample is preceded by # HELP and
+ * # TYPE lines, counters end in _total, and each histogram renders
+ * cumulative buckets capped by a +Inf bucket that equals _count,
+ * with _sum == mean * count. CI scrapes a live server and lints the
+ * same invariants with an independent checker; these tests pin them
+ * at the source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/prometheus.hpp"
+
+using namespace com;
+
+namespace {
+
+/** A snapshot with every family populated. */
+serve::Metrics::Snapshot
+sampleSnapshot()
+{
+    serve::Metrics m;
+    m.countSubmitted();
+    m.countSubmitted();
+    m.countOutcome(true);
+    m.countOutcome(false);
+    m.countRejected();
+    m.countExpired();
+    m.recordBatch(3);
+    m.countEnqueued();
+    m.addBusyNanos(1500000000ull);
+    m.latency().record(0.004);
+    m.latency().record(0.032);
+    m.latency().record(1.7);
+    m.queueWait().record(0.001);
+    m.poolWait().record(0.0002);
+    m.warmRestore().record(0.0001);
+    m.execute().record(0.003);
+    m.verify().record(0.00005);
+    serve::Metrics::Snapshot s = m.snapshot(2.5, 4);
+    s.cacheHits = 5;
+    s.cacheMisses = 2;
+    s.cacheInstalls = 2;
+    s.cacheEvictions = 1;
+    s.warmStarts = 5;
+    return s;
+}
+
+struct Parsed
+{
+    /** metric family name -> declared TYPE. */
+    std::map<std::string, std::string> types;
+    /** family names with a HELP line. */
+    std::map<std::string, bool> helped;
+    /** every sample line: name (with labels stripped) -> values. */
+    std::multimap<std::string, double> samples;
+    /** full sample lines, in order. */
+    std::vector<std::string> lines;
+};
+
+Parsed
+parse(const std::string &text)
+{
+    Parsed p;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        if (line[0] == '#') {
+            std::string hash, what, name, rest;
+            ls >> hash >> what >> name;
+            if (what == "TYPE") {
+                ls >> rest;
+                p.types[name] = rest;
+            } else if (what == "HELP") {
+                p.helped[name] = true;
+            } else {
+                ADD_FAILURE() << "unknown comment line: " << line;
+            }
+            continue;
+        }
+        p.lines.push_back(line);
+        std::string name;
+        double value = 0.0;
+        ls >> name >> value;
+        std::string::size_type brace = name.find('{');
+        if (brace != std::string::npos)
+            name = name.substr(0, brace);
+        p.samples.emplace(name, value);
+    }
+    return p;
+}
+
+/** The family a sample belongs to (histogram suffixes strip). */
+std::string
+familyOf(const std::string &sample)
+{
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        std::string s(suffix);
+        if (sample.size() > s.size() &&
+            sample.compare(sample.size() - s.size(), s.size(), s) == 0)
+            return sample.substr(0, sample.size() - s.size());
+    }
+    return sample;
+}
+
+TEST(ObsPrometheus, EverySampleHasHelpAndType)
+{
+    Parsed p = parse(serve::renderPrometheus(sampleSnapshot()));
+    ASSERT_FALSE(p.samples.empty());
+    for (const auto &kv : p.samples) {
+        std::string family = familyOf(kv.first);
+        EXPECT_TRUE(p.types.count(family))
+            << kv.first << " has no # TYPE";
+        EXPECT_TRUE(p.helped.count(family))
+            << kv.first << " has no # HELP";
+    }
+}
+
+TEST(ObsPrometheus, CountersEndInTotal)
+{
+    Parsed p = parse(serve::renderPrometheus(sampleSnapshot()));
+    for (const auto &kv : p.types)
+        if (kv.second == "counter")
+            EXPECT_NE(
+                kv.first.find("_total"), std::string::npos)
+                << kv.first << " is a counter without _total";
+}
+
+TEST(ObsPrometheus, CountersMatchTheSnapshot)
+{
+    serve::Metrics::Snapshot s = sampleSnapshot();
+    Parsed p = parse(serve::renderPrometheus(s));
+    auto value = [&](const std::string &name) {
+        auto it = p.samples.find(name);
+        EXPECT_NE(it, p.samples.end()) << name << " missing";
+        return it == p.samples.end() ? -1.0 : it->second;
+    };
+    EXPECT_EQ(value("comsim_requests_submitted_total"), 2.0);
+    EXPECT_EQ(value("comsim_requests_served_total"), 1.0);
+    EXPECT_EQ(value("comsim_requests_failed_total"), 1.0);
+    EXPECT_EQ(value("comsim_requests_rejected_total"), 1.0);
+    EXPECT_EQ(value("comsim_requests_expired_total"), 1.0);
+    EXPECT_EQ(value("comsim_cache_hits_total"), 5.0);
+    EXPECT_EQ(value("comsim_queue_depth"), 1.0);
+    EXPECT_EQ(value("comsim_workers"), 4.0);
+}
+
+TEST(ObsPrometheus, HistogramsAreCumulativeWithInfEqualToCount)
+{
+    serve::Metrics::Snapshot s = sampleSnapshot();
+    Parsed p = parse(serve::renderPrometheus(s));
+
+    const char *families[] = {
+        "comsim_request_latency_seconds",
+        "comsim_stage_queue_wait_seconds",
+        "comsim_stage_pool_wait_seconds",
+        "comsim_stage_warm_restore_seconds",
+        "comsim_stage_execute_seconds",
+        "comsim_stage_verify_seconds",
+    };
+    for (const char *family : families) {
+        ASSERT_TRUE(p.types.count(family)) << family;
+        EXPECT_EQ(p.types[family], "histogram") << family;
+
+        // Bucket values must be non-decreasing in line order, and
+        // the final (+Inf) bucket must equal _count.
+        std::string bucket = std::string(family) + "_bucket";
+        double prev = -1.0;
+        double last = -1.0;
+        bool saw_inf = false;
+        for (const std::string &line : p.lines) {
+            if (line.compare(0, bucket.size(), bucket) != 0)
+                continue;
+            double v = 0.0;
+            std::sscanf(line.c_str() + line.find("} "), "} %lf", &v);
+            EXPECT_GE(v, prev) << line;
+            prev = v;
+            last = v;
+            if (line.find("+Inf") != std::string::npos)
+                saw_inf = true;
+        }
+        EXPECT_TRUE(saw_inf) << family << " lacks a +Inf bucket";
+
+        auto count = p.samples.find(std::string(family) + "_count");
+        ASSERT_NE(count, p.samples.end()) << family;
+        EXPECT_EQ(last, count->second) << family;
+
+        auto sum = p.samples.find(std::string(family) + "_sum");
+        ASSERT_NE(sum, p.samples.end()) << family;
+        EXPECT_GE(sum->second, 0.0) << family;
+    }
+
+    // Spot-check one family's numbers against the snapshot.
+    auto count = p.samples.find("comsim_request_latency_seconds_count");
+    ASSERT_NE(count, p.samples.end());
+    EXPECT_EQ(count->second, static_cast<double>(s.latency.count));
+    auto sum = p.samples.find("comsim_request_latency_seconds_sum");
+    ASSERT_NE(sum, p.samples.end());
+    EXPECT_NEAR(sum->second,
+                s.latency.meanSeconds *
+                    static_cast<double>(s.latency.count),
+                1e-6);
+}
+
+TEST(ObsPrometheus, EmptySnapshotStillRendersEveryFamily)
+{
+    // A freshly started server scrapes clean: zero counters, empty
+    // histograms (just the +Inf bucket), no parse surprises.
+    Parsed p = parse(serve::renderPrometheus(serve::Metrics::Snapshot{}));
+    EXPECT_TRUE(p.samples.count("comsim_requests_served_total"));
+    auto inf = p.samples.find("comsim_request_latency_seconds_count");
+    ASSERT_NE(inf, p.samples.end());
+    EXPECT_EQ(inf->second, 0.0);
+    for (const auto &kv : p.samples) {
+        std::string family = familyOf(kv.first);
+        EXPECT_TRUE(p.types.count(family)) << kv.first;
+    }
+}
+
+} // namespace

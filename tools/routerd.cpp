@@ -7,6 +7,8 @@
  * routes each request to the worker the stable source hash names.
  * A crashed worker is restarted in place; SIGTERM drains gracefully
  * (every in-flight request resolves, workers exit 0, then we do).
+ * SIGUSR1 forwards to every worker, which dumps its flight recorder
+ * to the shared stderr.
  */
 
 #include <csignal>
@@ -27,6 +29,13 @@ onSignal(int)
         g_router->requestDrain(); // async-signal-safe
 }
 
+void
+onTraceSignal(int)
+{
+    if (g_router)
+        g_router->requestTraceDump(); // async-signal-safe
+}
+
 } // namespace
 
 int
@@ -41,6 +50,8 @@ main(int argc, char **argv)
     std::uint64_t max_batch = 32;
     std::uint64_t max_attempts = 3;
     std::uint64_t max_connections = 128;
+    std::uint64_t recorder = 256;
+    std::uint64_t slow_ms = 0;
 
     com::bench::FlagSet flags(
         "comsim_routerd",
@@ -61,6 +72,11 @@ main(int argc, char **argv)
                   "re-sends after worker deaths before WorkerLost");
     flags.addUint("max-connections", &max_connections,
                   "accepted-connection cap");
+    flags.addUint("recorder", &recorder,
+                  "flight-recorder spans per shard in each worker");
+    flags.addUint("slow-ms", &slow_ms,
+                  "workers keep full spans of requests slower than "
+                  "this (0 = off)");
     flags.parse(argc, argv);
 
     com::net::Router::Config cfg;
@@ -74,6 +90,8 @@ main(int argc, char **argv)
         "--workers-per-shard", std::to_string(workers_per_shard),
         "--queue-capacity",    std::to_string(queue_capacity),
         "--max-batch",         std::to_string(max_batch),
+        "--recorder",          std::to_string(recorder),
+        "--slow-ms",           std::to_string(slow_ms),
     };
 
     std::signal(SIGPIPE, SIG_IGN);
@@ -81,6 +99,7 @@ main(int argc, char **argv)
     g_router = &router;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    std::signal(SIGUSR1, onTraceSignal);
 
     std::printf("listening on %s:%u\n", host.c_str(),
                 router.port());

@@ -9,11 +9,16 @@
  *     pre-connected socket (comsim_routerd forks us this way).
  *
  * SIGTERM / SIGINT drain gracefully: stop accepting, resolve every
- * accepted request, flush, exit 0.
+ * accepted request, flush, exit 0. SIGUSR1 dumps the flight recorder
+ * (per-request span table, serve/flight_recorder.hpp) to stderr
+ * without disturbing service; a fatal error dumps it too on the way
+ * out, so the last thing a dying server says is where its requests'
+ * time went.
  */
 
 #include <csignal>
 #include <cstdio>
+#include <exception>
 
 #include "bench/flags.hpp"
 #include "net/server.hpp"
@@ -27,6 +32,13 @@ onSignal(int)
 {
     if (g_server)
         g_server->requestDrain(); // async-signal-safe
+}
+
+void
+onTraceSignal(int)
+{
+    if (g_server)
+        g_server->requestTraceDump(); // async-signal-safe
 }
 
 } // namespace
@@ -44,6 +56,8 @@ main(int argc, char **argv)
     std::uint64_t max_batch = 32;
     std::uint64_t pool_size = 0;
     std::uint64_t max_connections = 128;
+    std::uint64_t recorder = 256;
+    std::uint64_t slow_ms = 0;
 
     com::bench::FlagSet flags(
         "comsim_served",
@@ -63,6 +77,11 @@ main(int argc, char **argv)
                   "engines per kind in each pool (0 = default)");
     flags.addUint("max-connections", &max_connections,
                   "accepted-connection cap");
+    flags.addUint("recorder", &recorder,
+                  "flight-recorder spans kept per shard");
+    flags.addUint("slow-ms", &slow_ms,
+                  "keep full spans of requests slower than this "
+                  "(0 = off)");
     flags.parse(argc, argv);
 
     com::net::Server::Config cfg;
@@ -75,6 +94,9 @@ main(int argc, char **argv)
     cfg.scheduler.workersPerShard = workers_per_shard;
     cfg.scheduler.queueCapacity = queue_capacity;
     cfg.scheduler.maxBatch = max_batch;
+    cfg.scheduler.flightRecorderCapacity = recorder;
+    cfg.scheduler.slowThreshold =
+        std::chrono::milliseconds(slow_ms);
     if (pool_size > 0) {
         cfg.scheduler.pool.comEngines = pool_size;
         cfg.scheduler.pool.stackEngines = pool_size;
@@ -85,6 +107,7 @@ main(int argc, char **argv)
     g_server = &server;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    std::signal(SIGUSR1, onTraceSignal);
     std::signal(SIGPIPE, SIG_IGN);
 
     if (cfg.controlFd < 0) {
@@ -92,7 +115,17 @@ main(int argc, char **argv)
                     server.port());
         std::fflush(stdout);
     }
-    server.run();
+    try {
+        server.run();
+    } catch (const std::exception &e) {
+        // Last words: the flight recorder says where request time
+        // went right up to the failure.
+        std::string dump = server.scheduler().traceDumpText();
+        std::fwrite(dump.data(), 1, dump.size(), stderr);
+        std::fprintf(stderr, "comsim_served: fatal: %s\n", e.what());
+        g_server = nullptr;
+        return 1;
+    }
     g_server = nullptr;
     return 0;
 }

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * comsim_stat — live stage-latency breakdown of a running server.
+ *
+ * Connects to a comsim_served or comsim_routerd (the router answers
+ * with fleet-merged numbers) and, by default, polls MetricsRequest
+ * every --interval seconds, printing one table row per poll with the
+ * *interval's* rates and stage p50s — each row diffs two cumulative
+ * snapshots with LatencyHistogram::Snapshot::delta, so a long-lived
+ * server shows what is happening now, not its lifetime average.
+ *
+ * One-shot modes:
+ *   --prom=1    print the Prometheus text rendering of one snapshot
+ *               (the same bytes an HTTP GET on the serve port yields)
+ *   --trace=1   fetch the flight recorder (TraceRequest) and print
+ *               the span table (serve/flight_recorder.hpp)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/flags.hpp"
+#include "net/client.hpp"
+#include "serve/flight_recorder.hpp"
+#include "serve/prometheus.hpp"
+
+namespace {
+
+/** A histogram-delta p50 in milliseconds, for table cells. */
+double
+p50Ms(const com::serve::LatencyHistogram::Snapshot &h)
+{
+    return h.p50Seconds * 1e3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint64_t port = 0;
+    double interval = 2.0;
+    std::uint64_t count = 0;
+    std::uint64_t prom = 0;
+    std::uint64_t trace = 0;
+
+    com::bench::FlagSet flags(
+        "comsim_stat",
+        "live stage-latency breakdown of a comsim_served/routerd");
+    flags.addString("host", &host, "server address");
+    flags.addUint("port", &port, "server port (required)");
+    flags.addDouble("interval", &interval,
+                    "seconds between polls (live table mode)");
+    flags.addUint("count", &count,
+                  "table rows to print before exiting (0 = forever)");
+    flags.addUint("prom", &prom,
+                  "1 = print one Prometheus text snapshot and exit");
+    flags.addUint("trace", &trace,
+                  "1 = print the flight-recorder spans and exit");
+    flags.parse(argc, argv);
+
+    if (port == 0) {
+        std::fprintf(stderr, "comsim_stat: --port is required\n");
+        flags.usage(stderr);
+        return 2;
+    }
+
+    com::net::Client client;
+    com::net::Client::Config ccfg;
+    ccfg.host = host;
+    ccfg.port = static_cast<std::uint16_t>(port);
+    if (!client.connect(ccfg)) {
+        std::fprintf(stderr, "comsim_stat: %s\n",
+                     client.error().c_str());
+        return 1;
+    }
+
+    if (trace > 0) {
+        std::vector<com::serve::FlightSpan> spans;
+        if (!client.trace(&spans)) {
+            std::fprintf(stderr, "comsim_stat: %s\n",
+                         client.error().c_str());
+            return 1;
+        }
+        std::string text = com::serve::renderFlightSpans(
+            spans, host + ":" + std::to_string(port));
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+
+    com::serve::Metrics::Snapshot snap;
+    if (!client.metrics(&snap)) {
+        std::fprintf(stderr, "comsim_stat: %s\n",
+                     client.error().c_str());
+        return 1;
+    }
+
+    if (prom > 0) {
+        std::string text = com::serve::renderPrometheus(snap);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+
+    using Hist = com::serve::LatencyHistogram::Snapshot;
+    com::serve::Metrics::Snapshot prev = snap;
+    for (std::uint64_t row = 0; count == 0 || row < count; ++row) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+        com::serve::Metrics::Snapshot cur;
+        if (!client.metrics(&cur)) {
+            std::fprintf(stderr, "comsim_stat: %s\n",
+                         client.error().c_str());
+            return 1;
+        }
+        if (row % 20 == 0)
+            std::printf("%8s %8s %6s %9s %9s %9s %9s %9s %9s %6s "
+                        "%5s\n",
+                        "rps", "ok", "fail", "queue_p50", "pool_p50",
+                        "warm_p50", "exec_p50", "verif_p50",
+                        "e2e_p50", "depth", "util");
+        // Counters are cumulative; a worker restart can make them
+        // step backwards, so clamp like the histogram deltas do.
+        auto diff = [](std::uint64_t after, std::uint64_t before) {
+            return after >= before ? after - before : 0;
+        };
+        Hist lat = Hist::delta(cur.latency, prev.latency);
+        Hist queue = Hist::delta(cur.queueWait, prev.queueWait);
+        Hist pool = Hist::delta(cur.poolWait, prev.poolWait);
+        Hist warm = Hist::delta(cur.warmRestore, prev.warmRestore);
+        Hist exec = Hist::delta(cur.execute, prev.execute);
+        Hist verify = Hist::delta(cur.verify, prev.verify);
+        std::uint64_t done = diff(cur.served, prev.served) +
+                             diff(cur.failed, prev.failed) +
+                             diff(cur.expired, prev.expired);
+        std::printf("%8.1f %8llu %6llu %8.2fm %8.2fm %8.2fm %8.2fm "
+                    "%8.2fm %8.2fm %6llu %4.0f%%\n",
+                    static_cast<double>(done) / interval,
+                    static_cast<unsigned long long>(
+                        diff(cur.served, prev.served)),
+                    static_cast<unsigned long long>(
+                        diff(cur.failed, prev.failed) +
+                        diff(cur.expired, prev.expired)),
+                    p50Ms(queue), p50Ms(pool), p50Ms(warm),
+                    p50Ms(exec), p50Ms(verify), p50Ms(lat),
+                    static_cast<unsigned long long>(cur.queueDepth),
+                    cur.utilization * 100.0);
+        std::fflush(stdout);
+        prev = cur;
+    }
+    return 0;
+}
