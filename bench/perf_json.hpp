@@ -1,7 +1,7 @@
 /**
  * @file
  * The BENCH_perf.json trajectory file, shared by bench_perf and
- * bench_serve (schema comsim.bench.perf/v6, documented in ROADMAP.md).
+ * bench_serve (schema comsim.bench.perf/v7, documented in ROADMAP.md).
  *
  * bench_perf rewrites the file with its single-engine throughput
  * entries; bench_serve merges its "BM_Serve/..." requests/s entries
@@ -41,10 +41,15 @@ namespace com::bench {
  *  the wire protocol against comsim_routerd; v6 adds the stage-
  *  latency breakdown on serving entries (queue_wait_p50_ms,
  *  pool_wait_p50_ms, exec_p50_ms — from the scheduler's span
- *  histograms, remote entries via before/after histogram deltas).
+ *  histograms, remote entries via before/after histogram deltas);
+ *  v7 adds the priority-class fields on serving entries: per-class
+ *  p99s (interactive_p99_ms, batch_p99_ms, besteffort_p99_ms), the
+ *  SLO attainment fraction (slo_attained, of interactive requests
+ *  served within slo_ms), the shed counter, and the "sched" label
+ *  ("edf" | "fifo") naming the queue discipline measured.
  *  Older files still load: absent fields stay zero/absent on the
  *  round trip. */
-constexpr const char *kPerfSchema = "comsim.bench.perf/v6";
+constexpr const char *kPerfSchema = "comsim.bench.perf/v7";
 
 /** One benchmark measurement. */
 struct BenchResult
@@ -63,24 +68,26 @@ struct BenchResult
     std::vector<std::pair<std::string, std::string>> labels;
 };
 
-/** Integer detail keys the loader round-trips (v2 + v3 + v4). */
+/** Integer detail keys the loader round-trips (v2 + v3 + v4 + v7). */
 constexpr const char *kDetailKeys[] = {
     "threads",      "sessions",     "requests",       "max_concurrent",
     "failures",     "shards",       "batches",        "rejected",
     "expired",      "cache_hits",   "cache_misses",   "cache_installs",
-    "cache_evictions",
+    "cache_evictions", "shed",
 };
 
-/** Double metric keys the loader round-trips (v3 + v4 + v6). */
+/** Double metric keys the loader round-trips (v3 + v4 + v6 + v7). */
 constexpr const char *kMetricKeys[] = {
     "p50_ms", "p95_ms", "p99_ms", "mean_ms", "mean_batch",
     "utilization", "warm_mean_ms", "queue_wait_p50_ms",
-    "pool_wait_p50_ms", "exec_p50_ms",
+    "pool_wait_p50_ms", "exec_p50_ms", "interactive_p99_ms",
+    "batch_p99_ms", "besteffort_p99_ms", "slo_attained", "slo_ms",
 };
 
-/** String label keys the loader round-trips (v5). */
+/** String label keys the loader round-trips (v5 + v7). */
 constexpr const char *kLabelKeys[] = {
     "transport",
+    "sched",
 };
 
 /** Minimal JSON string escape (names are ASCII identifiers anyway). */
@@ -183,7 +190,7 @@ jsonNumberField(const std::string &line, const std::string &key,
 
 /**
  * Load the benchmark entries of an existing trajectory file (any
- * schema, v1 through v6). Unreadable or unparsable files load as
+ * schema, v1 through v7). Unreadable or unparsable files load as
  * empty — the callers rewrite from scratch then.
  * @param[out] min_time_seconds the file's timing floor, if present;
  *             untouched otherwise (pass a preset default); may be null

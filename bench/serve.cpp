@@ -45,13 +45,26 @@
  * BM_Serve/<scenario>_remote; every entry carries a "transport" label
  * ("local" or "tcp", schema v5) naming how it was measured.
  *
+ * Priority classes and the SLO (schema v7): --priority-mix=I:B:E
+ * assigns each submitted request a service class by weighted
+ * round-robin (interactive : batch : best-effort), --sched=edf|fifo
+ * picks the queue discipline (EDF with displacement shedding is the
+ * system under test, FIFO the measured baseline), and --slo-ms=S
+ * states the interactive latency objective: every entry then carries
+ * per-class p99s, the shed count and slo_attained (the fraction of
+ * interactive requests served within S ms). Oversubscribed open-loop
+ * runs (--rate above capacity) are where the disciplines diverge:
+ * EDF sheds best-effort traffic to hold the interactive tail, FIFO
+ * lets every class queue behind every other.
+ *
  * Usage:
  *   bench_serve [--threads=4] [--shards=2] [--requests=100]
  *               [--sessions=N] [--batch=32] [--queue=1024]
  *               [--rate=R] [--deadline-ms=D] [--repeats=N]
  *               [--cache=64] [--engines=com,stack,fith]
  *               [--workloads=a,b,...] [--remote=host:port]
- *               [--out=BENCH_perf.json]
+ *               [--priority-mix=I:B:E] [--sched=edf|fifo]
+ *               [--slo-ms=S] [--out=BENCH_perf.json]
  */
 
 #include <algorithm>
@@ -107,6 +120,13 @@ struct ServeStats
     std::uint64_t rejected = 0;
     std::uint64_t expired = 0;
     std::uint64_t failures = 0;
+    /** Rejections that carried a retry-after hint: load shed. */
+    std::uint64_t shed = 0;
+    /** Interactive requests submitted / served within the SLO. */
+    std::uint64_t sloEligible = 0;
+    std::uint64_t sloMet = 0;
+    /** Per-class completed-request latency p99s (ms). */
+    double classP99Ms[serve::kNumPriorities] = {};
     std::uint64_t guestOps = 0;
     std::uint64_t batches = 0;
     double meanBatch = 0.0;
@@ -134,6 +154,16 @@ struct ServeStats
                    ? static_cast<double>(served) / seconds
                    : 0.0;
     }
+
+    /** Fraction of interactive requests served within the SLO. */
+    double
+    sloAttained() const
+    {
+        return sloEligible > 0
+                   ? static_cast<double>(sloMet) /
+                         static_cast<double>(sloEligible)
+                   : 1.0;
+    }
 };
 
 /** Exact percentile of an ascending @p sorted (nearest-rank: the
@@ -160,7 +190,51 @@ struct DriveConfig
     double rate = 0.0;          ///< arrivals/s; 0 = back-pressure mode
     double deadlineMs = 0.0;    ///< 0 = no deadline
     std::uint64_t cacheCapacity = 64; ///< per-shard; 0 = no cache
+    /** Weighted round-robin class pattern (see buildPriorityPattern);
+     *  request i gets pattern[i % size]. One Interactive entry when
+     *  no mix was asked for. */
+    std::vector<serve::Priority> priorityPattern{
+        serve::Priority::Interactive};
+    /** Interactive latency objective in ms; 0 = none stated. */
+    double sloMs = 0.0;
+    /** The queue discipline under measurement. */
+    serve::RequestQueue::Order order = serve::RequestQueue::Order::Edf;
 };
+
+/**
+ * Expand "I:B:E" weights into the deterministic submission pattern:
+ * classes interleave (i, b, e, i, b, e, ...) until each weight is
+ * spent, so every window of the arrival stream carries the stated
+ * mix instead of front-loading one class. @return false on parse
+ * failure.
+ */
+bool
+buildPriorityPattern(const std::string &mix,
+                     std::vector<serve::Priority> *out)
+{
+    unsigned long w[serve::kNumPriorities] = {};
+    if (std::sscanf(mix.c_str(), "%lu:%lu:%lu", &w[0], &w[1],
+                    &w[2]) != 3)
+        return false;
+    if (w[0] + w[1] + w[2] == 0 ||
+        w[0] + w[1] + w[2] > 1024) // degenerate or absurd
+        return false;
+    out->clear();
+    unsigned long left[serve::kNumPriorities] = {w[0], w[1], w[2]};
+    for (;;) {
+        bool any = false;
+        for (std::size_t p = 0; p < serve::kNumPriorities; ++p) {
+            if (left[p] == 0)
+                continue;
+            --left[p];
+            out->push_back(static_cast<serve::Priority>(p));
+            any = true;
+        }
+        if (!any)
+            break;
+    }
+    return true;
+}
 
 /**
  * Drive @p scenario through a fresh scheduler. Fresh per scenario on
@@ -189,6 +263,7 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     cfg.workersPerShard = workers_per_shard;
     cfg.queueCapacity = static_cast<std::size_t>(dc.queueCapacity);
     cfg.maxBatch = static_cast<std::size_t>(dc.maxBatch);
+    cfg.queueOrder = dc.order;
     cfg.programCacheCapacity =
         static_cast<std::size_t>(dc.cacheCapacity);
     cfg.pool.comEngines =
@@ -211,11 +286,16 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
     futures.reserve(dc.totalRequests);
     std::vector<std::size_t> request_of;
     request_of.reserve(dc.totalRequests);
+    std::vector<serve::Priority> priority_of;
+    priority_of.reserve(dc.totalRequests);
 
     for (std::uint64_t i = 0; i < dc.totalRequests; ++i) {
         std::size_t pick =
             static_cast<std::size_t>(i) % scenario.mix.size();
         const Request &req = scenario.mix[pick];
+        serve::Priority prio =
+            dc.priorityPattern[static_cast<std::size_t>(i) %
+                               dc.priorityPattern.size()];
         if (dc.rate > 0.0) {
             // Open loop: arrival i is due at start + i/rate, whether
             // or not earlier requests completed.
@@ -234,18 +314,25 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
                 : serve::kNoDeadline;
         futures.push_back(
             dc.rate > 0.0
-                ? scheduler.trySubmit(req.kind, req.spec, deadline)
-                : scheduler.submit(req.kind, req.spec, deadline));
+                ? scheduler.trySubmit(req.kind, req.spec, deadline,
+                                      prio)
+                : scheduler.submit(req.kind, req.spec, deadline,
+                                   prio));
         request_of.push_back(pick);
+        priority_of.push_back(prio);
     }
 
     ServeStats s;
     std::vector<double> latencies;
     latencies.reserve(futures.size());
+    std::vector<double> class_lat[serve::kNumPriorities];
     double latency_sum = 0.0;
     for (std::size_t i = 0; i < futures.size(); ++i) {
         serve::Response r = futures[i].get();
         const Request &req = scenario.mix[request_of[i]];
+        serve::Priority prio = priority_of[i];
+        if (prio == serve::Priority::Interactive && dc.sloMs > 0.0)
+            ++s.sloEligible;
         switch (r.status) {
           case serve::ResponseStatus::Ok:
             if (r.outcome.output != req.expectedOutput) {
@@ -259,11 +346,19 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
                 ++s.served;
                 latencies.push_back(r.latencySeconds);
                 latency_sum += r.latencySeconds;
+                class_lat[static_cast<std::size_t>(prio)].push_back(
+                    r.latencySeconds);
+                if (prio == serve::Priority::Interactive &&
+                    dc.sloMs > 0.0 &&
+                    r.latencySeconds * 1e3 <= dc.sloMs)
+                    ++s.sloMet;
             }
             s.guestOps += r.outcome.operations;
             break;
           case serve::ResponseStatus::Rejected:
             ++s.rejected;
+            if (r.retryAfterSeconds > 0.0)
+                ++s.shed;
             break;
           case serve::ResponseStatus::Expired:
             ++s.expired;
@@ -303,6 +398,10 @@ runScenario(const Scenario &scenario, const DriveConfig &dc)
                    ? 0.0
                    : latency_sum /
                          static_cast<double>(latencies.size()) * 1e3;
+    for (std::size_t p = 0; p < serve::kNumPriorities; ++p) {
+        std::sort(class_lat[p].begin(), class_lat[p].end());
+        s.classP99Ms[p] = percentile(class_lat[p], 0.99) * 1e3;
+    }
     return s;
 }
 
@@ -346,6 +445,7 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
     ServeStats s;
     std::vector<double> latencies;
     latencies.reserve(dc.totalRequests);
+    std::vector<double> class_lat[serve::kNumPriorities];
     double latency_sum = 0.0;
 
     auto drive = [&]() {
@@ -353,6 +453,7 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
         bool up = client.connect(ccfg);
         ServeStats local;
         std::vector<double> local_lat;
+        std::vector<double> local_class[serve::kNumPriorities];
         double local_sum = 0.0;
         for (;;) {
             std::uint64_t i =
@@ -362,6 +463,12 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
             const Request &req =
                 scenario.mix[static_cast<std::size_t>(i) %
                              scenario.mix.size()];
+            serve::Priority prio =
+                dc.priorityPattern[static_cast<std::size_t>(i) %
+                                   dc.priorityPattern.size()];
+            if (prio == serve::Priority::Interactive &&
+                dc.sloMs > 0.0)
+                ++local.sloEligible;
             if (!up || !client.connected()) {
                 ++local.rejected; // connection lost; count honestly
                 continue;
@@ -369,7 +476,7 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
             clock::time_point t0 = clock::now();
             serve::Response r = client.run(
                 req.kind, req.spec,
-                static_cast<std::uint32_t>(dc.deadlineMs));
+                static_cast<std::uint32_t>(dc.deadlineMs), prio);
             double lat = std::chrono::duration<double>(
                              clock::now() - t0)
                              .count();
@@ -386,11 +493,18 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
                     ++local.served;
                     local_lat.push_back(lat);
                     local_sum += lat;
+                    local_class[static_cast<std::size_t>(prio)]
+                        .push_back(lat);
+                    if (prio == serve::Priority::Interactive &&
+                        dc.sloMs > 0.0 && lat * 1e3 <= dc.sloMs)
+                        ++local.sloMet;
                 }
                 local.guestOps += r.outcome.operations;
                 break;
               case serve::ResponseStatus::Rejected:
                 ++local.rejected;
+                if (r.retryAfterSeconds > 0.0)
+                    ++local.shed;
                 break;
               case serve::ResponseStatus::Expired:
                 ++local.expired;
@@ -410,9 +524,16 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
         s.rejected += local.rejected;
         s.expired += local.expired;
         s.failures += local.failures;
+        s.shed += local.shed;
+        s.sloEligible += local.sloEligible;
+        s.sloMet += local.sloMet;
         s.guestOps += local.guestOps;
         latencies.insert(latencies.end(), local_lat.begin(),
                          local_lat.end());
+        for (std::size_t p = 0; p < serve::kNumPriorities; ++p)
+            class_lat[p].insert(class_lat[p].end(),
+                                local_class[p].begin(),
+                                local_class[p].end());
         latency_sum += local_sum;
     };
 
@@ -477,6 +598,10 @@ runScenarioRemote(const Scenario &scenario, const DriveConfig &dc,
                    ? 0.0
                    : latency_sum /
                          static_cast<double>(latencies.size()) * 1e3;
+    for (std::size_t p = 0; p < serve::kNumPriorities; ++p) {
+        std::sort(class_lat[p].begin(), class_lat[p].end());
+        s.classP99Ms[p] = percentile(class_lat[p], 0.99) * 1e3;
+    }
     return s;
 }
 
@@ -498,6 +623,9 @@ main(int argc, char **argv)
     std::string engines_csv = "com,stack,fith";
     std::string workloads_csv = "all";
     std::string remote;
+    std::string priority_mix = "1:0:0";
+    std::string sched = "edf";
+    double slo_ms = 0.0;
     std::string out_path = "BENCH_perf.json";
 
     bench::FlagSet flags(
@@ -535,6 +663,15 @@ main(int argc, char **argv)
     flags.addString("remote", &remote,
                     "host:port of a running comsim_served/routerd to "
                     "drive over the wire (default: in-process)");
+    flags.addString("priority-mix", &priority_mix,
+                    "interactive:batch:besteffort submission weights "
+                    "(weighted round-robin; default all interactive)");
+    flags.addString("sched", &sched,
+                    "queue discipline: edf (deadline+priority order, "
+                    "sheds under overload) or fifo (baseline)");
+    flags.addDouble("slo-ms", &slo_ms,
+                    "interactive latency objective in ms; entries "
+                    "report the fraction served within it (0: none)");
     flags.addString("out", &out_path, "trajectory file to merge into");
     flags.parse(argc, argv);
 
@@ -698,6 +835,29 @@ main(int argc, char **argv)
     dc.rate = rate;
     dc.deadlineMs = deadline_ms;
     dc.cacheCapacity = cache_capacity;
+    dc.sloMs = slo_ms;
+    if (!buildPriorityPattern(priority_mix, &dc.priorityPattern)) {
+        std::fprintf(stderr,
+                     "bench_serve: --priority-mix wants I:B:E "
+                     "weights summing to 1..1024, got '%s'\n",
+                     priority_mix.c_str());
+        return 2;
+    }
+    if (sched == "edf") {
+        dc.order = serve::RequestQueue::Order::Edf;
+    } else if (sched == "fifo") {
+        dc.order = serve::RequestQueue::Order::Fifo;
+    } else {
+        std::fprintf(stderr,
+                     "bench_serve: --sched must be edf or fifo, got "
+                     "'%s'\n",
+                     sched.c_str());
+        return 2;
+    }
+    if (!remote.empty() && sched == "fifo")
+        std::fprintf(stderr,
+                     "bench_serve: --sched is ignored with --remote "
+                     "(the server picked its discipline at start)\n");
     if (repeats == 0)
         repeats = 1;
 
@@ -760,11 +920,26 @@ main(int argc, char **argv)
         // coalescing, so every request pays a full checkout and the
         // warm-start path carries the number. Remote entries are too:
         // same programs, but the number includes the wire.
+        // Mixed-priority (overload A/B) runs and FIFO-baseline runs
+        // are their own series too ("_overload", "_fifo"): a gate
+        // comparing names must never diff an oversubscribed run
+        // against a closed-loop one, nor an EDF run against FIFO.
         r.name = "BM_Serve/" + scenario.name +
                  (max_batch == 1 && remote.empty() ? "_b1" : "") +
-                 (remote.empty() ? "" : "_remote");
+                 (remote.empty() ? "" : "_remote") +
+                 (dc.priorityPattern.size() > 1 && remote.empty()
+                      ? "_overload"
+                      : "") +
+                 (dc.order == serve::RequestQueue::Order::Fifo &&
+                          remote.empty()
+                      ? "_fifo"
+                      : "");
         r.unit = "requests/s";
-        r.labels = {{"transport", remote.empty() ? "local" : "tcp"}};
+        r.labels = {{"transport", remote.empty() ? "local" : "tcp"},
+                    {"sched",
+                     dc.order == serve::RequestQueue::Order::Fifo
+                         ? "fifo"
+                         : "edf"}};
         r.rate = s.seconds > 0.0
                      ? static_cast<double>(s.served) / s.seconds
                      : 0.0;
@@ -785,7 +960,8 @@ main(int argc, char **argv)
                      {"cache_hits", s.cacheHits},
                      {"cache_misses", s.cacheMisses},
                      {"cache_installs", s.cacheInstalls},
-                     {"cache_evictions", s.cacheEvictions}};
+                     {"cache_evictions", s.cacheEvictions},
+                     {"shed", s.shed}};
         r.metrics = {{"p50_ms", s.p50Ms},
                      {"p95_ms", s.p95Ms},
                      {"p99_ms", s.p99Ms},
@@ -795,7 +971,12 @@ main(int argc, char **argv)
                      {"warm_mean_ms", s.warmMeanMs},
                      {"queue_wait_p50_ms", s.queueWaitP50Ms},
                      {"pool_wait_p50_ms", s.poolWaitP50Ms},
-                     {"exec_p50_ms", s.execP50Ms}};
+                     {"exec_p50_ms", s.execP50Ms},
+                     {"interactive_p99_ms", s.classP99Ms[0]},
+                     {"batch_p99_ms", s.classP99Ms[1]},
+                     {"besteffort_p99_ms", s.classP99Ms[2]},
+                     {"slo_attained", s.sloAttained()},
+                     {"slo_ms", slo_ms}};
         serve_results.push_back(r);
 
         std::printf("  %-20s %12.1f %9.2f %9.2f %9.2f %8.2f %8.2f "
@@ -804,12 +985,19 @@ main(int argc, char **argv)
                     s.queueWaitP50Ms, s.poolWaitP50Ms, s.execP50Ms,
                     s.meanBatch, s.utilization * 100.0);
         if (s.rejected > 0 || s.expired > 0 || s.failures > 0)
-            std::printf("  %-20s %12s rejected %llu, expired %llu, "
-                        "failed %llu\n",
+            std::printf("  %-20s %12s rejected %llu (shed %llu), "
+                        "expired %llu, failed %llu\n",
                         "", "",
                         static_cast<unsigned long long>(s.rejected),
+                        static_cast<unsigned long long>(s.shed),
                         static_cast<unsigned long long>(s.expired),
                         static_cast<unsigned long long>(s.failures));
+        if (dc.priorityPattern.size() > 1 || slo_ms > 0.0)
+            std::printf("  %-20s %12s interactive p99 %.2f ms, "
+                        "batch p99 %.2f ms, best-effort p99 %.2f ms, "
+                        "slo_attained %.4f\n",
+                        "", "", s.classP99Ms[0], s.classP99Ms[1],
+                        s.classP99Ms[2], s.sloAttained());
     }
 
     // Merge into the trajectory: keep bench_perf's entries (and its

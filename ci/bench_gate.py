@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The CI perf-regression gate.
+
+Compares a fresh BENCH_perf.json run against the committed baseline
+and fails (exit 1) only when an entry's rate dropped by more than the
+threshold (default 40% — CI runners are noisy, so this is a cliff
+detector, not a 2%-drift detector). Entries present on only one side
+are reported but never fail the gate: new benchmarks appear and old
+scenarios get renamed as the repo grows.
+
+A markdown delta table is appended to the file named by --summary
+(pass $GITHUB_STEP_SUMMARY in CI) so the numbers are one click away
+on the job page even when the gate passes.
+
+usage: bench_gate.py BASELINE CURRENT [--threshold 0.40]
+                     [--summary FILE]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.40,
+                    help="max allowed fractional rate drop")
+    ap.add_argument("--summary", default=None,
+                    help="markdown summary file to append to")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    rows = []
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        b = base.get(name)
+        c = cur.get(name)
+        if b is None:
+            rows.append((name, None, c["rate"], None, "new"))
+            continue
+        if c is None:
+            rows.append((name, b["rate"], None, None, "not run"))
+            continue
+        if b["rate"] <= 0:
+            rows.append((name, b["rate"], c["rate"], None, "no baseline"))
+            continue
+        delta = (c["rate"] - b["rate"]) / b["rate"]
+        verdict = "ok"
+        if delta < -args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, b["rate"], c["rate"], delta))
+        rows.append((name, b["rate"], c["rate"], delta, verdict))
+
+    lines = [
+        "### Bench gate (fail below -%.0f%%)" % (args.threshold * 100),
+        "",
+        "| benchmark | baseline | current | delta | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, b, c, delta, verdict in rows:
+        lines.append("| %s | %s | %s | %s | %s |" % (
+            name,
+            "%.1f" % b if b is not None else "—",
+            "%.1f" % c if c is not None else "—",
+            "%+.1f%%" % (delta * 100) if delta is not None else "—",
+            verdict,
+        ))
+    table = "\n".join(lines)
+    print(table)
+
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n\n")
+
+    if failures:
+        for name, b, c, delta in failures:
+            print("FAIL: %s dropped %.1f%% (%.1f -> %.1f)"
+                  % (name, -delta * 100, b, c), file=sys.stderr)
+        return 1
+    print("bench gate ok: %d compared, %d baseline-only, %d new"
+          % (sum(1 for r in rows if r[3] is not None),
+             sum(1 for r in rows if r[4] == "not run"),
+             sum(1 for r in rows if r[4] == "new")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

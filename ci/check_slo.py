@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The CI SLO smoke: assert a bench_serve trajectory kept its word.
+
+Run after an oversubscribed open-loop bench_serve pass (arrival rate
+above service capacity, a --priority-mix carrying all three classes,
+--slo-ms set). Checks, for every serving entry in the file:
+
+  * failures == 0 — overload must shed or expire, never corrupt
+    (a checksum mismatch under load is a real bug, not noise);
+  * interactive_p99_ms stays under --max-interactive-p99-ms;
+  * slo_attained >= --min-slo-attained where an SLO was declared.
+
+usage: check_slo.py BENCH.json --max-interactive-p99-ms 500
+                    [--min-slo-attained 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path")
+    ap.add_argument("--max-interactive-p99-ms", type=float,
+                    required=True)
+    ap.add_argument("--min-slo-attained", type=float, default=0.0)
+    args = ap.parse_args()
+
+    with open(args.path) as f:
+        doc = json.load(f)
+    serve = [b for b in doc.get("benchmarks", [])
+             if b["name"].startswith("BM_Serve/")]
+    if not serve:
+        print("no serving entries in", args.path, file=sys.stderr)
+        return 1
+
+    bad = 0
+    for b in serve:
+        name = b["name"]
+        if b.get("failures", 0) != 0:
+            print("FAIL: %s has %d failures" % (name, b["failures"]),
+                  file=sys.stderr)
+            bad += 1
+        p99 = b.get("interactive_p99_ms", 0.0)
+        if p99 > args.max_interactive_p99_ms:
+            print("FAIL: %s interactive p99 %.2fms > %.2fms"
+                  % (name, p99, args.max_interactive_p99_ms),
+                  file=sys.stderr)
+            bad += 1
+        if b.get("slo_ms", 0.0) > 0.0:
+            att = b.get("slo_attained", 0.0)
+            if att < args.min_slo_attained:
+                print("FAIL: %s slo_attained %.4f < %.4f"
+                      % (name, att, args.min_slo_attained),
+                      file=sys.stderr)
+                bad += 1
+        print("%s: interactive p99 %.2fms, slo_attained %.4f, "
+              "shed %d, failures %d"
+              % (name, p99, b.get("slo_attained", 0.0),
+                 b.get("shed", 0), b.get("failures", 0)))
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

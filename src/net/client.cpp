@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -44,6 +45,8 @@ Client::connect(const Config &cfg)
 {
     close();
     responseTimeout_ = cfg.responseTimeout;
+    retryLimit_ = cfg.retryLimit;
+    maxRetryBackoff_ = cfg.maxRetryBackoff;
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -178,14 +181,35 @@ Client::receive(std::uint64_t want_id, FrameView *view,
 
 serve::Response
 Client::run(api::EngineKind kind, const api::ProgramSpec &spec,
-            std::uint32_t deadline_ms)
+            std::uint32_t deadline_ms, serve::Priority priority)
+{
+    serve::Response resp = runOnce(kind, spec, deadline_ms, priority);
+    for (std::size_t attempt = 0; attempt < retryLimit_; ++attempt) {
+        // Only a shed rejection (server says when to come back) is
+        // worth re-sending; real failures and successes are final.
+        if (resp.status != serve::ResponseStatus::Rejected ||
+            resp.retryAfterSeconds <= 0.0 || fd_ < 0)
+            break;
+        auto backoff = std::min<std::chrono::milliseconds>(
+            std::chrono::milliseconds(static_cast<std::int64_t>(
+                resp.retryAfterSeconds * 1000.0)),
+            maxRetryBackoff_);
+        std::this_thread::sleep_for(backoff);
+        resp = runOnce(kind, spec, deadline_ms, priority);
+    }
+    return resp;
+}
+
+serve::Response
+Client::runOnce(api::EngineKind kind, const api::ProgramSpec &spec,
+                std::uint32_t deadline_ms, serve::Priority priority)
 {
     if (fd_ < 0)
         return rejected("not connected");
 
     std::uint64_t id = nextId_++;
-    RunRequestFrame req =
-        RunRequestFrame::fromSpec(id, kind, spec, deadline_ms);
+    RunRequestFrame req = RunRequestFrame::fromSpec(
+        id, kind, spec, deadline_ms, priority);
     if (!sendAll(encodeRunRequest(req)))
         return rejected(lastError_);
 

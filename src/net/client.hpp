@@ -41,6 +41,16 @@ class Client
         std::chrono::milliseconds connectTimeout{2000};
         /** Longest run() waits on a response; 0 = wait forever. */
         std::chrono::milliseconds responseTimeout{30000};
+        /**
+         * Times run() re-sends a request the server shed under
+         * overload (a Rejected response carrying retryAfterSeconds),
+         * sleeping the hinted back-off between attempts. 0 = hand
+         * the shed response straight back to the caller.
+         */
+        std::size_t retryLimit = 0;
+        /** Cap on one honored retry-after sleep (a hostile or
+         *  confused server must not park a client for minutes). */
+        std::chrono::milliseconds maxRetryBackoff{1000};
     };
 
     Client() = default;
@@ -67,12 +77,17 @@ class Client
     /**
      * Run one program remotely and block for the result.
      * @p deadline_ms rides in the frame (the server's queue deadline);
-     * 0 means none. Transport failures and server Error frames come
-     * back as Rejected responses with .error set — never an exception.
+     * 0 means none. @p priority is the request's service class (v3).
+     * Transport failures and server Error frames come back as
+     * Rejected responses with .error set — never an exception. When
+     * Config::retryLimit > 0, a shed response (Rejected with a
+     * retry-after hint) is retried that many times, sleeping the
+     * hinted back-off first; the last response wins.
      */
-    serve::Response run(api::EngineKind kind,
-                        const api::ProgramSpec &spec,
-                        std::uint32_t deadline_ms = 0);
+    serve::Response
+    run(api::EngineKind kind, const api::ProgramSpec &spec,
+        std::uint32_t deadline_ms = 0,
+        serve::Priority priority = serve::Priority::Interactive);
 
     /**
      * Fetch the server's merged metrics snapshot. @return false on
@@ -88,6 +103,11 @@ class Client
     bool trace(std::vector<serve::FlightSpan> *out);
 
   private:
+    /** One send + receive of a RunRequest (no retry logic). */
+    serve::Response runOnce(api::EngineKind kind,
+                            const api::ProgramSpec &spec,
+                            std::uint32_t deadline_ms,
+                            serve::Priority priority);
     /** Send all of @p frame; @return false on a dead socket. */
     bool sendAll(const std::string &frame);
     /**
@@ -103,6 +123,8 @@ class Client
     std::string buf_;
     std::string lastError_;
     std::chrono::milliseconds responseTimeout_{30000};
+    std::size_t retryLimit_ = 0;
+    std::chrono::milliseconds maxRetryBackoff_{1000};
 };
 
 } // namespace com::net

@@ -133,13 +133,13 @@ class Reader
     bool ok_ = true;
 };
 
-/** Wrap @p payload in a header. */
+/** Wrap @p payload in a header stamped @p version. */
 std::string
-finishFrame(FrameType type, Writer &payload)
+finishFrame(FrameType type, Writer &payload, std::uint16_t version)
 {
     Writer head;
     head.bytes().append(reinterpret_cast<const char *>(kMagic), 4);
-    head.u16(kProtocolVersion);
+    head.u16(version);
     head.u16(static_cast<std::uint16_t>(type));
     head.u32(static_cast<std::uint32_t>(payload.bytes().size()));
     head.bytes().append(payload.bytes());
@@ -215,7 +215,8 @@ RunRequestFrame::toSpec() const
 RunRequestFrame
 RunRequestFrame::fromSpec(std::uint64_t id, api::EngineKind kind,
                           const api::ProgramSpec &spec,
-                          std::uint32_t deadline_ms)
+                          std::uint32_t deadline_ms,
+                          serve::Priority priority)
 {
     RunRequestFrame f;
     f.requestId = id;
@@ -227,6 +228,7 @@ RunRequestFrame::fromSpec(std::uint64_t id, api::EngineKind kind,
     f.hasExpected = spec.hasExpected;
     f.expected = spec.expected;
     f.deadlineMs = deadline_ms;
+    f.priority = priority;
     return f;
 }
 
@@ -239,6 +241,8 @@ RunResponseFrame::toResponse() const
     r.latencySeconds = latencySeconds;
     r.batchSize = batchSize;
     r.shard = static_cast<std::size_t>(shard);
+    r.priority = priority;
+    r.retryAfterSeconds = retryAfterSeconds;
     r.outcome.ok = ok;
     r.outcome.error = outcomeError;
     r.outcome.result = result;
@@ -258,6 +262,8 @@ RunResponseFrame::fromResponse(std::uint64_t id,
 {
     RunResponseFrame f;
     f.requestId = id;
+    f.priority = r.priority;
+    f.retryAfterSeconds = r.retryAfterSeconds;
     f.status = r.status;
     f.ok = r.outcome.ok;
     f.result = r.outcome.result;
@@ -277,14 +283,16 @@ RunResponseFrame::fromResponse(std::uint64_t id,
 }
 
 std::string
-encodeRunRequest(const RunRequestFrame &f)
+encodeRunRequest(const RunRequestFrame &f, std::uint16_t version)
 {
     Writer w;
     w.u64(f.requestId);
     w.u8(static_cast<std::uint8_t>(f.kind));
     w.u8(static_cast<std::uint8_t>(f.language));
     w.u8(f.hasExpected ? 1 : 0);
-    w.u8(0); // reserved
+    // v2 reserved this byte as zero; v3 reads it as the priority
+    // (zero = Interactive), so the layouts are byte-identical.
+    w.u8(static_cast<std::uint8_t>(f.priority));
     w.u32(static_cast<std::uint32_t>(f.expected));
     w.u32(f.deadlineMs);
     w.str(f.name);
@@ -292,11 +300,11 @@ encodeRunRequest(const RunRequestFrame &f)
     w.u32(static_cast<std::uint32_t>(f.args.size()));
     for (mem::Word a : f.args)
         w.word(a);
-    return finishFrame(FrameType::RunRequest, w);
+    return finishFrame(FrameType::RunRequest, w, version);
 }
 
 std::string
-encodeRunResponse(const RunResponseFrame &f)
+encodeRunResponse(const RunResponseFrame &f, std::uint16_t version)
 {
     Writer w;
     w.u64(f.requestId);
@@ -315,19 +323,24 @@ encodeRunResponse(const RunResponseFrame &f)
     w.str(f.error);
     w.str(f.engine);
     w.str(f.program);
-    return finishFrame(FrameType::RunResponse, w);
+    if (version >= 3) {
+        w.f64(f.retryAfterSeconds);
+        w.u8(static_cast<std::uint8_t>(f.priority));
+    }
+    return finishFrame(FrameType::RunResponse, w, version);
 }
 
 std::string
-encodeMetricsRequest(std::uint64_t request_id)
+encodeMetricsRequest(std::uint64_t request_id, std::uint16_t version)
 {
     Writer w;
     w.u64(request_id);
-    return finishFrame(FrameType::MetricsRequest, w);
+    return finishFrame(FrameType::MetricsRequest, w, version);
 }
 
 std::string
-encodeMetricsResponse(const MetricsResponseFrame &f)
+encodeMetricsResponse(const MetricsResponseFrame &f,
+                      std::uint16_t version)
 {
     const serve::Metrics::Snapshot &s = f.snapshot;
     Writer w;
@@ -361,19 +374,27 @@ encodeMetricsResponse(const MetricsResponseFrame &f)
     writeHistogram(w, s.warmRestore);
     writeHistogram(w, s.execute);
     writeHistogram(w, s.verify);
-    return finishFrame(FrameType::MetricsResponse, w);
+    if (version >= 3) {
+        for (std::size_t i = 0; i < serve::kNumPriorities; ++i)
+            w.u64(s.shed[i]);
+        w.u64(s.batchCap);
+        for (std::size_t i = 0; i < serve::kNumPriorities; ++i)
+            writeHistogram(w, s.latencyByPriority[i]);
+    }
+    return finishFrame(FrameType::MetricsResponse, w, version);
 }
 
 std::string
-encodeTraceRequest(std::uint64_t request_id)
+encodeTraceRequest(std::uint64_t request_id, std::uint16_t version)
 {
     Writer w;
     w.u64(request_id);
-    return finishFrame(FrameType::TraceRequest, w);
+    return finishFrame(FrameType::TraceRequest, w, version);
 }
 
 std::string
-encodeTraceResponse(const TraceResponseFrame &f)
+encodeTraceResponse(const TraceResponseFrame &f,
+                    std::uint16_t version)
 {
     Writer w;
     w.u64(f.requestId);
@@ -394,17 +415,17 @@ encodeTraceResponse(const TraceResponseFrame &f)
         w.u8(s.slow ? 1 : 0);
         w.str(s.program);
     }
-    return finishFrame(FrameType::TraceResponse, w);
+    return finishFrame(FrameType::TraceResponse, w, version);
 }
 
 std::string
-encodeError(const ErrorFrame &f)
+encodeError(const ErrorFrame &f, std::uint16_t version)
 {
     Writer w;
     w.u64(f.requestId);
     w.u16(static_cast<std::uint16_t>(f.code));
     w.str(f.message);
-    return finishFrame(FrameType::Error, w);
+    return finishFrame(FrameType::Error, w, version);
 }
 
 DecodeStatus
@@ -425,13 +446,14 @@ peekFrame(const unsigned char *data, std::size_t len, FrameView *view,
     std::uint16_t version = head.u16();
     std::uint16_t type = head.u16();
     std::uint32_t size = head.u32();
-    if (version != kProtocolVersion)
+    if (version < kMinProtocolVersion || version > kProtocolVersion)
         return DecodeStatus::BadVersion;
     if (size > kMaxPayloadBytes)
         return DecodeStatus::TooLarge;
     if (len < kHeaderSize + size)
         return DecodeStatus::NeedMore;
     view->type = static_cast<FrameType>(type);
+    view->version = version;
     view->payload = data + kHeaderSize;
     view->size = size;
     view->requestId = 0;
@@ -462,7 +484,8 @@ decodeRunRequest(const FrameView &view, RunRequestFrame *out)
     std::uint8_t kind = r.u8();
     std::uint8_t language = r.u8();
     std::uint8_t has_expected = r.u8();
-    (void)r.u8(); // reserved
+    // v2 reserved this byte as zero; v3 carries the priority here.
+    std::uint8_t priority = r.u8();
     out->expected = static_cast<std::int32_t>(r.u32());
     out->deadlineMs = r.u32();
     if (!r.str(&out->name) || !r.str(&out->source))
@@ -481,11 +504,12 @@ decodeRunRequest(const FrameView &view, RunRequestFrame *out)
         out->args.emplace_back(bits, static_cast<mem::Tag>(tag));
     }
     if (kind >= api::kNumEngineKinds || language > 2 ||
-        has_expected > 1)
+        has_expected > 1 || priority >= serve::kNumPriorities)
         return false;
     out->kind = static_cast<api::EngineKind>(kind);
     out->language = static_cast<api::Language>(language);
     out->hasExpected = has_expected == 1;
+    out->priority = static_cast<serve::Priority>(priority);
     return r.done();
 }
 
@@ -510,11 +534,19 @@ decodeRunResponse(const FrameView &view, RunResponseFrame *out)
         !r.str(&out->outcomeError) || !r.str(&out->error) ||
         !r.str(&out->engine) || !r.str(&out->program))
         return false;
-    if (status > 3 || ok > 1 || !validTag(tag))
+    out->retryAfterSeconds = 0.0;
+    std::uint8_t priority = 0;
+    if (view.version >= 3) {
+        out->retryAfterSeconds = r.f64();
+        priority = r.u8();
+    }
+    if (status > 3 || ok > 1 || !validTag(tag) ||
+        priority >= serve::kNumPriorities)
         return false;
     out->status = static_cast<serve::ResponseStatus>(status);
     out->ok = ok == 1;
     out->result = mem::Word(bits, static_cast<mem::Tag>(tag));
+    out->priority = static_cast<serve::Priority>(priority);
     return r.done();
 }
 
@@ -555,6 +587,13 @@ decodeMetricsResponse(const FrameView &view, MetricsResponseFrame *out)
     readHistogram(r, &s.warmRestore);
     readHistogram(r, &s.execute);
     readHistogram(r, &s.verify);
+    if (view.version >= 3) {
+        for (std::size_t i = 0; i < serve::kNumPriorities; ++i)
+            s.shed[i] = r.u64();
+        s.batchCap = r.u64();
+        for (std::size_t i = 0; i < serve::kNumPriorities; ++i)
+            readHistogram(r, &s.latencyByPriority[i]);
+    }
     return r.done();
 }
 

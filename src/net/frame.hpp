@@ -47,11 +47,25 @@
 
 namespace com::net {
 
-/** Bumped on any incompatible wire change; mismatches are refused.
+/** Bumped on any incompatible wire change; versions outside the
+ *  accepted window [kMinProtocolVersion, kProtocolVersion] are
+ *  refused.
  *  v2: stage-latency histograms in MetricsResponse, warm-restore
  *  seconds in RunResponse, and the TraceRequest/TraceResponse pair
- *  (the flight recorder over the wire). */
-constexpr std::uint16_t kProtocolVersion = 2;
+ *  (the flight recorder over the wire).
+ *  v3: priority classes and overload shedding — RunRequest carries a
+ *  Priority in its (previously reserved, always-zero) byte, so the
+ *  request encoding is byte-identical to v2 and a v2 peer's requests
+ *  decode as Interactive; RunResponse appends retryAfterSeconds and
+ *  the echoed priority; MetricsResponse appends per-class shed
+ *  counters, the adaptive batch cap, and per-class latency
+ *  histograms. Responses are encoded at the *requester's* version
+ *  (a v2 client still decodes every reply), which FrameView::version
+ *  makes visible to servers and the router. */
+constexpr std::uint16_t kProtocolVersion = 3;
+
+/** Oldest peer version still accepted (and answered in kind). */
+constexpr std::uint16_t kMinProtocolVersion = 2;
 
 /** Header bytes before the payload. */
 constexpr std::size_t kHeaderSize = 12;
@@ -100,14 +114,17 @@ struct RunRequestFrame
     std::int32_t expected = 0;
     /** Relative deadline in ms from server receipt; 0 = none. */
     std::uint32_t deadlineMs = 0;
+    /** Service class (v3; rides the byte v2 reserved as zero, so a
+     *  v2 peer's requests decode as Interactive). */
+    serve::Priority priority = serve::Priority::Interactive;
 
     /** The ProgramSpec this frame names. */
     api::ProgramSpec toSpec() const;
     /** Build a frame from a spec (the client-side constructor). */
-    static RunRequestFrame fromSpec(std::uint64_t id,
-                                    api::EngineKind kind,
-                                    const api::ProgramSpec &spec,
-                                    std::uint32_t deadline_ms);
+    static RunRequestFrame fromSpec(
+        std::uint64_t id, api::EngineKind kind,
+        const api::ProgramSpec &spec, std::uint32_t deadline_ms,
+        serve::Priority priority = serve::Priority::Interactive);
 };
 
 /** How one run ended: a serve::Response, flattened for the wire. */
@@ -129,6 +146,10 @@ struct RunResponseFrame
     double warmRestoreSeconds = 0.0;
     std::uint64_t batchSize = 0;
     std::uint64_t shard = 0;
+    /** Overload back-off hint (v3; zero when absent or v2). */
+    double retryAfterSeconds = 0.0;
+    /** Echoed service class (v3; Interactive when v2). */
+    serve::Priority priority = serve::Priority::Interactive;
 
     /** Rebuild the serve::Response this frame flattened. */
     serve::Response toResponse() const;
@@ -164,13 +185,28 @@ struct TraceResponseFrame
 constexpr std::uint32_t kMaxTraceSpans = 65536;
 
 // Encoders: complete frames (header + payload), ready to write.
-std::string encodeRunRequest(const RunRequestFrame &f);
-std::string encodeRunResponse(const RunResponseFrame &f);
-std::string encodeMetricsRequest(std::uint64_t request_id);
-std::string encodeMetricsResponse(const MetricsResponseFrame &f);
-std::string encodeTraceRequest(std::uint64_t request_id);
-std::string encodeTraceResponse(const TraceResponseFrame &f);
-std::string encodeError(const ErrorFrame &f);
+// The version parameter sets the header version AND the payload
+// layout where they differ (v3 appends fields) — a reply must be
+// encoded at the requester's version (FrameView::version), since a
+// v2 peer refuses v3 headers outright.
+std::string encodeRunRequest(const RunRequestFrame &f,
+                             std::uint16_t version = kProtocolVersion);
+std::string encodeRunResponse(const RunResponseFrame &f,
+                              std::uint16_t version = kProtocolVersion);
+std::string encodeMetricsRequest(
+    std::uint64_t request_id,
+    std::uint16_t version = kProtocolVersion);
+std::string encodeMetricsResponse(
+    const MetricsResponseFrame &f,
+    std::uint16_t version = kProtocolVersion);
+std::string encodeTraceRequest(
+    std::uint64_t request_id,
+    std::uint16_t version = kProtocolVersion);
+std::string encodeTraceResponse(
+    const TraceResponseFrame &f,
+    std::uint16_t version = kProtocolVersion);
+std::string encodeError(const ErrorFrame &f,
+                        std::uint16_t version = kProtocolVersion);
 
 /** What peekFrame found at the front of a byte stream. */
 enum class DecodeStatus : std::uint8_t
@@ -186,6 +222,9 @@ enum class DecodeStatus : std::uint8_t
 struct FrameView
 {
     FrameType type = FrameType::Error;
+    /** The header's protocol version (within the accepted window).
+     *  Decoders branch on it; replies are encoded at it. */
+    std::uint16_t version = kProtocolVersion;
     /** The payload's leading u64 (0 when the payload is shorter). */
     std::uint64_t requestId = 0;
     const unsigned char *payload = nullptr;

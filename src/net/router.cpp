@@ -256,7 +256,8 @@ Router::handleWorkerDeath(std::size_t shard)
         if (++f.attempts > cfg_.maxAttempts) {
             if (Conn *conn = findConn(f.connId))
                 replyError(*conn, f.clientId, ErrorCode::WorkerLost,
-                           "worker died too many times serving this");
+                           "worker died too many times serving this",
+                           f.version);
             it = inflight_.erase(it);
             continue;
         }
@@ -322,13 +323,13 @@ Router::findConn(std::uint64_t conn_id)
 
 void
 Router::replyError(Conn &conn, std::uint64_t id, ErrorCode code,
-                   std::string message)
+                   std::string message, std::uint16_t version)
 {
     ErrorFrame err;
     err.requestId = id;
     err.code = code;
     err.message = std::move(message);
-    conn.out.append(encodeError(err));
+    conn.out.append(encodeError(err, version));
 }
 
 void
@@ -338,7 +339,7 @@ Router::forwardRun(Conn &conn, const FrameView &view,
     RunRequestFrame req;
     if (!decodeRunRequest(view, &req)) {
         replyError(conn, view.requestId, ErrorCode::BadFrame,
-                   "malformed run request payload");
+                   "malformed run request payload", view.version);
         return;
     }
     std::size_t shard =
@@ -349,6 +350,7 @@ Router::forwardRun(Conn &conn, const FrameView &view,
     flight.connId = conn.id;
     flight.clientId = view.requestId;
     flight.shard = shard;
+    flight.version = view.version;
     flight.frame.assign(reinterpret_cast<const char *>(raw),
                         raw_len);
     patchRequestId(flight.frame, router_id);
@@ -382,7 +384,7 @@ Router::completeMetricsAgg(const MetricsAgg &agg)
     MetricsResponseFrame resp;
     resp.requestId = agg.clientId;
     resp.snapshot = agg.merged;
-    conn->out.append(encodeMetricsResponse(resp));
+    conn->out.append(encodeMetricsResponse(resp, agg.version));
 }
 
 void
@@ -396,17 +398,18 @@ Router::completeTraceAgg(TraceAgg &agg)
     if (agg.spans.size() > kMaxTraceSpans)
         agg.spans.resize(kMaxTraceSpans);
     resp.spans = std::move(agg.spans);
-    conn->out.append(encodeTraceResponse(resp));
+    conn->out.append(encodeTraceResponse(resp, agg.version));
 }
 
 void
 Router::broadcastMetrics(Conn &conn, std::uint64_t client_id,
-                         bool http)
+                         bool http, std::uint16_t version)
 {
     std::uint64_t agg_id = nextRouterId_++;
     MetricsAgg agg;
     agg.connId = conn.id;
     agg.clientId = client_id;
+    agg.version = version;
     agg.http = http;
     for (auto &w : workers_) {
         if (!w.alive)
@@ -424,12 +427,14 @@ Router::broadcastMetrics(Conn &conn, std::uint64_t client_id,
 }
 
 void
-Router::broadcastTrace(Conn &conn, std::uint64_t client_id)
+Router::broadcastTrace(Conn &conn, std::uint64_t client_id,
+                       std::uint16_t version)
 {
     std::uint64_t agg_id = nextRouterId_++;
     TraceAgg agg;
     agg.connId = conn.id;
     agg.clientId = client_id;
+    agg.version = version;
     for (auto &w : workers_) {
         if (!w.alive)
             continue;
@@ -491,14 +496,16 @@ Router::consumeClientFrames(Conn &conn)
             forwardRun(conn, view, base, consumed);
             break;
           case FrameType::MetricsRequest:
-            broadcastMetrics(conn, view.requestId, /*http=*/false);
+            broadcastMetrics(conn, view.requestId, /*http=*/false,
+                             view.version);
             break;
           case FrameType::TraceRequest:
-            broadcastTrace(conn, view.requestId);
+            broadcastTrace(conn, view.requestId, view.version);
             break;
           default:
             replyError(conn, view.requestId, ErrorCode::UnknownType,
-                       "router does not accept this frame type");
+                       "router does not accept this frame type",
+                       view.version);
             break;
         }
         at += consumed;

@@ -131,12 +131,17 @@ class Router
         bool http = false;
     };
 
-    /** One forwarded RunRequest awaiting its worker's response. */
+    /** One forwarded RunRequest awaiting its worker's response.
+     *  The worker's reply rides back as a raw frame copy, so it
+     *  already carries the client's header version; only the
+     *  router-originated Error(WorkerLost) needs it remembered. */
     struct Inflight
     {
         std::uint64_t connId = 0;  ///< which client gets the answer
         std::uint64_t clientId = 0; ///< the id that client used
         std::size_t shard = 0;
+        /** The client's protocol version (for WorkerLost errors). */
+        std::uint16_t version = kProtocolVersion;
         std::string frame; ///< patched bytes, kept for re-send
         std::size_t attempts = 1;
     };
@@ -146,6 +151,9 @@ class Router
     {
         std::uint64_t connId = 0;
         std::uint64_t clientId = 0;
+        /** The client's version: workers answer the fan-out at v3
+         *  (full snapshots merge), the reply re-encodes down. */
+        std::uint16_t version = kProtocolVersion;
         std::size_t remaining = 0;
         serve::Metrics::Snapshot merged;
         /** Render as an HTTP Prometheus page, not a frame. */
@@ -157,6 +165,8 @@ class Router
     {
         std::uint64_t connId = 0;
         std::uint64_t clientId = 0;
+        /** The client's version (the reply is re-encoded at it). */
+        std::uint16_t version = kProtocolVersion;
         std::size_t remaining = 0;
         std::vector<serve::FlightSpan> spans;
     };
@@ -171,15 +181,18 @@ class Router
     void forwardRun(Conn &conn, const FrameView &view,
                     const unsigned char *raw, std::size_t raw_len);
     void broadcastMetrics(Conn &conn, std::uint64_t client_id,
-                          bool http);
-    void broadcastTrace(Conn &conn, std::uint64_t client_id);
+                          bool http,
+                          std::uint16_t version = kProtocolVersion);
+    void broadcastTrace(Conn &conn, std::uint64_t client_id,
+                        std::uint16_t version);
     /** Answer the client once an aggregation's last share landed. */
     void completeMetricsAgg(const MetricsAgg &agg);
     void completeTraceAgg(TraceAgg &agg);
     /** Consume an HTTP request head; kicks off a metrics fan-out. */
     void handleHttp(Conn &conn);
     void replyError(Conn &conn, std::uint64_t id, ErrorCode code,
-                    std::string message);
+                    std::string message,
+                    std::uint16_t version = kProtocolVersion);
     Conn *findConn(std::uint64_t conn_id);
     bool flush(int fd, std::string &out);
     /** SIGTERM every worker and reap; @return true when all were

@@ -179,13 +179,13 @@ Server::readInput(Conn &conn)
 
 void
 Server::sendError(Conn &conn, std::uint64_t id, ErrorCode code,
-                  std::string message)
+                  std::string message, std::uint16_t version)
 {
     ErrorFrame err;
     err.requestId = id;
     err.code = code;
     err.message = std::move(message);
-    conn.out.append(encodeError(err));
+    conn.out.append(encodeError(err, version));
     ++framesServed_;
 }
 
@@ -194,12 +194,14 @@ Server::submitOrPark(Conn &conn, Parked &&req)
 {
     std::future<serve::Response> future;
     serve::Scheduler::Admission verdict = scheduler_->offer(
-        req.kind, req.spec, req.deadline, req.received, &future);
+        req.kind, req.spec, req.deadline, req.received, &future,
+        req.priority);
     if (verdict == serve::Scheduler::Admission::QueueFull) {
         conn.parked.push_back(std::move(req));
         return;
     }
-    conn.pending.push_back(Pending{req.id, std::move(future)});
+    conn.pending.push_back(
+        Pending{req.id, req.version, std::move(future)});
 }
 
 void
@@ -210,10 +212,11 @@ Server::pumpParked(Conn &conn)
         std::future<serve::Response> future;
         serve::Scheduler::Admission verdict = scheduler_->offer(
             head.kind, head.spec, head.deadline, head.received,
-            &future);
+            &future, head.priority);
         if (verdict == serve::Scheduler::Admission::QueueFull)
             return; // still no room; keep holding
-        conn.pending.push_back(Pending{head.id, std::move(future)});
+        conn.pending.push_back(
+            Pending{head.id, head.version, std::move(future)});
         conn.parked.pop_front();
     }
 }
@@ -226,13 +229,15 @@ Server::handleFrame(Conn &conn, const FrameView &view)
         RunRequestFrame req;
         if (!decodeRunRequest(view, &req)) {
             sendError(conn, view.requestId, ErrorCode::BadFrame,
-                      "malformed run request payload");
+                      "malformed run request payload", view.version);
             return true; // frame skipped; connection survives
         }
         Parked parked;
         parked.id = req.requestId;
         parked.kind = req.kind;
         parked.spec = req.toSpec();
+        parked.priority = req.priority;
+        parked.version = view.version;
         parked.received = serve::Clock::now();
         parked.deadline =
             req.deadlineMs > 0
@@ -246,7 +251,7 @@ Server::handleFrame(Conn &conn, const FrameView &view)
         MetricsResponseFrame resp;
         resp.requestId = view.requestId;
         resp.snapshot = scheduler_->metricsSnapshot();
-        conn.out.append(encodeMetricsResponse(resp));
+        conn.out.append(encodeMetricsResponse(resp, view.version));
         ++framesServed_;
         return true;
       }
@@ -256,7 +261,7 @@ Server::handleFrame(Conn &conn, const FrameView &view)
         resp.spans = scheduler_->traceSpans();
         if (resp.spans.size() > kMaxTraceSpans)
             resp.spans.resize(kMaxTraceSpans);
-        conn.out.append(encodeTraceResponse(resp));
+        conn.out.append(encodeTraceResponse(resp, view.version));
         ++framesServed_;
         return true;
       }
@@ -268,7 +273,8 @@ Server::handleFrame(Conn &conn, const FrameView &view)
         // A server only *receives* requests; anything else is a
         // confused peer. Skippable, so the connection survives.
         sendError(conn, view.requestId, ErrorCode::UnknownType,
-                  "server does not accept this frame type");
+                  "server does not accept this frame type",
+                  view.version);
         return true;
     }
 }
@@ -355,7 +361,8 @@ Server::pumpFutures(Conn &conn)
         serve::Response resp = p.future.get();
         conn.out.append(
             encodeRunResponse(RunResponseFrame::fromResponse(
-                p.id, resp)));
+                                  p.id, resp),
+                              p.version));
         ++framesServed_;
         conn.pending.erase(conn.pending.begin() +
                            static_cast<std::ptrdiff_t>(i));

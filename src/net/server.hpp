@@ -132,6 +132,9 @@ class Server
         api::EngineKind kind = api::EngineKind::Com;
         api::ProgramSpec spec;
         serve::Clock::time_point deadline = serve::kNoDeadline;
+        serve::Priority priority = serve::Priority::Interactive;
+        /** The requester's protocol version (replies match it). */
+        std::uint16_t version = kProtocolVersion;
         /** When the frame arrived — latency runs from here even when
          *  the request parks and is offered again later. */
         serve::Clock::time_point received{};
@@ -141,6 +144,8 @@ class Server
     struct Pending
     {
         std::uint64_t id = 0;
+        /** The requester's protocol version (replies match it). */
+        std::uint16_t version = kProtocolVersion;
         std::future<serve::Response> future;
     };
 
@@ -185,7 +190,8 @@ class Server
      *  @return false on a dead socket. */
     bool flushOutput(Conn &conn);
     void sendError(Conn &conn, std::uint64_t id, ErrorCode code,
-                   std::string message);
+                   std::string message,
+                   std::uint16_t version = kProtocolVersion);
     bool workRemains() const;
 
     std::unique_ptr<serve::Scheduler> scheduler_;

@@ -178,6 +178,10 @@ Metrics::snapshot(double wallSeconds, std::size_t workers) const
     s.warmRestore = warmRestore_.snapshot();
     s.execute = execute_.snapshot();
     s.verify = verify_.snapshot();
+    for (std::size_t i = 0; i < kNumPriorities; ++i) {
+        s.latencyByPriority[i] = latencyByPriority_[i].snapshot();
+        s.shed[i] = shed_[i].load(std::memory_order_relaxed);
+    }
     return s;
 }
 
@@ -209,6 +213,11 @@ Metrics::Snapshot::merge(const Snapshot &other)
     warmRestore.merge(other.warmRestore);
     execute.merge(other.execute);
     verify.merge(other.verify);
+    for (std::size_t i = 0; i < kNumPriorities; ++i) {
+        latencyByPriority[i].merge(other.latencyByPriority[i]);
+        shed[i] += other.shed[i];
+    }
+    batchCap = std::max(batchCap, other.batchCap);
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
     cacheInstalls += other.cacheInstalls;

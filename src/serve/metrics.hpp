@@ -20,6 +20,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "serve/request.hpp"
+
 namespace com::serve {
 
 /**
@@ -120,6 +122,18 @@ class Metrics
         LatencyHistogram::Snapshot execute;     ///< engine run wall
         LatencyHistogram::Snapshot verify;      ///< checksum check
 
+        /** Completed-request latency split by service class (the
+         *  aggregate `latency` histogram counts every class). */
+        std::array<LatencyHistogram::Snapshot, kNumPriorities>
+            latencyByPriority{};
+        /** Requests shed under overload, per service class — the
+         *  Rejected-with-retry-after subset of `rejected`. */
+        std::array<std::uint64_t, kNumPriorities> shed{};
+        /** The adaptive batch-size ceiling currently in effect
+         *  (largest across shards; merge takes the larger). Zero
+         *  when the scheduler does not fill it in. */
+        std::uint64_t batchCap = 0;
+
         // Raw ingredients behind the derived numbers, kept so
         // snapshots can be merged (router-side aggregation across
         // worker processes) and diffed (a benchmark isolating one
@@ -179,6 +193,14 @@ class Metrics
     {
         expired_.fetch_add(1, std::memory_order_relaxed);
     }
+    /** One request of class @p p was shed under overload (counted
+     *  against `rejected` separately by the caller). */
+    void
+    countShed(Priority p)
+    {
+        shed_[static_cast<std::size_t>(p)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
 
     /** One batch of @p size requests ran on one session checkout. */
     void recordBatch(std::uint64_t size);
@@ -206,6 +228,13 @@ class Metrics
     latency()
     {
         return latency_;
+    }
+
+    /** The per-class slice of latency() (same samples, split). */
+    LatencyHistogram &
+    latencyFor(Priority p)
+    {
+        return latencyByPriority_[static_cast<std::size_t>(p)];
     }
 
     // Stage histograms (see Snapshot's stage fields). All relaxed-
@@ -236,12 +265,14 @@ class Metrics
     std::atomic<std::uint64_t> maxQueueDepth_{0};
     std::atomic<std::uint64_t> queueDepth_{0};
     std::atomic<std::uint64_t> busyNanos_{0};
+    std::array<std::atomic<std::uint64_t>, kNumPriorities> shed_{};
     LatencyHistogram latency_;
     LatencyHistogram queueWait_;
     LatencyHistogram poolWait_;
     LatencyHistogram warmRestore_;
     LatencyHistogram execute_;
     LatencyHistogram verify_;
+    std::array<LatencyHistogram, kNumPriorities> latencyByPriority_;
 };
 
 } // namespace com::serve

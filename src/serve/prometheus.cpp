@@ -112,6 +112,16 @@ renderPrometheus(const Metrics::Snapshot &s)
             s.cacheEvictions);
     counter(out, "comsim_warm_starts_total",
             "Runs restored from a cached artifact.", s.warmStarts);
+    {
+        const char *name = "comsim_requests_shed_total";
+        line(out, "# HELP %s Requests shed under overload, by class.",
+             name);
+        line(out, "# TYPE %s counter", name);
+        for (std::size_t i = 0; i < kNumPriorities; ++i)
+            line(out, "%s{priority=\"%s\"} %llu", name,
+                 priorityName(static_cast<Priority>(i)),
+                 static_cast<unsigned long long>(s.shed[i]));
+    }
     counterSeconds(out, "comsim_busy_seconds_total",
                    "Worker-seconds spent holding a session.",
                    s.busySeconds);
@@ -124,6 +134,9 @@ renderPrometheus(const Metrics::Snapshot &s)
           static_cast<double>(s.maxQueueDepth));
     gauge(out, "comsim_batch_max", "Largest batch served so far.",
           static_cast<double>(s.maxBatch));
+    gauge(out, "comsim_batch_cap",
+          "Adaptive batch-size ceiling currently in effect.",
+          static_cast<double>(s.batchCap));
     gauge(out, "comsim_workers", "Scheduler worker threads.",
           static_cast<double>(s.workers));
     gauge(out, "comsim_utilization",
@@ -147,6 +160,18 @@ renderPrometheus(const Metrics::Snapshot &s)
               "Span stage: engine run wall time.", s.execute);
     histogram(out, "comsim_stage_verify_seconds",
               "Span stage: checksum verification.", s.verify);
+    // Per-class latency as separate families, not labels: the
+    // histogram helper emits cumulative le= buckets per family, and
+    // interleaving label values inside one family would break that.
+    histogram(out, "comsim_request_latency_interactive_seconds",
+              "Completed-request latency, interactive class.",
+              s.latencyByPriority[0]);
+    histogram(out, "comsim_request_latency_batch_seconds",
+              "Completed-request latency, batch class.",
+              s.latencyByPriority[1]);
+    histogram(out, "comsim_request_latency_besteffort_seconds",
+              "Completed-request latency, best-effort class.",
+              s.latencyByPriority[2]);
     return out;
 }
 

@@ -1,20 +1,37 @@
 /**
  * @file
- * A bounded, thread-safe request queue with batch-coalescing pop.
+ * A bounded, thread-safe request queue with deadline-aware ordering
+ * and batch-coalescing pop.
  *
  * This is the admission-control point of the serving layer: tryPush()
  * refuses work when the queue is at capacity (callers turn that into
  * a Rejected response immediately, instead of letting an overloaded
  * server build an unbounded backlog), while push() blocks — the
  * closed-loop/back-pressure mode a load generator uses for maximum
- * throughput.
+ * throughput. offer() adds the overload-shedding variant: when the
+ * queue is full, an urgent request may displace the least urgent
+ * queued one (lowest-priority-first, latest-deadline within a class),
+ * which the caller completes as shed with a retry-after hint.
  *
- * popBatch() is where batching starts: it takes the oldest request
- * and, under the same lock, extracts every queued request with the
- * same batch key (engine kind + language + source text, see
+ * Ordering (Order::Edf, the default): requests dequeue by
+ * (priority, deadline, arrival seq) — interactive before batch before
+ * best-effort, earliest absolute deadline first within a class, FIFO
+ * among equals. Deadline-less requests sort after deadlined ones of
+ * the same class (kNoDeadline is time_point::max), so with no
+ * deadlines and one class the order degenerates to exact FIFO.
+ * Order::Fifo ignores priority and deadline entirely — the measured
+ * baseline the EDF A/B compares against — and never displaces.
+ *
+ * popBatch() is where batching starts: it takes the head and, under
+ * the same lock, extracts every queued request with the same batch
+ * key (engine kind + language + source text, see
  * ServeRequest::sameBatch) up to the batch limit. The scheduler runs
  * the whole batch on ONE session checkout, so the memoized compile
- * and the end-of-checkout reset amortize across the batch.
+ * and the end-of-checkout reset amortize across the batch. The
+ * coalescing scan is bounded (coalesceScan candidates past the head):
+ * an unbounded scan held the lock for O(queue) per pop, turning a
+ * deep queue of unique-source requests into O(n^2) total dequeue
+ * work.
  */
 
 #ifndef COMSIM_SERVE_QUEUE_HPP
@@ -22,7 +39,7 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -34,13 +51,40 @@ namespace com::serve {
 class RequestQueue
 {
   public:
+    /** Dequeue policy. */
+    enum class Order : std::uint8_t
+    {
+        Edf,  ///< (priority, deadline, arrival) — the default
+        Fifo, ///< arrival only — the A/B baseline; never displaces
+    };
+
+    /** How offer() disposed of a request. */
+    enum class Admit : std::uint8_t
+    {
+        Queued,    ///< inserted; queue had room
+        Displaced, ///< inserted; the least urgent request was evicted
+        Full,      ///< refused — nothing queued is less urgent
+        Closed,    ///< refused — the queue no longer accepts work
+    };
+
+    /** Default bound on the coalescing scan past the head. */
+    static constexpr std::size_t kDefaultCoalesceScan = 64;
+
     /**
      * @param capacity admission limit (>= 1)
      * @param metrics queue-depth sink (may be null)
+     * @param order dequeue policy (see Order)
+     * @param coalesce_scan batch-mate candidates examined past the
+     *        head per pop (>= 1; bounds lock hold time)
      */
     explicit RequestQueue(std::size_t capacity,
-                          Metrics *metrics = nullptr)
-        : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics)
+                          Metrics *metrics = nullptr,
+                          Order order = Order::Edf,
+                          std::size_t coalesce_scan =
+                              kDefaultCoalesceScan)
+        : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics),
+          order_(order),
+          coalesceScan_(coalesce_scan == 0 ? 1 : coalesce_scan)
     {
     }
 
@@ -55,11 +99,48 @@ class RequestQueue
             std::lock_guard<std::mutex> lock(mu_);
             if (closed_ || q_.size() >= capacity_)
                 return false;
-            q_.push_back(std::move(req));
+            insertLocked(std::move(req));
             noteDepthLocked();
         }
         notEmpty_.notify_one();
         return true;
+    }
+
+    /**
+     * Shedding enqueue: like tryPush, but a full EDF queue admits
+     * @p req anyway when some queued request is strictly less urgent
+     * (greater Priority value) — that victim moves to @p displaced
+     * and the caller completes it as shed. On Full or Closed, @p req
+     * is left untouched; @p displaced is written only on Displaced.
+     */
+    Admit
+    offer(ServeRequest &&req, ServeRequest *displaced)
+    {
+        Admit verdict;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_)
+                return Admit::Closed;
+            if (q_.size() < capacity_) {
+                insertLocked(std::move(req));
+                noteDepthLocked();
+                verdict = Admit::Queued;
+            } else {
+                if (order_ != Order::Edf)
+                    return Admit::Full;
+                auto victim = std::prev(q_.end());
+                if (victim->first.priority <=
+                    static_cast<std::uint8_t>(req.priority))
+                    return Admit::Full;
+                *displaced = std::move(victim->second);
+                q_.erase(victim);
+                insertLocked(std::move(req));
+                // Depth is unchanged: one out, one in.
+                verdict = Admit::Displaced;
+            }
+        }
+        notEmpty_.notify_one();
+        return verdict;
     }
 
     /**
@@ -77,7 +158,7 @@ class RequestQueue
             });
             if (closed_)
                 return false;
-            q_.push_back(std::move(req));
+            insertLocked(std::move(req));
             noteDepthLocked();
         }
         notEmpty_.notify_one();
@@ -85,10 +166,11 @@ class RequestQueue
     }
 
     /**
-     * Pop the oldest request plus every queued request with the same
-     * batch key, up to @p max_batch total. Blocks while the queue is
-     * empty and open; @return an empty vector once the queue is
-     * closed AND drained (the worker-exit signal).
+     * Pop the head request (per Order) plus every queued request with
+     * the same batch key among the next coalesceScan candidates, up
+     * to @p max_batch total. Blocks while the queue is empty and
+     * open; @return an empty vector once the queue is closed AND
+     * drained (the worker-exit signal).
      */
     std::vector<ServeRequest>
     popBatch(std::size_t max_batch)
@@ -100,12 +182,15 @@ class RequestQueue
                            [this] { return closed_ || !q_.empty(); });
             if (q_.empty())
                 return batch; // closed and drained
-            batch.push_back(std::move(q_.front()));
-            q_.pop_front();
+            batch.push_back(std::move(q_.begin()->second));
+            q_.erase(q_.begin());
+            std::size_t scanned = 0;
             for (auto it = q_.begin();
-                 it != q_.end() && batch.size() < max_batch;) {
-                if (batch.front().sameBatch(*it)) {
-                    batch.push_back(std::move(*it));
+                 it != q_.end() && batch.size() < max_batch &&
+                 scanned < coalesceScan_;
+                 ++scanned) {
+                if (batch.front().sameBatch(it->second)) {
+                    batch.push_back(std::move(it->second));
                     it = q_.erase(it);
                 } else {
                     ++it;
@@ -152,7 +237,41 @@ class RequestQueue
     /** Admission limit. */
     std::size_t capacity() const { return capacity_; }
 
+    /** Dequeue policy. */
+    Order order() const { return order_; }
+
   private:
+    /** Dequeue order: smallest key pops first. Under Order::Fifo the
+     *  priority and deadline components are pinned, leaving seq. */
+    struct OrderKey
+    {
+        std::uint8_t priority = 0;
+        Clock::time_point deadline{};
+        std::uint64_t seq = 0;
+
+        bool
+        operator<(const OrderKey &o) const
+        {
+            if (priority != o.priority)
+                return priority < o.priority;
+            if (deadline != o.deadline)
+                return deadline < o.deadline;
+            return seq < o.seq;
+        }
+    };
+
+    void
+    insertLocked(ServeRequest &&req)
+    {
+        OrderKey key;
+        key.seq = nextSeq_++;
+        if (order_ == Order::Edf) {
+            key.priority = static_cast<std::uint8_t>(req.priority);
+            key.deadline = req.deadline;
+        }
+        q_.emplace(key, std::move(req));
+    }
+
     void
     noteDepthLocked()
     {
@@ -162,10 +281,13 @@ class RequestQueue
 
     const std::size_t capacity_;
     Metrics *metrics_;
+    const Order order_;
+    const std::size_t coalesceScan_;
     mutable std::mutex mu_;
     std::condition_variable notEmpty_;
     std::condition_variable notFull_;
-    std::deque<ServeRequest> q_;
+    std::map<OrderKey, ServeRequest> q_;
+    std::uint64_t nextSeq_ = 0;
     bool closed_ = false;
 };
 

@@ -29,6 +29,27 @@ using Clock = std::chrono::steady_clock;
 /** "No deadline": the request waits as long as it takes. */
 constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
 
+/**
+ * A request's service class. Lower values are more urgent: the queue
+ * orders by (priority, deadline, arrival), so interactive requests
+ * jump batch traffic and best-effort yields to both. The numeric
+ * values are a wire contract — v2 RunRequest frames carry a reserved
+ * zero byte exactly where v3 carries the priority, so a v2 peer's
+ * requests decode as Interactive.
+ */
+enum class Priority : std::uint8_t
+{
+    Interactive = 0, ///< latency-sensitive; jumps the queue
+    Batch = 1,       ///< throughput traffic; the former default
+    BestEffort = 2,  ///< first to be shed under overload
+};
+
+/** Distinct priority classes (array extents, wire bounds). */
+constexpr std::size_t kNumPriorities = 3;
+
+/** @return "interactive" / "batch" / "besteffort". */
+const char *priorityName(Priority p);
+
 /** How a request left the serving layer. */
 enum class ResponseStatus : std::uint8_t
 {
@@ -56,6 +77,15 @@ struct Response
     std::uint64_t batchSize = 0;
     /** Shard that handled the request. */
     std::size_t shard = 0;
+    /** The request's service class, echoed back. */
+    Priority priority = Priority::Interactive;
+    /**
+     * Overload hint on Rejected responses: how long the caller
+     * should back off before retrying, derived from the live
+     * queue-wait histogram (0 = no hint; the rejection was not
+     * load-related, e.g. the scheduler stopped).
+     */
+    double retryAfterSeconds = 0.0;
 
     bool ok() const { return status == ResponseStatus::Ok; }
 };
@@ -70,6 +100,7 @@ struct ServeRequest
     api::ProgramSpec spec;
     Clock::time_point submitted{};
     Clock::time_point deadline = kNoDeadline;
+    Priority priority = Priority::Interactive;
     std::promise<Response> promise;
 
     // Span timeline, stamped by the scheduler as the request crosses

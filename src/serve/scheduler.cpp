@@ -28,6 +28,37 @@ responseStatusName(ResponseStatus status)
     return "?";
 }
 
+const char *
+priorityName(Priority p)
+{
+    switch (p) {
+      case Priority::Interactive:
+        return "interactive";
+      case Priority::Batch:
+        return "batch";
+      case Priority::BestEffort:
+        return "besteffort";
+    }
+    return "?";
+}
+
+std::size_t
+adaptBatchCap(std::size_t current, std::size_t depth,
+              std::size_t max_batch)
+{
+    if (max_batch <= 1)
+        return 1;
+    if (current < 1)
+        current = 1;
+    if (current > max_batch)
+        current = max_batch;
+    if (depth >= max_batch)
+        return std::min(current * 2, max_batch);
+    if (depth <= max_batch / 4)
+        return std::max<std::size_t>(current / 2, 1);
+    return current; // hysteresis band: hold
+}
+
 Scheduler::Scheduler(const Config &cfg)
     : workersPerShard_(std::max<std::size_t>(cfg.workersPerShard, 1)),
       maxBatch_(std::max<std::size_t>(cfg.maxBatch, 1)),
@@ -43,7 +74,8 @@ Scheduler::Scheduler(const Config &cfg)
                 cfg.programCacheCapacity);
         shards_.push_back(std::make_unique<Shard>(
             cfg.queueCapacity, pool_cfg, &metrics_,
-            cfg.flightRecorderCapacity, epoch, cfg.slowThreshold));
+            cfg.flightRecorderCapacity, epoch, cfg.slowThreshold,
+            cfg.queueOrder, cfg.coalesceScan, maxBatch_));
     }
     if (cfg.autoStart)
         start();
@@ -83,13 +115,11 @@ Scheduler::stop()
                  batch = shard->queue.popBatch(maxBatch_))
                 for (ServeRequest &req : batch) {
                     metrics_.countRejected();
-                    req.promise.set_value(Response{
-                        ResponseStatus::Rejected,
-                        {},
-                        "scheduler stopped before serving",
-                        0.0,
-                        0,
-                        0});
+                    Response r;
+                    r.status = ResponseStatus::Rejected;
+                    r.error = "scheduler stopped before serving";
+                    r.priority = req.priority;
+                    req.promise.set_value(std::move(r));
                 }
         return;
     }
@@ -135,14 +165,34 @@ Scheduler::programCache(std::size_t shard)
 
 ServeRequest
 Scheduler::makeRequest(api::EngineKind kind, api::ProgramSpec &&spec,
-                       Clock::time_point deadline)
+                       Clock::time_point deadline, Priority priority)
 {
     ServeRequest req;
     req.kind = kind;
     req.spec = std::move(spec);
     req.submitted = Clock::now();
     req.deadline = deadline;
+    req.priority = priority;
     return req;
+}
+
+double
+Scheduler::retryAfterHint()
+{
+    constexpr double kFallback = 0.05; // no waits recorded yet
+    constexpr double kMin = 0.01, kMax = 5.0;
+    LatencyHistogram::Snapshot waits =
+        metrics_.queueWait().snapshot();
+    double hint = waits.count > 0 ? waits.p95Seconds : kFallback;
+    return std::clamp(hint, kMin, kMax);
+}
+
+void
+Scheduler::shedRequest(ServeRequest &victim, std::size_t shard_index)
+{
+    metrics_.countShed(victim.priority);
+    finish(victim, ResponseStatus::Rejected, "shed under overload",
+           shard_index, retryAfterHint());
 }
 
 bool
@@ -157,11 +207,12 @@ Scheduler::servableKind(api::EngineKind kind) const
 
 std::future<Response>
 Scheduler::trySubmit(api::EngineKind kind, api::ProgramSpec spec,
-                     Clock::time_point deadline)
+                     Clock::time_point deadline, Priority priority)
 {
     metrics_.countSubmitted();
     std::size_t shard_index = shardFor(spec);
-    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    ServeRequest req =
+        makeRequest(kind, std::move(spec), deadline, priority);
     std::future<Response> future = req.promise.get_future();
     if (!servableKind(kind)) {
         metrics_.countRejected();
@@ -170,21 +221,47 @@ Scheduler::trySubmit(api::EngineKind kind, api::ProgramSpec spec,
         r.error = std::string("pool holds no ") +
                   api::engineKindName(kind) + " engines";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
         return future;
     }
-    if (!shards_[shard_index]->queue.tryPush(std::move(req))) {
-        // tryPush left req intact: reject on its still-held promise.
-        // Distinguish shutdown from overload — an overloaded caller
-        // may retry, a stopped scheduler will never accept again.
+    ServeRequest displaced;
+    switch (shards_[shard_index]->queue.offer(std::move(req),
+                                              &displaced)) {
+      case RequestQueue::Admit::Queued:
+        break;
+      case RequestQueue::Admit::Displaced:
+        // req is queued; a less urgent request made room and is
+        // completed as shed, with the live retry-after hint.
+        shedRequest(displaced, shard_index);
+        break;
+      case RequestQueue::Admit::Closed: {
+        // offer left req intact: reject on its still-held promise.
+        // Shutdown is not overload — no retry hint; the scheduler
+        // will never accept again.
         metrics_.countRejected();
         Response r;
         r.status = ResponseStatus::Rejected;
-        r.error = shards_[shard_index]->queue.isClosed()
-                      ? "scheduler stopped"
-                      : "queue full";
+        r.error = "scheduler stopped";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
+        break;
+      }
+      case RequestQueue::Admit::Full: {
+        // Nothing queued is less urgent than req: req itself is the
+        // one to shed, told how long to back off.
+        metrics_.countShed(priority);
+        metrics_.countRejected();
+        Response r;
+        r.status = ResponseStatus::Rejected;
+        r.error = "queue full";
+        r.shard = shard_index;
+        r.priority = priority;
+        r.retryAfterSeconds = retryAfterHint();
+        req.promise.set_value(std::move(r));
+        break;
+      }
     }
     return future;
 }
@@ -192,13 +269,15 @@ Scheduler::trySubmit(api::EngineKind kind, api::ProgramSpec spec,
 Scheduler::Admission
 Scheduler::offer(api::EngineKind kind, api::ProgramSpec &spec,
                  Clock::time_point deadline,
-                 Clock::time_point submitted, std::future<Response> *out)
+                 Clock::time_point submitted,
+                 std::future<Response> *out, Priority priority)
 {
     std::size_t shard_index = shardFor(spec);
     if (!servableKind(kind)) {
         metrics_.countSubmitted();
         metrics_.countRejected();
-        ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+        ServeRequest req =
+            makeRequest(kind, std::move(spec), deadline, priority);
         req.submitted = submitted;
         *out = req.promise.get_future();
         Response r;
@@ -206,39 +285,56 @@ Scheduler::offer(api::EngineKind kind, api::ProgramSpec &spec,
         r.error = std::string("pool holds no ") +
                   api::engineKindName(kind) + " engines";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
         return Admission::NoEngine;
     }
-    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    ServeRequest req =
+        makeRequest(kind, std::move(spec), deadline, priority);
     req.submitted = submitted;
     *out = req.promise.get_future();
-    if (shards_[shard_index]->queue.tryPush(std::move(req))) {
+    ServeRequest displaced;
+    switch (shards_[shard_index]->queue.offer(std::move(req),
+                                              &displaced)) {
+      case RequestQueue::Admit::Queued:
         metrics_.countSubmitted();
         return Admission::Accepted;
-    }
-    // tryPush left req intact either way; decide which failure.
-    if (shards_[shard_index]->queue.isClosed()) {
+      case RequestQueue::Admit::Displaced:
+        // req jumped a full queue; the evicted (less urgent) request
+        // is completed as shed with a retry-after hint — its caller
+        // already holds the future that now resolves.
+        metrics_.countSubmitted();
+        shedRequest(displaced, shard_index);
+        return Admission::Accepted;
+      case RequestQueue::Admit::Closed: {
         metrics_.countSubmitted();
         metrics_.countRejected();
         Response r;
         r.status = ResponseStatus::Rejected;
         r.error = "scheduler stopped";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
         return Admission::Stopped;
+      }
+      case RequestQueue::Admit::Full:
+        break;
     }
-    spec = std::move(req.spec); // hand the program back to the caller
+    // offer left req intact: hand the program back to the caller,
+    // which parks it (TCP back-pressure) instead of shedding.
+    spec = std::move(req.spec);
     *out = std::future<Response>{};
     return Admission::QueueFull;
 }
 
 std::future<Response>
 Scheduler::submit(api::EngineKind kind, api::ProgramSpec spec,
-                  Clock::time_point deadline)
+                  Clock::time_point deadline, Priority priority)
 {
     metrics_.countSubmitted();
     std::size_t shard_index = shardFor(spec);
-    ServeRequest req = makeRequest(kind, std::move(spec), deadline);
+    ServeRequest req =
+        makeRequest(kind, std::move(spec), deadline, priority);
     std::future<Response> future = req.promise.get_future();
     if (!servableKind(kind)) {
         metrics_.countRejected();
@@ -247,6 +343,7 @@ Scheduler::submit(api::EngineKind kind, api::ProgramSpec spec,
         r.error = std::string("pool holds no ") +
                   api::engineKindName(kind) + " engines";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
         return future;
     }
@@ -256,6 +353,7 @@ Scheduler::submit(api::EngineKind kind, api::ProgramSpec spec,
         r.status = ResponseStatus::Rejected;
         r.error = "scheduler stopped";
         r.shard = shard_index;
+        r.priority = priority;
         req.promise.set_value(std::move(r));
     }
     return future;
@@ -334,12 +432,15 @@ Scheduler::recordSpan(const ServeRequest &req, ResponseStatus status,
 
 void
 Scheduler::finish(ServeRequest &req, ResponseStatus status,
-                  std::string error, std::size_t shard_index)
+                  std::string error, std::size_t shard_index,
+                  double retry_after)
 {
     Response r;
     r.status = status;
     r.error = std::move(error);
     r.shard = shard_index;
+    r.priority = req.priority;
+    r.retryAfterSeconds = retry_after;
     Clock::time_point now = Clock::now();
     r.latencySeconds =
         std::chrono::duration<double>(now - req.submitted).count();
@@ -348,6 +449,7 @@ Scheduler::finish(ServeRequest &req, ResponseStatus status,
     else if (status == ResponseStatus::Rejected)
         metrics_.countRejected();
     metrics_.latency().record(r.latencySeconds);
+    metrics_.latencyFor(req.priority).record(r.latencySeconds);
     recordSpan(req, status, shard_index, now, -1.0, 0.0, 0.0, 0);
     req.promise.set_value(std::move(r));
 }
@@ -361,10 +463,20 @@ Scheduler::workerLoop(Shard &shard)
             shard_index = i;
 
     for (;;) {
-        std::vector<ServeRequest> batch =
-            shard.queue.popBatch(maxBatch_);
+        std::size_t cap =
+            shard.batchCap.load(std::memory_order_relaxed);
+        std::vector<ServeRequest> batch = shard.queue.popBatch(cap);
         if (batch.empty())
             return; // queue closed and drained
+
+        // Adapt the batch ceiling to the backlog left behind:
+        // shallow queues shrink it (latency mode), pressure grows it
+        // back toward maxBatch (throughput mode). Workers of one
+        // shard race on the cap relaxed — it is a heuristic.
+        std::size_t next = adaptBatchCap(cap, shard.queue.depth(),
+                                         maxBatch_);
+        if (next != cap)
+            shard.batchCap.store(next, std::memory_order_relaxed);
 
         // Deadline gate #1: anything already expired is completed
         // without costing an engine.
@@ -437,12 +549,15 @@ Scheduler::workerLoop(Shard &shard)
             }
             r.batchSize = batch_size;
             r.shard = shard_index;
+            r.priority = req.priority;
             now = Clock::now();
             r.latencySeconds =
                 std::chrono::duration<double>(now - req.submitted)
                     .count();
             metrics_.countOutcome(r.status == ResponseStatus::Ok);
             metrics_.latency().record(r.latencySeconds);
+            metrics_.latencyFor(req.priority)
+                .record(r.latencySeconds);
             recordSpan(req, r.status, shard_index, now,
                        stageSeconds(run_start, run_end),
                        stageSeconds(run_end, now),
@@ -488,6 +603,10 @@ Scheduler::metricsSnapshot() const
         s.warmStartMeanSeconds =
             static_cast<double>(s.warmStartNanos) / 1e9 /
             static_cast<double>(s.warmStarts);
+    for (const auto &shard : shards_)
+        s.batchCap = std::max<std::uint64_t>(
+            s.batchCap,
+            shard->batchCap.load(std::memory_order_relaxed));
     return s;
 }
 

@@ -28,6 +28,7 @@
 #ifndef COMSIM_SERVE_SCHEDULER_HPP
 #define COMSIM_SERVE_SCHEDULER_HPP
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -53,6 +54,19 @@ namespace com::serve {
  * instead of a coincidence.
  */
 std::size_t sourceShard(const std::string &source, std::size_t shards);
+
+/**
+ * The load-adaptive batch ceiling: the next cap given the @p current
+ * one and the shard queue's @p depth just after a pop. Shallow queues
+ * shrink the cap toward 1 (latency mode: a request never waits for
+ * batch-mates that are not coming); a backlog of @p max_batch or more
+ * doubles it toward @p max_batch (throughput mode: amortize the
+ * checkout). Depths between max_batch/4 and max_batch hold the cap
+ * steady — the hysteresis band that keeps a borderline load from
+ * flapping. Pure function, unit-tested directly.
+ */
+std::size_t adaptBatchCap(std::size_t current, std::size_t depth,
+                          std::size_t max_batch);
 
 class Scheduler
 {
@@ -94,6 +108,17 @@ class Scheduler
          * FlightRecorder).
          */
         std::chrono::nanoseconds slowThreshold{0};
+        /**
+         * Dequeue policy: Edf (the default) orders each shard's
+         * queue by (priority, deadline, arrival) and sheds the least
+         * urgent request when a full queue receives a more urgent
+         * one; Fifo is the measured baseline — arrival order only,
+         * no displacement.
+         */
+        RequestQueue::Order queueOrder = RequestQueue::Order::Edf;
+        /** Bound on popBatch's same-source coalescing scan (lock
+         *  hold time per pop). */
+        std::size_t coalesceScan = RequestQueue::kDefaultCoalesceScan;
         /** Construct started (serving). Tests construct stopped,
          *  queue deterministic backlogs, then call start(). */
         bool autoStart = true;
@@ -115,7 +140,8 @@ class Scheduler
      */
     std::future<Response>
     trySubmit(api::EngineKind kind, api::ProgramSpec spec,
-              Clock::time_point deadline = kNoDeadline);
+              Clock::time_point deadline = kNoDeadline,
+              Priority priority = Priority::Interactive);
 
     /**
      * Back-pressure submit: blocks until the target shard's queue
@@ -123,7 +149,8 @@ class Scheduler
      */
     std::future<Response>
     submit(api::EngineKind kind, api::ProgramSpec spec,
-           Clock::time_point deadline = kNoDeadline);
+           Clock::time_point deadline = kNoDeadline,
+           Priority priority = Priority::Interactive);
 
     /** How offer() disposed of a request. */
     enum class Admission : std::uint8_t
@@ -148,7 +175,8 @@ class Scheduler
     Admission offer(api::EngineKind kind, api::ProgramSpec &spec,
                     Clock::time_point deadline,
                     Clock::time_point submitted,
-                    std::future<Response> *out);
+                    std::future<Response> *out,
+                    Priority priority = Priority::Interactive);
 
     /** Start the worker threads (no-op when already started). */
     void start();
@@ -201,25 +229,43 @@ class Scheduler
                        const api::EnginePool::Config &pool_cfg,
                        Metrics *metrics, std::size_t recorder_capacity,
                        Clock::time_point epoch,
-                       std::chrono::nanoseconds slow_threshold)
-            : queue(queue_capacity, metrics), pool(pool_cfg),
-              recorder(recorder_capacity, epoch, slow_threshold)
+                       std::chrono::nanoseconds slow_threshold,
+                       RequestQueue::Order order,
+                       std::size_t coalesce_scan,
+                       std::size_t initial_cap)
+            : queue(queue_capacity, metrics, order, coalesce_scan),
+              pool(pool_cfg),
+              recorder(recorder_capacity, epoch, slow_threshold),
+              batchCap(initial_cap)
         {
         }
         RequestQueue queue;
         api::EnginePool pool;
         FlightRecorder recorder;
+        /** The adaptive batch ceiling (see adaptBatchCap); workers
+         *  of one shard share it, racing relaxed — a heuristic. */
+        std::atomic<std::size_t> batchCap;
         std::vector<std::thread> workers;
     };
 
     static ServeRequest makeRequest(api::EngineKind kind,
                                     api::ProgramSpec &&spec,
-                                    Clock::time_point deadline);
+                                    Clock::time_point deadline,
+                                    Priority priority);
     bool servableKind(api::EngineKind kind) const;
     void workerLoop(Shard &shard);
-    /** Complete @p req without running it. */
+    /** Complete @p req without running it. @p retry_after > 0 marks
+     *  a load-shed rejection and rides out on the response. */
     void finish(ServeRequest &req, ResponseStatus status,
-                std::string error, std::size_t shard_index);
+                std::string error, std::size_t shard_index,
+                double retry_after = 0.0);
+    /** Complete @p victim as shed under overload: Rejected with the
+     *  live retry-after hint, counted per class. */
+    void shedRequest(ServeRequest &victim, std::size_t shard_index);
+    /** How long an overloaded caller should back off: the live
+     *  queue-wait p95, clamped (a fallback when no waits were
+     *  recorded yet). */
+    double retryAfterHint();
     /**
      * Fold @p req's span into the stage histograms and the shard's
      * flight recorder. @p exec_seconds < 0 means the request never

@@ -131,11 +131,13 @@ TEST(ObsPrometheus, EverySampleHasHelpAndType)
 TEST(ObsPrometheus, CountersEndInTotal)
 {
     Parsed p = parse(serve::renderPrometheus(sampleSnapshot()));
-    for (const auto &kv : p.types)
-        if (kv.second == "counter")
+    for (const auto &kv : p.types) {
+        if (kv.second == "counter") {
             EXPECT_NE(
                 kv.first.find("_total"), std::string::npos)
                 << kv.first << " is a counter without _total";
+        }
+    }
 }
 
 TEST(ObsPrometheus, CountersMatchTheSnapshot)

@@ -1,0 +1,609 @@
+/**
+ * @file
+ * Deadline-aware scheduling and overload control (PR 9): EDF queue
+ * ordering — (priority, deadline, arrival) with FIFO degeneracy when
+ * neither varies — displacement shedding on a full queue (lowest
+ * priority evicted, never under Order::Fifo), the shed-retry-after
+ * hint riding a v3 RunResponse over the wire (and dropped cleanly on
+ * a v2 reply), the client's bounded shed-retry loop against a real
+ * socket, the adaptive batch cap's hysteresis (pure function), and
+ * the bounded coalescing scan that keeps a deep unique-source queue
+ * from degenerating into O(n^2) dequeue work.
+ *
+ * Scheduler tests construct with autoStart=false and queue a
+ * deterministic backlog before start(), like test_serve.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace com;
+using namespace std::chrono_literals;
+
+namespace {
+
+serve::ServeRequest
+makeReq(const api::ProgramSpec &spec,
+        serve::Priority priority = serve::Priority::Interactive,
+        serve::Clock::time_point deadline = serve::kNoDeadline)
+{
+    serve::ServeRequest req;
+    req.kind = api::EngineKind::Com;
+    req.spec = spec;
+    req.submitted = serve::Clock::now();
+    req.deadline = deadline;
+    req.priority = priority;
+    return req;
+}
+
+/** A unique-source spec: no two share a batch key. */
+api::ProgramSpec
+uniqueSpec(std::size_t i)
+{
+    return api::ProgramSpec::fith("u" + std::to_string(i),
+                                  std::to_string(i) + " .");
+}
+
+void
+settle(std::vector<serve::ServeRequest> &batch)
+{
+    for (serve::ServeRequest &r : batch)
+        r.promise.set_value(serve::Response{});
+}
+
+// ---------------------------------------------------------------------
+// EDF ordering
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, PopsEarliestDeadlineFirstWithinAClass)
+{
+    serve::RequestQueue q(8);
+    serve::Clock::time_point now = serve::Clock::now();
+    // Arrival order deliberately scrambles deadline order; distinct
+    // sources so popBatch(8) cannot coalesce them together.
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(0),
+                                  serve::Priority::Interactive,
+                                  now + 100ms)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(1),
+                                  serve::Priority::Interactive,
+                                  now + 10ms)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(2),
+                                  serve::Priority::Interactive)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(3),
+                                  serve::Priority::Interactive,
+                                  now + 50ms)));
+
+    // 10ms, 50ms, 100ms, then the deadline-less one (kNoDeadline is
+    // time_point::max — it sorts after every real deadline).
+    const char *want[] = {"u1", "u3", "u0", "u2"};
+    for (const char *name : want) {
+        std::vector<serve::ServeRequest> batch = q.popBatch(8);
+        ASSERT_EQ(batch.size(), 1u);
+        EXPECT_EQ(batch[0].spec.name, name);
+        settle(batch);
+    }
+}
+
+TEST(ServeEdf, PriorityClassesJumpTheQueue)
+{
+    serve::RequestQueue q(8);
+    serve::Clock::time_point now = serve::Clock::now();
+    // A best-effort request with the EARLIEST deadline still loses to
+    // interactive and batch: priority dominates deadline.
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(0),
+                                  serve::Priority::BestEffort,
+                                  now + 1ms)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(1),
+                                  serve::Priority::Batch,
+                                  now + 500ms)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(2),
+                                  serve::Priority::Interactive)));
+
+    serve::Priority want[] = {serve::Priority::Interactive,
+                              serve::Priority::Batch,
+                              serve::Priority::BestEffort};
+    for (serve::Priority p : want) {
+        std::vector<serve::ServeRequest> batch = q.popBatch(8);
+        ASSERT_EQ(batch.size(), 1u);
+        EXPECT_EQ(batch[0].priority, p);
+        settle(batch);
+    }
+}
+
+TEST(ServeEdf, NoDeadlineSingleClassDegeneratesToFifo)
+{
+    // The EDF order must cost nothing when nothing differs: same
+    // class, no deadlines -> exact arrival order.
+    serve::RequestQueue q(8);
+    for (std::size_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(i))));
+    for (std::size_t i = 0; i < 5; ++i) {
+        std::vector<serve::ServeRequest> batch = q.popBatch(8);
+        ASSERT_EQ(batch.size(), 1u);
+        EXPECT_EQ(batch[0].spec.name, "u" + std::to_string(i));
+        settle(batch);
+    }
+}
+
+TEST(ServeEdf, FifoOrderIgnoresPriorityAndDeadline)
+{
+    serve::RequestQueue q(8, nullptr,
+                          serve::RequestQueue::Order::Fifo);
+    serve::Clock::time_point now = serve::Clock::now();
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(0),
+                                  serve::Priority::BestEffort,
+                                  now + 500ms)));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(1),
+                                  serve::Priority::Interactive,
+                                  now + 1ms)));
+    std::vector<serve::ServeRequest> batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u0"); // arrival order, nothing else
+    settle(batch);
+    batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u1");
+    settle(batch);
+}
+
+// ---------------------------------------------------------------------
+// Displacement on a full queue
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, OfferDisplacesTheLeastUrgentRequest)
+{
+    serve::RequestQueue q(2);
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(0), serve::Priority::BestEffort)));
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(1), serve::Priority::BestEffort)));
+
+    serve::ServeRequest displaced;
+    serve::RequestQueue::Admit verdict = q.offer(
+        makeReq(uniqueSpec(2), serve::Priority::Interactive),
+        &displaced);
+    EXPECT_EQ(verdict, serve::RequestQueue::Admit::Displaced);
+    // The victim is the LAST in dequeue order — the later-arrived
+    // best-effort request — and comes out intact (promise usable).
+    EXPECT_EQ(displaced.spec.name, "u1");
+    displaced.promise.set_value(serve::Response{});
+    EXPECT_EQ(q.depth(), 2u);
+
+    // The urgent request jumped to the head.
+    std::vector<serve::ServeRequest> batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u2");
+    settle(batch);
+}
+
+TEST(ServeEdf, OfferRefusesWhenNothingIsLessUrgent)
+{
+    serve::RequestQueue q(1);
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(0), serve::Priority::Interactive)));
+
+    // Same class: Full, and the refused request stays intact.
+    serve::ServeRequest displaced;
+    serve::ServeRequest same =
+        makeReq(uniqueSpec(1), serve::Priority::Interactive);
+    EXPECT_EQ(q.offer(std::move(same), &displaced),
+              serve::RequestQueue::Admit::Full);
+    same.promise.set_value(serve::Response{});
+
+    // Lower urgency than everything queued: also Full.
+    serve::ServeRequest lower =
+        makeReq(uniqueSpec(2), serve::Priority::Batch);
+    EXPECT_EQ(q.offer(std::move(lower), &displaced),
+              serve::RequestQueue::Admit::Full);
+    lower.promise.set_value(serve::Response{});
+    EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(ServeEdf, FifoOrderNeverDisplaces)
+{
+    serve::RequestQueue q(1, nullptr,
+                          serve::RequestQueue::Order::Fifo);
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(0), serve::Priority::BestEffort)));
+    serve::ServeRequest displaced;
+    serve::ServeRequest urgent =
+        makeReq(uniqueSpec(1), serve::Priority::Interactive);
+    EXPECT_EQ(q.offer(std::move(urgent), &displaced),
+              serve::RequestQueue::Admit::Full);
+    urgent.promise.set_value(serve::Response{});
+}
+
+// ---------------------------------------------------------------------
+// Scheduler shed paths (deterministic: autoStart=false backlog)
+// ---------------------------------------------------------------------
+
+serve::Scheduler::Config
+tinyQueueConfig(std::size_t capacity)
+{
+    serve::Scheduler::Config cfg;
+    cfg.shards = 1;
+    cfg.workersPerShard = 1;
+    cfg.maxBatch = 16;
+    cfg.queueCapacity = capacity;
+    cfg.autoStart = false;
+    cfg.pool.comEngines = 1;
+    cfg.pool.stackEngines = 0;
+    cfg.pool.fithEngines = 0;
+    return cfg;
+}
+
+TEST(ServeEdf, InteractiveDisplacesBestEffortUnderOverload)
+{
+    serve::Scheduler scheduler(tinyQueueConfig(1));
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    std::future<serve::Response> evicted = scheduler.trySubmit(
+        api::EngineKind::Com, spec, serve::kNoDeadline,
+        serve::Priority::BestEffort);
+    std::future<serve::Response> urgent = scheduler.trySubmit(
+        api::EngineKind::Com, spec, serve::kNoDeadline,
+        serve::Priority::Interactive);
+
+    // The best-effort request was shed immediately — before start()
+    // — with a positive retry-after hint and its class echoed.
+    ASSERT_EQ(evicted.wait_for(0s), std::future_status::ready);
+    serve::Response shed = evicted.get();
+    EXPECT_EQ(shed.status, serve::ResponseStatus::Rejected);
+    EXPECT_EQ(shed.error, "shed under overload");
+    EXPECT_GT(shed.retryAfterSeconds, 0.0);
+    EXPECT_EQ(shed.priority, serve::Priority::BestEffort);
+
+    scheduler.start();
+    serve::Response r = urgent.get();
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(r.priority, serve::Priority::Interactive);
+
+    serve::Metrics::Snapshot m = scheduler.metricsSnapshot();
+    EXPECT_EQ(m.shed[static_cast<std::size_t>(
+                  serve::Priority::BestEffort)],
+              1u);
+    EXPECT_EQ(m.rejected, 1u);
+    EXPECT_EQ(m.served, 1u);
+}
+
+TEST(ServeEdf, SamePriorityOverflowIsShedWithRetryAfter)
+{
+    serve::Scheduler scheduler(tinyQueueConfig(1));
+    api::ProgramSpec spec = api::ProgramSpec::workload("fib");
+
+    std::future<serve::Response> queued = scheduler.trySubmit(
+        api::EngineKind::Com, spec, serve::kNoDeadline,
+        serve::Priority::Interactive);
+    std::future<serve::Response> refused = scheduler.trySubmit(
+        api::EngineKind::Com, spec, serve::kNoDeadline,
+        serve::Priority::Interactive);
+
+    // Nothing queued is less urgent, so the NEW request is the one
+    // shed — same "queue full" reject as before PR 9, now carrying
+    // the back-off hint.
+    ASSERT_EQ(refused.wait_for(0s), std::future_status::ready);
+    serve::Response r = refused.get();
+    EXPECT_EQ(r.status, serve::ResponseStatus::Rejected);
+    EXPECT_EQ(r.error, "queue full");
+    EXPECT_GT(r.retryAfterSeconds, 0.0);
+
+    scheduler.start();
+    EXPECT_EQ(queued.get().status, serve::ResponseStatus::Ok);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive batch cap (pure function)
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, AdaptBatchCapGrowsUnderBacklog)
+{
+    EXPECT_EQ(serve::adaptBatchCap(4, 32, 32), 8u);
+    EXPECT_EQ(serve::adaptBatchCap(4, 100, 32), 8u);
+    // Growth saturates at max_batch.
+    EXPECT_EQ(serve::adaptBatchCap(32, 32, 32), 32u);
+    EXPECT_EQ(serve::adaptBatchCap(20, 40, 32), 32u);
+}
+
+TEST(ServeEdf, AdaptBatchCapShrinksWhenTheQueueRunsDry)
+{
+    EXPECT_EQ(serve::adaptBatchCap(8, 8, 32), 4u); // 8 <= 32/4
+    EXPECT_EQ(serve::adaptBatchCap(8, 0, 32), 4u);
+    // Shrink floors at 1 and stays there.
+    EXPECT_EQ(serve::adaptBatchCap(1, 0, 32), 1u);
+}
+
+TEST(ServeEdf, AdaptBatchCapHoldsInTheHysteresisBand)
+{
+    // Depths between max/4 and max neither grow nor shrink — a
+    // borderline load must not flap the cap every pop.
+    EXPECT_EQ(serve::adaptBatchCap(8, 9, 32), 8u);
+    EXPECT_EQ(serve::adaptBatchCap(8, 16, 32), 8u);
+    EXPECT_EQ(serve::adaptBatchCap(8, 31, 32), 8u);
+}
+
+TEST(ServeEdf, AdaptBatchCapClampsDegenerateInputs)
+{
+    // Unbatchable scheduler: the cap is pinned to 1.
+    EXPECT_EQ(serve::adaptBatchCap(16, 100, 1), 1u);
+    EXPECT_EQ(serve::adaptBatchCap(16, 100, 0), 1u);
+    // Out-of-range current values are clamped before the rules run.
+    EXPECT_EQ(serve::adaptBatchCap(0, 32, 32), 2u);
+    EXPECT_EQ(serve::adaptBatchCap(100, 16, 32), 32u);
+}
+
+// ---------------------------------------------------------------------
+// Bounded coalescing scan
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, CoalesceScanBoundLimitsTheLockHeldSearch)
+{
+    // coalesce_scan=4: a batch-mate 3 positions past the head is
+    // found; one 6 positions past is NOT — that is the whole point
+    // of the bound (lock hold time per pop stays O(scan)).
+    api::ProgramSpec mate = api::ProgramSpec::workload("fib");
+    serve::RequestQueue q(16, nullptr,
+                          serve::RequestQueue::Order::Edf, 4);
+    ASSERT_TRUE(q.tryPush(makeReq(mate)));       // head
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(0))));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(1))));
+    ASSERT_TRUE(q.tryPush(makeReq(mate)));       // within the bound
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(2))));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(3))));
+    ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(4))));
+    ASSERT_TRUE(q.tryPush(makeReq(mate)));       // beyond the bound
+
+    std::vector<serve::ServeRequest> batch = q.popBatch(16);
+    EXPECT_EQ(batch.size(), 2u); // head + the in-bound mate only
+    settle(batch);
+    EXPECT_EQ(q.depth(), 6u);    // the far mate is still queued
+}
+
+TEST(ServeEdf, DeepUniqueSourceQueueDrainsLinearly)
+{
+    // The regression this guards: an unbounded coalescing scan made
+    // each pop O(queue) under the lock — a deep queue of unique
+    // sources cost O(n^2) string compares to drain. With the bound,
+    // each pop examines at most kDefaultCoalesceScan candidates, so
+    // this drain is ~n*64 comparisons and finishes instantly even
+    // under TSan; the quadratic version visibly dragged.
+    constexpr std::size_t kDeep = 4096;
+    serve::RequestQueue q(kDeep);
+    for (std::size_t i = 0; i < kDeep; ++i)
+        ASSERT_TRUE(q.tryPush(makeReq(uniqueSpec(i))));
+
+    std::size_t drained = 0;
+    while (drained < kDeep) {
+        std::vector<serve::ServeRequest> batch = q.popBatch(16);
+        ASSERT_EQ(batch.size(), 1u); // nothing coalesces
+        drained += batch.size();
+        settle(batch);
+    }
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Shed retry-after on the wire (v3) and the client's bounded retry
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, RetryAfterSurvivesAV3FrameRoundTrip)
+{
+    serve::Response shed;
+    shed.status = serve::ResponseStatus::Rejected;
+    shed.error = "shed under overload";
+    shed.retryAfterSeconds = 0.25;
+    shed.priority = serve::Priority::BestEffort;
+
+    std::string bytes = net::encodeRunResponse(
+        net::RunResponseFrame::fromResponse(7, shed));
+    net::FrameView view;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::peekFrame(bytes, &view, &consumed),
+              net::DecodeStatus::Frame);
+    EXPECT_EQ(view.version, net::kProtocolVersion);
+    net::RunResponseFrame frame;
+    ASSERT_TRUE(net::decodeRunResponse(view, &frame));
+    serve::Response back = frame.toResponse();
+    EXPECT_EQ(back.status, serve::ResponseStatus::Rejected);
+    EXPECT_DOUBLE_EQ(back.retryAfterSeconds, 0.25);
+    EXPECT_EQ(back.priority, serve::Priority::BestEffort);
+}
+
+TEST(ServeEdf, V2ReplyDropsTheHintCleanly)
+{
+    // A v2 peer asked, so the reply is encoded at v2: the trailing
+    // retry-after + priority fields are simply absent and decode to
+    // their v2 meanings (no hint, Interactive).
+    serve::Response shed;
+    shed.status = serve::ResponseStatus::Rejected;
+    shed.retryAfterSeconds = 0.25;
+    shed.priority = serve::Priority::Batch;
+
+    std::string bytes = net::encodeRunResponse(
+        net::RunResponseFrame::fromResponse(7, shed), 2);
+    net::FrameView view;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::peekFrame(bytes, &view, &consumed),
+              net::DecodeStatus::Frame);
+    EXPECT_EQ(view.version, 2u);
+    net::RunResponseFrame frame;
+    ASSERT_TRUE(net::decodeRunResponse(view, &frame));
+    EXPECT_DOUBLE_EQ(frame.retryAfterSeconds, 0.0);
+    EXPECT_EQ(frame.priority, serve::Priority::Interactive);
+}
+
+TEST(ServeEdf, V2RequestPayloadIsByteIdenticalToV3)
+{
+    // The v3 RunRequest reuses the byte v2 reserved as zero for the
+    // priority, so an Interactive v3 request and a v2 request differ
+    // ONLY in the header's version field — the compatibility the
+    // whole scheme rests on.
+    net::RunRequestFrame req = net::RunRequestFrame::fromSpec(
+        3, api::EngineKind::Fith,
+        api::ProgramSpec::fith("add", "1 2 + ."), 0);
+    std::string v3 = net::encodeRunRequest(req, 3);
+    std::string v2 = net::encodeRunRequest(req, 2);
+    ASSERT_EQ(v3.size(), v2.size());
+    EXPECT_EQ(v3.substr(net::kHeaderSize), v2.substr(net::kHeaderSize));
+
+    // And the v2 bytes decode with the v2 meaning: Interactive.
+    net::FrameView view;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::peekFrame(v2, &view, &consumed),
+              net::DecodeStatus::Frame);
+    EXPECT_EQ(view.version, 2u);
+    net::RunRequestFrame out;
+    ASSERT_TRUE(net::decodeRunRequest(view, &out));
+    EXPECT_EQ(out.priority, serve::Priority::Interactive);
+}
+
+/**
+ * A single-connection scripted server: sheds the first @p sheds
+ * RunRequests with a retry-after hint, then serves one Ok. Lets the
+ * client's retry loop be tested against real sockets without having
+ * to manufacture genuine overload.
+ */
+class SheddingServer
+{
+  public:
+    explicit SheddingServer(std::size_t sheds) : sheds_(sheds)
+    {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        EXPECT_GE(listenFd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        EXPECT_EQ(::bind(listenFd_,
+                         reinterpret_cast<const sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        socklen_t len = sizeof(addr);
+        EXPECT_EQ(::getsockname(
+                      listenFd_,
+                      reinterpret_cast<sockaddr *>(&addr), &len),
+                  0);
+        port_ = ntohs(addr.sin_port);
+        EXPECT_EQ(::listen(listenFd_, 1), 0);
+        thread_ = std::thread([this] { serve(); });
+    }
+
+    ~SheddingServer()
+    {
+        thread_.join();
+        ::close(listenFd_);
+    }
+
+    std::uint16_t port() const { return port_; }
+    std::size_t requestsSeen() const { return seen_; }
+
+  private:
+    void
+    serve()
+    {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        std::string buf;
+        bool done = false;
+        while (!done) {
+            char chunk[4096];
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break;
+            buf.append(chunk, static_cast<std::size_t>(n));
+            net::FrameView view;
+            std::size_t consumed = 0;
+            while (net::peekFrame(buf, &view, &consumed) ==
+                   net::DecodeStatus::Frame) {
+                net::RunRequestFrame req;
+                ASSERT_TRUE(net::decodeRunRequest(view, &req));
+                buf.erase(0, consumed);
+                ++seen_;
+
+                serve::Response resp;
+                if (seen_ <= sheds_) {
+                    resp.status = serve::ResponseStatus::Rejected;
+                    resp.error = "shed under overload";
+                    resp.retryAfterSeconds = 0.005;
+                } else {
+                    resp.status = serve::ResponseStatus::Ok;
+                    resp.outcome.ok = true;
+                    done = true;
+                }
+                resp.priority = req.priority;
+                std::string reply = net::encodeRunResponse(
+                    net::RunResponseFrame::fromResponse(
+                        req.requestId, resp));
+                ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+            }
+        }
+        ::close(fd);
+    }
+
+    std::size_t sheds_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    /** Written by the server thread, read by the test after the
+     *  client saw the matching reply (TSan-clean via atomic). */
+    std::atomic<std::size_t> seen_{0};
+    std::thread thread_;
+};
+
+TEST(ServeEdf, ClientRetriesShedResponsesUpToTheLimit)
+{
+    SheddingServer server(2); // shed twice, then serve
+    net::Client client;
+    net::Client::Config cfg;
+    cfg.port = server.port();
+    cfg.retryLimit = 3;
+    ASSERT_TRUE(client.connect(cfg)) << client.error();
+
+    serve::Response r = client.run(
+        api::EngineKind::Fith, api::ProgramSpec::fith("x", "1 ."), 0,
+        serve::Priority::BestEffort);
+    EXPECT_EQ(r.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(r.priority, serve::Priority::BestEffort);
+    client.close();
+    EXPECT_EQ(server.requestsSeen(), 3u); // original + 2 retries
+}
+
+TEST(ServeEdf, ClientHandsBackTheShedResponseWhenRetriesRunOut)
+{
+    SheddingServer server(10); // sheds more times than the limit
+    net::Client client;
+    net::Client::Config cfg;
+    cfg.port = server.port();
+    cfg.retryLimit = 2;
+    ASSERT_TRUE(client.connect(cfg)) << client.error();
+
+    serve::Response r = client.run(api::EngineKind::Fith,
+                                   api::ProgramSpec::fith("x", "1 ."));
+    EXPECT_EQ(r.status, serve::ResponseStatus::Rejected);
+    EXPECT_EQ(r.error, "shed under overload");
+    EXPECT_GT(r.retryAfterSeconds, 0.0);
+    // The server must see exactly 1 + retryLimit attempts, then the
+    // client closes — the loop is bounded, not while(shed).
+    client.close();
+    EXPECT_EQ(server.requestsSeen(), 3u);
+}
+
+} // namespace
