@@ -73,6 +73,7 @@ class FlagSet
     tryParse(int argc, char **argv, std::string *error)
     {
         helpRequested_ = false;
+        std::vector<const Flag *> seen;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
@@ -112,6 +113,18 @@ class FlagSet
                          "' (from argument '" + arg + "')";
                 return false;
             }
+            // A repeated flag is almost always an editing mistake in
+            // a long command line, and silently letting the last one
+            // win hides which value actually applied — reject it.
+            for (const Flag *s : seen) {
+                if (s == flag) {
+                    *error = program_ + ": duplicate flag '--" + name +
+                             "' (from argument '" + arg +
+                             "'; each flag may be given once)";
+                    return false;
+                }
+            }
+            seen.push_back(flag);
             if (!apply(*flag, value)) {
                 *error = program_ + ": bad value '" + value +
                          "' for flag '--" + name +

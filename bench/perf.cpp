@@ -20,8 +20,10 @@
  * wall time passes --min-time (default 0.3 s).
  *
  * Usage: bench_perf [--min-time=SECONDS] [--out=BENCH_perf.json]
+ *                   [--superblocks=both|on|off]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -91,6 +93,16 @@ benchEngine(api::Engine &engine, const std::string &bench_name,
     });
 }
 
+/** Median-by-rate of repeated measurement rounds (absorbs outliers). */
+bench::BenchResult
+medianOf(std::vector<bench::BenchResult> rounds)
+{
+    std::sort(rounds.begin(), rounds.end(),
+              [](const bench::BenchResult &a,
+                 const bench::BenchResult &b) { return a.rate < b.rate; });
+    return rounds[rounds.size() / 2];
+}
+
 bench::BenchResult
 benchTraceCacheSim(std::size_t entries)
 {
@@ -110,6 +122,7 @@ int
 main(int argc, char **argv)
 {
     std::string out_path = "BENCH_perf.json";
+    std::string superblocks = "both";
     bench::FlagSet flags(
         "bench_perf",
         "single-engine host-throughput benchmarks; writes the "
@@ -117,7 +130,20 @@ main(int argc, char **argv)
     flags.addDouble("min-time", &minTimeSeconds,
                     "per-benchmark timing floor in seconds");
     flags.addString("out", &out_path, "trajectory file to write");
+    flags.addString("superblocks", &superblocks,
+                    "COM dispatch tier: 'on', 'off' (suffixes COM "
+                    "entries with _nosb), or 'both' (interleaved A/B "
+                    "of the headline, emitting BM_ComInterpreter and "
+                    "BM_ComInterpreter_nosb medians)");
     flags.parse(argc, argv);
+    if (superblocks != "both" && superblocks != "on" &&
+        superblocks != "off") {
+        std::fprintf(stderr,
+                     "bench_perf: bad value '%s' for flag "
+                     "'--superblocks' (expected both, on or off)\n",
+                     superblocks.c_str());
+        return 2;
+    }
 
     std::printf("comsim throughput benchmarks "
                 "(min %.2fs per benchmark)\n\n",
@@ -125,20 +151,55 @@ main(int argc, char **argv)
 
     std::vector<bench::BenchResult> all;
 
+    // The COM dispatch tier under measurement: 'off' disables
+    // superblock translation (and renames the COM entries with the
+    // _nosb suffix, see ROADMAP.md) so both tiers have a trajectory.
+    core::MachineConfig nosb_cfg;
+    nosb_cfg.enableSuperblocks = false;
+    const bool sb_on = superblocks != "off";
+    const std::string com_suffix = sb_on ? "" : "_nosb";
+
     // BM_ComInterpreter is the headline number (sieve, matching the
     // original google-benchmark harness); the per-workload entries
     // cover the call-heavy and dispatch-heavy profiles too. One
     // engine per workload: machines are not shared across specs here
     // so each entry's simulated cache state is self-contained.
-    {
-        api::ComEngine engine;
-        all.push_back(benchEngine(engine, "BM_ComInterpreter",
+    if (superblocks == "both") {
+        // Interleaved A/B: alternate superblocks-on and -off rounds
+        // so host drift (frequency, cache residency) lands on both
+        // series equally, then report the median of each.
+        api::ComEngine on_engine;
+        api::ComEngine off_engine(nosb_cfg);
+        api::ProgramSpec sieve = api::ProgramSpec::workload("sieve");
+        std::vector<bench::BenchResult> on_rounds, off_rounds;
+        for (int round = 0; round < 3; ++round) {
+            on_rounds.push_back(benchEngine(
+                on_engine, "BM_ComInterpreter", "guest_instrs/s",
+                sieve));
+            off_rounds.push_back(benchEngine(
+                off_engine, "BM_ComInterpreter_nosb",
+                "guest_instrs/s", sieve));
+        }
+        bench::BenchResult on_med = medianOf(std::move(on_rounds));
+        bench::BenchResult off_med = medianOf(std::move(off_rounds));
+        std::printf("  %-32s %14.0f vs %.0f (%.2fx)\n",
+                    "A/B medians", on_med.rate, off_med.rate,
+                    off_med.rate > 0.0 ? on_med.rate / off_med.rate
+                                       : 0.0);
+        all.push_back(std::move(on_med));
+        all.push_back(std::move(off_med));
+    } else {
+        api::ComEngine engine(sb_on ? core::MachineConfig{} : nosb_cfg);
+        all.push_back(benchEngine(engine,
+                                  "BM_ComInterpreter" + com_suffix,
                                   "guest_instrs/s",
                                   api::ProgramSpec::workload("sieve")));
     }
     for (const lang::Workload &w : lang::workloads()) {
-        api::ComEngine engine;
-        all.push_back(benchEngine(engine, "BM_ComInterpreter/" + w.name,
+        api::ComEngine engine(sb_on ? core::MachineConfig{} : nosb_cfg);
+        all.push_back(benchEngine(engine,
+                                  "BM_ComInterpreter" + com_suffix +
+                                      "/" + w.name,
                                   "guest_instrs/s",
                                   api::ProgramSpec::workload(w.name)));
     }

@@ -90,6 +90,47 @@ class Atlb
     // least one operand per simulated instruction)
 
     /**
+     * Like translate(), but on a cache hit also hands back an opaque
+     * slot handle for translateBound(). Statistics, fills and stalls
+     * are identical to translate(); a miss leaves @p slot_out null
+     * (the fill bumped the generation, so binding waits for the next
+     * call).
+     */
+    mem::XlateResult translateBind(const mem::SegmentTable &table,
+                                   std::uint64_t vaddr,
+                                   std::uint64_t extra_offset,
+                                   bool want_write,
+                                   std::uint64_t *latency,
+                                   void **slot_out);
+
+    /**
+     * Replay translate() through a slot bound by translateBind(). The
+     * caller must have verified generation() is unchanged and that
+     * @p vaddr carries the bound segment bits for the same table: the
+     * result — and every statistic — is then bit-identical to the
+     * translate() hit it replaces, skipping the set hash and the way
+     * scan. Offset-dependent checks (growth, bounds, protection) are
+     * still applied per call.
+     */
+    mem::XlateResult translateBound(void *slot,
+                                    const mem::SegmentTable &table,
+                                    std::uint64_t vaddr,
+                                    std::uint64_t extra_offset,
+                                    bool want_write);
+
+    /**
+     * Re-register a hit on a bound slot without re-applying the
+     * checks: for callers replaying a translation whose inputs are
+     * bit-identical to bind time (same vaddr, zero extra offset), so
+     * the cached result is known to hold. Statistics match one
+     * translate() hit.
+     */
+    void rehit(void *slot) { cache_.rehit(slot); }
+
+    /** Structural generation of the underlying cache (bindings). */
+    std::uint64_t generation() const { return cache_.generation(); }
+
+    /**
      * Attach to @p table so growth/free invalidate the matching entry.
      * Call once per table routed through this ATLB.
      */
@@ -121,9 +162,44 @@ class Atlb
     void restore(const Snapshot &s) { cache_.restore(s); }
 
   private:
+    /** The offset-dependent checks shared by every translate flavor. */
+    static mem::XlateResult
+    applyDescriptor(const mem::FpFormat &fmt,
+                    const mem::SegmentDescriptor &desc,
+                    const mem::FpDecoded &d, std::uint64_t extra_offset,
+                    bool want_write);
+
     SetAssocCache<AtlbKey, mem::SegmentDescriptor, AtlbKeyHash> cache_;
     std::uint64_t missPenalty_;
 };
+
+inline mem::XlateResult
+Atlb::applyDescriptor(const mem::FpFormat &fmt,
+                      const mem::SegmentDescriptor &desc,
+                      const mem::FpDecoded &d,
+                      std::uint64_t extra_offset, bool want_write)
+{
+    mem::XlateResult r;
+    std::uint64_t off = d.offset + extra_offset;
+    if (desc.alias && off >= (1ull << d.exponent)) {
+        r.status = mem::XlateStatus::GrowthTrap;
+        r.newVaddr = mem::FpAddress::addOffset(
+            fmt, desc.aliasVaddr, static_cast<std::int64_t>(off));
+        return r;
+    }
+    if (off >= desc.length) {
+        r.status = mem::XlateStatus::Bounds;
+        return r;
+    }
+    if (want_write && !desc.writable) {
+        r.status = mem::XlateStatus::ProtFault;
+        return r;
+    }
+    r.status = mem::XlateStatus::Ok;
+    r.abs = desc.base + off;
+    r.cls = desc.cls;
+    return r;
+}
 
 inline mem::XlateResult
 Atlb::translate(const mem::SegmentTable &table, std::uint64_t vaddr,
@@ -156,26 +232,49 @@ Atlb::translate(const mem::SegmentTable &table, std::uint64_t vaddr,
 
     // Apply the same checks the segment table applies, against the
     // cached descriptor.
-    mem::XlateResult r;
-    std::uint64_t off = d.offset + extra_offset;
-    if (desc->alias && off >= (1ull << d.exponent)) {
-        r.status = mem::XlateStatus::GrowthTrap;
-        r.newVaddr = mem::FpAddress::addOffset(
-            fmt, desc->aliasVaddr, static_cast<std::int64_t>(off));
-        return r;
+    return applyDescriptor(fmt, *desc, d, extra_offset, want_write);
+}
+
+inline mem::XlateResult
+Atlb::translateBind(const mem::SegmentTable &table, std::uint64_t vaddr,
+                    std::uint64_t extra_offset, bool want_write,
+                    std::uint64_t *latency, void **slot_out)
+{
+    const mem::FpFormat &fmt = table.format();
+    mem::FpDecoded d = mem::FpAddress::decode(fmt, vaddr);
+    AtlbKey key{table.teamId(),
+                (d.exponent << fmt.mantissaBits) | d.segField};
+
+    if (latency)
+        *latency = 0;
+    *slot_out = nullptr;
+
+    const mem::SegmentDescriptor *desc = cache_.lookupBind(key, slot_out);
+    if (!desc) {
+        if (latency)
+            *latency = missPenalty_;
+        const mem::SegmentDescriptor *walked =
+            table.findDescriptor(key.segKey);
+        if (!walked) {
+            mem::XlateResult r;
+            r.status = mem::XlateStatus::NoSegment;
+            return r;
+        }
+        cache_.insert(key, *walked);
+        desc = walked;
     }
-    if (off >= desc->length) {
-        r.status = mem::XlateStatus::Bounds;
-        return r;
-    }
-    if (want_write && !desc->writable) {
-        r.status = mem::XlateStatus::ProtFault;
-        return r;
-    }
-    r.status = mem::XlateStatus::Ok;
-    r.abs = desc->base + off;
-    r.cls = desc->cls;
-    return r;
+    return applyDescriptor(fmt, *desc, d, extra_offset, want_write);
+}
+
+inline mem::XlateResult
+Atlb::translateBound(void *slot, const mem::SegmentTable &table,
+                     std::uint64_t vaddr, std::uint64_t extra_offset,
+                     bool want_write)
+{
+    const mem::FpFormat &fmt = table.format();
+    mem::FpDecoded d = mem::FpAddress::decode(fmt, vaddr);
+    const mem::SegmentDescriptor *desc = cache_.rehit(slot);
+    return applyDescriptor(fmt, *desc, d, extra_offset, want_write);
 }
 
 } // namespace com::cache

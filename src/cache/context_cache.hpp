@@ -143,6 +143,14 @@ class ContextCache
         }
     }
 
+    /**
+     * True when maintain() would be a no-op (free blocks above the
+     * low-water mark). The superblock runner may batch instructions
+     * only while this holds: skipped per-instruction maintain() calls
+     * are then statistically invisible.
+     */
+    bool maintainIdle() const { return freeCount_ > lowWater_; }
+
     // ------------------------------------------------------------------
     // Data access
     // ------------------------------------------------------------------

@@ -116,6 +116,27 @@ class Itlb
         return cache_.lookup(key);
     }
 
+    /**
+     * Probe for @p key and bind: on a hit also returns an opaque slot
+     * handle usable with rehit() while generation() is unchanged.
+     * Statistics are identical to lookup().
+     */
+    MethodEntry *
+    lookupBind(const ItlbKey &key, void **slot_out)
+    {
+        return cache_.lookupBind(key, slot_out);
+    }
+
+    /**
+     * Re-register a hit on a pre-bound slot (superblock fast path).
+     * Caller must have checked generation() first. Bit-identical to a
+     * lookup() hit on that key.
+     */
+    MethodEntry *rehit(void *slot) { return cache_.rehit(slot); }
+
+    /** Structural generation guarding pre-bound slots. */
+    std::uint64_t generation() const { return cache_.generation(); }
+
     /** Fill after a dictionary lookup. */
     void
     fill(const ItlbKey &key, const MethodEntry &entry)

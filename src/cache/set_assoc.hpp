@@ -134,6 +134,61 @@ class SetAssocCache
         return nullptr;
     }
 
+    /**
+     * Like lookup(), but on a hit also hands back an opaque slot
+     * handle for later rehit() calls. Statistics and recency updates
+     * are identical to lookup(); the handle stays valid until the
+     * cache's generation() changes.
+     */
+    inline Value *
+    lookupBind(const Key &key, void **slot_out)
+    {
+        ++lookups_;
+        Entry *set = setFor(key);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = set[w];
+            if (e.stamp != 0 && e.key == key) {
+                ++hits_;
+                if (policy_ == ReplPolicy::Lru)
+                    e.stamp = ++tick_;
+                *slot_out = &e;
+                return &e.value;
+            }
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /**
+     * Re-register a hit on a slot previously returned by lookupBind().
+     * The caller must have verified the cache's generation() is
+     * unchanged since binding (so the slot still holds the bound key).
+     * Performs exactly the statistics and recency updates of a
+     * lookup() hit — one lookup, one hit, one LRU touch — skipping
+     * the set hash and the way scan.
+     */
+    inline Value *
+    rehit(void *slot)
+    {
+        Entry *e = static_cast<Entry *>(slot);
+        ++lookups_;
+        ++hits_;
+        if (policy_ == ReplPolicy::Lru)
+            e->stamp = ++tick_;
+        return &e->value;
+    }
+
+    /**
+     * Structural generation: bumped by every mutation that can move,
+     * replace or remove an existing entry (same-key replace, evicting
+     * insert, erase, invalidateAll, restore). An insert that fills an
+     * empty way leaves it unchanged — no existing entry moved. While
+     * unchanged, a slot handle from lookupBind() still maps its bound
+     * key and value. Plain lookups only refresh recency and never
+     * bump it.
+     */
+    std::uint64_t generation() const { return generation_; }
+
     /** Non-statistical, non-recency probe (diagnostics only). */
     const Value *
     probe(const Key &key) const
@@ -163,15 +218,24 @@ class SetAssocCache
             }
             ++occupied;
             if (set[i].key == key) {
+                // Same-key replace: a bound slot's value changes, so
+                // generations move.
+                ++generation_;
                 set[i].value = std::move(value);
                 set[i].stamp = ++tick_;
                 return std::nullopt;
             }
         }
         if (free_slot != ways_) {
+            // Filling an empty way touches no existing entry: every
+            // bound slot still holds its bound key and value, so the
+            // generation holds. (Cold fills are frequent — e.g. each
+            // fresh context's first ATLB translation — and must not
+            // churn unrelated bindings.)
             set[free_slot] = Entry{key, std::move(value), ++tick_};
             return std::nullopt;
         }
+        ++generation_; // the eviction below replaces an entry
         // Choose a victim (every slot is occupied here).
         std::size_t victim = 0;
         switch (policy_) {
@@ -200,6 +264,7 @@ class SetAssocCache
             if (set[i].stamp != 0 && set[i].key == key) {
                 set[i] = Entry{};
                 ++invalidations_;
+                ++generation_;
                 return true;
             }
         }
@@ -210,6 +275,7 @@ class SetAssocCache
     void
     invalidateAll()
     {
+        ++generation_;
         for (Entry &e : slots_) {
             if (e.stamp != 0) {
                 ++invalidations_;
@@ -299,6 +365,7 @@ class SetAssocCache
     ReplPolicy policy_;
     std::vector<Entry> slots_;
     std::uint64_t tick_ = 0;
+    std::uint64_t generation_ = 0;
     sim::Rng rng_;
 
     sim::Counter hits_;
@@ -339,6 +406,7 @@ template <typename Key, typename Value, typename SetHash>
 void
 SetAssocCache<Key, Value, SetHash>::restore(const Snapshot &s)
 {
+    ++generation_;
     slots_ = s.slots;
     tick_ = s.tick;
     rng_ = s.rng;

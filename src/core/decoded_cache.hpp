@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/invalidation_bus.hpp"
 #include "core/isa.hpp"
 #include "mem/word.hpp"
 #include "sim/logging.hpp"
@@ -36,7 +37,7 @@
 namespace com::core {
 
 /** Direct-mapped absolute-address -> decoded Instr memo. */
-class DecodedCache
+class DecodedCache : public CodeInvalidationListener
 {
   public:
     /** @param lines power-of-two number of direct-mapped lines */
@@ -99,6 +100,12 @@ class DecodedCache
         misses_ = 0;
         generations_ = 0;
     }
+
+    // CodeInvalidationListener: the bus events map one-to-one onto
+    // the operations above.
+    void onCodeStore(mem::AbsAddr abs) override { invalidate(abs); }
+    void onCodeInvalidateAll() override { invalidateAll(); }
+    void onCodeReset() override { reset(); }
 
     /** Host-side probe hits (diagnostics; not a guest statistic). */
     std::uint64_t hits() const { return hits_; }

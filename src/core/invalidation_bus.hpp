@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared code-invalidation bus for host-side translation caches.
+ *
+ * Two consumers memoize work keyed on absolute code addresses: the
+ * decoded-instruction cache (PR 1) and the superblock cache. Both must
+ * drop state on exactly the same events, or a stale translation would
+ * diverge from the word-by-word interpreter:
+ *
+ *   - a guest store into a translated range (self-modifying code);
+ *   - a garbage collection (swept segments may be recycled onto fresh
+ *     objects, so absolute addresses no longer name the same words);
+ *   - Machine::reset() / restoreImage() (host caches are not part of
+ *     a machine image and restart empty).
+ *
+ * Rather than each store site in machine.cpp knowing every consumer,
+ * the machine publishes the event once here and subscribers fan it
+ * out. Subscribers are raw pointers owned elsewhere (the Machine owns
+ * both the bus and every consumer, so lifetimes are trivially nested).
+ */
+
+#ifndef COMSIM_CORE_INVALIDATION_BUS_HPP
+#define COMSIM_CORE_INVALIDATION_BUS_HPP
+
+#include <vector>
+
+#include "mem/word.hpp"
+
+namespace com::core {
+
+/** Subscriber interface for code-invalidation events. */
+class CodeInvalidationListener
+{
+  public:
+    virtual ~CodeInvalidationListener() = default;
+
+    /** A guest store hit the word at @p abs. */
+    virtual void onCodeStore(mem::AbsAddr abs) = 0;
+
+    /** A GC may have recycled absolute addresses: drop everything. */
+    virtual void onCodeInvalidateAll() = 0;
+
+    /** Machine reset / image restore: return to the empty state. */
+    virtual void onCodeReset() = 0;
+};
+
+/** Fan-out point for the three invalidation events. */
+class CodeInvalidationBus
+{
+  public:
+    /** Register @p l (not owned); no unsubscribe — lifetimes nest. */
+    void subscribe(CodeInvalidationListener *l)
+    {
+        listeners_.push_back(l);
+    }
+
+    /** Publish a guest store into the word at @p abs. */
+    void
+    store(mem::AbsAddr abs)
+    {
+        for (CodeInvalidationListener *l : listeners_)
+            l->onCodeStore(abs);
+    }
+
+    /** Publish a whole-space invalidation (garbage collection). */
+    void
+    invalidateAll()
+    {
+        for (CodeInvalidationListener *l : listeners_)
+            l->onCodeInvalidateAll();
+    }
+
+    /** Publish a machine reset / image restore. */
+    void
+    reset()
+    {
+        for (CodeInvalidationListener *l : listeners_)
+            l->onCodeReset();
+    }
+
+  private:
+    std::vector<CodeInvalidationListener *> listeners_;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_INVALIDATION_BUS_HPP

@@ -23,6 +23,10 @@ constexpr ClassId kPtrCls = static_cast<ClassId>(Tag::ObjectPtr);
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg), decoded_(cfg.decodedCacheLines)
 {
+    // Both host-side translation caches drop state on the same guest
+    // events; the bus is the single point publishing them.
+    codeBus_.subscribe(&decoded_);
+    codeBus_.subscribe(&superblocks_);
     space_ = std::make_unique<mem::AbsoluteSpace>(0, cfg.absSpaceOrder);
     init();
 }
@@ -124,7 +128,9 @@ Machine::reset()
     classes_ = obj::ClassTable();
     selectors_ = obj::SelectorTable();
     pipeline_.reset();
-    decoded_.reset();
+    codeBus_.reset();
+    superblocks_.reclaim();
+    hotpath_.clear();
 
     opcodeOf_.clear();
     nextUserOp_ = static_cast<std::uint8_t>(Op::kFirstUserOp);
@@ -222,9 +228,12 @@ Machine::restoreImage(const Image &img)
     hierarchy_->restore(img.hierarchy);
     gc_->restore(img.gc);
     pipeline_.restore(img.pipeline);
-    // The decoded memo is a host-side accelerator, not guest state;
-    // it is not captured, so start it empty and let it repopulate.
-    decoded_.reset();
+    // The decoded memo and superblock store are host-side
+    // accelerators, not guest state; they are not captured, so start
+    // them empty and let them repopulate.
+    codeBus_.reset();
+    superblocks_.reclaim();
+    hotpath_.clear();
 
     cp_ = img.cp;
     ncp_ = img.ncp;
@@ -402,8 +411,33 @@ Machine::run(std::uint64_t max_instructions)
     std::uint64_t start_instrs = pipeline_.instructions();
     std::uint64_t executed = 0;
 
+    // Superblocks are entered (and promoted) only at straight-line
+    // entry points: the first instruction of the run and every
+    // control-transfer target. The loop top is the translation safe
+    // point — no block is mid-execution here, so retired blocks can
+    // be freed.
+    bool at_entry = true;
+
     while (executed < max_instructions) {
-        GuestFault f = step();
+        GuestFault f;
+        if (cfg_.enableSuperblocks && at_entry && superblockEligible()) {
+            superblocks_.reclaim();
+            SuperBlock *sb = superblocks_.find(ipAbs_);
+            // A shorter method descriptor can alias a previously
+            // translated entry (same entry word, tighter ipLimitAbs_);
+            // the block's tail would run past this method's end, so
+            // interpret instead — step() raises the fetch fault.
+            if (sb && sb->entryAbs + sb->len() > ipLimitAbs_)
+                sb = nullptr;
+            else if (!sb &&
+                     hotpath_.bump(ipAbs_) == cfg_.superblockThreshold)
+                sb = translateSuperblock();
+            f = sb ? runSuperblock(*sb, max_instructions - executed)
+                   : step();
+        } else {
+            f = step();
+        }
+        at_entry = controlTransferred_;
         executed = pipeline_.instructions() - start_instrs;
         if (finished_) {
             res.finished = true;
@@ -434,8 +468,15 @@ Machine::collectGarbage()
     // The cache may hold the freshest copies of live contexts.
     ctxCache_->flushAll();
     // Swept segments may be recycled onto fresh objects: memoized
-    // decodings keyed by absolute address would go stale.
-    decoded_.invalidateAll();
+    // decodings and superblocks keyed by absolute address would go
+    // stale. (A GC can fire mid-superblock — via a call's context
+    // allocation or the guest 'collect' routine — so retired blocks
+    // stay on the graveyard until the run loop's safe point.)
+    codeBus_.invalidateAll();
+    // Promotion fires on counter == threshold exactly; counters
+    // already past it would never re-promote the blocks the
+    // invalidation just retired, so restart the count.
+    hotpath_.clear();
     return gc_->collect();
 }
 
@@ -678,6 +719,27 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
     cache::ItlbKey key;
     ClassId receiver_cls;
     obj::SelectorId sel;
+    buildDispatchKey(instr, a, b, c, key, receiver_cls, sel);
+
+    const cache::MethodEntry *hit = itlb_->lookup(key);
+    cache::MethodEntry filled;
+    if (!hit) {
+        GuestFault miss = GuestFault::None;
+        hit = resolveItlbMiss(key, instr, receiver_cls, sel, filled,
+                              miss);
+        if (!hit)
+            return miss;
+    }
+    return executeResolved(instr, a, b, c, *hit);
+}
+
+void
+Machine::buildDispatchKey(const Instr &instr, const OperandVal &a,
+                          const OperandVal &b, const OperandVal &c,
+                          cache::ItlbKey &key,
+                          mem::ClassId &receiver_cls,
+                          obj::SelectorId &sel) const
+{
     if (instr.extended) {
         key.opcode = extendedOpKey(instr.extSelector);
         key.classB = instr.implicitCount >= 1 ? b.cls : 0;
@@ -693,50 +755,57 @@ Machine::dispatch(const Instr &instr, const OperandVal &a,
         receiver_cls = spec.useB ? b.cls : key.classA;
         sel = selectorOfOp_[static_cast<std::uint8_t>(instr.op)];
     }
+}
 
-    const cache::MethodEntry *hit = itlb_->lookup(key);
-    cache::MethodEntry filled;
-    if (!hit) {
-        // ITLB miss: pull the instruction descriptor in via the
-        // standard method lookup (the step that always occurs in a
-        // Smalltalk execution).
-        pipeline_.stallItlbMiss(itlb_->missPenalty());
-        bool resolved = false;
-        // The message dictionary is consulted first so a class may
-        // override a primitive token ("smooth extensibility": the
-        // same opcode may reference microcode, a user procedure or a
-        // system routine — Section 2.1).
-        if (sel != obj::SelectorTable::kNotFound) {
-            obj::MethodRegistry::LookupResult lr =
-                methods_->lookup(receiver_cls, sel);
-            if (lr.entry) {
-                filled = *lr.entry;
-                resolved = true;
-            }
-        }
-        if (!resolved && !instr.extended &&
-            isPrimitiveToken(instr.op) &&
-            primitiveApplicable(instr.op, key.classA, key.classB,
-                                key.classC)) {
-            filled.primitive = true;
-            filled.functionUnit = static_cast<std::uint32_t>(instr.op);
-            filled.argWords = 0;
+const cache::MethodEntry *
+Machine::resolveItlbMiss(const cache::ItlbKey &key, const Instr &instr,
+                         mem::ClassId receiver_cls, obj::SelectorId sel,
+                         cache::MethodEntry &filled, GuestFault &fault)
+{
+    // ITLB miss: pull the instruction descriptor in via the
+    // standard method lookup (the step that always occurs in a
+    // Smalltalk execution).
+    pipeline_.stallItlbMiss(itlb_->missPenalty());
+    bool resolved = false;
+    // The message dictionary is consulted first so a class may
+    // override a primitive token ("smooth extensibility": the
+    // same opcode may reference microcode, a user procedure or a
+    // system routine — Section 2.1).
+    if (sel != obj::SelectorTable::kNotFound) {
+        obj::MethodRegistry::LookupResult lr =
+            methods_->lookup(receiver_cls, sel);
+        if (lr.entry) {
+            filled = *lr.entry;
             resolved = true;
         }
-        if (!resolved) {
-            faultDetail_ = sim::format(
-                "selector '%s' not understood by class %u",
-                sel != obj::SelectorTable::kNotFound
-                    ? selectors_.name(sel).c_str()
-                    : (instr.extended ? "?" : opName(instr.op)),
-                static_cast<unsigned>(receiver_cls));
-            return GuestFault::DoesNotUnderstand;
-        }
-        itlb_->fill(key, filled);
-        hit = &filled;
     }
-    const cache::MethodEntry &entry = *hit;
+    if (!resolved && !instr.extended && isPrimitiveToken(instr.op) &&
+        primitiveApplicable(instr.op, key.classA, key.classB,
+                            key.classC)) {
+        filled.primitive = true;
+        filled.functionUnit = static_cast<std::uint32_t>(instr.op);
+        filled.argWords = 0;
+        resolved = true;
+    }
+    if (!resolved) {
+        faultDetail_ = sim::format(
+            "selector '%s' not understood by class %u",
+            sel != obj::SelectorTable::kNotFound
+                ? selectors_.name(sel).c_str()
+                : (instr.extended ? "?" : opName(instr.op)),
+            static_cast<unsigned>(receiver_cls));
+        fault = GuestFault::DoesNotUnderstand;
+        return nullptr;
+    }
+    itlb_->fill(key, filled);
+    return &filled;
+}
 
+GuestFault
+Machine::executeResolved(const Instr &instr, const OperandVal &a,
+                         const OperandVal &b, const OperandVal &c,
+                         const cache::MethodEntry &entry)
+{
     // Step 4: primitive methods set up hardware data paths; host
     // routines run as firmware; defined methods trigger the call
     // sequence of Section 3.6.
@@ -1016,6 +1085,13 @@ Machine::dataAccess(const Instr &instr, OperandVal &a,
                 static_cast<std::uint32_t>(base)));
         sim::panicIf(attempt > 2, "growth trap did not converge");
     }
+    return dataAccessResolved(instr, a, r, is_put);
+}
+
+GuestFault
+Machine::dataAccessResolved(const Instr &instr, OperandVal &a,
+                            const mem::XlateResult &r, bool is_put)
+{
     switch (r.status) {
       case XlateStatus::Ok:
         break;
@@ -1059,7 +1135,7 @@ Machine::dataAccess(const Instr &instr, OperandVal &a,
     countDataRef(false);
     if (is_put) {
         memory_.write(r.abs, a.w);
-        decoded_.invalidate(r.abs); // self-modifying code stays exact
+        codeBus_.store(r.abs); // self-modifying code stays exact
         if (a.w.isPointer() && contexts_->isAllocated(a.w.asPointer()))
             markEscaped(a.w.asPointer());
     } else {
@@ -1175,7 +1251,7 @@ Machine::indexedStore(mem::Word base, std::int32_t index,
         mem::AccessResult ar = hierarchy_->access(r.abs, true);
         pipeline_.stallMemory(ar.latency);
         memory_.write(r.abs, value);
-        decoded_.invalidate(r.abs); // self-modifying code stays exact
+        codeBus_.store(r.abs); // self-modifying code stays exact
         countDataRef(false);
     }
     if (value.isPointer() && contexts_->isAllocated(value.asPointer()))
@@ -1300,7 +1376,7 @@ Machine::writeThroughPointer(mem::Word pointer, mem::Word value)
         mem::AccessResult ar = hierarchy_->access(r.abs, true);
         pipeline_.stallMemory(ar.latency);
         memory_.write(r.abs, value);
-        decoded_.invalidate(r.abs); // self-modifying code stays exact
+        codeBus_.store(r.abs); // self-modifying code stays exact
         countDataRef(false);
     }
     if (value.isPointer() && contexts_->isAllocated(value.asPointer()))

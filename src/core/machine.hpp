@@ -42,9 +42,11 @@
 #include "cache/set_assoc.hpp"
 #include "core/constant_table.hpp"
 #include "core/decoded_cache.hpp"
+#include "core/invalidation_bus.hpp"
 #include "core/isa.hpp"
 #include "core/pipeline.hpp"
 #include "core/primitives.hpp"
+#include "core/superblock.hpp"
 #include "mem/absolute_space.hpp"
 #include "mem/hierarchy.hpp"
 #include "mem/segment_table.hpp"
@@ -55,6 +57,7 @@
 #include "obj/method_dictionary.hpp"
 #include "obj/object_heap.hpp"
 #include "obj/selector_table.hpp"
+#include "trace/hotpath.hpp"
 
 namespace com::core {
 
@@ -85,6 +88,18 @@ struct MachineConfig
      */
     bool enableDecodedCache = true;
     std::size_t decodedCacheLines = 8192; ///< power of two
+    /**
+     * Translate hot straight-line sequences into superblock threaded
+     * code (host throughput only; guest cycles and every cache
+     * statistic are bit-identical either way — the timing-parity suite
+     * runs on, off and toggled mid-run). Off interprets one step() at
+     * a time.
+     */
+    bool enableSuperblocks = true;
+    /** Entry-point executions before a sequence is promoted. */
+    std::uint32_t superblockThreshold = 16;
+    /** Longest straight-line sequence translated into one block. */
+    std::uint32_t superblockMaxLen = 64;
     /** Hierarchy levels; empty selects a default single main memory. */
     std::vector<mem::LevelConfig> hierarchy;
 };
@@ -346,6 +361,22 @@ class Machine
     /** The host-side decoded-instruction memo (diagnostics/tests). */
     const DecodedCache &decodedCache() const { return decoded_; }
 
+    /** The host-side superblock store (diagnostics/tests). */
+    const SuperblockCache &superblockCache() const
+    {
+        return superblocks_;
+    }
+
+    /**
+     * Toggle superblock execution at run time (between run() calls).
+     * Existing translations are kept; they are simply not entered
+     * while disabled. Guest-invisible either way.
+     */
+    void setSuperblocksEnabled(bool on)
+    {
+        cfg_.enableSuperblocks = on;
+    }
+
     // ------------------------------------------------------------------
     // Reference classification (T-ctx experiment)
     // ------------------------------------------------------------------
@@ -434,6 +465,48 @@ class Machine
     /** Dispatch through the ITLB; may run the call sequence. */
     GuestFault dispatch(const Instr &instr, const OperandVal &a,
                         const OperandVal &b, const OperandVal &c);
+    /** Build the ITLB key + receiver class + selector for dispatch. */
+    void buildDispatchKey(const Instr &instr, const OperandVal &a,
+                          const OperandVal &b, const OperandVal &c,
+                          cache::ItlbKey &key,
+                          mem::ClassId &receiver_cls,
+                          obj::SelectorId &sel) const;
+    /**
+     * The ITLB miss path: stall, method-dictionary lookup, primitive
+     * fallback, fill. @return &filled, or nullptr with @p fault set
+     * (DoesNotUnderstand).
+     */
+    const cache::MethodEntry *resolveItlbMiss(
+        const cache::ItlbKey &key, const Instr &instr,
+        mem::ClassId receiver_cls, obj::SelectorId sel,
+        cache::MethodEntry &filled, GuestFault &fault);
+    /** Steps 4-5 for a resolved method entry (shared with blocks). */
+    GuestFault executeResolved(const Instr &instr, const OperandVal &a,
+                               const OperandVal &b, const OperandVal &c,
+                               const cache::MethodEntry &entry);
+    /**
+     * Translate the straight-line sequence at the current IP into a
+     * superblock. @return the installed block, or nullptr when the
+     * location is not translatable (context-area code, immediate
+     * extended send, untagged word).
+     */
+    SuperBlock *translateSuperblock();
+    /** Record a bound resolution's execution shape on @p si. */
+    static void bindSpecialize(SuperInstr &si,
+                               const cache::MethodEntry &entry);
+    /**
+     * Execute @p sb from its entry (which must equal ipAbs_) for at
+     * most @p budget instructions, folding commutative pipeline
+     * counters at exit. Bit-identical to step()-ing the same
+     * instructions. @return the fault that stopped the block, or None.
+     */
+    GuestFault runSuperblock(SuperBlock &sb, std::uint64_t budget);
+    /** May the run loop enter/translate superblocks right now? */
+    bool superblockEligible() const
+    {
+        return !traceSink_ && !recordMnemonics_ &&
+               ctxCache_->maintainIdle() && ipAbs_ != 0;
+    }
     /** The Section 3.6 method call sequence. */
     GuestFault performCall(std::uint64_t method_vaddr,
                            unsigned operand_words, const Instr &instr,
@@ -446,6 +519,17 @@ class Machine
     /** at: / at:put: through the full translation + hierarchy path. */
     GuestFault dataAccess(const Instr &instr, OperandVal &a,
                           const OperandVal &b, const OperandVal &c);
+    /** The post-translation half of dataAccess (shared with blocks). */
+    GuestFault dataAccessResolved(const Instr &instr, OperandVal &a,
+                                  const mem::XlateResult &r,
+                                  bool is_put);
+    /** classOfWord with a bound ATLB slot for the pointer probe. */
+    mem::ClassId classOfWordBound(const mem::Word &w, AtlbBind &bind);
+    /** readOperand with a bound ATLB slot for the class probe. */
+    void readOperandBound(const Operand &o, OperandVal &out,
+                          AtlbBind &bind);
+    /** setIp that records a jump-target binding on @p si. */
+    GuestFault setIpBind(std::uint64_t vaddr, SuperInstr &si);
 
     /** Allocate and register a fresh next context. */
     GuestFault allocNextContext();
@@ -478,6 +562,13 @@ class Machine
     std::unique_ptr<obj::GarbageCollector> gc_;
     Pipeline pipeline_;
     DecodedCache decoded_;
+
+    // Superblock threaded code: the shared invalidation bus (decoded
+    // cache + superblock cache subscribe), the promoted-block store
+    // and the entry-point profiler that feeds promotion.
+    CodeInvalidationBus codeBus_;
+    SuperblockCache superblocks_;
+    trace::HotPathProfiler hotpath_;
 
     // Registers.
     std::uint64_t cp_ = 0;

@@ -60,6 +60,20 @@ class Pipeline
             recordMnemonic(mnemonic);
     }
 
+    /**
+     * Charge the base cost of @p n issued instructions in one update
+     * (the superblock runner folds its per-instruction issues into a
+     * single call at block exit). Identical totals to @p n issue()
+     * calls with no mnemonic: the two counters are commutative with
+     * every stall charge interleaved between them.
+     */
+    void
+    issueFolded(std::uint64_t n)
+    {
+        instrs_ += n;
+        cycles_ += 2 * n;
+    }
+
     // The charge/stall helpers below are one or two counter bumps
     // each, issued from the interpreter's per-instruction path, so all
     // are defined inline.

@@ -1,0 +1,756 @@
+/**
+ * @file
+ * Superblock translation and the threaded-code runner.
+ *
+ * Split from machine.cpp: these are the only Machine methods that
+ * execute guest instructions without going through fetch()/step(), and
+ * keeping them in one file makes the bit-identity argument local. The
+ * contract, checked by tests/test_timing_parity.cpp across on/off and
+ * toggled-mid-run configurations:
+ *
+ *   For every instruction a superblock executes, every guest-visible
+ *   probe and charge happens exactly as step() would have done it, in
+ *   the same order — the icache lookup (a pre-bound rehit is
+ *   stamp-for-stamp a lookup hit; misses fill and stall identically),
+ *   the operand reads with their context-cache touches and ATLB class
+ *   probes (constant-mode operands holding non-pointer words are the
+ *   exception: their read has no guest-visible effect at all, so it is
+ *   done once at translation), the ITLB lookup (rehit again), and the
+ *   primitive/call/return effects — except the two commutative
+ *   pipeline counters of issue(), folded into one issueFolded() at
+ *   block exit.
+ *
+ * Execution threads through per-shape handlers (computed goto where
+ * the compiler supports it): when a superinstruction's ITLB binding is
+ * first made, the bound entry's shape — value primitive, conditional
+ * jump, data access, result write, defined-method call — is recorded,
+ * and later executions jump straight to the matching handler after
+ * revalidating the binding with two integer compares, skipping the
+ * interpreter's dispatch chain entirely.
+ *
+ * Everything surprising side-exits after the current instruction with
+ * the fold applied, leaving the machine mid-method exactly where the
+ * interpreter would be; run() then continues with plain step()s.
+ */
+
+#include "core/machine.hpp"
+
+#include "mem/fp_address.hpp"
+
+namespace com::core {
+
+using mem::FpAddress;
+using mem::Word;
+
+SuperBlock *
+Machine::translateSuperblock()
+{
+    // Context-area words can be rewritten through the context cache
+    // without touching backing memory; the invalidation bus could not
+    // observe that, so context code is never translated (the decoded
+    // cache applies the same exclusion).
+    if (ipAbs_ == 0 || ipAbs_ >= ipLimitAbs_ ||
+        contexts_->containsAbs(ipAbs_))
+        return nullptr;
+
+    auto block = std::make_unique<SuperBlock>();
+    block->entryAbs = ipAbs_;
+    mem::AbsAddr limit = ipLimitAbs_;
+    if (limit - ipAbs_ > cfg_.superblockMaxLen)
+        limit = ipAbs_ + cfg_.superblockMaxLen;
+
+    // Precompute a constant-mode operand when the table already holds
+    // a non-pointer word at its index: the runtime read would have no
+    // guest-visible effect (no context-cache touch, no ATLB probe —
+    // the class of a non-pointer is a pure function of the word), and
+    // the table is append-only while this block can live — images are
+    // restored only through the invalidation bus's reset. Words not
+    // yet interned, and pointer constants (whose class comes from a
+    // guest-visible ATLB translation), stay on the runtime path.
+    auto preconst = [this](const Operand &o, bool &flag, Word &w,
+                           mem::ClassId &cls) {
+        if (o.mode != Mode::Const || o.index >= constants_->size())
+            return;
+        Word v = constants_->at(o.index);
+        if (v.isPointer())
+            return;
+        flag = true;
+        w = v;
+        cls = v.primitiveClass();
+    };
+
+    for (mem::AbsAddr abs = ipAbs_; abs < limit; ++abs) {
+        Word w = memory_.peek(abs);
+        if (!w.isInstruction())
+            break; // the interpreter's ExecuteData path handles it
+        SuperInstr si;
+        si.instr = Instr::decode(w.bits());
+        if (si.instr.extended) {
+            // Zero-operand sends read their receiver/argument from
+            // next-context slots at execution time; only the dispatch
+            // key's class usage is fixed here (it gates the binding
+            // guard exactly as buildDispatchKey zeroes unused
+            // classes).
+            si.exec = SuperExec::ExtSend;
+            si.useB = si.instr.implicitCount >= 1;
+            si.useC = si.instr.implicitCount >= 2;
+            block->code.push_back(si);
+            continue;
+        }
+        if (si.instr.op == Op::Nop || si.instr.op == Op::Halt ||
+            si.instr.op == Op::Movea) {
+            si.exec = SuperExec::Bypass;
+        } else {
+            si.exec = SuperExec::Generic;
+            const OpTraits &traits = opTraits(si.instr.op);
+            si.readsA = traits.readsA;
+            si.readsSources = traits.readsSources;
+            si.useA = traits.spec.useA;
+            si.useB = traits.spec.useB;
+            si.useC = traits.spec.useC;
+            if (si.readsA)
+                preconst(si.instr.a, si.constA, si.preA, si.preAcls);
+            if (si.readsSources) {
+                preconst(si.instr.b, si.constB, si.preB, si.preBcls);
+                preconst(si.instr.c, si.constC, si.preC, si.preCcls);
+            }
+        }
+        bool ends = si.instr.ret; // returns always transfer control
+        block->code.push_back(si);
+        if (ends)
+            break;
+    }
+    if (block->code.empty())
+        return nullptr;
+    return superblocks_.insert(std::move(block));
+}
+
+/**
+ * Record the execution shape of a freshly bound ITLB resolution so
+ * later guarded executions thread straight to the specialized handler.
+ */
+void
+Machine::bindSpecialize(SuperInstr &si, const cache::MethodEntry &entry)
+{
+    if (si.instr.extended)
+        return; // ExtSend keeps its context-staged operand path
+    if (!entry.primitive) {
+        si.exec = SuperExec::Call;
+        si.methodVaddr = entry.methodVaddr;
+        si.argWords = entry.argWords;
+        return;
+    }
+    if (entry.functionUnit >= kHostBase) {
+        si.exec = SuperExec::Generic; // host routines can do anything
+        return;
+    }
+    Op fu = static_cast<Op>(entry.functionUnit);
+    si.fu = fu;
+    if (isValuePrimitive(fu)) {
+        switch (fu) {
+          case Op::Move:
+            si.exec = SuperExec::ValueMove;
+            break;
+          case Op::Add:
+            si.exec = SuperExec::ValueAdd;
+            break;
+          case Op::Mul:
+            si.exec = SuperExec::ValueMul;
+            break;
+          case Op::Lt:
+            si.exec = SuperExec::ValueLt;
+            break;
+          case Op::Eq:
+            si.exec = SuperExec::ValueEq;
+            break;
+          default:
+            si.exec = SuperExec::Value;
+            break;
+        }
+    } else if (fu == Op::Fjmp || fu == Op::Rjmp || fu == Op::FjmpF ||
+             fu == Op::RjmpF)
+        si.exec = SuperExec::Jump;
+    else if (fu == Op::At || fu == Op::AtPut)
+        si.exec = SuperExec::Data;
+    else if (fu == Op::PutRes)
+        si.exec = SuperExec::PutRes;
+    else
+        si.exec = SuperExec::Generic;
+}
+
+/**
+ * classOfWord with the pointer case's ATLB lookup replayed through a
+ * bound slot when the vaddr repeats. Bit-identical: the replayed
+ * lookup registers exactly one hit, and the class it returns is the
+ * bound descriptor's — unchanged while the generation holds.
+ * Non-pointer words never consult the ATLB in either version.
+ */
+mem::ClassId
+Machine::classOfWordBound(const Word &w, AtlbBind &bind)
+{
+    if (!w.isPointer())
+        return w.primitiveClass();
+    if (bind.bound && bind.gen == atlb_->generation() &&
+        w.asPointer() == bind.ptr) {
+        // Same vaddr, unchanged descriptor: the zero-offset checks
+        // resolve as they did at bind time (Ok), so only the hit is
+        // registered and the class replayed.
+        atlb_->rehit(bind.slot);
+        return bind.cls;
+    }
+    std::uint64_t lat = 0;
+    void *slot = nullptr;
+    mem::XlateResult r = atlb_->translateBind(
+        *segments_, w.asPointer(), 0, false, &lat, &slot);
+    if (lat)
+        pipeline_.stallAtlbMiss(lat);
+    if (!r.ok()) {
+        // Dangling capability: raw pointer class (classOfWord).
+        bind.bound = false;
+        return static_cast<mem::ClassId>(mem::Tag::ObjectPtr);
+    }
+    bind.bound = slot != nullptr;
+    bind.slot = slot;
+    bind.gen = atlb_->generation();
+    bind.ptr = w.asPointer();
+    bind.cls = r.cls;
+    return r.cls;
+}
+
+/** readOperand with the class probe bound (classOfWordBound). */
+void
+Machine::readOperandBound(const Operand &o, OperandVal &out,
+                          AtlbBind &bind)
+{
+    switch (o.mode) {
+      case Mode::Const:
+        out.w = constants_->at(o.index);
+        break;
+      case Mode::CtxCur:
+        out.w = ctxCache_->read(cache::CtxVia::Current, o.index);
+        countDataRef(true);
+        break;
+      case Mode::CtxNext:
+        out.w = ctxCache_->read(cache::CtxVia::Next, o.index);
+        countDataRef(true);
+        break;
+    }
+    out.cls = classOfWordBound(out.w, bind);
+    out.valid = true;
+}
+
+/**
+ * setIp() that also records a target binding on @p si: while the ATLB
+ * generation holds and the target repeats, the Jump handler replays
+ * the translation (one registered hit) and the descriptor-derived
+ * bounds without the set hash, the way scan or the table find.
+ */
+GuestFault
+Machine::setIpBind(std::uint64_t vaddr, SuperInstr &si)
+{
+    std::uint64_t lat = 0;
+    void *slot = nullptr;
+    mem::XlateResult r =
+        atlb_->translateBind(*segments_, vaddr, 0, false, &lat, &slot);
+    if (lat)
+        pipeline_.stallAtlbMiss(lat);
+    if (!r.ok()) {
+        faultDetail_ = "control transfer to unmapped address";
+        si.jt.bound = false;
+        return GuestFault::BadJump;
+    }
+    const mem::SegmentDescriptor *d = segments_->findDescriptor(
+        FpAddress::segKey(cfg_.addrFormat, vaddr));
+    sim::panicIf(!d, "descriptor vanished during setIp");
+    ip_ = vaddr;
+    ipAbs_ = r.abs;
+    ipLimitAbs_ = d->base + d->length;
+    controlTransferred_ = true;
+    si.jt.bound = slot != nullptr;
+    si.jt.slot = slot;
+    si.jt.gen = atlb_->generation();
+    si.jt.ptr = vaddr;
+    si.jtAbs = r.abs;
+    si.jtLimit = ipLimitAbs_;
+    return GuestFault::None;
+}
+
+GuestFault
+Machine::runSuperblock(SuperBlock &sb, std::uint64_t budget)
+{
+    sim::panicIf(ipAbs_ != sb.entryAbs,
+                 "superblock entered away from its entry");
+
+    SuperBlock *cur = &sb;
+    std::uint64_t epoch0 = superblocks_.epoch();
+    std::uint32_t n = cur->len();
+    std::uint32_t i = 0;
+    std::uint64_t folded = 0;
+    GuestFault f = GuestFault::None;
+
+    // Threaded dispatch over the per-superinstruction execution
+    // shapes: computed goto where the compiler supports it, an
+    // equivalent switch chain otherwise. Order must match SuperExec.
+#if defined(__GNUC__) || defined(__clang__)
+#define COMSIM_THREADED_DISPATCH 1
+    static const void *const kExecTable[] = {
+        &&do_bypass, &&do_generic, &&do_value,  &&do_jump,
+        &&do_data,   &&do_putres,  &&do_call,   &&do_vmove,
+        &&do_vadd,   &&do_vmul,    &&do_vlt,    &&do_veq,
+        &&do_extsend,
+    };
+#endif
+
+    for (;;) {
+        // The executing block may have been retired under our feet (a
+        // store into its own range, a GC from a call's context
+        // allocation or a host routine): the memory stays alive on
+        // the graveyard until run()'s safe point, but the translation
+        // may be stale from the next instruction on.
+        if (superblocks_.epoch() != epoch0)
+            break;
+        if (folded >= budget)
+            break;
+        if (i >= n)
+            break; // fell off the end: straight-line continuation
+        SuperInstr &si = cur->code[i];
+        const Instr &instr = si.instr;
+
+        // fetch()-equivalent: the simulated icache probe (and miss
+        // fill + stall) is per-instruction and identical; the fetch
+        // address is fixed per superinstruction, so a bound slot is
+        // re-registered with a generation compare instead of a hash
+        // and a way scan.
+        if (si.icBound && si.icGen == icache_->generation()) {
+            icache_->rehit(si.icSlot);
+        } else {
+            void *ic_slot = nullptr;
+            if (icache_->lookupBind(ipAbs_, &ic_slot)) {
+                si.icBound = true;
+                si.icSlot = ic_slot;
+                si.icGen = icache_->generation();
+            } else {
+                si.icBound = false;
+                icache_->insert(ipAbs_, 0);
+                pipeline_.stallIcacheMiss(cfg_.icacheMissPenalty);
+            }
+        }
+
+        controlTransferred_ = false;
+        ++folded; // issue() folded at exit
+
+        // Step 2: operand reads, exactly as step() orders them —
+        // except precomputed non-pointer constants, whose read has no
+        // guest-visible effect.
+        OperandVal a, b, c;
+        if (si.readsA) {
+            if (si.constA) {
+                a.w = si.preA;
+                a.cls = si.preAcls;
+                a.valid = true;
+            } else {
+                readOperandBound(instr.a, a, si.clsA);
+            }
+        }
+        if (si.readsSources) {
+            if (si.constB) {
+                b.w = si.preB;
+                b.cls = si.preBcls;
+                b.valid = true;
+            } else {
+                readOperandBound(instr.b, b, si.clsB);
+            }
+            if (si.constC) {
+                c.w = si.preC;
+                c.cls = si.preCcls;
+                c.valid = true;
+            } else {
+                readOperandBound(instr.c, c, si.clsC);
+            }
+        }
+
+        // Step 3, guarded: the binding holds while the ITLB is
+        // structurally unchanged and the runtime operand classes
+        // equal the bound key's (the opcode is fixed, and unused
+        // class fields are zero on both sides). A passing guard makes
+        // the rehit below stamp-for-stamp identical to the full
+        // lookup hit it replaces.
+#define COMSIM_SB_GUARD()                                              \
+    (si.bound && si.gen == itlb_->generation() &&                      \
+     (!si.useA || a.cls == si.key.classA) &&                           \
+     (!si.useB || b.cls == si.key.classB) &&                           \
+     (!si.useC || c.cls == si.key.classC))
+
+#if COMSIM_THREADED_DISPATCH
+        goto *kExecTable[static_cast<std::uint8_t>(si.exec)];
+#else
+        switch (si.exec) {
+          case SuperExec::Bypass:
+            goto do_bypass;
+          case SuperExec::Generic:
+            goto do_generic;
+          case SuperExec::Value:
+            goto do_value;
+          case SuperExec::Jump:
+            goto do_jump;
+          case SuperExec::Data:
+            goto do_data;
+          case SuperExec::PutRes:
+            goto do_putres;
+          case SuperExec::Call:
+            goto do_call;
+          case SuperExec::ValueMove:
+            goto do_vmove;
+          case SuperExec::ValueAdd:
+            goto do_vadd;
+          case SuperExec::ValueMul:
+            goto do_vmul;
+          case SuperExec::ValueLt:
+            goto do_vlt;
+          case SuperExec::ValueEq:
+            goto do_veq;
+          case SuperExec::ExtSend:
+            goto do_extsend;
+        }
+#endif
+
+    do_bypass:
+        // nop/halt/movea: dispatch() short-circuits before the ITLB.
+        f = dispatch(instr, a, b, c);
+        goto post;
+
+    do_value:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        {
+            ValueResult vr =
+                evalValuePrimitive(si.fu, b.w, c.w, *constants_);
+            if (vr.fault != GuestFault::None) {
+                f = vr.fault;
+                goto post;
+            }
+            writeOperand(instr.a, vr.value);
+        }
+        goto post;
+
+        // Per-opcode value handlers. Integer operands take an inlined
+        // path computing exactly what evalValuePrimitive computes for
+        // two ints (wrapping 32-bit arithmetic; comparisons through
+        // double are exact for 32-bit ints, so the int compare is the
+        // same boolean); any other tags fall back to the shared
+        // routine. Neither path can fault except where noted.
+
+    do_vmove:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        writeOperand(instr.a, b.w); // Move: result is b, no fault
+        goto post;
+
+    do_vadd:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        if (b.w.isInt() && c.w.isInt()) {
+            writeOperand(
+                instr.a,
+                Word::fromInt(static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(b.w.asInt()) +
+                    static_cast<std::uint32_t>(c.w.asInt()))));
+        } else {
+            ValueResult vr =
+                evalValuePrimitive(Op::Add, b.w, c.w, *constants_);
+            writeOperand(instr.a, vr.value);
+        }
+        goto post;
+
+    do_vmul:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        if (b.w.isInt() && c.w.isInt()) {
+            writeOperand(
+                instr.a,
+                Word::fromInt(static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(b.w.asInt()) *
+                    static_cast<std::uint32_t>(c.w.asInt()))));
+        } else {
+            ValueResult vr =
+                evalValuePrimitive(Op::Mul, b.w, c.w, *constants_);
+            writeOperand(instr.a, vr.value);
+        }
+        goto post;
+
+    do_vlt:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        if (b.w.isInt() && c.w.isInt()) {
+            writeOperand(instr.a, constants_->boolWord(
+                                      b.w.asInt() < c.w.asInt()));
+        } else {
+            ValueResult vr =
+                evalValuePrimitive(Op::Lt, b.w, c.w, *constants_);
+            writeOperand(instr.a, vr.value);
+        }
+        goto post;
+
+    do_veq:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        if (b.w.isInt() && c.w.isInt()) {
+            writeOperand(instr.a, constants_->boolWord(
+                                      b.w.asInt() == c.w.asInt()));
+        } else {
+            ValueResult vr =
+                evalValuePrimitive(Op::Eq, b.w, c.w, *constants_);
+            writeOperand(instr.a, vr.value);
+        }
+        goto post;
+
+    do_jump:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        {
+            bool truthy;
+            if (a.w.isAtom()) {
+                truthy = a.w.asAtom() == constants_->trueAtom();
+            } else if (a.w.isInt()) {
+                truthy = a.w.asInt() != 0;
+            } else {
+                faultDetail_ = "jump condition has no truth value";
+                f = GuestFault::BadJump;
+                goto post;
+            }
+            bool want_true = si.fu == Op::Fjmp || si.fu == Op::Rjmp;
+            if (truthy != want_true)
+                goto post; // not taken
+            if (!c.w.isInt()) {
+                faultDetail_ = "jump offset must be an integer";
+                f = GuestFault::BadJump;
+                goto post;
+            }
+            std::int64_t off = c.w.asInt();
+            bool forward = si.fu == Op::Fjmp || si.fu == Op::FjmpF;
+            std::uint64_t target = FpAddress::addOffset(
+                cfg_.addrFormat, ip_, forward ? 1 + off : 1 - off);
+            pipeline_.chargeBranchDelay();
+            if (si.jt.bound && si.jt.gen == atlb_->generation() &&
+                target == si.jt.ptr) {
+                // Replay of setIp on the bound target: the zero-offset
+                // translation resolved Ok at bind time and the
+                // descriptor is unchanged, so register the hit and
+                // restore the recorded result.
+                atlb_->rehit(si.jt.slot);
+                ip_ = target;
+                ipAbs_ = si.jtAbs;
+                ipLimitAbs_ = si.jtLimit;
+                controlTransferred_ = true;
+                f = GuestFault::None;
+            } else {
+                f = setIpBind(target, si);
+            }
+        }
+        goto post;
+
+    do_data:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        {
+            // dataAccess with its first base translation optionally
+            // replayed through a bound ATLB slot (at:/at:put: on the
+            // same object repeats the segment); the offset-dependent
+            // checks run per call, and everything after translation
+            // is the shared dataAccessResolved tail.
+            OperandVal av = a;
+            bool is_put = instr.op == Op::AtPut;
+            std::int32_t idx = c.w.asInt();
+            if (idx < 0) {
+                faultDetail_ = "negative index";
+                f = GuestFault::Bounds;
+                goto post;
+            }
+            std::uint64_t base = b.w.asPointer();
+            mem::XlateResult r;
+            bool first = true;
+            for (int attempt = 0;; ++attempt) {
+                if (first && si.da.bound &&
+                    si.da.gen == atlb_->generation() &&
+                    base == si.da.ptr) {
+                    r = atlb_->translateBound(si.da.slot, *segments_,
+                                              base,
+                                              static_cast<std::uint64_t>(
+                                                  idx),
+                                              is_put);
+                } else {
+                    std::uint64_t lat = 0;
+                    void *slot = nullptr;
+                    r = atlb_->translateBind(
+                        *segments_, base,
+                        static_cast<std::uint64_t>(idx), is_put, &lat,
+                        &slot);
+                    if (first) {
+                        si.da.bound = slot != nullptr;
+                        si.da.slot = slot;
+                        si.da.gen = atlb_->generation();
+                        si.da.ptr = base;
+                    }
+                    if (lat)
+                        pipeline_.stallAtlbMiss(lat);
+                }
+                first = false;
+                if (r.status != mem::XlateStatus::GrowthTrap)
+                    break;
+                // Growth trap: retry with the replacement segment
+                // (the trap handler semantics of dataAccess).
+                pipeline_.chargeTrap(cfg_.growthTrapCost);
+                base = FpAddress::addOffset(cfg_.addrFormat, r.newVaddr,
+                                            -idx);
+                if (instr.b.mode != Mode::Const)
+                    writeOperand(instr.b,
+                                 Word::fromPointer(
+                                     static_cast<std::uint32_t>(base)));
+                sim::panicIf(attempt > 2,
+                             "growth trap did not converge");
+            }
+            f = dataAccessResolved(instr, av, r, is_put);
+        }
+        goto post;
+
+    do_putres:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        f = writeThroughPointer(a.w, b.w);
+        goto post;
+
+    do_call:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        itlb_->rehit(si.slot);
+        f = performCall(si.methodVaddr, si.argWords, instr, a, b, c);
+        goto post;
+
+    do_generic:
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        f = executeResolved(instr, a, b, c, *itlb_->rehit(si.slot));
+        goto post;
+
+    do_extsend:
+        // step()'s extended-send path: the receiver and argument were
+        // staged in the next context by the program, and their class
+        // probes replay through bound ATLB slots like ordinary
+        // operand reads. Dispatch stays generic — executeResolved
+        // handles host routines, primitives and defined methods the
+        // same way dispatch() would.
+        if (instr.implicitCount >= 1) {
+            b.w = ctxCache_->read(cache::CtxVia::Next,
+                                  obj::kCtxReceiver);
+            countDataRef(true);
+            b.cls = classOfWordBound(b.w, si.clsB);
+            b.valid = true;
+        }
+        if (instr.implicitCount >= 2) {
+            c.w = ctxCache_->read(cache::CtxVia::Next,
+                                  obj::kCtxFirstArg);
+            countDataRef(true);
+            c.cls = classOfWordBound(c.w, si.clsC);
+            c.valid = true;
+        }
+        sim::panicIf(instr.ret,
+                     "return bit on an extended send is not supported");
+        if (!COMSIM_SB_GUARD())
+            goto do_rebind;
+        f = executeResolved(instr, a, b, c, *itlb_->rehit(si.slot));
+        goto post;
+
+    do_rebind: {
+        // Guard failure (or never bound): the full lookup, identical
+        // to dispatch()'s step 3, re-binding and re-specializing on a
+        // hit. A miss resolves through the standard method lookup and
+        // fills the ITLB; the fill bumps the generation, so binding
+        // waits for the next execution's lookupBind.
+        cache::ItlbKey key;
+        mem::ClassId receiver_cls;
+        obj::SelectorId sel;
+        buildDispatchKey(instr, a, b, c, key, receiver_cls, sel);
+        void *slot = nullptr;
+        // Lives here, not in the miss branch below: resolveItlbMiss
+        // hands back &filled, which executeResolved still reads
+        // after that branch closes.
+        cache::MethodEntry filled;
+        const cache::MethodEntry *me = itlb_->lookupBind(key, &slot);
+        if (me) {
+            si.bound = true;
+            si.slot = slot;
+            si.gen = itlb_->generation();
+            si.key = key;
+            bindSpecialize(si, *me);
+        } else {
+            si.bound = false;
+            si.exec = SuperExec::Generic;
+            me = resolveItlbMiss(key, instr, receiver_cls, sel, filled,
+                                 f);
+            if (!me)
+                goto post; // DNU: f is set
+        }
+        f = executeResolved(instr, a, b, c, *me);
+        goto post;
+    }
+
+    post:
+        if (f != GuestFault::None)
+            break;
+        if (instr.ret && !finished_) {
+            bool fin = false;
+            f = performReturn(fin);
+            if (f != GuestFault::None)
+                break;
+            finished_ = fin;
+            if (finished_)
+                break;
+        }
+        if (controlTransferred_) {
+            // Chain: run() would re-enter a block at this transfer
+            // target on its very next iteration anyway (its maintain()
+            // in between is a no-op while the context cache is idle),
+            // so continue here and keep folding, skipping the
+            // per-entry loop overhead. A fresh find() result is live
+            // by construction, so the epoch watermark restarts. Any
+            // other condition run() would check — a block tail
+            // aliased past the current method's limit, context-cache
+            // pressure — side-exits as before.
+            SuperBlock *next = superblocks_.find(ipAbs_);
+            if (next && next->entryAbs + next->len() <= ipLimitAbs_ &&
+                ctxCache_->maintainIdle()) {
+                cur = next;
+                n = cur->len();
+                i = 0;
+                epoch0 = superblocks_.epoch();
+                continue;
+            }
+            break; // side exit: the transfer already set the IP
+        }
+        ip_ = FpAddress::addOffset(cfg_.addrFormat, ip_, 1);
+        ++ipAbs_;
+        // Batching is only exact while the per-instruction
+        // maintain() calls we skip are no-ops; an in-block context
+        // fault-in can end that, so hand back to the interpreter
+        // (run() performs this instruction's maintain() either way).
+        if (!ctxCache_->maintainIdle())
+            break;
+        ++i;
+    }
+
+    pipeline_.issueFolded(folded);
+    return f;
+#undef COMSIM_SB_GUARD
+#undef COMSIM_THREADED_DISPATCH
+}
+
+} // namespace com::core

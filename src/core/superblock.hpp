@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Superblock threaded code: hot straight-line guest sequences
+ * translated into pre-bound superinstruction chains.
+ *
+ * The decoded-instruction cache (PR 1) memoizes single decodings; a
+ * superblock is its compound form. Once the hot-path profiler
+ * (trace/hotpath.hpp) promotes an entry point, the machine translates
+ * the straight-line sequence from that point up to the first
+ * control-transfer candidate into a SuperBlock: operand decode and
+ * dispatch-kind classification happen once at translation time, and the
+ * ITLB resolution of each superinstruction is bound lazily to a cache
+ * slot that later executions revalidate with two compares instead of a
+ * hash and a way scan.
+ *
+ * Execution (Machine::runSuperblock, superblock.cpp) is bit-identical
+ * to interpreting the same instructions one step() at a time: every
+ * guest-visible probe (icache, ATLB, context cache) still happens per
+ * instruction in program order, ITLB hits are re-registered through
+ * the stamp-exact rehit path, and only the commutative pipeline
+ * counters (instructions, base cycles) are folded into one update at
+ * block exit. Any surprise — fault, taken branch, call, return,
+ * binding-guard failure, DNU, context-cache pressure, invalidation —
+ * side-exits to the interpreter with the partial stats already exact.
+ *
+ * Invalidation: superblocks die on exactly the decoded cache's events,
+ * delivered over the shared CodeInvalidationBus. Because a block spans
+ * a range of words, a store retires every block whose
+ * [entry, entry+len) contains the stored address. Retired blocks are
+ * kept on a graveyard until the run loop's next safe point so a block
+ * can invalidate itself mid-execution (a store into its own range)
+ * without freeing memory the runner is still reading; the runner
+ * checks the cache epoch before every superinstruction and side-exits
+ * when it moved.
+ */
+
+#ifndef COMSIM_CORE_SUPERBLOCK_HPP
+#define COMSIM_CORE_SUPERBLOCK_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/itlb.hpp"
+#include "core/invalidation_bus.hpp"
+#include "core/isa.hpp"
+#include "mem/word.hpp"
+#include "sim/logging.hpp"
+
+namespace com::core {
+
+/**
+ * How a superinstruction executes: Bypass is fixed at translation
+ * (non-message opcodes); everything else starts Generic and is
+ * specialized when its ITLB resolution is first bound — the bound
+ * entry determines the execution shape (value primitive, conditional
+ * jump, data access, result write, method call), and the runner
+ * threads directly to the matching handler while the binding guard
+ * holds. Host routines and rarer primitives stay Generic.
+ */
+enum class SuperExec : std::uint8_t
+{
+    Bypass,  ///< nop/halt/movea: no ITLB involvement
+    Generic, ///< unbound, or bound to an unspecialized resolution
+    Value,   ///< bound: value primitive `fu` (add, lt, ...)
+    Jump,    ///< bound: conditional jump primitive `fu`
+    Data,    ///< bound: at: / at:put: memory access
+    PutRes,  ///< bound: write-through result store
+    Call,    ///< bound: defined method (`methodVaddr`, `argWords`)
+
+    // The hottest value primitives get their own handlers: each calls
+    // evalValuePrimitive with a compile-time-constant opcode, so the
+    // optimizer folds the opcode switch away at the call site. The
+    // results are the same function, so they are identical bit for
+    // bit; everything else stays on the generic Value handler.
+    ValueMove, ///< bound: move
+    ValueAdd,  ///< bound: add
+    ValueMul,  ///< bound: mul
+    ValueLt,   ///< bound: lt
+    ValueEq,   ///< bound: eq
+
+    /**
+     * Extended (zero-operand) send: operands were staged in the next
+     * context by the preceding instructions, so there is nothing to
+     * pre-decode — the handler replicates step()'s extended path
+     * (context-staged reads, selector-keyed dispatch) with the class
+     * probes and the ITLB resolution bound like any other
+     * superinstruction. Always dispatches through executeResolved();
+     * never re-specialized (the staged reads precede any
+     * specialization's assumptions).
+     */
+    ExtSend,
+};
+
+/**
+ * A generation-guarded ATLB slot binding for one probe site whose
+ * pointer repeats across executions (an operand's class probe, a data
+ * access's base translation). While the ATLB's structural generation
+ * is unchanged and the runtime pointer equals the bound one, the probe
+ * is replayed as a rehit — statistics identical to the full lookup it
+ * replaces.
+ */
+struct AtlbBind
+{
+    void *slot = nullptr;
+    std::uint64_t gen = 0;
+    std::uint64_t ptr = 0; ///< bound pointer value (vaddr)
+    mem::ClassId cls = 0;  ///< descriptor class at bind time
+    bool bound = false;
+};
+
+/** One pre-decoded, pre-classified instruction of a superblock. */
+struct SuperInstr
+{
+    Instr instr; ///< decoded once at translation time
+    SuperExec exec = SuperExec::Generic;
+
+    // Translation-time operand facts: which operands the opcode reads
+    // (OpTraits), which classes enter the dispatch key (DispatchSpec),
+    // and — for constant-mode operands holding non-pointer words,
+    // whose read has no guest-visible side effect — the operand value
+    // and class, precomputed so execution skips the table read and
+    // tag inspection. Pointer constants stay on the runtime path:
+    // their class comes from a guest-visible ATLB probe.
+    bool readsA = false, readsSources = false;
+    bool useA = false, useB = false, useC = false;
+    bool constA = false, constB = false, constC = false;
+    mem::Word preA, preB, preC;
+    mem::ClassId preAcls = 0, preBcls = 0, preCcls = 0;
+
+    // Lazily bound ITLB resolution: valid while `gen` matches the
+    // ITLB's structural generation and the runtime operand classes
+    // equal the bound key's (the opcode is fixed per superinstruction,
+    // so comparing the class fields compares the whole key). A failed
+    // guard falls back to the full lookup (and rebinds); statistics
+    // are identical either way.
+    cache::ItlbKey key{};
+    void *slot = nullptr;
+    std::uint64_t gen = 0;
+    bool bound = false;
+
+    // Specialization payload captured from the bound MethodEntry.
+    Op fu = Op::Nop;               ///< Value / Jump
+    std::uint64_t methodVaddr = 0; ///< Call
+    std::uint32_t argWords = 0;    ///< Call
+
+    // Lazily bound instruction-cache slot for this superinstruction's
+    // (fixed) fetch address — the same generation-guarded rehit trick
+    // as the ITLB binding, for the per-instruction icache probe.
+    void *icSlot = nullptr;
+    std::uint64_t icGen = 0;
+    bool icBound = false;
+
+    // ATLB slot bindings: one per operand-class probe (pointer-valued
+    // operands repeat their vaddr across executions) and one for the
+    // data-access base translation (at:/at:put: on the same object).
+    AtlbBind clsA, clsB, clsC;
+    AtlbBind da;
+
+    // Taken-jump target binding: setIp() on a repeating target vaddr
+    // replays its translation (and the descriptor-derived bounds)
+    // while the ATLB generation holds.
+    AtlbBind jt;
+    mem::AbsAddr jtAbs = 0;   ///< bound ipAbs_ of the target
+    mem::AbsAddr jtLimit = 0; ///< bound ipLimitAbs_ of the target
+};
+
+/** A promoted straight-line sequence: entry PC to side-exit. */
+struct SuperBlock
+{
+    mem::AbsAddr entryAbs = 0;
+    std::vector<SuperInstr> code;
+
+    std::uint32_t len() const
+    {
+        return static_cast<std::uint32_t>(code.size());
+    }
+};
+
+/**
+ * The machine's superblock store: entry-address keyed, probed on every
+ * control-transfer target, invalidated over the shared bus.
+ */
+class SuperblockCache : public CodeInvalidationListener
+{
+  public:
+    /** @param index_slots power-of-two size of the O(1) probe index */
+    explicit SuperblockCache(std::size_t index_slots = 2048)
+        : index_(index_slots), mask_(index_slots - 1)
+    {
+        sim::fatalIf(index_slots == 0 ||
+                         (index_slots & (index_slots - 1)) != 0,
+                     "superblock index size must be a power of two, "
+                     "got ",
+                     index_slots);
+    }
+
+    /** O(1) probe for a block entered at @p abs; nullptr if none. */
+    SuperBlock *
+    find(mem::AbsAddr abs)
+    {
+        const IndexSlot &s =
+            index_[static_cast<std::size_t>(abs) & mask_];
+        return s.abs == abs ? s.block : nullptr;
+    }
+
+    /**
+     * Install @p block (replacing any block at the same entry).
+     * @return the raw pointer, valid until the next invalidation.
+     */
+    SuperBlock *
+    insert(std::unique_ptr<SuperBlock> block)
+    {
+        SuperBlock *raw = block.get();
+        if (raw->len() > maxLen_)
+            maxLen_ = raw->len();
+        if (raw->entryAbs < rangeLo_)
+            rangeLo_ = raw->entryAbs;
+        if (raw->entryAbs + raw->len() > rangeHi_)
+            rangeHi_ = raw->entryAbs + raw->len();
+        auto it = blocks_.find(raw->entryAbs);
+        if (it != blocks_.end())
+            retire(it);
+        blocks_.emplace(raw->entryAbs, std::move(block));
+        IndexSlot &s =
+            index_[static_cast<std::size_t>(raw->entryAbs) & mask_];
+        s.abs = raw->entryAbs;
+        s.block = raw;
+        return raw;
+    }
+
+    /**
+     * Monotone invalidation epoch: bumped whenever any block is
+     * retired. The runner snapshots it at block entry and side-exits
+     * if it moved — the executing block may be on the graveyard.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Free retired blocks. Only called from the run loop's safe point
+     * (no superblock mid-execution), never from bus callbacks, which
+     * may fire from inside a block that is invalidating itself.
+     */
+    void reclaim() { retired_.clear(); }
+
+    /** Live (non-retired) block count. */
+    std::size_t size() const { return blocks_.size(); }
+    /** Blocks retired by stores into their range (diagnostics). */
+    std::uint64_t storeInvalidations() const { return storeInvals_; }
+
+    // CodeInvalidationListener --------------------------------------
+
+    /** Retire every block whose translated range contains @p abs. */
+    void
+    onCodeStore(mem::AbsAddr abs) override
+    {
+        // Every guest store publishes here, and most stores land in
+        // data segments far from any translated code: reject those
+        // with the (monotone, conservative) live range before paying
+        // for the map walk.
+        if (abs < rangeLo_ || abs >= rangeHi_)
+            return;
+        if (blocks_.empty() || maxLen_ == 0)
+            return;
+        // Straight-line blocks: only entries within maxLen_ words at
+        // or below abs can reach it (interval stabbing on the sorted
+        // starts with a bounded length).
+        auto it = blocks_.upper_bound(abs);
+        while (it != blocks_.begin()) {
+            --it;
+            mem::AbsAddr entry = it->first;
+            if (abs - entry >= maxLen_)
+                break;
+            if (entry + it->second->len() > abs) {
+                ++storeInvals_;
+                it = retire(it);
+            }
+        }
+    }
+
+    void
+    onCodeInvalidateAll() override
+    {
+        retireAll();
+    }
+
+    void
+    onCodeReset() override
+    {
+        retireAll();
+        maxLen_ = 0;
+        storeInvals_ = 0;
+        rangeLo_ = kNoAbs;
+        rangeHi_ = 0;
+    }
+
+  private:
+    struct IndexSlot
+    {
+        mem::AbsAddr abs = kNoAbs;
+        SuperBlock *block = nullptr;
+    };
+
+    static constexpr mem::AbsAddr kNoAbs = ~0ull;
+
+    using BlockMap = std::map<mem::AbsAddr, std::unique_ptr<SuperBlock>>;
+
+    /** Move one block to the graveyard. @return the next iterator. */
+    BlockMap::iterator
+    retire(BlockMap::iterator it)
+    {
+        unindex(*it->second);
+        retired_.push_back(std::move(it->second));
+        ++epoch_;
+        return blocks_.erase(it);
+    }
+
+    void
+    retireAll()
+    {
+        for (auto it = blocks_.begin(); it != blocks_.end();)
+            it = retire(it);
+    }
+
+    void
+    unindex(const SuperBlock &b)
+    {
+        IndexSlot &s =
+            index_[static_cast<std::size_t>(b.entryAbs) & mask_];
+        if (s.abs == b.entryAbs) {
+            s.abs = kNoAbs;
+            s.block = nullptr;
+        }
+    }
+
+    BlockMap blocks_; ///< sorted by entry for range invalidation
+    std::vector<std::unique_ptr<SuperBlock>> retired_; ///< graveyard
+    std::vector<IndexSlot> index_;
+    std::size_t mask_;
+    std::uint32_t maxLen_ = 0; ///< longest block ever inserted
+    std::uint64_t epoch_ = 0;
+    std::uint64_t storeInvals_ = 0;
+    // Union of every live range ever inserted (never shrunk on
+    // retire: a stale superset only costs a map walk, never misses a
+    // block). Reset with the rest of the state on onCodeReset.
+    mem::AbsAddr rangeLo_ = kNoAbs;
+    mem::AbsAddr rangeHi_ = 0;
+};
+
+} // namespace com::core
+
+#endif // COMSIM_CORE_SUPERBLOCK_HPP

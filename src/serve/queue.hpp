@@ -22,6 +22,18 @@
  * Order::Fifo ignores priority and deadline entirely — the measured
  * baseline the EDF A/B compares against — and never displaces.
  *
+ * Aging (Edf only, off by default): strict priority order starves
+ * best-effort work under a sustained interactive load. With a nonzero
+ * aging window, a queued request that has waited longer than the
+ * window since submission is boosted once — re-keyed to the top
+ * priority class with its submission time as the deadline, so aged
+ * requests interleave with interactive ones in submission order and
+ * are no longer displacement victims. The boost changes only the
+ * queue key, never the request's own priority field (metrics and
+ * responses still report the class the client asked for). This bounds
+ * the wait of any admitted request by roughly the aging window plus
+ * the drain time of the interactive work submitted before it.
+ *
  * popBatch() is where batching starts: it takes the head and, under
  * the same lock, extracts every queued request with the same batch
  * key (engine kind + language + source text, see
@@ -37,8 +49,10 @@
 #ifndef COMSIM_SERVE_QUEUE_HPP
 #define COMSIM_SERVE_QUEUE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -76,15 +90,21 @@ class RequestQueue
      * @param order dequeue policy (see Order)
      * @param coalesce_scan batch-mate candidates examined past the
      *        head per pop (>= 1; bounds lock hold time)
+     * @param aging boost a request queued longer than this to the top
+     *        priority class (zero disables; Edf only)
      */
     explicit RequestQueue(std::size_t capacity,
                           Metrics *metrics = nullptr,
                           Order order = Order::Edf,
                           std::size_t coalesce_scan =
-                              kDefaultCoalesceScan)
+                              kDefaultCoalesceScan,
+                          std::chrono::nanoseconds aging =
+                              std::chrono::nanoseconds{0})
         : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics),
           order_(order),
-          coalesceScan_(coalesce_scan == 0 ? 1 : coalesce_scan)
+          coalesceScan_(coalesce_scan == 0 ? 1 : coalesce_scan),
+          aging_(order == Order::Edf ? aging
+                                     : std::chrono::nanoseconds{0})
     {
     }
 
@@ -182,6 +202,7 @@ class RequestQueue
                            [this] { return closed_ || !q_.empty(); });
             if (q_.empty())
                 return batch; // closed and drained
+            boostAgedLocked();
             batch.push_back(std::move(q_.begin()->second));
             q_.erase(q_.begin());
             std::size_t scanned = 0;
@@ -269,6 +290,13 @@ class RequestQueue
             key.priority = static_cast<std::uint8_t>(req.priority);
             key.deadline = req.deadline;
         }
+        // Aging watches non-top-priority entries. The boost scan
+        // walks the watch list front to back and stops at the first
+        // non-aged record, which is only a valid early-out because
+        // submission times are non-decreasing in insertion order
+        // (the scheduler stamps them at submit time).
+        if (aging_ > std::chrono::nanoseconds{0} && key.priority != 0)
+            aged_.push_back(AgeRecord{key, req.submitted});
         q_.emplace(key, std::move(req));
     }
 
@@ -279,14 +307,57 @@ class RequestQueue
             metrics_->countEnqueued();
     }
 
+    /**
+     * Re-key every watched request that has waited past the aging
+     * window into the top priority class with its submission time as
+     * the deadline. Boosted entries leave the watch list (the boost
+     * happens at most once) and are no longer displacement victims.
+     * Records whose request already left the queue (popped, coalesced
+     * into a batch, or displaced) just fall off the watch list; the
+     * scan stops at the first non-aged record (see insertLocked).
+     */
+    void
+    boostAgedLocked()
+    {
+        if (aging_ <= std::chrono::nanoseconds{0} || aged_.empty())
+            return;
+        Clock::time_point now = Clock::now();
+        while (!aged_.empty()) {
+            const AgeRecord &rec = aged_.front();
+            if (now - rec.submitted < aging_)
+                break;
+            auto it = q_.find(rec.key);
+            if (it != q_.end()) {
+                OrderKey boosted;
+                boosted.priority = 0;
+                boosted.deadline = rec.submitted;
+                boosted.seq = rec.key.seq;
+                ServeRequest req = std::move(it->second);
+                q_.erase(it);
+                q_.emplace(boosted, std::move(req));
+            }
+            aged_.pop_front();
+        }
+    }
+
+    /** One aging watch: where the request was keyed at insert, and
+     *  when its wait began. */
+    struct AgeRecord
+    {
+        OrderKey key;
+        Clock::time_point submitted{};
+    };
+
     const std::size_t capacity_;
     Metrics *metrics_;
     const Order order_;
     const std::size_t coalesceScan_;
+    const std::chrono::nanoseconds aging_;
     mutable std::mutex mu_;
     std::condition_variable notEmpty_;
     std::condition_variable notFull_;
     std::map<OrderKey, ServeRequest> q_;
+    std::deque<AgeRecord> aged_;
     std::uint64_t nextSeq_ = 0;
     bool closed_ = false;
 };

@@ -75,7 +75,8 @@ Scheduler::Scheduler(const Config &cfg)
         shards_.push_back(std::make_unique<Shard>(
             cfg.queueCapacity, pool_cfg, &metrics_,
             cfg.flightRecorderCapacity, epoch, cfg.slowThreshold,
-            cfg.queueOrder, cfg.coalesceScan, maxBatch_));
+            cfg.queueOrder, cfg.coalesceScan,
+            std::chrono::milliseconds(cfg.agingMs), maxBatch_));
     }
     if (cfg.autoStart)
         start();

@@ -119,6 +119,14 @@ class Scheduler
         /** Bound on popBatch's same-source coalescing scan (lock
          *  hold time per pop). */
         std::size_t coalesceScan = RequestQueue::kDefaultCoalesceScan;
+        /**
+         * Deadline aging: a queued request waiting longer than this
+         * many milliseconds is boosted once to the top priority
+         * class, bounding best-effort starvation under sustained
+         * higher-priority load (0 disables; Edf only — see
+         * RequestQueue).
+         */
+        std::uint64_t agingMs = 0;
         /** Construct started (serving). Tests construct stopped,
          *  queue deterministic backlogs, then call start(). */
         bool autoStart = true;
@@ -232,8 +240,10 @@ class Scheduler
                        std::chrono::nanoseconds slow_threshold,
                        RequestQueue::Order order,
                        std::size_t coalesce_scan,
+                       std::chrono::nanoseconds aging,
                        std::size_t initial_cap)
-            : queue(queue_capacity, metrics, order, coalesce_scan),
+            : queue(queue_capacity, metrics, order, coalesce_scan,
+                    aging),
               pool(pool_cfg),
               recorder(recorder_capacity, epoch, slow_threshold),
               batchCap(initial_cap)

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight hot-path profiler for superblock promotion.
+ *
+ * The trace machinery of Section 5 records full per-instruction streams
+ * for offline cache experiments; this is its minimal online counterpart.
+ * The interpreter reports every straight-line entry point it lands on
+ * (the target of a control transfer), and the profiler counts entries
+ * per absolute address in a direct-mapped table. When a counter reaches
+ * the promotion threshold the machine translates the straight-line
+ * sequence starting there into a superblock (core/superblock.hpp).
+ *
+ * Direct-mapped on the low address bits with conflict stealing: a
+ * colliding address resets the slot and starts counting for itself.
+ * That loses counts under heavy aliasing, which only delays promotion —
+ * never affects correctness (superblock execution is bit-identical to
+ * interpretation, so when a block forms is guest-invisible).
+ */
+
+#ifndef COMSIM_TRACE_HOTPATH_HPP
+#define COMSIM_TRACE_HOTPATH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace com::trace {
+
+/** Direct-mapped entry-point counter table. */
+class HotPathProfiler
+{
+  public:
+    /** @param slots power-of-two table size */
+    explicit HotPathProfiler(std::size_t slots = 2048)
+        : slots_(slots), mask_(slots - 1)
+    {
+        sim::fatalIf(slots == 0 || (slots & (slots - 1)) != 0,
+                     "hot-path table size must be a power of two, got ",
+                     slots);
+    }
+
+    /**
+     * Count one entry of the straight-line sequence at @p abs.
+     * @return the updated count (1 on first sight or after a conflict
+     *         stole the slot).
+     */
+    std::uint32_t
+    bump(std::uint64_t abs)
+    {
+        Slot &s = slots_[static_cast<std::size_t>(abs) & mask_];
+        if (s.abs != abs) {
+            s.abs = abs;
+            s.count = 0;
+        }
+        return ++s.count;
+    }
+
+    /** Forget all counts (machine reset / image restore). */
+    void
+    clear()
+    {
+        for (Slot &s : slots_) {
+            s.abs = kEmpty;
+            s.count = 0;
+        }
+    }
+
+    /** Table size in slots. */
+    std::size_t size() const { return slots_.size(); }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~0ull;
+
+    struct Slot
+    {
+        std::uint64_t abs = kEmpty;
+        std::uint32_t count = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+};
+
+} // namespace com::trace
+
+#endif // COMSIM_TRACE_HOTPATH_HPP

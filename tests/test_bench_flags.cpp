@@ -139,6 +139,27 @@ TEST(BenchFlags, BadValueNamesValueAndToken)
     EXPECT_NE(err.find("--count"), std::string::npos) << err;
 }
 
+TEST(BenchFlags, DuplicateFlagIsRejectedNamingTheToken)
+{
+    bench::FlagSet flags("test_binary", "flag parsing under test");
+    std::uint64_t n = 0;
+    std::string s;
+    flags.addUint("count", &n, "");
+    flags.addString("name", &s, "");
+
+    // The second occurrence is the error, named verbatim — including
+    // across the = and space-separated forms.
+    Argv argv({"--count=1", "--name=fib", "--count", "2"});
+    std::string err;
+    EXPECT_FALSE(flags.tryParse(argv.argc(), argv.argv(), &err));
+    EXPECT_NE(err.find("duplicate flag '--count'"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("'--count'"), std::string::npos) << err;
+    // The first occurrence was applied before the duplicate stopped
+    // the parse.
+    EXPECT_EQ(n, 1u);
+}
+
 TEST(BenchFlags, NonFlagArgumentIsRejected)
 {
     bench::FlagSet flags("test_binary", "flag parsing under test");

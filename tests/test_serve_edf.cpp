@@ -233,6 +233,117 @@ TEST(ServeEdf, FifoOrderNeverDisplaces)
 }
 
 // ---------------------------------------------------------------------
+// Deadline aging (the BestEffort starvation bound)
+// ---------------------------------------------------------------------
+
+TEST(ServeEdf, AgingBoundsBestEffortStarvationUnderSustainedOverload)
+{
+    // 50ms aging window. The best-effort request is backdated past
+    // it (deterministic: no sleeping), modeling a request that has
+    // already waited the window out under load.
+    serve::RequestQueue q(16, nullptr,
+                          serve::RequestQueue::Order::Edf,
+                          serve::RequestQueue::kDefaultCoalesceScan,
+                          50ms);
+    serve::Clock::time_point now = serve::Clock::now();
+    serve::ServeRequest be =
+        makeReq(uniqueSpec(0), serve::Priority::BestEffort);
+    be.submitted = now - 100ms;
+    ASSERT_TRUE(q.tryPush(std::move(be)));
+
+    // A sustained interactive overload: without aging, every pop
+    // would pick one of these (strict priority order), and new ones
+    // keep arriving — the best-effort request would wait forever.
+    for (int i = 1; i <= 8; ++i)
+        ASSERT_TRUE(q.tryPush(makeReq(
+            uniqueSpec(static_cast<std::size_t>(i)),
+            serve::Priority::Interactive,
+            now + std::chrono::milliseconds(i))));
+
+    // The aged request is boosted at the pop: top class, deadline =
+    // its submission time — which precedes every interactive
+    // deadline, so it pops first. Its own priority field still says
+    // what the client asked for.
+    std::vector<serve::ServeRequest> batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u0");
+    EXPECT_EQ(batch[0].priority, serve::Priority::BestEffort);
+    settle(batch);
+
+    // The interactive backlog then drains in deadline order.
+    batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u1");
+    settle(batch);
+}
+
+TEST(ServeEdf, AgingLeavesFreshBestEffortBehindInteractive)
+{
+    // A best-effort request younger than the window is not boosted:
+    // strict priority order still applies.
+    serve::RequestQueue q(8, nullptr,
+                          serve::RequestQueue::Order::Edf,
+                          serve::RequestQueue::kDefaultCoalesceScan,
+                          10s);
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(0), serve::Priority::BestEffort)));
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(1), serve::Priority::Interactive)));
+
+    std::vector<serve::ServeRequest> batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u1");
+    settle(batch);
+    batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u0");
+    settle(batch);
+}
+
+TEST(ServeEdf, BoostedRequestIsNoLongerADisplacementVictim)
+{
+    serve::RequestQueue q(2, nullptr,
+                          serve::RequestQueue::Order::Edf,
+                          serve::RequestQueue::kDefaultCoalesceScan,
+                          50ms);
+    serve::Clock::time_point now = serve::Clock::now();
+    serve::ServeRequest be0 =
+        makeReq(uniqueSpec(0), serve::Priority::BestEffort);
+    be0.submitted = now - 100ms;
+    ASSERT_TRUE(q.tryPush(std::move(be0)));
+    serve::ServeRequest be1 =
+        makeReq(uniqueSpec(1), serve::Priority::BestEffort);
+    be1.submitted = now - 80ms;
+    ASSERT_TRUE(q.tryPush(std::move(be1)));
+
+    // The pop boosts both aged requests and takes the older one;
+    // the younger stays queued, but now in the top class.
+    std::vector<serve::ServeRequest> batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u0");
+    settle(batch);
+
+    ASSERT_TRUE(q.tryPush(
+        makeReq(uniqueSpec(2), serve::Priority::Interactive,
+                now + 5ms)));
+
+    // Pre-boost, an arriving interactive request would displace the
+    // best-effort one; boosted, nothing queued is less urgent.
+    serve::ServeRequest displaced;
+    serve::ServeRequest urgent =
+        makeReq(uniqueSpec(3), serve::Priority::Interactive,
+                now + 1ms);
+    EXPECT_EQ(q.offer(std::move(urgent), &displaced),
+              serve::RequestQueue::Admit::Full);
+    urgent.promise.set_value(serve::Response{});
+
+    batch = q.popBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].spec.name, "u1");
+    settle(batch);
+}
+
+// ---------------------------------------------------------------------
 // Scheduler shed paths (deterministic: autoStart=false backlog)
 // ---------------------------------------------------------------------
 

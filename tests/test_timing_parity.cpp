@@ -9,7 +9,20 @@
  * bit-identical with the fast path on or off. These tests run the same
  * workloads under both MachineConfig::enableDecodedCache settings and
  * compare every observable statistic.
+ *
+ * Superblock threaded code (core/superblock.hpp) carries the same
+ * contract one level up: whole straight-line sequences execute through
+ * pre-bound superinstruction chains, and the suite additionally runs
+ * every workload with superblocks on, off, and toggled mid-run
+ * (continuing a capped run after flipping the switch), expecting
+ * bit-identical guest observables throughout.
+ *
+ * CI's parity smoke job sets COMSIM_FORCE_SUPERBLOCKS=on|off to pin
+ * the *default* superblock setting for tests that do not vary it
+ * explicitly, so the whole suite runs under both dispatch tiers.
  */
+
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
@@ -44,6 +57,8 @@ struct Snapshot
     std::uint64_t contextRefs, heapRefs;
 
     std::uint64_t decodedHits; ///< host-side; not compared, asserted >0
+    std::uint64_t sbBlocks;    ///< host-side; engagement check only
+    std::uint64_t sbEpoch;     ///< host-side; retirement check only
 };
 
 Snapshot
@@ -85,6 +100,8 @@ snapshotOf(core::Machine &m, const core::RunResult &r)
     s.heapRefs = m.heapRefs();
 
     s.decodedHits = m.decodedCache().hits();
+    s.sbBlocks = m.superblockCache().size();
+    s.sbEpoch = m.superblockCache().epoch();
     return s;
 }
 
@@ -139,13 +156,18 @@ configFor(bool decoded)
     core::MachineConfig cfg;
     cfg.contextPoolSize = 4096;
     cfg.enableDecodedCache = decoded;
+    // CI's parity smoke pins the default dispatch tier; tests that
+    // vary superblocks explicitly overwrite the field afterwards and
+    // are unaffected.
+    if (const char *force = std::getenv("COMSIM_FORCE_SUPERBLOCKS"))
+        cfg.enableSuperblocks = std::string(force) != "off";
     return cfg;
 }
 
 Snapshot
-runWorkload(const std::string &name, bool decoded)
+runWith(const core::MachineConfig &cfg, const std::string &name)
 {
-    core::Machine m(configFor(decoded));
+    core::Machine m(cfg);
     m.installStandardLibrary();
     lang::ComCompiler cc(m);
     lang::CompiledProgram p =
@@ -153,6 +175,22 @@ runWorkload(const std::string &name, bool decoded)
     core::RunResult r =
         m.call(p.entryVaddr, m.constants().nilWord(), {});
     return snapshotOf(m, r);
+}
+
+Snapshot
+runWorkload(const std::string &name, bool decoded)
+{
+    return runWith(configFor(decoded), name);
+}
+
+/** Run with superblocks pinned on/off (low threshold: engage early). */
+Snapshot
+runWorkloadSb(const std::string &name, bool superblocks)
+{
+    core::MachineConfig cfg = configFor(true);
+    cfg.enableSuperblocks = superblocks;
+    cfg.superblockThreshold = 4;
+    return runWith(cfg, name);
 }
 
 /**
@@ -213,6 +251,57 @@ TEST_P(WorkloadParity, WarmImageMatchesFreshCompile)
         EXPECT_TRUE(warm.result.finished) << warm.result.message;
         expectParity(warm, fresh, name + "/warm-vs-fresh");
     }
+}
+
+TEST_P(WorkloadParity, SuperblocksMatchInterpreter)
+{
+    const std::string name = GetParam();
+    Snapshot sb = runWorkloadSb(name, true);
+    Snapshot ref = runWorkloadSb(name, false);
+
+    EXPECT_TRUE(sb.result.finished) << sb.result.message;
+    // Blocks must actually have been promoted, or this proves nothing.
+    EXPECT_GT(sb.sbBlocks, 0u);
+    EXPECT_EQ(ref.sbBlocks, 0u);
+
+    expectParity(sb, ref, name + "/superblocks-vs-interpreter");
+}
+
+TEST_P(WorkloadParity, SuperblocksToggledMidRunMatch)
+{
+    // Flip the dispatch tier every few thousand instructions of one
+    // continuous run (continuing after each cap): translated blocks
+    // must hand over mid-method and be re-entered warm, with guest
+    // observables identical to a pure-interpreter run.
+    const std::string name = GetParam();
+    core::MachineConfig cfg = configFor(true);
+    cfg.superblockThreshold = 4;
+
+    auto toggledRun = [&](bool toggle) {
+        cfg.enableSuperblocks = toggle;
+        core::Machine m(cfg);
+        m.installStandardLibrary();
+        lang::ComCompiler cc(m);
+        lang::CompiledProgram p =
+            cc.compileSource(lang::workload(name).source);
+        bool on = toggle;
+        core::RunResult r =
+            m.call(p.entryVaddr, m.constants().nilWord(), {}, 512);
+        while (r.capped) {
+            if (toggle) {
+                on = !on;
+                m.setSuperblocksEnabled(on);
+            }
+            r = m.run(512);
+        }
+        return snapshotOf(m, r);
+    };
+
+    Snapshot toggled = toggledRun(true);
+    Snapshot ref = toggledRun(false);
+    EXPECT_TRUE(toggled.result.finished) << toggled.result.message;
+    EXPECT_GT(toggled.sbBlocks, 0u);
+    expectParity(toggled, ref, name + "/toggled-vs-interpreter");
 }
 
 // sieve (data-access heavy), fib (call/return heavy), sort (late
@@ -280,6 +369,91 @@ TEST(TimingParity, SelfModifiedCodeInvalidatesDecodings)
     EXPECT_EQ(fastR.fault, core::GuestFault::ExecuteData);
     EXPECT_EQ(refR.fault, core::GuestFault::ExecuteData);
     expectParity(fast, ref, "selfModify");
+}
+
+TEST(TimingParity, StoreIntoTranslatedBlockRetiresIt)
+{
+    // Like SelfModifiedCodeInvalidatesDecodings, one tier up: run a
+    // method hot enough to translate (threshold 1: first entry), store
+    // over its first word through the guest path, and re-call. The
+    // store must retire the superblock over the invalidation bus —
+    // serving the stale chain would execute dead code — and fault
+    // behavior and timing must match the interpreter exactly.
+    auto run = [](bool superblocks) {
+        core::MachineConfig cfg = configFor(true);
+        cfg.enableSuperblocks = superblocks;
+        cfg.superblockThreshold = 1;
+        core::Machine m(cfg);
+        m.installStandardLibrary();
+        core::Assembler as(m);
+        std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+            move   c8, =41
+            add    c9, c8, =1
+            putres.r c2, c9
+        )"));
+        core::RunResult first =
+            m.call(entry, m.constants().nilWord(), {});
+        EXPECT_TRUE(first.finished);
+        EXPECT_EQ(m.lastResult().asInt(), 42);
+        if (superblocks) {
+            EXPECT_GT(m.superblockCache().size(), 0u);
+            EXPECT_EQ(m.superblockCache().storeInvalidations(), 0u);
+        }
+
+        core::GuestFault f = m.indexedStore(
+            mem::Word::fromPointer(static_cast<std::uint32_t>(entry)),
+            0, mem::Word::fromInt(1234));
+        EXPECT_EQ(f, core::GuestFault::None);
+        if (superblocks)
+            EXPECT_GT(m.superblockCache().storeInvalidations(), 0u);
+
+        core::RunResult second =
+            m.call(entry, m.constants().nilWord(), {});
+        EXPECT_EQ(second.fault, core::GuestFault::ExecuteData);
+        return snapshotOf(m, second);
+    };
+    Snapshot sb = run(true);
+    Snapshot ref = run(false);
+    expectParity(sb, ref, "storeIntoTranslatedBlock");
+}
+
+TEST(TimingParity, GcPressureRetiresSuperblocksExactly)
+{
+    // Garbage collections retire every superblock (swept segments can
+    // be recycled onto fresh objects). The nastiest case is a
+    // collection fired from *inside* a running block — the 'collect'
+    // host routine does not transfer control, so the runner is still
+    // mid-chain when its own block moves to the graveyard and must
+    // side-exit on the epoch check. Loop so the hot path is
+    // re-translated and re-killed several times; timing must match
+    // the interpreter bit for bit throughout.
+    auto run = [](bool superblocks) {
+        core::MachineConfig cfg = configFor(true);
+        cfg.enableSuperblocks = superblocks;
+        cfg.superblockThreshold = 1;
+        core::Machine m(cfg);
+        m.installStandardLibrary();
+        core::Assembler as(m);
+        std::uint64_t entry = m.makeMethodObject(as.assemble(R"(
+            move   c8, =0
+        loop:
+            add    c8, c8, =1
+            move   c10, =nil
+            msg    "collect", c9, c10, c0
+            lt     c9, c8, =5
+            jt     c9, @loop
+            putres.r c2, c8
+        )"));
+        core::RunResult r =
+            m.call(entry, m.constants().nilWord(), {});
+        EXPECT_TRUE(r.finished) << r.message;
+        EXPECT_EQ(m.lastResult().asInt(), 5);
+        return snapshotOf(m, r);
+    };
+    Snapshot sb = run(true);
+    Snapshot ref = run(false);
+    EXPECT_GT(sb.sbEpoch, 0u); // collections really retired blocks
+    expectParity(sb, ref, "gcPressure");
 }
 
 TEST(TimingParity, WarmImageSurvivesSelfModifyingRun)
